@@ -1,0 +1,352 @@
+//! Static thread-sharing analysis — the reproduction's stand-in for the
+//! Locksmith-based shared-access identification of the paper (§5).
+//!
+//! Identifying shared accesses is "orthogonal to our approach but important
+//! for reducing the size of the constraints": every access classified
+//! thread-local stays concrete during symbolic execution and produces no
+//! read-write constraints. The analysis is conservative (may over-report
+//! sharing, never under-reports) and purely static, so it adds **zero**
+//! runtime cost — which is the property CLAP needs.
+//!
+//! The algorithm:
+//! 1. build the call graph (direct calls) and collect fork sites;
+//! 2. a *thread role* is `main` or any fork-target function; each role
+//!    reaches a set of functions through call edges;
+//! 3. a role is *multi-instance* when it can be instantiated more than
+//!    once (two fork sites target it, a fork site sits inside a loop, or
+//!    the forking function is itself reachable from a multi-instance or
+//!    duplicated context);
+//! 4. a global is **shared** iff it is written at all (beyond its
+//!    initializer) and is accessed by two distinct roles or by one
+//!    multi-instance role.
+//!
+//! # Example
+//!
+//! ```
+//! use clap_ir::parse;
+//! use clap_analysis::analyze;
+//!
+//! let program = parse(
+//!     "global int counter = 0; global int scratch = 0;
+//!      fn w() { counter = counter + 1; }
+//!      fn main() {
+//!          scratch = 5;
+//!          let a: thread = fork w();
+//!          let b: thread = fork w();
+//!          join a; join b;
+//!      }",
+//! )?;
+//! let sharing = analyze(&program);
+//! let counter = program.global_by_name("counter").unwrap();
+//! let scratch = program.global_by_name("scratch").unwrap();
+//! assert!(sharing.is_shared(counter));
+//! assert!(!sharing.is_shared(scratch), "only main touches scratch");
+//! # Ok::<(), clap_ir::Error>(())
+//! ```
+
+use clap_ir::{BlockId, FuncId, GlobalId, Instr, Program};
+use clap_vm::SharedSpec;
+use std::collections::{HashMap, HashSet};
+
+/// The result of the sharing analysis.
+#[derive(Debug, Clone)]
+pub struct SharingAnalysis {
+    /// Globals classified as shared.
+    pub shared: HashSet<GlobalId>,
+    /// The thread roles found (entry functions of threads; `main` first).
+    pub roles: Vec<FuncId>,
+    /// Roles that may run in more than one thread simultaneously.
+    pub multi_instance: HashSet<FuncId>,
+}
+
+impl SharingAnalysis {
+    /// `true` if `global` was classified shared.
+    pub fn is_shared(&self, global: GlobalId) -> bool {
+        self.shared.contains(&global)
+    }
+
+    /// Converts the result into the VM's [`SharedSpec`].
+    pub fn shared_spec(&self) -> SharedSpec {
+        SharedSpec::Set(self.shared.clone())
+    }
+
+    /// Number of shared variables (the `#SV` column of Table 1).
+    pub fn shared_count(&self) -> usize {
+        self.shared.len()
+    }
+}
+
+/// Runs the analysis over a lowered program.
+pub fn analyze(program: &Program) -> SharingAnalysis {
+    let n = program.functions.len();
+
+    // Per-function direct facts.
+    let mut calls: Vec<HashSet<FuncId>> = vec![HashSet::new(); n];
+    let mut forks: Vec<Vec<(FuncId, BlockId)>> = vec![Vec::new(); n]; // (target, site block)
+    let mut reads: Vec<HashSet<GlobalId>> = vec![HashSet::new(); n];
+    let mut writes: Vec<HashSet<GlobalId>> = vec![HashSet::new(); n];
+    for (fi, func) in program.functions.iter().enumerate() {
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Call { func: callee, .. } => {
+                        calls[fi].insert(*callee);
+                    }
+                    Instr::Fork { func: target, .. } => {
+                        forks[fi].push((*target, BlockId::from(bi)));
+                    }
+                    Instr::Load { global, .. } => {
+                        reads[fi].insert(*global);
+                    }
+                    Instr::Store { global, .. } => {
+                        writes[fi].insert(*global);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Call-graph reachability (call edges only; forks start new roles).
+    let reach = |start: FuncId| -> HashSet<FuncId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(f) = stack.pop() {
+            if seen.insert(f) {
+                stack.extend(calls[f.index()].iter().copied());
+            }
+        }
+        seen
+    };
+
+    // Phase A: discover roles and live functions to a fixpoint.
+    let mut roles: Vec<FuncId> = vec![program.main];
+    let mut live: HashSet<FuncId> = reach(program.main);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let live_now: Vec<FuncId> = live.iter().copied().collect();
+        for f in live_now {
+            for &(target, _) in &forks[f.index()] {
+                if !roles.contains(&target) {
+                    roles.push(target);
+                    changed = true;
+                }
+                for g in reach(target) {
+                    if live.insert(g) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase B: count static instantiation capability per role (one pass),
+    // then propagate "multi-instance" through forks and calls to a
+    // fixpoint. A fork site inside a loop, or inside a function that is
+    // itself multi-instance, can instantiate its target many times.
+    let mut instantiations: HashMap<FuncId, usize> = HashMap::new();
+    for &f in &live {
+        let in_loop_blocks = loop_blocks(program, f);
+        for &(target, site) in &forks[f.index()] {
+            let many = in_loop_blocks.contains(&site);
+            *instantiations.entry(target).or_insert(0) += if many { 2 } else { 1 };
+        }
+    }
+    let mut multi_instance: HashSet<FuncId> = instantiations
+        .iter()
+        .filter(|(_, &c)| c > 1)
+        .map(|(&f, _)| f)
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &f in &live {
+            if !multi_instance.contains(&f) {
+                continue;
+            }
+            // Everything a multi-instance context calls or forks is
+            // itself multi-instance.
+            for g in reach(f) {
+                if g != f && multi_instance.insert(g) {
+                    changed = true;
+                }
+            }
+            for &(target, _) in &forks[f.index()] {
+                if multi_instance.insert(target) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Role-level access sets.
+    let role_accesses: HashMap<FuncId, (HashSet<GlobalId>, HashSet<GlobalId>)> = roles
+        .iter()
+        .map(|&role| {
+            let mut r = HashSet::new();
+            let mut w = HashSet::new();
+            for f in reach(role) {
+                r.extend(reads[f.index()].iter().copied());
+                w.extend(writes[f.index()].iter().copied());
+            }
+            (role, (r, w))
+        })
+        .collect();
+
+    let mut shared = HashSet::new();
+    for gi in 0..program.globals.len() {
+        let g = GlobalId::from(gi);
+        let accessors: Vec<FuncId> = roles
+            .iter()
+            .copied()
+            .filter(|role| {
+                let (r, w) = &role_accesses[role];
+                r.contains(&g) || w.contains(&g)
+            })
+            .collect();
+        let written = roles.iter().any(|role| role_accesses[role].1.contains(&g));
+        let multi = accessors.iter().any(|a| multi_instance.contains(a));
+        if written && (accessors.len() >= 2 || multi) {
+            shared.insert(g);
+        }
+    }
+
+    SharingAnalysis { shared, roles, multi_instance }
+}
+
+/// Blocks of `f` that sit on a CFG cycle (conservative: any block from
+/// which a back-edge target can reach it again). Used to detect fork sites
+/// that may execute repeatedly.
+fn loop_blocks(program: &Program, f: FuncId) -> HashSet<BlockId> {
+    let func = program.function(f);
+    let n = func.blocks.len();
+    // Compute reachability closure between blocks (small CFGs: O(n^2)).
+    let mut reach: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for i in 0..n {
+        let mut stack: Vec<usize> = func.blocks[i].term.successors().iter().map(|b| b.index()).collect();
+        while let Some(j) = stack.pop() {
+            if reach[i].insert(j) {
+                stack.extend(func.blocks[j].term.successors().iter().map(|b| b.index()));
+            }
+        }
+    }
+    (0..n).filter(|&i| reach[i].contains(&i)).map(BlockId::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clap_ir::parse;
+
+    fn shared_names(src: &str) -> Vec<String> {
+        let p = parse(src).unwrap();
+        let a = analyze(&p);
+        let mut names: Vec<String> = a
+            .shared
+            .iter()
+            .map(|g| p.globals[g.index()].name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn main_only_globals_are_private() {
+        assert!(shared_names("global int x = 0; fn main() { x = 1; }").is_empty());
+    }
+
+    #[test]
+    fn cross_role_access_is_shared() {
+        let names = shared_names(
+            "global int x = 0;
+             fn w() { x = 1; }
+             fn main() { let t: thread = fork w(); join t; let v: int = x; }",
+        );
+        assert_eq!(names, vec!["x"]);
+    }
+
+    #[test]
+    fn two_instances_of_one_role_share() {
+        let names = shared_names(
+            "global int x = 0;
+             fn w() { x = x + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b; }",
+        );
+        assert_eq!(names, vec!["x"]);
+    }
+
+    #[test]
+    fn single_instance_role_private_global() {
+        // Only one instance of w ever exists and main never touches x.
+        let names = shared_names(
+            "global int x = 0;
+             fn w() { x = x + 1; }
+             fn main() { let t: thread = fork w(); join t; }",
+        );
+        assert!(names.is_empty(), "got {names:?}");
+    }
+
+    #[test]
+    fn fork_in_loop_is_multi_instance() {
+        let names = shared_names(
+            "global int x = 0;
+             fn w() { x = x + 1; }
+             fn main() { let i: int = 0; while (i < 3) { let t: thread = fork w(); join t; i = i + 1; } }",
+        );
+        assert_eq!(names, vec!["x"]);
+    }
+
+    #[test]
+    fn read_only_globals_are_not_shared() {
+        let names = shared_names(
+            "global int k = 7; global int out = 0;
+             fn w() { let v: int = k; out = v; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b; }",
+        );
+        // k is never written, out is written by a multi-instance role.
+        assert_eq!(names, vec!["out"]);
+    }
+
+    #[test]
+    fn sharing_through_helper_calls() {
+        let names = shared_names(
+            "global int x = 0;
+             fn bump() { x = x + 1; }
+             fn w() { bump(); }
+             fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b; }",
+        );
+        assert_eq!(names, vec!["x"]);
+    }
+
+    #[test]
+    fn nested_forks_create_roles() {
+        let p = parse(
+            "global int x = 0;
+             fn leaf() { x = x + 1; }
+             fn mid() { let t: thread = fork leaf(); join t; }
+             fn main() { let a: thread = fork mid(); let b: thread = fork mid(); join a; join b; }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.roles.len(), 3); // main, mid, leaf
+        // Two mids → two leaves → x is shared.
+        assert!(a.is_shared(p.global_by_name("x").unwrap()));
+        assert!(a.multi_instance.contains(&p.function_by_name("leaf").unwrap()));
+    }
+
+    #[test]
+    fn shared_spec_round_trips() {
+        let p = parse(
+            "global int x = 0; global int y = 0;
+             fn w() { x = 1; }
+             fn main() { let t: thread = fork w(); join t; y = x; }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let spec = a.shared_spec();
+        assert!(spec.contains(p.global_by_name("x").unwrap()));
+        assert!(!spec.contains(p.global_by_name("y").unwrap()));
+        assert_eq!(a.shared_count(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. `ablation_memmodel` — exploration cost to the first failure under
+//!    SC/TSO/PSO (store-buffer drains as scheduler events make
+//!    relaxed-model bugs explorable at all);
+//! 2. `ablation_csbound` — the preemption bound's effect on the parallel
+//!    engine (enumerating low bounds first is what makes minimal-cs
+//!    schedules cheap);
+//! 3. `ablation_pruning` — generator prefix pruning vs the paper's blind
+//!    generate-then-validate split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clap_bench::workload_config;
+use clap_constraints::{validate, ConstraintSystem, Schedule};
+use clap_core::Pipeline;
+use clap_parallel::{for_each_csp_set, solve_parallel, Generator, ParallelConfig};
+use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
+
+fn memmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_memmodel");
+    group.sample_size(10);
+    // Time to sweep a fixed seed range; under SC dekker never fails, so
+    // this measures pure exploration cost per model.
+    let workload = clap_workloads::by_name("dekker").expect("dekker exists");
+    let program = workload.program();
+    for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
+        group.bench_with_input(BenchmarkId::new("sweep100", model.to_string()), &model, |b, &m| {
+            b.iter(|| {
+                let mut failures = 0u32;
+                for seed in 0..100 {
+                    let mut vm = Vm::new(&program, m);
+                    vm.set_step_limit(500_000);
+                    let mut sched = RandomScheduler::with_stickiness(seed, 0.9);
+                    if vm.run(&mut sched, &mut NullMonitor).is_failure() {
+                        failures += 1;
+                    }
+                }
+                black_box(failures)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn csbound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_csbound");
+    group.sample_size(10);
+    let workload = clap_workloads::by_name("sim_race").expect("sim_race exists");
+    let pipeline = Pipeline::new(workload.program());
+    let config = workload_config(&workload);
+    let recorded = pipeline.record_failure(&config).expect("fails");
+    let trace = pipeline.symbolic_trace(&recorded).expect("trace");
+    let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
+    for max_cs in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("max_cs", max_cs), &max_cs, |b, &max_cs| {
+            b.iter(|| {
+                black_box(solve_parallel(
+                    pipeline.program(),
+                    &system,
+                    ParallelConfig { max_cs, ..ParallelConfig::default() },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+    let workload = clap_workloads::by_name("peterson").expect("peterson exists");
+    let pipeline = Pipeline::new(workload.program());
+    let config = workload_config(&workload);
+    let recorded = pipeline.record_failure(&config).expect("fails");
+    let trace = pipeline.symbolic_trace(&recorded).expect("trace");
+    let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
+
+    // Generate + validate one level-1 batch, with and without pruning.
+    let run = |gen: &mut Generator<'_, '_>| {
+        let mut good = 0u64;
+        let mut generated = 0u64;
+        for_each_csp_set(&system, 1, 200, &mut |set| {
+            gen.run(set, &mut |order| {
+                generated += 1;
+                let s = Schedule { order: order.to_vec() };
+                if validate(pipeline.program(), &system, &s).is_ok() {
+                    good += 1;
+                }
+                generated < 20_000
+            })
+        });
+        (generated, good)
+    };
+    group.bench_function("with_pruning", |b| {
+        b.iter(|| {
+            let mut gen = Generator::new(pipeline.program(), &system, 20_000);
+            black_box(run(&mut gen))
+        })
+    });
+    group.bench_function("without_pruning", |b| {
+        b.iter(|| {
+            let mut gen = Generator::without_pruning(&system, 20_000);
+            black_box(run(&mut gen))
+        })
+    });
+    group.finish();
+}
+
+fn syncorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_syncorder");
+    group.sample_size(10);
+    // The §6.4 variant: recording the sync order collapses the locking /
+    // wait-matching search. Compare sequential solve time on the same
+    // recorded failure with and without the extra chains.
+    let workload = clap_workloads::by_name("pbzip2").expect("pbzip2 exists");
+    let pipeline = Pipeline::new(workload.program());
+    let mut config = workload_config(&workload);
+    config.record_sync_order = true;
+    let recorded = pipeline.record_failure(&config).expect("fails");
+    let trace = pipeline.symbolic_trace(&recorded).expect("trace");
+    let plain = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
+    let mut chained = plain.clone();
+    chained
+        .apply_sync_order(recorded.sync_order.as_ref().expect("sync order"))
+        .expect("log matches trace");
+
+    group.bench_function("paths_only", |b| {
+        b.iter(|| {
+            black_box(clap_solver::solve(
+                pipeline.program(),
+                &plain,
+                clap_solver::SolverConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("paths_plus_sync_order", |b| {
+        b.iter(|| {
+            black_box(clap_solver::solve(
+                pipeline.program(),
+                &chained,
+                clap_solver::SolverConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, memmodel, csbound, pruning, syncorder);
+criterion_main!(benches);

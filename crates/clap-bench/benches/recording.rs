@@ -1,0 +1,71 @@
+//! Criterion form of Table 2: per-workload recording overhead, native vs
+//! the CLAP path recorder vs the LEAP access-vector recorder.
+//!
+//! The identical seeded execution runs under all three monitors, so the
+//! difference is purely instrumentation cost — the quantity the paper's
+//! Table 2 reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clap_leap::LeapRecorder;
+use clap_profile::{BlTables, PathRecorder};
+use clap_vm::{NullMonitor, RandomScheduler, Vm};
+
+fn recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recording_overhead");
+    group.sample_size(20);
+    for workload in clap_workloads::table2_suite() {
+        // racey is the slowest; skip the heaviest rows to keep the whole
+        // suite under a minute — the table2 binary covers everything.
+        if !matches!(workload.name, "sim_race" | "pfscan" | "racey" | "dekker") {
+            continue;
+        }
+        let program = workload.program();
+        let tables = BlTables::build(&program);
+        group.bench_with_input(
+            BenchmarkId::new("native", workload.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut vm = Vm::new(program, workload.model);
+                    vm.set_step_limit(4_000_000);
+                    let mut sched = RandomScheduler::with_stickiness(7, 0.7);
+                    black_box(vm.run(&mut sched, &mut NullMonitor))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clap", workload.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut vm = Vm::new(program, workload.model);
+                    vm.set_step_limit(4_000_000);
+                    let mut sched = RandomScheduler::with_stickiness(7, 0.7);
+                    let mut rec = PathRecorder::new(&tables);
+                    vm.run(&mut sched, &mut rec);
+                    black_box(rec.finish().size_bytes())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("leap", workload.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut vm = Vm::new(program, workload.model);
+                    vm.set_step_limit(4_000_000);
+                    let mut sched = RandomScheduler::with_stickiness(7, 0.7);
+                    let mut rec = LeapRecorder::new();
+                    vm.run(&mut sched, &mut rec);
+                    black_box(rec.finish().size_bytes())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, recording);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion form of Table 3's solve-time comparison: the sequential
+//! DPLL(T)-style solver vs the §4.3 parallel generate-and-validate
+//! engine, on the recorded failure of each selected workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clap_bench::workload_config;
+use clap_constraints::ConstraintSystem;
+use clap_core::Pipeline;
+use clap_parallel::{solve_parallel, ParallelConfig};
+use clap_solver::{solve, SolverConfig};
+
+fn solving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solving");
+    group.sample_size(10);
+    for name in ["sim_race", "pfscan", "dekker", "racey"] {
+        let workload = clap_workloads::by_name(name).expect("workload exists");
+        let pipeline = Pipeline::new(workload.program());
+        let config = workload_config(&workload);
+        let recorded = pipeline.record_failure(&config).expect("workload fails");
+        let trace = pipeline.symbolic_trace(&recorded).expect("trace builds");
+        let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
+
+        group.bench_function(BenchmarkId::new("sequential", name), |b| {
+            b.iter(|| black_box(solve(pipeline.program(), &system, SolverConfig::default())))
+        });
+        group.bench_function(BenchmarkId::new("parallel", name), |b| {
+            b.iter(|| {
+                black_box(solve_parallel(
+                    pipeline.program(),
+                    &system,
+                    ParallelConfig::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solving);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Quick pipeline smoke test over every workload.
+use clap_core::{Pipeline, PipelineConfig, SolverChoice};
+use clap_solver::SolverConfig;
+use std::time::Instant;
+
+fn main() {
+    let deadline_per = std::time::Duration::from_secs(60);
+    for w in clap_workloads::all() {
+        let t0 = Instant::now();
+        let pipeline = Pipeline::new(w.program());
+        let mut config = PipelineConfig::new(w.model);
+        config.stickiness = w.stickiness.to_vec();
+        config.seed_budget = w.seed_budget;
+        config.solver = SolverChoice::Sequential(SolverConfig {
+            deadline: Some(Instant::now() + deadline_per),
+            max_decisions: 0,
+        });
+        match pipeline.reproduce(&config) {
+            Ok(r) => println!(
+                "{:10} OK  threads={} sv={} inst={} br={} saps={} clauses={} vars={} cs={} tsym={:?} tsolve={:?} log={}B reproduced={}",
+                w.name, r.threads, r.shared_vars, r.instructions, r.branches, r.saps,
+                r.constraints.total_clauses(), r.constraints.total_vars(),
+                r.context_switches, r.time_symbolic, r.time_solve, r.log_bytes, r.reproduced
+            ),
+            Err(e) => println!("{:10} ERR {e} (elapsed {:?})", w.name, t0.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table 2** (runtime and space overhead): native vs LEAP vs
+//! CLAP execution time and log size per workload, with CLAP's reductions.
+
+use clap_bench::{fmt_duration, table2_row};
+
+fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}K", b as f64 / 1024.0)
+    } else {
+        format!("{:.2}M", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+fn main() {
+    let iterations: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!("Table 2 — recording overhead, native vs LEAP vs CLAP ({iterations} runs averaged, scaled workloads)");
+    println!(
+        "{:<10} {:>9} {:>16} {:>16} {:>7} {:>9} {:>9} {:>7}",
+        "Program", "Native", "LEAP (ovh%)", "CLAP (ovh%)", "T-red%", "LEAP-log", "CLAP-log", "S-red%"
+    );
+    for workload in clap_workloads::table2_suite() {
+        let r = table2_row(&workload, iterations);
+        println!(
+            "{:<10} {:>9} {:>9} ({:>4.0}%) {:>9} ({:>4.0}%) {:>6.1}% {:>9} {:>9} {:>6.1}%",
+            r.name,
+            fmt_duration(r.native),
+            fmt_duration(r.leap),
+            r.leap_overhead_pct(),
+            fmt_duration(r.clap),
+            r.clap_overhead_pct(),
+            r.time_reduction_pct(),
+            fmt_bytes(r.leap_bytes),
+            fmt_bytes(r.clap_bytes),
+            r.space_reduction_pct(),
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! The benchmark harness: shared measurement helpers behind the
+//! `table1`/`table2`/`table3` and `figure2`/`figure3`/`figure4` binaries
+//! that regenerate every table and figure of the paper's evaluation (§6).
+
+use clap_constraints::{count, ConstraintSystem};
+use clap_core::{Pipeline, PipelineConfig, RecordedFailure, SolverChoice};
+use clap_leap::LeapRecorder;
+use clap_parallel::{solve_parallel, worst_case_schedules_log10, ParallelConfig, ParallelOutcome};
+use clap_profile::{BlTables, PathRecorder};
+use clap_solver::{solve, SolveOutcome, SolverConfig};
+use clap_vm::{NullMonitor, RandomScheduler, Vm};
+use clap_workloads::Workload;
+use std::time::{Duration, Instant};
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Workload name.
+    pub name: String,
+    /// DSL lines of code.
+    pub loc: usize,
+    /// Threads in the buggy execution.
+    pub threads: usize,
+    /// Shared variables (`#SV`).
+    pub shared_vars: usize,
+    /// Executed instructions (`#Inst`).
+    pub instructions: u64,
+    /// Executed conditional branches (`#Br`).
+    pub branches: u64,
+    /// Shared access points (`#SAPs`).
+    pub saps: usize,
+    /// Constraint clauses (`#Constraints`).
+    pub constraints: usize,
+    /// Unknown variables (`#Variables`).
+    pub variables: usize,
+    /// Symbolic phase time.
+    pub time_symbolic: Duration,
+    /// Sequential solve time.
+    pub time_solve: Duration,
+    /// Context switches of the computed schedule (`#cs`).
+    pub cs: usize,
+    /// Whether the replay reproduced the bug.
+    pub success: bool,
+}
+
+/// Runs the whole pipeline for a workload with the sequential solver.
+///
+/// # Errors
+///
+/// Propagates any [`clap_core::PipelineError`] as a string.
+pub fn table1_row(workload: &Workload) -> Result<Table1Row, String> {
+    let pipeline = Pipeline::new(workload.program());
+    let config = workload_config(workload);
+    let report = pipeline.reproduce(&config).map_err(|e| e.to_string())?;
+    Ok(Table1Row {
+        name: workload.name.to_owned(),
+        loc: workload.loc(),
+        threads: report.threads,
+        shared_vars: report.shared_vars,
+        instructions: report.instructions,
+        branches: report.branches,
+        saps: report.saps,
+        constraints: report.constraints.total_clauses(),
+        variables: report.constraints.total_vars(),
+        time_symbolic: report.time_symbolic,
+        time_solve: report.time_solve,
+        cs: report.context_switches,
+        success: report.reproduced,
+    })
+}
+
+/// The pipeline configuration a workload's hints imply.
+pub fn workload_config(workload: &Workload) -> PipelineConfig {
+    let mut config = PipelineConfig::new(workload.model);
+    config.stickiness = workload.stickiness.to_vec();
+    config.seed_budget = workload.seed_budget;
+    config.solver = SolverChoice::Sequential(SolverConfig {
+        deadline: Some(Instant::now() + Duration::from_secs(300)),
+        max_decisions: 0,
+    });
+    config
+}
+
+/// One Table 2 row: recording overhead and log size, native vs LEAP vs
+/// CLAP, averaged over `iterations` runs of the same seeded execution.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Workload name.
+    pub name: String,
+    /// Mean native run time (no instrumentation).
+    pub native: Duration,
+    /// Mean run time with the LEAP recorder.
+    pub leap: Duration,
+    /// Mean run time with the CLAP path recorder.
+    pub clap: Duration,
+    /// LEAP log size in bytes.
+    pub leap_bytes: usize,
+    /// CLAP log size in bytes.
+    pub clap_bytes: usize,
+}
+
+impl Table2Row {
+    /// LEAP overhead over native, in percent.
+    pub fn leap_overhead_pct(&self) -> f64 {
+        overhead_pct(self.native, self.leap)
+    }
+
+    /// CLAP overhead over native, in percent.
+    pub fn clap_overhead_pct(&self) -> f64 {
+        overhead_pct(self.native, self.clap)
+    }
+
+    /// Runtime-overhead reduction of CLAP vs LEAP, in percent.
+    pub fn time_reduction_pct(&self) -> f64 {
+        let leap = self.leap.as_secs_f64();
+        let clap = self.clap.as_secs_f64();
+        if leap <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (leap - clap) / leap
+    }
+
+    /// Log-size reduction of CLAP vs LEAP, in percent.
+    pub fn space_reduction_pct(&self) -> f64 {
+        if self.leap_bytes == 0 {
+            return 0.0;
+        }
+        100.0 * (self.leap_bytes as f64 - self.clap_bytes as f64) / self.leap_bytes as f64
+    }
+}
+
+fn overhead_pct(native: Duration, instrumented: Duration) -> f64 {
+    let n = native.as_secs_f64();
+    if n <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (instrumented.as_secs_f64() - n) / n
+}
+
+/// Measures a workload's recording overhead (Table 2). The same seed and
+/// stickiness drive all three configurations, so the executions are
+/// identical modulo instrumentation; `iterations` runs are averaged.
+pub fn table2_row(workload: &Workload, iterations: u32) -> Table2Row {
+    let program = workload.program();
+    let tables = BlTables::build(&program);
+    // Use a fixed mid-range seed; the interleaving does not matter for
+    // overhead, only the amount of work.
+    let seed = 1234;
+    let stick = 0.7;
+
+    let run_native = || {
+        let mut vm = Vm::new(&program, workload.model);
+        vm.set_step_limit(4_000_000);
+        let mut sched = RandomScheduler::with_stickiness(seed, stick);
+        vm.run(&mut sched, &mut NullMonitor);
+    };
+    let run_clap = || {
+        let mut vm = Vm::new(&program, workload.model);
+        vm.set_step_limit(4_000_000);
+        let mut sched = RandomScheduler::with_stickiness(seed, stick);
+        let mut rec = PathRecorder::new(&tables);
+        vm.run(&mut sched, &mut rec);
+        rec.finish()
+    };
+    let run_leap = || {
+        let mut vm = Vm::new(&program, workload.model);
+        vm.set_step_limit(4_000_000);
+        let mut sched = RandomScheduler::with_stickiness(seed, stick);
+        let mut rec = LeapRecorder::new();
+        vm.run(&mut sched, &mut rec);
+        rec.finish()
+    };
+
+    // Warm up, then measure.
+    run_native();
+    let clap_bytes = run_clap().size_bytes();
+    let leap_bytes = run_leap().size_bytes();
+
+    let time = |f: &dyn Fn()| {
+        let t0 = Instant::now();
+        for _ in 0..iterations {
+            f();
+        }
+        t0.elapsed() / iterations
+    };
+    let native = time(&|| run_native());
+    let clap = time(&|| {
+        run_clap();
+    });
+    let leap = time(&|| {
+        run_leap();
+    });
+
+    Table2Row {
+        name: workload.name.to_owned(),
+        native,
+        leap,
+        clap,
+        leap_bytes,
+        clap_bytes,
+    }
+}
+
+/// One Table 3 row: parallel vs sequential solving.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Workload name.
+    pub name: String,
+    /// `log10` of the worst-case schedule count.
+    pub worst_log10: f64,
+    /// Candidate schedules generated before stopping.
+    pub generated: u64,
+    /// Preemption bound at which the search stopped (`#cs`).
+    pub cs_bound: usize,
+    /// Correct schedules found.
+    pub good: u64,
+    /// Whether the parallel search found a schedule before its deadline
+    /// (the paper's racey row is the analogous "did not finish" case).
+    pub found: bool,
+    /// Parallel search time.
+    pub par_time: Duration,
+    /// Sequential solver time on the same system.
+    pub seq_time: Duration,
+}
+
+/// Runs both solvers on a workload's recorded failure (Table 3).
+///
+/// # Errors
+///
+/// Propagates pipeline errors as strings.
+pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
+    let pipeline = Pipeline::new(workload.program());
+    let config = workload_config(workload);
+    let recorded: RecordedFailure =
+        pipeline.record_failure(&config).map_err(|e| e.to_string())?;
+    let trace = pipeline.symbolic_trace(&recorded).map_err(|e| e.to_string())?;
+    let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
+    let _ = count(&system);
+
+    let t0 = Instant::now();
+    let par = solve_parallel(
+        pipeline.program(),
+        &system,
+        ParallelConfig {
+            stop_after_good: 8,
+            deadline: Some(Instant::now() + Duration::from_secs(120)),
+            ..ParallelConfig::default()
+        },
+    );
+    let par_time = t0.elapsed();
+    let stats = par.stats();
+    let found = matches!(par, ParallelOutcome::Found { .. });
+
+    let t1 = Instant::now();
+    let seq = solve(pipeline.program(), &system, SolverConfig::default());
+    let seq_time = t1.elapsed();
+    if !matches!(seq, SolveOutcome::Sat(_)) {
+        return Err("sequential solver did not find a schedule".into());
+    }
+
+    Ok(Table3Row {
+        name: workload.name.to_owned(),
+        worst_log10: worst_case_schedules_log10(&system),
+        generated: stats.generated,
+        cs_bound: stats.cs_bound,
+        good: stats.good,
+        found,
+        par_time,
+        seq_time,
+    })
+}
+
+/// Formats a `Duration` compactly for table cells.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_for_smallest_workload() {
+        let w = clap_workloads::by_name("sim_race").unwrap();
+        let row = table1_row(&w).unwrap();
+        assert!(row.success);
+        assert_eq!(row.threads, 5);
+        assert!(row.constraints > 0);
+    }
+
+    #[test]
+    fn table2_row_measures_overheads() {
+        let w = clap_workloads::by_name("pfscan").unwrap();
+        let row = table2_row(&w, 5);
+        assert!(row.leap_bytes > row.clap_bytes, "CLAP logs are smaller");
+        assert!(row.space_reduction_pct() > 0.0);
+    }
+
+    #[test]
+    fn table3_row_for_smallest_workload() {
+        let w = clap_workloads::by_name("dekker").unwrap();
+        let row = table3_row(&w).unwrap();
+        assert!(row.good >= 1);
+        assert!(row.worst_log10 > 1.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.5ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+    }
+}

@@ -1,0 +1,214 @@
+//! `clap-reproduce` — the command-line front end of the CLAP reproduction.
+//!
+//! ```text
+//! clap-reproduce check     prog.clap                    parse + check, print summary
+//! clap-reproduce dump      prog.clap                    pretty-print the lowered CFG
+//! clap-reproduce run       prog.clap [--model M] [--seed N] [--stickiness S]
+//! clap-reproduce explore   prog.clap [--model M] [--budget N]
+//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--parallel] [--sync-order]
+//! ```
+//!
+//! `M` is one of `sc` (default), `tso`, `pso`.
+
+use clap_core::{Pipeline, PipelineConfig, SolverChoice};
+use clap_parallel::ParallelConfig;
+use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  clap-reproduce check     <prog.clap>
+  clap-reproduce dump      <prog.clap>
+  clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
+  clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N]
+  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--parallel] [--sync-order]";
+
+struct Options {
+    file: String,
+    model: MemModel,
+    seed: u64,
+    stickiness: f64,
+    budget: u64,
+    parallel: bool,
+    sync_order: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        file: String::new(),
+        model: MemModel::Sc,
+        seed: 0,
+        stickiness: 0.7,
+        budget: 20_000,
+        parallel: false,
+        sync_order: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                let v = it.next().ok_or("--model needs a value")?;
+                options.model = match v.as_str() {
+                    "sc" => MemModel::Sc,
+                    "tso" => MemModel::Tso,
+                    "pso" => MemModel::Pso,
+                    other => return Err(format!("unknown memory model `{other}`")),
+                };
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--stickiness" => {
+                let v = it.next().ok_or("--stickiness needs a value")?;
+                options.stickiness = v.parse().map_err(|_| format!("bad stickiness `{v}`"))?;
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                options.budget = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+            }
+            "--parallel" => options.parallel = true,
+            "--sync-order" => options.sync_order = true,
+            other if !other.starts_with("--") && options.file.is_empty() => {
+                options.file = other.to_owned();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if options.file.is_empty() {
+        return Err("missing program file".into());
+    }
+    Ok(options)
+}
+
+fn load(file: &str) -> Result<clap_ir::Program, String> {
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    clap_ir::parse(&source).map_err(|e| format!("{file}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let options = parse_options(rest)?;
+    let program = load(&options.file)?;
+    match command.as_str() {
+        "check" => {
+            println!(
+                "{}: ok — {} function(s), {} global(s), {} mutex(es), {} cond(s), {} assert site(s)",
+                options.file,
+                program.functions.len(),
+                program.globals.len(),
+                program.mutexes.len(),
+                program.conds.len(),
+                program.asserts.len()
+            );
+            let sharing = clap_analysis_summary(&program);
+            println!("{sharing}");
+            Ok(())
+        }
+        "dump" => {
+            print!("{}", clap_ir::pretty::program_to_string(&program));
+            Ok(())
+        }
+        "run" => {
+            let mut vm = Vm::new(&program, options.model);
+            let mut sched = RandomScheduler::with_stickiness(options.seed, options.stickiness);
+            let outcome = vm.run(&mut sched, &mut NullMonitor);
+            let stats = vm.stats();
+            println!("outcome: {outcome:?}");
+            println!(
+                "stats: {} instructions, {} branches, {} SAPs, {} threads",
+                stats.instructions, stats.branches, stats.saps, stats.threads
+            );
+            for (i, g) in program.globals.iter().enumerate() {
+                if g.len.is_none() {
+                    println!(
+                        "  {} = {}",
+                        g.name,
+                        vm.read_global(clap_ir::GlobalId(i as u32), 0)
+                    );
+                }
+            }
+            Ok(())
+        }
+        "explore" => {
+            for stick in [0.9, 0.7, 0.5, 0.3] {
+                for seed in 0..options.budget {
+                    let mut vm = Vm::new(&program, options.model);
+                    vm.set_step_limit(2_000_000);
+                    let mut sched = RandomScheduler::with_stickiness(seed, stick);
+                    let outcome = vm.run(&mut sched, &mut NullMonitor);
+                    if let clap_vm::Outcome::AssertFailed { assert, .. } = outcome {
+                        println!(
+                            "failure: seed {seed} (stickiness {stick}) violates assert {} ({:?})",
+                            assert.0, program.asserts[assert.index()].message
+                        );
+                        return Ok(());
+                    }
+                }
+            }
+            println!("no failure within the budget");
+            Ok(())
+        }
+        "reproduce" => {
+            let pipeline = Pipeline::new(program);
+            let mut config = PipelineConfig::new(options.model);
+            config.seed_budget = options.budget;
+            if options.parallel {
+                config.solver = SolverChoice::Parallel(ParallelConfig::default());
+            }
+            config.record_sync_order = options.sync_order;
+            let recorded = pipeline.record_failure(&config).map_err(|e| e.to_string())?;
+            let trace = pipeline.symbolic_trace(&recorded).map_err(|e| e.to_string())?;
+            let report =
+                pipeline.reproduce_from(&config, &recorded).map_err(|e| e.to_string())?;
+            println!("reproduced: {}", report.reproduced);
+            println!(
+                "trace: {} threads, {} instructions, {} branches, {} SAPs",
+                report.threads, report.instructions, report.branches, report.saps
+            );
+            println!(
+                "constraints: {} clauses / {} variables; path log {} bytes",
+                report.constraints.total_clauses(),
+                report.constraints.total_vars(),
+                report.log_bytes
+            );
+            println!(
+                "times: symbolic {:?}, solve {:?}; schedule has {} preemptive switches",
+                report.time_symbolic, report.time_solve, report.context_switches
+            );
+            println!("schedule (thread per position):");
+            println!("  {}", report.schedule.thread_letters(&trace));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn clap_analysis_summary(program: &clap_ir::Program) -> String {
+    // Avoid a hard dependency cycle: summarize sharing via clap-core's
+    // pipeline construction.
+    let pipeline = Pipeline::new(program.clone());
+    let shared: Vec<&str> = program
+        .globals
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| pipeline.sharing().is_shared(clap_ir::GlobalId(*i as u32)))
+        .map(|(_, g)| g.name.as_str())
+        .collect();
+    format!("shared variables: {{{}}}", shared.join(", "))
+}

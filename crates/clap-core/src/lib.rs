@@ -1,0 +1,499 @@
+//! The end-to-end CLAP pipeline: **record → decode → symbolically execute
+//! → constrain → solve → replay**, as one library call.
+//!
+//! This is the facade a downstream user adopts: feed it a program (or DSL
+//! source) whose assert can fail under some interleaving, and get back a
+//! [`ReproductionReport`] containing the bug-reproducing schedule, its
+//! witness values, the constraint-system statistics (Table 1 columns) and
+//! per-phase timings.
+//!
+//! # Example
+//!
+//! ```
+//! use clap_core::{Pipeline, PipelineConfig};
+//! use clap_vm::MemModel;
+//!
+//! let pipeline = Pipeline::from_source(
+//!     "global int x = 0;
+//!      fn w() { let v: int = x; yield; x = v + 1; }
+//!      fn main() { let a: thread = fork w(); let b: thread = fork w();
+//!                  join a; join b; assert(x == 2, \"lost update\"); }",
+//! )?;
+//! let report = pipeline.reproduce(&PipelineConfig::new(MemModel::Sc))?;
+//! assert!(report.reproduced);
+//! assert!(report.context_switches <= 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use clap_analysis::{analyze, SharingAnalysis};
+use clap_constraints::{count, ConstraintStats, ConstraintSystem, Schedule, Witness};
+use clap_ir::{AssertId, Program};
+use clap_parallel::{solve_parallel, ParallelConfig, ParallelOutcome};
+use clap_profile::{decode_log, BlTables, DecodeError, PathLog, PathRecorder, SyncOrderLog, SyncOrderRecorder};
+use clap_replay::{replay, ReplayError, ReplayReport};
+use clap_solver::{solve, SolveOutcome, SolverConfig};
+use clap_symex::{execute, FailureContext, SymTrace, SymexError};
+use clap_vm::{ExecStats, MemModel, Outcome, RandomScheduler, Vm};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which offline solver reconstructs the schedule.
+#[derive(Debug, Clone, Copy)]
+pub enum SolverChoice {
+    /// The sequential DPLL(T)-style search ([`clap_solver`]).
+    Sequential(SolverConfig),
+    /// The §4.3 parallel generate-and-validate engine
+    /// ([`clap_parallel`]); finds minimal-context-switch schedules.
+    Parallel(ParallelConfig),
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Memory model of the production run (and the replay).
+    pub model: MemModel,
+    /// Seeds to sweep per stickiness when hunting the failure.
+    pub seed_budget: u64,
+    /// Random-scheduler stickiness values to sweep.
+    pub stickiness: Vec<f64>,
+    /// Step limit per exploration run.
+    pub step_limit: u64,
+    /// The offline solver.
+    pub solver: SolverChoice,
+    /// Also record the global synchronization order (§6.4 variant): pays
+    /// a little recording synchronization to collapse the locking and
+    /// wait/signal constraints into hard edges.
+    pub record_sync_order: bool,
+}
+
+impl PipelineConfig {
+    /// A sensible default configuration for `model` using the sequential
+    /// solver.
+    pub fn new(model: MemModel) -> Self {
+        PipelineConfig {
+            model,
+            seed_budget: 20_000,
+            stickiness: vec![0.9, 0.7, 0.5, 0.3],
+            step_limit: 2_000_000,
+            solver: SolverChoice::Sequential(SolverConfig::default()),
+            record_sync_order: false,
+        }
+    }
+
+    /// Enables §6.4 synchronization-order recording.
+    pub fn with_sync_order_recording(mut self) -> Self {
+        self.record_sync_order = true;
+        self
+    }
+
+    /// Switches to the parallel generate-and-validate solver.
+    pub fn with_parallel_solver(mut self, config: ParallelConfig) -> Self {
+        self.solver = SolverChoice::Parallel(config);
+        self
+    }
+
+    /// Overrides the exploration budget.
+    pub fn with_seed_budget(mut self, budget: u64) -> Self {
+        self.seed_budget = budget;
+        self
+    }
+}
+
+/// Pipeline failures.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The DSL source did not parse/check.
+    Frontend(clap_ir::Error),
+    /// No explored seed manifested a failure.
+    NoFailureFound,
+    /// The recorded log did not decode against the program.
+    Decode(DecodeError),
+    /// Symbolic execution rejected the trace.
+    Symex(SymexError),
+    /// The constraints are unsatisfiable (should not happen for a
+    /// recorded failure — it indicates a modeling gap).
+    Unsat,
+    /// The solver ran out of budget.
+    SolverBudget,
+    /// The computed schedule did not replay.
+    Replay(ReplayError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "front end: {e}"),
+            PipelineError::NoFailureFound => write!(f, "no failing interleaving found"),
+            PipelineError::Decode(e) => write!(f, "log decoding: {e}"),
+            PipelineError::Symex(e) => write!(f, "symbolic execution: {e}"),
+            PipelineError::Unsat => write!(f, "constraints unsatisfiable"),
+            PipelineError::SolverBudget => write!(f, "solver budget exhausted"),
+            PipelineError::Replay(e) => write!(f, "replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A recorded failing execution: what CLAP ships out of production.
+#[derive(Debug)]
+pub struct RecordedFailure {
+    /// The seed/stickiness that triggered it (exploration detail, not
+    /// part of the paper's artifact).
+    pub seed: u64,
+    /// Stickiness used.
+    pub stickiness: f64,
+    /// The thread-local path log.
+    pub log: PathLog,
+    /// The crash context.
+    pub failure: FailureContext,
+    /// The failing assert site.
+    pub assert: AssertId,
+    /// Execution statistics of the recorded run.
+    pub stats: ExecStats,
+    /// The synchronization-order log, when §6.4 recording was enabled.
+    pub sync_order: Option<SyncOrderLog>,
+}
+
+/// The end-to-end result.
+#[derive(Debug)]
+pub struct ReproductionReport {
+    /// Threads in the recorded execution.
+    pub threads: usize,
+    /// Shared variables found by the static analysis (`#SV`).
+    pub shared_vars: usize,
+    /// Instructions executed in the recorded run (`#Inst`).
+    pub instructions: u64,
+    /// Conditional branches executed (`#Br`).
+    pub branches: u64,
+    /// Shared access points in the trace (`#SAPs`).
+    pub saps: usize,
+    /// Constraint-system size (`#Constraints`, `#Variables`).
+    pub constraints: ConstraintStats,
+    /// Path-log size in bytes (Table 2 space column).
+    pub log_bytes: usize,
+    /// Time spent decoding + symbolically executing + building
+    /// constraints (`Time-symbolic`).
+    pub time_symbolic: Duration,
+    /// Time spent solving (`Time-solve`).
+    pub time_solve: Duration,
+    /// Preemptive context switches of the computed schedule (`#cs`).
+    pub context_switches: usize,
+    /// The computed schedule.
+    pub schedule: Schedule,
+    /// Concrete witness (values + reads-from).
+    pub witness: Witness,
+    /// The replay verification.
+    pub replay: ReplayReport,
+    /// `true` when replay fired the recorded assert.
+    pub reproduced: bool,
+    /// The failing seed the recording phase used.
+    pub seed: u64,
+}
+
+/// A prepared pipeline over one program.
+#[derive(Debug)]
+pub struct Pipeline {
+    program: Program,
+    sharing: SharingAnalysis,
+    tables: BlTables,
+}
+
+impl Pipeline {
+    /// Builds the pipeline from a lowered program.
+    pub fn new(program: Program) -> Self {
+        let sharing = analyze(&program);
+        let tables = BlTables::build(&program);
+        Pipeline { program, sharing, tables }
+    }
+
+    /// Builds the pipeline from DSL source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Frontend`] on parse/check errors.
+    pub fn from_source(source: &str) -> Result<Self, PipelineError> {
+        let program = clap_ir::parse(source).map_err(PipelineError::Frontend)?;
+        Ok(Pipeline::new(program))
+    }
+
+    /// The lowered program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The sharing analysis result.
+    pub fn sharing(&self) -> &SharingAnalysis {
+        &self.sharing
+    }
+
+    /// Phase 1: explores seeded schedules *with the CLAP recorder
+    /// attached* until an assert fails, returning the recorded artifact.
+    ///
+    /// Several failing runs (up to 25) are collected and the one with the
+    /// fewest shared access points is kept: for store-buffer bugs the
+    /// cleanest failing run is near-sequential with delayed drains, and a
+    /// small trace is what keeps the offline search tractable (the paper
+    /// triggers failures with carefully placed timing delays, which has
+    /// the same minimal-perturbation effect).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoFailureFound`] when the budget is exhausted.
+    pub fn record_failure(
+        &self,
+        config: &PipelineConfig,
+    ) -> Result<RecordedFailure, PipelineError> {
+        const CANDIDATES: usize = 25;
+        let mut best: Option<RecordedFailure> = None;
+        let mut found = 0usize;
+        'sweep: for &stick in &config.stickiness {
+            for seed in 0..config.seed_budget {
+                let mut vm =
+                    Vm::with_shared(&self.program, config.model, self.sharing.shared_spec());
+                vm.set_step_limit(config.step_limit);
+                let mut recorder = PathRecorder::new(&self.tables);
+                let mut sync_recorder =
+                    config.record_sync_order.then(SyncOrderRecorder::new);
+                let mut sched = RandomScheduler::with_stickiness(seed, stick);
+                let outcome = match sync_recorder.as_mut() {
+                    Some(sync) => {
+                        let mut multi = clap_vm::MultiMonitor::new();
+                        multi.push(&mut recorder);
+                        multi.push(sync);
+                        vm.run(&mut sched, &mut multi)
+                    }
+                    None => vm.run(&mut sched, &mut recorder),
+                };
+                if let Outcome::AssertFailed { assert, .. } = outcome {
+                    let failure = FailureContext::from_vm(&vm);
+                    let candidate = RecordedFailure {
+                        seed,
+                        stickiness: stick,
+                        log: recorder.finish(),
+                        failure,
+                        assert,
+                        stats: *vm.stats(),
+                        sync_order: sync_recorder.map(SyncOrderRecorder::finish),
+                    };
+                    let better =
+                        best.as_ref().map(|b| candidate.stats.saps < b.stats.saps).unwrap_or(true);
+                    if better {
+                        best = Some(candidate);
+                    }
+                    found += 1;
+                    if found >= CANDIDATES {
+                        break 'sweep;
+                    }
+                }
+            }
+            if best.is_some() {
+                // Do not move on to more chaotic stickiness values once a
+                // failure exists at the current one.
+                break;
+            }
+        }
+        best.ok_or(PipelineError::NoFailureFound)
+    }
+
+    /// Phase 2a: decodes the log and symbolically executes the paths.
+    ///
+    /// # Errors
+    ///
+    /// Decoding or symbolic-execution mismatches (corrupt artifacts).
+    pub fn symbolic_trace(&self, recorded: &RecordedFailure) -> Result<SymTrace, PipelineError> {
+        let paths = decode_log(&self.program, &self.tables, &recorded.log)
+            .map_err(PipelineError::Decode)?;
+        execute(&self.program, &self.sharing.shared_spec(), &paths, &recorded.failure)
+            .map_err(PipelineError::Symex)
+    }
+
+    /// Phase 2b+3: builds constraints, solves, and replays. The full
+    /// offline side given a recorded failure.
+    ///
+    /// # Errors
+    ///
+    /// Solver/replay failures as the respective [`PipelineError`]s.
+    pub fn reproduce_from(
+        &self,
+        config: &PipelineConfig,
+        recorded: &RecordedFailure,
+    ) -> Result<ReproductionReport, PipelineError> {
+        let t0 = Instant::now();
+        let trace = self.symbolic_trace(recorded)?;
+        let mut system = ConstraintSystem::build(&self.program, &trace, config.model);
+        if let Some(sync_order) = &recorded.sync_order {
+            system
+                .apply_sync_order(sync_order)
+                .map_err(|e| PipelineError::Symex(clap_symex::SymexError(e.to_string())))?;
+        }
+        let system = system;
+        let stats = count(&system);
+        let time_symbolic = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (schedule, witness) = match &config.solver {
+            SolverChoice::Sequential(solver_config) => {
+                match solve(&self.program, &system, *solver_config) {
+                    SolveOutcome::Sat(solution) => (solution.schedule, solution.witness),
+                    SolveOutcome::Unsat(_) => return Err(PipelineError::Unsat),
+                    SolveOutcome::Timeout(_) => return Err(PipelineError::SolverBudget),
+                }
+            }
+            SolverChoice::Parallel(parallel_config) => {
+                match solve_parallel(&self.program, &system, *parallel_config) {
+                    ParallelOutcome::Found { schedule, witness, .. } => (schedule, witness),
+                    ParallelOutcome::Exhausted(_) => return Err(PipelineError::Unsat),
+                    ParallelOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
+                }
+            }
+        };
+        let time_solve = t1.elapsed();
+
+        let replay_report = replay(
+            &self.program,
+            config.model,
+            self.sharing.shared_spec(),
+            &trace,
+            &schedule,
+            recorded.assert,
+        )
+        .map_err(PipelineError::Replay)?;
+
+        let context_switches = schedule.context_switches(&trace);
+        Ok(ReproductionReport {
+            threads: trace.thread_count(),
+            shared_vars: self.sharing.shared_count(),
+            instructions: recorded.stats.instructions,
+            branches: recorded.stats.branches,
+            saps: trace.sap_count(),
+            constraints: stats,
+            log_bytes: recorded.log.size_bytes(),
+            time_symbolic,
+            time_solve,
+            context_switches,
+            schedule,
+            witness,
+            reproduced: replay_report.reproduced,
+            replay: replay_report,
+            seed: recorded.seed,
+        })
+    }
+
+    /// The whole pipeline in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any phase's [`PipelineError`].
+    pub fn reproduce(&self, config: &PipelineConfig) -> Result<ReproductionReport, PipelineError> {
+        let recorded = self.record_failure(config)?;
+        self.reproduce_from(config, &recorded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOST_UPDATE: &str = "global int x = 0;
+         fn w() { let v: int = x; yield; x = v + 1; }
+         fn main() { let a: thread = fork w(); let b: thread = fork w();
+                     join a; join b; assert(x == 2, \"lost\"); }";
+
+    #[test]
+    fn end_to_end_sequential() {
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let report = pipeline.reproduce(&PipelineConfig::new(MemModel::Sc)).unwrap();
+        assert!(report.reproduced);
+        assert_eq!(report.threads, 3);
+        assert_eq!(report.shared_vars, 1);
+        assert!(report.saps >= 9);
+        assert!(report.constraints.total_clauses() > 0);
+        assert!(report.log_bytes > 0);
+    }
+
+    #[test]
+    fn end_to_end_parallel_gets_minimal_cs() {
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc)
+            .with_parallel_solver(ParallelConfig::default());
+        let report = pipeline.reproduce(&config).unwrap();
+        assert!(report.reproduced);
+        assert_eq!(report.context_switches, 1, "minimal preemption count");
+    }
+
+    #[test]
+    fn pso_pipeline_round_trips() {
+        let pipeline = Pipeline::from_source(
+            "global int data = 0; global int flag = 0; global int seen = -1;
+             fn writer() { data = 1; flag = 1; }
+             fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+             fn main() {
+                 let w: thread = fork writer(); let r: thread = fork reader();
+                 join w; join r;
+                 assert(seen != 0, \"MP\");
+             }",
+        )
+        .unwrap();
+        let mut config = PipelineConfig::new(MemModel::Pso);
+        config.stickiness = vec![0.5, 0.3, 0.7];
+        let report = pipeline.reproduce(&config).unwrap();
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn no_failure_reported_for_correct_program() {
+        let pipeline = Pipeline::from_source(
+            "global int x = 0; mutex m;
+             fn w() { lock(m); x = x + 1; unlock(m); }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2); }",
+        )
+        .unwrap();
+        let config = PipelineConfig::new(MemModel::Sc).with_seed_budget(50);
+        assert!(matches!(
+            pipeline.reproduce(&config),
+            Err(PipelineError::NoFailureFound)
+        ));
+    }
+
+    #[test]
+    fn sync_order_recording_round_trips() {
+        // §6.4 variant: same bug, sync order recorded; the pipeline must
+        // still reproduce, and the recorded orders must appear as extra
+        // hard edges in the constraint system.
+        let src = "global int x = 0; mutex m;
+             fn w() { lock(m); let v: int = x; unlock(m); yield; lock(m); x = v + 1; unlock(m); }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }";
+        let pipeline = Pipeline::from_source(src).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc).with_sync_order_recording();
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let sync = recorded.sync_order.as_ref().expect("sync order recorded");
+        assert!(sync.event_count() >= 8, "4 critical sections = 8 mutex events");
+        let report = pipeline.reproduce_from(&config, &recorded).unwrap();
+        assert!(report.reproduced);
+
+        // The sync-order chains are extra hard edges vs the plain system.
+        let trace = pipeline.symbolic_trace(&recorded).unwrap();
+        let plain = ConstraintSystem::build(pipeline.program(), &trace, MemModel::Sc);
+        let mut chained = plain.clone();
+        let added = chained.apply_sync_order(sync).unwrap();
+        assert!(added > 0);
+        assert_eq!(chained.hard_edges.len(), plain.hard_edges.len() + added);
+    }
+
+    #[test]
+    fn recorded_artifact_is_reusable() {
+        // One recording, two solves (both solvers agree).
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc);
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let seq = pipeline.reproduce_from(&config, &recorded).unwrap();
+        let par_config =
+            PipelineConfig::new(MemModel::Sc).with_parallel_solver(ParallelConfig::default());
+        let par = pipeline.reproduce_from(&par_config, &recorded).unwrap();
+        assert!(seq.reproduced && par.reproduced);
+        assert_eq!(seq.saps, par.saps);
+    }
+}

@@ -1,0 +1,396 @@
+//! Surface-syntax AST produced by the parser.
+//!
+//! The AST mirrors the DSL grammar; names are unresolved strings. The
+//! semantic checker ([`crate::sema`]) validates it and the lowering pass
+//! ([`crate::lower`]) turns it into the CFG-level [`crate::Program`].
+
+use crate::error::Span;
+
+/// The type of a DSL value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer (wrapping arithmetic).
+    Int,
+    /// Boolean.
+    Bool,
+    /// Opaque thread handle returned by `fork`.
+    Thread,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Thread => write!(f, "thread"),
+        }
+    }
+}
+
+/// A whole compilation unit: declarations plus functions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Global variable declarations in source order.
+    pub globals: Vec<GlobalAst>,
+    /// Mutex declarations in source order.
+    pub mutexes: Vec<NamedDecl>,
+    /// Condition-variable declarations in source order.
+    pub conds: Vec<NamedDecl>,
+    /// Function definitions in source order.
+    pub functions: Vec<FunctionAst>,
+}
+
+/// A `global int name = init;` or `global int name[len];` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalAst {
+    /// Variable name.
+    pub name: String,
+    /// Array length, or `None` for a scalar.
+    pub len: Option<usize>,
+    /// Initial value for scalars (arrays are zero-initialized).
+    pub init: i64,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A `mutex m;` or `cond c;` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedDecl {
+    /// Object name.
+    pub name: String,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionAst {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Definition site.
+    pub span: Span,
+}
+
+/// A place an assignment can target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable (local or global).
+    Var(String),
+    /// An indexed global array element.
+    Index(String, Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name: ty = expr;`
+    Let {
+        /// Local variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer; for `thread` locals this must be a `fork`.
+        init: LetInit,
+        /// Statement site.
+        span: Span,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// Statement site.
+        span: Span,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Statement site.
+        span: Span,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Statement site.
+        span: Span,
+    },
+    /// `lock(m);`
+    Lock {
+        /// Mutex name.
+        mutex: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `unlock(m);`
+    Unlock {
+        /// Mutex name.
+        mutex: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `join handle;`
+    Join {
+        /// Thread-handle expression (a local of type `thread`).
+        handle: Expr,
+        /// Statement site.
+        span: Span,
+    },
+    /// `wait(c, m);` — releases `m`, blocks on `c`, reacquires `m`.
+    Wait {
+        /// Condition-variable name.
+        cond: String,
+        /// Mutex name.
+        mutex: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `signal(c);`
+    Signal {
+        /// Condition-variable name.
+        cond: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `broadcast(c);`
+    Broadcast {
+        /// Condition-variable name.
+        cond: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `yield;`
+    Yield {
+        /// Statement site.
+        span: Span,
+    },
+    /// `assert(expr, "message");`
+    Assert {
+        /// Property that must hold.
+        cond: Expr,
+        /// Failure message (the bug label).
+        message: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `return expr?;`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Statement site.
+        span: Span,
+    },
+    /// `f(args);`, `x = f(args);`, or `a[i] = f(args);` — a direct call
+    /// statement.
+    Call {
+        /// Destination place, if the result is used.
+        dst: Option<LValue>,
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Statement site.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source location of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Lock { span, .. }
+            | Stmt::Unlock { span, .. }
+            | Stmt::Join { span, .. }
+            | Stmt::Wait { span, .. }
+            | Stmt::Signal { span, .. }
+            | Stmt::Broadcast { span, .. }
+            | Stmt::Yield { span }
+            | Stmt::Assert { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Call { span, .. } => *span,
+        }
+    }
+}
+
+/// The initializer of a `let` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LetInit {
+    /// A plain expression.
+    Expr(Expr),
+    /// `fork f(args)` — spawns a thread running `f`.
+    Fork {
+        /// Callee name.
+        func: String,
+        /// Arguments passed to the new thread's entry function.
+        args: Vec<Expr>,
+    },
+    /// `f(args)` as an initializer — a call whose result seeds the local.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Binary operators. `And`/`Or` evaluate both operands (no short circuit);
+/// this keeps lowering branch-free, which keeps Ball–Larus paths aligned
+/// with source-level branches only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (wrapping)
+    Add,
+    /// `-` (wrapping)
+    Sub,
+    /// `*` (wrapping)
+    Mul,
+    /// `/` (wrapping; division by zero yields 0, like a benign trap)
+    Div,
+    /// `%` (division by zero yields 0)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (eager)
+    And,
+    /// `||` (eager)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<` (masked to 0..63)
+    Shl,
+    /// `>>` (arithmetic, masked to 0..63)
+    Shr,
+}
+
+impl BinOp {
+    /// `true` if the operator produces a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// `true` if the operator combines booleans.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable reference (local or global scalar).
+    Var(String, Span),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>, Span),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The source location of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Var(_, s)
+            | Expr::Index(_, _, s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s) => *s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Lt.is_logical());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Thread.to_string(), "thread");
+    }
+
+    #[test]
+    fn stmt_span_accessor() {
+        let s = Stmt::Yield { span: Span::new(4, 2) };
+        assert_eq!(s.span(), Span::new(4, 2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Programmatic construction of CFG-level programs, bypassing the DSL.
+//!
+//! Useful for tests (e.g. property tests over arbitrary CFG shapes) and for
+//! tools that synthesize programs. The builder performs no semantic checks
+//! beyond id validity; it is a thin, convenient layer over
+//! [`crate::program`].
+//!
+//! # Example
+//!
+//! ```
+//! use clap_ir::builder::ProgramBuilder;
+//! use clap_ir::{Instr, Operand, Terminator};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let x = pb.global_scalar("x", 0);
+//! let mut f = pb.function("main", 0);
+//! let entry = f.new_block();
+//! f.select(entry);
+//! let tmp = f.local("tmp");
+//! f.push(Instr::Load { dst: tmp, global: x, index: None });
+//! f.push(Instr::Store { global: x, index: None, src: Operand::Local(tmp) });
+//! f.terminate(Terminator::Return(None));
+//! let main = pb.finish_function(f);
+//! let program = pb.finish(main);
+//! assert_eq!(program.instr_count(), 2);
+//! ```
+
+use crate::error::Span;
+use crate::program::*;
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    globals: Vec<GlobalDecl>,
+    mutexes: Vec<String>,
+    conds: Vec<String>,
+    functions: Vec<Function>,
+    asserts: Vec<AssertInfo>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a scalar global with an initial value.
+    pub fn global_scalar(&mut self, name: &str, init: i64) -> GlobalId {
+        self.globals.push(GlobalDecl { name: name.to_owned(), len: None, init });
+        GlobalId::from(self.globals.len() - 1)
+    }
+
+    /// Declares a zero-initialized array global.
+    pub fn global_array(&mut self, name: &str, len: usize) -> GlobalId {
+        self.globals.push(GlobalDecl { name: name.to_owned(), len: Some(len), init: 0 });
+        GlobalId::from(self.globals.len() - 1)
+    }
+
+    /// Declares a mutex.
+    pub fn mutex(&mut self, name: &str) -> MutexId {
+        self.mutexes.push(name.to_owned());
+        MutexId::from(self.mutexes.len() - 1)
+    }
+
+    /// Declares a condition variable.
+    pub fn cond(&mut self, name: &str) -> CondId {
+        self.conds.push(name.to_owned());
+        CondId::from(self.conds.len() - 1)
+    }
+
+    /// Reserves the id the *next* [`ProgramBuilder::finish_function`] call
+    /// will assign — lets mutually-recursive functions reference each other.
+    pub fn next_func_id(&self) -> FuncId {
+        FuncId::from(self.functions.len())
+    }
+
+    /// Starts building a function with `param_count` parameters (occupying
+    /// the first local slots, named `p0..`).
+    pub fn function(&mut self, name: &str, param_count: usize) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.to_owned(),
+            param_count,
+            locals: (0..param_count).map(|i| format!("p{i}")).collect(),
+            blocks: Vec::new(),
+            cur: BlockId(0),
+        }
+    }
+
+    /// Registers an assert site and returns its id, for use in
+    /// [`Instr::Assert`].
+    pub fn assert_site(&mut self, func: FuncId, message: &str) -> AssertId {
+        self.asserts.push(AssertInfo {
+            message: message.to_owned(),
+            span: Span::unknown(),
+            func,
+        });
+        AssertId::from(self.asserts.len() - 1)
+    }
+
+    /// Finishes a function and adds it to the program, returning its id.
+    pub fn finish_function(&mut self, fb: FunctionBuilder) -> FuncId {
+        self.functions.push(Function {
+            name: fb.name,
+            param_count: fb.param_count,
+            locals: fb.locals,
+            blocks: fb.blocks,
+            entry: BlockId(0),
+        });
+        FuncId::from(self.functions.len() - 1)
+    }
+
+    /// Finishes the program with the given entry function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `main` is out of range.
+    pub fn finish(self, main: FuncId) -> Program {
+        assert!(main.index() < self.functions.len(), "main function out of range");
+        Program {
+            globals: self.globals,
+            mutexes: self.mutexes,
+            conds: self.conds,
+            functions: self.functions,
+            main,
+            asserts: self.asserts,
+        }
+    }
+}
+
+/// Builds one function's CFG. Blocks start terminated by `Return(None)`;
+/// use [`FunctionBuilder::terminate`] to replace the terminator.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    param_count: usize,
+    locals: Vec<String>,
+    blocks: Vec<Block>,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Allocates a new local slot.
+    pub fn local(&mut self, name: &str) -> LocalId {
+        self.locals.push(name.to_owned());
+        LocalId::from(self.locals.len() - 1)
+    }
+
+    /// Creates a new empty block (terminated by `Return(None)` by default)
+    /// and returns its id. The first block created is the entry.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { instrs: Vec::new(), term: Terminator::Return(None) });
+        BlockId::from(self.blocks.len() - 1)
+    }
+
+    /// Makes `block` the target of subsequent [`FunctionBuilder::push`] /
+    /// [`FunctionBuilder::terminate`] calls.
+    pub fn select(&mut self, block: BlockId) {
+        assert!(block.index() < self.blocks.len(), "block out of range");
+        self.cur = block;
+    }
+
+    /// Appends an instruction to the selected block.
+    pub fn push(&mut self, instr: Instr) {
+        self.blocks[self.cur.index()].instrs.push(instr);
+    }
+
+    /// Sets the selected block's terminator.
+    pub fn terminate(&mut self, term: Terminator) {
+        self.blocks[self.cur.index()].term = term;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    #[test]
+    fn builds_branching_function() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.global_scalar("x", 5);
+        let mut f = pb.function("main", 0);
+        let entry = f.new_block();
+        let t = f.new_block();
+        let e = f.new_block();
+        f.select(entry);
+        let v = f.local("v");
+        let c = f.local("c");
+        f.push(Instr::Load { dst: v, global: x, index: None });
+        f.push(Instr::Assign {
+            dst: c,
+            rv: Rvalue::Binary(BinOp::Gt, Operand::Local(v), Operand::Const(0)),
+        });
+        f.terminate(Terminator::Branch { cond: Operand::Local(c), then_bb: t, else_bb: e });
+        let main = pb.finish_function(f);
+        let p = pb.finish(main);
+        assert_eq!(p.function(p.main).branch_count(), 1);
+        assert_eq!(p.globals[x.index()].init, 5);
+    }
+
+    #[test]
+    fn assert_sites_registered() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.new_block();
+        let main_id = pb.next_func_id();
+        let a = pb.assert_site(main_id, "boom");
+        f.select(BlockId(0));
+        f.push(Instr::Assert { cond: Operand::Const(0), id: a });
+        let main = pb.finish_function(f);
+        let p = pb.finish(main);
+        assert_eq!(p.asserts[a.index()].message, "boom");
+    }
+
+    #[test]
+    #[should_panic(expected = "main function out of range")]
+    fn finish_validates_main() {
+        ProgramBuilder::new().finish(FuncId(3));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types shared by the front end (lexer, parser, semantic checker).
+
+use std::fmt;
+
+/// A `Result` specialized to front-end [`Error`]s.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A position in DSL source text, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+    /// 1-based column number; 0 means "unknown".
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// The span used for synthesized nodes with no source position.
+    pub fn unknown() -> Self {
+        Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// An error produced while turning DSL source into a [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A lexical or syntactic error.
+    Parse {
+        /// Where the problem was detected.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A semantic error (name resolution, typing, structural rules).
+    Sema {
+        /// Where the problem was detected.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Error {
+    pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
+        Error::Parse { span, message: message.into() }
+    }
+
+    pub(crate) fn sema(span: Span, message: impl Into<String>) -> Self {
+        Error::Sema { span, message: message.into() }
+    }
+
+    /// The source location the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            Error::Parse { span, .. } | Error::Sema { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            Error::Sema { span, message } => write!(f, "semantic error at {span}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display_known_and_unknown() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::unknown().to_string(), "<unknown>");
+    }
+
+    #[test]
+    fn error_display_includes_location() {
+        let err = Error::parse(Span::new(2, 5), "unexpected token");
+        assert_eq!(err.to_string(), "parse error at 2:5: unexpected token");
+        let err = Error::sema(Span::new(1, 1), "unknown variable `q`");
+        assert!(err.to_string().contains("semantic error"));
+        assert_eq!(err.span(), Span::new(1, 1));
+    }
+}

@@ -1,0 +1,344 @@
+//! A hand-rolled lexer for the DSL.
+//!
+//! Supports `//` line comments and `/* */` block comments, decimal and
+//! hexadecimal (`0x`) integer literals, string literals with `\"`/`\\`/`\n`
+//! escapes, and the operator set in [`crate::token::TokenKind`].
+
+use crate::error::{Error, Result, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes the full source into tokens, ending with a [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on unterminated comments/strings, malformed
+/// numbers, or characters outside the language's alphabet.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source: std::marker::PhantomData,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, span });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.number(span)?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.ident()
+            } else if c == '"' {
+                self.string(span)?
+            } else {
+                self.operator(span)?
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(Error::parse(start, "unterminated block comment"));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind> {
+        let mut text = String::new();
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits: String = text.chars().filter(|&c| c != '_').collect();
+            if digits.is_empty() {
+                return Err(Error::parse(span, "hexadecimal literal with no digits"));
+            }
+            // Accept the full u64 range so bit-pattern constants work; the
+            // value wraps into i64 like a C cast would.
+            let value = u64::from_str_radix(&digits, 16)
+                .map_err(|_| Error::parse(span, "hexadecimal literal out of range"))?;
+            return Ok(TokenKind::Int(value as i64));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let digits: String = text.chars().filter(|&c| c != '_').collect();
+        let value: i64 = digits
+            .parse()
+            .map_err(|_| Error::parse(span, format!("integer literal `{digits}` out of range")))?;
+        Ok(TokenKind::Int(value))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text))
+    }
+
+    fn string(&mut self, span: Span) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(Error::parse(span, "unterminated string literal")),
+                Some('"') => return Ok(TokenKind::Str(text)),
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('"') => text.push('"'),
+                    Some('\\') => text.push('\\'),
+                    other => {
+                        return Err(Error::parse(
+                            span,
+                            format!("unknown escape `\\{}`", other.unwrap_or(' ')),
+                        ))
+                    }
+                },
+                Some(c) => text.push(c),
+            }
+        }
+    }
+
+    fn operator(&mut self, span: Span) -> Result<TokenKind> {
+        let c = self.bump().expect("operator called at end of input");
+        let two = |lexer: &mut Self, next: char, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ';' => TokenKind::Semi,
+            ',' => TokenKind::Comma,
+            ':' => TokenKind::Colon,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '^' => TokenKind::Caret,
+            '=' => two(self, '=', TokenKind::EqEq, TokenKind::Assign),
+            '!' => two(self, '=', TokenKind::NotEq, TokenKind::Not),
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else if self.peek() == Some('<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else if self.peek() == Some('>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '&' => two(self, '&', TokenKind::AndAnd, TokenKind::Amp),
+            '|' => two(self, '|', TokenKind::OrOr, TokenKind::Pipe),
+            other => return Err(Error::parse(span, format!("unexpected character `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("global int x = 0;"),
+            vec![
+                TokenKind::Global,
+                TokenKind::TyInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(0),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        assert_eq!(
+            kinds("<= << < == = != ! && & || |"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Shl,
+                TokenKind::Lt,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::Not,
+                TokenKind::AndAnd,
+                TokenKind::Amp,
+                TokenKind::OrOr,
+                TokenKind::Pipe,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_underscored_numbers() {
+        assert_eq!(kinds("0xff 1_000"), vec![TokenKind::Int(255), TokenKind::Int(1000), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn hex_wraps_like_a_cast() {
+        assert_eq!(kinds("0xffffffffffffffff"), vec![TokenKind::Int(-1), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 // comment\n/* block\nspanning */ 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_block_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_character() {
+        let err = lex("@").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1));
+        assert_eq!(tokens[1].span, Span::new(2, 3));
+    }
+}

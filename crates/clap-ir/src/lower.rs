@@ -1,0 +1,430 @@
+//! Lowering from the AST to the CFG-level [`Program`].
+//!
+//! Expression trees are flattened into sequences of [`Instr::Assign`] /
+//! [`Instr::Load`] over fresh temporaries; every syntactic read of a global
+//! becomes exactly one `Load` (one *shared access point* when the global is
+//! shared). Structured control flow becomes explicit blocks:
+//!
+//! * `if` — condition block branches to then/else blocks that rejoin;
+//! * `while` — a header block re-evaluates the condition each iteration;
+//!   the body's back edge returns to the header.
+
+use crate::ast::{self, Expr, LValue, LetInit, Module, Stmt};
+use crate::program::*;
+use std::collections::HashMap;
+
+/// Lowers a checked [`Module`] to a [`Program`].
+///
+/// # Panics
+///
+/// Panics on modules that did not pass [`crate::sema::check`]; run the
+/// checker first (as [`crate::parse`] does).
+pub fn lower(module: &Module) -> Program {
+    let globals: Vec<GlobalDecl> = module
+        .globals
+        .iter()
+        .map(|g| GlobalDecl { name: g.name.clone(), len: g.len, init: g.init })
+        .collect();
+    let global_ids: HashMap<&str, GlobalId> =
+        module.globals.iter().enumerate().map(|(i, g)| (g.name.as_str(), GlobalId::from(i))).collect();
+    let mutex_ids: HashMap<&str, MutexId> =
+        module.mutexes.iter().enumerate().map(|(i, m)| (m.name.as_str(), MutexId::from(i))).collect();
+    let cond_ids: HashMap<&str, CondId> =
+        module.conds.iter().enumerate().map(|(i, c)| (c.name.as_str(), CondId::from(i))).collect();
+    let func_ids: HashMap<&str, FuncId> = module
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), FuncId::from(i)))
+        .collect();
+
+    let mut asserts = Vec::new();
+    let functions = module
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            FuncLower {
+                global_ids: &global_ids,
+                mutex_ids: &mutex_ids,
+                cond_ids: &cond_ids,
+                func_ids: &func_ids,
+                func: FuncId::from(i),
+                locals: Vec::new(),
+                scopes: Vec::new(),
+                blocks: Vec::new(),
+                cur: BlockId(0),
+                asserts: &mut asserts,
+            }
+            .lower_function(f)
+        })
+        .collect();
+
+    let main = *func_ids.get("main").expect("sema guarantees `main` exists");
+    Program {
+        globals,
+        mutexes: module.mutexes.iter().map(|m| m.name.clone()).collect(),
+        conds: module.conds.iter().map(|c| c.name.clone()).collect(),
+        functions,
+        main,
+        asserts,
+    }
+}
+
+struct FuncLower<'m> {
+    global_ids: &'m HashMap<&'m str, GlobalId>,
+    mutex_ids: &'m HashMap<&'m str, MutexId>,
+    cond_ids: &'m HashMap<&'m str, CondId>,
+    func_ids: &'m HashMap<&'m str, FuncId>,
+    func: FuncId,
+    locals: Vec<String>,
+    scopes: Vec<Vec<(String, LocalId)>>,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    asserts: &'m mut Vec<AssertInfo>,
+}
+
+impl<'m> FuncLower<'m> {
+    fn lower_function(mut self, f: &ast::FunctionAst) -> Function {
+        self.scopes.push(Vec::new());
+        for (name, _) in &f.params {
+            let id = self.fresh_local(name.clone());
+            self.scopes.last_mut().unwrap().push((name.clone(), id));
+        }
+        let entry = self.new_block();
+        self.cur = entry;
+        self.lower_body(&f.body);
+        self.terminate(Terminator::Return(None));
+        Function {
+            name: f.name.clone(),
+            param_count: f.params.len(),
+            locals: self.locals,
+            blocks: self.blocks,
+            entry,
+        }
+    }
+
+    fn fresh_local(&mut self, name: String) -> LocalId {
+        let id = LocalId::from(self.locals.len());
+        self.locals.push(name);
+        id
+    }
+
+    fn fresh_temp(&mut self) -> LocalId {
+        let n = self.locals.len();
+        self.fresh_local(format!("%t{n}"))
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { instrs: Vec::new(), term: Terminator::Return(None) });
+        BlockId::from(self.blocks.len() - 1)
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.blocks[self.cur.index()].instrs.push(instr);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        self.blocks[self.cur.index()].term = term;
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((_, id)) = scope.iter().rev().find(|(n, _)| n == name) {
+                return Some(*id);
+            }
+        }
+        None
+    }
+
+    fn lower_body(&mut self, body: &[Stmt]) {
+        self.scopes.push(Vec::new());
+        for stmt in body {
+            self.lower_stmt(stmt);
+        }
+        self.scopes.pop();
+    }
+
+    /// Lowers an expression; the result lands in the returned operand.
+    fn lower_expr(&mut self, expr: &Expr) -> Operand {
+        match expr {
+            Expr::Int(v, _) => Operand::Const(*v),
+            Expr::Bool(b, _) => Operand::Const(*b as i64),
+            Expr::Var(name, _) => {
+                if let Some(id) = self.lookup_local(name) {
+                    Operand::Local(id)
+                } else {
+                    let global = self.global_ids[name.as_str()];
+                    let dst = self.fresh_temp();
+                    self.emit(Instr::Load { dst, global, index: None });
+                    Operand::Local(dst)
+                }
+            }
+            Expr::Index(name, index, _) => {
+                let idx = self.lower_expr(index);
+                let global = self.global_ids[name.as_str()];
+                let dst = self.fresh_temp();
+                self.emit(Instr::Load { dst, global, index: Some(idx) });
+                Operand::Local(dst)
+            }
+            Expr::Unary(op, inner, _) => {
+                let v = self.lower_expr(inner);
+                let dst = self.fresh_temp();
+                self.emit(Instr::Assign { dst, rv: Rvalue::Unary(*op, v) });
+                Operand::Local(dst)
+            }
+            Expr::Binary(op, lhs, rhs, _) => {
+                let a = self.lower_expr(lhs);
+                let b = self.lower_expr(rhs);
+                let dst = self.fresh_temp();
+                self.emit(Instr::Assign { dst, rv: Rvalue::Binary(*op, a, b) });
+                Operand::Local(dst)
+            }
+        }
+    }
+
+    fn lower_args(&mut self, args: &[Expr]) -> Vec<Operand> {
+        args.iter().map(|a| self.lower_expr(a)).collect()
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                let id = self.fresh_local(name.clone());
+                match init {
+                    LetInit::Expr(e) => {
+                        let v = self.lower_expr(e);
+                        self.emit(Instr::Assign { dst: id, rv: Rvalue::Use(v) });
+                    }
+                    LetInit::Fork { func, args } => {
+                        let args = self.lower_args(args);
+                        let callee = self.func_ids[func.as_str()];
+                        self.emit(Instr::Fork { dst: id, func: callee, args });
+                    }
+                    LetInit::Call { func, args } => {
+                        let args = self.lower_args(args);
+                        let callee = self.func_ids[func.as_str()];
+                        self.emit(Instr::Call { dst: Some(id), func: callee, args });
+                    }
+                }
+                self.scopes.last_mut().unwrap().push((name.clone(), id));
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let v = self.lower_expr(rhs);
+                match lhs {
+                    LValue::Var(name) => {
+                        if let Some(id) = self.lookup_local(name) {
+                            self.emit(Instr::Assign { dst: id, rv: Rvalue::Use(v) });
+                        } else {
+                            let global = self.global_ids[name.as_str()];
+                            self.emit(Instr::Store { global, index: None, src: v });
+                        }
+                    }
+                    LValue::Index(name, index) => {
+                        let idx = self.lower_expr(index);
+                        let global = self.global_ids[name.as_str()];
+                        self.emit(Instr::Store { global, index: Some(idx), src: v });
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let c = self.lower_expr(cond);
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.terminate(Terminator::Branch { cond: c, then_bb, else_bb });
+                self.cur = then_bb;
+                self.lower_body(then_body);
+                self.terminate(Terminator::Goto(join_bb));
+                self.cur = else_bb;
+                self.lower_body(else_body);
+                self.terminate(Terminator::Goto(join_bb));
+                self.cur = join_bb;
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.new_block();
+                self.terminate(Terminator::Goto(header));
+                self.cur = header;
+                let c = self.lower_expr(cond);
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(Terminator::Branch { cond: c, then_bb: body_bb, else_bb: exit_bb });
+                self.cur = body_bb;
+                self.lower_body(body);
+                self.terminate(Terminator::Goto(header));
+                self.cur = exit_bb;
+            }
+            Stmt::Lock { mutex, .. } => {
+                let m = self.mutex_ids[mutex.as_str()];
+                self.emit(Instr::Lock(m));
+            }
+            Stmt::Unlock { mutex, .. } => {
+                let m = self.mutex_ids[mutex.as_str()];
+                self.emit(Instr::Unlock(m));
+            }
+            Stmt::Join { handle, .. } => {
+                let h = self.lower_expr(handle);
+                self.emit(Instr::Join { handle: h });
+            }
+            Stmt::Wait { cond, mutex, .. } => {
+                let c = self.cond_ids[cond.as_str()];
+                let m = self.mutex_ids[mutex.as_str()];
+                self.emit(Instr::Wait { cond: c, mutex: m });
+            }
+            Stmt::Signal { cond, .. } => {
+                let c = self.cond_ids[cond.as_str()];
+                self.emit(Instr::Signal(c));
+            }
+            Stmt::Broadcast { cond, .. } => {
+                let c = self.cond_ids[cond.as_str()];
+                self.emit(Instr::Broadcast(c));
+            }
+            Stmt::Yield { .. } => self.emit(Instr::Yield),
+            Stmt::Assert { cond, message, span } => {
+                let c = self.lower_expr(cond);
+                let id = AssertId::from(self.asserts.len());
+                self.asserts.push(AssertInfo {
+                    message: message.clone(),
+                    span: *span,
+                    func: self.func,
+                });
+                self.emit(Instr::Assert { cond: c, id });
+            }
+            Stmt::Return { value, .. } => {
+                let v = value.as_ref().map(|e| self.lower_expr(e));
+                self.terminate(Terminator::Return(v));
+                // Code after a return is unreachable; give it a fresh block
+                // so lowering can continue without clobbering the return.
+                let dead = self.new_block();
+                self.cur = dead;
+            }
+            Stmt::Call { dst, func, args, .. } => {
+                let args = self.lower_args(args);
+                let callee = self.func_ids[func.as_str()];
+                match dst {
+                    None => self.emit(Instr::Call { dst: None, func: callee, args }),
+                    Some(LValue::Var(name)) => {
+                        if let Some(local) = self.lookup_local(name) {
+                            self.emit(Instr::Call { dst: Some(local), func: callee, args });
+                        } else {
+                            // Global scalar destination: call into a temp,
+                            // store after.
+                            let temp = self.fresh_temp();
+                            self.emit(Instr::Call { dst: Some(temp), func: callee, args });
+                            let global = self.global_ids[name.as_str()];
+                            self.emit(Instr::Store {
+                                global,
+                                index: None,
+                                src: Operand::Local(temp),
+                            });
+                        }
+                    }
+                    Some(LValue::Index(name, index)) => {
+                        let temp = self.fresh_temp();
+                        self.emit(Instr::Call { dst: Some(temp), func: callee, args });
+                        let idx = self.lower_expr(index);
+                        let global = self.global_ids[name.as_str()];
+                        self.emit(Instr::Store {
+                            global,
+                            index: Some(idx),
+                            src: Operand::Local(temp),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn lowers_global_reads_to_loads() {
+        let p = parse("global int x = 0; fn main() { x = x + x; }").unwrap();
+        let main = p.function(p.main);
+        let loads = main.blocks[main.entry.index()]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count();
+        let stores = main.blocks[main.entry.index()]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count();
+        assert_eq!(loads, 2, "each syntactic global read is one Load");
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn while_has_header_with_back_edge() {
+        let p = parse("global int x = 0; fn main() { while (x < 3) { x = x + 1; } }").unwrap();
+        let main = p.function(p.main);
+        // Some block must branch, and some block must jump backwards.
+        assert_eq!(main.branch_count(), 1);
+        let has_back_edge = main.blocks.iter().enumerate().any(|(i, b)| {
+            b.term.successors().iter().any(|s| s.index() <= i)
+        });
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn if_branches_rejoin() {
+        let p = parse("fn main() { let x: int = 0; if (x == 0) { x = 1; } else { x = 2; } x = 3; }")
+            .unwrap();
+        let main = p.function(p.main);
+        assert_eq!(main.branch_count(), 1);
+        // The two branch targets both flow into the same join block.
+        let Terminator::Branch { then_bb, else_bb, .. } = &main.blocks[0].term else {
+            panic!("entry must branch")
+        };
+        let t_succ = main.blocks[then_bb.index()].term.successors();
+        let e_succ = main.blocks[else_bb.index()].term.successors();
+        assert_eq!(t_succ, e_succ);
+    }
+
+    #[test]
+    fn statements_after_return_are_unreachable_not_lost() {
+        let p = parse("fn f() { return 1; yield; } fn main() { let x: int = f(); }").unwrap();
+        let f = p.function(p.function_by_name("f").unwrap());
+        assert!(matches!(f.blocks[f.entry.index()].term, Terminator::Return(Some(_))));
+    }
+
+    #[test]
+    fn fork_join_lowering() {
+        let p = parse("fn w() {} fn main() { let t: thread = fork w(); join t; }").unwrap();
+        let main = p.function(p.main);
+        let instrs = &main.blocks[main.entry.index()].instrs;
+        assert!(matches!(instrs[0], Instr::Fork { .. }));
+        assert!(matches!(instrs[1], Instr::Join { .. }));
+    }
+
+    #[test]
+    fn assert_registered_with_message() {
+        let p = parse(r#"fn main() { assert(true, "boom"); }"#).unwrap();
+        assert_eq!(p.asserts.len(), 1);
+        assert_eq!(p.asserts[0].message, "boom");
+        assert_eq!(p.asserts[0].func, p.main);
+    }
+
+    #[test]
+    fn call_with_global_destination_stores() {
+        let p = parse("global int x = 0; fn f() { return 7; } fn main() { x = f(); }").unwrap();
+        let main = p.function(p.main);
+        let instrs = &main.blocks[main.entry.index()].instrs;
+        assert!(matches!(instrs[0], Instr::Call { dst: Some(_), .. }));
+        assert!(matches!(instrs[1], Instr::Store { .. }));
+    }
+
+    #[test]
+    fn array_load_store_carry_index() {
+        let p = parse("global int a[4]; fn main() { a[1] = a[2]; }").unwrap();
+        let main = p.function(p.main);
+        let instrs = &main.blocks[main.entry.index()].instrs;
+        assert!(matches!(instrs[0], Instr::Load { index: Some(_), .. }));
+        assert!(matches!(instrs[1], Instr::Store { index: Some(_), .. }));
+    }
+}

@@ -1,0 +1,611 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+//!
+//! Grammar sketch (EBNF, `*` repetition, `?` option):
+//!
+//! ```text
+//! module    := (global | mutex | cond | function)*
+//! global    := "global" "int" IDENT ("[" INT "]")? ("=" INT)? ";"
+//! mutex     := "mutex" IDENT ";"
+//! cond      := "cond" IDENT ";"
+//! function  := "fn" IDENT "(" params? ")" block
+//! params    := IDENT ":" type ("," IDENT ":" type)*
+//! block     := "{" stmt* "}"
+//! stmt      := let | assign | if | while | lock | unlock | join | wait
+//!            | signal | broadcast | yield | assert | return | call
+//! let       := "let" IDENT ":" type "=" (expr | "fork" IDENT "(" args ")" ) ";"
+//! expr      := precedence-climbed binary expression over unary / primary
+//! ```
+
+use crate::ast::*;
+use crate::error::{Error, Result, Span};
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Module`].
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] when the token stream does not match the
+/// grammar.
+pub fn parse_tokens(tokens: &[Token]) -> Result<Module> {
+    Parser { tokens, pos: 0 }.module()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(Error::parse(self.span(), format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(Error::parse(self.span(), format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64> {
+        let negative = self.eat(&TokenKind::Minus);
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if negative { v.wrapping_neg() } else { v })
+            }
+            other => Err(Error::parse(self.span(), format!("expected integer, found `{other}`"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        let mut module = Module::default();
+        loop {
+            let span = self.span();
+            match self.peek() {
+                TokenKind::Eof => return Ok(module),
+                TokenKind::Global => {
+                    self.bump();
+                    self.expect(&TokenKind::TyInt)?;
+                    let name = self.ident()?;
+                    let len = if self.eat(&TokenKind::LBracket) {
+                        let n = self.int_lit()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        if n <= 0 {
+                            return Err(Error::parse(span, "array length must be positive"));
+                        }
+                        Some(n as usize)
+                    } else {
+                        None
+                    };
+                    let init = if self.eat(&TokenKind::Assign) { self.int_lit()? } else { 0 };
+                    if len.is_some() && init != 0 {
+                        return Err(Error::parse(span, "array globals cannot take an initializer"));
+                    }
+                    self.expect(&TokenKind::Semi)?;
+                    module.globals.push(GlobalAst { name, len, init, span });
+                }
+                TokenKind::Mutex => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Semi)?;
+                    module.mutexes.push(NamedDecl { name, span });
+                }
+                TokenKind::Cond => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Semi)?;
+                    module.conds.push(NamedDecl { name, span });
+                }
+                TokenKind::Fn => {
+                    module.functions.push(self.function()?);
+                }
+                other => {
+                    return Err(Error::parse(
+                        span,
+                        format!("expected a declaration or `fn`, found `{other}`"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::TyInt => Ok(Type::Int),
+            TokenKind::TyBool => Ok(Type::Bool),
+            TokenKind::TyThread => Ok(Type::Thread),
+            other => Err(Error::parse(span, format!("expected a type, found `{other}`"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<FunctionAst> {
+        let span = self.span();
+        self.expect(&TokenKind::Fn)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FunctionAst { name, params, body, span })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(Error::parse(self.span(), "unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.ty()?;
+                self.expect(&TokenKind::Assign)?;
+                let init = if self.eat(&TokenKind::Fork) {
+                    let func = self.ident()?;
+                    let args = self.args()?;
+                    LetInit::Fork { func, args }
+                } else if let TokenKind::Ident(name2) = self.peek().clone() {
+                    // Lookahead: `ident (` is a call initializer.
+                    if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                        self.bump();
+                        let args = self.args()?;
+                        LetInit::Call { func: name2, args }
+                    } else {
+                        LetInit::Expr(self.expr()?)
+                    }
+                } else {
+                    LetInit::Expr(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Let { name, ty, init, span })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokenKind::Else) {
+                    if matches!(self.peek(), TokenKind::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, span })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::Lock => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mutex = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Lock { mutex, span })
+            }
+            TokenKind::Unlock => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mutex = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Unlock { mutex, span })
+            }
+            TokenKind::Join => {
+                self.bump();
+                let handle = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Join { handle, span })
+            }
+            TokenKind::Wait => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let mutex = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Wait { cond, mutex, span })
+            }
+            TokenKind::Signal => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Signal { cond, span })
+            }
+            TokenKind::Broadcast => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Broadcast { cond, span })
+            }
+            TokenKind::Yield => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Yield { span })
+            }
+            TokenKind::Assert => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                let message = if self.eat(&TokenKind::Comma) {
+                    match self.bump() {
+                        TokenKind::Str(s) => s,
+                        other => {
+                            return Err(Error::parse(
+                                span,
+                                format!("expected string message, found `{other}`"),
+                            ))
+                        }
+                    }
+                } else {
+                    String::from("assertion failed")
+                };
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Assert { cond, message, span })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value =
+                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Ident(name) => {
+                // assignment, call, or `x = f(..)` call-with-destination
+                self.bump();
+                match self.peek().clone() {
+                    TokenKind::LParen => {
+                        let args = self.args()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Call { dst: None, func: name, args, span })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        self.expect(&TokenKind::Assign)?;
+                        // `a[i] = f(...)` is a call with an indexed
+                        // destination.
+                        if let TokenKind::Ident(callee) = self.peek().clone() {
+                            if self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                                == Some(&TokenKind::LParen)
+                            {
+                                self.bump();
+                                let args = self.args()?;
+                                self.expect(&TokenKind::Semi)?;
+                                return Ok(Stmt::Call {
+                                    dst: Some(LValue::Index(name, index)),
+                                    func: callee,
+                                    args,
+                                    span,
+                                });
+                            }
+                        }
+                        let rhs = self.expr()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Assign { lhs: LValue::Index(name, index), rhs, span })
+                    }
+                    TokenKind::Assign => {
+                        self.bump();
+                        // `x = f(...)` where f is a call: detect `ident (`
+                        if let TokenKind::Ident(callee) = self.peek().clone() {
+                            if self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                                == Some(&TokenKind::LParen)
+                            {
+                                self.bump();
+                                let args = self.args()?;
+                                self.expect(&TokenKind::Semi)?;
+                                return Ok(Stmt::Call {
+                                    dst: Some(LValue::Var(name)),
+                                    func: callee,
+                                    args,
+                                    span,
+                                });
+                            }
+                        }
+                        let rhs = self.expr()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Assign { lhs: LValue::Var(name), rhs, span })
+                    }
+                    other => Err(Error::parse(
+                        span,
+                        format!("expected `=`, `[`, or `(` after identifier, found `{other}`"),
+                    )),
+                }
+            }
+            other => Err(Error::parse(span, format!("expected a statement, found `{other}`"))),
+        }
+    }
+
+    /// Expression parsing via precedence climbing.
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((op, prec)) = binop_of(self.peek()) else { break };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.span();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Fold negation of integer literals so `-5` is a literal
+            // (keeps unparse→parse round trips exact).
+            if let Expr::Int(v, s) = inner {
+                return Ok(Expr::Int(v.wrapping_neg(), s));
+            }
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner), span));
+        }
+        if self.eat(&TokenKind::Not) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner), span));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v, span)),
+            TokenKind::True => Ok(Expr::Bool(true, span)),
+            TokenKind::False => Ok(Expr::Bool(false, span)),
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(index), span))
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(Error::parse(span, format!("expected an expression, found `{other}`"))),
+        }
+    }
+}
+
+/// Binding power table: higher binds tighter.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match kind {
+        TokenKind::OrOr => (BinOp::Or, 1),
+        TokenKind::AndAnd => (BinOp::And, 2),
+        TokenKind::Pipe => (BinOp::BitOr, 3),
+        TokenKind::Caret => (BinOp::BitXor, 4),
+        TokenKind::Amp => (BinOp::BitAnd, 5),
+        TokenKind::EqEq => (BinOp::Eq, 6),
+        TokenKind::NotEq => (BinOp::Ne, 6),
+        TokenKind::Lt => (BinOp::Lt, 7),
+        TokenKind::Le => (BinOp::Le, 7),
+        TokenKind::Gt => (BinOp::Gt, 7),
+        TokenKind::Ge => (BinOp::Ge, 7),
+        TokenKind::Shl => (BinOp::Shl, 8),
+        TokenKind::Shr => (BinOp::Shr, 8),
+        TokenKind::Plus => (BinOp::Add, 9),
+        TokenKind::Minus => (BinOp::Sub, 9),
+        TokenKind::Star => (BinOp::Mul, 10),
+        TokenKind::Slash => (BinOp::Div, 10),
+        TokenKind::Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Module {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_and_sync_objects() {
+        let m = parse("global int x = 3; global int a[8]; mutex m; cond c;");
+        assert_eq!(m.globals.len(), 2);
+        assert_eq!(m.globals[0].init, 3);
+        assert_eq!(m.globals[1].len, Some(8));
+        assert_eq!(m.mutexes.len(), 1);
+        assert_eq!(m.conds.len(), 1);
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let m = parse("fn f(a: int, b: bool) { return a; }");
+        assert_eq!(m.functions[0].params.len(), 2);
+        assert_eq!(m.functions[0].params[1].1, Type::Bool);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let m = parse("fn f() { let x: int = 1 + 2 * 3; }");
+        let Stmt::Let { init: LetInit::Expr(Expr::Binary(BinOp::Add, _, rhs, _)), .. } =
+            &m.functions[0].body[0]
+        else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn precedence_comparison_over_logic() {
+        let m = parse("fn f() { let x: bool = 1 < 2 && 3 < 4; }");
+        let Stmt::Let { init: LetInit::Expr(Expr::Binary(op, _, _, _)), .. } =
+            &m.functions[0].body[0]
+        else {
+            panic!();
+        };
+        assert_eq!(*op, BinOp::And);
+    }
+
+    #[test]
+    fn parses_fork_and_join() {
+        let m = parse("fn w(i: int) {} fn main() { let t: thread = fork w(1); join t; }");
+        assert!(matches!(
+            m.functions[1].body[0],
+            Stmt::Let { init: LetInit::Fork { .. }, .. }
+        ));
+        assert!(matches!(m.functions[1].body[1], Stmt::Join { .. }));
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let m = parse("fn f(x: int) { if (x == 1) { yield; } else if (x == 2) { yield; } else { yield; } }");
+        let Stmt::If { else_body, .. } = &m.functions[0].body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_call_forms() {
+        let m = parse("fn g() { return 1; } fn f() { g(); let a: int = g(); a = g(); }");
+        assert!(matches!(m.functions[1].body[0], Stmt::Call { dst: None, .. }));
+        assert!(matches!(m.functions[1].body[1], Stmt::Let { init: LetInit::Call { .. }, .. }));
+        assert!(matches!(m.functions[1].body[2], Stmt::Call { dst: Some(_), .. }));
+    }
+
+    #[test]
+    fn parses_array_assignment() {
+        let m = parse("global int a[4]; fn f() { a[1 + 2] = 7; }");
+        assert!(matches!(
+            m.functions[0].body[0],
+            Stmt::Assign { lhs: LValue::Index(_, _), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_assert_with_message() {
+        let m = parse(r#"fn f() { assert(1 == 1, "fine"); assert(true); }"#);
+        let Stmt::Assert { message, .. } = &m.functions[0].body[0] else { panic!() };
+        assert_eq!(message, "fine");
+        let Stmt::Assert { message, .. } = &m.functions[0].body[1] else { panic!() };
+        assert_eq!(message, "assertion failed");
+    }
+
+    #[test]
+    fn parses_wait_signal_broadcast() {
+        let m = parse("mutex m; cond c; fn f() { wait(c, m); signal(c); broadcast(c); }");
+        assert!(matches!(m.functions[0].body[0], Stmt::Wait { .. }));
+        assert!(matches!(m.functions[0].body[1], Stmt::Signal { .. }));
+        assert!(matches!(m.functions[0].body[2], Stmt::Broadcast { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_tokens(&lex("fn f() { let ; }").unwrap()).is_err());
+        assert!(parse_tokens(&lex("wibble;").unwrap()).is_err());
+        assert!(parse_tokens(&lex("fn f() {").unwrap()).is_err());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let m = parse("fn f() { let x: int = - - 3; let b: bool = !!true; }");
+        assert_eq!(m.functions[0].body.len(), 2);
+    }
+
+    #[test]
+    fn negative_global_initializer() {
+        let m = parse("global int x = -5;");
+        assert_eq!(m.globals[0].init, -5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-readable dumps of lowered programs, for debugging and goldens.
+
+use crate::program::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as text, one function at a time.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        match g.len {
+            Some(n) => {
+                let _ = writeln!(out, "global {}[{n}]", g.name);
+            }
+            None => {
+                let _ = writeln!(out, "global {} = {}", g.name, g.init);
+            }
+        }
+    }
+    for m in &program.mutexes {
+        let _ = writeln!(out, "mutex {m}");
+    }
+    for c in &program.conds {
+        let _ = writeln!(out, "cond {c}");
+    }
+    for (i, f) in program.functions.iter().enumerate() {
+        let _ = writeln!(out);
+        let _ = write!(out, "{}", function_to_string(program, FuncId::from(i), f));
+    }
+    out
+}
+
+/// Renders one function's CFG as text.
+pub fn function_to_string(program: &Program, id: FuncId, f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {} ({}) [{id}]", f.name, f.param_count);
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "  bb{bi}:");
+        for instr in &block.instrs {
+            let _ = writeln!(out, "    {}", instr_to_string(program, instr));
+        }
+        let _ = writeln!(out, "    {}", term_to_string(&block.term));
+    }
+    out
+}
+
+/// Renders one instruction.
+pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
+    match instr {
+        Instr::Assign { dst, rv } => format!("{dst} = {rv}"),
+        Instr::Load { dst, global, index: None } => {
+            format!("{dst} = load {}", program.globals[global.index()].name)
+        }
+        Instr::Load { dst, global, index: Some(i) } => {
+            format!("{dst} = load {}[{i}]", program.globals[global.index()].name)
+        }
+        Instr::Store { global, index: None, src } => {
+            format!("store {} = {src}", program.globals[global.index()].name)
+        }
+        Instr::Store { global, index: Some(i), src } => {
+            format!("store {}[{i}] = {src}", program.globals[global.index()].name)
+        }
+        Instr::Lock(m) => format!("lock {}", program.mutexes[m.index()]),
+        Instr::Unlock(m) => format!("unlock {}", program.mutexes[m.index()]),
+        Instr::Fork { dst, func, args } => {
+            format!("{dst} = fork {}({})", program.functions[func.index()].name, operands(args))
+        }
+        Instr::Join { handle } => format!("join {handle}"),
+        Instr::Wait { cond, mutex } => {
+            format!("wait {} {}", program.conds[cond.index()], program.mutexes[mutex.index()])
+        }
+        Instr::Signal(c) => format!("signal {}", program.conds[c.index()]),
+        Instr::Broadcast(c) => format!("broadcast {}", program.conds[c.index()]),
+        Instr::Yield => "yield".to_owned(),
+        Instr::Assert { cond, id } => {
+            format!("assert {cond} ({:?})", program.asserts[id.index()].message)
+        }
+        Instr::Call { dst: Some(d), func, args } => {
+            format!("{d} = call {}({})", program.functions[func.index()].name, operands(args))
+        }
+        Instr::Call { dst: None, func, args } => {
+            format!("call {}({})", program.functions[func.index()].name, operands(args))
+        }
+    }
+}
+
+fn term_to_string(term: &Terminator) -> String {
+    match term {
+        Terminator::Goto(b) => format!("goto {b}"),
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            format!("br {cond} ? {then_bb} : {else_bb}")
+        }
+        Terminator::Return(Some(v)) => format!("return {v}"),
+        Terminator::Return(None) => "return".to_owned(),
+    }
+}
+
+fn operands(ops: &[Operand]) -> String {
+    ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn dump_contains_structure() {
+        let p = parse(
+            r#"global int x = 1; mutex m;
+               fn main() { lock(m); x = x + 1; unlock(m); assert(x == 2, "msg"); }"#,
+        )
+        .unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("global x = 1"));
+        assert!(text.contains("mutex m"));
+        assert!(text.contains("lock m"));
+        assert!(text.contains("load x"));
+        assert!(text.contains("store x"));
+        assert!(text.contains("assert"));
+        assert!(text.contains("return"));
+    }
+
+    #[test]
+    fn dump_branches_and_calls() {
+        let p = parse(
+            "global int a[2];
+             fn f(v: int) { return v; }
+             fn main() { let x: int = f(3); if (x > 0) { a[0] = x; } }",
+        )
+        .unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("call f(3)"));
+        assert!(text.contains("br "));
+        assert!(text.contains("store a["));
+    }
+}

@@ -1,0 +1,515 @@
+//! Semantic analysis over the AST: name resolution, duplicate detection,
+//! light type checking, and structural rules (e.g. `fork` only as a
+//! `thread`-typed `let` initializer, `main` must exist and take no
+//! parameters).
+
+use crate::ast::*;
+use crate::error::{Error, Result, Span};
+use std::collections::{HashMap, HashSet};
+
+/// Checks a parsed [`Module`], returning `Ok(())` when it is well-formed.
+///
+/// # Errors
+///
+/// Returns the first [`Error::Sema`] found: duplicate names, unknown
+/// identifiers, type mismatches, indexing a scalar, calling with the wrong
+/// arity, `fork`/`join` misuse, or a missing/ill-formed `main`.
+pub fn check(module: &Module) -> Result<()> {
+    Checker::new(module)?.check_module()
+}
+
+/// What a name refers to at a use site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Local(Type),
+    GlobalScalar,
+    GlobalArray,
+}
+
+struct FuncSig {
+    params: Vec<Type>,
+    returns_value: bool,
+}
+
+struct Checker<'m> {
+    module: &'m Module,
+    globals: HashMap<&'m str, bool>, // name -> is_array
+    mutexes: HashSet<&'m str>,
+    conds: HashSet<&'m str>,
+    funcs: HashMap<&'m str, FuncSig>,
+}
+
+impl<'m> Checker<'m> {
+    fn new(module: &'m Module) -> Result<Self> {
+        let mut globals = HashMap::new();
+        for g in &module.globals {
+            if globals.insert(g.name.as_str(), g.len.is_some()).is_some() {
+                return Err(Error::sema(g.span, format!("duplicate global `{}`", g.name)));
+            }
+        }
+        let mut mutexes = HashSet::new();
+        for m in &module.mutexes {
+            if !mutexes.insert(m.name.as_str()) {
+                return Err(Error::sema(m.span, format!("duplicate mutex `{}`", m.name)));
+            }
+        }
+        let mut conds = HashSet::new();
+        for c in &module.conds {
+            if !conds.insert(c.name.as_str()) {
+                return Err(Error::sema(c.span, format!("duplicate cond `{}`", c.name)));
+            }
+        }
+        let mut funcs = HashMap::new();
+        for f in &module.functions {
+            let sig = FuncSig {
+                params: f.params.iter().map(|(_, t)| *t).collect(),
+                returns_value: body_returns_value(&f.body),
+            };
+            if funcs.insert(f.name.as_str(), sig).is_some() {
+                return Err(Error::sema(f.span, format!("duplicate function `{}`", f.name)));
+            }
+        }
+        Ok(Checker { module, globals, mutexes, conds, funcs })
+    }
+
+    fn check_module(&self) -> Result<()> {
+        let Some(main) = self.module.functions.iter().find(|f| f.name == "main") else {
+            return Err(Error::sema(Span::unknown(), "missing `main` function"));
+        };
+        if !main.params.is_empty() {
+            return Err(Error::sema(main.span, "`main` must take no parameters"));
+        }
+        for f in &self.module.functions {
+            let mut scope = Scope::default();
+            for (name, ty) in &f.params {
+                if *ty == Type::Thread {
+                    return Err(Error::sema(f.span, "parameters of type `thread` are not allowed"));
+                }
+                scope.declare(name.clone(), *ty, f.span)?;
+            }
+            self.check_body(&f.body, &mut scope)?;
+        }
+        Ok(())
+    }
+
+    fn check_body(&self, body: &[Stmt], scope: &mut Scope) -> Result<()> {
+        scope.push();
+        for stmt in body {
+            self.check_stmt(stmt, scope)?;
+        }
+        scope.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&self, stmt: &Stmt, scope: &mut Scope) -> Result<()> {
+        match stmt {
+            Stmt::Let { name, ty, init, span } => {
+                match init {
+                    LetInit::Fork { func, args } => {
+                        if *ty != Type::Thread {
+                            return Err(Error::sema(
+                                *span,
+                                "`fork` initializer requires a `thread`-typed let",
+                            ));
+                        }
+                        self.check_call(func, args, scope, *span, false)?;
+                    }
+                    LetInit::Call { func, args } => {
+                        if *ty == Type::Thread {
+                            return Err(Error::sema(
+                                *span,
+                                "`thread` locals can only be initialized by `fork`",
+                            ));
+                        }
+                        self.check_call(func, args, scope, *span, true)?;
+                    }
+                    LetInit::Expr(e) => {
+                        if *ty == Type::Thread {
+                            return Err(Error::sema(
+                                *span,
+                                "`thread` locals can only be initialized by `fork`",
+                            ));
+                        }
+                        let et = self.type_of(e, scope)?;
+                        expect_type(*ty, et, e.span())?;
+                    }
+                }
+                scope.declare(name.clone(), *ty, *span)
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let rt = self.type_of(rhs, scope)?;
+                match lhs {
+                    LValue::Var(name) => match self.resolve(name, scope) {
+                        Some(Binding::Local(Type::Thread)) => Err(Error::sema(
+                            *span,
+                            "`thread` locals cannot be reassigned",
+                        )),
+                        Some(Binding::Local(t)) => expect_type(t, rt, *span),
+                        Some(Binding::GlobalScalar) => expect_type(Type::Int, rt, *span),
+                        Some(Binding::GlobalArray) => Err(Error::sema(
+                            *span,
+                            format!("array global `{name}` must be indexed"),
+                        )),
+                        None => Err(Error::sema(*span, format!("unknown variable `{name}`"))),
+                    },
+                    LValue::Index(name, index) => {
+                        let it = self.type_of(index, scope)?;
+                        expect_type(Type::Int, it, index.span())?;
+                        expect_type(Type::Int, rt, *span)?;
+                        match self.globals.get(name.as_str()) {
+                            Some(true) => Ok(()),
+                            Some(false) => Err(Error::sema(
+                                *span,
+                                format!("global `{name}` is a scalar and cannot be indexed"),
+                            )),
+                            None => {
+                                Err(Error::sema(*span, format!("unknown array global `{name}`")))
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let ct = self.type_of(cond, scope)?;
+                expect_type(Type::Bool, ct, cond.span())?;
+                self.check_body(then_body, scope)?;
+                self.check_body(else_body, scope)
+            }
+            Stmt::While { cond, body, .. } => {
+                let ct = self.type_of(cond, scope)?;
+                expect_type(Type::Bool, ct, cond.span())?;
+                self.check_body(body, scope)
+            }
+            Stmt::Lock { mutex, span } | Stmt::Unlock { mutex, span } => {
+                if self.mutexes.contains(mutex.as_str()) {
+                    Ok(())
+                } else {
+                    Err(Error::sema(*span, format!("unknown mutex `{mutex}`")))
+                }
+            }
+            Stmt::Join { handle, span } => {
+                let ht = self.type_of(handle, scope)?;
+                if ht == Type::Thread {
+                    Ok(())
+                } else {
+                    Err(Error::sema(*span, "`join` requires a `thread`-typed handle"))
+                }
+            }
+            Stmt::Wait { cond, mutex, span } => {
+                if !self.conds.contains(cond.as_str()) {
+                    return Err(Error::sema(*span, format!("unknown cond `{cond}`")));
+                }
+                if !self.mutexes.contains(mutex.as_str()) {
+                    return Err(Error::sema(*span, format!("unknown mutex `{mutex}`")));
+                }
+                Ok(())
+            }
+            Stmt::Signal { cond, span } | Stmt::Broadcast { cond, span } => {
+                if self.conds.contains(cond.as_str()) {
+                    Ok(())
+                } else {
+                    Err(Error::sema(*span, format!("unknown cond `{cond}`")))
+                }
+            }
+            Stmt::Yield { .. } => Ok(()),
+            Stmt::Assert { cond, .. } => {
+                let ct = self.type_of(cond, scope)?;
+                expect_type(Type::Bool, ct, cond.span())
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    let vt = self.type_of(v, scope)?;
+                    if vt == Type::Thread {
+                        return Err(Error::sema(v.span(), "cannot return a thread handle"));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Call { dst, func, args, span } => {
+                self.check_call(func, args, scope, *span, dst.is_some())?;
+                match dst {
+                    None => Ok(()),
+                    Some(LValue::Var(d)) => match self.resolve(d, scope) {
+                        Some(Binding::Local(Type::Thread)) => {
+                            Err(Error::sema(*span, "cannot assign a call result to a thread local"))
+                        }
+                        Some(Binding::Local(_)) | Some(Binding::GlobalScalar) => Ok(()),
+                        Some(Binding::GlobalArray) => {
+                            Err(Error::sema(*span, format!("array global `{d}` must be indexed")))
+                        }
+                        None => Err(Error::sema(*span, format!("unknown variable `{d}`"))),
+                    },
+                    Some(LValue::Index(name, index)) => {
+                        let it = self.type_of(index, scope)?;
+                        expect_type(Type::Int, it, index.span())?;
+                        match self.globals.get(name.as_str()) {
+                            Some(true) => Ok(()),
+                            Some(false) => Err(Error::sema(
+                                *span,
+                                format!("global `{name}` is a scalar and cannot be indexed"),
+                            )),
+                            None => {
+                                Err(Error::sema(*span, format!("unknown array global `{name}`")))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_call(
+        &self,
+        func: &str,
+        args: &[Expr],
+        scope: &Scope,
+        span: Span,
+        needs_value: bool,
+    ) -> Result<()> {
+        let Some(sig) = self.funcs.get(func) else {
+            return Err(Error::sema(span, format!("unknown function `{func}`")));
+        };
+        if sig.params.len() != args.len() {
+            return Err(Error::sema(
+                span,
+                format!("`{func}` expects {} argument(s), got {}", sig.params.len(), args.len()),
+            ));
+        }
+        for (arg, want) in args.iter().zip(&sig.params) {
+            let at = self.type_of(arg, scope)?;
+            expect_type(*want, at, arg.span())?;
+        }
+        if needs_value && !sig.returns_value {
+            return Err(Error::sema(span, format!("`{func}` does not return a value")));
+        }
+        Ok(())
+    }
+
+    fn resolve(&self, name: &str, scope: &Scope) -> Option<Binding> {
+        if let Some(ty) = scope.lookup(name) {
+            return Some(Binding::Local(ty));
+        }
+        match self.globals.get(name) {
+            Some(true) => Some(Binding::GlobalArray),
+            Some(false) => Some(Binding::GlobalScalar),
+            None => None,
+        }
+    }
+
+    fn type_of(&self, expr: &Expr, scope: &Scope) -> Result<Type> {
+        match expr {
+            Expr::Int(..) => Ok(Type::Int),
+            Expr::Bool(..) => Ok(Type::Bool),
+            Expr::Var(name, span) => match self.resolve(name, scope) {
+                Some(Binding::Local(t)) => Ok(t),
+                Some(Binding::GlobalScalar) => Ok(Type::Int),
+                Some(Binding::GlobalArray) => {
+                    Err(Error::sema(*span, format!("array global `{name}` must be indexed")))
+                }
+                None => Err(Error::sema(*span, format!("unknown variable `{name}`"))),
+            },
+            Expr::Index(name, index, span) => {
+                let it = self.type_of(index, scope)?;
+                expect_type(Type::Int, it, index.span())?;
+                match self.globals.get(name.as_str()) {
+                    Some(true) => Ok(Type::Int),
+                    Some(false) => Err(Error::sema(
+                        *span,
+                        format!("global `{name}` is a scalar and cannot be indexed"),
+                    )),
+                    None => Err(Error::sema(*span, format!("unknown array global `{name}`"))),
+                }
+            }
+            Expr::Unary(UnOp::Neg, inner, _) => {
+                let t = self.type_of(inner, scope)?;
+                expect_type(Type::Int, t, inner.span())?;
+                Ok(Type::Int)
+            }
+            Expr::Unary(UnOp::Not, inner, _) => {
+                let t = self.type_of(inner, scope)?;
+                expect_type(Type::Bool, t, inner.span())?;
+                Ok(Type::Bool)
+            }
+            Expr::Binary(op, lhs, rhs, _) => {
+                let lt = self.type_of(lhs, scope)?;
+                let rt = self.type_of(rhs, scope)?;
+                if *op == BinOp::Eq || *op == BinOp::Ne {
+                    // Equality works on int==int or bool==bool.
+                    if lt != rt || lt == Type::Thread {
+                        return Err(Error::sema(
+                            expr.span(),
+                            format!("`{op}` requires matching int/bool operands"),
+                        ));
+                    }
+                    Ok(Type::Bool)
+                } else if op.is_comparison() {
+                    expect_type(Type::Int, lt, lhs.span())?;
+                    expect_type(Type::Int, rt, rhs.span())?;
+                    Ok(Type::Bool)
+                } else if op.is_logical() {
+                    expect_type(Type::Bool, lt, lhs.span())?;
+                    expect_type(Type::Bool, rt, rhs.span())?;
+                    Ok(Type::Bool)
+                } else {
+                    expect_type(Type::Int, lt, lhs.span())?;
+                    expect_type(Type::Int, rt, rhs.span())?;
+                    Ok(Type::Int)
+                }
+            }
+        }
+    }
+}
+
+fn expect_type(want: Type, got: Type, span: Span) -> Result<()> {
+    if want == got {
+        Ok(())
+    } else {
+        Err(Error::sema(span, format!("type mismatch: expected {want}, found {got}")))
+    }
+}
+
+/// `true` if any statement in the body (recursively) returns a value.
+fn body_returns_value(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Return { value, .. } => value.is_some(),
+        Stmt::If { then_body, else_body, .. } => {
+            body_returns_value(then_body) || body_returns_value(else_body)
+        }
+        Stmt::While { body, .. } => body_returns_value(body),
+        _ => false,
+    })
+}
+
+/// A lexical scope stack for locals.
+#[derive(Default)]
+struct Scope {
+    frames: Vec<Vec<(String, Type)>>,
+}
+
+impl Scope {
+    fn push(&mut self) {
+        self.frames.push(Vec::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn declare(&mut self, name: String, ty: Type, span: Span) -> Result<()> {
+        if self.frames.is_empty() {
+            self.push();
+        }
+        let frame = self.frames.last_mut().expect("frame exists");
+        if frame.iter().any(|(n, _)| *n == name) {
+            return Err(Error::sema(span, format!("duplicate local `{name}` in this scope")));
+        }
+        frame.push((name, ty));
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for frame in self.frames.iter().rev() {
+            if let Some((_, ty)) = frame.iter().rev().find(|(n, _)| n == name) {
+                return Some(*ty);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    fn check_src(src: &str) -> Result<()> {
+        check(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        check_src(
+            "global int x = 0; mutex m; cond c;
+             fn w(i: int) { lock(m); x = x + i; unlock(m); }
+             fn main() { let t: thread = fork w(1); join t; assert(x == 1); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let err = check_src("fn f() {}").unwrap_err();
+        assert!(err.to_string().contains("missing `main`"));
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        assert!(check_src("fn main(x: int) {}").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_declarations() {
+        assert!(check_src("global int x; global int x; fn main() {}").is_err());
+        assert!(check_src("mutex m; mutex m; fn main() {}").is_err());
+        assert!(check_src("fn f() {} fn f() {} fn main() {}").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(check_src("fn main() { x = 1; }").is_err());
+        assert!(check_src("fn main() { lock(m); }").is_err());
+        assert!(check_src("fn main() { f(); }").is_err());
+        assert!(check_src("mutex m; fn main() { wait(c, m); }").is_err());
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        assert!(check_src("fn main() { let b: bool = 3; }").is_err());
+        assert!(check_src("fn main() { if (1) { } }").is_err());
+        assert!(check_src("fn main() { assert(1); }").is_err());
+        assert!(check_src("fn main() { let x: int = 1 && 2; }").is_err());
+        assert!(check_src("fn main() { let b: bool = true < false; }").is_err());
+    }
+
+    #[test]
+    fn thread_locals_are_linear() {
+        assert!(check_src("fn w() {} fn main() { let t: thread = fork w(); t = t; }").is_err());
+        assert!(check_src("fn main() { let t: thread = 3; }").is_err());
+        assert!(check_src("fn main() { join 3; }").is_err());
+    }
+
+    #[test]
+    fn fork_outside_thread_let_rejected() {
+        assert!(check_src("fn w() {} fn main() { let t: int = fork w(); }").is_err());
+    }
+
+    #[test]
+    fn array_rules() {
+        assert!(check_src("global int a[4]; fn main() { a = 1; }").is_err());
+        assert!(check_src("global int x; fn main() { x[0] = 1; }").is_err());
+        check_src("global int a[4]; fn main() { a[1] = 1; let v: int = a[2]; }").unwrap();
+    }
+
+    #[test]
+    fn call_arity_and_value() {
+        assert!(check_src("fn f(a: int) {} fn main() { f(); }").is_err());
+        assert!(check_src("fn f() {} fn main() { let x: int = f(); }").is_err());
+        check_src("fn f() { return 3; } fn main() { let x: int = f(); }").unwrap();
+    }
+
+    #[test]
+    fn scoping_blocks() {
+        // A local declared in the then-branch is invisible afterwards.
+        assert!(check_src("fn main() { if (true) { let x: int = 1; } x = 2; }").is_err());
+        // Shadowing in an inner scope is allowed.
+        check_src("fn main() { let x: int = 1; if (true) { let x: int = 2; } }").unwrap();
+        // Same scope duplicate is not.
+        assert!(check_src("fn main() { let x: int = 1; let x: int = 2; }").is_err());
+    }
+
+    #[test]
+    fn eq_requires_matching_types() {
+        assert!(check_src("fn main() { let b: bool = true == 1; }").is_err());
+        check_src("fn main() { let b: bool = true == false; }").unwrap();
+    }
+}

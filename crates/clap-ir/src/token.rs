@@ -1,0 +1,250 @@
+//! Token definitions for the DSL lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A lexical token paired with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts in the source.
+    pub span: Span,
+}
+
+/// The set of tokens recognized by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An integer literal, e.g. `42`.
+    Int(i64),
+    /// A string literal (assert messages), e.g. `"lost update"`.
+    Str(String),
+    /// An identifier, e.g. `worker`.
+    Ident(String),
+
+    // Keywords
+    /// `global`
+    Global,
+    /// `mutex`
+    Mutex,
+    /// `cond`
+    Cond,
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `lock`
+    Lock,
+    /// `unlock`
+    Unlock,
+    /// `fork`
+    Fork,
+    /// `join`
+    Join,
+    /// `wait`
+    Wait,
+    /// `signal`
+    Signal,
+    /// `broadcast`
+    Broadcast,
+    /// `yield`
+    Yield,
+    /// `assert`
+    Assert,
+    /// `return`
+    Return,
+    /// `int`
+    TyInt,
+    /// `bool`
+    TyBool,
+    /// `thread`
+    TyThread,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Maps an identifier's text to a keyword token, if it is one.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "global" => TokenKind::Global,
+            "mutex" => TokenKind::Mutex,
+            "cond" => TokenKind::Cond,
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "lock" => TokenKind::Lock,
+            "unlock" => TokenKind::Unlock,
+            "fork" => TokenKind::Fork,
+            "join" => TokenKind::Join,
+            "wait" => TokenKind::Wait,
+            "signal" => TokenKind::Signal,
+            "broadcast" => TokenKind::Broadcast,
+            "yield" => TokenKind::Yield,
+            "assert" => TokenKind::Assert,
+            "return" => TokenKind::Return,
+            "int" => TokenKind::TyInt,
+            "bool" => TokenKind::TyBool,
+            "thread" => TokenKind::TyThread,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Global => write!(f, "global"),
+            TokenKind::Mutex => write!(f, "mutex"),
+            TokenKind::Cond => write!(f, "cond"),
+            TokenKind::Fn => write!(f, "fn"),
+            TokenKind::Let => write!(f, "let"),
+            TokenKind::If => write!(f, "if"),
+            TokenKind::Else => write!(f, "else"),
+            TokenKind::While => write!(f, "while"),
+            TokenKind::Lock => write!(f, "lock"),
+            TokenKind::Unlock => write!(f, "unlock"),
+            TokenKind::Fork => write!(f, "fork"),
+            TokenKind::Join => write!(f, "join"),
+            TokenKind::Wait => write!(f, "wait"),
+            TokenKind::Signal => write!(f, "signal"),
+            TokenKind::Broadcast => write!(f, "broadcast"),
+            TokenKind::Yield => write!(f, "yield"),
+            TokenKind::Assert => write!(f, "assert"),
+            TokenKind::Return => write!(f, "return"),
+            TokenKind::TyInt => write!(f, "int"),
+            TokenKind::TyBool => write!(f, "bool"),
+            TokenKind::TyThread => write!(f, "thread"),
+            TokenKind::True => write!(f, "true"),
+            TokenKind::False => write!(f, "false"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Not => write!(f, "!"),
+            TokenKind::Amp => write!(f, "&"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::Shl => write!(f, "<<"),
+            TokenKind::Shr => write!(f, ">>"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_map_to_tokens() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("thread"), Some(TokenKind::TyThread));
+        assert_eq!(TokenKind::keyword("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::Shl.to_string(), "<<");
+        assert_eq!(TokenKind::AndAnd.to_string(), "&&");
+        assert_eq!(TokenKind::Int(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,356 @@
+//! Source regeneration: renders an AST [`Module`] back to DSL text that
+//! parses to the same module (modulo spans).
+//!
+//! Used by tooling that rewrites programs (e.g. test-case reduction) and
+//! by the round-trip property tests that pin the grammar: for every
+//! module, `parse_module(unparse(m)) == m` with spans erased.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a module as parseable DSL source.
+pub fn unparse(module: &Module) -> String {
+    let mut out = String::new();
+    for g in &module.globals {
+        match g.len {
+            Some(n) => {
+                let _ = writeln!(out, "global int {}[{n}];", g.name);
+            }
+            None if g.init != 0 => {
+                let _ = writeln!(out, "global int {} = {};", g.name, g.init);
+            }
+            None => {
+                let _ = writeln!(out, "global int {};", g.name);
+            }
+        }
+    }
+    for m in &module.mutexes {
+        let _ = writeln!(out, "mutex {};", m.name);
+    }
+    for c in &module.conds {
+        let _ = writeln!(out, "cond {};", c.name);
+    }
+    for f in &module.functions {
+        let params: Vec<String> =
+            f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
+        for stmt in &f.body {
+            unparse_stmt(&mut out, stmt, 1);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Let { name, ty, init, .. } => {
+            let _ = write!(out, "let {name}: {ty} = ");
+            match init {
+                LetInit::Expr(e) => out.push_str(&unparse_expr(e)),
+                LetInit::Fork { func, args } => {
+                    let _ = write!(out, "fork {func}({})", unparse_args(args));
+                }
+                LetInit::Call { func, args } => {
+                    let _ = write!(out, "{func}({})", unparse_args(args));
+                }
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            let _ = writeln!(out, "{} = {};", unparse_lvalue(lhs), unparse_expr(rhs));
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            let _ = writeln!(out, "if ({}) {{", unparse_expr(cond));
+            for s in then_body {
+                unparse_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    unparse_stmt(out, s, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", unparse_expr(cond));
+            for s in body {
+                unparse_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Lock { mutex, .. } => {
+            let _ = writeln!(out, "lock({mutex});");
+        }
+        Stmt::Unlock { mutex, .. } => {
+            let _ = writeln!(out, "unlock({mutex});");
+        }
+        Stmt::Join { handle, .. } => {
+            let _ = writeln!(out, "join {};", unparse_expr(handle));
+        }
+        Stmt::Wait { cond, mutex, .. } => {
+            let _ = writeln!(out, "wait({cond}, {mutex});");
+        }
+        Stmt::Signal { cond, .. } => {
+            let _ = writeln!(out, "signal({cond});");
+        }
+        Stmt::Broadcast { cond, .. } => {
+            let _ = writeln!(out, "broadcast({cond});");
+        }
+        Stmt::Yield { .. } => out.push_str("yield;\n"),
+        Stmt::Assert { cond, message, .. } => {
+            let _ = writeln!(out, "assert({}, {message:?});", unparse_expr(cond));
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {};", unparse_expr(v));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Call { dst, func, args, .. } => {
+            match dst {
+                Some(lv) => {
+                    let _ = write!(out, "{} = ", unparse_lvalue(lv));
+                }
+                None => {}
+            }
+            let _ = writeln!(out, "{func}({});", unparse_args(args));
+        }
+    }
+}
+
+fn unparse_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(name) => name.clone(),
+        LValue::Index(name, index) => format!("{name}[{}]", unparse_expr(index)),
+    }
+}
+
+fn unparse_args(args: &[Expr]) -> String {
+    args.iter().map(unparse_expr).collect::<Vec<_>>().join(", ")
+}
+
+/// Renders an expression fully parenthesized (so precedence never needs
+/// reconstruction).
+fn unparse_expr(expr: &Expr) -> String {
+    match expr {
+        // i64::MIN has no positive counterpart; the hex literal wraps to
+        // it exactly (the lexer accepts full-width bit patterns).
+        Expr::Int(v, _) if *v == i64::MIN => "0x8000000000000000".to_owned(),
+        Expr::Int(v, _) if *v < 0 => format!("(-{})", v.unsigned_abs()),
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Var(name, _) => name.clone(),
+        Expr::Index(name, index, _) => format!("{name}[{}]", unparse_expr(index)),
+        Expr::Unary(UnOp::Neg, inner, _) => format!("(-{})", unparse_expr(inner)),
+        Expr::Unary(UnOp::Not, inner, _) => format!("(!{})", unparse_expr(inner)),
+        Expr::Binary(op, lhs, rhs, _) => {
+            format!("({} {op} {})", unparse_expr(lhs), unparse_expr(rhs))
+        }
+    }
+}
+
+/// Structural equality on modules that ignores spans (and the numeric
+/// encoding differences the unparser introduces for negative literals).
+pub fn modules_equal_modulo_spans(a: &Module, b: &Module) -> bool {
+    fn norm(m: &Module) -> Module {
+        // Cheap normalization: unparse and reparse both once more is
+        // overkill; instead compare span-erased debug output of a
+        // canonicalized clone.
+        let mut m = m.clone();
+        for f in &mut m.functions {
+            erase_spans(&mut f.body);
+            f.span = crate::error::Span::unknown();
+        }
+        for g in &mut m.globals {
+            g.span = crate::error::Span::unknown();
+        }
+        for d in m.mutexes.iter_mut().chain(m.conds.iter_mut()) {
+            d.span = crate::error::Span::unknown();
+        }
+        m
+    }
+    format!("{:?}", norm(a)) == format!("{:?}", norm(b))
+}
+
+fn erase_spans(body: &mut [Stmt]) {
+    use crate::error::Span;
+    for stmt in body {
+        match stmt {
+            Stmt::Let { init, span, .. } => {
+                *span = Span::unknown();
+                match init {
+                    LetInit::Expr(e) => erase_expr_spans(e),
+                    LetInit::Fork { args, .. } | LetInit::Call { args, .. } => {
+                        args.iter_mut().for_each(erase_expr_spans)
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                *span = Span::unknown();
+                if let LValue::Index(_, i) = lhs {
+                    erase_expr_spans(i);
+                }
+                erase_expr_spans(rhs);
+            }
+            Stmt::If { cond, then_body, else_body, span } => {
+                *span = Span::unknown();
+                erase_expr_spans(cond);
+                erase_spans(then_body);
+                erase_spans(else_body);
+            }
+            Stmt::While { cond, body, span } => {
+                *span = Span::unknown();
+                erase_expr_spans(cond);
+                erase_spans(body);
+            }
+            Stmt::Join { handle, span } => {
+                *span = Span::unknown();
+                erase_expr_spans(handle);
+            }
+            Stmt::Assert { cond, span, .. } => {
+                *span = Span::unknown();
+                erase_expr_spans(cond);
+            }
+            Stmt::Return { value, span } => {
+                *span = Span::unknown();
+                if let Some(v) = value {
+                    erase_expr_spans(v);
+                }
+            }
+            Stmt::Call { dst, args, span, .. } => {
+                *span = Span::unknown();
+                if let Some(LValue::Index(_, i)) = dst {
+                    erase_expr_spans(i);
+                }
+                args.iter_mut().for_each(erase_expr_spans);
+            }
+            Stmt::Lock { span, .. }
+            | Stmt::Unlock { span, .. }
+            | Stmt::Wait { span, .. }
+            | Stmt::Signal { span, .. }
+            | Stmt::Broadcast { span, .. }
+            | Stmt::Yield { span } => *span = Span::unknown(),
+        }
+    }
+}
+
+fn erase_expr_spans(expr: &mut Expr) {
+    use crate::error::Span;
+    match expr {
+        Expr::Int(_, s) | Expr::Bool(_, s) | Expr::Var(_, s) => *s = Span::unknown(),
+        Expr::Index(_, inner, s) => {
+            *s = Span::unknown();
+            erase_expr_spans(inner);
+        }
+        Expr::Unary(op, inner, s) => {
+            *s = Span::unknown();
+            erase_expr_spans(inner);
+            // The parser folds `-<literal>`: normalize so hand-built ASTs
+            // compare equal to their reparsed forms.
+            if let (UnOp::Neg, Expr::Int(v, _)) = (*op, inner.as_ref().clone()) {
+                *expr = Expr::Int(v.wrapping_neg(), Span::unknown());
+            }
+        }
+        Expr::Binary(_, lhs, rhs, s) => {
+            *s = Span::unknown();
+            erase_expr_spans(lhs);
+            erase_expr_spans(rhs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    fn round_trip(src: &str) {
+        let a = parse_module(src).expect("source parses");
+        let text = unparse(&a);
+        let b = parse_module(&text)
+            .unwrap_or_else(|e| panic!("unparsed text must parse: {e}\n---\n{text}"));
+        assert!(
+            modules_equal_modulo_spans(&a, &b),
+            "round trip changed the AST:\n---original---\n{src}\n---unparsed---\n{text}"
+        );
+    }
+
+    #[test]
+    fn round_trips_declarations() {
+        round_trip("global int x = 5; global int a[3]; mutex m; cond c; fn main() {}");
+    }
+
+    #[test]
+    fn round_trips_all_statements() {
+        round_trip(
+            r#"
+            global int x = 0; global int a[4]; mutex m; cond c;
+            fn f(v: int) { return v + 1; }
+            fn w() {
+                lock(m);
+                while (x < 3) { wait(c, m); }
+                a[x & 3] = f(x);
+                x = f(2);
+                signal(c);
+                broadcast(c);
+                unlock(m);
+                yield;
+                assert(x >= 0, "msg with \"quotes\"");
+            }
+            fn main() {
+                let t: thread = fork w();
+                if (x == 0) { x = 1; } else { x = 2; }
+                let y: int = f(3);
+                let b: bool = true;
+                join t;
+                return;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_expression_precedence() {
+        round_trip(
+            "global int x = 0;
+             fn main() {
+                 let a: int = 1 + 2 * 3 - 4 / 5 % 6;
+                 let b: bool = (a < 3 || a > 7) && !(a == 5);
+                 let c: int = (a & 3) | (a ^ 12) << 2 >> 1;
+                 let d: int = -a + - -3;
+                 x = a + c + d;
+                 assert(b || x != 0);
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_negative_literals() {
+        round_trip("global int x = -9; fn main() { let v: int = -1 - -2; x = v; }");
+    }
+
+    #[test]
+    fn unparse_is_stable() {
+        // unparse(parse(unparse(m))) == unparse(m): a fixpoint after one
+        // round.
+        let src = "global int x = 3; fn main() { while (x > 0) { x = x - 1; } }";
+        let a = parse_module(src).unwrap();
+        let once = unparse(&a);
+        let twice = unparse(&parse_module(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

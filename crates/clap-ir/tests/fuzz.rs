@@ -1,0 +1,344 @@
+//! Robustness properties of the front end: no input may panic the lexer,
+//! parser, or checker; valid programs survive arbitrary whitespace and
+//! comment injection.
+
+use clap_ir::{lexer, parse, parse_module};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer returns `Ok` or `Err` — never panics — on arbitrary
+    /// bytes.
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lexer::lex(&input);
+    }
+
+    /// The whole front end never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse(&input);
+    }
+
+    /// Token-shaped garbage (keywords, identifiers, punctuation strung
+    /// together) also never panics and errors out cleanly.
+    #[test]
+    fn parser_survives_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("fn".to_owned()),
+                Just("while".to_owned()),
+                Just("if".to_owned()),
+                Just("let".to_owned()),
+                Just("global".to_owned()),
+                Just("int".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just(";".to_owned()),
+                Just("=".to_owned()),
+                Just("==".to_owned()),
+                Just("+".to_owned()),
+                "[a-z]{1,4}".prop_map(|s| s),
+                "[0-9]{1,6}".prop_map(|s| s),
+            ],
+            0..40,
+        )
+    ) {
+        let source = tokens.join(" ");
+        let _ = parse(&source);
+    }
+
+    /// A known-good program still parses after injecting comments and
+    /// whitespace between every token boundary that allows them.
+    #[test]
+    fn whitespace_and_comments_are_insignificant(pad in "[ \t\n]{0,3}") {
+        let base = format!(
+            "global int x = 0;{pad}// comment\nfn main(){pad}{{ x = 1;{pad}/* block */ }}"
+        );
+        let module = parse_module(&base).expect("padded program parses");
+        prop_assert_eq!(module.functions.len(), 1);
+    }
+}
+
+/// Deterministic regression corpus for inputs that once looked risky.
+#[test]
+fn regression_corpus() {
+    let corpus = [
+        "",
+        ";",
+        "fn",
+        "fn main",
+        "fn main() {",
+        "fn main() { let x: int = ; }",
+        "global int a[0];",
+        "global int a[-3];",
+        "fn main() { assert(); }",
+        "fn main() { join; }",
+        "fn main() { x[[1]] = 2; }",
+        "fn main() { let t: thread = fork; }",
+        "/* unterminated",
+        "\"unterminated",
+        "fn main() { let x: int = 1 + ; }",
+        "fn main() { while () {} }",
+        "fn f(x: int, x: int) {} fn main() {}",
+        "fn main() { 0x; }",
+        "fn main() { let x: int = 99999999999999999999999999; }",
+    ];
+    for source in corpus {
+        assert!(parse(source).is_err(), "must reject: {source:?}");
+    }
+}
+
+/// A larger well-formed program exercising every construct parses and
+/// lowers.
+#[test]
+fn kitchen_sink_parses() {
+    let program = parse(
+        r#"
+        global int scal = -7;
+        global int arr[16];
+        mutex m1;
+        mutex m2;
+        cond c1;
+
+        fn helper(a: int, b: bool) {
+            if (b) { return a * 2; } else { return a; }
+        }
+
+        fn worker(id: int) {
+            let i: int = 0;
+            while (i < 4) {
+                lock(m1);
+                arr[(id + i) & 15] = helper(i, i % 2 == 0);
+                signal(c1);
+                unlock(m1);
+                yield;
+                i = i + 1;
+            }
+        }
+
+        fn main() {
+            let t1: thread = fork worker(1);
+            let t2: thread = fork worker(2);
+            lock(m2);
+            scal = scal + 1;
+            unlock(m2);
+            join t1;
+            join t2;
+            let total: int = 0;
+            let j: int = 0;
+            while (j < 16) {
+                total = total + arr[j];
+                j = j + 1;
+            }
+            assert(total >= 0 || scal != -6, "sink");
+        }
+        "#,
+    )
+    .expect("kitchen sink parses");
+    assert_eq!(program.functions.len(), 3);
+    assert!(program.instr_count() > 30);
+}
+
+mod ast_round_trip {
+    //! Random-AST round trip: any grammatically well-formed module must
+    //! survive `unparse` → `parse_module` unchanged (spans erased).
+    //! Semantic validity is NOT required — the grammar alone is pinned.
+
+    use clap_ir::ast::*;
+    use clap_ir::error::Span;
+    use clap_ir::unparse::{modules_equal_modulo_spans, unparse};
+    use proptest::prelude::*;
+
+    fn name() -> impl Strategy<Value = String> {
+        // Identifiers that cannot collide with keywords.
+        "[a-z][a-z0-9]{0,3}x".prop_map(|s| s)
+    }
+
+    fn expr(depth: u32) -> BoxedStrategy<Expr> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(|v| Expr::Int(v, Span::unknown())),
+            any::<bool>().prop_map(|b| Expr::Bool(b, Span::unknown())),
+            name().prop_map(|n| Expr::Var(n, Span::unknown())),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let sub = expr(depth - 1);
+        prop_oneof![
+            leaf,
+            (name(), sub.clone())
+                .prop_map(|(n, i)| Expr::Index(n, Box::new(i), Span::unknown())),
+            (unop(), sub.clone())
+                .prop_map(|(op, i)| Expr::Unary(op, Box::new(i), Span::unknown())),
+            (binop(), sub.clone(), sub)
+                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r), Span::unknown())),
+        ]
+        .boxed()
+    }
+
+    fn unop() -> impl Strategy<Value = UnOp> {
+        prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)]
+    }
+
+    fn binop() -> impl Strategy<Value = BinOp> {
+        prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+        ]
+    }
+
+    fn ty() -> impl Strategy<Value = Type> {
+        prop_oneof![Just(Type::Int), Just(Type::Bool)]
+    }
+
+    fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+        let e = || expr(2);
+        let simple = prop_oneof![
+            (name(), ty(), e()).prop_map(|(n, t, init)| Stmt::Let {
+                name: n,
+                ty: t,
+                init: LetInit::Expr(init),
+                span: Span::unknown(),
+            }),
+            (name(), e()).prop_map(|(n, rhs)| Stmt::Assign {
+                lhs: LValue::Var(n),
+                rhs,
+                span: Span::unknown(),
+            }),
+            (name(), e(), e()).prop_map(|(n, i, rhs)| Stmt::Assign {
+                lhs: LValue::Index(n, i),
+                rhs,
+                span: Span::unknown(),
+            }),
+            name().prop_map(|m| Stmt::Lock { mutex: m, span: Span::unknown() }),
+            name().prop_map(|m| Stmt::Unlock { mutex: m, span: Span::unknown() }),
+            e().prop_map(|h| Stmt::Join { handle: h, span: Span::unknown() }),
+            (name(), name()).prop_map(|(c, m)| Stmt::Wait {
+                cond: c,
+                mutex: m,
+                span: Span::unknown(),
+            }),
+            name().prop_map(|c| Stmt::Signal { cond: c, span: Span::unknown() }),
+            name().prop_map(|c| Stmt::Broadcast { cond: c, span: Span::unknown() }),
+            Just(Stmt::Yield { span: Span::unknown() }),
+            (e(), "[ -~&&[^\"\\\\]]{0,12}").prop_map(|(c, msg)| Stmt::Assert {
+                cond: c,
+                message: msg,
+                span: Span::unknown(),
+            }),
+            proptest::option::of(e()).prop_map(|v| Stmt::Return {
+                value: v,
+                span: Span::unknown(),
+            }),
+            (proptest::option::of(name().prop_map(LValue::Var)), name(),
+             proptest::collection::vec(expr(1), 0..3))
+                .prop_map(|(dst, func, args)| Stmt::Call {
+                    dst,
+                    func,
+                    args,
+                    span: Span::unknown(),
+                }),
+            (name(), name(), proptest::collection::vec(expr(1), 0..3)).prop_map(
+                |(n, func, args)| Stmt::Let {
+                    name: n,
+                    ty: Type::Thread,
+                    init: LetInit::Fork { func, args },
+                    span: Span::unknown(),
+                }
+            ),
+        ];
+        if depth == 0 {
+            return simple.boxed();
+        }
+        let body = proptest::collection::vec(stmt(depth - 1), 0..3);
+        prop_oneof![
+            simple,
+            (e(), body.clone(), body.clone()).prop_map(|(c, t, els)| Stmt::If {
+                cond: c,
+                then_body: t,
+                else_body: els,
+                span: Span::unknown(),
+            }),
+            (e(), body).prop_map(|(c, b)| Stmt::While {
+                cond: c,
+                body: b,
+                span: Span::unknown(),
+            }),
+        ]
+        .boxed()
+    }
+
+    fn module() -> impl Strategy<Value = Module> {
+        (
+            proptest::collection::vec((name(), proptest::option::of(1usize..9), -100i64..100), 0..3),
+            proptest::collection::vec(name(), 0..2),
+            proptest::collection::vec(name(), 0..2),
+            proptest::collection::vec(
+                (name(), proptest::collection::vec((name(), ty()), 0..3),
+                 proptest::collection::vec(stmt(2), 0..4)),
+                1..3,
+            ),
+        )
+            .prop_map(|(globals, mutexes, conds, functions)| Module {
+                globals: globals
+                    .into_iter()
+                    .map(|(n, len, init)| GlobalAst {
+                        name: n,
+                        len,
+                        init: if len.is_some() { 0 } else { init },
+                        span: Span::unknown(),
+                    })
+                    .collect(),
+                mutexes: mutexes
+                    .into_iter()
+                    .map(|n| NamedDecl { name: n, span: Span::unknown() })
+                    .collect(),
+                conds: conds
+                    .into_iter()
+                    .map(|n| NamedDecl { name: n, span: Span::unknown() })
+                    .collect(),
+                functions: functions
+                    .into_iter()
+                    .map(|(n, params, body)| FunctionAst {
+                        name: n,
+                        params,
+                        body,
+                        span: Span::unknown(),
+                    })
+                    .collect(),
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn unparse_parse_round_trip(m in module()) {
+            let text = unparse(&m);
+            let back = clap_ir::parse_module(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+            prop_assert!(
+                modules_equal_modulo_spans(&m, &back),
+                "AST changed:\n{text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The parallel generate-and-validate driver (§4.3).
+//!
+//! One producer enumerates CSP sets of increasing size and generates the
+//! candidate schedules for each; a pool of workers validates candidates
+//! concurrently ("each single schedule generation and validation is
+//! independent and fast"). Exhausting each preemption bound before the
+//! next makes the first hit a **minimal-context-switch** reproduction.
+
+use crate::gen::{for_each_csp_set, Generator};
+use clap_constraints::{validate, ConstraintSystem, Schedule, Witness};
+use clap_ir::Program;
+use clap_symex::SapId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Parallel-search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Validation workers (0 = one per available core, minus one for the
+    /// producer).
+    pub workers: usize,
+    /// Largest preemption bound to try.
+    pub max_cs: usize,
+    /// Stop after this many validated schedules (the paper typically
+    /// finds several before the stop signal lands).
+    pub stop_after_good: usize,
+    /// Cap on generated schedules per preemption level (0 = unlimited).
+    pub max_generated_per_level: u64,
+    /// Cap on CSP sets per level (0 = unlimited).
+    pub max_sets_per_level: u64,
+    /// Cap on generator DFS nodes per level (0 = unlimited); bounds
+    /// pruned searches that rarely complete a schedule.
+    pub max_nodes_per_level: u64,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 0,
+            max_cs: 3,
+            stop_after_good: 1,
+            max_generated_per_level: 2_000_000,
+            max_sets_per_level: 200_000,
+            max_nodes_per_level: 50_000_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Search counters (Table 3 columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Candidate schedules generated.
+    pub generated: u64,
+    /// Candidates validated (some may be skipped after the stop signal).
+    pub validated: u64,
+    /// Correct (bug-reproducing) schedules found.
+    pub good: u64,
+    /// The preemption bound at which the search stopped.
+    pub cs_bound: usize,
+}
+
+/// The outcome of the parallel search.
+#[derive(Debug)]
+pub enum ParallelOutcome {
+    /// At least one schedule reproduces the bug; the first one found at
+    /// the smallest preemption bound is returned.
+    Found {
+        /// The bug-reproducing schedule.
+        schedule: Schedule,
+        /// Its witness.
+        witness: Witness,
+        /// Preemptive context switches of the schedule (§4.2 metric).
+        cs: usize,
+        /// Effort counters.
+        stats: ParallelStats,
+    },
+    /// Every preemption bound up to `max_cs` was exhausted with no hit.
+    Exhausted(ParallelStats),
+    /// A budget (deadline, set cap, generation cap) stopped the search.
+    Budget(ParallelStats),
+}
+
+impl ParallelOutcome {
+    /// The found schedule, if any.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            ParallelOutcome::Found { schedule, .. } => Some(schedule),
+            _ => None,
+        }
+    }
+
+    /// The effort counters regardless of outcome.
+    pub fn stats(&self) -> ParallelStats {
+        match self {
+            ParallelOutcome::Found { stats, .. }
+            | ParallelOutcome::Exhausted(stats)
+            | ParallelOutcome::Budget(stats) => *stats,
+        }
+    }
+}
+
+/// Runs the §4.3 parallel search.
+pub fn solve_parallel(
+    program: &Program,
+    system: &ConstraintSystem<'_>,
+    config: ParallelConfig,
+) -> ParallelOutcome {
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(1).max(1)
+    } else {
+        config.workers
+    };
+    let mut stats = ParallelStats::default();
+    let mut budget_hit = false;
+
+    for c in 0..=config.max_cs {
+        stats.cs_bound = c;
+        let stop = AtomicBool::new(false);
+        let truncated = AtomicBool::new(false);
+        let validated = AtomicU64::new(0);
+        let good: Mutex<Vec<(Schedule, Witness)>> = Mutex::new(Vec::new());
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<SapId>>(4096);
+
+        let generated_this_level = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                let stop = &stop;
+                let validated = &validated;
+                let good = &good;
+                scope.spawn(move || {
+                    while let Ok(order) = rx.recv() {
+                        if stop.load(Ordering::Relaxed) {
+                            continue; // drain
+                        }
+                        validated.fetch_add(1, Ordering::Relaxed);
+                        let schedule = Schedule { order };
+                        if let Ok(witness) = validate(program, system, &schedule) {
+                            let mut g = good.lock().expect("good lock");
+                            g.push((schedule, witness));
+                            if g.len() >= config.stop_after_good {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            // Producer (this thread).
+            let mut generator = Generator::new(program, system, config.max_generated_per_level);
+            generator.set_node_budget(config.max_nodes_per_level);
+            generator.set_deadline(config.deadline);
+            let exhausted_sets = for_each_csp_set(
+                system,
+                c,
+                config.max_sets_per_level,
+                &mut |set| {
+                    if stop.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    if let Some(deadline) = config.deadline {
+                        if Instant::now() >= deadline {
+                            truncated.store(true, Ordering::Relaxed);
+                            return false;
+                        }
+                    }
+                    generator.run(set, &mut |order| {
+                        if stop.load(Ordering::Relaxed) {
+                            return false;
+                        }
+                        tx.send(order.to_vec()).is_ok()
+                    })
+                },
+            );
+            if !exhausted_sets
+                || generator.hit_budget()
+                || (config.max_generated_per_level > 0
+                    && generator.generated() >= config.max_generated_per_level)
+            {
+                // Either stopped on purpose (fine) or a cap fired.
+                if !stop.load(Ordering::Relaxed) {
+                    truncated.store(true, Ordering::Relaxed);
+                }
+            }
+            drop(tx);
+            generator.generated()
+        });
+
+        stats.generated += generated_this_level;
+        stats.validated += validated.load(Ordering::Relaxed);
+        let found = good.into_inner().expect("good lock");
+        stats.good += found.len() as u64;
+        if let Some((schedule, witness)) = found.into_iter().next() {
+            let cs = schedule.context_switches(system.trace);
+            return ParallelOutcome::Found { schedule, witness, cs, stats };
+        }
+        if truncated.load(Ordering::Relaxed) {
+            budget_hit = true;
+            break;
+        }
+    }
+    if budget_hit {
+        ParallelOutcome::Budget(stats)
+    } else {
+        ParallelOutcome::Exhausted(stats)
+    }
+}
+
+/// `log10` of the worst-case number of schedules — the interleaving count
+/// `(Σ nᵢ)! / Π (nᵢ!)` used for Table 3's "#worst" column.
+pub fn worst_case_schedules_log10(system: &ConstraintSystem<'_>) -> f64 {
+    fn log10_factorial(n: u64) -> f64 {
+        (2..=n).map(|k| (k as f64).log10()).sum()
+    }
+    let total: u64 = system.trace.per_thread.iter().map(|t| t.len() as u64).sum();
+    let mut v = log10_factorial(total);
+    for t in &system.trace.per_thread {
+        v -= log10_factorial(t.len() as u64);
+    }
+    v
+}

@@ -1,0 +1,446 @@
+//! Deterministic bug replay: drives the VM so that the shared access
+//! points execute in exactly the order of a computed
+//! [`clap_constraints::Schedule`], reproducing the recorded failure.
+//!
+//! This is the reproduction's Tinertia-style application-level scheduler
+//! (§5): before each SAP the executing thread checks whether it holds the
+//! next position in the schedule and is otherwise *postponed*. Concretely
+//! the [`ReplayScheduler`]:
+//!
+//! * lets threads execute **invisible** steps (pure computation,
+//!   non-shared accesses, calls, asserts) freely — they commute;
+//! * lets TSO/PSO threads **buffer** stores freely (buffering is
+//!   invisible; the store's schedule position is its *drain*);
+//! * releases a visible SAP (shared load, SC store, lock/unlock, fork,
+//!   join, wait, signal) only when it is the globally next SAP;
+//! * releases a buffered store's **drain** only at its position;
+//! * holds a thread's final `return` (which flushes its buffer) until all
+//!   of the thread's scheduled drains have happened.
+//!
+//! Threads are matched between the recorded trace and the replay run by
+//! their canonical [`Lineage`].
+
+use clap_constraints::Schedule;
+use clap_ir::{AssertId, Program};
+use clap_symex::{SapKind, SymTrace, ThreadIdx};
+use clap_vm::{
+    Action, Lineage, Monitor, NullMonitor, Outcome, Scheduler, SharedSpec, StepPreview, ThreadId,
+    Vm,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a replay run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// The VM outcome of the replay run.
+    pub outcome: Outcome,
+    /// `true` when the expected assert fired (the bug was reproduced).
+    pub reproduced: bool,
+    /// Scheduler steps consumed.
+    pub steps: u64,
+    /// Schedule positions consumed before the failure fired.
+    pub positions_consumed: usize,
+}
+
+/// Replay errors (a valid schedule never produces one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The scheduler could make no progress toward the next position.
+    Stuck {
+        /// The schedule position that could not be released.
+        position: usize,
+    },
+    /// The run ended in an unexpected way (deadlock, fault, completion
+    /// without failure).
+    Diverged {
+        /// The outcome observed.
+        outcome: Outcome,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Stuck { position } => {
+                write!(f, "replay stuck before schedule position {position}")
+            }
+            ReplayError::Diverged { outcome } => {
+                write!(f, "replay diverged with outcome {outcome:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The schedule-enforcing scheduler.
+pub struct ReplayScheduler<'t> {
+    /// Per schedule position: (thread, per-thread SAP index, is-write).
+    gates: Vec<(ThreadIdx, u64, bool)>,
+    /// lineage → trace thread index.
+    lineage_to_idx: HashMap<Lineage, ThreadIdx>,
+    pos: usize,
+    stuck_rounds: u32,
+    /// Keeps the borrow honest: gates reference the trace's numbering.
+    _trace: std::marker::PhantomData<&'t SymTrace>,
+}
+
+impl<'t> ReplayScheduler<'t> {
+    /// Builds the scheduler for a schedule over `trace`.
+    pub fn new(trace: &'t SymTrace, schedule: &Schedule) -> Self {
+        let gates: Vec<(ThreadIdx, u64, bool)> = schedule
+            .order
+            .iter()
+            .map(|&s| {
+                let sap = trace.sap(s);
+                (sap.thread, sap.po, matches!(sap.kind, SapKind::Write { .. }))
+            })
+            .collect();
+        ReplayScheduler {
+            gates,
+            lineage_to_idx: trace
+                .lineages
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.clone(), ThreadIdx(i as u32)))
+                .collect(),
+            pos: 0,
+            stuck_rounds: 0,
+            _trace: std::marker::PhantomData,
+        }
+    }
+
+    /// The number of schedule positions already released.
+    pub fn positions_consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` if the scheduler ever failed to find a step (diagnostic).
+    pub fn is_stuck(&self) -> bool {
+        self.stuck_rounds > 0
+    }
+
+    fn thread_idx(&self, vm: &Vm<'_>, t: ThreadId) -> Option<ThreadIdx> {
+        self.lineage_to_idx.get(&vm.thread(t).lineage).copied()
+    }
+}
+
+impl Scheduler for ReplayScheduler<'_> {
+    fn pick(&mut self, vm: &Vm<'_>, actions: &[Action]) -> usize {
+        let gate = self.gates.get(self.pos).copied();
+        let mut fallback: Option<usize> = None;
+        // An action that provably changes nothing (a step that would
+        // block): the safe thing to return when the schedule is stuck.
+        let mut blocked: Option<usize> = None;
+        for (i, action) in actions.iter().enumerate() {
+            match *action {
+                Action::Step(t) => {
+                    let Some(idx) = self.thread_idx(vm, t) else { continue };
+                    match vm.preview_step(t) {
+                        StepPreview::Invisible | StepPreview::AssertStep => {
+                            // Freely allowed; remember one as fallback.
+                            fallback.get_or_insert(i);
+                        }
+                        StepPreview::BufferedStore { .. } => {
+                            // Buffering is invisible under TSO/PSO.
+                            fallback.get_or_insert(i);
+                        }
+                        StepPreview::ThreadExit => {
+                            // Hold the exit until the thread's scheduled
+                            // drains are done (exit flushes the buffer).
+                            if vm.buffered_store_count(t) == 0 {
+                                fallback.get_or_insert(i);
+                            }
+                        }
+                        StepPreview::Sap { po_index, .. } => {
+                            // A gate is identified by (thread, po): under
+                            // SC, write SAPs execute as steps; under
+                            // TSO/PSO they appear as drains instead and
+                            // never preview as `Sap`.
+                            if let Some((gt, gpo, _)) = gate {
+                                if gt == idx && gpo == po_index {
+                                    self.pos += 1;
+                                    return i;
+                                }
+                            }
+                            // Not this SAP's turn: executing it would
+                            // break determinism, so it is never a
+                            // fallback.
+                        }
+                        StepPreview::WouldBlock => {
+                            // Truly a no-op step: safe to burn when stuck.
+                            blocked.get_or_insert(i);
+                        }
+                    }
+                }
+                Action::Drain(t, addr) => {
+                    let Some(idx) = self.thread_idx(vm, t) else { continue };
+                    if let (Some((gt, gpo, _)), Some(po)) = (gate, vm.drain_preview(t, addr)) {
+                        if gt == idx && gpo == po {
+                            self.pos += 1;
+                            return i;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(i) = fallback {
+            return i;
+        }
+        // No invisible progress and no gate enabled: the schedule cannot
+        // be followed. Latch the diagnosis and return a *blocked* step
+        // (which changes nothing) when one exists, so the run terminates
+        // via the step limit rather than executing an ungated SAP and
+        // silently corrupting determinism.
+        self.stuck_rounds += 1;
+        blocked.unwrap_or(0)
+    }
+}
+
+/// Replays `schedule` on a fresh VM under the given memory model and
+/// checks that `expected_assert` fires.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Stuck`] when the schedule cannot be enforced and
+/// [`ReplayError::Diverged`] when the run ends without the expected
+/// failure.
+pub fn replay(
+    program: &Program,
+    model: clap_vm::MemModel,
+    shared: SharedSpec,
+    trace: &SymTrace,
+    schedule: &Schedule,
+    expected_assert: AssertId,
+) -> Result<ReplayReport, ReplayError> {
+    replay_under(program, model, shared, trace, schedule, expected_assert, &mut NullMonitor)
+}
+
+/// Full-control replay: explicit memory model and monitor.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Stuck`] when the schedule cannot be enforced and
+/// [`ReplayError::Diverged`] when the run ends without the expected
+/// failure.
+pub fn replay_under(
+    program: &Program,
+    model: clap_vm::MemModel,
+    shared: SharedSpec,
+    trace: &SymTrace,
+    schedule: &Schedule,
+    expected_assert: AssertId,
+    monitor: &mut dyn Monitor,
+) -> Result<ReplayReport, ReplayError> {
+    let mut vm = Vm::with_shared(program, model, shared);
+    // A generous fuse: replay performs O(instructions) steps; a stuck
+    // scheduler burns steps on a blocked action until this fires.
+    vm.set_step_limit(50_000_000);
+    let mut sched = ReplayScheduler::new(trace, schedule);
+    let outcome = vm.run(&mut sched, monitor);
+    let steps = vm.stats().steps;
+    let positions_consumed = sched.positions_consumed();
+    if sched.is_stuck() {
+        // The scheduler could not follow the schedule at some point; even
+        // if an assert fired afterwards, the run was not the computed one.
+        return Err(ReplayError::Stuck { position: positions_consumed });
+    }
+    match &outcome {
+        Outcome::AssertFailed { assert, .. } if *assert == expected_assert => Ok(ReplayReport {
+            outcome,
+            reproduced: true,
+            steps,
+            positions_consumed,
+        }),
+        _ => Err(ReplayError::Diverged { outcome }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clap_analysis::analyze;
+    use clap_constraints::ConstraintSystem;
+    use clap_ir::parse;
+    use clap_profile::{decode_log, BlTables, PathRecorder};
+    use clap_symex::{execute, FailureContext};
+    use clap_vm::{MemModel, RandomScheduler};
+
+    fn pipeline(src: &str, model: MemModel, max_seed: u64) -> ReplayReport {
+        let program = parse(src).unwrap();
+        let sharing = analyze(&program);
+        let tables = BlTables::build(&program);
+        for seed in 0..max_seed {
+            let mut vm = Vm::with_shared(&program, model, sharing.shared_spec());
+            let mut rec = PathRecorder::new(&tables);
+            let outcome = vm.run(&mut RandomScheduler::new(seed), &mut rec);
+            if let Outcome::AssertFailed { assert, .. } = outcome {
+                let failure = FailureContext::from_vm(&vm);
+                let paths = decode_log(&program, &tables, &rec.finish()).unwrap();
+                let trace = execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
+                let sys = ConstraintSystem::build(&program, &trace, model);
+                let solved =
+                    clap_solver::solve(&program, &sys, clap_solver::SolverConfig::default());
+                let solution = solved.solution().expect("solvable");
+                return replay_under(
+                    &program,
+                    model,
+                    sharing.shared_spec(),
+                    &trace,
+                    &solution.schedule,
+                    assert,
+                    &mut NullMonitor,
+                )
+                .expect("replay succeeds");
+            }
+        }
+        panic!("no failing seed in 0..{max_seed}");
+    }
+
+    #[test]
+    fn replays_lost_update_deterministically() {
+        let report = pipeline(
+            "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }",
+            MemModel::Sc,
+            500,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replays_locked_critical_sections() {
+        let report = pipeline(
+            "global int x = 0; mutex m;
+             fn w() { lock(m); let v: int = x; unlock(m); yield; lock(m); x = v + 1; unlock(m); }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }",
+            MemModel::Sc,
+            2000,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replays_condvar_ordering() {
+        let report = pipeline(
+            "global int ready = 0; global int got = 0; mutex m; cond c;
+             fn consumer() {
+                 lock(m);
+                 while (ready == 0) { wait(c, m); }
+                 got = got + 1;
+                 unlock(m);
+             }
+             fn main() {
+                 let t: thread = fork consumer();
+                 lock(m); ready = 1; signal(c); unlock(m);
+                 join t;
+                 let g: int = got;
+                 assert(g == 0, \"consumer ran\");
+             }",
+            MemModel::Sc,
+            500,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replays_tso_store_buffering() {
+        let report = pipeline(
+            "global int x = 0; global int y = 0;
+             global int r1 = -1; global int r2 = -1;
+             fn t1() { x = 1; r1 = y; }
+             fn t2() { y = 1; r2 = x; }
+             fn main() {
+                 let a: thread = fork t1(); let b: thread = fork t2();
+                 join a; join b;
+                 assert(r1 + r2 > 0, \"SB\");
+             }",
+            MemModel::Tso,
+            500,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replays_pso_write_reordering() {
+        let report = pipeline(
+            "global int data = 0; global int flag = 0; global int seen = -1;
+             fn writer() { data = 1; flag = 1; }
+             fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+             fn main() {
+                 let w: thread = fork writer(); let r: thread = fork reader();
+                 join w; join r;
+                 assert(seen != 0, \"MP\");
+             }",
+            MemModel::Pso,
+            6000,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replay_is_repeatable() {
+        // Replaying the same schedule twice gives the same reads-from and
+        // the same failure.
+        let src = "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }";
+        let a = pipeline(src, MemModel::Sc, 500);
+        let b = pipeline(src, MemModel::Sc, 500);
+        assert_eq!(a.positions_consumed, b.positions_consumed);
+        assert!(a.reproduced && b.reproduced);
+    }
+
+    #[test]
+    fn wrong_schedule_diverges_not_panics() {
+        // Build a valid trace, then replay a *reversed-workers* schedule
+        // that cannot manifest the bug… construct by validating a serial
+        // schedule (workers not interleaved) — replay must report
+        // divergence rather than reproduce.
+        let src = "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }";
+        let program = parse(src).unwrap();
+        let sharing = analyze(&program);
+        let tables = BlTables::build(&program);
+        for seed in 0..500 {
+            let mut vm = Vm::with_shared(&program, MemModel::Sc, sharing.shared_spec());
+            let mut rec = PathRecorder::new(&tables);
+            let outcome = vm.run(&mut RandomScheduler::new(seed), &mut rec);
+            if let Outcome::AssertFailed { assert, .. } = outcome {
+                let failure = FailureContext::from_vm(&vm);
+                let paths = decode_log(&program, &tables, &rec.finish()).unwrap();
+                let trace =
+                    execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
+                // Serial schedule: main prefix, all of T1, all of T2,
+                // main suffix — in per-thread po order.
+                let mut order = Vec::new();
+                let main_saps = &trace.per_thread[0];
+                order.extend_from_slice(&main_saps[..2]); // fork, fork
+                order.extend_from_slice(&trace.per_thread[1]);
+                order.extend_from_slice(&trace.per_thread[2]);
+                order.extend_from_slice(&main_saps[2..]);
+                let schedule = Schedule::new(order, &trace);
+                let err = replay_under(
+                    &program,
+                    MemModel::Sc,
+                    sharing.shared_spec(),
+                    &trace,
+                    &schedule,
+                    assert,
+                    &mut NullMonitor,
+                )
+                .unwrap_err();
+                assert!(matches!(err, ReplayError::Diverged { .. }), "{err}");
+                return;
+            }
+        }
+        panic!("no failing seed");
+    }
+}

@@ -1,0 +1,260 @@
+//! The sequential CLAP constraint solver: maps each shared read to a
+//! write (or the initial value), each wait to its signal, and orders the
+//! shared access points, producing a deterministic bug-reproducing
+//! [`clap_constraints::Schedule`].
+//!
+//! The solver is a from-scratch replacement for the paper's use of STP: a
+//! backtracking DPLL(T)-style search whose theory solver is an incremental
+//! order graph (cycle detection = conflict) and whose value reasoning is
+//! plain evaluation of the symbolic expressions as reads get grounded.
+//! See [`solver`] for the search and [`ordergraph`] for the theory.
+
+pub mod ordergraph;
+pub mod solver;
+
+pub use ordergraph::OrderGraph;
+pub use solver::{solve, Solution, SolveOutcome, SolveStats, SolverConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clap_analysis::analyze;
+    use clap_constraints::{validate, ConstraintSystem};
+    use clap_ir::parse;
+    use clap_profile::{decode_log, BlTables, PathRecorder};
+    use clap_symex::{execute, FailureContext, SymTrace};
+    use clap_vm::{MemModel, Outcome, RandomScheduler, Vm};
+
+    fn build_failure(src: &str, model: MemModel, max_seed: u64) -> (clap_ir::Program, SymTrace) {
+        let program = parse(src).unwrap();
+        let sharing = analyze(&program);
+        let tables = BlTables::build(&program);
+        for seed in 0..max_seed {
+            let mut vm = Vm::with_shared(&program, model, sharing.shared_spec());
+            let mut rec = PathRecorder::new(&tables);
+            let outcome = vm.run(&mut RandomScheduler::new(seed), &mut rec);
+            if let Outcome::AssertFailed { .. } = outcome {
+                let failure = FailureContext::from_vm(&vm);
+                let paths = decode_log(&program, &tables, &rec.finish()).unwrap();
+                let trace = execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
+                return (program, trace);
+            }
+        }
+        panic!("no failing seed in 0..{max_seed}");
+    }
+
+    fn solve_failure(src: &str, model: MemModel, max_seed: u64) {
+        let (program, trace) = build_failure(src, model, max_seed);
+        let sys = ConstraintSystem::build(&program, &trace, model);
+        let outcome = solve(&program, &sys, SolverConfig::default());
+        let solution = outcome.solution().unwrap_or_else(|| {
+            panic!("solver must find a schedule: {outcome:?}")
+        });
+        // The independent validator must accept it (solve() already did
+        // this; re-check to guard the public contract).
+        validate(&program, &sys, &solution.schedule).expect("schedule validates");
+    }
+
+    #[test]
+    fn solves_lost_update() {
+        solve_failure(
+            "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }",
+            MemModel::Sc,
+            500,
+        );
+    }
+
+    #[test]
+    fn solves_locked_race() {
+        // The lock bounds where the lost update can happen; the solver
+        // must respect the critical sections.
+        solve_failure(
+            "global int x = 0; mutex m;
+             fn w() { lock(m); let v: int = x; unlock(m); yield; lock(m); x = v + 1; unlock(m); }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }",
+            MemModel::Sc,
+            2000,
+        );
+    }
+
+    #[test]
+    fn solves_order_violation_with_condvars() {
+        solve_failure(
+            "global int ready = 0; global int got = 0; mutex m; cond c;
+             fn consumer() {
+                 lock(m);
+                 while (ready == 0) { wait(c, m); }
+                 got = got + 1;
+                 unlock(m);
+             }
+             fn main() {
+                 let t: thread = fork consumer();
+                 lock(m); ready = 1; signal(c); unlock(m);
+                 join t;
+                 let g: int = got;
+                 assert(g == 0, \"consumer ran\");
+             }",
+            MemModel::Sc,
+            500,
+        );
+    }
+
+    #[test]
+    fn solves_tso_store_buffering() {
+        solve_failure(
+            "global int x = 0; global int y = 0;
+             global int r1 = -1; global int r2 = -1;
+             fn t1() { x = 1; r1 = y; }
+             fn t2() { y = 1; r2 = x; }
+             fn main() {
+                 let a: thread = fork t1(); let b: thread = fork t2();
+                 join a; join b;
+                 assert(r1 + r2 > 0, \"SB\");
+             }",
+            MemModel::Tso,
+            500,
+        );
+    }
+
+    #[test]
+    fn solves_pso_message_passing() {
+        solve_failure(
+            "global int data = 0; global int flag = 0; global int seen = -1;
+             fn writer() { data = 1; flag = 1; }
+             fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+             fn main() {
+                 let w: thread = fork writer(); let r: thread = fork reader();
+                 join w; join r;
+                 assert(seen != 0, \"MP\");
+             }",
+            MemModel::Pso,
+            6000,
+        );
+    }
+
+    #[test]
+    fn unsat_when_bug_cannot_happen() {
+        // Take a genuine failing trace, then replace its bug predicate
+        // with an unsatisfiable one: the solver must prove UNSAT rather
+        // than hand back some schedule.
+        let (program, mut trace) = build_failure(
+            "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }",
+            MemModel::Sc,
+            500,
+        );
+        trace.bug = trace.arena.constant(0);
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let outcome = solve(&program, &sys, SolverConfig::default());
+        assert!(matches!(outcome, SolveOutcome::Unsat(_)), "got {outcome:?}");
+    }
+
+    #[test]
+    fn solver_reports_small_context_switch_schedules() {
+        let (program, trace) = build_failure(
+            "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost\"); }",
+            MemModel::Sc,
+            500,
+        );
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let outcome = solve(&program, &sys, SolverConfig::default());
+        let solution = outcome.solution().expect("sat");
+        let cs = solution.schedule.context_switches(&trace);
+        assert!(cs <= 3, "same-thread-preferring linearization keeps cs small, got {cs}");
+    }
+
+    #[test]
+    fn decision_budget_times_out() {
+        let (program, trace) = build_failure(
+            "global int x = 0;
+             fn w() { let i: int = 0; while (i < 6) { let v: int = x; yield; x = v + 1; i = i + 1; } }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 12, \"lost\"); }",
+            MemModel::Sc,
+            5000,
+        );
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let outcome = solve(&program, &sys, SolverConfig { deadline: None, max_decisions: 1 });
+        assert!(matches!(outcome, SolveOutcome::Timeout(_)));
+    }
+
+    #[test]
+    fn signal_exclusivity_respected() {
+        // Two consumers each complete a wait; two signals exist. The
+        // solver must give each wait its own signal — and the resulting
+        // schedule must validate (the validator re-checks the matching).
+        solve_failure(
+            "global int ready = 0; global int done = 0; mutex m; cond c;
+             fn consumer() {
+                 lock(m);
+                 while (ready == 0) { wait(c, m); }
+                 ready = ready - 1;
+                 done = done + 1;
+                 unlock(m);
+             }
+             fn main() {
+                 let c1: thread = fork consumer();
+                 let c2: thread = fork consumer();
+                 lock(m); ready = 1; signal(c); unlock(m);
+                 lock(m); ready = ready + 1; signal(c); unlock(m);
+                 join c1; join c2;
+                 let d: int = done;
+                 assert(d == 1, \"both consumers ran\");
+             }",
+            MemModel::Sc,
+            6000,
+        );
+    }
+
+    #[test]
+    fn broadcast_wakes_multiple_waits_in_solution() {
+        // Both waiters park, one broadcast wakes both (non-exclusive
+        // matching), then the unprotected increments race: the lost
+        // update (`woke == 1`) is the recorded bug.
+        solve_failure(
+            "global int gate = 0; global int woke = 0; mutex m; cond c;
+             fn waiter() {
+                 lock(m);
+                 while (gate == 0) { wait(c, m); }
+                 unlock(m);
+                 let w: int = woke;
+                 yield;
+                 woke = w + 1;
+             }
+             fn main() {
+                 let a: thread = fork waiter();
+                 let b: thread = fork waiter();
+                 lock(m); gate = 1; broadcast(c); unlock(m);
+                 join a; join b;
+                 let w: int = woke;
+                 assert(w == 2, \"an increment was lost\");
+             }",
+            MemModel::Sc,
+            8000,
+        );
+    }
+
+    #[test]
+    fn solves_array_race_with_symbolic_indices() {
+        solve_failure(
+            "global int a[4]; global int k = 0;
+             fn w(i: int) { let idx: int = k; a[(idx + 1) & 3] = i; }
+             fn main() { k = 1;
+                         let t1: thread = fork w(1); let t2: thread = fork w(2);
+                         join t1; join t2;
+                         let v: int = a[2];
+                         assert(v == 1, \"who wrote slot 2\"); }",
+            MemModel::Sc,
+            4000,
+        );
+    }
+}

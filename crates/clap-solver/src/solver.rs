@@ -1,0 +1,705 @@
+//! The sequential constraint solver: a DPLL(T)-style backtracking search
+//! whose theory is the incremental order graph.
+//!
+//! The paper observes (§4) that the solver "only needs to find a solution
+//! for the order variables that essentially maps each Read to a certain
+//! Write in a discrete finite domain, subject to the order constraints".
+//! That is literally the search space here:
+//!
+//! * **decisions** — each read picks a source (a write or the initial
+//!   value), each completed wait picks the signal/broadcast that woke it,
+//!   and each leftover binary order disjunction (lock-region order,
+//!   no-intervening-write exclusion) picks a side;
+//! * **propagation** — order edges go into the [`OrderGraph`] (conflict =
+//!   cycle), values flow from chosen writes into symbolic variables, and
+//!   path/bug/index-equality conditions are evaluated as soon as their
+//!   variables are grounded;
+//! * **conflict** — chronological backtracking over the decision trail.
+//!
+//! A satisfying assignment is linearized into a [`Schedule`] with a
+//! same-thread-preferring topological sort (few preemptions) and re-checked
+//! with the independent validator as a safety net.
+
+use crate::ordergraph::OrderGraph;
+use clap_constraints::{validate, ConstraintSystem, ReadSource, Schedule, Witness};
+use clap_ir::Program;
+use clap_symex::{ExprId, SapId, SymVarId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Search effort counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Conflicts hit.
+    pub conflicts: u64,
+    /// Propagation passes executed.
+    pub propagations: u64,
+}
+
+/// A bug-reproducing solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The computed schedule.
+    pub schedule: Schedule,
+    /// Its witness (values + reads-from), from the independent validator.
+    pub witness: Witness,
+    /// Search effort.
+    pub stats: SolveStats,
+}
+
+/// The result of a solve call.
+#[derive(Debug, Clone)]
+pub enum SolveOutcome {
+    /// A schedule was found.
+    Sat(Box<Solution>),
+    /// No schedule satisfies the constraints.
+    Unsat(SolveStats),
+    /// The deadline or decision budget ran out first.
+    Timeout(SolveStats),
+}
+
+impl SolveOutcome {
+    /// The solution, if satisfiable.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SolveOutcome::Sat(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Solver limits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverConfig {
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Decision budget (0 = unlimited).
+    pub max_decisions: u64,
+}
+
+/// Solves the constraint system, producing a bug-reproducing schedule.
+pub fn solve(program: &Program, system: &ConstraintSystem<'_>, config: SolverConfig) -> SolveOutcome {
+    let mut search = Search::new(program, system, config);
+    search.run()
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    /// Two expressions that must be equal (link index guards).
+    Eq(ExprId, ExprId),
+    /// A boolean expression that must be truthy (path conditions, bug).
+    Truthy(ExprId),
+    /// Under an optional equality guard, at least one edge must hold.
+    Choice {
+        guard: Option<(ExprId, ExprId)>,
+        edges: Vec<(u32, u32)>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecisionVar {
+    Read(usize),
+    Wait(usize),
+    Choice(usize),
+}
+
+struct Frame {
+    var: DecisionVar,
+    cand: usize,
+    graph_mark: usize,
+    assign_mark: usize,
+    resolved_mark: usize,
+    pending_len: usize,
+    consumed_mark: usize,
+}
+
+struct Search<'p, 'a, 't> {
+    program: &'p Program,
+    sys: &'a ConstraintSystem<'t>,
+    config: SolverConfig,
+    graph: OrderGraph,
+    assignment: Vec<Option<i64>>,
+    assign_trail: Vec<SymVarId>,
+    /// Chosen candidate per read (index into `sys.reads[i].candidates`).
+    links: Vec<Option<usize>>,
+    /// Chosen candidate per wait (index into signals ++ broadcasts).
+    wait_choice: Vec<Option<usize>>,
+    consumed: HashMap<SapId, bool>,
+    consumed_trail: Vec<SapId>,
+    pending: Vec<Pending>,
+    resolved: Vec<bool>,
+    resolved_trail: Vec<usize>,
+    frames: Vec<Frame>,
+    stats: SolveStats,
+}
+
+enum StepResult {
+    Ok,
+    Conflict,
+}
+
+impl<'p, 'a, 't> Search<'p, 'a, 't> {
+    fn new(program: &'p Program, sys: &'a ConstraintSystem<'t>, config: SolverConfig) -> Self {
+        Search {
+            program,
+            sys,
+            config,
+            graph: OrderGraph::new(sys.trace.sap_count()),
+            assignment: vec![None; sys.trace.sym_vars.len()],
+            assign_trail: Vec::new(),
+            links: vec![None; sys.reads.len()],
+            wait_choice: vec![None; sys.waits.len()],
+            consumed: HashMap::new(),
+            consumed_trail: Vec::new(),
+            pending: Vec::new(),
+            resolved: Vec::new(),
+            resolved_trail: Vec::new(),
+            frames: Vec::new(),
+            stats: SolveStats::default(),
+        }
+    }
+
+    fn eval(&self, e: ExprId) -> Option<i64> {
+        let a = &self.assignment;
+        self.sys.trace.arena.eval(e, &|v: SymVarId| a[v.index()])
+    }
+
+    fn push_pending(&mut self, p: Pending) {
+        self.pending.push(p);
+        self.resolved.push(false);
+    }
+
+    fn mark_resolved(&mut self, idx: usize) {
+        if !self.resolved[idx] {
+            self.resolved[idx] = true;
+            self.resolved_trail.push(idx);
+        }
+    }
+
+    fn assign(&mut self, var: SymVarId, value: i64) {
+        debug_assert!(self.assignment[var.index()].is_none());
+        self.assignment[var.index()] = Some(value);
+        self.assign_trail.push(var);
+    }
+
+    /// Installs the level-0 constraints. Returns `Conflict` for
+    /// immediately unsatisfiable systems.
+    fn install_base(&mut self) -> StepResult {
+        for &(a, b) in &self.sys.hard_edges {
+            if !self.graph.add_edge(a.0, b.0) {
+                return StepResult::Conflict;
+            }
+        }
+        // Path conditions and the bug predicate.
+        let conds: Vec<ExprId> = self
+            .sys
+            .trace
+            .path_conds
+            .iter()
+            .map(|pc| pc.expr)
+            .chain(std::iter::once(self.sys.trace.bug))
+            .collect();
+        for e in conds {
+            self.push_pending(Pending::Truthy(e));
+        }
+        // Lock regions: pairwise mutual exclusion; open regions are last.
+        for regions in self.sys.lock_regions.values() {
+            let open: Vec<_> = regions.iter().filter(|r| r.unlock.is_none()).collect();
+            if open.len() > 1 {
+                return StepResult::Conflict;
+            }
+            for (i, a) in regions.iter().enumerate() {
+                for b in regions.iter().skip(i + 1) {
+                    match (a.unlock, b.unlock) {
+                        (Some(ua), Some(ub)) => {
+                            self.push_pending(Pending::Choice {
+                                guard: None,
+                                edges: vec![(ua.0, b.lock.0), (ub.0, a.lock.0)],
+                            });
+                        }
+                        (None, Some(ub)) => {
+                            if !self.graph.add_edge(ub.0, a.lock.0) {
+                                return StepResult::Conflict;
+                            }
+                        }
+                        (Some(ua), None) => {
+                            if !self.graph.add_edge(ua.0, b.lock.0) {
+                                return StepResult::Conflict;
+                            }
+                        }
+                        (None, None) => unreachable!("checked above"),
+                    }
+                }
+            }
+        }
+        StepResult::Ok
+    }
+
+    /// Runs propagation to a fixpoint.
+    fn propagate(&mut self) -> StepResult {
+        loop {
+            self.stats.propagations += 1;
+            let mut changed = false;
+            // Value propagation: linked reads whose source value grounds.
+            for i in 0..self.links.len() {
+                let Some(j) = self.links[i] else { continue };
+                let rc = &self.sys.reads[i];
+                let var = rc.var;
+                if self.assignment[var.index()].is_some() {
+                    continue;
+                }
+                match rc.candidates[j] {
+                    ReadSource::Init => {
+                        let v = rc.init_value;
+                        self.assign(var, v);
+                        changed = true;
+                    }
+                    ReadSource::Write(w) => {
+                        let clap_symex::SapKind::Write { value, .. } = self.sys.trace.sap(w).kind
+                        else {
+                            unreachable!("candidate is a write")
+                        };
+                        if let Some(v) = self.eval(value) {
+                            self.assign(var, v);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Pending constraints.
+            for idx in 0..self.pending.len() {
+                if self.resolved[idx] {
+                    continue;
+                }
+                match self.pending[idx].clone() {
+                    Pending::Eq(a, b) => match (self.eval(a), self.eval(b)) {
+                        (Some(x), Some(y)) if x == y => {
+                            self.mark_resolved(idx);
+                            changed = true;
+                        }
+                        (Some(x), Some(y)) if x != y => return StepResult::Conflict,
+                        _ => {}
+                    },
+                    Pending::Truthy(e) => match self.eval(e) {
+                        Some(0) => return StepResult::Conflict,
+                        Some(_) => {
+                            self.mark_resolved(idx);
+                            changed = true;
+                        }
+                        None => {}
+                    },
+                    Pending::Choice { guard, edges } => {
+                        if let Some((a, b)) = guard {
+                            match (self.eval(a), self.eval(b)) {
+                                (Some(x), Some(y)) if x != y => {
+                                    // Guard false: vacuously satisfied.
+                                    self.mark_resolved(idx);
+                                    changed = true;
+                                    continue;
+                                }
+                                (Some(_), Some(_)) => {} // guard holds
+                                _ => continue,           // unknown: defer
+                            }
+                        }
+                        if edges.iter().any(|&(x, y)| self.graph.implies(x, y)) {
+                            self.mark_resolved(idx);
+                            changed = true;
+                            continue;
+                        }
+                        let possible: Vec<(u32, u32)> = edges
+                            .iter()
+                            .copied()
+                            .filter(|&(x, y)| !self.graph.forbids(x, y))
+                            .collect();
+                        match possible.len() {
+                            0 => return StepResult::Conflict,
+                            1 => {
+                                let (x, y) = possible[0];
+                                if !self.graph.add_edge(x, y) {
+                                    return StepResult::Conflict;
+                                }
+                                self.mark_resolved(idx);
+                                changed = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return StepResult::Ok;
+            }
+        }
+    }
+
+    /// Picks the next decision variable (fail-first) or `None` when all
+    /// constraints are decided/resolved.
+    fn pick_decision(&mut self) -> Option<(DecisionVar, usize)> {
+        let mut best: Option<(DecisionVar, usize)> = None;
+        for i in 0..self.links.len() {
+            if self.links[i].is_some() {
+                continue;
+            }
+            let count = self.feasible_read_cands(i).len();
+            if best.map(|(_, c)| count < c).unwrap_or(true) {
+                best = Some((DecisionVar::Read(i), count));
+            }
+        }
+        for i in 0..self.wait_choice.len() {
+            if self.wait_choice[i].is_some() {
+                continue;
+            }
+            let count = self.feasible_wait_cands(i).len();
+            if best.map(|(_, c)| count < c).unwrap_or(true) {
+                best = Some((DecisionVar::Wait(i), count));
+            }
+        }
+        if best.is_none() {
+            // All reads/waits decided: branch on an unresolved choice with
+            // several live edges (guards are decidable by now).
+            for idx in 0..self.pending.len() {
+                if self.resolved[idx] {
+                    continue;
+                }
+                if let Pending::Choice { guard, edges } = self.pending[idx].clone() {
+                    if let Some((a, b)) = guard {
+                        match (self.eval(a), self.eval(b)) {
+                            (Some(x), Some(y)) if x != y => continue,
+                            _ => {}
+                        }
+                    }
+                    let live = edges
+                        .iter()
+                        .filter(|&&(x, y)| !self.graph.forbids(x, y))
+                        .count();
+                    if live >= 2 {
+                        return Some((DecisionVar::Choice(idx), live));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn feasible_read_cands(&mut self, i: usize) -> Vec<usize> {
+        let rc = &self.sys.reads[i];
+        let r = rc.read.0;
+        let mut out = Vec::new();
+        for (j, cand) in rc.candidates.iter().enumerate() {
+            match cand {
+                ReadSource::Init => out.push(j),
+                ReadSource::Write(w) => {
+                    if !self.graph.forbids(w.0, r) {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn feasible_wait_cands(&mut self, i: usize) -> Vec<usize> {
+        let wc = &self.sys.waits[i];
+        let rel = wc.release.0;
+        let w = wc.wait.0;
+        let mut out = Vec::new();
+        let all: Vec<(SapId, bool)> = wc
+            .signals
+            .iter()
+            .map(|&s| (s, true))
+            .chain(wc.broadcasts.iter().map(|&b| (b, false)))
+            .collect();
+        for (j, (s, exclusive)) in all.iter().enumerate() {
+            if *exclusive && self.consumed.get(s).copied().unwrap_or(false) {
+                continue;
+            }
+            if self.graph.forbids(rel, s.0) || self.graph.forbids(s.0, w) {
+                continue;
+            }
+            out.push(j);
+        }
+        out
+    }
+
+    /// Applies a candidate for a decision variable.
+    fn apply(&mut self, var: DecisionVar, cand: usize) -> StepResult {
+        match var {
+            DecisionVar::Read(i) => {
+                let rc = self.sys.reads[i].clone();
+                self.links[i] = Some(cand);
+                match rc.candidates[cand] {
+                    ReadSource::Init => {
+                        // No aliasing write may precede the read.
+                        for &w2 in &rc.aliasing_writes {
+                            let guard = self.alias_guard(rc.addr, w2);
+                            self.push_pending(Pending::Choice {
+                                guard,
+                                edges: vec![(rc.read.0, w2.0)],
+                            });
+                        }
+                    }
+                    ReadSource::Write(w) => {
+                        if !self.graph.add_edge(w.0, rc.read.0) {
+                            return StepResult::Conflict;
+                        }
+                        // The link itself requires the addresses to match.
+                        if let Some(guard) = self.alias_guard(rc.addr, w) {
+                            self.push_pending(Pending::Eq(guard.0, guard.1));
+                        }
+                        // No aliasing write between w and the read.
+                        for &w2 in &rc.aliasing_writes {
+                            if w2 == w {
+                                continue;
+                            }
+                            let guard = self.alias_guard(rc.addr, w2);
+                            self.push_pending(Pending::Choice {
+                                guard,
+                                edges: vec![(w2.0, w.0), (rc.read.0, w2.0)],
+                            });
+                        }
+                    }
+                }
+                StepResult::Ok
+            }
+            DecisionVar::Wait(i) => {
+                let wc = self.sys.waits[i].clone();
+                self.wait_choice[i] = Some(cand);
+                let all: Vec<(SapId, bool)> = wc
+                    .signals
+                    .iter()
+                    .map(|&s| (s, true))
+                    .chain(wc.broadcasts.iter().map(|&b| (b, false)))
+                    .collect();
+                let Some(&(s, exclusive)) = all.get(cand) else {
+                    return StepResult::Conflict;
+                };
+                if exclusive {
+                    if self.consumed.get(&s).copied().unwrap_or(false) {
+                        return StepResult::Conflict;
+                    }
+                    self.consumed.insert(s, true);
+                    self.consumed_trail.push(s);
+                }
+                if !self.graph.add_edge(wc.release.0, s.0) || !self.graph.add_edge(s.0, wc.wait.0)
+                {
+                    return StepResult::Conflict;
+                }
+                StepResult::Ok
+            }
+            DecisionVar::Choice(idx) => {
+                let Pending::Choice { edges, .. } = self.pending[idx].clone() else {
+                    unreachable!("choice decision on a non-choice")
+                };
+                let live: Vec<(u32, u32)> = edges
+                    .iter()
+                    .copied()
+                    .filter(|&(x, y)| !self.graph.forbids(x, y))
+                    .collect();
+                let Some(&(x, y)) = live.get(cand) else { return StepResult::Conflict };
+                if !self.graph.add_edge(x, y) {
+                    return StepResult::Conflict;
+                }
+                self.mark_resolved(idx);
+                StepResult::Ok
+            }
+        }
+    }
+
+    /// The index-equality guard for "this read aliases this write", or
+    /// `None` when aliasing is definite.
+    fn alias_guard(&self, raddr: clap_symex::SymAddr, w: SapId) -> Option<(ExprId, ExprId)> {
+        let clap_symex::SapKind::Write { addr: waddr, .. } = self.sys.trace.sap(w).kind else {
+            unreachable!("aliasing entry is a write")
+        };
+        match (raddr.index, waddr.index) {
+            (Some(a), Some(b)) => {
+                let arena = &self.sys.trace.arena;
+                match (arena.as_const(a), arena.as_const(b)) {
+                    (Some(_), Some(_)) => None, // concrete: prefiltered equal
+                    _ => Some((a, b)),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn cand_count(&mut self, var: DecisionVar) -> usize {
+        match var {
+            DecisionVar::Read(i) => self.sys.reads[i].candidates.len(),
+            DecisionVar::Wait(i) => {
+                self.sys.waits[i].signals.len() + self.sys.waits[i].broadcasts.len()
+            }
+            DecisionVar::Choice(idx) => match &self.pending[idx] {
+                Pending::Choice { edges, .. } => edges.len(),
+                _ => 0,
+            },
+        }
+    }
+
+    fn undo_frame(&mut self, frame: &Frame) {
+        match frame.var {
+            DecisionVar::Read(i) => self.links[i] = None,
+            DecisionVar::Wait(i) => self.wait_choice[i] = None,
+            DecisionVar::Choice(_) => {}
+        }
+        self.graph.undo_to(frame.graph_mark);
+        while self.assign_trail.len() > frame.assign_mark {
+            let v = self.assign_trail.pop().expect("assign trail");
+            self.assignment[v.index()] = None;
+        }
+        while self.resolved_trail.len() > frame.resolved_mark {
+            let idx = self.resolved_trail.pop().expect("resolved trail");
+            if idx < frame.pending_len {
+                self.resolved[idx] = false;
+            }
+        }
+        self.pending.truncate(frame.pending_len);
+        self.resolved.truncate(frame.pending_len);
+        while self.consumed_trail.len() > frame.consumed_mark {
+            let s = self.consumed_trail.pop().expect("consumed trail");
+            self.consumed.insert(s, false);
+        }
+    }
+
+    fn out_of_budget(&self) -> bool {
+        if self.config.max_decisions > 0 && self.stats.decisions >= self.config.max_decisions {
+            return true;
+        }
+        if let Some(deadline) = self.config.deadline {
+            // Checking time every decision is cheap relative to search.
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run(&mut self) -> SolveOutcome {
+        if matches!(self.install_base(), StepResult::Conflict) {
+            return SolveOutcome::Unsat(self.stats);
+        }
+        if matches!(self.propagate(), StepResult::Conflict) {
+            return SolveOutcome::Unsat(self.stats);
+        }
+        loop {
+            if self.out_of_budget() {
+                return SolveOutcome::Timeout(self.stats);
+            }
+            let Some((var, _)) = self.pick_decision() else {
+                // Everything decided and propagated: extract the schedule.
+                match self.extract() {
+                    Some(solution) => return SolveOutcome::Sat(Box::new(solution)),
+                    None => {
+                        // Extraction failed (validator disagreement):
+                        // treat as a conflict to stay sound.
+                        if !self.backtrack() {
+                            return SolveOutcome::Unsat(self.stats);
+                        }
+                        continue;
+                    }
+                }
+            };
+            // Open a decision frame at candidate 0.
+            self.stats.decisions += 1;
+            let frame = Frame {
+                var,
+                cand: 0,
+                graph_mark: self.graph.mark(),
+                assign_mark: self.assign_trail.len(),
+                resolved_mark: self.resolved_trail.len(),
+                pending_len: self.pending.len(),
+                consumed_mark: self.consumed_trail.len(),
+            };
+            self.frames.push(frame);
+            if !self.try_current() {
+                return SolveOutcome::Unsat(self.stats);
+            }
+        }
+    }
+
+    /// Tries candidates of the top frame (starting at its `cand`),
+    /// backtracking deeper frames as needed. Returns `false` on overall
+    /// UNSAT.
+    fn try_current(&mut self) -> bool {
+        loop {
+            let Some(top) = self.frames.last() else { return false };
+            let var = top.var;
+            let cand = top.cand;
+            if cand >= self.cand_count(var) {
+                if !self.backtrack() {
+                    return false;
+                }
+                continue;
+            }
+            let applied = matches!(self.apply(var, cand), StepResult::Ok);
+            if applied && matches!(self.propagate(), StepResult::Ok) {
+                return true;
+            }
+            self.stats.conflicts += 1;
+            // Retry the same frame with the next candidate.
+            let frame_snapshot = {
+                let top = self.frames.last().expect("frame");
+                Frame {
+                    var: top.var,
+                    cand: top.cand,
+                    graph_mark: top.graph_mark,
+                    assign_mark: top.assign_mark,
+                    resolved_mark: top.resolved_mark,
+                    pending_len: top.pending_len,
+                    consumed_mark: top.consumed_mark,
+                }
+            };
+            self.undo_frame(&frame_snapshot);
+            self.frames.last_mut().expect("frame").cand += 1;
+        }
+    }
+
+    /// Pops the top frame and advances its parent to the next candidate.
+    /// Returns `false` when the root is exhausted (UNSAT).
+    fn backtrack(&mut self) -> bool {
+        let Some(frame) = self.frames.pop() else { return false };
+        // The frame's effects were already undone when its last candidate
+        // conflicted; nothing further to rewind here. The *parent* frame
+        // must now move on.
+        let _ = frame;
+        match self.frames.last_mut() {
+            Some(parent) => {
+                let snapshot = Frame {
+                    var: parent.var,
+                    cand: parent.cand,
+                    graph_mark: parent.graph_mark,
+                    assign_mark: parent.assign_mark,
+                    resolved_mark: parent.resolved_mark,
+                    pending_len: parent.pending_len,
+                    consumed_mark: parent.consumed_mark,
+                };
+                self.undo_frame(&snapshot);
+                self.frames.last_mut().expect("parent").cand += 1;
+                // Delegate to try_current from the caller loop.
+                self.stats.conflicts += 1;
+                self.try_current()
+            }
+            None => false,
+        }
+    }
+
+    /// Linearizes the order graph and validates the schedule.
+    fn extract(&mut self) -> Option<Solution> {
+        let trace = self.sys.trace;
+        let order = self
+            .graph
+            .linearize(|x, last| {
+                last.is_some_and(|l| {
+                    trace.sap(SapId(x)).thread == trace.sap(SapId(l)).thread
+                })
+            })
+            .expect("order graph is acyclic by construction");
+        let schedule = Schedule::new(order.into_iter().map(SapId).collect(), trace);
+        match validate(self.program, self.sys, &schedule) {
+            Ok(witness) => Some(Solution { schedule, witness, stats: self.stats }),
+            Err(_) => None,
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The symbolic trace: shared access points (SAPs), path conditions and
+//! the bug predicate — the inputs to constraint generation (§3).
+
+use crate::expr::{ExprArena, ExprId, SymVarId};
+use clap_ir::{CondId, GlobalId, MutexId, Program};
+use clap_vm::Lineage;
+use std::fmt;
+
+/// Index of a thread within a [`SymTrace`] (creation order of the recorded
+/// run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadIdx(pub u32);
+
+impl ThreadIdx {
+    /// Underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifies one SAP in the trace. Every SAP gets one order variable `O`
+/// in the constraint system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SapId(pub u32);
+
+impl SapId {
+    /// Underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A (possibly symbolic) memory location: a global plus an optional
+/// element index expression. Scalars have `index == None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymAddr {
+    /// The accessed global.
+    pub global: GlobalId,
+    /// Element index (may be symbolic); `None` for scalars.
+    pub index: Option<ExprId>,
+}
+
+/// What a SAP does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SapKind {
+    /// A shared load; its unknown result is `var`.
+    Read {
+        /// Location read.
+        addr: SymAddr,
+        /// The fresh symbolic value it returned.
+        var: SymVarId,
+    },
+    /// A shared store of a (possibly symbolic) value.
+    Write {
+        /// Location written.
+        addr: SymAddr,
+        /// Value expression.
+        value: ExprId,
+    },
+    /// Mutex acquisition.
+    Lock(MutexId),
+    /// Mutex release (also emitted for the release phase of `wait`).
+    Unlock(MutexId),
+    /// Thread creation; `child` is the new thread.
+    Fork {
+        /// The created thread.
+        child: ThreadIdx,
+    },
+    /// Join completion on `child`.
+    Join {
+        /// The joined thread.
+        child: ThreadIdx,
+    },
+    /// Cond-wait completion (mutex reacquired after a signal).
+    Wait {
+        /// The condition variable.
+        cond: CondId,
+        /// The reacquired mutex.
+        mutex: MutexId,
+    },
+    /// Signal (wakes at most one wait).
+    Signal(CondId),
+    /// Broadcast (wakes every parked wait).
+    Broadcast(CondId),
+}
+
+impl SapKind {
+    /// `true` for reads/writes (memory SAPs).
+    pub fn is_memory(&self) -> bool {
+        matches!(self, SapKind::Read { .. } | SapKind::Write { .. })
+    }
+
+    /// `true` for synchronization SAPs.
+    pub fn is_sync(&self) -> bool {
+        !self.is_memory()
+    }
+}
+
+/// One shared access point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sap {
+    /// Executing thread.
+    pub thread: ThreadIdx,
+    /// Program-order index among the thread's SAPs (matches the VM's
+    /// `next_sap_index` numbering exactly).
+    pub po: u64,
+    /// What the SAP does.
+    pub kind: SapKind,
+}
+
+/// Where a fresh symbolic variable came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymVarOrigin {
+    /// The read SAP that produced it.
+    pub read: SapId,
+}
+
+/// A per-thread path condition: `expr` must be truthy for the thread to
+/// follow its recorded path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathCond {
+    /// The constrained thread.
+    pub thread: ThreadIdx,
+    /// Boolean-valued expression that must hold.
+    pub expr: ExprId,
+}
+
+/// Everything the offline phase extracts from the recorded paths.
+#[derive(Debug, Clone)]
+pub struct SymTrace {
+    /// Expression store.
+    pub arena: ExprArena,
+    /// All SAPs; [`SapId`] indexes into this.
+    pub saps: Vec<Sap>,
+    /// SAP ids per thread, in program order.
+    pub per_thread: Vec<Vec<SapId>>,
+    /// Thread lineages, indexed by [`ThreadIdx`].
+    pub lineages: Vec<Lineage>,
+    /// Path conditions (`F_path`), including passing asserts.
+    pub path_conds: Vec<PathCond>,
+    /// The bug predicate (`F_bug`): truthy iff the failure manifests.
+    pub bug: ExprId,
+    /// Origins of symbolic variables, indexed by [`SymVarId`].
+    pub sym_vars: Vec<SymVarOrigin>,
+}
+
+impl SymTrace {
+    /// The SAP behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn sap(&self, id: SapId) -> &Sap {
+        &self.saps[id.index()]
+    }
+
+    /// Number of SAPs (the `#SAPs` column of Table 1).
+    pub fn sap_count(&self) -> usize {
+        self.saps.len()
+    }
+
+    /// Number of threads in the trace.
+    pub fn thread_count(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// The initial value of a global cell (what a read with no earlier
+    /// write observes).
+    pub fn init_value(program: &Program, global: GlobalId) -> i64 {
+        let decl = &program.globals[global.index()];
+        if decl.len.is_some() {
+            0
+        } else {
+            decl.init
+        }
+    }
+
+    /// Renders a SAP for diagnostics and the Figure 3 dump.
+    pub fn display_sap(&self, program: &Program, id: SapId) -> String {
+        let sap = self.sap(id);
+        let name = |g: GlobalId| program.globals[g.index()].name.clone();
+        let loc = |addr: &SymAddr| match addr.index {
+            None => name(addr.global),
+            Some(i) => format!("{}[{}]", name(addr.global), self.arena.display(i)),
+        };
+        let body = match &sap.kind {
+            SapKind::Read { addr, var } => format!("{var} = read {}", loc(addr)),
+            SapKind::Write { addr, value } => {
+                format!("write {} = {}", loc(addr), self.arena.display(*value))
+            }
+            SapKind::Lock(m) => format!("lock {}", program.mutexes[m.index()]),
+            SapKind::Unlock(m) => format!("unlock {}", program.mutexes[m.index()]),
+            SapKind::Fork { child } => format!("fork {child}"),
+            SapKind::Join { child } => format!("join {child}"),
+            SapKind::Wait { cond, .. } => format!("wait {}", program.conds[cond.index()]),
+            SapKind::Signal(c) => format!("signal {}", program.conds[c.index()]),
+            SapKind::Broadcast(c) => format!("broadcast {}", program.conds[c.index()]),
+        };
+        format!("{id}[{} #{}] {body}", sap.thread, sap.po, body = body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sap_kind_classification() {
+        let addr = SymAddr { global: GlobalId(0), index: None };
+        assert!(SapKind::Read { addr, var: SymVarId(0) }.is_memory());
+        assert!(SapKind::Lock(MutexId(0)).is_sync());
+        assert!(!SapKind::Write { addr, value: ExprId(0) }.is_sync());
+    }
+
+    #[test]
+    fn init_values() {
+        let p = clap_ir::parse("global int x = 9; global int a[3]; fn main() {}").unwrap();
+        assert_eq!(SymTrace::init_value(&p, p.global_by_name("x").unwrap()), 9);
+        assert_eq!(SymTrace::init_value(&p, p.global_by_name("a").unwrap()), 0);
+    }
+}

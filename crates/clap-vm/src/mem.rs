@@ -1,0 +1,330 @@
+//! Shared memory with pluggable consistency models.
+//!
+//! * **SC** — stores hit memory immediately.
+//! * **TSO** — one FIFO store buffer per thread; a store enters the buffer
+//!   and becomes globally visible only when *drained*; a thread's own loads
+//!   forward from the newest matching buffered store.
+//! * **PSO** — one FIFO buffer per (thread, address); buffers for different
+//!   addresses drain independently, so stores to different locations can
+//!   become visible out of program order.
+//!
+//! Drains are explicit [`super::sched::Action`]s chosen by the scheduler,
+//! which is exactly how the paper simulates relaxed-memory effects (§6,
+//! "we simulated a FIFO store buffer for each thread … one per shared
+//! variable"). Synchronization operations act as full fences (flush).
+
+use clap_ir::{GlobalId, Program};
+use std::collections::VecDeque;
+
+/// A flattened cell address within the global memory image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The underlying flat index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Maps `(global, element)` pairs to flat [`Addr`]s.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    base: Vec<u32>,
+    lens: Vec<u32>,
+    total: usize,
+}
+
+impl Layout {
+    /// Builds the layout for a program's globals.
+    pub fn new(program: &Program) -> Self {
+        let mut base = Vec::with_capacity(program.globals.len());
+        let mut lens = Vec::with_capacity(program.globals.len());
+        let mut next = 0u32;
+        for g in &program.globals {
+            base.push(next);
+            lens.push(g.cells() as u32);
+            next += g.cells() as u32;
+        }
+        Layout { base, lens, total: next as usize }
+    }
+
+    /// Resolves a global + element offset to an address.
+    ///
+    /// Returns `None` when `offset` is outside the global's extent (the VM
+    /// reports this as a fault rather than corrupting a neighbour).
+    pub fn addr(&self, global: GlobalId, offset: i64) -> Option<Addr> {
+        let len = *self.lens.get(global.index())? as i64;
+        if offset < 0 || offset >= len {
+            return None;
+        }
+        Some(Addr(self.base[global.index()] + offset as u32))
+    }
+
+    /// Reverse-maps an address to its `(global, element)` pair.
+    pub fn unresolve(&self, addr: Addr) -> (GlobalId, usize) {
+        // Globals are laid out consecutively, so find the last base <= addr.
+        let mut g = 0;
+        for (i, &b) in self.base.iter().enumerate() {
+            if b <= addr.0 {
+                g = i;
+            } else {
+                break;
+            }
+        }
+        (GlobalId::from(g), (addr.0 - self.base[g]) as usize)
+    }
+
+    /// Total number of cells.
+    pub fn total_cells(&self) -> usize {
+        self.total
+    }
+}
+
+/// The memory-consistency model an execution runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemModel {
+    /// Sequential consistency.
+    #[default]
+    Sc,
+    /// Total store order (SPARC TSO / x86-like).
+    Tso,
+    /// Partial store order.
+    Pso,
+}
+
+impl MemModel {
+    /// `true` when the model buffers stores (TSO/PSO).
+    pub fn buffered(self) -> bool {
+        !matches!(self, MemModel::Sc)
+    }
+}
+
+impl std::fmt::Display for MemModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemModel::Sc => write!(f, "SC"),
+            MemModel::Tso => write!(f, "TSO"),
+            MemModel::Pso => write!(f, "PSO"),
+        }
+    }
+}
+
+/// One buffered (not yet globally visible) store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferedStore {
+    /// Target address.
+    pub addr: Addr,
+    /// Value to be written.
+    pub value: i64,
+    /// The thread-local program-order index of this store among the
+    /// thread's shared access points (used by the replayer to drain the
+    /// *scheduled* store).
+    pub po_index: u64,
+}
+
+/// A single thread's store buffer.
+///
+/// The same structure serves TSO and PSO: under TSO drains must pop the
+/// overall FIFO front; under PSO any address's front entry may drain.
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    entries: VecDeque<BufferedStore>,
+}
+
+impl StoreBuffer {
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Enqueues a store.
+    pub fn push(&mut self, store: BufferedStore) {
+        self.entries.push_back(store);
+    }
+
+    /// The newest buffered value for `addr`, if any (store-to-load
+    /// forwarding).
+    pub fn forward(&self, addr: Addr) -> Option<i64> {
+        self.entries.iter().rev().find(|s| s.addr == addr).map(|s| s.value)
+    }
+
+    /// Addresses that may legally drain next under `model`:
+    /// TSO — only the FIFO front; PSO — the front entry of each address.
+    pub fn drainable(&self, model: MemModel) -> Vec<Addr> {
+        match model {
+            MemModel::Sc => Vec::new(),
+            MemModel::Tso => self.entries.front().map(|s| s.addr).into_iter().collect(),
+            MemModel::Pso => {
+                let mut seen = Vec::new();
+                for s in &self.entries {
+                    if !seen.contains(&s.addr) {
+                        seen.push(s.addr);
+                    }
+                }
+                seen
+            }
+        }
+    }
+
+    /// Removes and returns the oldest buffered store to `addr`.
+    ///
+    /// Under TSO callers must only pass the front address (as reported by
+    /// [`StoreBuffer::drainable`]); under PSO any address's oldest entry may
+    /// drain, which is what makes PSO reorder stores to different locations.
+    pub fn drain_addr(&mut self, addr: Addr) -> Option<BufferedStore> {
+        let pos = self.entries.iter().position(|s| s.addr == addr)?;
+        self.entries.remove(pos)
+    }
+
+    /// Drains everything in FIFO order (a fence), returning the stores in
+    /// the order they must hit memory.
+    pub fn flush(&mut self) -> Vec<BufferedStore> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Iterates over buffered stores in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferedStore> {
+        self.entries.iter()
+    }
+}
+
+/// The global memory image.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    cells: Vec<i64>,
+}
+
+impl Memory {
+    /// Creates memory initialized from the program's global declarations.
+    pub fn new(program: &Program, layout: &Layout) -> Self {
+        let mut cells = vec![0i64; layout.total_cells()];
+        for (i, g) in program.globals.iter().enumerate() {
+            if g.len.is_none() {
+                let addr = layout.addr(GlobalId::from(i), 0).expect("scalar in range");
+                cells[addr.index()] = g.init;
+            }
+        }
+        Memory { cells }
+    }
+
+    /// Reads a cell.
+    pub fn read(&self, addr: Addr) -> i64 {
+        self.cells[addr.index()]
+    }
+
+    /// Writes a cell.
+    pub fn write(&mut self, addr: Addr, value: i64) {
+        self.cells[addr.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clap_ir::parse;
+
+    fn layout() -> (Layout, clap_ir::Program) {
+        let p = parse("global int x = 7; global int a[3]; global int y = -1; fn main() {}")
+            .unwrap();
+        (Layout::new(&p), p)
+    }
+
+    #[test]
+    fn layout_flattens_globals() {
+        let (l, p) = layout();
+        assert_eq!(l.total_cells(), 5);
+        let x = p.global_by_name("x").unwrap();
+        let a = p.global_by_name("a").unwrap();
+        let y = p.global_by_name("y").unwrap();
+        assert_eq!(l.addr(x, 0), Some(Addr(0)));
+        assert_eq!(l.addr(a, 2), Some(Addr(3)));
+        assert_eq!(l.addr(y, 0), Some(Addr(4)));
+        assert_eq!(l.addr(a, 3), None, "out of bounds");
+        assert_eq!(l.addr(a, -1), None);
+    }
+
+    #[test]
+    fn layout_unresolve_round_trips() {
+        let (l, p) = layout();
+        let a = p.global_by_name("a").unwrap();
+        let addr = l.addr(a, 1).unwrap();
+        assert_eq!(l.unresolve(addr), (a, 1));
+        let y = p.global_by_name("y").unwrap();
+        assert_eq!(l.unresolve(l.addr(y, 0).unwrap()), (y, 0));
+    }
+
+    #[test]
+    fn memory_initialized_from_decls() {
+        let (l, p) = layout();
+        let m = Memory::new(&p, &l);
+        assert_eq!(m.read(Addr(0)), 7);
+        assert_eq!(m.read(Addr(1)), 0); // array cell
+        assert_eq!(m.read(Addr(4)), -1);
+    }
+
+    #[test]
+    fn tso_buffer_is_fifo() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
+        b.push(BufferedStore { addr: Addr(1), value: 2, po_index: 1 });
+        assert_eq!(b.drainable(MemModel::Tso), vec![Addr(0)]);
+        let s = b.drain_addr(Addr(0)).unwrap();
+        assert_eq!(s.value, 1);
+        assert_eq!(b.drainable(MemModel::Tso), vec![Addr(1)]);
+    }
+
+    #[test]
+    fn pso_buffer_drains_addresses_independently() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
+        b.push(BufferedStore { addr: Addr(1), value: 2, po_index: 1 });
+        b.push(BufferedStore { addr: Addr(0), value: 3, po_index: 2 });
+        let d = b.drainable(MemModel::Pso);
+        assert_eq!(d, vec![Addr(0), Addr(1)]);
+        // Draining addr 1 before addr 0 is the PSO reordering.
+        assert_eq!(b.drain_addr(Addr(1)).unwrap().value, 2);
+        // Same-address order is preserved.
+        assert_eq!(b.drain_addr(Addr(0)).unwrap().value, 1);
+        assert_eq!(b.drain_addr(Addr(0)).unwrap().value, 3);
+    }
+
+    #[test]
+    fn forwarding_returns_newest_store() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
+        b.push(BufferedStore { addr: Addr(0), value: 9, po_index: 1 });
+        assert_eq!(b.forward(Addr(0)), Some(9));
+        assert_eq!(b.forward(Addr(1)), None);
+    }
+
+    #[test]
+    fn flush_preserves_fifo_order() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore { addr: Addr(1), value: 1, po_index: 0 });
+        b.push(BufferedStore { addr: Addr(0), value: 2, po_index: 1 });
+        let flushed = b.flush();
+        assert_eq!(flushed.iter().map(|s| s.value).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sc_has_no_drainable() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
+        assert!(b.drainable(MemModel::Sc).is_empty());
+        assert!(!MemModel::Sc.buffered());
+        assert!(MemModel::Pso.buffered());
+    }
+}

@@ -1,0 +1,231 @@
+//! Instrumentation hooks.
+//!
+//! A [`Monitor`] observes an execution without influencing it (beyond the
+//! wall-clock cost of its callbacks, which is exactly what the recording-
+//! overhead experiments measure). The CLAP recorder (thread-local paths
+//! only) and the LEAP baseline (per-variable access vectors) are both
+//! monitors.
+
+use crate::mem::Addr;
+use crate::thread::{Lineage, ThreadId};
+use clap_ir::{AssertId, BlockId, CondId, FuncId, GlobalId, MutexId};
+
+/// A shared-memory access as seen at instruction-execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// The accessed global.
+    pub global: GlobalId,
+    /// Element offset within the global (0 for scalars).
+    pub offset: usize,
+    /// Flattened address.
+    pub addr: Addr,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// The value read or written.
+    pub value: i64,
+}
+
+/// A synchronization operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncEvent {
+    /// Mutex acquired.
+    Lock(MutexId),
+    /// Mutex released.
+    Unlock(MutexId),
+    /// Thread forked (the new thread's id).
+    Fork(ThreadId),
+    /// Thread joined.
+    Join(ThreadId),
+    /// Cond wait completed (mutex reacquired).
+    Wait(CondId, MutexId),
+    /// Cond signalled.
+    Signal(CondId),
+    /// Cond broadcast.
+    Broadcast(CondId),
+}
+
+/// Observes VM execution. All methods default to no-ops so monitors
+/// implement only what they need.
+pub trait Monitor {
+    /// A thread came into existence (including main).
+    fn on_thread_start(&mut self, _thread: ThreadId, _lineage: &Lineage, _func: FuncId) {}
+
+    /// A thread exited.
+    fn on_thread_exit(&mut self, _thread: ThreadId) {}
+
+    /// A function was entered (call or thread start).
+    fn on_func_enter(&mut self, _thread: ThreadId, _func: FuncId) {}
+
+    /// A function returned.
+    fn on_func_exit(&mut self, _thread: ThreadId, _func: FuncId) {}
+
+    /// Control moved across a CFG edge within `func`.
+    fn on_edge(&mut self, _thread: ThreadId, _func: FuncId, _from: BlockId, _to: BlockId) {}
+
+    /// A global-memory access executed (loads: value read; stores: value
+    /// that will be written — under TSO/PSO visibility may come later).
+    fn on_access(&mut self, _thread: ThreadId, _event: &AccessEvent) {}
+
+    /// A buffered store became globally visible.
+    fn on_commit(&mut self, _thread: ThreadId, _addr: Addr, _value: i64) {}
+
+    /// A synchronization operation completed.
+    fn on_sync(&mut self, _thread: ThreadId, _event: &SyncEvent) {}
+
+    /// An assert executed.
+    fn on_assert(&mut self, _thread: ThreadId, _id: AssertId, _passed: bool) {}
+}
+
+/// A monitor that observes nothing: the "native" configuration in the
+/// overhead experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+/// Fans events out to several monitors in order.
+#[derive(Default)]
+pub struct MultiMonitor<'a> {
+    monitors: Vec<&'a mut dyn Monitor>,
+}
+
+impl<'a> MultiMonitor<'a> {
+    /// Creates an empty fan-out monitor.
+    pub fn new() -> Self {
+        MultiMonitor { monitors: Vec::new() }
+    }
+
+    /// Adds a monitor to the fan-out chain.
+    pub fn push(&mut self, monitor: &'a mut dyn Monitor) {
+        self.monitors.push(monitor);
+    }
+}
+
+impl std::fmt::Debug for MultiMonitor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MultiMonitor({} monitors)", self.monitors.len())
+    }
+}
+
+macro_rules! fan_out {
+    ($self:ident, $method:ident, $($arg:expr),*) => {
+        for m in &mut $self.monitors {
+            m.$method($($arg),*);
+        }
+    };
+}
+
+impl Monitor for MultiMonitor<'_> {
+    fn on_thread_start(&mut self, thread: ThreadId, lineage: &Lineage, func: FuncId) {
+        fan_out!(self, on_thread_start, thread, lineage, func);
+    }
+    fn on_thread_exit(&mut self, thread: ThreadId) {
+        fan_out!(self, on_thread_exit, thread);
+    }
+    fn on_func_enter(&mut self, thread: ThreadId, func: FuncId) {
+        fan_out!(self, on_func_enter, thread, func);
+    }
+    fn on_func_exit(&mut self, thread: ThreadId, func: FuncId) {
+        fan_out!(self, on_func_exit, thread, func);
+    }
+    fn on_edge(&mut self, thread: ThreadId, func: FuncId, from: BlockId, to: BlockId) {
+        fan_out!(self, on_edge, thread, func, from, to);
+    }
+    fn on_access(&mut self, thread: ThreadId, event: &AccessEvent) {
+        fan_out!(self, on_access, thread, event);
+    }
+    fn on_commit(&mut self, thread: ThreadId, addr: Addr, value: i64) {
+        fan_out!(self, on_commit, thread, addr, value);
+    }
+    fn on_sync(&mut self, thread: ThreadId, event: &SyncEvent) {
+        fan_out!(self, on_sync, thread, event);
+    }
+    fn on_assert(&mut self, thread: ThreadId, id: AssertId, passed: bool) {
+        fan_out!(self, on_assert, thread, id, passed);
+    }
+}
+
+/// A monitor that counts events — handy in tests and as a cheap sanity
+/// profile of an execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingMonitor {
+    /// Threads started.
+    pub threads: u64,
+    /// Shared accesses observed.
+    pub accesses: u64,
+    /// Reads among the accesses.
+    pub reads: u64,
+    /// Sync operations observed.
+    pub syncs: u64,
+    /// CFG edges traversed.
+    pub edges: u64,
+    /// Function entries.
+    pub calls: u64,
+    /// Asserts executed.
+    pub asserts: u64,
+    /// Store commits (drains) observed.
+    pub commits: u64,
+}
+
+impl Monitor for CountingMonitor {
+    fn on_thread_start(&mut self, _: ThreadId, _: &Lineage, _: FuncId) {
+        self.threads += 1;
+    }
+    fn on_func_enter(&mut self, _: ThreadId, _: FuncId) {
+        self.calls += 1;
+    }
+    fn on_edge(&mut self, _: ThreadId, _: FuncId, _: BlockId, _: BlockId) {
+        self.edges += 1;
+    }
+    fn on_access(&mut self, _: ThreadId, event: &AccessEvent) {
+        self.accesses += 1;
+        if !event.is_write {
+            self.reads += 1;
+        }
+    }
+    fn on_commit(&mut self, _: ThreadId, _: Addr, _: i64) {
+        self.commits += 1;
+    }
+    fn on_sync(&mut self, _: ThreadId, _: &SyncEvent) {
+        self.syncs += 1;
+    }
+    fn on_assert(&mut self, _: ThreadId, _: AssertId, _: bool) {
+        self.asserts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_monitor_fans_out() {
+        let mut a = CountingMonitor::default();
+        let mut b = CountingMonitor::default();
+        {
+            let mut multi = MultiMonitor::new();
+            multi.push(&mut a);
+            multi.push(&mut b);
+            multi.on_sync(ThreadId(0), &SyncEvent::Signal(CondId(0)));
+            multi.on_assert(ThreadId(0), AssertId(0), true);
+        }
+        assert_eq!(a.syncs, 1);
+        assert_eq!(b.asserts, 1);
+    }
+
+    #[test]
+    fn counting_monitor_distinguishes_reads() {
+        let mut c = CountingMonitor::default();
+        let ev = AccessEvent {
+            global: GlobalId(0),
+            offset: 0,
+            addr: Addr(0),
+            is_write: false,
+            value: 3,
+        };
+        c.on_access(ThreadId(0), &ev);
+        c.on_access(ThreadId(0), &AccessEvent { is_write: true, ..ev });
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.reads, 1);
+    }
+}

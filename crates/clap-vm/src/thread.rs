@@ -1,0 +1,207 @@
+//! Thread state: call frames, lineage-based canonical identity, run status.
+
+use clap_ir::{BlockId, CondId, FuncId, LocalId, MutexId};
+use std::fmt;
+
+/// A dense runtime thread identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread's id.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<usize> for ThreadId {
+    fn from(i: usize) -> Self {
+        ThreadId(i as u32)
+    }
+}
+
+/// The canonical, schedule-independent identity of a thread: the chain of
+/// fork ordinals from the main thread, following the paper's `t_{i:j}`
+/// scheme (§3.2): main is `0`, main's second forked child is `0.2`, that
+/// child's first fork is `0.2.1`, and so on.
+///
+/// Because each thread forks its children in program order, a lineage names
+/// the same logical thread in every interleaving, which is what lets path
+/// logs recorded in one execution drive replay in another.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lineage(Vec<u32>);
+
+impl Lineage {
+    /// The main thread's lineage.
+    pub fn main() -> Self {
+        Lineage(vec![0])
+    }
+
+    /// The lineage of this thread's `ordinal`-th forked child (1-based).
+    pub fn child(&self, ordinal: u32) -> Self {
+        let mut v = self.0.clone();
+        v.push(ordinal);
+        Lineage(v)
+    }
+
+    /// The raw ordinal chain.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+/// One activation record.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Local slots (parameters first), zero-initialized.
+    pub locals: Vec<i64>,
+    /// Current block.
+    pub block: BlockId,
+    /// Index of the next instruction within the block.
+    pub ip: usize,
+    /// Where the caller wants the return value, if anywhere.
+    pub ret_dst: Option<LocalId>,
+}
+
+impl Frame {
+    /// Creates a frame at the entry of `func` with the given arguments.
+    pub fn new(func: FuncId, entry: BlockId, locals_len: usize, args: &[i64]) -> Self {
+        let mut locals = vec![0i64; locals_len];
+        locals[..args.len()].copy_from_slice(args);
+        Frame { func, locals, block: entry, ip: 0, ret_dst: None }
+    }
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Ready to execute.
+    Runnable,
+    /// Waiting to acquire a mutex (initial acquisition or cond-wait
+    /// reacquisition).
+    BlockedLock(MutexId),
+    /// Waiting for another thread to exit.
+    BlockedJoin(ThreadId),
+    /// Parked on a condition variable (pre-signal).
+    BlockedWait(CondId),
+    /// Finished.
+    Exited,
+}
+
+/// The complete state of one simulated thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// Dense runtime id.
+    pub id: ThreadId,
+    /// Canonical identity.
+    pub lineage: Lineage,
+    /// Call stack; empty iff the thread has exited.
+    pub frames: Vec<Frame>,
+    /// Run status.
+    pub status: Status,
+    /// Number of children forked so far (for child lineage ordinals).
+    pub forks: u32,
+    /// Program-order index of the *next* shared access point this thread
+    /// executes (counts shared loads/stores/sync operations).
+    pub next_sap_index: u64,
+    /// The mutex a `wait` must reacquire once signalled, plus the resume
+    /// point semantics: when set, a successful lock acquisition completes
+    /// the pending `wait` instead of a `lock` instruction.
+    pub waiting_reacquire: Option<MutexId>,
+}
+
+impl Thread {
+    /// Creates a runnable thread with a single frame.
+    pub fn new(id: ThreadId, lineage: Lineage, frame: Frame) -> Self {
+        Thread {
+            id,
+            lineage,
+            frames: vec![frame],
+            status: Status::Runnable,
+            forks: 0,
+            next_sap_index: 0,
+            waiting_reacquire: None,
+        }
+    }
+
+    /// The active frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has exited.
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("thread has a frame")
+    }
+
+    /// The active frame, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has exited.
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("thread has a frame")
+    }
+
+    /// `true` when the thread can be stepped.
+    pub fn is_runnable(&self) -> bool {
+        self.status == Status::Runnable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineage_scheme_matches_paper() {
+        let main = Lineage::main();
+        assert_eq!(main.to_string(), "0");
+        let second_child = main.child(2);
+        assert_eq!(second_child.to_string(), "0.2");
+        assert_eq!(second_child.child(1).to_string(), "0.2.1");
+        assert_eq!(second_child.components(), &[0, 2]);
+    }
+
+    #[test]
+    fn lineage_ordering_is_stable() {
+        let main = Lineage::main();
+        assert!(main.child(1) < main.child(2));
+        assert!(main < main.child(1));
+    }
+
+    #[test]
+    fn frame_initializes_args() {
+        let f = Frame::new(FuncId(0), BlockId(0), 4, &[7, 8]);
+        assert_eq!(f.locals, vec![7, 8, 0, 0]);
+    }
+
+    #[test]
+    fn thread_runnable_lifecycle() {
+        let mut t = Thread::new(
+            ThreadId::MAIN,
+            Lineage::main(),
+            Frame::new(FuncId(0), BlockId(0), 0, &[]),
+        );
+        assert!(t.is_runnable());
+        t.status = Status::BlockedJoin(ThreadId(1));
+        assert!(!t.is_runnable());
+    }
+}

@@ -1,0 +1,1242 @@
+//! The interpreter: executes a lowered [`Program`] under a chosen memory
+//! model, driven by a [`Scheduler`] and observed by a [`Monitor`].
+//!
+//! Execution proceeds in *steps*. Each step either advances one runnable
+//! thread by one instruction/terminator, or drains one buffered store to
+//! memory (TSO/PSO). The set of enabled steps is recomputed after every
+//! step, so a scheduler sees every interleaving point — including the
+//! relaxed-memory visibility points that make Dekker-style algorithms fail
+//! under TSO/PSO.
+
+use crate::mem::{Addr, BufferedStore, Layout, MemModel, Memory, StoreBuffer};
+use crate::monitor::{AccessEvent, Monitor, SyncEvent};
+use crate::sched::{Action, Scheduler};
+use crate::stats::ExecStats;
+use crate::thread::{Frame, Lineage, Status, Thread, ThreadId};
+use clap_ir::{
+    AssertId, CondId, FuncId, GlobalId, Instr, MutexId, Operand, Program, Rvalue, Terminator,
+    eval_binop, eval_unop,
+};
+use std::collections::{HashSet, VecDeque};
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every thread exited.
+    Completed,
+    /// An assert evaluated to false — the bug manifested.
+    AssertFailed {
+        /// Which assert site failed.
+        assert: AssertId,
+        /// The thread that executed it.
+        thread: ThreadId,
+    },
+    /// No thread can make progress.
+    Deadlock,
+    /// The step budget was exhausted.
+    StepLimit,
+    /// A runtime fault (out-of-bounds index, unlock of unowned mutex, …).
+    Fault {
+        /// The faulting thread.
+        thread: ThreadId,
+        /// Description.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::AssertFailed`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::AssertFailed { .. })
+    }
+}
+
+/// Which globals count as *shared* (and therefore as SAPs and as buffered
+/// under TSO/PSO). Non-shared globals behave like thread-local storage:
+/// direct memory access, no events, no buffering.
+#[derive(Debug, Clone, Default)]
+pub enum SharedSpec {
+    /// Every global is treated as shared.
+    #[default]
+    All,
+    /// Only the listed globals are shared (output of the static sharing
+    /// analysis).
+    Set(HashSet<GlobalId>),
+}
+
+impl SharedSpec {
+    /// `true` if `global` is shared under this spec.
+    pub fn contains(&self, global: GlobalId) -> bool {
+        match self {
+            SharedSpec::All => true,
+            SharedSpec::Set(set) => set.contains(&global),
+        }
+    }
+}
+
+/// What executing a thread's next step would do — used by replay schedulers
+/// to gate threads on the computed schedule without executing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPreview {
+    /// Pure computation, call/return, non-shared access, or a yield:
+    /// invisible to other threads.
+    Invisible,
+    /// A shared store that would enter the store buffer (TSO/PSO):
+    /// invisible now, visible at its drain. Consumes the given
+    /// program-order SAP index.
+    BufferedStore {
+        /// The store's per-thread SAP index.
+        po_index: u64,
+    },
+    /// A visible SAP would execute.
+    Sap {
+        /// The SAP's per-thread index.
+        po_index: u64,
+        /// What kind of SAP.
+        kind: SapPreviewKind,
+    },
+    /// The step would block the thread (lock held, join target running,
+    /// wait reacquisition contended) without consuming a SAP.
+    WouldBlock,
+    /// An assert would execute (invisible for ordering purposes).
+    AssertStep,
+    /// The thread's final `return` would execute, flushing its store
+    /// buffer — replay schedulers must hold this until every buffered
+    /// store has drained at its scheduled position.
+    ThreadExit,
+}
+
+/// Kinds of visible SAPs, for preview purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SapPreviewKind {
+    /// Shared load.
+    Read(Addr),
+    /// Shared store that is immediately visible (SC).
+    Write(Addr),
+    /// Mutex acquisition.
+    Lock(MutexId),
+    /// Mutex release.
+    Unlock(MutexId),
+    /// Thread creation.
+    Fork,
+    /// Join completion.
+    Join,
+    /// Cond-wait release phase (releases the mutex, parks).
+    WaitRelease(CondId),
+    /// Cond-wait reacquisition phase (completes the wait).
+    WaitAcquire(CondId),
+    /// Signal.
+    Signal(CondId),
+    /// Broadcast.
+    Broadcast(CondId),
+}
+
+/// A captured execution state (see [`Vm::snapshot`]): everything mutable
+/// about a run, detached from the program (which snapshots share).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    memory: Memory,
+    threads: Vec<Thread>,
+    buffers: Vec<StoreBuffer>,
+    mutex_owner: Vec<Option<ThreadId>>,
+    cond_queue: Vec<VecDeque<ThreadId>>,
+    stats: ExecStats,
+    announced_main: bool,
+}
+
+impl Snapshot {
+    /// The counters at capture time.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Number of threads alive or exited at capture time.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    layout: Layout,
+    memory: Memory,
+    model: MemModel,
+    shared: SharedSpec,
+    threads: Vec<Thread>,
+    buffers: Vec<StoreBuffer>,
+    mutex_owner: Vec<Option<ThreadId>>,
+    cond_queue: Vec<VecDeque<ThreadId>>,
+    stats: ExecStats,
+    outcome: Option<Outcome>,
+    step_limit: u64,
+    announced_main: bool,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` under `model`, treating all globals as
+    /// shared.
+    pub fn new(program: &'p Program, model: MemModel) -> Self {
+        Self::with_shared(program, model, SharedSpec::All)
+    }
+
+    /// Creates a VM with an explicit shared-variable specification.
+    pub fn with_shared(program: &'p Program, model: MemModel, shared: SharedSpec) -> Self {
+        let layout = Layout::new(program);
+        let memory = Memory::new(program, &layout);
+        let main_fn = program.function(program.main);
+        let frame = Frame::new(program.main, main_fn.entry, main_fn.locals.len(), &[]);
+        let main = Thread::new(ThreadId::MAIN, Lineage::main(), frame);
+        let mut stats = ExecStats::default();
+        stats.threads = 1;
+        Vm {
+            program,
+            layout,
+            memory,
+            model,
+            shared,
+            threads: vec![main],
+            buffers: vec![StoreBuffer::default()],
+            mutex_owner: vec![None; program.mutexes.len()],
+            cond_queue: vec![VecDeque::new(); program.conds.len()],
+            stats,
+            outcome: None,
+            step_limit: 200_000_000,
+            announced_main: false,
+        }
+    }
+
+    /// Caps the number of scheduler steps before the run aborts with
+    /// [`Outcome::StepLimit`].
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The memory model in effect.
+    pub fn model(&self) -> MemModel {
+        self.model
+    }
+
+    /// The address layout (for monitors that need to resolve addresses).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// All threads created so far, indexed by [`ThreadId`].
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// One thread's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn thread(&self, t: ThreadId) -> &Thread {
+        &self.threads[t.index()]
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The final outcome, once the run has ended.
+    pub fn outcome(&self) -> Option<&Outcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Reads a global scalar / array element directly from memory
+    /// (ignores store buffers — callers usually inspect state after the
+    /// run, when buffers are empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global/offset is out of range.
+    pub fn read_global(&self, global: GlobalId, offset: usize) -> i64 {
+        let addr = self.layout.addr(global, offset as i64).expect("global offset in range");
+        self.memory.read(addr)
+    }
+
+    /// The currently enabled actions.
+    pub fn enabled_actions(&self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for t in &self.threads {
+            if t.is_runnable() {
+                actions.push(Action::Step(t.id));
+            }
+        }
+        for (i, buf) in self.buffers.iter().enumerate() {
+            for addr in buf.drainable(self.model) {
+                actions.push(Action::Drain(ThreadId::from(i), addr));
+            }
+        }
+        actions
+    }
+
+    /// The per-thread SAP index of the oldest buffered store to `addr` by
+    /// thread `t`, if one exists (what a [`Action::Drain`] would commit).
+    pub fn drain_preview(&self, t: ThreadId, addr: Addr) -> Option<u64> {
+        self.buffers[t.index()].iter().find(|s| s.addr == addr).map(|s| s.po_index)
+    }
+
+    /// Number of stores sitting in thread `t`'s store buffer.
+    pub fn buffered_store_count(&self, t: ThreadId) -> usize {
+        self.buffers[t.index()].len()
+    }
+
+    /// Classifies what stepping thread `t` would do, without side effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has exited.
+    pub fn preview_step(&self, t: ThreadId) -> StepPreview {
+        let thread = &self.threads[t.index()];
+        assert!(!thread.frames.is_empty(), "preview of an exited thread");
+        let frame = thread.frame();
+        let func = self.program.function(frame.func);
+        let block = func.block(frame.block);
+        if frame.ip >= block.instrs.len() {
+            if matches!(block.term, clap_ir::Terminator::Return(_)) && thread.frames.len() == 1 {
+                return StepPreview::ThreadExit;
+            }
+            return StepPreview::Invisible; // terminator
+        }
+        let sap = thread.next_sap_index;
+        match &block.instrs[frame.ip] {
+            Instr::Assign { .. } | Instr::Call { .. } | Instr::Yield => StepPreview::Invisible,
+            Instr::Assert { .. } => StepPreview::AssertStep,
+            Instr::Load { global, index, .. } => {
+                if !self.shared.contains(*global) {
+                    return StepPreview::Invisible;
+                }
+                let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
+                match self.layout.addr(*global, offset) {
+                    Some(addr) => {
+                        StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Read(addr) }
+                    }
+                    None => StepPreview::Invisible, // will fault on execution
+                }
+            }
+            Instr::Store { global, index, .. } => {
+                if !self.shared.contains(*global) {
+                    return StepPreview::Invisible;
+                }
+                if self.model.buffered() {
+                    return StepPreview::BufferedStore { po_index: sap };
+                }
+                let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
+                match self.layout.addr(*global, offset) {
+                    Some(addr) => {
+                        StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Write(addr) }
+                    }
+                    None => StepPreview::Invisible,
+                }
+            }
+            Instr::Lock(m) => {
+                if self.mutex_owner[m.index()].is_none() {
+                    StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Lock(*m) }
+                } else {
+                    StepPreview::WouldBlock
+                }
+            }
+            Instr::Unlock(m) => {
+                StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Unlock(*m) }
+            }
+            Instr::Fork { .. } => StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Fork },
+            Instr::Join { handle } => {
+                let target = operand(frame, *handle);
+                let exited = self
+                    .threads
+                    .get(target as usize)
+                    .map(|th| th.status == Status::Exited)
+                    .unwrap_or(true); // invalid handle faults at execution
+                if exited {
+                    StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Join }
+                } else {
+                    StepPreview::WouldBlock
+                }
+            }
+            Instr::Wait { cond, mutex } => {
+                if let Some(m) = thread.waiting_reacquire {
+                    if self.mutex_owner[m.index()].is_none() {
+                        StepPreview::Sap { po_index: sap, kind: SapPreviewKind::WaitAcquire(*cond) }
+                    } else {
+                        StepPreview::WouldBlock
+                    }
+                } else {
+                    let _ = mutex;
+                    StepPreview::Sap { po_index: sap, kind: SapPreviewKind::WaitRelease(*cond) }
+                }
+            }
+            Instr::Signal(c) => StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Signal(*c) },
+            Instr::Broadcast(c) => {
+                StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Broadcast(*c) }
+            }
+        }
+    }
+
+    /// Runs to completion under `scheduler`, reporting events to `monitor`.
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler, monitor: &mut dyn Monitor) -> Outcome {
+        if !self.announced_main {
+            self.announced_main = true;
+            let lineage = self.threads[0].lineage.clone();
+            monitor.on_thread_start(ThreadId::MAIN, &lineage, self.program.main);
+            monitor.on_func_enter(ThreadId::MAIN, self.program.main);
+        }
+        loop {
+            if let Some(outcome) = &self.outcome {
+                return outcome.clone();
+            }
+            let actions = self.enabled_actions();
+            if actions.is_empty() {
+                let all_exited = self.threads.iter().all(|t| t.status == Status::Exited);
+                let outcome = if all_exited { Outcome::Completed } else { Outcome::Deadlock };
+                self.outcome = Some(outcome.clone());
+                return outcome;
+            }
+            if self.stats.steps >= self.step_limit {
+                self.outcome = Some(Outcome::StepLimit);
+                return Outcome::StepLimit;
+            }
+            let choice = scheduler.pick(self, &actions);
+            match actions[choice] {
+                Action::Step(t) => self.step_thread(t, monitor),
+                Action::Drain(t, addr) => self.drain(t, addr, monitor),
+            }
+        }
+    }
+
+    /// Captures the complete mutable execution state — the checkpointing
+    /// primitive of the paper's §6.4 ("we need to break up the execution
+    /// so that each execution segment has a tractable size of
+    /// constraints. Checkpointing is a common technique used in such
+    /// contexts"). Restore with [`Vm::restore`] to re-run (or record)
+    /// from the captured point.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            memory: self.memory.clone(),
+            threads: self.threads.clone(),
+            buffers: self.buffers.clone(),
+            mutex_owner: self.mutex_owner.clone(),
+            cond_queue: self.cond_queue.clone(),
+            stats: self.stats,
+            announced_main: self.announced_main,
+        }
+    }
+
+    /// Restores a [`Vm::snapshot`] taken from a VM over the same program.
+    /// The outcome and step limit are reset so the restored VM can run
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's shapes do not match the program (a
+    /// snapshot from a different program).
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        assert_eq!(
+            snapshot.mutex_owner.len(),
+            self.program.mutexes.len(),
+            "snapshot is from a different program"
+        );
+        self.memory = snapshot.memory.clone();
+        self.threads = snapshot.threads.clone();
+        self.buffers = snapshot.buffers.clone();
+        self.mutex_owner = snapshot.mutex_owner.clone();
+        self.cond_queue = snapshot.cond_queue.clone();
+        self.stats = snapshot.stats;
+        self.announced_main = snapshot.announced_main;
+        self.outcome = None;
+    }
+
+    /// Performs one action directly — caller-driven execution for tools
+    /// that need to interleave their own logic between steps (tracers,
+    /// debuggers). [`Vm::run`] is the everyday loop.
+    pub fn step(&mut self, action: Action, monitor: &mut dyn Monitor) {
+        match action {
+            Action::Step(t) => self.step_thread(t, monitor),
+            Action::Drain(t, addr) => self.drain(t, addr, monitor),
+        }
+    }
+
+    fn drain(&mut self, t: ThreadId, addr: Addr, monitor: &mut dyn Monitor) {
+        self.stats.steps += 1;
+        debug_assert!(self.buffers[t.index()].drainable(self.model).contains(&addr));
+        if let Some(store) = self.buffers[t.index()].drain_addr(addr) {
+            self.memory.write(store.addr, store.value);
+            self.stats.drains += 1;
+            monitor.on_commit(t, store.addr, store.value);
+        }
+    }
+
+    fn flush_buffer(&mut self, t: ThreadId, monitor: &mut dyn Monitor) {
+        for store in self.buffers[t.index()].flush() {
+            self.memory.write(store.addr, store.value);
+            self.stats.drains += 1;
+            monitor.on_commit(t, store.addr, store.value);
+        }
+    }
+
+    fn fault(&mut self, t: ThreadId, message: impl Into<String>) {
+        self.outcome = Some(Outcome::Fault { thread: t, message: message.into() });
+    }
+
+    fn take_sap(&mut self, t: ThreadId) -> u64 {
+        let thread = &mut self.threads[t.index()];
+        let i = thread.next_sap_index;
+        thread.next_sap_index += 1;
+        self.stats.saps += 1;
+        i
+    }
+
+    fn wake_lock_waiters(&mut self, mutex: MutexId) {
+        for th in &mut self.threads {
+            if th.status == Status::BlockedLock(mutex) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    fn step_thread(&mut self, t: ThreadId, monitor: &mut dyn Monitor) {
+        self.stats.steps += 1;
+        let program = self.program;
+        let (func_id, block_id, ip) = {
+            let frame = self.threads[t.index()].frame();
+            (frame.func, frame.block, frame.ip)
+        };
+        let func = program.function(func_id);
+        let block = func.block(block_id);
+        if ip >= block.instrs.len() {
+            self.exec_terminator(t, func_id, monitor);
+            return;
+        }
+        let instr = &block.instrs[ip];
+        match instr {
+            Instr::Assign { dst, rv } => {
+                let frame = self.threads[t.index()].frame_mut();
+                let value = match rv {
+                    Rvalue::Use(op) => operand(frame, *op),
+                    Rvalue::Unary(op, a) => eval_unop(*op, operand(frame, *a)),
+                    Rvalue::Binary(op, a, b) => {
+                        eval_binop(*op, operand(frame, *a), operand(frame, *b))
+                    }
+                };
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+            }
+            Instr::Load { dst, global, index } => {
+                let frame = self.threads[t.index()].frame();
+                let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
+                let Some(addr) = self.layout.addr(*global, offset) else {
+                    let name = &program.globals[global.index()].name;
+                    self.fault(t, format!("load out of bounds: {name}[{offset}]"));
+                    return;
+                };
+                let shared = self.shared.contains(*global);
+                let value = if shared && self.model.buffered() {
+                    self.buffers[t.index()].forward(addr).unwrap_or_else(|| self.memory.read(addr))
+                } else {
+                    self.memory.read(addr)
+                };
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                if shared {
+                    self.take_sap(t);
+                    monitor.on_access(
+                        t,
+                        &AccessEvent {
+                            global: *global,
+                            offset: offset as usize,
+                            addr,
+                            is_write: false,
+                            value,
+                        },
+                    );
+                }
+            }
+            Instr::Store { global, index, src } => {
+                let frame = self.threads[t.index()].frame();
+                let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
+                let value = operand(frame, *src);
+                let Some(addr) = self.layout.addr(*global, offset) else {
+                    let name = &program.globals[global.index()].name;
+                    self.fault(t, format!("store out of bounds: {name}[{offset}]"));
+                    return;
+                };
+                let shared = self.shared.contains(*global);
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                if shared {
+                    let po_index = self.take_sap(t);
+                    if self.model.buffered() {
+                        self.buffers[t.index()].push(BufferedStore { addr, value, po_index });
+                    } else {
+                        self.memory.write(addr, value);
+                        monitor.on_commit(t, addr, value);
+                    }
+                    monitor.on_access(
+                        t,
+                        &AccessEvent {
+                            global: *global,
+                            offset: offset as usize,
+                            addr,
+                            is_write: true,
+                            value,
+                        },
+                    );
+                } else {
+                    self.memory.write(addr, value);
+                }
+            }
+            Instr::Lock(m) => {
+                if self.mutex_owner[m.index()].is_none() {
+                    self.flush_buffer(t, monitor);
+                    self.mutex_owner[m.index()] = Some(t);
+                    self.threads[t.index()].frame_mut().ip += 1;
+                    self.stats.instructions += 1;
+                    self.take_sap(t);
+                    monitor.on_sync(t, &SyncEvent::Lock(*m));
+                } else {
+                    self.threads[t.index()].status = Status::BlockedLock(*m);
+                }
+            }
+            Instr::Unlock(m) => {
+                if self.mutex_owner[m.index()] != Some(t) {
+                    let name = &program.mutexes[m.index()];
+                    self.fault(t, format!("unlock of mutex `{name}` not held by {t}"));
+                    return;
+                }
+                self.flush_buffer(t, monitor);
+                self.mutex_owner[m.index()] = None;
+                self.wake_lock_waiters(*m);
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Unlock(*m));
+            }
+            Instr::Fork { dst, func: callee, args } => {
+                let frame = self.threads[t.index()].frame();
+                let argv: Vec<i64> = args.iter().map(|a| operand(frame, *a)).collect();
+                self.flush_buffer(t, monitor);
+                let parent = &mut self.threads[t.index()];
+                parent.forks += 1;
+                let lineage = parent.lineage.child(parent.forks);
+                let child = ThreadId::from(self.threads.len());
+                let callee_fn = program.function(*callee);
+                let child_frame =
+                    Frame::new(*callee, callee_fn.entry, callee_fn.locals.len(), &argv);
+                self.threads.push(Thread::new(child, lineage.clone(), child_frame));
+                self.buffers.push(StoreBuffer::default());
+                self.stats.threads += 1;
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = child.0 as i64;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Fork(child));
+                monitor.on_thread_start(child, &lineage, *callee);
+                monitor.on_func_enter(child, *callee);
+            }
+            Instr::Join { handle } => {
+                let frame = self.threads[t.index()].frame();
+                let target = operand(frame, *handle);
+                if target < 0 || target as usize >= self.threads.len() {
+                    self.fault(t, format!("join of invalid thread handle {target}"));
+                    return;
+                }
+                let target = ThreadId::from(target as usize);
+                if self.threads[target.index()].status == Status::Exited {
+                    self.flush_buffer(t, monitor);
+                    self.threads[t.index()].frame_mut().ip += 1;
+                    self.stats.instructions += 1;
+                    self.take_sap(t);
+                    monitor.on_sync(t, &SyncEvent::Join(target));
+                } else {
+                    self.threads[t.index()].status = Status::BlockedJoin(target);
+                }
+            }
+            Instr::Wait { cond, mutex } => {
+                if let Some(m) = self.threads[t.index()].waiting_reacquire {
+                    // Phase 2: reacquire the mutex, complete the wait.
+                    if self.mutex_owner[m.index()].is_none() {
+                        self.mutex_owner[m.index()] = Some(t);
+                        let thread = &mut self.threads[t.index()];
+                        thread.waiting_reacquire = None;
+                        thread.frame_mut().ip += 1;
+                        self.stats.instructions += 1;
+                        self.take_sap(t);
+                        monitor.on_sync(t, &SyncEvent::Wait(*cond, m));
+                    } else {
+                        self.threads[t.index()].status = Status::BlockedLock(m);
+                    }
+                } else {
+                    // Phase 1: release the mutex and park.
+                    if self.mutex_owner[mutex.index()] != Some(t) {
+                        let name = &program.mutexes[mutex.index()];
+                        self.fault(t, format!("wait without holding mutex `{name}`"));
+                        return;
+                    }
+                    self.flush_buffer(t, monitor);
+                    self.mutex_owner[mutex.index()] = None;
+                    self.wake_lock_waiters(*mutex);
+                    let thread = &mut self.threads[t.index()];
+                    thread.status = Status::BlockedWait(*cond);
+                    thread.waiting_reacquire = Some(*mutex);
+                    self.cond_queue[cond.index()].push_back(t);
+                    self.stats.instructions += 1;
+                    self.take_sap(t);
+                    monitor.on_sync(t, &SyncEvent::Unlock(*mutex));
+                }
+            }
+            Instr::Signal(c) => {
+                if let Some(waiter) = self.cond_queue[c.index()].pop_front() {
+                    self.threads[waiter.index()].status = Status::Runnable;
+                }
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Signal(*c));
+            }
+            Instr::Broadcast(c) => {
+                while let Some(waiter) = self.cond_queue[c.index()].pop_front() {
+                    self.threads[waiter.index()].status = Status::Runnable;
+                }
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Broadcast(*c));
+            }
+            Instr::Yield => {
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+            }
+            Instr::Assert { cond, id } => {
+                let frame = self.threads[t.index()].frame();
+                let passed = operand(frame, *cond) != 0;
+                monitor.on_assert(t, *id, passed);
+                self.stats.instructions += 1;
+                if passed {
+                    self.threads[t.index()].frame_mut().ip += 1;
+                } else {
+                    self.outcome = Some(Outcome::AssertFailed { assert: *id, thread: t });
+                }
+            }
+            Instr::Call { dst, func: callee, args } => {
+                let frame = self.threads[t.index()].frame();
+                let argv: Vec<i64> = args.iter().map(|a| operand(frame, *a)).collect();
+                let callee_fn = program.function(*callee);
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                let mut new_frame =
+                    Frame::new(*callee, callee_fn.entry, callee_fn.locals.len(), &argv);
+                new_frame.ret_dst = *dst;
+                self.threads[t.index()].frames.push(new_frame);
+                monitor.on_func_enter(t, *callee);
+            }
+        }
+    }
+
+    fn exec_terminator(&mut self, t: ThreadId, func_id: FuncId, monitor: &mut dyn Monitor) {
+        let program = self.program;
+        let (block_id, term) = {
+            let frame = self.threads[t.index()].frame();
+            let block = program.function(frame.func).block(frame.block);
+            (frame.block, block.term.clone())
+        };
+        match term {
+            Terminator::Goto(target) => {
+                let frame = self.threads[t.index()].frame_mut();
+                frame.block = target;
+                frame.ip = 0;
+                monitor.on_edge(t, func_id, block_id, target);
+            }
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                let frame = self.threads[t.index()].frame_mut();
+                let taken = if operand(frame, cond) != 0 { then_bb } else { else_bb };
+                frame.block = taken;
+                frame.ip = 0;
+                self.stats.branches += 1;
+                monitor.on_edge(t, func_id, block_id, taken);
+            }
+            Terminator::Return(value) => {
+                let ret = {
+                    let frame = self.threads[t.index()].frame();
+                    value.map(|op| operand(frame, op))
+                };
+                let popped = self.threads[t.index()].frames.pop().expect("frame exists");
+                monitor.on_func_exit(t, popped.func);
+                if self.threads[t.index()].frames.is_empty() {
+                    // Thread exit: flush buffered stores, wake joiners.
+                    self.flush_buffer(t, monitor);
+                    self.threads[t.index()].status = Status::Exited;
+                    for th in &mut self.threads {
+                        if th.status == Status::BlockedJoin(t) {
+                            th.status = Status::Runnable;
+                        }
+                    }
+                    monitor.on_thread_exit(t);
+                } else if let (Some(dst), Some(v)) = (popped.ret_dst, ret) {
+                    self.threads[t.index()].frame_mut().locals[dst.index()] = v;
+                }
+            }
+        }
+    }
+}
+
+fn operand(frame: &Frame, op: Operand) -> i64 {
+    match op {
+        Operand::Local(l) => frame.locals[l.index()],
+        Operand::Const(c) => c,
+    }
+}
+
+/// Runs `program` once with a seeded [`crate::sched::RandomScheduler`] —
+/// the everyday entry point for exploration.
+pub fn run_with_seed(
+    program: &Program,
+    model: MemModel,
+    seed: u64,
+    monitor: &mut dyn Monitor,
+) -> (Outcome, ExecStats) {
+    let mut vm = Vm::new(program, model);
+    let mut sched = crate::sched::RandomScheduler::new(seed);
+    let outcome = vm.run(&mut sched, monitor);
+    (outcome, *vm.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{CountingMonitor, NullMonitor};
+    use crate::sched::{FifoScheduler, RandomScheduler};
+    use clap_ir::parse;
+
+    fn run(src: &str, model: MemModel, seed: u64) -> (Outcome, Vec<i64>) {
+        let p = parse(src).unwrap();
+        let mut vm = Vm::new(&p, model);
+        let mut sched = RandomScheduler::new(seed);
+        let outcome = vm.run(&mut sched, &mut NullMonitor);
+        let finals = (0..p.globals.len())
+            .map(|g| vm.read_global(clap_ir::GlobalId::from(g), 0))
+            .collect();
+        (outcome, finals)
+    }
+
+    #[test]
+    fn sequential_arithmetic() {
+        let (o, g) = run(
+            "global int x = 0; fn main() { x = 2 + 3 * 4; }",
+            MemModel::Sc,
+            0,
+        );
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(g[0], 14);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        let (o, g) = run(
+            "global int s = 0;
+             fn main() { let i: int = 0; while (i < 10) { if (i % 2 == 0) { s = s + i; } i = i + 1; } }",
+            MemModel::Sc,
+            1,
+        );
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(g[0], 0 + 2 + 4 + 6 + 8);
+    }
+
+    #[test]
+    fn calls_return_values() {
+        let (o, g) = run(
+            "global int r = 0;
+             fn sq(v: int) { return v * v; }
+             fn main() { r = sq(7); }",
+            MemModel::Sc,
+            0,
+        );
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(g[0], 49);
+    }
+
+    #[test]
+    fn recursion_works() {
+        let (o, g) = run(
+            "global int r = 0;
+             fn fact(n: int) { if (n <= 1) { return 1; } let rec: int = fact(n - 1); return n * rec; }
+             fn main() { r = fact(6); }",
+            MemModel::Sc,
+            0,
+        );
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(g[0], 720);
+    }
+
+    #[test]
+    fn fork_join_with_locks_is_race_free() {
+        for seed in 0..20 {
+            let (o, g) = run(
+                "global int x = 0; mutex m;
+                 fn w() { lock(m); let v: int = x; x = v + 1; unlock(m); }
+                 fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b; }",
+                MemModel::Sc,
+                seed,
+            );
+            assert_eq!(o, Outcome::Completed, "seed {seed}");
+            assert_eq!(g[0], 2, "locked increments never race (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn unlocked_increments_race_under_some_seed() {
+        let src = "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b;
+                         assert(x == 2, \"lost update\"); }";
+        let mut lost = false;
+        for seed in 0..200 {
+            let (o, _) = run(src, MemModel::Sc, seed);
+            if o.is_failure() {
+                lost = true;
+                break;
+            }
+        }
+        assert!(lost, "some seed must expose the lost update");
+    }
+
+    #[test]
+    fn assert_failure_reports_site() {
+        let p = parse("fn main() { assert(1 == 2, \"always\"); }").unwrap();
+        let mut vm = Vm::new(&p, MemModel::Sc);
+        let o = vm.run(&mut FifoScheduler, &mut NullMonitor);
+        assert_eq!(o, Outcome::AssertFailed { assert: AssertId(0), thread: ThreadId::MAIN });
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let (o, _) = run(
+            "mutex m; fn main() { lock(m); lock(m); }",
+            MemModel::Sc,
+            0,
+        );
+        assert_eq!(o, Outcome::Deadlock);
+    }
+
+    #[test]
+    fn unlock_not_owned_faults() {
+        let (o, _) = run("mutex m; fn main() { unlock(m); }", MemModel::Sc, 0);
+        assert!(matches!(o, Outcome::Fault { .. }));
+    }
+
+    #[test]
+    fn array_out_of_bounds_faults() {
+        let (o, _) = run("global int a[2]; fn main() { a[5] = 1; }", MemModel::Sc, 0);
+        assert!(matches!(o, Outcome::Fault { .. }));
+    }
+
+    #[test]
+    fn wait_signal_round_trip() {
+        let src = "global int ready = 0; global int got = 0; mutex m; cond c;
+             fn consumer() {
+                 lock(m);
+                 while (ready == 0) { wait(c, m); }
+                 got = 1;
+                 unlock(m);
+             }
+             fn main() {
+                 let t: thread = fork consumer();
+                 lock(m); ready = 1; signal(c); unlock(m);
+                 join t;
+                 assert(got == 1, \"consumer must run\");
+             }";
+        for seed in 0..30 {
+            let (o, g) = run(src, MemModel::Sc, seed);
+            assert_eq!(o, Outcome::Completed, "seed {seed}");
+            assert_eq!(g[1], 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_wakes_all() {
+        let src = "global int ready = 0; global int done = 0; mutex m; cond c;
+             fn waiter() {
+                 lock(m);
+                 while (ready == 0) { wait(c, m); }
+                 done = done + 1;
+                 unlock(m);
+             }
+             fn main() {
+                 let a: thread = fork waiter();
+                 let b: thread = fork waiter();
+                 let d: thread = fork waiter();
+                 lock(m); ready = 1; broadcast(c); unlock(m);
+                 join a; join b; join d;
+                 assert(done == 3);
+             }";
+        for seed in 0..30 {
+            let (o, _) = run(src, MemModel::Sc, seed);
+            assert_eq!(o, Outcome::Completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn store_buffering_visible_under_tso_not_sc() {
+        // Classic SB litmus: r1 = r2 = 0 is possible only with store buffers.
+        let src = "global int x = 0; global int y = 0;
+             global int r1 = -1; global int r2 = -1;
+             fn t1() { x = 1; r1 = y; }
+             fn t2() { y = 1; r2 = x; }
+             fn main() {
+                 let a: thread = fork t1(); let b: thread = fork t2();
+                 join a; join b;
+                 assert(r1 + r2 > 0, \"SB relaxation\");
+             }";
+        let mut sc_failed = false;
+        for seed in 0..300 {
+            let (o, _) = run(src, MemModel::Sc, seed);
+            assert_ne!(o, Outcome::Deadlock);
+            if o.is_failure() {
+                sc_failed = true;
+            }
+        }
+        assert!(!sc_failed, "SC forbids r1 = r2 = 0");
+        let mut tso_failed = false;
+        for seed in 0..300 {
+            let (o, _) = run(src, MemModel::Tso, seed);
+            if o.is_failure() {
+                tso_failed = true;
+                break;
+            }
+        }
+        assert!(tso_failed, "TSO store buffering must be observable");
+    }
+
+    #[test]
+    fn pso_reorders_stores_tso_does_not() {
+        // Message-passing litmus: under TSO the data=1 store drains before
+        // flag=1 (FIFO); under PSO flag can drain first, so the reader can
+        // see flag=1, data=0.
+        let src = "global int data = 0; global int flag = 0; global int seen = -1;
+             fn writer() { data = 1; flag = 1; }
+             fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+             fn main() {
+                 let w: thread = fork writer(); let r: thread = fork reader();
+                 join w; join r;
+                 assert(seen != 0, \"MP relaxation\");
+             }";
+        let mut tso_failed = false;
+        for seed in 0..400 {
+            let (o, _) = run(src, MemModel::Tso, seed);
+            if o.is_failure() {
+                tso_failed = true;
+            }
+        }
+        assert!(!tso_failed, "TSO preserves store order");
+        // The writer exits (and thus fences) right after its two stores, so
+        // the reordering window is a single scheduler step: sweep a larger
+        // seed range at medium stickiness to hit it.
+        let p = parse(src).unwrap();
+        let mut pso_failed = false;
+        for seed in 0..4000 {
+            let mut vm = Vm::new(&p, MemModel::Pso);
+            let mut sched = RandomScheduler::with_stickiness(seed, 0.5);
+            if vm.run(&mut sched, &mut NullMonitor).is_failure() {
+                pso_failed = true;
+                break;
+            }
+        }
+        assert!(pso_failed, "PSO must reorder the two stores");
+    }
+
+    #[test]
+    fn store_forwarding_sees_own_buffer() {
+        // A thread always reads its own latest store even while buffered.
+        let src = "global int x = 0;
+             fn main() { x = 41; let v: int = x; x = v + 1; assert(x == 42); }";
+        for model in [MemModel::Tso, MemModel::Pso] {
+            for seed in 0..50 {
+                let p = parse(src).unwrap();
+                let mut vm = Vm::new(&p, model);
+                let mut sched = RandomScheduler::new(seed);
+                let o = vm.run(&mut sched, &mut NullMonitor);
+                assert_eq!(o, Outcome::Completed, "{model} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn locks_are_fences() {
+        // With lock/unlock around accesses, even PSO behaves like SC.
+        let src = "global int data = 0; global int flag = 0; global int seen = -1; mutex m;
+             fn writer() { lock(m); data = 1; flag = 1; unlock(m); }
+             fn reader() { lock(m); let f: int = flag; if (f == 1) { seen = data; } unlock(m); }
+             fn main() {
+                 let w: thread = fork writer(); let r: thread = fork reader();
+                 join w; join r;
+                 assert(seen != 0);
+             }";
+        for seed in 0..200 {
+            let (o, _) = run(src, MemModel::Pso, seed);
+            assert!(!o.is_failure(), "fenced MP cannot fail (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn stats_and_monitor_counts_agree() {
+        let p = parse(
+            "global int x = 0; mutex m;
+             fn w() { lock(m); x = x + 1; unlock(m); }
+             fn main() { let a: thread = fork w(); join a; }",
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p, MemModel::Sc);
+        let mut mon = CountingMonitor::default();
+        let mut sched = RandomScheduler::new(3);
+        let o = vm.run(&mut sched, &mut mon);
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(mon.threads, 2);
+        assert_eq!(mon.accesses, 2); // one load + one store of x
+        assert_eq!(mon.syncs, 4); // lock, unlock, fork, join
+        // SAPs = shared accesses + syncs
+        assert_eq!(vm.stats().saps, mon.accesses + mon.syncs);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let p = parse("fn main() { while (true) { yield; } }").unwrap();
+        let mut vm = Vm::new(&p, MemModel::Sc);
+        vm.set_step_limit(1000);
+        let o = vm.run(&mut FifoScheduler, &mut NullMonitor);
+        assert_eq!(o, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn shared_spec_filters_saps() {
+        let p = parse("global int x = 0; global int y = 0; fn main() { x = 1; y = 1; }").unwrap();
+        let x = p.global_by_name("x").unwrap();
+        let mut set = std::collections::HashSet::new();
+        set.insert(x);
+        let mut vm = Vm::with_shared(&p, MemModel::Sc, SharedSpec::Set(set));
+        let o = vm.run(&mut FifoScheduler, &mut NullMonitor);
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(vm.stats().saps, 1, "only x counts as a SAP");
+        assert_eq!(vm.read_global(p.global_by_name("y").unwrap(), 0), 1);
+    }
+
+    #[test]
+    fn preview_matches_execution() {
+        let p = parse("global int x = 0; mutex m; fn main() { lock(m); x = 1; unlock(m); }")
+            .unwrap();
+        let mut vm = Vm::new(&p, MemModel::Tso);
+        assert!(matches!(
+            vm.preview_step(ThreadId::MAIN),
+            StepPreview::Sap { po_index: 0, kind: SapPreviewKind::Lock(_) }
+        ));
+        let mut sched = FifoScheduler;
+        // Execute lock.
+        let actions = vm.enabled_actions();
+        let i = sched.pick(&vm, &actions);
+        match actions[i] {
+            Action::Step(t) => vm.step_thread(t, &mut NullMonitor),
+            Action::Drain(t, a) => vm.drain(t, a, &mut NullMonitor),
+        }
+        assert!(matches!(
+            vm.preview_step(ThreadId::MAIN),
+            StepPreview::BufferedStore { po_index: 1 }
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Run N steps, snapshot, run to completion twice from the
+        // snapshot with identical schedulers: outcomes and final state
+        // must match — the §6.4 checkpointing primitive.
+        let p = parse(
+            "global int x = 0; mutex m;
+             fn w(n: int) { let i: int = 0; while (i < n) { lock(m); x = x + 1; unlock(m); i = i + 1; } }
+             fn main() { let a: thread = fork w(3); let b: thread = fork w(4); join a; join b;
+                         assert(x == 7); }",
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p, MemModel::Tso);
+        let mut sched = RandomScheduler::new(11);
+        // Advance 40 scheduler steps by hand.
+        for _ in 0..40 {
+            if vm.outcome().is_some() {
+                break;
+            }
+            let actions = vm.enabled_actions();
+            if actions.is_empty() {
+                break;
+            }
+            let i = sched.pick(&vm, &actions);
+            vm.step(actions[i], &mut NullMonitor);
+        }
+        let snapshot = vm.snapshot();
+        assert!(snapshot.thread_count() >= 1);
+
+        let finish = |vm: &mut Vm<'_>| {
+            let mut sched = RandomScheduler::new(99);
+            let outcome = vm.run(&mut sched, &mut NullMonitor);
+            (outcome, vm.read_global(p.global_by_name("x").unwrap(), 0), vm.stats().steps)
+        };
+        let mut vm_a = Vm::new(&p, MemModel::Tso);
+        vm_a.restore(&snapshot);
+        let a = finish(&mut vm_a);
+        let mut vm_b = Vm::new(&p, MemModel::Tso);
+        vm_b.restore(&snapshot);
+        let b = finish(&mut vm_b);
+        assert_eq!(a, b, "restored runs are deterministic given the seed");
+        assert_eq!(a.0, Outcome::Completed);
+        assert_eq!(a.1, 7);
+    }
+
+    #[test]
+    fn same_seed_same_everything() {
+        // Full-run determinism: identical seeds yield identical outcomes,
+        // stats and memory, across models.
+        let p = parse(
+            "global int x = 0; global int y = 0;
+             fn w() { let v: int = x; yield; x = v + 1; y = y + v; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b; }",
+        )
+        .unwrap();
+        for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
+            for seed in [0u64, 7, 123] {
+                let run = |_: ()| {
+                    let mut vm = Vm::new(&p, model);
+                    let mut sched = RandomScheduler::new(seed);
+                    let outcome = vm.run(&mut sched, &mut NullMonitor);
+                    (
+                        outcome,
+                        *vm.stats(),
+                        vm.read_global(p.global_by_name("x").unwrap(), 0),
+                        vm.read_global(p.global_by_name("y").unwrap(), 0),
+                    )
+                };
+                assert_eq!(run(()), run(()), "{model} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn lineages_are_canonical() {
+        let p = parse(
+            "fn w() {} fn main() { let a: thread = fork w(); let b: thread = fork w(); join a; join b; }",
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p, MemModel::Sc);
+        let mut sched = RandomScheduler::new(9);
+        vm.run(&mut sched, &mut NullMonitor);
+        assert_eq!(vm.thread(ThreadId(1)).lineage.to_string(), "0.1");
+        assert_eq!(vm.thread(ThreadId(2)).lineage.to_string(), "0.2");
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: reproduce a classic lost-update race end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The pipeline (1) explores seeded schedules with ONLY the thread-local
+//! path recorder attached until the assert fails, (2) symbolically
+//! re-executes the recorded paths, (3) solves the CLAP constraints for a
+//! schedule of the shared access points, and (4) replays that schedule
+//! deterministically, firing the same assert.
+
+use clap_core::{Pipeline, PipelineConfig};
+use clap_vm::MemModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        global int balance = 0;
+
+        fn deposit(amount: int) {
+            let current: int = balance;
+            yield;
+            balance = current + amount;
+        }
+
+        fn main() {
+            let a: thread = fork deposit(100);
+            let b: thread = fork deposit(50);
+            join a;
+            join b;
+            assert(balance == 150, "a deposit was lost");
+        }
+    "#;
+
+    let pipeline = Pipeline::from_source(source)?;
+    let report = pipeline.reproduce(&PipelineConfig::new(MemModel::Sc))?;
+
+    println!("bug reproduced: {}", report.reproduced);
+    println!("recorded seed:  {}", report.seed);
+    println!(
+        "trace:          {} threads, {} instructions, {} shared access points",
+        report.threads, report.instructions, report.saps
+    );
+    println!(
+        "constraints:    {} clauses over {} variables",
+        report.constraints.total_clauses(),
+        report.constraints.total_vars()
+    );
+    println!("path log:       {} bytes (no shared-memory dependencies recorded!)", report.log_bytes);
+    println!("context switches in the computed schedule: {}", report.context_switches);
+    println!();
+    println!("The witness values explain the failure: the two deposits read");
+    println!("the same initial balance, so the later write overwrote the");
+    println!("earlier one. Witness assignment (per symbolic read):");
+    for (i, v) in report.witness.assignment.iter().enumerate() {
+        println!("  R{i} = {v}");
+    }
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Workspace root for the CLAP (PLDI 2013) reproduction.
+//!
+//! Re-exports the crates so examples and integration tests have one
+//! import surface; the real APIs live in the `clap-*` crates (start at
+//! [`clap_core::Pipeline`]).
+
+pub use clap_analysis as analysis;
+pub use clap_constraints as constraints;
+pub use clap_core as core;
+pub use clap_ir as ir;
+pub use clap_leap as leap;
+pub use clap_parallel as parallel;
+pub use clap_profile as profile;
+pub use clap_replay as replay;
+pub use clap_solver as solver;
+pub use clap_symex as symex;
+pub use clap_vm as vm;
+pub use clap_workloads as workloads;

@@ -1,0 +1,139 @@
+//! End-to-end memory-model matrix: the classic litmus tests behave as SC /
+//! TSO / PSO dictate during exploration, and every model-specific failure
+//! round-trips through the full pipeline.
+
+use clap_core::{Pipeline, PipelineConfig};
+use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
+
+/// Sweeps seeds at several stickiness values; `true` if any run fails.
+fn fails_somewhere(src: &str, model: MemModel, budget: u64) -> bool {
+    let program = clap_ir::parse(src).expect("litmus parses");
+    for stick in [0.5, 0.7, 0.3, 0.9] {
+        for seed in 0..budget {
+            let mut vm = Vm::new(&program, model);
+            vm.set_step_limit(500_000);
+            let mut sched = RandomScheduler::with_stickiness(seed, stick);
+            if vm.run(&mut sched, &mut NullMonitor).is_failure() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+const SB: &str = "global int x = 0; global int y = 0;
+     global int r1 = -1; global int r2 = -1;
+     fn t1() { x = 1; r1 = y; }
+     fn t2() { y = 1; r2 = x; }
+     fn main() {
+         let a: thread = fork t1(); let b: thread = fork t2();
+         join a; join b;
+         assert(r1 + r2 > 0, \"store buffering\");
+     }";
+
+const MP: &str = "global int data = 0; global int flag = 0; global int seen = -1;
+     fn writer() { data = 1; flag = 1; }
+     fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+     fn main() {
+         let w: thread = fork writer(); let r: thread = fork reader();
+         join w; join r;
+         assert(seen != 0, \"message passing\");
+     }";
+
+const COHERENCE: &str = "global int x = 0; global int r1 = -1; global int r2 = -1;
+     fn writer() { x = 1; x = 2; }
+     fn reader() { let a: int = x; let b: int = x; r1 = a; r2 = b; }
+     fn main() {
+         let w: thread = fork writer(); let r: thread = fork reader();
+         join w; join r;
+         assert(r1 <= r2, \"same-address coherence\");
+     }";
+
+const FENCED_MP: &str = "global int data = 0; global int flag = 0; global int seen = -1; mutex m;
+     fn writer() { data = 1; lock(m); unlock(m); flag = 1; }
+     fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+     fn main() {
+         let w: thread = fork writer(); let r: thread = fork reader();
+         join w; join r;
+         assert(seen != 0, \"fenced message passing\");
+     }";
+
+#[test]
+fn store_buffering_matrix() {
+    assert!(!fails_somewhere(SB, MemModel::Sc, 400), "SC forbids SB");
+    assert!(fails_somewhere(SB, MemModel::Tso, 2000), "TSO allows SB");
+    assert!(fails_somewhere(SB, MemModel::Pso, 2000), "PSO allows SB");
+}
+
+#[test]
+fn message_passing_matrix() {
+    assert!(!fails_somewhere(MP, MemModel::Sc, 400), "SC forbids MP reorder");
+    assert!(!fails_somewhere(MP, MemModel::Tso, 400), "TSO keeps store order");
+    assert!(fails_somewhere(MP, MemModel::Pso, 4000), "PSO reorders the stores");
+}
+
+#[test]
+fn same_address_coherence_holds_everywhere() {
+    for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
+        assert!(
+            !fails_somewhere(COHERENCE, model, 400),
+            "per-address store order is FIFO under {model}"
+        );
+    }
+}
+
+#[test]
+fn fences_restore_message_passing() {
+    assert!(
+        !fails_somewhere(FENCED_MP, MemModel::Pso, 400),
+        "lock/unlock fences forbid the PSO reorder"
+    );
+}
+
+const IRIW: &str = "global int x = 0; global int y = 0;
+     global int a = -1; global int b = -1; global int c = -1; global int d = -1;
+     fn wx() { x = 1; }
+     fn wy() { y = 1; }
+     fn r1() { a = x; b = y; }
+     fn r2() { c = y; d = x; }
+     fn main() {
+         let t1: thread = fork wx(); let t2: thread = fork wy();
+         let t3: thread = fork r1(); let t4: thread = fork r2();
+         join t1; join t2; join t3; join t4;
+         assert(!(a == 1 && b == 0 && c == 1 && d == 0), \"IRIW\");
+     }";
+
+const LB: &str = "global int x = 0; global int y = 0;
+     global int r1 = -1; global int r2 = -1;
+     fn t1() { r1 = x; y = 1; }
+     fn t2() { r2 = y; x = 1; }
+     fn main() {
+         let a: thread = fork t1(); let b: thread = fork t2();
+         join a; join b;
+         assert(!(r1 == 1 && r2 == 1), \"load buffering\");
+     }";
+
+#[test]
+fn iriw_and_load_buffering_forbidden_on_store_buffer_machines() {
+    // Store-buffer models (TSO/PSO) have a single memory order for store
+    // visibility (multi-copy atomicity), so IRIW's disagreeing readers
+    // and LB's out-of-thin-air-ish cycle are impossible under every model
+    // we implement.
+    for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
+        assert!(!fails_somewhere(IRIW, model, 400), "IRIW forbidden under {model}");
+        assert!(!fails_somewhere(LB, model, 400), "LB forbidden under {model}");
+    }
+}
+
+#[test]
+fn model_specific_failures_reproduce_end_to_end() {
+    for (src, model) in [(SB, MemModel::Tso), (SB, MemModel::Pso), (MP, MemModel::Pso)] {
+        let pipeline = Pipeline::from_source(src).expect("parses");
+        let mut config = PipelineConfig::new(model);
+        config.stickiness = vec![0.5, 0.7, 0.3];
+        let report = pipeline
+            .reproduce(&config)
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert!(report.reproduced, "{model} failure replays deterministically");
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: the full CLAP pipeline (record → decode →
+//! symex → constrain → solve → replay) over the whole evaluation suite.
+
+use clap_core::{Pipeline, PipelineConfig, SolverChoice};
+use clap_parallel::ParallelConfig;
+use clap_solver::SolverConfig;
+use std::time::{Duration, Instant};
+
+fn config_for(workload: &clap_workloads::Workload) -> PipelineConfig {
+    let mut config = PipelineConfig::new(workload.model);
+    config.stickiness = workload.stickiness.to_vec();
+    config.seed_budget = workload.seed_budget;
+    config.solver = SolverChoice::Sequential(SolverConfig {
+        deadline: Some(Instant::now() + Duration::from_secs(120)),
+        max_decisions: 0,
+    });
+    config
+}
+
+/// Every workload of the paper's Table 1 reproduces end to end with the
+/// sequential solver.
+#[test]
+fn all_workloads_reproduce_sequentially() {
+    for workload in clap_workloads::all() {
+        let pipeline = Pipeline::new(workload.program());
+        let report = pipeline
+            .reproduce(&config_for(&workload))
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        assert!(report.reproduced, "{} must replay to the same failure", workload.name);
+        assert!(report.constraints.total_clauses() > 0);
+        assert!(report.log_bytes > 0);
+    }
+}
+
+/// A representative subset also reproduces with the parallel engine, at
+/// small preemption counts.
+#[test]
+fn parallel_engine_reproduces_with_few_preemptions() {
+    for name in ["sim_race", "aget", "pfscan", "dekker", "peterson"] {
+        let workload = clap_workloads::by_name(name).expect("workload exists");
+        let pipeline = Pipeline::new(workload.program());
+        let mut config = config_for(&workload);
+        config.solver = SolverChoice::Parallel(ParallelConfig {
+            deadline: Some(Instant::now() + Duration::from_secs(120)),
+            ..ParallelConfig::default()
+        });
+        let report = pipeline
+            .reproduce(&config)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.reproduced, "{name}");
+        assert!(
+            report.context_switches <= 3,
+            "{name}: parallel schedules stay within the paper's ≤3 preemptions, got {}",
+            report.context_switches
+        );
+    }
+}
+
+/// The recorded artifact (path log + crash context) is self-contained:
+/// decoding + symex + solving twice from the same recording gives
+/// schedules with identical witnesses.
+#[test]
+fn offline_phase_is_deterministic() {
+    let workload = clap_workloads::by_name("pfscan").expect("pfscan exists");
+    let pipeline = Pipeline::new(workload.program());
+    let config = config_for(&workload);
+    let recorded = pipeline.record_failure(&config).expect("failure found");
+    let a = pipeline.reproduce_from(&config, &recorded).expect("first solve");
+    let b = pipeline.reproduce_from(&config, &recorded).expect("second solve");
+    assert_eq!(a.schedule.order, b.schedule.order, "solver is deterministic");
+    assert_eq!(a.witness.assignment, b.witness.assignment);
+}
+
+/// Replays are repeatable: running the computed schedule twice fires the
+/// same assert after the same number of schedule positions.
+#[test]
+fn replay_is_deterministic() {
+    let workload = clap_workloads::by_name("aget").expect("aget exists");
+    let pipeline = Pipeline::new(workload.program());
+    let config = config_for(&workload);
+    let recorded = pipeline.record_failure(&config).expect("failure found");
+    let report = pipeline.reproduce_from(&config, &recorded).expect("reproduce");
+    let trace = pipeline.symbolic_trace(&recorded).expect("trace");
+    for _ in 0..3 {
+        let replayed = clap_replay::replay(
+            pipeline.program(),
+            workload.model,
+            pipeline.sharing().shared_spec(),
+            &trace,
+            &report.schedule,
+            recorded.assert,
+        )
+        .expect("replay");
+        assert!(replayed.reproduced);
+        assert_eq!(replayed.positions_consumed, report.replay.positions_consumed);
+    }
+}
+
+/// Table-harness helpers work end to end (used by the table binaries).
+#[test]
+fn bench_helpers_produce_rows() {
+    let w = clap_workloads::by_name("sim_race").unwrap();
+    let t1 = clap_bench::table1_row(&w).expect("table 1 row");
+    assert!(t1.success);
+    let heavy = clap_workloads::table2_suite()
+        .into_iter()
+        .find(|w| w.name == "racey")
+        .expect("heavy racey");
+    let t2 = clap_bench::table2_row(&heavy, 3);
+    assert!(t2.leap_bytes > t2.clap_bytes, "CLAP logs beat LEAP on racey");
+}

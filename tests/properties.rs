@@ -1,0 +1,189 @@
+//! Property-based cross-crate tests: randomized racy programs must be
+//! reproducible whenever they fail, the two solving engines must agree,
+//! and every validator-approved schedule must replay.
+
+use clap_constraints::{validate, ConstraintSystem, Schedule};
+use clap_core::{Pipeline, PipelineConfig};
+use clap_symex::SapId;
+use clap_vm::MemModel;
+use proptest::prelude::*;
+
+/// One worker statement template for the random-program generator.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Unprotected read-modify-write of `x` (racy).
+    IncX,
+    /// Unprotected read-modify-write of `y` (racy).
+    IncY,
+    /// Lock-protected increment of `x` (safe).
+    LockedIncX,
+}
+
+fn op_source(op: Op, temp: usize) -> String {
+    match op {
+        Op::IncX => format!("let t{temp}: int = x; yield; x = t{temp} + 1;\n"),
+        Op::IncY => format!("let t{temp}: int = y; yield; y = t{temp} + 1;\n"),
+        Op::LockedIncX => {
+            format!("lock(m); let t{temp}: int = x; x = t{temp} + 1; unlock(m);\n")
+        }
+    }
+}
+
+/// Builds a two-worker program from op lists; the assert demands the
+/// serial outcome, so any lost update fails it.
+fn build_program(ops_a: &[Op], ops_b: &[Op]) -> String {
+    let count = |ops: &[Op], f: fn(&Op) -> bool| ops.iter().filter(|o| f(o)).count();
+    let is_x = |o: &Op| matches!(o, Op::IncX | Op::LockedIncX);
+    let is_y = |o: &Op| matches!(o, Op::IncY);
+    let expected_x = count(ops_a, is_x) + count(ops_b, is_x);
+    let expected_y = count(ops_a, is_y) + count(ops_b, is_y);
+    let body = |ops: &[Op]| -> String {
+        ops.iter().enumerate().map(|(i, &op)| op_source(op, i)).collect()
+    };
+    format!(
+        "global int x = 0; global int y = 0; mutex m;
+         fn wa() {{ {} }}
+         fn wb() {{ {} }}
+         fn main() {{
+             let a: thread = fork wa();
+             let b: thread = fork wb();
+             join a; join b;
+             assert(x == {expected_x} && y == {expected_y}, \"lost update\");
+         }}",
+        body(ops_a),
+        body(ops_b),
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::IncX), Just(Op::IncY), Just(Op::LockedIncX)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whenever a randomized racy program fails under exploration, the
+    /// full pipeline reproduces the failure deterministically.
+    #[test]
+    fn random_racy_programs_are_reproducible(
+        ops_a in proptest::collection::vec(op_strategy(), 1..4),
+        ops_b in proptest::collection::vec(op_strategy(), 1..4),
+    ) {
+        let src = build_program(&ops_a, &ops_b);
+        let pipeline = Pipeline::from_source(&src).expect("generated source parses");
+        let mut config = PipelineConfig::new(MemModel::Sc);
+        config.seed_budget = 400;
+        config.stickiness = vec![0.7, 0.3];
+        match pipeline.reproduce(&config) {
+            Ok(report) => prop_assert!(report.reproduced),
+            Err(clap_core::PipelineError::NoFailureFound) => {
+                // All-locked op lists (or lucky schedules) never fail —
+                // vacuously fine.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Both solving engines agree on satisfiability, and the validator
+    /// accepts both engines' schedules.
+    #[test]
+    fn solvers_agree_on_random_failures(
+        ops_a in proptest::collection::vec(op_strategy(), 1..3),
+        ops_b in proptest::collection::vec(op_strategy(), 1..3),
+    ) {
+        let src = build_program(&ops_a, &ops_b);
+        let pipeline = Pipeline::from_source(&src).expect("parses");
+        let mut config = PipelineConfig::new(MemModel::Sc);
+        config.seed_budget = 400;
+        config.stickiness = vec![0.7, 0.3];
+        let Ok(recorded) = pipeline.record_failure(&config) else { return Ok(()) };
+        let trace = pipeline.symbolic_trace(&recorded).expect("trace");
+        let system = ConstraintSystem::build(pipeline.program(), &trace, MemModel::Sc);
+
+        let seq = clap_solver::solve(pipeline.program(), &system, clap_solver::SolverConfig::default());
+        let par = clap_parallel::solve_parallel(
+            pipeline.program(),
+            &system,
+            clap_parallel::ParallelConfig::default(),
+        );
+        let seq_solution = seq.solution().expect("recorded failures are satisfiable");
+        prop_assert!(par.schedule().is_some(), "parallel agrees on SAT");
+        prop_assert!(validate(pipeline.program(), &system, &seq_solution.schedule).is_ok());
+        prop_assert!(validate(pipeline.program(), &system, par.schedule().unwrap()).is_ok());
+    }
+
+    /// Soundness of validation: every validator-approved linear extension
+    /// replays on the VM and fires the assert (capped enumeration).
+    #[test]
+    fn every_valid_schedule_replays(
+        ops_a in proptest::collection::vec(op_strategy(), 1..3),
+        ops_b in proptest::collection::vec(op_strategy(), 1..2),
+    ) {
+        let src = build_program(&ops_a, &ops_b);
+        let pipeline = Pipeline::from_source(&src).expect("parses");
+        let mut config = PipelineConfig::new(MemModel::Sc);
+        config.seed_budget = 400;
+        config.stickiness = vec![0.7, 0.3];
+        let Ok(recorded) = pipeline.record_failure(&config) else { return Ok(()) };
+        let trace = pipeline.symbolic_trace(&recorded).expect("trace");
+        if trace.sap_count() > 18 {
+            return Ok(()); // keep enumeration tractable
+        }
+        let system = ConstraintSystem::build(pipeline.program(), &trace, MemModel::Sc);
+
+        // Enumerate linear extensions of the hard edges, validate each,
+        // and replay the first few approved ones.
+        let n = trace.sap_count();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &system.hard_edges {
+            preds[b.index()].push(a.index());
+        }
+        let mut approved: Vec<Schedule> = Vec::new();
+        let mut placed = vec![false; n];
+        let mut acc: Vec<SapId> = Vec::new();
+        fn extend(
+            n: usize,
+            preds: &[Vec<usize>],
+            placed: &mut Vec<bool>,
+            acc: &mut Vec<SapId>,
+            check: &mut dyn FnMut(&[SapId]) -> bool,
+        ) -> bool {
+            if acc.len() == n {
+                return check(acc);
+            }
+            for x in 0..n {
+                if placed[x] || !preds[x].iter().all(|&p| placed[p]) {
+                    continue;
+                }
+                placed[x] = true;
+                acc.push(SapId(x as u32));
+                let go_on = extend(n, preds, placed, acc, check);
+                acc.pop();
+                placed[x] = false;
+                if !go_on {
+                    return false;
+                }
+            }
+            true
+        }
+        extend(n, &preds, &mut placed, &mut acc, &mut |order| {
+            let schedule = Schedule { order: order.to_vec() };
+            if validate(pipeline.program(), &system, &schedule).is_ok() {
+                approved.push(schedule);
+            }
+            approved.len() < 5
+        });
+        prop_assert!(!approved.is_empty(), "the recorded failure admits a schedule");
+        for schedule in approved {
+            let report = clap_replay::replay(
+                pipeline.program(),
+                MemModel::Sc,
+                pipeline.sharing().shared_spec(),
+                &trace,
+                &schedule,
+                recorded.assert,
+            );
+            prop_assert!(report.is_ok(), "approved schedule must replay: {report:?}");
+        }
+    }
+}
