@@ -212,7 +212,11 @@ pub fn analyze(program: &Program) -> SharingAnalysis {
         }
     }
 
-    SharingAnalysis { shared, roles, multi_instance }
+    SharingAnalysis {
+        shared,
+        roles,
+        multi_instance,
+    }
 }
 
 /// Blocks of `f` that sit on a CFG cycle (conservative: any block from
@@ -223,15 +227,23 @@ fn loop_blocks(program: &Program, f: FuncId) -> HashSet<BlockId> {
     let n = func.blocks.len();
     // Compute reachability closure between blocks (small CFGs: O(n^2)).
     let mut reach: Vec<HashSet<usize>> = vec![HashSet::new(); n];
-    for i in 0..n {
-        let mut stack: Vec<usize> = func.blocks[i].term.successors().iter().map(|b| b.index()).collect();
+    for (i, reach_i) in reach.iter_mut().enumerate() {
+        let mut stack: Vec<usize> = func.blocks[i]
+            .term
+            .successors()
+            .iter()
+            .map(|b| b.index())
+            .collect();
         while let Some(j) = stack.pop() {
-            if reach[i].insert(j) {
+            if reach_i.insert(j) {
                 stack.extend(func.blocks[j].term.successors().iter().map(|b| b.index()));
             }
         }
     }
-    (0..n).filter(|&i| reach[i].contains(&i)).map(BlockId::from).collect()
+    (0..n)
+        .filter(|&i| reach[i].contains(&i))
+        .map(BlockId::from)
+        .collect()
 }
 
 #[cfg(test)]
@@ -330,9 +342,11 @@ mod tests {
         .unwrap();
         let a = analyze(&p);
         assert_eq!(a.roles.len(), 3); // main, mid, leaf
-        // Two mids → two leaves → x is shared.
+                                      // Two mids → two leaves → x is shared.
         assert!(a.is_shared(p.global_by_name("x").unwrap()));
-        assert!(a.multi_instance.contains(&p.function_by_name("leaf").unwrap()));
+        assert!(a
+            .multi_instance
+            .contains(&p.function_by_name("leaf").unwrap()));
     }
 
     #[test]

@@ -26,20 +26,24 @@ fn memmodel(c: &mut Criterion) {
     let workload = clap_workloads::by_name("dekker").expect("dekker exists");
     let program = workload.program();
     for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
-        group.bench_with_input(BenchmarkId::new("sweep100", model.to_string()), &model, |b, &m| {
-            b.iter(|| {
-                let mut failures = 0u32;
-                for seed in 0..100 {
-                    let mut vm = Vm::new(&program, m);
-                    vm.set_step_limit(500_000);
-                    let mut sched = RandomScheduler::with_stickiness(seed, 0.9);
-                    if vm.run(&mut sched, &mut NullMonitor).is_failure() {
-                        failures += 1;
+        group.bench_with_input(
+            BenchmarkId::new("sweep100", model.to_string()),
+            &model,
+            |b, &m| {
+                b.iter(|| {
+                    let mut failures = 0u32;
+                    for seed in 0..100 {
+                        let mut vm = Vm::new(&program, m);
+                        vm.set_step_limit(500_000);
+                        let mut sched = RandomScheduler::with_stickiness(seed, 0.9);
+                        if vm.run(&mut sched, &mut NullMonitor).is_failure() {
+                            failures += 1;
+                        }
                     }
-                }
-                black_box(failures)
-            })
-        });
+                    black_box(failures)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -59,7 +63,10 @@ fn csbound(c: &mut Criterion) {
                 black_box(solve_parallel(
                     pipeline.program(),
                     &system,
-                    ParallelConfig { max_cs, ..ParallelConfig::default() },
+                    ParallelConfig {
+                        max_cs,
+                        ..ParallelConfig::default()
+                    },
                 ))
             })
         });
@@ -84,7 +91,9 @@ fn pruning(c: &mut Criterion) {
         for_each_csp_set(&system, 1, 200, &mut |set| {
             gen.run(set, &mut |order| {
                 generated += 1;
-                let s = Schedule { order: order.to_vec() };
+                let s = Schedule {
+                    order: order.to_vec(),
+                };
                 if validate(pipeline.program(), &system, &s).is_ok() {
                     good += 1;
                 }

@@ -1,0 +1,32 @@
+//! The `exploration` criterion group: wall clock of the record-phase
+//! seed sweep ([`Pipeline::record_failure`]) at 1/2/4/8 workers.
+//!
+//! Budgets are trimmed below the workloads' hunting budgets so one
+//! iteration stays short; the sweep still finds and selects failure
+//! candidates on every workload benched here.
+
+use clap_bench::workload_config;
+use clap_core::Pipeline;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(10);
+    for name in ["sim_race", "pbzip2", "bakery"] {
+        let workload = clap_workloads::by_name(name).expect("workload exists");
+        let pipeline = Pipeline::new(workload.program());
+        let mut config = workload_config(&workload);
+        config.seed_budget = config.seed_budget.min(400);
+        for workers in [1usize, 2, 4, 8] {
+            config.explore_workers = workers;
+            let config = config.clone();
+            group.bench_function(BenchmarkId::new(name, workers), |b| {
+                b.iter(|| black_box(pipeline.record_failure(&config).ok()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exploration);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Diagnostic: where does the §4.3 generator dead-end on a workload?
+//! Compares pruned vs unpruned generation at level 0/1 and replays one
+//! greedy unpruned run printing the per-thread frontier at the dead end.
+//! Usage: `dbgdead [workload-name]` (default: pfscan).
+
+use clap_constraints::ConstraintSystem;
+use clap_core::{Pipeline, PipelineConfig};
+use clap_parallel::{for_each_csp_set, Generator};
+use clap_symex::{SapId, SapKind, SymTrace};
+use std::collections::HashMap;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pfscan".into());
+    let w = clap_workloads::by_name(&name).unwrap();
+    let pipeline = Pipeline::new(w.program());
+    let mut config = PipelineConfig::new(w.model);
+    config.stickiness = w.stickiness.to_vec();
+    config.seed_budget = w.seed_budget;
+    let recorded = pipeline.record_failure(&config).unwrap();
+    let trace = pipeline.symbolic_trace(&recorded).unwrap();
+    let sys = ConstraintSystem::build(pipeline.program(), &trace, w.model);
+
+    for (ti, saps) in trace.per_thread.iter().enumerate() {
+        let kinds: Vec<String> = saps.iter().map(|&s| short(&trace, s)).collect();
+        println!("thread {ti}: {}", kinds.join(" "));
+    }
+    println!("waits:");
+    for row in &sys.waits {
+        println!(
+            "  wait {:?} release {:?} signals {:?} broadcasts {:?}",
+            row.wait, row.release, row.signals, row.broadcasts
+        );
+    }
+
+    for level in 0..=2usize {
+        for pruned in [true, false] {
+            let mut gen = if pruned {
+                Generator::new(pipeline.program(), &sys, 100_000)
+            } else {
+                Generator::without_pruning(&sys, 100_000)
+            };
+            let mut n = 0u64;
+            let mut outcomes: HashMap<String, u64> = HashMap::new();
+            for_each_csp_set(&sys, level, 10_000, &mut |set| {
+                gen.run(set, &mut |order| {
+                    n += 1;
+                    let s = clap_constraints::Schedule {
+                        order: order.to_vec(),
+                    };
+                    let label = match clap_constraints::validate(pipeline.program(), &sys, &s) {
+                        Ok(_) => "OK".to_owned(),
+                        Err(e) => format!("{e:?}")
+                            .split_whitespace()
+                            .next()
+                            .unwrap()
+                            .to_owned(),
+                    };
+                    *outcomes.entry(label).or_default() += 1;
+                    n < 100_000
+                })
+            });
+            println!("level {level} pruned={pruned}: generated={n} {outcomes:?}");
+        }
+    }
+
+    // One greedy structural run (no pruning, no CSPs) mirroring the
+    // generator's switching rules; print the frontier at the dead end.
+    let n = trace.sap_count();
+    let mut succ = vec![Vec::new(); n];
+    let mut indeg = vec![0u32; n];
+    for &(a, b) in &sys.hard_edges {
+        succ[a.index()].push(b.0);
+        indeg[b.index()] += 1;
+    }
+    let mut wait_candidates: HashMap<u32, Vec<u32>> = HashMap::new();
+    for row in &sys.waits {
+        let cands = row
+            .signals
+            .iter()
+            .chain(row.broadcasts.iter())
+            .map(|s| s.0)
+            .collect();
+        wait_candidates.insert(row.wait.0, cands);
+    }
+    let mut done = vec![false; n];
+    let mut order: Vec<u32> = Vec::new();
+    let ready_of = |t: usize, done: &[bool], indeg: &[u32]| -> Vec<u32> {
+        trace.per_thread[t]
+            .iter()
+            .map(|s| s.0)
+            .filter(|&s| !done[s as usize] && indeg[s as usize] == 0)
+            .filter(|&s| match wait_candidates.get(&s) {
+                None => true,
+                Some(c) => c.iter().any(|&x| done[x as usize]),
+            })
+            .collect()
+    };
+    let mut cur = 0usize;
+    while order.len() < n {
+        let ready = ready_of(cur, &done, &indeg);
+        if let Some(&s) = ready.first() {
+            done[s as usize] = true;
+            order.push(s);
+            for &y in &succ[s as usize] {
+                indeg[y as usize] -= 1;
+            }
+            continue;
+        }
+        let next =
+            (0..trace.thread_count()).find(|&t| t != cur && !ready_of(t, &done, &indeg).is_empty());
+        match next {
+            Some(t) => cur = t,
+            None => break,
+        }
+    }
+    println!("greedy run emitted {}/{n} saps", order.len());
+    if order.len() < n {
+        for t in 0..trace.thread_count() {
+            let pending: Vec<&SapId> = trace.per_thread[t]
+                .iter()
+                .filter(|s| !done[s.index()])
+                .collect();
+            let Some(&&head) = pending.first() else {
+                println!("thread {t}: exhausted");
+                continue;
+            };
+            let feasible = match wait_candidates.get(&head.0) {
+                None => true,
+                Some(c) => c.iter().any(|&x| done[x as usize]),
+            };
+            println!(
+                "thread {t}: next {:?} ({}) indeg={} wake_feasible={} pending={}",
+                head,
+                short(&trace, head),
+                indeg[head.index()],
+                feasible,
+                pending.len()
+            );
+            let blockers: Vec<String> = sys
+                .hard_edges
+                .iter()
+                .filter(|&&(_, b)| b == head)
+                .map(|&(a, _)| format!("{:?}:{}", a, short(&trace, a)))
+                .collect();
+            if !blockers.is_empty() {
+                println!("          blocked on {}", blockers.join(", "));
+            }
+        }
+    }
+}
+
+fn short(trace: &SymTrace, s: SapId) -> String {
+    match trace.sap(s).kind {
+        SapKind::Read { .. } => "R".into(),
+        SapKind::Write { .. } => "W".into(),
+        SapKind::Lock(m) => format!("L{}", m.0),
+        SapKind::Unlock(m) => format!("U{}", m.0),
+        SapKind::Wait { cond, .. } => format!("wait{}", cond.0),
+        SapKind::Signal(c) => format!("sig{}", c.0),
+        SapKind::Broadcast(c) => format!("bc{}", c.0),
+        SapKind::Fork { child } => format!("fork{}", child.0),
+        SapKind::Join { child } => format!("join{}", child.0),
+    }
+}

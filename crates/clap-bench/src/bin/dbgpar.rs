@@ -16,10 +16,18 @@ fn main() {
     config.seed_budget = w.seed_budget;
     let recorded = pipeline.record_failure(&config).unwrap();
     let trace = pipeline.symbolic_trace(&recorded).unwrap();
-    println!("saps={} threads={:?}", trace.sap_count(), trace.per_thread.iter().map(|t| t.len()).collect::<Vec<_>>());
+    println!(
+        "saps={} threads={:?}",
+        trace.sap_count(),
+        trace.per_thread.iter().map(|t| t.len()).collect::<Vec<_>>()
+    );
     let sys = ConstraintSystem::build(pipeline.program(), &trace, w.model);
     // The sequential solution for reference:
-    let seq = clap_solver::solve(pipeline.program(), &sys, clap_solver::SolverConfig::default());
+    let seq = clap_solver::solve(
+        pipeline.program(),
+        &sys,
+        clap_solver::SolverConfig::default(),
+    );
     let sol = seq.solution().unwrap();
     println!("seq cs = {}", sol.schedule.context_switches(&trace));
     // Sample validation errors at each level.
@@ -30,20 +38,38 @@ fn main() {
         for_each_csp_set(&sys, c, 100_000, &mut |set| {
             gen.run(set, &mut |order| {
                 n += 1;
-                let s = Schedule { order: order.to_vec() };
+                let s = Schedule {
+                    order: order.to_vec(),
+                };
                 match validate(pipeline.program(), &sys, &s) {
-                    Ok(_) => { *errs.entry("OK".into()).or_default() += 1; }
-                    Err(ValidationError::PathViolation{..}) => { *errs.entry("path".into()).or_default() += 1; }
-                    Err(ValidationError::BugNotManifested) => { *errs.entry("nobug".into()).or_default() += 1; }
-                    Err(ValidationError::OrderViolation{..}) => { *errs.entry("order".into()).or_default() += 1; }
-                    Err(ValidationError::LockViolation{..}) => { *errs.entry("lock".into()).or_default() += 1; }
-                    Err(ValidationError::UnmatchedWait{..}) => { *errs.entry("wait".into()).or_default() += 1; }
-                    Err(ValidationError::BadAddress{..}) => { *errs.entry("addr".into()).or_default() += 1; }
+                    Ok(_) => {
+                        *errs.entry("OK".into()).or_default() += 1;
+                    }
+                    Err(ValidationError::PathViolation { .. }) => {
+                        *errs.entry("path".into()).or_default() += 1;
+                    }
+                    Err(ValidationError::BugNotManifested) => {
+                        *errs.entry("nobug".into()).or_default() += 1;
+                    }
+                    Err(ValidationError::OrderViolation { .. }) => {
+                        *errs.entry("order".into()).or_default() += 1;
+                    }
+                    Err(ValidationError::LockViolation { .. }) => {
+                        *errs.entry("lock".into()).or_default() += 1;
+                    }
+                    Err(ValidationError::UnmatchedWait { .. }) => {
+                        *errs.entry("wait".into()).or_default() += 1;
+                    }
+                    Err(ValidationError::BadAddress { .. }) => {
+                        *errs.entry("addr".into()).or_default() += 1;
+                    }
                 }
                 n < 1_000_000
             })
         });
         println!("level {c}: generated={n} outcomes={errs:?}");
-        if errs.contains_key("OK") { break; }
+        if errs.contains_key("OK") {
+            break;
+        }
     }
 }

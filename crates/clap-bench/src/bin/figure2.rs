@@ -38,14 +38,22 @@ fn main() {
         format!("assert1 ({:?})", program.asserts[1].message),
         format!("assert2 ({:?})", program.asserts[0].message)
     );
-    for (model, budget) in [(MemModel::Sc, 20_000), (MemModel::Tso, 20_000), (MemModel::Pso, 20_000)]
-    {
+    for (model, budget) in [
+        (MemModel::Sc, 20_000),
+        (MemModel::Tso, 20_000),
+        (MemModel::Pso, 20_000),
+    ] {
         let found = explore(&program, model, budget);
         let cell = |id: AssertId| match found.get(&id.0) {
             Some(seed) => format!("violated (seed {seed})"),
             None => "never violated".to_owned(),
         };
-        println!("{:<6} {:<40} {:<40}", model.to_string(), cell(AssertId(1)), cell(AssertId(0)));
+        println!(
+            "{:<6} {:<40} {:<40}",
+            model.to_string(),
+            cell(AssertId(1)),
+            cell(AssertId(0))
+        );
     }
     println!();
     println!("Expected shape (paper Figure 2): the SC-interleaving assertion is");

@@ -11,7 +11,9 @@ fn main() {
     let mut config = PipelineConfig::new(workload.model);
     config.stickiness = workload.stickiness.to_vec();
     config.seed_budget = workload.seed_budget;
-    let recorded = pipeline.record_failure(&config).expect("figure2 fails under PSO");
+    let recorded = pipeline
+        .record_failure(&config)
+        .expect("figure2 fails under PSO");
     let trace = pipeline.symbolic_trace(&recorded).expect("trace builds");
     let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
     let program = pipeline.program();

@@ -14,7 +14,10 @@ fn print_schedule(
     trace: &clap_symex::SymTrace,
     schedule: &clap_constraints::Schedule,
 ) {
-    println!("{title} ({} context switches):", schedule.context_switches(trace));
+    println!(
+        "{title} ({} context switches):",
+        schedule.context_switches(trace)
+    );
     for &s in &schedule.order {
         println!("  {}", trace.display_sap(program, s));
     }
@@ -27,7 +30,9 @@ fn main() {
     let mut config = PipelineConfig::new(workload.model);
     config.stickiness = workload.stickiness.to_vec();
     config.seed_budget = workload.seed_budget;
-    let recorded = pipeline.record_failure(&config).expect("figure2 fails under PSO");
+    let recorded = pipeline
+        .record_failure(&config)
+        .expect("figure2 fails under PSO");
     let trace = pipeline.symbolic_trace(&recorded).expect("trace builds");
     let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
 

@@ -8,8 +8,19 @@ fn main() {
     println!("Table 1 — CLAP bug-reproduction effectiveness (sequential solver)");
     println!(
         "{:<10} {:>4} {:>8} {:>4} {:>7} {:>6} {:>6} {:>12} {:>10} {:>9} {:>9} {:>4} {:>8}",
-        "Program", "LOC", "#Threads", "#SV", "#Inst", "#Br", "#SAPs", "#Constraints",
-        "#Variables", "T-symb", "T-solve", "#cs", "success?"
+        "Program",
+        "LOC",
+        "#Threads",
+        "#SV",
+        "#Inst",
+        "#Br",
+        "#SAPs",
+        "#Constraints",
+        "#Variables",
+        "T-symb",
+        "T-solve",
+        "#cs",
+        "success?"
     );
     for workload in clap_workloads::all() {
         match table1_row(&workload) {

@@ -21,7 +21,14 @@ fn main() {
     println!("Table 2 — recording overhead, native vs LEAP vs CLAP ({iterations} runs averaged, scaled workloads)");
     println!(
         "{:<10} {:>9} {:>16} {:>16} {:>7} {:>9} {:>9} {:>7}",
-        "Program", "Native", "LEAP (ovh%)", "CLAP (ovh%)", "T-red%", "LEAP-log", "CLAP-log", "S-red%"
+        "Program",
+        "Native",
+        "LEAP (ovh%)",
+        "CLAP (ovh%)",
+        "T-red%",
+        "LEAP-log",
+        "CLAP-log",
+        "S-red%"
     );
     for workload in clap_workloads::table2_suite() {
         let r = table2_row(&workload, iterations);

@@ -19,7 +19,11 @@ fn main() {
                 r.generated,
                 r.cs_bound,
                 r.good,
-                if r.found { fmt_duration(r.par_time) } else { format!("> {}*", fmt_duration(r.par_time)) },
+                if r.found {
+                    fmt_duration(r.par_time)
+                } else {
+                    format!("> {}*", fmt_duration(r.par_time))
+                },
                 fmt_duration(r.seq_time),
             ),
             Err(e) => println!("{:<10} FAILED: {e}", workload.name),

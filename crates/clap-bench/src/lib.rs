@@ -78,6 +78,9 @@ pub fn workload_config(workload: &Workload) -> PipelineConfig {
         deadline: Some(Instant::now() + Duration::from_secs(300)),
         max_decisions: 0,
     });
+    // The table binaries record 25 failure candidates per workload; fan
+    // that sweep over all cores (selection is deterministic regardless).
+    config.explore_workers = 0;
     config
 }
 
@@ -231,9 +234,12 @@ pub struct Table3Row {
 pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
     let pipeline = Pipeline::new(workload.program());
     let config = workload_config(workload);
-    let recorded: RecordedFailure =
-        pipeline.record_failure(&config).map_err(|e| e.to_string())?;
-    let trace = pipeline.symbolic_trace(&recorded).map_err(|e| e.to_string())?;
+    let recorded: RecordedFailure = pipeline
+        .record_failure(&config)
+        .map_err(|e| e.to_string())?;
+    let trace = pipeline
+        .symbolic_trace(&recorded)
+        .map_err(|e| e.to_string())?;
     let system = ConstraintSystem::build(pipeline.program(), &trace, workload.model);
     let _ = count(&system);
 

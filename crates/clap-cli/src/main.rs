@@ -4,11 +4,13 @@
 //! clap-reproduce check     prog.clap                    parse + check, print summary
 //! clap-reproduce dump      prog.clap                    pretty-print the lowered CFG
 //! clap-reproduce run       prog.clap [--model M] [--seed N] [--stickiness S]
-//! clap-reproduce explore   prog.clap [--model M] [--budget N]
-//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--parallel] [--sync-order]
+//! clap-reproduce explore   prog.clap [--model M] [--budget N] [--workers N]
+//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--workers N] [--parallel] [--sync-order]
 //! ```
 //!
-//! `M` is one of `sc` (default), `tso`, `pso`.
+//! `M` is one of `sc` (default), `tso`, `pso`. `--workers` sets the
+//! record-phase exploration pool size (0, the default, means one worker
+//! per core); any value returns the same artifact.
 
 use clap_core::{Pipeline, PipelineConfig, SolverChoice};
 use clap_parallel::ParallelConfig;
@@ -32,8 +34,8 @@ const USAGE: &str = "usage:
   clap-reproduce check     <prog.clap>
   clap-reproduce dump      <prog.clap>
   clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
-  clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N]
-  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--parallel] [--sync-order]";
+  clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
+  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N] [--parallel] [--sync-order]";
 
 struct Options {
     file: String,
@@ -41,6 +43,7 @@ struct Options {
     seed: u64,
     stickiness: f64,
     budget: u64,
+    workers: usize,
     parallel: bool,
     sync_order: bool,
 }
@@ -52,6 +55,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 0,
         stickiness: 0.7,
         budget: 20_000,
+        workers: 0,
         parallel: false,
         sync_order: false,
     };
@@ -79,6 +83,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--budget needs a value")?;
                 options.budget = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
             }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                options.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
             "--parallel" => options.parallel = true,
             "--sync-order" => options.sync_order = true,
             other if !other.starts_with("--") && options.file.is_empty() => {
@@ -94,8 +102,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn load(file: &str) -> Result<clap_ir::Program, String> {
-    let source =
-        std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     clap_ir::parse(&source).map_err(|e| format!("{file}: {e}"))
 }
 
@@ -146,36 +153,51 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explore" => {
-            for stick in [0.9, 0.7, 0.5, 0.3] {
-                for seed in 0..options.budget {
-                    let mut vm = Vm::new(&program, options.model);
-                    vm.set_step_limit(2_000_000);
-                    let mut sched = RandomScheduler::with_stickiness(seed, stick);
-                    let outcome = vm.run(&mut sched, &mut NullMonitor);
-                    if let clap_vm::Outcome::AssertFailed { assert, .. } = outcome {
-                        println!(
-                            "failure: seed {seed} (stickiness {stick}) violates assert {} ({:?})",
-                            assert.0, program.asserts[assert.index()].message
-                        );
-                        return Ok(());
-                    }
+            let pipeline = Pipeline::new(program);
+            let mut config = PipelineConfig::new(options.model);
+            config.seed_budget = options.budget;
+            config.explore_workers = options.workers;
+            match pipeline.record_failure(&config) {
+                Ok(recorded) => {
+                    println!(
+                        "failure: seed {} (stickiness {}) violates assert {} ({:?})",
+                        recorded.seed,
+                        recorded.stickiness,
+                        recorded.assert.0,
+                        pipeline.program().asserts[recorded.assert.index()].message
+                    );
+                    println!(
+                        "recorded: {} SAPs, path log {} bytes",
+                        recorded.stats.saps,
+                        recorded.log.size_bytes()
+                    );
+                    Ok(())
                 }
+                Err(clap_core::PipelineError::NoFailureFound) => {
+                    println!("no failure within the budget");
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
             }
-            println!("no failure within the budget");
-            Ok(())
         }
         "reproduce" => {
             let pipeline = Pipeline::new(program);
             let mut config = PipelineConfig::new(options.model);
             config.seed_budget = options.budget;
+            config.explore_workers = options.workers;
             if options.parallel {
                 config.solver = SolverChoice::Parallel(ParallelConfig::default());
             }
             config.record_sync_order = options.sync_order;
-            let recorded = pipeline.record_failure(&config).map_err(|e| e.to_string())?;
-            let trace = pipeline.symbolic_trace(&recorded).map_err(|e| e.to_string())?;
-            let report =
-                pipeline.reproduce_from(&config, &recorded).map_err(|e| e.to_string())?;
+            let recorded = pipeline
+                .record_failure(&config)
+                .map_err(|e| e.to_string())?;
+            let trace = pipeline
+                .symbolic_trace(&recorded)
+                .map_err(|e| e.to_string())?;
+            let report = pipeline
+                .reproduce_from(&config, &recorded)
+                .map_err(|e| e.to_string())?;
             println!("reproduced: {}", report.reproduced);
             println!(
                 "trace: {} threads, {} instructions, {} branches, {} SAPs",

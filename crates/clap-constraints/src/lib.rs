@@ -31,5 +31,7 @@ pub mod validate;
 
 pub use count::{count, ConstraintStats};
 pub use schedule::Schedule;
-pub use system::{ConstraintSystem, LockRegion, ReadConstraint, ReadSource, SyncOrderMismatch, WaitConstraint};
+pub use system::{
+    ConstraintSystem, LockRegion, ReadConstraint, ReadSource, SyncOrderMismatch, WaitConstraint,
+};
 pub use validate::{validate, ValidationError, Witness};

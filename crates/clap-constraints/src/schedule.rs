@@ -18,7 +18,11 @@ impl Schedule {
     ///
     /// Panics if `order` is not a permutation of the trace's SAP ids.
     pub fn new(order: Vec<SapId>, trace: &SymTrace) -> Self {
-        assert_eq!(order.len(), trace.sap_count(), "schedule must cover every SAP");
+        assert_eq!(
+            order.len(),
+            trace.sap_count(),
+            "schedule must cover every SAP"
+        );
         let mut seen = vec![false; order.len()];
         for s in &order {
             assert!(!seen[s.index()], "duplicate SAP in schedule");
@@ -50,8 +54,16 @@ impl Schedule {
                 if segment.len() <= 1 {
                     continue;
                 }
-                let lo = segment.iter().map(|s| pos[s.index()]).min().expect("non-empty");
-                let hi = segment.iter().map(|s| pos[s.index()]).max().expect("non-empty");
+                let lo = segment
+                    .iter()
+                    .map(|s| pos[s.index()])
+                    .min()
+                    .expect("non-empty");
+                let hi = segment
+                    .iter()
+                    .map(|s| pos[s.index()])
+                    .max()
+                    .expect("non-empty");
                 // The segment spans [lo, hi]; if it contains exactly its
                 // own SAPs, no other thread interleaved it.
                 if (hi - lo + 1) as usize > segment.len() {
@@ -113,5 +125,9 @@ pub fn prefix_progress(schedule: &Schedule, trace: &SymTrace, len: usize) -> Vec
 
 /// Convenience: the thread executing at each schedule position.
 pub fn thread_at(schedule: &Schedule, trace: &SymTrace) -> Vec<ThreadIdx> {
-    schedule.order.iter().map(|&s| trace.sap(s).thread).collect()
+    schedule
+        .order
+        .iter()
+        .map(|&s| trace.sap(s).thread)
+        .collect()
 }

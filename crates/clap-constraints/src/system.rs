@@ -21,9 +21,9 @@
 
 use crate::schedule::Schedule;
 use clap_ir::{CondId, GlobalId, MutexId, Program};
+use clap_profile as clap_profile_sync;
 use clap_symex::{SapId, SapKind, SymAddr, SymTrace, SymVarId, ThreadIdx};
 use clap_vm::MemModel;
-use clap_profile as clap_profile_sync;
 use std::collections::HashMap;
 
 /// Where a read's value may come from.
@@ -167,17 +167,20 @@ impl<'t> ConstraintSystem<'t> {
                     }
                     SapKind::Unlock(m) => {
                         let lock = open.remove(&m).expect("unlock pairs with a lock");
-                        lock_regions
-                            .entry(m)
-                            .or_default()
-                            .push(LockRegion { lock, unlock: Some(s) });
+                        lock_regions.entry(m).or_default().push(LockRegion {
+                            lock,
+                            unlock: Some(s),
+                        });
                     }
                     _ => {}
                 }
             }
             // Regions still open at the failure point.
             for (m, lock) in open {
-                lock_regions.entry(m).or_default().push(LockRegion { lock, unlock: None });
+                lock_regions
+                    .entry(m)
+                    .or_default()
+                    .push(LockRegion { lock, unlock: None });
             }
         }
 
@@ -187,9 +190,10 @@ impl<'t> ConstraintSystem<'t> {
         for (i, sap) in trace.saps.iter().enumerate() {
             match sap.kind {
                 SapKind::Signal(c) => signals_by_cond.entry(c).or_default().push(SapId(i as u32)),
-                SapKind::Broadcast(c) => {
-                    broadcasts_by_cond.entry(c).or_default().push(SapId(i as u32))
-                }
+                SapKind::Broadcast(c) => broadcasts_by_cond
+                    .entry(c)
+                    .or_default()
+                    .push(SapId(i as u32)),
                 _ => {}
             }
         }
@@ -224,12 +228,17 @@ impl<'t> ConstraintSystem<'t> {
         let mut writes_by_global: HashMap<GlobalId, Vec<SapId>> = HashMap::new();
         for (i, sap) in trace.saps.iter().enumerate() {
             if let SapKind::Write { addr, .. } = sap.kind {
-                writes_by_global.entry(addr.global).or_default().push(SapId(i as u32));
+                writes_by_global
+                    .entry(addr.global)
+                    .or_default()
+                    .push(SapId(i as u32));
             }
         }
         let mut reads = Vec::new();
         for (i, sap) in trace.saps.iter().enumerate() {
-            let SapKind::Read { addr, var } = sap.kind else { continue };
+            let SapKind::Read { addr, var } = sap.kind else {
+                continue;
+            };
             let read = SapId(i as u32);
             let empty = Vec::new();
             let glob_writes = writes_by_global.get(&addr.global).unwrap_or(&empty);
@@ -262,19 +271,32 @@ impl<'t> ConstraintSystem<'t> {
             });
         }
 
-        ConstraintSystem { trace, model, hard_edges, reads, lock_regions, waits, mo_edge_count }
+        ConstraintSystem {
+            trace,
+            model,
+            hard_edges,
+            reads,
+            lock_regions,
+            waits,
+            mo_edge_count,
+        }
     }
 
     /// The read constraint for a symbolic variable.
     pub fn read_for_var(&self, var: SymVarId) -> &ReadConstraint {
-        self.reads.iter().find(|r| r.var == var).expect("every var has a read")
+        self.reads
+            .iter()
+            .find(|r| r.var == var)
+            .expect("every var has a read")
     }
 
     /// Checks a *hard-edge-only* property: whether `schedule` respects
     /// `F_mo` and the fork/join partial order.
     pub fn respects_hard_edges(&self, schedule: &Schedule) -> bool {
         let pos = schedule.positions();
-        self.hard_edges.iter().all(|&(a, b)| pos[a.index()] < pos[b.index()])
+        self.hard_edges
+            .iter()
+            .all(|&(a, b)| pos[a.index()] < pos[b.index()])
     }
 }
 
@@ -303,12 +325,7 @@ fn init_value_of(program: &Program, trace: &SymTrace, addr: SymAddr) -> i64 {
 }
 
 /// Emits the relaxed memory-order edges for one thread (TSO/PSO).
-fn relaxed_mo(
-    trace: &SymTrace,
-    model: MemModel,
-    saps: &[SapId],
-    edges: &mut Vec<(SapId, SapId)>,
-) {
+fn relaxed_mo(trace: &SymTrace, model: MemModel, saps: &[SapId], edges: &mut Vec<(SapId, SapId)>) {
     let mut last_read: Option<SapId> = None;
     // TSO: one chain over all writes. PSO: one chain per global.
     let mut last_write_tso: Option<SapId> = None;
@@ -332,8 +349,10 @@ fn relaxed_mo(
                 last_read = Some(s);
                 // Nearest potentially-aliasing earlier write (since the
                 // last fence; fences already order everything older).
-                if let Some(&(w, _)) =
-                    writes_so_far.iter().rev().find(|(_, wa)| may_alias(trace, addr, *wa))
+                if let Some(&(w, _)) = writes_so_far
+                    .iter()
+                    .rev()
+                    .find(|(_, wa)| may_alias(trace, addr, *wa))
                 {
                     edges.push((w, s));
                 }
@@ -441,7 +460,11 @@ pub(crate) mod tests {
     fn sc_mo_is_per_thread_chain() {
         let (program, trace) = build_failure(LOST_UPDATE, MemModel::Sc, 500);
         let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
-        let expected: usize = trace.per_thread.iter().map(|t| t.len().saturating_sub(1)).sum();
+        let expected: usize = trace
+            .per_thread
+            .iter()
+            .map(|t| t.len().saturating_sub(1))
+            .sum();
         assert_eq!(sys.mo_edge_count, expected);
     }
 
@@ -458,7 +481,11 @@ pub(crate) mod tests {
             assert!(r.candidates.len() >= 2, "{r:?}");
             assert_eq!(r.init_value, 0);
         }
-        let main_read = sys.reads.iter().find(|r| trace.sap(r.read).thread == ThreadIdx(0)).unwrap();
+        let main_read = sys
+            .reads
+            .iter()
+            .find(|r| trace.sap(r.read).thread == ThreadIdx(0))
+            .unwrap();
         assert_eq!(main_read.candidates.len(), 3, "init + both writes");
     }
 
@@ -473,7 +500,10 @@ pub(crate) mod tests {
             .collect();
         assert_eq!(forks.len(), 2);
         for &cs in &trace.per_thread[1] {
-            assert!(sys.hard_edges.iter().any(|&(a, b)| a == forks[0] && b == cs));
+            assert!(sys
+                .hard_edges
+                .iter()
+                .any(|&(a, b)| a == forks[0] && b == cs));
         }
     }
 
@@ -570,7 +600,10 @@ pub(crate) mod tests {
         let sys = ConstraintSystem::build(&program, &trace, MemModel::Pso);
         let writer = &trace.per_thread[1];
         let (wd, wf) = (writer[0], writer[1]);
-        assert!(!sys.hard_edges.contains(&(wd, wf)), "PSO relaxes W→W across variables");
+        assert!(
+            !sys.hard_edges.contains(&(wd, wf)),
+            "PSO relaxes W→W across variables"
+        );
         // Under TSO the same pair is ordered.
         let sys_tso = ConstraintSystem::build(&program, &trace, MemModel::Tso);
         assert!(sys_tso.hard_edges.contains(&(wd, wf)));

@@ -100,7 +100,10 @@ pub fn validate(
     // 1. Hard edges (F_mo + fork/join).
     for &(a, b) in &system.hard_edges {
         if pos[a.index()] >= pos[b.index()] {
-            return Err(ValidationError::OrderViolation { before: a, after: b });
+            return Err(ValidationError::OrderViolation {
+                before: a,
+                after: b,
+            });
         }
     }
 
@@ -158,13 +161,19 @@ pub fn validate(
                 let init = SymTrace::init_value(program, key.0);
                 let value = memory.get(&key).copied().unwrap_or(init);
                 assignment[var.index()] = Some(value);
-                let source = writer.get(&key).map(|&w| ReadSource::Write(w)).unwrap_or(ReadSource::Init);
+                let source = writer
+                    .get(&key)
+                    .map(|&w| ReadSource::Write(w))
+                    .unwrap_or(ReadSource::Init);
                 reads_from.push((s, source));
             }
             SapKind::Write { addr, value } => {
                 let key = cell(program, trace, &assignment, s, addr)?;
                 let f = assign_fn(&assignment);
-                let v = trace.arena.eval(value, &f).ok_or(ValidationError::BadAddress { sap: s })?;
+                let v = trace
+                    .arena
+                    .eval(value, &f)
+                    .ok_or(ValidationError::BadAddress { sap: s })?;
                 memory.insert(key, v);
                 writer.insert(key, s);
             }
@@ -200,7 +209,9 @@ pub fn validate(
                     .find(|w| w.wait == s)
                     .expect("wait row exists");
                 let mut woken = row.broadcasts.iter().any(|&b| {
-                    broadcast_pos.get(&b).is_some_and(|&bp| bp > park && bp < i as u32)
+                    broadcast_pos
+                        .get(&b)
+                        .is_some_and(|&bp| bp > park && bp < i as u32)
                 });
                 if !woken {
                     // Greedily consume the earliest eligible signal.
@@ -210,10 +221,11 @@ pub fn validate(
                             continue;
                         }
                         if let Some(&sp) = signal_pos.get(&sig) {
-                            if sp > park && sp < i as u32 {
-                                if best.map(|(bp, _)| sp < bp).unwrap_or(true) {
-                                    best = Some((sp, sig));
-                                }
+                            if sp > park
+                                && sp < i as u32
+                                && best.map(|(bp, _)| sp < bp).unwrap_or(true)
+                            {
+                                best = Some((sp, sig));
                             }
                         }
                     }
@@ -261,7 +273,10 @@ pub fn validate(
     }
 
     let assignment: Vec<i64> = assignment.into_iter().map(|v| v.unwrap_or(0)).collect();
-    Ok(Witness { assignment, reads_from })
+    Ok(Witness {
+        assignment,
+        reads_from,
+    })
 }
 
 #[cfg(test)]
@@ -293,7 +308,9 @@ mod tests {
         let mut acc: Vec<SapId> = Vec::new();
         extend(n, &preds, &mut placed, &mut acc, &mut |perm| {
             total += 1;
-            let schedule = Schedule { order: perm.to_vec() };
+            let schedule = Schedule {
+                order: perm.to_vec(),
+            };
             if validate(program, sys, &schedule).is_ok() {
                 good.push(schedule);
             }
@@ -408,7 +425,11 @@ mod tests {
         let (program, trace) = build_failure(LOST_UPDATE, MemModel::Sc, 500);
         let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
         let (_, good) = all_valid_schedules(&program, &sys);
-        let min_cs = good.iter().map(|g| g.context_switches(&trace)).min().unwrap();
+        let min_cs = good
+            .iter()
+            .map(|g| g.context_switches(&trace))
+            .min()
+            .unwrap();
         // A lost update needs exactly one preemption (one worker's
         // read-modify-write interleaved by the other's).
         assert_eq!(min_cs, 1, "lost update reproduces with one preemption");

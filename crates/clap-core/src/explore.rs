@@ -1,0 +1,256 @@
+//! The record-phase exploration engine: sweeps the (stickiness, seed)
+//! grid of [`Pipeline::record_failure`] hunting a failing interleaving,
+//! optionally fanning the sweep over a worker pool.
+//!
+//! # Determinism contract
+//!
+//! Parallel exploration returns **byte-identical** artifacts to the
+//! sequential sweep, regardless of thread count or timing. The invariants
+//! that make this hold:
+//!
+//! 1. Workers claim seeds with an atomic `fetch_add` and *always* run and
+//!    report a claimed seed (the stop check happens before the claim, not
+//!    after), so completed seeds form a contiguous prefix of `0..budget`.
+//! 2. The collector maintains a *watermark* — the length of that
+//!    contiguous completed prefix — and only counts a failure as
+//!    *finalized* once every smaller seed has completed. Early stop fires
+//!    when [`CANDIDATES`] failures are finalized; at that point the
+//!    `CANDIDATES` smallest failing seeds are all known.
+//! 3. After the pool drains, failures are sorted by seed and truncated to
+//!    [`CANDIDATES`] — exactly the candidate set the sequential loop
+//!    collects — and the winner is the candidate minimizing
+//!    `(saps, seed)`, which reproduces the sequential selection rule
+//!    (strictly fewer SAPs wins, ties keep the earliest seed).
+//!
+//! Stickiness levels are explored strictly in order; the first level that
+//! produces any failure is the last one explored, as in the sequential
+//! sweep.
+
+use crate::{Pipeline, PipelineConfig, PipelineError, RecordedFailure};
+use clap_profile::{PathRecorder, SyncOrderRecorder};
+use clap_symex::FailureContext;
+use clap_vm::{MultiMonitor, Outcome, RandomScheduler, Snapshot, Vm};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Failing runs collected per stickiness level before selection.
+pub(crate) const CANDIDATES: usize = 25;
+
+/// Resolves a worker-count request: `0` means one worker per available
+/// core.
+pub(crate) fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Runs one (stickiness, seed) cell of the sweep on a reusable VM,
+/// returning the recorded artifact when the run fails its assert.
+///
+/// `base` must be a snapshot of the pristine (never-run) VM; restoring it
+/// is what makes the per-seed reset equivalent to constructing a fresh VM.
+fn run_seed(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    stickiness: f64,
+    seed: u64,
+    vm: &mut Vm<'_>,
+    base: &Snapshot,
+) -> Option<RecordedFailure> {
+    vm.restore(base);
+    let mut recorder = PathRecorder::new(&pipeline.tables);
+    let mut sync_recorder = config.record_sync_order.then(SyncOrderRecorder::new);
+    let mut sched = RandomScheduler::with_stickiness(seed, stickiness);
+    let outcome = match sync_recorder.as_mut() {
+        Some(sync) => {
+            let mut multi = MultiMonitor::new();
+            multi.push(&mut recorder);
+            multi.push(sync);
+            vm.run(&mut sched, &mut multi)
+        }
+        None => vm.run(&mut sched, &mut recorder),
+    };
+    if let Outcome::AssertFailed { assert, .. } = outcome {
+        Some(RecordedFailure {
+            seed,
+            stickiness,
+            log: recorder.finish(),
+            failure: FailureContext::from_vm(vm),
+            assert,
+            stats: *vm.stats(),
+            sync_order: sync_recorder.map(SyncOrderRecorder::finish),
+        })
+    } else {
+        None
+    }
+}
+
+fn pristine_vm<'p>(pipeline: &'p Pipeline, config: &PipelineConfig) -> (Vm<'p>, Snapshot) {
+    let mut vm = Vm::with_shared(
+        &pipeline.program,
+        config.model,
+        pipeline.sharing.shared_spec(),
+    );
+    vm.set_step_limit(config.step_limit);
+    let base = vm.snapshot();
+    (vm, base)
+}
+
+/// The sequential sweep of one stickiness level: seeds in order, stopping
+/// at [`CANDIDATES`] failures.
+fn explore_level_sequential(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    stickiness: f64,
+) -> Vec<RecordedFailure> {
+    let (mut vm, base) = pristine_vm(pipeline, config);
+    let mut failures = Vec::new();
+    for seed in 0..config.seed_budget {
+        if let Some(found) = run_seed(pipeline, config, stickiness, seed, &mut vm, &base) {
+            failures.push(found);
+            if failures.len() >= CANDIDATES {
+                break;
+            }
+        }
+    }
+    failures
+}
+
+/// Tracks the contiguous prefix of completed seeds: `watermark()` is the
+/// smallest seed that has *not* completed yet, so every failure with
+/// `seed < watermark()` is finalized (no smaller seed can still appear).
+#[derive(Default)]
+struct Watermark {
+    next: u64,
+    pending: BinaryHeap<Reverse<u64>>,
+}
+
+impl Watermark {
+    fn complete(&mut self, seed: u64) {
+        self.pending.push(Reverse(seed));
+        while self.pending.peek() == Some(&Reverse(self.next)) {
+            self.pending.pop();
+            self.next += 1;
+        }
+    }
+
+    fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+/// The parallel sweep of one stickiness level. Returns every failure
+/// reported by the pool; the caller's sort-and-truncate reduces that to
+/// the sequential candidate set (see the module docs for why).
+fn explore_level_parallel(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    stickiness: f64,
+    workers: usize,
+) -> Vec<RecordedFailure> {
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = crossbeam::channel::unbounded::<(u64, Option<RecordedFailure>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let stop = &stop;
+            scope.spawn(move || {
+                let (mut vm, base) = pristine_vm(pipeline, config);
+                loop {
+                    // The stop check precedes the claim: a claimed seed is
+                    // always run and reported, which keeps completed seeds
+                    // a contiguous prefix (the determinism invariant).
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let seed = next.fetch_add(1, Ordering::Relaxed);
+                    if seed >= config.seed_budget {
+                        break;
+                    }
+                    let found = run_seed(pipeline, config, stickiness, seed, &mut vm, &base);
+                    if tx.send((seed, found)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Collector: count failures as finalized only once all smaller
+        // seeds have completed, fire the early stop at CANDIDATES
+        // finalized failures, then drain everything still in flight.
+        let mut failures: Vec<RecordedFailure> = Vec::new();
+        let mut completed = Watermark::default();
+        while let Ok((seed, found)) = rx.recv() {
+            completed.complete(seed);
+            if let Some(failure) = found {
+                failures.push(failure);
+            }
+            if !stop.load(Ordering::Relaxed) {
+                let watermark = completed.watermark();
+                let finalized = failures.iter().filter(|f| f.seed < watermark).count();
+                if finalized >= CANDIDATES {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        failures
+    })
+}
+
+/// Applies the sequential selection rule to a level's failures: keep the
+/// [`CANDIDATES`] earliest failing seeds, then pick the one with the
+/// fewest SAPs (earliest seed on ties).
+fn select(mut failures: Vec<RecordedFailure>) -> Option<RecordedFailure> {
+    failures.sort_by_key(|f| f.seed);
+    failures.truncate(CANDIDATES);
+    failures.into_iter().min_by_key(|f| (f.stats.saps, f.seed))
+}
+
+/// The engine entry point backing [`Pipeline::record_failure`].
+pub(crate) fn record_failure(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+) -> Result<RecordedFailure, PipelineError> {
+    let workers = effective_workers(config.explore_workers);
+    for &stickiness in &config.stickiness {
+        let failures = if workers <= 1 {
+            explore_level_sequential(pipeline, config, stickiness)
+        } else {
+            explore_level_parallel(pipeline, config, stickiness, workers)
+        };
+        if let Some(best) = select(failures) {
+            return Ok(best);
+        }
+    }
+    Err(PipelineError::NoFailureFound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Watermark;
+
+    #[test]
+    fn watermark_tracks_contiguous_prefix() {
+        let mut w = Watermark::default();
+        assert_eq!(w.watermark(), 0);
+        w.complete(1);
+        w.complete(2);
+        assert_eq!(w.watermark(), 0, "seed 0 still in flight");
+        w.complete(0);
+        assert_eq!(w.watermark(), 3);
+        w.complete(5);
+        assert_eq!(w.watermark(), 3);
+        w.complete(4);
+        w.complete(3);
+        assert_eq!(w.watermark(), 6);
+    }
+}

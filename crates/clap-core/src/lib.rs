@@ -29,13 +29,15 @@ use clap_analysis::{analyze, SharingAnalysis};
 use clap_constraints::{count, ConstraintStats, ConstraintSystem, Schedule, Witness};
 use clap_ir::{AssertId, Program};
 use clap_parallel::{solve_parallel, ParallelConfig, ParallelOutcome};
-use clap_profile::{decode_log, BlTables, DecodeError, PathLog, PathRecorder, SyncOrderLog, SyncOrderRecorder};
+use clap_profile::{decode_log, BlTables, DecodeError, PathLog, SyncOrderLog};
 use clap_replay::{replay, ReplayError, ReplayReport};
 use clap_solver::{solve, SolveOutcome, SolverConfig};
 use clap_symex::{execute, FailureContext, SymTrace, SymexError};
-use clap_vm::{ExecStats, MemModel, Outcome, RandomScheduler, Vm};
+use clap_vm::{ExecStats, MemModel};
 use std::fmt;
 use std::time::{Duration, Instant};
+
+mod explore;
 
 /// Which offline solver reconstructs the schedule.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +66,11 @@ pub struct PipelineConfig {
     /// a little recording synchronization to collapse the locking and
     /// wait/signal constraints into hard edges.
     pub record_sync_order: bool,
+    /// Worker threads for the record-phase seed sweep (0 = one per
+    /// available core). Any value returns the same artifact as `1`: the
+    /// exploration engine selects candidates deterministically regardless
+    /// of thread timing.
+    pub explore_workers: usize,
 }
 
 impl PipelineConfig {
@@ -77,6 +84,7 @@ impl PipelineConfig {
             step_limit: 2_000_000,
             solver: SolverChoice::Sequential(SolverConfig::default()),
             record_sync_order: false,
+            explore_workers: 0,
         }
     }
 
@@ -95,6 +103,12 @@ impl PipelineConfig {
     /// Overrides the exploration budget.
     pub fn with_seed_budget(mut self, budget: u64) -> Self {
         self.seed_budget = budget;
+        self
+    }
+
+    /// Overrides the record-phase worker count (0 = one per core).
+    pub fn with_explore_workers(mut self, workers: usize) -> Self {
+        self.explore_workers = workers;
         self
     }
 }
@@ -204,7 +218,11 @@ impl Pipeline {
     pub fn new(program: Program) -> Self {
         let sharing = analyze(&program);
         let tables = BlTables::build(&program);
-        Pipeline { program, sharing, tables }
+        Pipeline {
+            program,
+            sharing,
+            tables,
+        }
     }
 
     /// Builds the pipeline from DSL source.
@@ -237,6 +255,10 @@ impl Pipeline {
     /// triggers failures with carefully placed timing delays, which has
     /// the same minimal-perturbation effect).
     ///
+    /// With [`PipelineConfig::explore_workers`] ≠ 1 the sweep fans out
+    /// over a worker pool; the exploration engine guarantees the returned
+    /// artifact is identical to the sequential sweep's.
+    ///
     /// # Errors
     ///
     /// [`PipelineError::NoFailureFound`] when the budget is exhausted.
@@ -244,56 +266,7 @@ impl Pipeline {
         &self,
         config: &PipelineConfig,
     ) -> Result<RecordedFailure, PipelineError> {
-        const CANDIDATES: usize = 25;
-        let mut best: Option<RecordedFailure> = None;
-        let mut found = 0usize;
-        'sweep: for &stick in &config.stickiness {
-            for seed in 0..config.seed_budget {
-                let mut vm =
-                    Vm::with_shared(&self.program, config.model, self.sharing.shared_spec());
-                vm.set_step_limit(config.step_limit);
-                let mut recorder = PathRecorder::new(&self.tables);
-                let mut sync_recorder =
-                    config.record_sync_order.then(SyncOrderRecorder::new);
-                let mut sched = RandomScheduler::with_stickiness(seed, stick);
-                let outcome = match sync_recorder.as_mut() {
-                    Some(sync) => {
-                        let mut multi = clap_vm::MultiMonitor::new();
-                        multi.push(&mut recorder);
-                        multi.push(sync);
-                        vm.run(&mut sched, &mut multi)
-                    }
-                    None => vm.run(&mut sched, &mut recorder),
-                };
-                if let Outcome::AssertFailed { assert, .. } = outcome {
-                    let failure = FailureContext::from_vm(&vm);
-                    let candidate = RecordedFailure {
-                        seed,
-                        stickiness: stick,
-                        log: recorder.finish(),
-                        failure,
-                        assert,
-                        stats: *vm.stats(),
-                        sync_order: sync_recorder.map(SyncOrderRecorder::finish),
-                    };
-                    let better =
-                        best.as_ref().map(|b| candidate.stats.saps < b.stats.saps).unwrap_or(true);
-                    if better {
-                        best = Some(candidate);
-                    }
-                    found += 1;
-                    if found >= CANDIDATES {
-                        break 'sweep;
-                    }
-                }
-            }
-            if best.is_some() {
-                // Do not move on to more chaotic stickiness values once a
-                // failure exists at the current one.
-                break;
-            }
-        }
-        best.ok_or(PipelineError::NoFailureFound)
+        explore::record_failure(self, config)
     }
 
     /// Phase 2a: decodes the log and symbolically executes the paths.
@@ -304,8 +277,13 @@ impl Pipeline {
     pub fn symbolic_trace(&self, recorded: &RecordedFailure) -> Result<SymTrace, PipelineError> {
         let paths = decode_log(&self.program, &self.tables, &recorded.log)
             .map_err(PipelineError::Decode)?;
-        execute(&self.program, &self.sharing.shared_spec(), &paths, &recorded.failure)
-            .map_err(PipelineError::Symex)
+        execute(
+            &self.program,
+            &self.sharing.shared_spec(),
+            &paths,
+            &recorded.failure,
+        )
+        .map_err(PipelineError::Symex)
     }
 
     /// Phase 2b+3: builds constraints, solves, and replays. The full
@@ -342,7 +320,9 @@ impl Pipeline {
             }
             SolverChoice::Parallel(parallel_config) => {
                 match solve_parallel(&self.program, &system, *parallel_config) {
-                    ParallelOutcome::Found { schedule, witness, .. } => (schedule, witness),
+                    ParallelOutcome::Found {
+                        schedule, witness, ..
+                    } => (schedule, witness),
                     ParallelOutcome::Exhausted(_) => return Err(PipelineError::Unsat),
                     ParallelOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
                 }
@@ -403,7 +383,9 @@ mod tests {
     #[test]
     fn end_to_end_sequential() {
         let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
-        let report = pipeline.reproduce(&PipelineConfig::new(MemModel::Sc)).unwrap();
+        let report = pipeline
+            .reproduce(&PipelineConfig::new(MemModel::Sc))
+            .unwrap();
         assert!(report.reproduced);
         assert_eq!(report.threads, 3);
         assert_eq!(report.shared_vars, 1);
@@ -415,8 +397,8 @@ mod tests {
     #[test]
     fn end_to_end_parallel_gets_minimal_cs() {
         let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
-        let config = PipelineConfig::new(MemModel::Sc)
-            .with_parallel_solver(ParallelConfig::default());
+        let config =
+            PipelineConfig::new(MemModel::Sc).with_parallel_solver(ParallelConfig::default());
         let report = pipeline.reproduce(&config).unwrap();
         assert!(report.reproduced);
         assert_eq!(report.context_switches, 1, "minimal preemption count");
@@ -470,7 +452,10 @@ mod tests {
         let config = PipelineConfig::new(MemModel::Sc).with_sync_order_recording();
         let recorded = pipeline.record_failure(&config).unwrap();
         let sync = recorded.sync_order.as_ref().expect("sync order recorded");
-        assert!(sync.event_count() >= 8, "4 critical sections = 8 mutex events");
+        assert!(
+            sync.event_count() >= 8,
+            "4 critical sections = 8 mutex events"
+        );
         let report = pipeline.reproduce_from(&config, &recorded).unwrap();
         assert!(report.reproduced);
 

@@ -295,7 +295,10 @@ pub enum BinOp {
 impl BinOp {
     /// `true` if the operator produces a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// `true` if the operator combines booleans.
@@ -390,7 +393,9 @@ mod tests {
 
     #[test]
     fn stmt_span_accessor() {
-        let s = Stmt::Yield { span: Span::new(4, 2) };
+        let s = Stmt::Yield {
+            span: Span::new(4, 2),
+        };
         assert_eq!(s.span(), Span::new(4, 2));
     }
 }

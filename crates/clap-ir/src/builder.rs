@@ -46,13 +46,21 @@ impl ProgramBuilder {
 
     /// Declares a scalar global with an initial value.
     pub fn global_scalar(&mut self, name: &str, init: i64) -> GlobalId {
-        self.globals.push(GlobalDecl { name: name.to_owned(), len: None, init });
+        self.globals.push(GlobalDecl {
+            name: name.to_owned(),
+            len: None,
+            init,
+        });
         GlobalId::from(self.globals.len() - 1)
     }
 
     /// Declares a zero-initialized array global.
     pub fn global_array(&mut self, name: &str, len: usize) -> GlobalId {
-        self.globals.push(GlobalDecl { name: name.to_owned(), len: Some(len), init: 0 });
+        self.globals.push(GlobalDecl {
+            name: name.to_owned(),
+            len: Some(len),
+            init: 0,
+        });
         GlobalId::from(self.globals.len() - 1)
     }
 
@@ -115,7 +123,10 @@ impl ProgramBuilder {
     ///
     /// Panics if `main` is out of range.
     pub fn finish(self, main: FuncId) -> Program {
-        assert!(main.index() < self.functions.len(), "main function out of range");
+        assert!(
+            main.index() < self.functions.len(),
+            "main function out of range"
+        );
         Program {
             globals: self.globals,
             mutexes: self.mutexes,
@@ -148,7 +159,10 @@ impl FunctionBuilder {
     /// Creates a new empty block (terminated by `Return(None)` by default)
     /// and returns its id. The first block created is the entry.
     pub fn new_block(&mut self) -> BlockId {
-        self.blocks.push(Block { instrs: Vec::new(), term: Terminator::Return(None) });
+        self.blocks.push(Block {
+            instrs: Vec::new(),
+            term: Terminator::Return(None),
+        });
         BlockId::from(self.blocks.len() - 1)
     }
 
@@ -186,12 +200,20 @@ mod tests {
         f.select(entry);
         let v = f.local("v");
         let c = f.local("c");
-        f.push(Instr::Load { dst: v, global: x, index: None });
+        f.push(Instr::Load {
+            dst: v,
+            global: x,
+            index: None,
+        });
         f.push(Instr::Assign {
             dst: c,
             rv: Rvalue::Binary(BinOp::Gt, Operand::Local(v), Operand::Const(0)),
         });
-        f.terminate(Terminator::Branch { cond: Operand::Local(c), then_bb: t, else_bb: e });
+        f.terminate(Terminator::Branch {
+            cond: Operand::Local(c),
+            then_bb: t,
+            else_bb: e,
+        });
         let main = pb.finish_function(f);
         let p = pb.finish(main);
         assert_eq!(p.function(p.main).branch_count(), 1);
@@ -206,7 +228,10 @@ mod tests {
         let main_id = pb.next_func_id();
         let a = pb.assert_site(main_id, "boom");
         f.select(BlockId(0));
-        f.push(Instr::Assert { cond: Operand::Const(0), id: a });
+        f.push(Instr::Assert {
+            cond: Operand::Const(0),
+            id: a,
+        });
         let main = pb.finish_function(f);
         let p = pb.finish(main);
         assert_eq!(p.asserts[a.index()].message, "boom");

@@ -57,11 +57,17 @@ pub enum Error {
 
 impl Error {
     pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
-        Error::Parse { span, message: message.into() }
+        Error::Parse {
+            span,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn sema(span: Span, message: impl Into<String>) -> Self {
-        Error::Sema { span, message: message.into() }
+        Error::Sema {
+            span,
+            message: message.into(),
+        }
     }
 
     /// The source location the error points at.

@@ -66,7 +66,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let span = self.span();
             let Some(c) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
                 return Ok(tokens);
             };
             let kind = if c.is_ascii_digit() {
@@ -243,7 +246,12 @@ impl<'a> Lexer<'a> {
             }
             '&' => two(self, '&', TokenKind::AndAnd, TokenKind::Amp),
             '|' => two(self, '|', TokenKind::OrOr, TokenKind::Pipe),
-            other => return Err(Error::parse(span, format!("unexpected character `{other}`"))),
+            other => {
+                return Err(Error::parse(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
         })
     }
 }
@@ -295,12 +303,18 @@ mod tests {
 
     #[test]
     fn lexes_hex_and_underscored_numbers() {
-        assert_eq!(kinds("0xff 1_000"), vec![TokenKind::Int(255), TokenKind::Int(1000), TokenKind::Eof]);
+        assert_eq!(
+            kinds("0xff 1_000"),
+            vec![TokenKind::Int(255), TokenKind::Int(1000), TokenKind::Eof]
+        );
     }
 
     #[test]
     fn hex_wraps_like_a_cast() {
-        assert_eq!(kinds("0xffffffffffffffff"), vec![TokenKind::Int(-1), TokenKind::Eof]);
+        assert_eq!(
+            kinds("0xffffffffffffffff"),
+            vec![TokenKind::Int(-1), TokenKind::Eof]
+        );
     }
 
     #[test]

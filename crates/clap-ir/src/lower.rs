@@ -23,14 +23,30 @@ pub fn lower(module: &Module) -> Program {
     let globals: Vec<GlobalDecl> = module
         .globals
         .iter()
-        .map(|g| GlobalDecl { name: g.name.clone(), len: g.len, init: g.init })
+        .map(|g| GlobalDecl {
+            name: g.name.clone(),
+            len: g.len,
+            init: g.init,
+        })
         .collect();
-    let global_ids: HashMap<&str, GlobalId> =
-        module.globals.iter().enumerate().map(|(i, g)| (g.name.as_str(), GlobalId::from(i))).collect();
-    let mutex_ids: HashMap<&str, MutexId> =
-        module.mutexes.iter().enumerate().map(|(i, m)| (m.name.as_str(), MutexId::from(i))).collect();
-    let cond_ids: HashMap<&str, CondId> =
-        module.conds.iter().enumerate().map(|(i, c)| (c.name.as_str(), CondId::from(i))).collect();
+    let global_ids: HashMap<&str, GlobalId> = module
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.name.as_str(), GlobalId::from(i)))
+        .collect();
+    let mutex_ids: HashMap<&str, MutexId> = module
+        .mutexes
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.as_str(), MutexId::from(i)))
+        .collect();
+    let cond_ids: HashMap<&str, CondId> = module
+        .conds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), CondId::from(i)))
+        .collect();
     let func_ids: HashMap<&str, FuncId> = module
         .functions
         .iter()
@@ -116,7 +132,10 @@ impl<'m> FuncLower<'m> {
     }
 
     fn new_block(&mut self) -> BlockId {
-        self.blocks.push(Block { instrs: Vec::new(), term: Terminator::Return(None) });
+        self.blocks.push(Block {
+            instrs: Vec::new(),
+            term: Terminator::Return(None),
+        });
         BlockId::from(self.blocks.len() - 1)
     }
 
@@ -156,7 +175,11 @@ impl<'m> FuncLower<'m> {
                 } else {
                     let global = self.global_ids[name.as_str()];
                     let dst = self.fresh_temp();
-                    self.emit(Instr::Load { dst, global, index: None });
+                    self.emit(Instr::Load {
+                        dst,
+                        global,
+                        index: None,
+                    });
                     Operand::Local(dst)
                 }
             }
@@ -164,20 +187,30 @@ impl<'m> FuncLower<'m> {
                 let idx = self.lower_expr(index);
                 let global = self.global_ids[name.as_str()];
                 let dst = self.fresh_temp();
-                self.emit(Instr::Load { dst, global, index: Some(idx) });
+                self.emit(Instr::Load {
+                    dst,
+                    global,
+                    index: Some(idx),
+                });
                 Operand::Local(dst)
             }
             Expr::Unary(op, inner, _) => {
                 let v = self.lower_expr(inner);
                 let dst = self.fresh_temp();
-                self.emit(Instr::Assign { dst, rv: Rvalue::Unary(*op, v) });
+                self.emit(Instr::Assign {
+                    dst,
+                    rv: Rvalue::Unary(*op, v),
+                });
                 Operand::Local(dst)
             }
             Expr::Binary(op, lhs, rhs, _) => {
                 let a = self.lower_expr(lhs);
                 let b = self.lower_expr(rhs);
                 let dst = self.fresh_temp();
-                self.emit(Instr::Assign { dst, rv: Rvalue::Binary(*op, a, b) });
+                self.emit(Instr::Assign {
+                    dst,
+                    rv: Rvalue::Binary(*op, a, b),
+                });
                 Operand::Local(dst)
             }
         }
@@ -194,17 +227,28 @@ impl<'m> FuncLower<'m> {
                 match init {
                     LetInit::Expr(e) => {
                         let v = self.lower_expr(e);
-                        self.emit(Instr::Assign { dst: id, rv: Rvalue::Use(v) });
+                        self.emit(Instr::Assign {
+                            dst: id,
+                            rv: Rvalue::Use(v),
+                        });
                     }
                     LetInit::Fork { func, args } => {
                         let args = self.lower_args(args);
                         let callee = self.func_ids[func.as_str()];
-                        self.emit(Instr::Fork { dst: id, func: callee, args });
+                        self.emit(Instr::Fork {
+                            dst: id,
+                            func: callee,
+                            args,
+                        });
                     }
                     LetInit::Call { func, args } => {
                         let args = self.lower_args(args);
                         let callee = self.func_ids[func.as_str()];
-                        self.emit(Instr::Call { dst: Some(id), func: callee, args });
+                        self.emit(Instr::Call {
+                            dst: Some(id),
+                            func: callee,
+                            args,
+                        });
                     }
                 }
                 self.scopes.last_mut().unwrap().push((name.clone(), id));
@@ -214,25 +258,45 @@ impl<'m> FuncLower<'m> {
                 match lhs {
                     LValue::Var(name) => {
                         if let Some(id) = self.lookup_local(name) {
-                            self.emit(Instr::Assign { dst: id, rv: Rvalue::Use(v) });
+                            self.emit(Instr::Assign {
+                                dst: id,
+                                rv: Rvalue::Use(v),
+                            });
                         } else {
                             let global = self.global_ids[name.as_str()];
-                            self.emit(Instr::Store { global, index: None, src: v });
+                            self.emit(Instr::Store {
+                                global,
+                                index: None,
+                                src: v,
+                            });
                         }
                     }
                     LValue::Index(name, index) => {
                         let idx = self.lower_expr(index);
                         let global = self.global_ids[name.as_str()];
-                        self.emit(Instr::Store { global, index: Some(idx), src: v });
+                        self.emit(Instr::Store {
+                            global,
+                            index: Some(idx),
+                            src: v,
+                        });
                     }
                 }
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let c = self.lower_expr(cond);
                 let then_bb = self.new_block();
                 let else_bb = self.new_block();
                 let join_bb = self.new_block();
-                self.terminate(Terminator::Branch { cond: c, then_bb, else_bb });
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
                 self.cur = then_bb;
                 self.lower_body(then_body);
                 self.terminate(Terminator::Goto(join_bb));
@@ -248,7 +312,11 @@ impl<'m> FuncLower<'m> {
                 let c = self.lower_expr(cond);
                 let body_bb = self.new_block();
                 let exit_bb = self.new_block();
-                self.terminate(Terminator::Branch { cond: c, then_bb: body_bb, else_bb: exit_bb });
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
                 self.cur = body_bb;
                 self.lower_body(body);
                 self.terminate(Terminator::Goto(header));
@@ -280,7 +348,11 @@ impl<'m> FuncLower<'m> {
                 self.emit(Instr::Broadcast(c));
             }
             Stmt::Yield { .. } => self.emit(Instr::Yield),
-            Stmt::Assert { cond, message, span } => {
+            Stmt::Assert {
+                cond,
+                message,
+                span,
+            } => {
                 let c = self.lower_expr(cond);
                 let id = AssertId::from(self.asserts.len());
                 self.asserts.push(AssertInfo {
@@ -298,19 +370,33 @@ impl<'m> FuncLower<'m> {
                 let dead = self.new_block();
                 self.cur = dead;
             }
-            Stmt::Call { dst, func, args, .. } => {
+            Stmt::Call {
+                dst, func, args, ..
+            } => {
                 let args = self.lower_args(args);
                 let callee = self.func_ids[func.as_str()];
                 match dst {
-                    None => self.emit(Instr::Call { dst: None, func: callee, args }),
+                    None => self.emit(Instr::Call {
+                        dst: None,
+                        func: callee,
+                        args,
+                    }),
                     Some(LValue::Var(name)) => {
                         if let Some(local) = self.lookup_local(name) {
-                            self.emit(Instr::Call { dst: Some(local), func: callee, args });
+                            self.emit(Instr::Call {
+                                dst: Some(local),
+                                func: callee,
+                                args,
+                            });
                         } else {
                             // Global scalar destination: call into a temp,
                             // store after.
                             let temp = self.fresh_temp();
-                            self.emit(Instr::Call { dst: Some(temp), func: callee, args });
+                            self.emit(Instr::Call {
+                                dst: Some(temp),
+                                func: callee,
+                                args,
+                            });
                             let global = self.global_ids[name.as_str()];
                             self.emit(Instr::Store {
                                 global,
@@ -321,7 +407,11 @@ impl<'m> FuncLower<'m> {
                     }
                     Some(LValue::Index(name, index)) => {
                         let temp = self.fresh_temp();
-                        self.emit(Instr::Call { dst: Some(temp), func: callee, args });
+                        self.emit(Instr::Call {
+                            dst: Some(temp),
+                            func: callee,
+                            args,
+                        });
                         let idx = self.lower_expr(index);
                         let global = self.global_ids[name.as_str()];
                         self.emit(Instr::Store {
@@ -365,20 +455,26 @@ mod tests {
         let main = p.function(p.main);
         // Some block must branch, and some block must jump backwards.
         assert_eq!(main.branch_count(), 1);
-        let has_back_edge = main.blocks.iter().enumerate().any(|(i, b)| {
-            b.term.successors().iter().any(|s| s.index() <= i)
-        });
+        let has_back_edge = main
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.term.successors().iter().any(|s| s.index() <= i));
         assert!(has_back_edge);
     }
 
     #[test]
     fn if_branches_rejoin() {
-        let p = parse("fn main() { let x: int = 0; if (x == 0) { x = 1; } else { x = 2; } x = 3; }")
-            .unwrap();
+        let p =
+            parse("fn main() { let x: int = 0; if (x == 0) { x = 1; } else { x = 2; } x = 3; }")
+                .unwrap();
         let main = p.function(p.main);
         assert_eq!(main.branch_count(), 1);
         // The two branch targets both flow into the same join block.
-        let Terminator::Branch { then_bb, else_bb, .. } = &main.blocks[0].term else {
+        let Terminator::Branch {
+            then_bb, else_bb, ..
+        } = &main.blocks[0].term
+        else {
             panic!("entry must branch")
         };
         let t_succ = main.blocks[then_bb.index()].term.successors();
@@ -390,7 +486,10 @@ mod tests {
     fn statements_after_return_are_unreachable_not_lost() {
         let p = parse("fn f() { return 1; yield; } fn main() { let x: int = f(); }").unwrap();
         let f = p.function(p.function_by_name("f").unwrap());
-        assert!(matches!(f.blocks[f.entry.index()].term, Terminator::Return(Some(_))));
+        assert!(matches!(
+            f.blocks[f.entry.index()].term,
+            Terminator::Return(Some(_))
+        ));
     }
 
     #[test]

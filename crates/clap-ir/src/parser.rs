@@ -46,7 +46,9 @@ impl<'a> Parser<'a> {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -66,7 +68,10 @@ impl<'a> Parser<'a> {
         if self.eat(kind) {
             Ok(())
         } else {
-            Err(Error::parse(self.span(), format!("expected `{kind}`, found `{}`", self.peek())))
+            Err(Error::parse(
+                self.span(),
+                format!("expected `{kind}`, found `{}`", self.peek()),
+            ))
         }
     }
 
@@ -76,7 +81,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(name)
             }
-            other => Err(Error::parse(self.span(), format!("expected identifier, found `{other}`"))),
+            other => Err(Error::parse(
+                self.span(),
+                format!("expected identifier, found `{other}`"),
+            )),
         }
     }
 
@@ -87,7 +95,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(if negative { v.wrapping_neg() } else { v })
             }
-            other => Err(Error::parse(self.span(), format!("expected integer, found `{other}`"))),
+            other => Err(Error::parse(
+                self.span(),
+                format!("expected integer, found `{other}`"),
+            )),
         }
     }
 
@@ -111,12 +122,24 @@ impl<'a> Parser<'a> {
                     } else {
                         None
                     };
-                    let init = if self.eat(&TokenKind::Assign) { self.int_lit()? } else { 0 };
+                    let init = if self.eat(&TokenKind::Assign) {
+                        self.int_lit()?
+                    } else {
+                        0
+                    };
                     if len.is_some() && init != 0 {
-                        return Err(Error::parse(span, "array globals cannot take an initializer"));
+                        return Err(Error::parse(
+                            span,
+                            "array globals cannot take an initializer",
+                        ));
                     }
                     self.expect(&TokenKind::Semi)?;
-                    module.globals.push(GlobalAst { name, len, init, span });
+                    module.globals.push(GlobalAst {
+                        name,
+                        len,
+                        init,
+                        span,
+                    });
                 }
                 TokenKind::Mutex => {
                     self.bump();
@@ -149,7 +172,10 @@ impl<'a> Parser<'a> {
             TokenKind::TyInt => Ok(Type::Int),
             TokenKind::TyBool => Ok(Type::Bool),
             TokenKind::TyThread => Ok(Type::Thread),
-            other => Err(Error::parse(span, format!("expected a type, found `{other}`"))),
+            other => Err(Error::parse(
+                span,
+                format!("expected a type, found `{other}`"),
+            )),
         }
     }
 
@@ -172,7 +198,12 @@ impl<'a> Parser<'a> {
             }
         }
         let body = self.block()?;
-        Ok(FunctionAst { name, params, body, span })
+        Ok(FunctionAst {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>> {
@@ -180,7 +211,10 @@ impl<'a> Parser<'a> {
         let mut stmts = Vec::new();
         while !self.eat(&TokenKind::RBrace) {
             if matches!(self.peek(), TokenKind::Eof) {
-                return Err(Error::parse(self.span(), "unexpected end of input inside block"));
+                return Err(Error::parse(
+                    self.span(),
+                    "unexpected end of input inside block",
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -228,7 +262,12 @@ impl<'a> Parser<'a> {
                     LetInit::Expr(self.expr()?)
                 };
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Let { name, ty, init, span })
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    span,
+                })
             }
             TokenKind::If => {
                 self.bump();
@@ -245,7 +284,12 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body, span })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                })
             }
             TokenKind::While => {
                 self.bump();
@@ -327,12 +371,19 @@ impl<'a> Parser<'a> {
                 };
                 self.expect(&TokenKind::RParen)?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Assert { cond, message, span })
+                Ok(Stmt::Assert {
+                    cond,
+                    message,
+                    span,
+                })
             }
             TokenKind::Return => {
                 self.bump();
-                let value =
-                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if matches!(self.peek(), TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -343,7 +394,12 @@ impl<'a> Parser<'a> {
                     TokenKind::LParen => {
                         let args = self.args()?;
                         self.expect(&TokenKind::Semi)?;
-                        Ok(Stmt::Call { dst: None, func: name, args, span })
+                        Ok(Stmt::Call {
+                            dst: None,
+                            func: name,
+                            args,
+                            span,
+                        })
                     }
                     TokenKind::LBracket => {
                         self.bump();
@@ -369,7 +425,11 @@ impl<'a> Parser<'a> {
                         }
                         let rhs = self.expr()?;
                         self.expect(&TokenKind::Semi)?;
-                        Ok(Stmt::Assign { lhs: LValue::Index(name, index), rhs, span })
+                        Ok(Stmt::Assign {
+                            lhs: LValue::Index(name, index),
+                            rhs,
+                            span,
+                        })
                     }
                     TokenKind::Assign => {
                         self.bump();
@@ -391,7 +451,11 @@ impl<'a> Parser<'a> {
                         }
                         let rhs = self.expr()?;
                         self.expect(&TokenKind::Semi)?;
-                        Ok(Stmt::Assign { lhs: LValue::Var(name), rhs, span })
+                        Ok(Stmt::Assign {
+                            lhs: LValue::Var(name),
+                            rhs,
+                            span,
+                        })
                     }
                     other => Err(Error::parse(
                         span,
@@ -399,7 +463,10 @@ impl<'a> Parser<'a> {
                     )),
                 }
             }
-            other => Err(Error::parse(span, format!("expected a statement, found `{other}`"))),
+            other => Err(Error::parse(
+                span,
+                format!("expected a statement, found `{other}`"),
+            )),
         }
     }
 
@@ -410,8 +477,7 @@ impl<'a> Parser<'a> {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, prec)) = binop_of(self.peek()) else { break };
+        while let Some((op, prec)) = binop_of(self.peek()) {
             if prec < min_prec {
                 break;
             }
@@ -461,7 +527,10 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::RParen)?;
                 Ok(inner)
             }
-            other => Err(Error::parse(span, format!("expected an expression, found `{other}`"))),
+            other => Err(Error::parse(
+                span,
+                format!("expected an expression, found `{other}`"),
+            )),
         }
     }
 }
@@ -520,8 +589,10 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let m = parse("fn f() { let x: int = 1 + 2 * 3; }");
-        let Stmt::Let { init: LetInit::Expr(Expr::Binary(BinOp::Add, _, rhs, _)), .. } =
-            &m.functions[0].body[0]
+        let Stmt::Let {
+            init: LetInit::Expr(Expr::Binary(BinOp::Add, _, rhs, _)),
+            ..
+        } = &m.functions[0].body[0]
         else {
             panic!("expected add at top");
         };
@@ -531,8 +602,10 @@ mod tests {
     #[test]
     fn precedence_comparison_over_logic() {
         let m = parse("fn f() { let x: bool = 1 < 2 && 3 < 4; }");
-        let Stmt::Let { init: LetInit::Expr(Expr::Binary(op, _, _, _)), .. } =
-            &m.functions[0].body[0]
+        let Stmt::Let {
+            init: LetInit::Expr(Expr::Binary(op, _, _, _)),
+            ..
+        } = &m.functions[0].body[0]
         else {
             panic!();
         };
@@ -544,24 +617,43 @@ mod tests {
         let m = parse("fn w(i: int) {} fn main() { let t: thread = fork w(1); join t; }");
         assert!(matches!(
             m.functions[1].body[0],
-            Stmt::Let { init: LetInit::Fork { .. }, .. }
+            Stmt::Let {
+                init: LetInit::Fork { .. },
+                ..
+            }
         ));
         assert!(matches!(m.functions[1].body[1], Stmt::Join { .. }));
     }
 
     #[test]
     fn parses_if_else_chain() {
-        let m = parse("fn f(x: int) { if (x == 1) { yield; } else if (x == 2) { yield; } else { yield; } }");
-        let Stmt::If { else_body, .. } = &m.functions[0].body[0] else { panic!() };
+        let m = parse(
+            "fn f(x: int) { if (x == 1) { yield; } else if (x == 2) { yield; } else { yield; } }",
+        );
+        let Stmt::If { else_body, .. } = &m.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(else_body[0], Stmt::If { .. }));
     }
 
     #[test]
     fn parses_call_forms() {
         let m = parse("fn g() { return 1; } fn f() { g(); let a: int = g(); a = g(); }");
-        assert!(matches!(m.functions[1].body[0], Stmt::Call { dst: None, .. }));
-        assert!(matches!(m.functions[1].body[1], Stmt::Let { init: LetInit::Call { .. }, .. }));
-        assert!(matches!(m.functions[1].body[2], Stmt::Call { dst: Some(_), .. }));
+        assert!(matches!(
+            m.functions[1].body[0],
+            Stmt::Call { dst: None, .. }
+        ));
+        assert!(matches!(
+            m.functions[1].body[1],
+            Stmt::Let {
+                init: LetInit::Call { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            m.functions[1].body[2],
+            Stmt::Call { dst: Some(_), .. }
+        ));
     }
 
     #[test]
@@ -569,16 +661,23 @@ mod tests {
         let m = parse("global int a[4]; fn f() { a[1 + 2] = 7; }");
         assert!(matches!(
             m.functions[0].body[0],
-            Stmt::Assign { lhs: LValue::Index(_, _), .. }
+            Stmt::Assign {
+                lhs: LValue::Index(_, _),
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_assert_with_message() {
         let m = parse(r#"fn f() { assert(1 == 1, "fine"); assert(true); }"#);
-        let Stmt::Assert { message, .. } = &m.functions[0].body[0] else { panic!() };
+        let Stmt::Assert { message, .. } = &m.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(message, "fine");
-        let Stmt::Assert { message, .. } = &m.functions[0].body[1] else { panic!() };
+        let Stmt::Assert { message, .. } = &m.functions[0].body[1] else {
+            panic!()
+        };
         assert_eq!(message, "assertion failed");
     }
 

@@ -47,26 +47,53 @@ pub fn function_to_string(program: &Program, id: FuncId, f: &Function) -> String
 pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
     match instr {
         Instr::Assign { dst, rv } => format!("{dst} = {rv}"),
-        Instr::Load { dst, global, index: None } => {
+        Instr::Load {
+            dst,
+            global,
+            index: None,
+        } => {
             format!("{dst} = load {}", program.globals[global.index()].name)
         }
-        Instr::Load { dst, global, index: Some(i) } => {
+        Instr::Load {
+            dst,
+            global,
+            index: Some(i),
+        } => {
             format!("{dst} = load {}[{i}]", program.globals[global.index()].name)
         }
-        Instr::Store { global, index: None, src } => {
+        Instr::Store {
+            global,
+            index: None,
+            src,
+        } => {
             format!("store {} = {src}", program.globals[global.index()].name)
         }
-        Instr::Store { global, index: Some(i), src } => {
-            format!("store {}[{i}] = {src}", program.globals[global.index()].name)
+        Instr::Store {
+            global,
+            index: Some(i),
+            src,
+        } => {
+            format!(
+                "store {}[{i}] = {src}",
+                program.globals[global.index()].name
+            )
         }
         Instr::Lock(m) => format!("lock {}", program.mutexes[m.index()]),
         Instr::Unlock(m) => format!("unlock {}", program.mutexes[m.index()]),
         Instr::Fork { dst, func, args } => {
-            format!("{dst} = fork {}({})", program.functions[func.index()].name, operands(args))
+            format!(
+                "{dst} = fork {}({})",
+                program.functions[func.index()].name,
+                operands(args)
+            )
         }
         Instr::Join { handle } => format!("join {handle}"),
         Instr::Wait { cond, mutex } => {
-            format!("wait {} {}", program.conds[cond.index()], program.mutexes[mutex.index()])
+            format!(
+                "wait {} {}",
+                program.conds[cond.index()],
+                program.mutexes[mutex.index()]
+            )
         }
         Instr::Signal(c) => format!("signal {}", program.conds[c.index()]),
         Instr::Broadcast(c) => format!("broadcast {}", program.conds[c.index()]),
@@ -74,11 +101,27 @@ pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
         Instr::Assert { cond, id } => {
             format!("assert {cond} ({:?})", program.asserts[id.index()].message)
         }
-        Instr::Call { dst: Some(d), func, args } => {
-            format!("{d} = call {}({})", program.functions[func.index()].name, operands(args))
+        Instr::Call {
+            dst: Some(d),
+            func,
+            args,
+        } => {
+            format!(
+                "{d} = call {}({})",
+                program.functions[func.index()].name,
+                operands(args)
+            )
         }
-        Instr::Call { dst: None, func, args } => {
-            format!("call {}({})", program.functions[func.index()].name, operands(args))
+        Instr::Call {
+            dst: None,
+            func,
+            args,
+        } => {
+            format!(
+                "call {}({})",
+                program.functions[func.index()].name,
+                operands(args)
+            )
         }
     }
 }
@@ -86,7 +129,11 @@ pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
 fn term_to_string(term: &Terminator) -> String {
     match term {
         Terminator::Goto(b) => format!("goto {b}"),
-        Terminator::Branch { cond, then_bb, else_bb } => {
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("br {cond} ? {then_bb} : {else_bb}")
         }
         Terminator::Return(Some(v)) => format!("return {v}"),
@@ -95,7 +142,10 @@ fn term_to_string(term: &Terminator) -> String {
 }
 
 fn operands(ops: &[Operand]) -> String {
-    ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+    ops.iter()
+        .map(|o| o.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]

@@ -258,7 +258,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Goto(b) => vec![*b],
-            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Return(_) => Vec::new(),
         }
     }
@@ -355,17 +357,26 @@ impl Program {
 
     /// Looks up a function by source name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(FuncId::from)
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from)
     }
 
     /// Looks up a global by source name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(GlobalId::from)
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(GlobalId::from)
     }
 
     /// Looks up a mutex by source name.
     pub fn mutex_by_name(&self, name: &str) -> Option<MutexId> {
-        self.mutexes.iter().position(|m| m == name).map(MutexId::from)
+        self.mutexes
+            .iter()
+            .position(|m| m == name)
+            .map(MutexId::from)
     }
 
     /// Total static instruction count.
@@ -449,8 +460,12 @@ mod tests {
     #[test]
     fn instr_classification() {
         assert!(Instr::Lock(MutexId(0)).is_sync());
-        assert!(Instr::Load { dst: LocalId(0), global: GlobalId(0), index: None }
-            .is_memory_access());
+        assert!(Instr::Load {
+            dst: LocalId(0),
+            global: GlobalId(0),
+            index: None
+        }
+        .is_memory_access());
         assert!(!Instr::Yield.is_sync());
     }
 
@@ -475,8 +490,24 @@ mod tests {
 
     #[test]
     fn global_cells() {
-        assert_eq!(GlobalDecl { name: "x".into(), len: None, init: 1 }.cells(), 1);
-        assert_eq!(GlobalDecl { name: "a".into(), len: Some(9), init: 0 }.cells(), 9);
+        assert_eq!(
+            GlobalDecl {
+                name: "x".into(),
+                len: None,
+                init: 1
+            }
+            .cells(),
+            1
+        );
+        assert_eq!(
+            GlobalDecl {
+                name: "a".into(),
+                len: Some(9),
+                init: 0
+            }
+            .cells(),
+            9
+        );
     }
 
     #[test]
@@ -494,8 +525,14 @@ mod tests {
                         else_bb: BlockId(2),
                     },
                 },
-                Block { instrs: vec![], term: Terminator::Goto(BlockId(2)) },
-                Block { instrs: vec![], term: Terminator::Return(None) },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Goto(BlockId(2)),
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Return(None),
+                },
             ],
             entry: BlockId(0),
         };

@@ -44,7 +44,10 @@ impl<'m> Checker<'m> {
         let mut globals = HashMap::new();
         for g in &module.globals {
             if globals.insert(g.name.as_str(), g.len.is_some()).is_some() {
-                return Err(Error::sema(g.span, format!("duplicate global `{}`", g.name)));
+                return Err(Error::sema(
+                    g.span,
+                    format!("duplicate global `{}`", g.name),
+                ));
             }
         }
         let mut mutexes = HashSet::new();
@@ -66,10 +69,19 @@ impl<'m> Checker<'m> {
                 returns_value: body_returns_value(&f.body),
             };
             if funcs.insert(f.name.as_str(), sig).is_some() {
-                return Err(Error::sema(f.span, format!("duplicate function `{}`", f.name)));
+                return Err(Error::sema(
+                    f.span,
+                    format!("duplicate function `{}`", f.name),
+                ));
             }
         }
-        Ok(Checker { module, globals, mutexes, conds, funcs })
+        Ok(Checker {
+            module,
+            globals,
+            mutexes,
+            conds,
+            funcs,
+        })
     }
 
     fn check_module(&self) -> Result<()> {
@@ -83,7 +95,10 @@ impl<'m> Checker<'m> {
             let mut scope = Scope::default();
             for (name, ty) in &f.params {
                 if *ty == Type::Thread {
-                    return Err(Error::sema(f.span, "parameters of type `thread` are not allowed"));
+                    return Err(Error::sema(
+                        f.span,
+                        "parameters of type `thread` are not allowed",
+                    ));
                 }
                 scope.declare(name.clone(), *ty, f.span)?;
             }
@@ -103,7 +118,12 @@ impl<'m> Checker<'m> {
 
     fn check_stmt(&self, stmt: &Stmt, scope: &mut Scope) -> Result<()> {
         match stmt {
-            Stmt::Let { name, ty, init, span } => {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                span,
+            } => {
                 match init {
                     LetInit::Fork { func, args } => {
                         if *ty != Type::Thread {
@@ -140,10 +160,9 @@ impl<'m> Checker<'m> {
                 let rt = self.type_of(rhs, scope)?;
                 match lhs {
                     LValue::Var(name) => match self.resolve(name, scope) {
-                        Some(Binding::Local(Type::Thread)) => Err(Error::sema(
-                            *span,
-                            "`thread` locals cannot be reassigned",
-                        )),
+                        Some(Binding::Local(Type::Thread)) => {
+                            Err(Error::sema(*span, "`thread` locals cannot be reassigned"))
+                        }
                         Some(Binding::Local(t)) => expect_type(t, rt, *span),
                         Some(Binding::GlobalScalar) => expect_type(Type::Int, rt, *span),
                         Some(Binding::GlobalArray) => Err(Error::sema(
@@ -169,7 +188,12 @@ impl<'m> Checker<'m> {
                     }
                 }
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let ct = self.type_of(cond, scope)?;
                 expect_type(Type::Bool, ct, cond.span())?;
                 self.check_body(then_body, scope)?;
@@ -192,7 +216,10 @@ impl<'m> Checker<'m> {
                 if ht == Type::Thread {
                     Ok(())
                 } else {
-                    Err(Error::sema(*span, "`join` requires a `thread`-typed handle"))
+                    Err(Error::sema(
+                        *span,
+                        "`join` requires a `thread`-typed handle",
+                    ))
                 }
             }
             Stmt::Wait { cond, mutex, span } => {
@@ -225,18 +252,25 @@ impl<'m> Checker<'m> {
                 }
                 Ok(())
             }
-            Stmt::Call { dst, func, args, span } => {
+            Stmt::Call {
+                dst,
+                func,
+                args,
+                span,
+            } => {
                 self.check_call(func, args, scope, *span, dst.is_some())?;
                 match dst {
                     None => Ok(()),
                     Some(LValue::Var(d)) => match self.resolve(d, scope) {
-                        Some(Binding::Local(Type::Thread)) => {
-                            Err(Error::sema(*span, "cannot assign a call result to a thread local"))
-                        }
+                        Some(Binding::Local(Type::Thread)) => Err(Error::sema(
+                            *span,
+                            "cannot assign a call result to a thread local",
+                        )),
                         Some(Binding::Local(_)) | Some(Binding::GlobalScalar) => Ok(()),
-                        Some(Binding::GlobalArray) => {
-                            Err(Error::sema(*span, format!("array global `{d}` must be indexed")))
-                        }
+                        Some(Binding::GlobalArray) => Err(Error::sema(
+                            *span,
+                            format!("array global `{d}` must be indexed"),
+                        )),
                         None => Err(Error::sema(*span, format!("unknown variable `{d}`"))),
                     },
                     Some(LValue::Index(name, index)) => {
@@ -272,7 +306,11 @@ impl<'m> Checker<'m> {
         if sig.params.len() != args.len() {
             return Err(Error::sema(
                 span,
-                format!("`{func}` expects {} argument(s), got {}", sig.params.len(), args.len()),
+                format!(
+                    "`{func}` expects {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
             ));
         }
         for (arg, want) in args.iter().zip(&sig.params) {
@@ -280,7 +318,10 @@ impl<'m> Checker<'m> {
             expect_type(*want, at, arg.span())?;
         }
         if needs_value && !sig.returns_value {
-            return Err(Error::sema(span, format!("`{func}` does not return a value")));
+            return Err(Error::sema(
+                span,
+                format!("`{func}` does not return a value"),
+            ));
         }
         Ok(())
     }
@@ -303,9 +344,10 @@ impl<'m> Checker<'m> {
             Expr::Var(name, span) => match self.resolve(name, scope) {
                 Some(Binding::Local(t)) => Ok(t),
                 Some(Binding::GlobalScalar) => Ok(Type::Int),
-                Some(Binding::GlobalArray) => {
-                    Err(Error::sema(*span, format!("array global `{name}` must be indexed")))
-                }
+                Some(Binding::GlobalArray) => Err(Error::sema(
+                    *span,
+                    format!("array global `{name}` must be indexed"),
+                )),
                 None => Err(Error::sema(*span, format!("unknown variable `{name}`"))),
             },
             Expr::Index(name, index, span) => {
@@ -364,7 +406,10 @@ fn expect_type(want: Type, got: Type, span: Span) -> Result<()> {
     if want == got {
         Ok(())
     } else {
-        Err(Error::sema(span, format!("type mismatch: expected {want}, found {got}")))
+        Err(Error::sema(
+            span,
+            format!("type mismatch: expected {want}, found {got}"),
+        ))
     }
 }
 
@@ -372,9 +417,11 @@ fn expect_type(want: Type, got: Type, span: Span) -> Result<()> {
 fn body_returns_value(body: &[Stmt]) -> bool {
     body.iter().any(|s| match s {
         Stmt::Return { value, .. } => value.is_some(),
-        Stmt::If { then_body, else_body, .. } => {
-            body_returns_value(then_body) || body_returns_value(else_body)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_returns_value(then_body) || body_returns_value(else_body),
         Stmt::While { body, .. } => body_returns_value(body),
         _ => false,
     })
@@ -401,7 +448,10 @@ impl Scope {
         }
         let frame = self.frames.last_mut().expect("frame exists");
         if frame.iter().any(|(n, _)| *n == name) {
-            return Err(Error::sema(span, format!("duplicate local `{name}` in this scope")));
+            return Err(Error::sema(
+                span,
+                format!("duplicate local `{name}` in this scope"),
+            ));
         }
         frame.push((name, ty));
         Ok(())

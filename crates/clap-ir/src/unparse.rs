@@ -31,8 +31,7 @@ pub fn unparse(module: &Module) -> String {
         let _ = writeln!(out, "cond {};", c.name);
     }
     for f in &module.functions {
-        let params: Vec<String> =
-            f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
         for stmt in &f.body {
             unparse_stmt(&mut out, stmt, 1);
@@ -67,7 +66,12 @@ fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
         Stmt::Assign { lhs, rhs, .. } => {
             let _ = writeln!(out, "{} = {};", unparse_lvalue(lhs), unparse_expr(rhs));
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             let _ = writeln!(out, "if ({}) {{", unparse_expr(cond));
             for s in then_body {
                 unparse_stmt(out, s, depth + 1);
@@ -120,12 +124,11 @@ fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             }
             None => out.push_str("return;\n"),
         },
-        Stmt::Call { dst, func, args, .. } => {
-            match dst {
-                Some(lv) => {
-                    let _ = write!(out, "{} = ", unparse_lvalue(lv));
-                }
-                None => {}
+        Stmt::Call {
+            dst, func, args, ..
+        } => {
+            if let Some(lv) = dst {
+                let _ = write!(out, "{} = ", unparse_lvalue(lv));
             }
             let _ = writeln!(out, "{func}({});", unparse_args(args));
         }
@@ -206,7 +209,12 @@ fn erase_spans(body: &mut [Stmt]) {
                 }
                 erase_expr_spans(rhs);
             }
-            Stmt::If { cond, then_body, else_body, span } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
                 *span = Span::unknown();
                 erase_expr_spans(cond);
                 erase_spans(then_body);
@@ -231,7 +239,9 @@ fn erase_spans(body: &mut [Stmt]) {
                     erase_expr_spans(v);
                 }
             }
-            Stmt::Call { dst, args, span, .. } => {
+            Stmt::Call {
+                dst, args, span, ..
+            } => {
                 *span = Span::unknown();
                 if let Some(LValue::Index(_, i)) = dst {
                     erase_expr_spans(i);

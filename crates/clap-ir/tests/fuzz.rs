@@ -168,12 +168,14 @@ mod ast_round_trip {
         let sub = expr(depth - 1);
         prop_oneof![
             leaf,
-            (name(), sub.clone())
-                .prop_map(|(n, i)| Expr::Index(n, Box::new(i), Span::unknown())),
-            (unop(), sub.clone())
-                .prop_map(|(op, i)| Expr::Unary(op, Box::new(i), Span::unknown())),
-            (binop(), sub.clone(), sub)
-                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r), Span::unknown())),
+            (name(), sub.clone()).prop_map(|(n, i)| Expr::Index(n, Box::new(i), Span::unknown())),
+            (unop(), sub.clone()).prop_map(|(op, i)| Expr::Unary(op, Box::new(i), Span::unknown())),
+            (binop(), sub.clone(), sub).prop_map(|(op, l, r)| Expr::Binary(
+                op,
+                Box::new(l),
+                Box::new(r),
+                Span::unknown()
+            )),
         ]
         .boxed()
     }
@@ -228,17 +230,34 @@ mod ast_round_trip {
                 rhs,
                 span: Span::unknown(),
             }),
-            name().prop_map(|m| Stmt::Lock { mutex: m, span: Span::unknown() }),
-            name().prop_map(|m| Stmt::Unlock { mutex: m, span: Span::unknown() }),
-            e().prop_map(|h| Stmt::Join { handle: h, span: Span::unknown() }),
+            name().prop_map(|m| Stmt::Lock {
+                mutex: m,
+                span: Span::unknown()
+            }),
+            name().prop_map(|m| Stmt::Unlock {
+                mutex: m,
+                span: Span::unknown()
+            }),
+            e().prop_map(|h| Stmt::Join {
+                handle: h,
+                span: Span::unknown()
+            }),
             (name(), name()).prop_map(|(c, m)| Stmt::Wait {
                 cond: c,
                 mutex: m,
                 span: Span::unknown(),
             }),
-            name().prop_map(|c| Stmt::Signal { cond: c, span: Span::unknown() }),
-            name().prop_map(|c| Stmt::Broadcast { cond: c, span: Span::unknown() }),
-            Just(Stmt::Yield { span: Span::unknown() }),
+            name().prop_map(|c| Stmt::Signal {
+                cond: c,
+                span: Span::unknown()
+            }),
+            name().prop_map(|c| Stmt::Broadcast {
+                cond: c,
+                span: Span::unknown()
+            }),
+            Just(Stmt::Yield {
+                span: Span::unknown()
+            }),
             (e(), "[ -~&&[^\"\\\\]]{0,12}").prop_map(|(c, msg)| Stmt::Assert {
                 cond: c,
                 message: msg,
@@ -248,8 +267,11 @@ mod ast_round_trip {
                 value: v,
                 span: Span::unknown(),
             }),
-            (proptest::option::of(name().prop_map(LValue::Var)), name(),
-             proptest::collection::vec(expr(1), 0..3))
+            (
+                proptest::option::of(name().prop_map(LValue::Var)),
+                name(),
+                proptest::collection::vec(expr(1), 0..3)
+            )
                 .prop_map(|(dst, func, args)| Stmt::Call {
                     dst,
                     func,
@@ -288,12 +310,18 @@ mod ast_round_trip {
 
     fn module() -> impl Strategy<Value = Module> {
         (
-            proptest::collection::vec((name(), proptest::option::of(1usize..9), -100i64..100), 0..3),
+            proptest::collection::vec(
+                (name(), proptest::option::of(1usize..9), -100i64..100),
+                0..3,
+            ),
             proptest::collection::vec(name(), 0..2),
             proptest::collection::vec(name(), 0..2),
             proptest::collection::vec(
-                (name(), proptest::collection::vec((name(), ty()), 0..3),
-                 proptest::collection::vec(stmt(2), 0..4)),
+                (
+                    name(),
+                    proptest::collection::vec((name(), ty()), 0..3),
+                    proptest::collection::vec(stmt(2), 0..4),
+                ),
                 1..3,
             ),
         )
@@ -309,11 +337,17 @@ mod ast_round_trip {
                     .collect(),
                 mutexes: mutexes
                     .into_iter()
-                    .map(|n| NamedDecl { name: n, span: Span::unknown() })
+                    .map(|n| NamedDecl {
+                        name: n,
+                        span: Span::unknown(),
+                    })
                     .collect(),
                 conds: conds
                     .into_iter()
-                    .map(|n| NamedDecl { name: n, span: Span::unknown() })
+                    .map(|n| NamedDecl {
+                        name: n,
+                        span: Span::unknown(),
+                    })
                     .collect(),
                 functions: functions
                     .into_iter()

@@ -18,9 +18,7 @@
 //! shared access on the per-variable vectors — LEAP's replay semantics
 //! (sound for SC executions, which is what LEAP supports).
 
-use clap_vm::{
-    AccessEvent, Action, Monitor, Scheduler, StepPreview, SyncEvent, ThreadId, Vm,
-};
+use clap_vm::{AccessEvent, Action, Monitor, Scheduler, StepPreview, SyncEvent, ThreadId, Vm};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -95,7 +93,10 @@ impl Default for LeapRecorder {
 impl LeapRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        LeapRecorder { vectors: HashMap::new(), mutex_vectors: HashMap::new() }
+        LeapRecorder {
+            vectors: HashMap::new(),
+            mutex_vectors: HashMap::new(),
+        }
     }
 
     /// Finalizes into the log artifact.
@@ -130,7 +131,10 @@ impl Monitor for LeapRecorder {
             .entry(event.addr.0)
             .or_insert_with(|| Mutex::new(Vec::new()));
         // The measured cost: a real lock acquisition per shared access.
-        cell.lock().push(AccessRecord { thread, is_write: event.is_write });
+        cell.lock().push(AccessRecord {
+            thread,
+            is_write: event.is_write,
+        });
     }
 
     fn on_sync(&mut self, thread: ThreadId, event: &SyncEvent) {
@@ -138,7 +142,10 @@ impl Monitor for LeapRecorder {
             SyncEvent::Lock(m) | SyncEvent::Wait(_, m) => m.0,
             _ => return,
         };
-        let cell = self.mutex_vectors.entry(m).or_insert_with(|| Mutex::new(Vec::new()));
+        let cell = self
+            .mutex_vectors
+            .entry(m)
+            .or_insert_with(|| Mutex::new(Vec::new()));
         cell.lock().push(thread);
     }
 }
@@ -175,7 +182,8 @@ impl LeapReplayer {
             None => true, // unrecorded variable: unconstrained
             Some(vec) => {
                 let pos = self.access_pos[&addr];
-                vec.get(pos).is_some_and(|r| r.thread == t && r.is_write == is_write)
+                vec.get(pos)
+                    .is_some_and(|r| r.thread == t && r.is_write == is_write)
             }
         }
     }
@@ -221,15 +229,13 @@ impl Scheduler for LeapReplayer {
                         // Consume the cursor eagerly: this action will be
                         // the one executed.
                         match kind {
-                            K::Read(addr) | K::Write(addr) => {
-                                if self.log.accesses.contains_key(&addr.0) {
-                                    *self.access_pos.get_mut(&addr.0).expect("cursor") += 1;
-                                }
+                            K::Read(addr) | K::Write(addr)
+                                if self.log.accesses.contains_key(&addr.0) =>
+                            {
+                                *self.access_pos.get_mut(&addr.0).expect("cursor") += 1;
                             }
-                            K::Lock(m) => {
-                                if self.log.mutex_orders.contains_key(&m.0) {
-                                    *self.mutex_pos.get_mut(&m.0).expect("cursor") += 1;
-                                }
+                            K::Lock(m) if self.log.mutex_orders.contains_key(&m.0) => {
+                                *self.mutex_pos.get_mut(&m.0).expect("cursor") += 1;
                             }
                             _ => {}
                         }
@@ -308,7 +314,10 @@ mod tests {
                 assert!(!replayer.is_stuck());
                 assert_eq!(
                     replay_outcome,
-                    Outcome::AssertFailed { assert, thread: clap_vm::ThreadId(0) },
+                    Outcome::AssertFailed {
+                        assert,
+                        thread: clap_vm::ThreadId(0)
+                    },
                     "LEAP replay reproduces the same failure"
                 );
                 return;

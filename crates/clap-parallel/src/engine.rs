@@ -110,12 +110,21 @@ pub fn solve_parallel(
     config: ParallelConfig,
 ) -> ParallelOutcome {
     let workers = if config.workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(1).max(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(1)
+            .max(1)
     } else {
         config.workers
     };
     let mut stats = ParallelStats::default();
     let mut budget_hit = false;
+
+    // Every emitted order is a full permutation of the trace's SAPs, so a
+    // batch of k orders is one flat buffer of k·n ids — one allocation
+    // and one channel hand-off per batch instead of per candidate.
+    const BATCH_ORDERS: usize = 64;
+    let n = system.trace.sap_count();
 
     for c in 0..=config.max_cs {
         stats.cs_bound = c;
@@ -123,7 +132,7 @@ pub fn solve_parallel(
         let truncated = AtomicBool::new(false);
         let validated = AtomicU64::new(0);
         let good: Mutex<Vec<(Schedule, Witness)>> = Mutex::new(Vec::new());
-        let (tx, rx) = crossbeam::channel::bounded::<Vec<SapId>>(4096);
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, Vec<SapId>)>(64);
 
         let generated_this_level = std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -132,17 +141,26 @@ pub fn solve_parallel(
                 let validated = &validated;
                 let good = &good;
                 scope.spawn(move || {
-                    while let Ok(order) = rx.recv() {
+                    let mut scratch = Schedule {
+                        order: Vec::with_capacity(n),
+                    };
+                    while let Ok((count, flat)) = rx.recv() {
                         if stop.load(Ordering::Relaxed) {
                             continue; // drain
                         }
-                        validated.fetch_add(1, Ordering::Relaxed);
-                        let schedule = Schedule { order };
-                        if let Ok(witness) = validate(program, system, &schedule) {
-                            let mut g = good.lock().expect("good lock");
-                            g.push((schedule, witness));
-                            if g.len() >= config.stop_after_good {
-                                stop.store(true, Ordering::Relaxed);
+                        for i in 0..count {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            validated.fetch_add(1, Ordering::Relaxed);
+                            scratch.order.clear();
+                            scratch.order.extend_from_slice(&flat[i * n..(i + 1) * n]);
+                            if let Ok(witness) = validate(program, system, &scratch) {
+                                let mut g = good.lock().expect("good lock");
+                                g.push((scratch.clone(), witness));
+                                if g.len() >= config.stop_after_good {
+                                    stop.store(true, Ordering::Relaxed);
+                                }
                             }
                         }
                     }
@@ -152,11 +170,10 @@ pub fn solve_parallel(
             let mut generator = Generator::new(program, system, config.max_generated_per_level);
             generator.set_node_budget(config.max_nodes_per_level);
             generator.set_deadline(config.deadline);
-            let exhausted_sets = for_each_csp_set(
-                system,
-                c,
-                config.max_sets_per_level,
-                &mut |set| {
+            let mut batch: Vec<SapId> = Vec::with_capacity(BATCH_ORDERS * n);
+            let mut batch_count = 0usize;
+            let exhausted_sets =
+                for_each_csp_set(system, c, config.max_sets_per_level, &mut |set| {
                     if stop.load(Ordering::Relaxed) {
                         return false;
                     }
@@ -170,10 +187,21 @@ pub fn solve_parallel(
                         if stop.load(Ordering::Relaxed) {
                             return false;
                         }
-                        tx.send(order.to_vec()).is_ok()
+                        batch.extend_from_slice(order);
+                        batch_count += 1;
+                        if batch_count < BATCH_ORDERS {
+                            return true;
+                        }
+                        let full =
+                            std::mem::replace(&mut batch, Vec::with_capacity(BATCH_ORDERS * n));
+                        let sent = tx.send((batch_count, full)).is_ok();
+                        batch_count = 0;
+                        sent
                     })
-                },
-            );
+                });
+            if batch_count > 0 {
+                let _ = tx.send((batch_count, std::mem::take(&mut batch)));
+            }
             if !exhausted_sets
                 || generator.hit_budget()
                 || (config.max_generated_per_level > 0
@@ -194,7 +222,12 @@ pub fn solve_parallel(
         stats.good += found.len() as u64;
         if let Some((schedule, witness)) = found.into_iter().next() {
             let cs = schedule.context_switches(system.trace);
-            return ParallelOutcome::Found { schedule, witness, cs, stats };
+            return ParallelOutcome::Found {
+                schedule,
+                witness,
+                cs,
+                stats,
+            };
         }
         if truncated.load(Ordering::Relaxed) {
             budget_hit = true;

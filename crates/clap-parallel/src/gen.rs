@@ -64,6 +64,9 @@ pub struct Generator<'a, 't> {
     prune: Option<PruneState<'a>>,
 }
 
+/// A concrete memory cell: (global, evaluated index).
+type MemKey = (u32, i64);
+
 /// Incremental evaluation state for prefix pruning.
 struct PruneState<'p> {
     program: &'p Program,
@@ -74,7 +77,7 @@ struct PruneState<'p> {
     /// Concrete memory image keyed by (global, cell); cells absent use
     /// the initial value, `None` marks an unknown (unevaluable) cell.
     memory: HashMap<(u32, i64), Option<i64>>,
-    mem_trail: Vec<((u32, i64), Option<Option<i64>>)>,
+    mem_trail: Vec<(MemKey, Option<Option<i64>>)>,
     /// Per path condition: how many of its variables are unassigned.
     cond_remaining: Vec<u32>,
     cond_trail: Vec<usize>,
@@ -224,8 +227,12 @@ impl<'a, 't> Generator<'a, 't> {
         }
         let mut wait_candidates = HashMap::new();
         for w in &sys.waits {
-            let cands: Vec<u32> =
-                w.signals.iter().chain(w.broadcasts.iter()).map(|s| s.0).collect();
+            let cands: Vec<u32> = w
+                .signals
+                .iter()
+                .chain(w.broadcasts.iter())
+                .map(|s| s.0)
+                .collect();
             wait_candidates.insert(w.wait.0, cands);
         }
         Generator {
@@ -337,12 +344,12 @@ impl<'a, 't> Generator<'a, 't> {
                 }
             }
             SapKind::Lock(m) | SapKind::Wait { mutex: m, .. } => {
-                if prune.owner.contains_key(&m.0) {
-                    false // mutex already held: illegal prefix
-                } else {
-                    let prev = prune.owner.insert(m.0, t);
-                    prune.owner_trail.push((m.0, prev));
+                if let std::collections::hash_map::Entry::Vacant(e) = prune.owner.entry(m.0) {
+                    e.insert(t);
+                    prune.owner_trail.push((m.0, None));
                     true
+                } else {
+                    false // mutex already held: illegal prefix
                 }
             }
             SapKind::Unlock(m) => {
@@ -426,7 +433,7 @@ impl<'a, 't> Generator<'a, 't> {
                 self.out_of_budget = true;
                 return false;
             }
-            if self.nodes % 8192 == 0 {
+            if self.nodes.is_multiple_of(8192) {
                 if let Some(d) = self.deadline {
                     if std::time::Instant::now() >= d {
                         self.out_of_budget = true;
@@ -435,7 +442,11 @@ impl<'a, 't> Generator<'a, 't> {
                 }
             }
             let (marks, viable) = self.emit_sap(s);
-            let cont = if viable { self.dfs(cur, csps, emit) } else { true };
+            let cont = if viable {
+                self.dfs(cur, csps, emit)
+            } else {
+                true
+            };
             self.retract_sap(s, marks);
             if !cont {
                 return false;
@@ -479,12 +490,19 @@ pub fn for_each_csp_set(
             if k == 1 {
                 continue;
             }
-            if matches!(sys.trace.sap(s).kind, SapKind::Wait { .. } | SapKind::Join { .. }) {
+            if matches!(
+                sys.trace.sap(s).kind,
+                SapKind::Wait { .. } | SapKind::Join { .. }
+            ) {
                 continue;
             }
             for t2 in 0..threads {
                 if t2 as usize != ti {
-                    universe.push(Csp { t1: ti as u32, k, t2 });
+                    universe.push(Csp {
+                        t1: ti as u32,
+                        k,
+                        t2,
+                    });
                 }
             }
         }

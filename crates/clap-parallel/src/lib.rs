@@ -31,7 +31,11 @@ pub mod testutil {
     /// # Panics
     ///
     /// Panics if no seed below `max_seed` fails.
-    pub fn build_failure(src: &str, model: MemModel, max_seed: u64) -> (clap_ir::Program, SymTrace) {
+    pub fn build_failure(
+        src: &str,
+        model: MemModel,
+        max_seed: u64,
+    ) -> (clap_ir::Program, SymTrace) {
         let program = parse(src).unwrap();
         let sharing = analyze(&program);
         let tables = BlTables::build(&program);
@@ -69,7 +73,13 @@ mod tests {
         );
         let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
         let outcome = solve_parallel(&program, &sys, ParallelConfig::default());
-        let ParallelOutcome::Found { schedule, cs, stats, .. } = outcome else {
+        let ParallelOutcome::Found {
+            schedule,
+            cs,
+            stats,
+            ..
+        } = outcome
+        else {
             panic!("must find a schedule: {outcome:?}")
         };
         assert_eq!(cs, 1, "one preemption is minimal for a lost update");
@@ -124,9 +134,15 @@ mod tests {
         let outcome = solve_parallel(
             &program,
             &sys,
-            ParallelConfig { max_cs: 2, ..ParallelConfig::default() },
+            ParallelConfig {
+                max_cs: 2,
+                ..ParallelConfig::default()
+            },
         );
-        assert!(matches!(outcome, ParallelOutcome::Exhausted(_)), "{outcome:?}");
+        assert!(
+            matches!(outcome, ParallelOutcome::Exhausted(_)),
+            "{outcome:?}"
+        );
         assert_eq!(outcome.stats().good, 0);
     }
 
@@ -135,15 +151,21 @@ mod tests {
         // Both engines must agree on satisfiability across a batch of
         // small racy programs.
         let programs = [
-            ("global int x = 0;
+            (
+                "global int x = 0;
               fn w() { let v: int = x; yield; x = v + 2; }
               fn main() { let a: thread = fork w(); let b: thread = fork w();
-                          join a; join b; assert(x == 4, \"l\"); }", MemModel::Sc),
-            ("global int x = 0; global int y = 0;
+                          join a; join b; assert(x == 4, \"l\"); }",
+                MemModel::Sc,
+            ),
+            (
+                "global int x = 0; global int y = 0;
               fn w1() { x = 1; let v: int = y; if (v == 1) { x = 3; } }
               fn w2() { y = 1; let u: int = x; if (u == 1) { y = 3; } }
               fn main() { let a: thread = fork w1(); let b: thread = fork w2();
-                          join a; join b; assert(x + y < 6, \"both saw\"); }", MemModel::Sc),
+                          join a; join b; assert(x + y < 6, \"both saw\"); }",
+                MemModel::Sc,
+            ),
         ];
         for (src, model) in programs {
             let (program, trace) = build_failure(src, model, 3000);

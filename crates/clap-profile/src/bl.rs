@@ -84,7 +84,10 @@ impl BlFunc {
                     return Some(Transition::Forward { inc: e.inc });
                 }
                 EdgeKind::BackEdgeExit { header } if header == to => {
-                    return Some(Transition::Back { exit_inc: e.inc, restart: self.header_init[&to] });
+                    return Some(Transition::Back {
+                        exit_inc: e.inc,
+                        restart: self.header_init[&to],
+                    });
                 }
                 _ => {}
             }
@@ -133,7 +136,9 @@ impl BlTables {
     /// Panics if a function has more than `u64::MAX` acyclic paths (cannot
     /// happen for realistic CFGs).
     pub fn build(program: &Program) -> Self {
-        BlTables { funcs: program.functions.iter().map(build_func).collect() }
+        BlTables {
+            funcs: program.functions.iter().map(build_func).collect(),
+        }
     }
 
     /// The tables for one function.
@@ -184,7 +189,11 @@ fn build_func(func: &Function) -> BlFunc {
         let from = BlockId::from(i);
         let succs = block.term.successors();
         if succs.is_empty() {
-            edges[i].push(BlEdge { to: EdgeTarget::Exit, inc: 0, kind: EdgeKind::ReturnExit });
+            edges[i].push(BlEdge {
+                to: EdgeTarget::Exit,
+                inc: 0,
+                kind: EdgeKind::ReturnExit,
+            });
             continue;
         }
         for succ in succs {
@@ -258,7 +267,12 @@ fn build_func(func: &Function) -> BlFunc {
         })
         .collect();
 
-    BlFunc { num_paths: num_paths_at[func.entry.index()], edges, entry: func.entry, header_init }
+    BlFunc {
+        num_paths: num_paths_at[func.entry.index()],
+        edges,
+        entry: func.entry,
+        header_init,
+    }
 }
 
 /// Topological order of the reachable DAG nodes starting at `entry`.
@@ -298,7 +312,11 @@ fn topo_order(n: usize, entry: BlockId, edges: &[Vec<BlEdge>]) -> Vec<BlockId> {
 ///
 /// Panics if `id >= num_paths` (corrupt log).
 pub fn decode_path(bl: &BlFunc, id: u64) -> (Vec<BlockId>, Option<BlockId>) {
-    assert!(id < bl.num_paths, "path id {id} out of range (< {})", bl.num_paths);
+    assert!(
+        id < bl.num_paths,
+        "path id {id} out of range (< {})",
+        bl.num_paths
+    );
     let mut remaining = id;
     let mut blocks: Vec<BlockId> = Vec::new();
     let mut node = bl.entry;
@@ -322,7 +340,9 @@ pub fn decode_path(bl: &BlFunc, id: u64) -> (Vec<BlockId>, Option<BlockId>) {
                 if blocks.is_empty() {
                     blocks.push(node);
                 }
-                let EdgeTarget::Block(b) = e.to else { unreachable!("real edges go to blocks") };
+                let EdgeTarget::Block(b) = e.to else {
+                    unreachable!("real edges go to blocks")
+                };
                 blocks.push(b);
                 node = b;
             }

@@ -102,8 +102,8 @@ fn decode_thread(
     let mut root: Option<ActivationPath> = None;
 
     let attach = |stack: &mut Vec<Building>,
-                      root: &mut Option<ActivationPath>,
-                      act: ActivationPath|
+                  root: &mut Option<ActivationPath>,
+                  act: ActivationPath|
      -> Result<(), DecodeError> {
         match stack.last_mut() {
             Some(parent) => {
@@ -127,7 +127,9 @@ fn decode_thread(
             TAG_ENTER => {
                 let f = read_varint(bytes, &mut pos).ok_or(DecodeError::Truncated)?;
                 if f as usize >= program.functions.len() {
-                    return Err(DecodeError::Structure(format!("function id {f} out of range")));
+                    return Err(DecodeError::Structure(format!(
+                        "function id {f} out of range"
+                    )));
                 }
                 let func = FuncId(f as u32);
                 let entry = tables.func(func).entry;
@@ -197,9 +199,9 @@ fn decode_thread(
                     .pop()
                     .ok_or_else(|| DecodeError::Structure("trunc without enter".into()))?;
                 let bl = tables.func(top.func);
-                let rel = register.checked_sub(top.seg_init).ok_or_else(|| {
-                    DecodeError::BadPath("register below segment init".into())
-                })?;
+                let rel = register
+                    .checked_sub(top.seg_init)
+                    .ok_or_else(|| DecodeError::BadPath("register below segment init".into()))?;
                 let partial = decode_truncated(bl, top.seg_start, rel, BlockId(block as u32))
                     .ok_or_else(|| {
                         DecodeError::BadPath(format!(
@@ -220,7 +222,9 @@ fn decode_thread(
         }
     }
     if !stack.is_empty() {
-        return Err(DecodeError::Structure("unfinished activations at end of log".into()));
+        return Err(DecodeError::Structure(
+            "unfinished activations at end of log".into(),
+        ));
     }
     root.ok_or_else(|| DecodeError::Structure("empty thread log".into()))
 }
@@ -291,7 +295,10 @@ mod tests {
         // Ground truth walk: entry block + every edge target.
         let mut expect = vec![p.function(p.main).entry];
         expect.extend(
-            truth.walks[0].iter().filter(|(_, b)| b.0 != u32::MAX).map(|(_, b)| *b),
+            truth.walks[0]
+                .iter()
+                .filter(|(_, b)| b.0 != u32::MAX)
+                .map(|(_, b)| *b),
         );
         assert_eq!(decoded[0].root.blocks, expect);
         assert!(decoded[0].root.completed);
@@ -357,14 +364,20 @@ mod tests {
                 bytes: vec![0x77],
             }],
         };
-        assert!(matches!(decode_log(&p, &t, &log), Err(DecodeError::BadTag(0x77))));
+        assert!(matches!(
+            decode_log(&p, &t, &log),
+            Err(DecodeError::BadTag(0x77))
+        ));
         let log = PathLog {
             threads: vec![crate::recorder::ThreadLog {
                 lineage: Lineage::main(),
                 bytes: vec![TAG_EXIT],
             }],
         };
-        assert!(matches!(decode_log(&p, &t, &log), Err(DecodeError::Structure(_))));
+        assert!(matches!(
+            decode_log(&p, &t, &log),
+            Err(DecodeError::Structure(_))
+        ));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod decode;
 pub mod recorder;
 pub mod syncorder;
 
-pub use bl::{decode_path, decode_truncated, BlEdge, BlFunc, BlTables, EdgeKind, EdgeTarget, Transition};
+pub use bl::{
+    decode_path, decode_truncated, BlEdge, BlFunc, BlTables, EdgeKind, EdgeTarget, Transition,
+};
 pub use decode::{decode_log, ActivationPath, DecodeError, ThreadPath};
 pub use recorder::{PathLog, PathRecorder, ThreadLog};
 pub use syncorder::{SapRef, SyncObject, SyncOrderLog, SyncOrderRecorder};

@@ -74,7 +74,10 @@ impl std::fmt::Debug for PathRecorder<'_> {
 impl<'t> PathRecorder<'t> {
     /// Creates a recorder over prebuilt Ball–Larus tables.
     pub fn new(tables: &'t BlTables) -> Self {
-        PathRecorder { tables, threads: Vec::new() }
+        PathRecorder {
+            tables,
+            threads: Vec::new(),
+        }
     }
 
     /// Finalizes the log, emitting `Trunc` records (innermost activation
@@ -87,7 +90,10 @@ impl<'t> PathRecorder<'t> {
                 write_varint(&mut ts.bytes, act.register);
                 write_varint(&mut ts.bytes, act.cur_block.0 as u64);
             }
-            threads.push(ThreadLog { lineage: ts.lineage, bytes: ts.bytes });
+            threads.push(ThreadLog {
+                lineage: ts.lineage,
+                bytes: ts.bytes,
+            });
         }
         PathLog { threads }
     }
@@ -99,7 +105,11 @@ impl<'t> PathRecorder<'t> {
 
 impl Monitor for PathRecorder<'_> {
     fn on_thread_start(&mut self, thread: ThreadId, lineage: &Lineage, _func: FuncId) {
-        debug_assert_eq!(thread.index(), self.threads.len(), "threads start in id order");
+        debug_assert_eq!(
+            thread.index(),
+            self.threads.len(),
+            "threads start in id order"
+        );
         self.threads.push(ThreadState {
             lineage: lineage.clone(),
             bytes: Vec::new(),
@@ -112,7 +122,11 @@ impl Monitor for PathRecorder<'_> {
         let ts = self.state(thread);
         ts.bytes.push(TAG_ENTER);
         write_varint(&mut ts.bytes, func.0 as u64);
-        ts.stack.push(Activation { func, register: 0, cur_block: entry });
+        ts.stack.push(Activation {
+            func,
+            register: 0,
+            cur_block: entry,
+        });
     }
 
     fn on_func_exit(&mut self, thread: ThreadId, func: FuncId) {
@@ -135,7 +149,11 @@ impl Monitor for PathRecorder<'_> {
         let act = ts.stack.last_mut().expect("edge inside an activation");
         debug_assert_eq!(act.func, func);
         debug_assert_eq!(act.cur_block, from);
-        match tables.func(func).transition(from, to).expect("edge classifies") {
+        match tables
+            .func(func)
+            .transition(from, to)
+            .expect("edge classifies")
+        {
             Transition::Forward { inc } => {
                 act.register += inc;
                 act.cur_block = to;
@@ -213,8 +231,10 @@ mod tests {
 
     #[test]
     fn truncated_log_on_assert_failure() {
-        let (_, _, log, o) =
-            record("global int x = 0; fn main() { x = 1; assert(x == 2, \"boom\"); x = 3; }", 0);
+        let (_, _, log, o) = record(
+            "global int x = 0; fn main() { x = 1; assert(x == 2, \"boom\"); x = 3; }",
+            0,
+        );
         assert!(o.is_failure());
         let bytes = &log.threads[0].bytes;
         assert!(bytes.contains(&TAG_TRUNC));

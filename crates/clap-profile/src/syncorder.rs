@@ -64,7 +64,7 @@ impl SyncOrderLog {
             n
         };
         let mut bytes = 0usize;
-        for (_, refs) in &self.orders {
+        for refs in self.orders.values() {
             bytes += 2 + varint_len(refs.len() as u64);
             for r in refs {
                 bytes += r.lineage.components().len() + varint_len(r.po);
@@ -104,7 +104,11 @@ impl SyncOrderRecorder {
 
     fn push(&mut self, object: SyncObject, thread: ThreadId, po: u64) {
         let lineage = self.lineages[thread.index()].clone();
-        self.log.orders.entry(object).or_default().push(SapRef { lineage, po });
+        self.log
+            .orders
+            .entry(object)
+            .or_default()
+            .push(SapRef { lineage, po });
     }
 }
 
@@ -162,7 +166,10 @@ mod tests {
         let mut rec = SyncOrderRecorder::new();
         vm.run(&mut RandomScheduler::new(3), &mut rec);
         let log = rec.finish();
-        let m = log.orders.get(&SyncObject::Mutex(0)).expect("mutex order recorded");
+        let m = log
+            .orders
+            .get(&SyncObject::Mutex(0))
+            .expect("mutex order recorded");
         assert_eq!(m.len(), 4, "two lock/unlock pairs");
         // Lock/unlock alternate between the same thread (a legal order).
         assert_eq!(m[0].lineage, m[1].lineage);

@@ -94,7 +94,11 @@ impl<'t> ReplayScheduler<'t> {
             .iter()
             .map(|&s| {
                 let sap = trace.sap(s);
-                (sap.thread, sap.po, matches!(sap.kind, SapKind::Write { .. }))
+                (
+                    sap.thread,
+                    sap.po,
+                    matches!(sap.kind, SapKind::Write { .. }),
+                )
             })
             .collect();
         ReplayScheduler {
@@ -136,7 +140,9 @@ impl Scheduler for ReplayScheduler<'_> {
         for (i, action) in actions.iter().enumerate() {
             match *action {
                 Action::Step(t) => {
-                    let Some(idx) = self.thread_idx(vm, t) else { continue };
+                    let Some(idx) = self.thread_idx(vm, t) else {
+                        continue;
+                    };
                     match vm.preview_step(t) {
                         StepPreview::Invisible | StepPreview::AssertStep => {
                             // Freely allowed; remember one as fallback.
@@ -175,7 +181,9 @@ impl Scheduler for ReplayScheduler<'_> {
                     }
                 }
                 Action::Drain(t, addr) => {
-                    let Some(idx) = self.thread_idx(vm, t) else { continue };
+                    let Some(idx) = self.thread_idx(vm, t) else {
+                        continue;
+                    };
                     if let (Some((gt, gpo, _)), Some(po)) = (gate, vm.drain_preview(t, addr)) {
                         if gt == idx && gpo == po {
                             self.pos += 1;
@@ -214,7 +222,15 @@ pub fn replay(
     schedule: &Schedule,
     expected_assert: AssertId,
 ) -> Result<ReplayReport, ReplayError> {
-    replay_under(program, model, shared, trace, schedule, expected_assert, &mut NullMonitor)
+    replay_under(
+        program,
+        model,
+        shared,
+        trace,
+        schedule,
+        expected_assert,
+        &mut NullMonitor,
+    )
 }
 
 /// Full-control replay: explicit memory model and monitor.
@@ -244,7 +260,9 @@ pub fn replay_under(
     if sched.is_stuck() {
         // The scheduler could not follow the schedule at some point; even
         // if an assert fired afterwards, the run was not the computed one.
-        return Err(ReplayError::Stuck { position: positions_consumed });
+        return Err(ReplayError::Stuck {
+            position: positions_consumed,
+        });
     }
     match &outcome {
         Outcome::AssertFailed { assert, .. } if *assert == expected_assert => Ok(ReplayReport {
@@ -416,8 +434,7 @@ mod tests {
             if let Outcome::AssertFailed { assert, .. } = outcome {
                 let failure = FailureContext::from_vm(&vm);
                 let paths = decode_log(&program, &tables, &rec.finish()).unwrap();
-                let trace =
-                    execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
+                let trace = execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
                 // Serial schedule: main prefix, all of T1, all of T2,
                 // main suffix — in per-thread po order.
                 let mut order = Vec::new();

@@ -47,9 +47,9 @@ mod tests {
         let (program, trace) = build_failure(src, model, max_seed);
         let sys = ConstraintSystem::build(&program, &trace, model);
         let outcome = solve(&program, &sys, SolverConfig::default());
-        let solution = outcome.solution().unwrap_or_else(|| {
-            panic!("solver must find a schedule: {outcome:?}")
-        });
+        let solution = outcome
+            .solution()
+            .unwrap_or_else(|| panic!("solver must find a schedule: {outcome:?}"));
         // The independent validator must accept it (solve() already did
         // this; re-check to guard the public contract).
         validate(&program, &sys, &solution.schedule).expect("schedule validates");
@@ -169,7 +169,10 @@ mod tests {
         let outcome = solve(&program, &sys, SolverConfig::default());
         let solution = outcome.solution().expect("sat");
         let cs = solution.schedule.context_switches(&trace);
-        assert!(cs <= 3, "same-thread-preferring linearization keeps cs small, got {cs}");
+        assert!(
+            cs <= 3,
+            "same-thread-preferring linearization keeps cs small, got {cs}"
+        );
     }
 
     #[test]
@@ -183,7 +186,14 @@ mod tests {
             5000,
         );
         let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
-        let outcome = solve(&program, &sys, SolverConfig { deadline: None, max_decisions: 1 });
+        let outcome = solve(
+            &program,
+            &sys,
+            SolverConfig {
+                deadline: None,
+                max_decisions: 1,
+            },
+        );
         assert!(matches!(outcome, SolveOutcome::Timeout(_)));
     }
 

@@ -19,7 +19,12 @@ pub struct OrderGraph {
 impl OrderGraph {
     /// Creates a graph over `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        OrderGraph { succ: vec![Vec::new(); n], trail: Vec::new(), stamp: 0, visited: vec![0; n] }
+        OrderGraph {
+            succ: vec![Vec::new(); n],
+            trail: Vec::new(),
+            stamp: 0,
+            visited: vec![0; n],
+        }
     }
 
     /// Number of nodes.
@@ -114,10 +119,7 @@ impl OrderGraph {
         let mut last: Option<u32> = None;
         while !ready.is_empty() {
             // Prefer a ready node the caller likes (e.g. same thread).
-            let pick = ready
-                .iter()
-                .position(|&x| prefer(x, last))
-                .unwrap_or(0);
+            let pick = ready.iter().position(|&x| prefer(x, last)).unwrap_or(0);
             let x = ready.swap_remove(pick);
             out.push(x);
             last = Some(x);
@@ -205,7 +207,7 @@ mod tests {
             // If all insertions kept the invariant, a full topological
             // order must exist.
             let order = g.linearize(|_, _| false).expect("acyclic");
-            let mut pos = vec![0; 12];
+            let mut pos = [0; 12];
             for (i, &x) in order.iter().enumerate() {
                 pos[x as usize] = i;
             }

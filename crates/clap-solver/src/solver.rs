@@ -80,7 +80,11 @@ pub struct SolverConfig {
 }
 
 /// Solves the constraint system, producing a bug-reproducing schedule.
-pub fn solve(program: &Program, system: &ConstraintSystem<'_>, config: SolverConfig) -> SolveOutcome {
+pub fn solve(
+    program: &Program,
+    system: &ConstraintSystem<'_>,
+    config: SolverConfig,
+) -> SolveOutcome {
     let mut search = Search::new(program, system, config);
     search.run()
 }
@@ -482,8 +486,7 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                     self.consumed.insert(s, true);
                     self.consumed_trail.push(s);
                 }
-                if !self.graph.add_edge(wc.release.0, s.0) || !self.graph.add_edge(s.0, wc.wait.0)
-                {
+                if !self.graph.add_edge(wc.release.0, s.0) || !self.graph.add_edge(s.0, wc.wait.0) {
                     return StepResult::Conflict;
                 }
                 StepResult::Ok
@@ -497,7 +500,9 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                     .copied()
                     .filter(|&(x, y)| !self.graph.forbids(x, y))
                     .collect();
-                let Some(&(x, y)) = live.get(cand) else { return StepResult::Conflict };
+                let Some(&(x, y)) = live.get(cand) else {
+                    return StepResult::Conflict;
+                };
                 if !self.graph.add_edge(x, y) {
                     return StepResult::Conflict;
                 }
@@ -624,7 +629,9 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
     /// UNSAT.
     fn try_current(&mut self) -> bool {
         loop {
-            let Some(top) = self.frames.last() else { return false };
+            let Some(top) = self.frames.last() else {
+                return false;
+            };
             let var = top.var;
             let cand = top.cand;
             if cand >= self.cand_count(var) {
@@ -659,7 +666,9 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
     /// Pops the top frame and advances its parent to the next candidate.
     /// Returns `false` when the root is exhausted (UNSAT).
     fn backtrack(&mut self) -> bool {
-        let Some(frame) = self.frames.pop() else { return false };
+        let Some(frame) = self.frames.pop() else {
+            return false;
+        };
         // The frame's effects were already undone when its last candidate
         // conflicted; nothing further to rewind here. The *parent* frame
         // must now move on.
@@ -691,14 +700,16 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
         let order = self
             .graph
             .linearize(|x, last| {
-                last.is_some_and(|l| {
-                    trace.sap(SapId(x)).thread == trace.sap(SapId(l)).thread
-                })
+                last.is_some_and(|l| trace.sap(SapId(x)).thread == trace.sap(SapId(l)).thread)
             })
             .expect("order graph is acyclic by construction");
         let schedule = Schedule::new(order.into_iter().map(SapId).collect(), trace);
         match validate(self.program, self.sys, &schedule) {
-            Ok(witness) => Some(Solution { schedule, witness, stats: self.stats }),
+            Ok(witness) => Some(Solution {
+                schedule,
+                witness,
+                stats: self.stats,
+            }),
             Err(_) => None,
         }
     }

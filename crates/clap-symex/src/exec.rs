@@ -69,7 +69,11 @@ impl FailureContext {
                 },
             );
         }
-        FailureContext { assert, failing, stops }
+        FailureContext {
+            assert,
+            failing,
+            stops,
+        }
     }
 }
 
@@ -194,7 +198,11 @@ impl<'a> Executor<'a> {
 
     fn push_sap(&mut self, ctx: &mut ThreadCtx<'_>, kind: SapKind) -> SapId {
         let id = SapId(self.saps.len() as u32);
-        self.saps.push(Sap { thread: ctx.idx, po: ctx.po, kind });
+        self.saps.push(Sap {
+            thread: ctx.idx,
+            po: ctx.po,
+            kind,
+        });
         self.per_thread[ctx.idx.index()].push(id);
         ctx.po += 1;
         id
@@ -234,7 +242,10 @@ impl<'a> Executor<'a> {
         };
 
         if act.blocks.first() != Some(&func.entry) {
-            return Err(self.err(format!("activation of `{}` does not start at entry", func.name)));
+            return Err(self.err(format!(
+                "activation of `{}` does not start at entry",
+                func.name
+            )));
         }
 
         let mut call_iter = act.calls.iter();
@@ -296,17 +307,27 @@ impl<'a> Executor<'a> {
                         return Err(self.err("goto does not match recorded path"));
                     }
                 }
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = self.operand(&locals, *cond);
                     let taken_then = next == *then_bb;
                     if !taken_then && next != *else_bb {
                         return Err(self.err("branch target does not match recorded path"));
                     }
-                    let constraint =
-                        if taken_then { self.arena.truthy(c) } else { self.arena.not(c) };
+                    let constraint = if taken_then {
+                        self.arena.truthy(c)
+                    } else {
+                        self.arena.not(c)
+                    };
                     // Concrete conditions fold to 1 and carry no information.
                     if self.arena.as_const(constraint) != Some(1) {
-                        self.path_conds.push(PathCond { thread: ctx.idx, expr: constraint });
+                        self.path_conds.push(PathCond {
+                            thread: ctx.idx,
+                            expr: constraint,
+                        });
                     }
                     if self.arena.as_const(constraint) == Some(0) {
                         return Err(self.err("recorded path contradicts concrete branch"));
@@ -349,7 +370,13 @@ impl<'a> Executor<'a> {
                     let var = SymVarId(self.sym_vars.len() as u32);
                     let sap = self.push_sap(
                         ctx,
-                        SapKind::Read { addr: SymAddr { global: *global, index: idx }, var },
+                        SapKind::Read {
+                            addr: SymAddr {
+                                global: *global,
+                                index: idx,
+                            },
+                            var,
+                        },
                     );
                     self.sym_vars.push(SymVarOrigin { read: sap });
                     locals[dst.index()] = self.arena.sym(var);
@@ -363,7 +390,13 @@ impl<'a> Executor<'a> {
                 if self.shared.contains(*global) {
                     self.push_sap(
                         ctx,
-                        SapKind::Write { addr: SymAddr { global: *global, index: idx }, value },
+                        SapKind::Write {
+                            addr: SymAddr {
+                                global: *global,
+                                index: idx,
+                            },
+                            value,
+                        },
                     );
                 } else {
                     self.write_nonshared(*global, idx, value)?;
@@ -397,14 +430,25 @@ impl<'a> Executor<'a> {
                 if child < 0 || child as usize >= self.per_thread.len() {
                     return Err(self.err(format!("join of unknown thread {child}")));
                 }
-                self.push_sap(ctx, SapKind::Join { child: ThreadIdx(child as u32) });
+                self.push_sap(
+                    ctx,
+                    SapKind::Join {
+                        child: ThreadIdx(child as u32),
+                    },
+                );
             }
             Instr::Wait { cond, mutex } => {
                 // A completed wait contributes both phases: the release
                 // (an unlock) and the completion (reacquire + match with a
                 // signal).
                 self.push_sap(ctx, SapKind::Unlock(*mutex));
-                self.push_sap(ctx, SapKind::Wait { cond: *cond, mutex: *mutex });
+                self.push_sap(
+                    ctx,
+                    SapKind::Wait {
+                        cond: *cond,
+                        mutex: *mutex,
+                    },
+                );
             }
             Instr::Signal(c) => {
                 self.push_sap(ctx, SapKind::Signal(*c));
@@ -421,7 +465,10 @@ impl<'a> Executor<'a> {
                 let c = self.operand(locals, *cond);
                 let constraint = self.arena.truthy(c);
                 if self.arena.as_const(constraint) != Some(1) {
-                    self.path_conds.push(PathCond { thread: ctx.idx, expr: constraint });
+                    self.path_conds.push(PathCond {
+                        thread: ctx.idx,
+                        expr: constraint,
+                    });
                 }
             }
             Instr::Call { dst, func, args } => {
@@ -448,7 +495,11 @@ impl<'a> Executor<'a> {
     /// Reads a thread-local global cell, building an ITE chain when the
     /// index is symbolic (the ordered-write-list treatment of §5, applied
     /// to the thread-local image).
-    fn read_nonshared(&mut self, global: GlobalId, idx: Option<ExprId>) -> Result<ExprId, SymexError> {
+    fn read_nonshared(
+        &mut self,
+        global: GlobalId,
+        idx: Option<ExprId>,
+    ) -> Result<ExprId, SymexError> {
         let decl = &self.program.globals[global.index()];
         let cells = decl.cells();
         let init = if decl.len.is_some() { 0 } else { decl.init };

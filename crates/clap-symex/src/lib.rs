@@ -79,8 +79,7 @@ mod tests {
                 let vm_sap_counts: Vec<u64> =
                     vm.threads().iter().map(|t| t.next_sap_index).collect();
                 let paths = decode_log(&program, &tables, &rec.finish()).unwrap();
-                let trace =
-                    execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
+                let trace = execute(&program, &sharing.shared_spec(), &paths, &failure).unwrap();
                 return (program, trace, vm_sap_counts);
             }
         }
@@ -242,7 +241,10 @@ mod tests {
                     if addr.index.is_some_and(|i| trace.arena.as_const(i).is_none()))
             })
             .count();
-        assert!(symbolic_writes >= 2, "array writes keep their symbolic index expressions");
+        assert!(
+            symbolic_writes >= 2,
+            "array writes keep their symbolic index expressions"
+        );
     }
 
     #[test]

@@ -218,10 +218,21 @@ mod tests {
 
     #[test]
     fn sap_kind_classification() {
-        let addr = SymAddr { global: GlobalId(0), index: None };
-        assert!(SapKind::Read { addr, var: SymVarId(0) }.is_memory());
+        let addr = SymAddr {
+            global: GlobalId(0),
+            index: None,
+        };
+        assert!(SapKind::Read {
+            addr,
+            var: SymVarId(0)
+        }
+        .is_memory());
         assert!(SapKind::Lock(MutexId(0)).is_sync());
-        assert!(!SapKind::Write { addr, value: ExprId(0) }.is_sync());
+        assert!(!SapKind::Write {
+            addr,
+            value: ExprId(0)
+        }
+        .is_sync());
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl Layout {
             lens.push(g.cells() as u32);
             next += g.cells() as u32;
         }
-        Layout { base, lens, total: next as usize }
+        Layout {
+            base,
+            lens,
+            total: next as usize,
+        }
     }
 
     /// Resolves a global + element offset to an address.
@@ -157,7 +161,11 @@ impl StoreBuffer {
     /// The newest buffered value for `addr`, if any (store-to-load
     /// forwarding).
     pub fn forward(&self, addr: Addr) -> Option<i64> {
-        self.entries.iter().rev().find(|s| s.addr == addr).map(|s| s.value)
+        self.entries
+            .iter()
+            .rev()
+            .find(|s| s.addr == addr)
+            .map(|s| s.value)
     }
 
     /// Addresses that may legally drain next under `model`:
@@ -236,8 +244,8 @@ mod tests {
     use clap_ir::parse;
 
     fn layout() -> (Layout, clap_ir::Program) {
-        let p = parse("global int x = 7; global int a[3]; global int y = -1; fn main() {}")
-            .unwrap();
+        let p =
+            parse("global int x = 7; global int a[3]; global int y = -1; fn main() {}").unwrap();
         (Layout::new(&p), p)
     }
 
@@ -277,8 +285,16 @@ mod tests {
     #[test]
     fn tso_buffer_is_fifo() {
         let mut b = StoreBuffer::default();
-        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
-        b.push(BufferedStore { addr: Addr(1), value: 2, po_index: 1 });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 1,
+            po_index: 0,
+        });
+        b.push(BufferedStore {
+            addr: Addr(1),
+            value: 2,
+            po_index: 1,
+        });
         assert_eq!(b.drainable(MemModel::Tso), vec![Addr(0)]);
         let s = b.drain_addr(Addr(0)).unwrap();
         assert_eq!(s.value, 1);
@@ -288,9 +304,21 @@ mod tests {
     #[test]
     fn pso_buffer_drains_addresses_independently() {
         let mut b = StoreBuffer::default();
-        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
-        b.push(BufferedStore { addr: Addr(1), value: 2, po_index: 1 });
-        b.push(BufferedStore { addr: Addr(0), value: 3, po_index: 2 });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 1,
+            po_index: 0,
+        });
+        b.push(BufferedStore {
+            addr: Addr(1),
+            value: 2,
+            po_index: 1,
+        });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 3,
+            po_index: 2,
+        });
         let d = b.drainable(MemModel::Pso);
         assert_eq!(d, vec![Addr(0), Addr(1)]);
         // Draining addr 1 before addr 0 is the PSO reordering.
@@ -303,8 +331,16 @@ mod tests {
     #[test]
     fn forwarding_returns_newest_store() {
         let mut b = StoreBuffer::default();
-        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
-        b.push(BufferedStore { addr: Addr(0), value: 9, po_index: 1 });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 1,
+            po_index: 0,
+        });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 9,
+            po_index: 1,
+        });
         assert_eq!(b.forward(Addr(0)), Some(9));
         assert_eq!(b.forward(Addr(1)), None);
     }
@@ -312,17 +348,32 @@ mod tests {
     #[test]
     fn flush_preserves_fifo_order() {
         let mut b = StoreBuffer::default();
-        b.push(BufferedStore { addr: Addr(1), value: 1, po_index: 0 });
-        b.push(BufferedStore { addr: Addr(0), value: 2, po_index: 1 });
+        b.push(BufferedStore {
+            addr: Addr(1),
+            value: 1,
+            po_index: 0,
+        });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 2,
+            po_index: 1,
+        });
         let flushed = b.flush();
-        assert_eq!(flushed.iter().map(|s| s.value).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            flushed.iter().map(|s| s.value).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert!(b.is_empty());
     }
 
     #[test]
     fn sc_has_no_drainable() {
         let mut b = StoreBuffer::default();
-        b.push(BufferedStore { addr: Addr(0), value: 1, po_index: 0 });
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 1,
+            po_index: 0,
+        });
         assert!(b.drainable(MemModel::Sc).is_empty());
         assert!(!MemModel::Sc.buffered());
         assert!(MemModel::Pso.buffered());

@@ -92,7 +92,9 @@ pub struct MultiMonitor<'a> {
 impl<'a> MultiMonitor<'a> {
     /// Creates an empty fan-out monitor.
     pub fn new() -> Self {
-        MultiMonitor { monitors: Vec::new() }
+        MultiMonitor {
+            monitors: Vec::new(),
+        }
     }
 
     /// Adds a monitor to the fan-out chain.
@@ -224,7 +226,13 @@ mod tests {
             value: 3,
         };
         c.on_access(ThreadId(0), &ev);
-        c.on_access(ThreadId(0), &AccessEvent { is_write: true, ..ev });
+        c.on_access(
+            ThreadId(0),
+            &AccessEvent {
+                is_write: true,
+                ..ev
+            },
+        );
         assert_eq!(c.accesses, 2);
         assert_eq!(c.reads, 1);
     }

@@ -64,8 +64,15 @@ impl RandomScheduler {
     ///
     /// Panics if `stickiness` is not in `[0, 1]`.
     pub fn with_stickiness(seed: u64, stickiness: f64) -> Self {
-        assert!((0.0..=1.0).contains(&stickiness), "stickiness must be in [0, 1]");
-        RandomScheduler { rng: StdRng::seed_from_u64(seed), stickiness, last: None }
+        assert!(
+            (0.0..=1.0).contains(&stickiness),
+            "stickiness must be in [0, 1]"
+        );
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            stickiness,
+            last: None,
+        }
     }
 }
 
@@ -74,7 +81,9 @@ impl Scheduler for RandomScheduler {
         debug_assert!(!actions.is_empty());
         if let Some(last) = self.last {
             if self.rng.gen_bool(self.stickiness) {
-                if let Some(i) = actions.iter().position(|a| matches!(a, Action::Step(t) if *t == last))
+                if let Some(i) = actions
+                    .iter()
+                    .position(|a| matches!(a, Action::Step(t) if *t == last))
                 {
                     return i;
                 }

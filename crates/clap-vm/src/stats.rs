@@ -36,8 +36,22 @@ mod tests {
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = ExecStats { instructions: 1, branches: 2, saps: 3, threads: 1, steps: 4, drains: 0 };
-        let b = ExecStats { instructions: 10, branches: 20, saps: 30, threads: 2, steps: 40, drains: 5 };
+        let mut a = ExecStats {
+            instructions: 1,
+            branches: 2,
+            saps: 3,
+            threads: 1,
+            steps: 4,
+            drains: 0,
+        };
+        let b = ExecStats {
+            instructions: 10,
+            branches: 20,
+            saps: 30,
+            threads: 2,
+            steps: 40,
+            drains: 5,
+        };
         a.accumulate(&b);
         assert_eq!(a.instructions, 11);
         assert_eq!(a.branches, 22);

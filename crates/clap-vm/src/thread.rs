@@ -86,7 +86,13 @@ impl Frame {
     pub fn new(func: FuncId, entry: BlockId, locals_len: usize, args: &[i64]) -> Self {
         let mut locals = vec![0i64; locals_len];
         locals[..args.len()].copy_from_slice(args);
-        Frame { func, locals, block: entry, ip: 0, ret_dst: None }
+        Frame {
+            func,
+            locals,
+            block: entry,
+            ip: 0,
+            ret_dst: None,
+        }
     }
 }
 

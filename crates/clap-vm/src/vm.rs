@@ -14,8 +14,8 @@ use crate::sched::{Action, Scheduler};
 use crate::stats::ExecStats;
 use crate::thread::{Frame, Lineage, Status, Thread, ThreadId};
 use clap_ir::{
-    AssertId, CondId, FuncId, GlobalId, Instr, MutexId, Operand, Program, Rvalue, Terminator,
-    eval_binop, eval_unop,
+    eval_binop, eval_unop, AssertId, CondId, FuncId, GlobalId, Instr, MutexId, Operand, Program,
+    Rvalue, Terminator,
 };
 use std::collections::{HashSet, VecDeque};
 
@@ -188,8 +188,10 @@ impl<'p> Vm<'p> {
         let main_fn = program.function(program.main);
         let frame = Frame::new(program.main, main_fn.entry, main_fn.locals.len(), &[]);
         let main = Thread::new(ThreadId::MAIN, Lineage::main(), frame);
-        let mut stats = ExecStats::default();
-        stats.threads = 1;
+        let stats = ExecStats {
+            threads: 1,
+            ..ExecStats::default()
+        };
         Vm {
             program,
             layout,
@@ -260,7 +262,10 @@ impl<'p> Vm<'p> {
     ///
     /// Panics if the global/offset is out of range.
     pub fn read_global(&self, global: GlobalId, offset: usize) -> i64 {
-        let addr = self.layout.addr(global, offset as i64).expect("global offset in range");
+        let addr = self
+            .layout
+            .addr(global, offset as i64)
+            .expect("global offset in range");
         self.memory.read(addr)
     }
 
@@ -283,7 +288,10 @@ impl<'p> Vm<'p> {
     /// The per-thread SAP index of the oldest buffered store to `addr` by
     /// thread `t`, if one exists (what a [`Action::Drain`] would commit).
     pub fn drain_preview(&self, t: ThreadId, addr: Addr) -> Option<u64> {
-        self.buffers[t.index()].iter().find(|s| s.addr == addr).map(|s| s.po_index)
+        self.buffers[t.index()]
+            .iter()
+            .find(|s| s.addr == addr)
+            .map(|s| s.po_index)
     }
 
     /// Number of stores sitting in thread `t`'s store buffer.
@@ -318,9 +326,10 @@ impl<'p> Vm<'p> {
                 }
                 let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
                 match self.layout.addr(*global, offset) {
-                    Some(addr) => {
-                        StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Read(addr) }
-                    }
+                    Some(addr) => StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::Read(addr),
+                    },
                     None => StepPreview::Invisible, // will fault on execution
                 }
             }
@@ -333,23 +342,31 @@ impl<'p> Vm<'p> {
                 }
                 let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
                 match self.layout.addr(*global, offset) {
-                    Some(addr) => {
-                        StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Write(addr) }
-                    }
+                    Some(addr) => StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::Write(addr),
+                    },
                     None => StepPreview::Invisible,
                 }
             }
             Instr::Lock(m) => {
                 if self.mutex_owner[m.index()].is_none() {
-                    StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Lock(*m) }
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::Lock(*m),
+                    }
                 } else {
                     StepPreview::WouldBlock
                 }
             }
-            Instr::Unlock(m) => {
-                StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Unlock(*m) }
-            }
-            Instr::Fork { .. } => StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Fork },
+            Instr::Unlock(m) => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::Unlock(*m),
+            },
+            Instr::Fork { .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::Fork,
+            },
             Instr::Join { handle } => {
                 let target = operand(frame, *handle);
                 let exited = self
@@ -358,7 +375,10 @@ impl<'p> Vm<'p> {
                     .map(|th| th.status == Status::Exited)
                     .unwrap_or(true); // invalid handle faults at execution
                 if exited {
-                    StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Join }
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::Join,
+                    }
                 } else {
                     StepPreview::WouldBlock
                 }
@@ -366,19 +386,29 @@ impl<'p> Vm<'p> {
             Instr::Wait { cond, mutex } => {
                 if let Some(m) = thread.waiting_reacquire {
                     if self.mutex_owner[m.index()].is_none() {
-                        StepPreview::Sap { po_index: sap, kind: SapPreviewKind::WaitAcquire(*cond) }
+                        StepPreview::Sap {
+                            po_index: sap,
+                            kind: SapPreviewKind::WaitAcquire(*cond),
+                        }
                     } else {
                         StepPreview::WouldBlock
                     }
                 } else {
                     let _ = mutex;
-                    StepPreview::Sap { po_index: sap, kind: SapPreviewKind::WaitRelease(*cond) }
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::WaitRelease(*cond),
+                    }
                 }
             }
-            Instr::Signal(c) => StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Signal(*c) },
-            Instr::Broadcast(c) => {
-                StepPreview::Sap { po_index: sap, kind: SapPreviewKind::Broadcast(*c) }
-            }
+            Instr::Signal(c) => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::Signal(*c),
+            },
+            Instr::Broadcast(c) => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::Broadcast(*c),
+            },
         }
     }
 
@@ -397,7 +427,11 @@ impl<'p> Vm<'p> {
             let actions = self.enabled_actions();
             if actions.is_empty() {
                 let all_exited = self.threads.iter().all(|t| t.status == Status::Exited);
-                let outcome = if all_exited { Outcome::Completed } else { Outcome::Deadlock };
+                let outcome = if all_exited {
+                    Outcome::Completed
+                } else {
+                    Outcome::Deadlock
+                };
                 self.outcome = Some(outcome.clone());
                 return outcome;
             }
@@ -455,6 +489,40 @@ impl<'p> Vm<'p> {
         self.outcome = None;
     }
 
+    /// Like [`Vm::restore`], but consumes the snapshot and moves its
+    /// state into place instead of cloning every field — the cheap path
+    /// when the snapshot is not needed again (a one-shot hand-off such as
+    /// `vm.restore_from(other.snapshot())`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's shapes do not match the program (a
+    /// snapshot from a different program).
+    pub fn restore_from(&mut self, snapshot: Snapshot) {
+        assert_eq!(
+            snapshot.mutex_owner.len(),
+            self.program.mutexes.len(),
+            "snapshot is from a different program"
+        );
+        let Snapshot {
+            memory,
+            threads,
+            buffers,
+            mutex_owner,
+            cond_queue,
+            stats,
+            announced_main,
+        } = snapshot;
+        self.memory = memory;
+        self.threads = threads;
+        self.buffers = buffers;
+        self.mutex_owner = mutex_owner;
+        self.cond_queue = cond_queue;
+        self.stats = stats;
+        self.announced_main = announced_main;
+        self.outcome = None;
+    }
+
     /// Performs one action directly — caller-driven execution for tools
     /// that need to interleave their own logic between steps (tracers,
     /// debuggers). [`Vm::run`] is the everyday loop.
@@ -467,7 +535,9 @@ impl<'p> Vm<'p> {
 
     fn drain(&mut self, t: ThreadId, addr: Addr, monitor: &mut dyn Monitor) {
         self.stats.steps += 1;
-        debug_assert!(self.buffers[t.index()].drainable(self.model).contains(&addr));
+        debug_assert!(self.buffers[t.index()]
+            .drainable(self.model)
+            .contains(&addr));
         if let Some(store) = self.buffers[t.index()].drain_addr(addr) {
             self.memory.write(store.addr, store.value);
             self.stats.drains += 1;
@@ -484,7 +554,10 @@ impl<'p> Vm<'p> {
     }
 
     fn fault(&mut self, t: ThreadId, message: impl Into<String>) {
-        self.outcome = Some(Outcome::Fault { thread: t, message: message.into() });
+        self.outcome = Some(Outcome::Fault {
+            thread: t,
+            message: message.into(),
+        });
     }
 
     fn take_sap(&mut self, t: ThreadId) -> u64 {
@@ -541,7 +614,9 @@ impl<'p> Vm<'p> {
                 };
                 let shared = self.shared.contains(*global);
                 let value = if shared && self.model.buffered() {
-                    self.buffers[t.index()].forward(addr).unwrap_or_else(|| self.memory.read(addr))
+                    self.buffers[t.index()]
+                        .forward(addr)
+                        .unwrap_or_else(|| self.memory.read(addr))
                 } else {
                     self.memory.read(addr)
                 };
@@ -578,7 +653,11 @@ impl<'p> Vm<'p> {
                 if shared {
                     let po_index = self.take_sap(t);
                     if self.model.buffered() {
-                        self.buffers[t.index()].push(BufferedStore { addr, value, po_index });
+                        self.buffers[t.index()].push(BufferedStore {
+                            addr,
+                            value,
+                            po_index,
+                        });
                     } else {
                         self.memory.write(addr, value);
                         monitor.on_commit(t, addr, value);
@@ -623,7 +702,11 @@ impl<'p> Vm<'p> {
                 self.take_sap(t);
                 monitor.on_sync(t, &SyncEvent::Unlock(*m));
             }
-            Instr::Fork { dst, func: callee, args } => {
+            Instr::Fork {
+                dst,
+                func: callee,
+                args,
+            } => {
                 let frame = self.threads[t.index()].frame();
                 let argv: Vec<i64> = args.iter().map(|a| operand(frame, *a)).collect();
                 self.flush_buffer(t, monitor);
@@ -634,7 +717,8 @@ impl<'p> Vm<'p> {
                 let callee_fn = program.function(*callee);
                 let child_frame =
                     Frame::new(*callee, callee_fn.entry, callee_fn.locals.len(), &argv);
-                self.threads.push(Thread::new(child, lineage.clone(), child_frame));
+                self.threads
+                    .push(Thread::new(child, lineage.clone(), child_frame));
                 self.buffers.push(StoreBuffer::default());
                 self.stats.threads += 1;
                 let frame = self.threads[t.index()].frame_mut();
@@ -727,10 +811,17 @@ impl<'p> Vm<'p> {
                 if passed {
                     self.threads[t.index()].frame_mut().ip += 1;
                 } else {
-                    self.outcome = Some(Outcome::AssertFailed { assert: *id, thread: t });
+                    self.outcome = Some(Outcome::AssertFailed {
+                        assert: *id,
+                        thread: t,
+                    });
                 }
             }
-            Instr::Call { dst, func: callee, args } => {
+            Instr::Call {
+                dst,
+                func: callee,
+                args,
+            } => {
                 let frame = self.threads[t.index()].frame();
                 let argv: Vec<i64> = args.iter().map(|a| operand(frame, *a)).collect();
                 let callee_fn = program.function(*callee);
@@ -759,9 +850,17 @@ impl<'p> Vm<'p> {
                 frame.ip = 0;
                 monitor.on_edge(t, func_id, block_id, target);
             }
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let frame = self.threads[t.index()].frame_mut();
-                let taken = if operand(frame, cond) != 0 { then_bb } else { else_bb };
+                let taken = if operand(frame, cond) != 0 {
+                    then_bb
+                } else {
+                    else_bb
+                };
                 frame.block = taken;
                 frame.ip = 0;
                 self.stats.branches += 1;
@@ -851,7 +950,7 @@ mod tests {
             1,
         );
         assert_eq!(o, Outcome::Completed);
-        assert_eq!(g[0], 0 + 2 + 4 + 6 + 8);
+        assert_eq!(g[0], 2 + 4 + 6 + 8);
     }
 
     #[test]
@@ -917,16 +1016,18 @@ mod tests {
         let p = parse("fn main() { assert(1 == 2, \"always\"); }").unwrap();
         let mut vm = Vm::new(&p, MemModel::Sc);
         let o = vm.run(&mut FifoScheduler, &mut NullMonitor);
-        assert_eq!(o, Outcome::AssertFailed { assert: AssertId(0), thread: ThreadId::MAIN });
+        assert_eq!(
+            o,
+            Outcome::AssertFailed {
+                assert: AssertId(0),
+                thread: ThreadId::MAIN
+            }
+        );
     }
 
     #[test]
     fn deadlock_detected() {
-        let (o, _) = run(
-            "mutex m; fn main() { lock(m); lock(m); }",
-            MemModel::Sc,
-            0,
-        );
+        let (o, _) = run("mutex m; fn main() { lock(m); lock(m); }", MemModel::Sc, 0);
         assert_eq!(o, Outcome::Deadlock);
     }
 
@@ -1105,7 +1206,7 @@ mod tests {
         assert_eq!(mon.threads, 2);
         assert_eq!(mon.accesses, 2); // one load + one store of x
         assert_eq!(mon.syncs, 4); // lock, unlock, fork, join
-        // SAPs = shared accesses + syncs
+                                  // SAPs = shared accesses + syncs
         assert_eq!(vm.stats().saps, mon.accesses + mon.syncs);
     }
 
@@ -1133,12 +1234,15 @@ mod tests {
 
     #[test]
     fn preview_matches_execution() {
-        let p = parse("global int x = 0; mutex m; fn main() { lock(m); x = 1; unlock(m); }")
-            .unwrap();
+        let p =
+            parse("global int x = 0; mutex m; fn main() { lock(m); x = 1; unlock(m); }").unwrap();
         let mut vm = Vm::new(&p, MemModel::Tso);
         assert!(matches!(
             vm.preview_step(ThreadId::MAIN),
-            StepPreview::Sap { po_index: 0, kind: SapPreviewKind::Lock(_) }
+            StepPreview::Sap {
+                po_index: 0,
+                kind: SapPreviewKind::Lock(_)
+            }
         ));
         let mut sched = FifoScheduler;
         // Execute lock.
@@ -1186,13 +1290,17 @@ mod tests {
         let finish = |vm: &mut Vm<'_>| {
             let mut sched = RandomScheduler::new(99);
             let outcome = vm.run(&mut sched, &mut NullMonitor);
-            (outcome, vm.read_global(p.global_by_name("x").unwrap(), 0), vm.stats().steps)
+            (
+                outcome,
+                vm.read_global(p.global_by_name("x").unwrap(), 0),
+                vm.stats().steps,
+            )
         };
         let mut vm_a = Vm::new(&p, MemModel::Tso);
         vm_a.restore(&snapshot);
         let a = finish(&mut vm_a);
         let mut vm_b = Vm::new(&p, MemModel::Tso);
-        vm_b.restore(&snapshot);
+        vm_b.restore_from(snapshot); // last use: the by-value hand-off
         let b = finish(&mut vm_b);
         assert_eq!(a, b, "restored runs are deterministic given the seed");
         assert_eq!(a.0, Outcome::Completed);

@@ -155,21 +155,72 @@ pub fn by_name(name: &str) -> Option<Workload> {
 /// measurable (the paper measures full production runs, not the tiny
 /// failure-triggering ones).
 pub fn table2_suite() -> Vec<Workload> {
-    let heavy = |name: &'static str, subject: &'static str, source: String, model: MemModel| {
-        Workload { name, paper_subject: subject, source, model, seed_budget: 1, stickiness: DEFAULT_STICKINESS }
-    };
+    let heavy =
+        |name: &'static str, subject: &'static str, source: String, model: MemModel| Workload {
+            name,
+            paper_subject: subject,
+            source,
+            model,
+            seed_budget: 1,
+            stickiness: DEFAULT_STICKINESS,
+        };
     vec![
-        heavy("sim_race", "sim_race scaled", programs::sim_race_heavy(400), MemModel::Sc),
-        heavy("pbzip2", "pbzip2 scaled", programs::pbzip2(200), MemModel::Sc),
+        heavy(
+            "sim_race",
+            "sim_race scaled",
+            programs::sim_race_heavy(400),
+            MemModel::Sc,
+        ),
+        heavy(
+            "pbzip2",
+            "pbzip2 scaled",
+            programs::pbzip2(200),
+            MemModel::Sc,
+        ),
         heavy("aget", "aget scaled", programs::aget(500), MemModel::Sc),
-        heavy("bbuf", "bounded buffer scaled (correct)", programs::bbuf_heavy(300), MemModel::Sc),
+        heavy(
+            "bbuf",
+            "bounded buffer scaled (correct)",
+            programs::bbuf_heavy(300),
+            MemModel::Sc,
+        ),
         heavy("swarm", "swarm scaled", programs::swarm(32), MemModel::Sc),
-        heavy("pfscan", "pfscan scaled", programs::pfscan(1000), MemModel::Sc),
-        heavy("apache", "apache scaled", programs::apache(300, 2), MemModel::Sc),
-        heavy("racey", "racey scaled", programs::racey_heavy(1500), MemModel::Sc),
-        heavy("bakery", "bakery scaled", programs::bakery(4), MemModel::Pso),
-        heavy("dekker", "dekker scaled", programs::dekker(150), MemModel::Tso),
-        heavy("peterson", "peterson scaled", programs::peterson(150), MemModel::Tso),
+        heavy(
+            "pfscan",
+            "pfscan scaled",
+            programs::pfscan(1000),
+            MemModel::Sc,
+        ),
+        heavy(
+            "apache",
+            "apache scaled",
+            programs::apache(300, 2),
+            MemModel::Sc,
+        ),
+        heavy(
+            "racey",
+            "racey scaled",
+            programs::racey_heavy(1500),
+            MemModel::Sc,
+        ),
+        heavy(
+            "bakery",
+            "bakery scaled",
+            programs::bakery(4),
+            MemModel::Pso,
+        ),
+        heavy(
+            "dekker",
+            "dekker scaled",
+            programs::dekker(150),
+            MemModel::Tso,
+        ),
+        heavy(
+            "peterson",
+            "peterson scaled",
+            programs::peterson(150),
+            MemModel::Tso,
+        ),
     ]
 }
 
@@ -201,7 +252,9 @@ fn baked_racey(iters: u32) -> String {
     let sig_global = reference.global_by_name("sig").expect("sig exists");
     let mut s: i64 = 0;
     for i in 0..8 {
-        s = s.wrapping_mul(17).wrapping_add(vm.read_global(sig_global, i));
+        s = s
+            .wrapping_mul(17)
+            .wrapping_add(vm.read_global(sig_global, i));
     }
     programs::racey(iters, s)
 }
@@ -311,7 +364,11 @@ mod tests {
                 );
             }
             // …broken under its relaxed model.
-            assert!(find_failure(&w).is_some(), "{name} must fail under {:?}", w.model);
+            assert!(
+                find_failure(&w).is_some(),
+                "{name} must fail under {:?}",
+                w.model
+            );
         }
     }
 
@@ -360,6 +417,9 @@ mod tests {
     #[test]
     fn figure2_fails_under_pso() {
         let w = figure2();
-        assert!(find_failure(&w).is_some(), "figure2 has a reproducible failure");
+        assert!(
+            find_failure(&w).is_some(),
+            "figure2 has a reproducible failure"
+        );
     }
 }

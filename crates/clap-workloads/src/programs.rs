@@ -257,16 +257,18 @@ pub fn pfscan(items: u32) -> String {
 /// apache — bug #45605's multi-variable atomicity violation between
 /// listeners and workers on the shared queue bookkeeping.
 pub fn apache(items_per_listener: u32, workers: u32) -> String {
-    assert!(workers >= 2 && workers <= 3, "model supports 2-3 workers");
+    assert!((2..=3).contains(&workers), "model supports 2-3 workers");
     let per_worker = (2 * items_per_listener) / workers;
     let w3 = if workers == 3 {
-        format!(
-            "let w3: thread = fork worker({per_worker});\n        "
-        )
+        format!("let w3: thread = fork worker({per_worker});\n        ")
     } else {
         String::new()
     };
-    let j3 = if workers == 3 { "join w3;\n        " } else { "" };
+    let j3 = if workers == 3 {
+        "join w3;\n        "
+    } else {
+        ""
+    };
     format!(
         r#"
     global int queue_len = 0;
@@ -485,7 +487,9 @@ pub fn bakery(workers: u32) -> String {
     let forks: String = (0..workers)
         .map(|i| format!("let w{i}: thread = fork worker({i});\n        "))
         .collect();
-    let joins: String = (0..workers).map(|i| format!("join w{i};\n        ")).collect();
+    let joins: String = (0..workers)
+        .map(|i| format!("join w{i};\n        "))
+        .collect();
     format!(
         r#"
     global int choosing[{workers}];

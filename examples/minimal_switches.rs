@@ -40,7 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let par = solve_parallel(pipeline.program(), &system, ParallelConfig::default());
-    let ParallelOutcome::Found { schedule, cs, stats, .. } = par else {
+    let ParallelOutcome::Found {
+        schedule,
+        cs,
+        stats,
+        ..
+    } = par
+    else {
         panic!("parallel engine finds a schedule: {par:?}")
     };
     println!(

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.solver = SolverChoice::Parallel(ParallelConfig::default());
 
     let report = pipeline.reproduce(&config)?;
-    println!("reproduced: {} with {} preemptive context switches", report.reproduced, report.context_switches);
+    println!(
+        "reproduced: {} with {} preemptive context switches",
+        report.reproduced, report.context_switches
+    );
     println!(
         "trace: {} threads, {} SAPs; constraints: {} clauses / {} variables",
         report.threads,

@@ -46,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.constraints.total_clauses(),
         report.constraints.total_vars()
     );
-    println!("path log:       {} bytes (no shared-memory dependencies recorded!)", report.log_bytes);
-    println!("context switches in the computed schedule: {}", report.context_switches);
+    println!(
+        "path log:       {} bytes (no shared-memory dependencies recorded!)",
+        report.log_bytes
+    );
+    println!(
+        "context switches in the computed schedule: {}",
+        report.context_switches
+    );
     println!();
     println!("The witness values explain the failure: the two deposits read");
     println!("the same initial balance, so the later write overwrote the");

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`] and [`black_box`] — measuring wall-clock time and
+//! printing one `group/function/param: mean ± spread` line per benchmark.
+//! No statistical machinery, no HTML reports; the numbers are honest
+//! means over `sample_size` timed runs after one warm-up run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up call then `sample_size` timed
+    /// calls.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// The top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (the first non-flag argument is a
+    /// substring filter; flags are accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let id = id.into_id();
+        run_one(self, None, &id, 10, f);
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_id();
+        run_one(self.criterion, Some(&self.name), &id, self.sample_size, f);
+        self
+    }
+
+    /// Times one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into_id();
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{full:<60} (no measurement — routine never called iter)");
+        return;
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{full:<60} {:>12} /iter   [{} .. {}]  ({} samples)",
+        fmt(mean),
+        fmt(min),
+        fmt(max),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_renders_function_and_parameter() {
+        assert_eq!(
+            BenchmarkId::new("solve", "dekker").into_id(),
+            "solve/dekker"
+        );
+        assert_eq!(BenchmarkId::from_parameter(4).into_id(), "4");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // One warm-up + five timed runs.
+        assert_eq!(calls, 6);
+    }
+}

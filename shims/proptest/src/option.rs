@@ -1,0 +1,26 @@
+//! Strategies for `Option` values.
+
+use crate::{Strategy, TestRng};
+
+/// The strategy returned by [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(2) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+/// `Option<S::Value>` values: `None` half the time, `Some` of an
+/// `element` draw otherwise.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { inner: element }
+}

@@ -1,0 +1,202 @@
+//! A regex-subset string sampler: the engine behind `&str` strategies.
+//!
+//! Supports the pattern forms the workspace's tests use — `.`, character
+//! classes with ranges and escapes (`[a-z]`, `[ \t\n]`), literal
+//! characters, and the repeaters `*`, `+`, `{m}`, `{m,n}`. Unbounded
+//! repeaters draw lengths in `0..=16`.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Unit {
+    /// `.` — any char except newline; occasionally samples beyond ASCII
+    /// to keep fuzzing interesting.
+    AnyChar,
+    /// `[...]` — one of an explicit set of chars.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    unit: Unit,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '.' => {
+                i += 1;
+                Unit::AnyChar
+            }
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "dangling escape in pattern `{pattern}`"
+                );
+                i += 2;
+                Unit::Literal(unescape(chars[i - 1]))
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        assert!(i < chars.len(), "dangling escape in class of `{pattern}`");
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "inverted class range in `{pattern}`");
+                        for v in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                i += 1;
+                Unit::Class(set)
+            }
+            literal => {
+                i += 1;
+                Unit::Literal(literal)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repeat in `{pattern}`"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repeat bounds in `{pattern}`");
+        atoms.push(Atom { unit, min, max });
+    }
+    atoms
+}
+
+fn sample_any_char(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII; a tail of arbitrary scalars keeps parser
+    // fuzzing honest. Never a newline (regex `.` semantics).
+    if rng.below(10) < 9 {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('?')
+    } else {
+        loop {
+            let v = (rng.next_u64() % 0x11_0000) as u32;
+            match char::from_u32(v) {
+                Some('\n') | None => continue,
+                Some(c) => return c,
+            }
+        }
+    }
+}
+
+/// Draws one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = if atom.min == atom.max {
+            atom.min
+        } else {
+            atom.min + rng.below(atom.max - atom.min + 1)
+        };
+        for _ in 0..count {
+            match &atom.unit {
+                Unit::AnyChar => out.push(sample_any_char(rng)),
+                Unit::Class(set) => out.push(set[rng.below(set.len())]),
+                Unit::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use crate::TestRng;
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..100 {
+            let s = sample_pattern("[a-z]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_class_and_star() {
+        let mut rng = TestRng::for_test("ws");
+        let mut nonempty = false;
+        for _ in 0..100 {
+            let s = sample_pattern("[ \\t\\n]{0,3}", &mut rng);
+            assert!(s.chars().count() <= 3);
+            assert!(
+                s.chars().all(|c| c == ' ' || c == '\t' || c == '\n'),
+                "{s:?}"
+            );
+            nonempty |= !s.is_empty();
+            let t = sample_pattern(".*", &mut rng);
+            assert!(!t.contains('\n'));
+        }
+        assert!(nonempty);
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+        assert_eq!(sample_pattern("a{3}", &mut rng), "aaa");
+    }
+}

@@ -1,0 +1,113 @@
+//! The record-phase exploration engine: a parallel sweep must be
+//! indistinguishable from the sequential one (same selected artifact,
+//! byte for byte), and the early stop must neither hang nor change the
+//! selection even when failures are abundant.
+
+use clap_core::{Pipeline, PipelineConfig, RecordedFailure};
+use clap_vm::MemModel;
+use std::time::{Duration, Instant};
+
+const LOST_UPDATE: &str = "global int x = 0;
+     fn w() { let v: int = x; yield; x = v + 1; }
+     fn main() { let a: thread = fork w(); let b: thread = fork w();
+                 join a; join b; assert(x == 2, \"lost\"); }";
+
+/// Records with 1 worker and with `workers`, expecting both to succeed.
+fn record_pair(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    workers: usize,
+) -> (RecordedFailure, RecordedFailure) {
+    let sequential = pipeline
+        .record_failure(&config.clone().with_explore_workers(1))
+        .expect("sequential sweep finds the failure");
+    let parallel = pipeline
+        .record_failure(&config.clone().with_explore_workers(workers))
+        .expect("parallel sweep finds the failure");
+    (sequential, parallel)
+}
+
+fn assert_identical(sequential: &RecordedFailure, parallel: &RecordedFailure) {
+    assert_eq!(sequential.seed, parallel.seed, "same selected seed");
+    assert_eq!(
+        sequential.stickiness, parallel.stickiness,
+        "same stickiness level"
+    );
+    assert_eq!(sequential.stats.saps, parallel.stats.saps, "same SAP count");
+    assert_eq!(sequential.log, parallel.log, "byte-identical path logs");
+    assert_eq!(sequential.assert, parallel.assert, "same assert site");
+}
+
+#[test]
+fn parallel_exploration_matches_sequential_sc() {
+    let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+    let config = PipelineConfig::new(MemModel::Sc);
+    let (sequential, parallel) = record_pair(&pipeline, &config, 4);
+    assert_identical(&sequential, &parallel);
+}
+
+#[test]
+fn parallel_exploration_matches_sequential_tso() {
+    // A store-buffering workload: the failing interleavings involve drain
+    // actions, a different action mix than the SC test exercises.
+    let workload = clap_workloads::by_name("dekker").expect("dekker exists");
+    assert_eq!(workload.model, MemModel::Tso);
+    let pipeline = Pipeline::new(workload.program());
+    let mut config = PipelineConfig::new(workload.model);
+    config.stickiness = workload.stickiness.to_vec();
+    config.seed_budget = workload.seed_budget;
+    let (sequential, parallel) = record_pair(&pipeline, &config, 4);
+    assert_identical(&sequential, &parallel);
+}
+
+#[test]
+fn full_reproduce_is_worker_count_invariant() {
+    // The end-to-end acceptance shape: identical ReproductionReports at
+    // workers=1 and workers=4.
+    let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+    let config = PipelineConfig::new(MemModel::Sc);
+    let one = pipeline
+        .reproduce(&config.clone().with_explore_workers(1))
+        .expect("reproduce at 1 worker");
+    let four = pipeline
+        .reproduce(&config.clone().with_explore_workers(4))
+        .expect("reproduce at 4 workers");
+    assert!(one.reproduced && four.reproduced);
+    assert_eq!(one.seed, four.seed);
+    assert_eq!(one.saps, four.saps);
+    assert_eq!(one.log_bytes, four.log_bytes);
+    assert_eq!(one.schedule.order, four.schedule.order);
+}
+
+#[test]
+fn early_stop_terminates_abundant_failure_sweep() {
+    // Every interleaving of this program fails, so without the early stop
+    // a million-seed budget would grind through every seed — and a
+    // cancellation bug would strand workers forever. The sweep must
+    // return promptly and still pick the same candidate as a sequential
+    // sweep (which stops at the same 25-failure cutoff).
+    let pipeline = Pipeline::from_source(
+        "global int x = 0;
+         fn w() { x = 1; }
+         fn main() { let a: thread = fork w(); join a; assert(x == 2, \"always\"); }",
+    )
+    .unwrap();
+    let mut config = PipelineConfig::new(MemModel::Sc);
+    config.seed_budget = 1_000_000;
+
+    let t0 = Instant::now();
+    let parallel = pipeline
+        .record_failure(&config.clone().with_explore_workers(4))
+        .expect("failure is everywhere");
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "early stop must fire long before the {}-seed budget ({elapsed:?})",
+        config.seed_budget
+    );
+
+    let sequential = pipeline
+        .record_failure(&config.clone().with_explore_workers(1))
+        .expect("failure is everywhere");
+    assert_identical(&sequential, &parallel);
+}

@@ -67,9 +67,18 @@ fn store_buffering_matrix() {
 
 #[test]
 fn message_passing_matrix() {
-    assert!(!fails_somewhere(MP, MemModel::Sc, 400), "SC forbids MP reorder");
-    assert!(!fails_somewhere(MP, MemModel::Tso, 400), "TSO keeps store order");
-    assert!(fails_somewhere(MP, MemModel::Pso, 4000), "PSO reorders the stores");
+    assert!(
+        !fails_somewhere(MP, MemModel::Sc, 400),
+        "SC forbids MP reorder"
+    );
+    assert!(
+        !fails_somewhere(MP, MemModel::Tso, 400),
+        "TSO keeps store order"
+    );
+    assert!(
+        fails_somewhere(MP, MemModel::Pso, 4000),
+        "PSO reorders the stores"
+    );
 }
 
 #[test]
@@ -120,20 +129,33 @@ fn iriw_and_load_buffering_forbidden_on_store_buffer_machines() {
     // and LB's out-of-thin-air-ish cycle are impossible under every model
     // we implement.
     for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
-        assert!(!fails_somewhere(IRIW, model, 400), "IRIW forbidden under {model}");
-        assert!(!fails_somewhere(LB, model, 400), "LB forbidden under {model}");
+        assert!(
+            !fails_somewhere(IRIW, model, 400),
+            "IRIW forbidden under {model}"
+        );
+        assert!(
+            !fails_somewhere(LB, model, 400),
+            "LB forbidden under {model}"
+        );
     }
 }
 
 #[test]
 fn model_specific_failures_reproduce_end_to_end() {
-    for (src, model) in [(SB, MemModel::Tso), (SB, MemModel::Pso), (MP, MemModel::Pso)] {
+    for (src, model) in [
+        (SB, MemModel::Tso),
+        (SB, MemModel::Pso),
+        (MP, MemModel::Pso),
+    ] {
         let pipeline = Pipeline::from_source(src).expect("parses");
         let mut config = PipelineConfig::new(model);
         config.stickiness = vec![0.5, 0.7, 0.3];
         let report = pipeline
             .reproduce(&config)
             .unwrap_or_else(|e| panic!("{model}: {e}"));
-        assert!(report.reproduced, "{model} failure replays deterministically");
+        assert!(
+            report.reproduced,
+            "{model} failure replays deterministically"
+        );
     }
 }

@@ -38,7 +38,10 @@ fn build_program(ops_a: &[Op], ops_b: &[Op]) -> String {
     let expected_x = count(ops_a, is_x) + count(ops_b, is_x);
     let expected_y = count(ops_a, is_y) + count(ops_b, is_y);
     let body = |ops: &[Op]| -> String {
-        ops.iter().enumerate().map(|(i, &op)| op_source(op, i)).collect()
+        ops.iter()
+            .enumerate()
+            .map(|(i, &op)| op_source(op, i))
+            .collect()
     };
     format!(
         "global int x = 0; global int y = 0; mutex m;
