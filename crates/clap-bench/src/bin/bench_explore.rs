@@ -1,98 +1,32 @@
-//! Emits `BENCH_explore.json`: wall-clock of the record-phase sweep
-//! ([`Pipeline::record_failure`]) for workers ∈ {1, 2, 4, 8} on three
-//! workloads, plus the selected candidate so the determinism contract is
-//! visible in the artifact (every worker count reports the same seed).
+//! Emits `BENCH_explore.jsonl`: wall-clock of the record-phase sweep
+//! ([`clap_core::Pipeline`]'s `record_failure`) for workers ∈ {1, 2, 4, 8}
+//! on three workloads, plus the selected candidate seed so the
+//! determinism contract is visible in the artifact (every worker count
+//! reports the same seed).
+//!
+//! The artifact is the standard `clap-obs` JSONL stream (validate with
+//! the `obsck` binary): one `bench.explore` header event and one
+//! `bench.explore.cell` event per measurement.
 //!
 //! ```text
-//! bench_explore [output.json] [repeats]
+//! bench_explore [output.jsonl] [repeats]
 //! ```
 
-use clap_bench::workload_config;
-use clap_core::Pipeline;
-use std::fmt::Write as _;
-use std::time::Instant;
-
-const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const WORKLOADS: [&str; 3] = ["sim_race", "pbzip2", "bakery"];
-
-struct Cell {
-    workers: usize,
-    best_millis: f64,
-    seed: Option<u64>,
-}
+use clap_bench::explore;
+use clap_obs::Observer;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let out_path = args
         .next()
-        .unwrap_or_else(|| "BENCH_explore.json".to_owned());
+        .unwrap_or_else(|| "BENCH_explore.jsonl".to_owned());
     let repeats: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"explore\",");
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    json.push_str("  \"workloads\": [\n");
+    let bench = explore::run(repeats, 400);
 
-    for (wi, name) in WORKLOADS.iter().enumerate() {
-        let workload = clap_workloads::by_name(name).expect("workload exists");
-        let pipeline = Pipeline::new(workload.program());
-        let mut config = workload_config(&workload);
-        config.seed_budget = config.seed_budget.min(400);
-
-        let mut cells = Vec::new();
-        for workers in WORKER_COUNTS {
-            config.explore_workers = workers;
-            let mut best = f64::INFINITY;
-            let mut seed = None;
-            for _ in 0..repeats {
-                let t0 = Instant::now();
-                let recorded = pipeline.record_failure(&config).ok();
-                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-                seed = recorded.map(|r| r.seed);
-            }
-            eprintln!("{name}: workers={workers} best={best:.2}ms seed={seed:?}");
-            cells.push(Cell {
-                workers,
-                best_millis: best,
-                seed,
-            });
-        }
-
-        let base = cells[0].best_millis;
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"name\": \"{name}\",");
-        let _ = writeln!(json, "      \"seed_budget\": {},", config.seed_budget);
-        json.push_str("      \"results\": [\n");
-        for (i, cell) in cells.iter().enumerate() {
-            let seed = cell
-                .seed
-                .map(|s| s.to_string())
-                .unwrap_or_else(|| "null".to_owned());
-            let _ = write!(
-                json,
-                "        {{\"workers\": {}, \"millis\": {:.3}, \"speedup\": {:.3}, \"seed\": {}}}",
-                cell.workers,
-                cell.best_millis,
-                base / cell.best_millis,
-                seed
-            );
-            json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
-        }
-        json.push_str("      ]\n");
-        let _ = write!(json, "    }}");
-        json.push_str(if wi + 1 < WORKLOADS.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    let observer = Observer::none().with_metrics(&out_path);
+    observer.install();
+    explore::emit_events(&bench);
+    observer.flush().expect("write benchmark artifact");
     println!("wrote {out_path}");
 }

@@ -1,8 +1,17 @@
 //! Diagnostic: where does the §4.3 generator dead-end on a workload?
-//! Compares pruned vs unpruned generation at level 0/1 and replays one
-//! greedy unpruned run printing the per-thread frontier at the dead end.
-//! Usage: `dbgdead [workload-name]` (default: pfscan).
+//! Compares pruned vs unpruned generation at levels 0–2 and replays one
+//! greedy unpruned run, reporting the per-thread frontier at the dead end
+//! through the `clap-obs` collector.
+//!
+//! ```text
+//! dbgdead [workload-name] [--trace t.json] [--metrics m.jsonl]
+//! ```
+//!
+//! Default workload: pfscan. The stderr summary is always on (it *is*
+//! the diagnostic output); `--trace`/`--metrics` additionally export the
+//! machine-readable sinks.
 
+use clap_bench::split_obs_args;
 use clap_constraints::ConstraintSystem;
 use clap_core::{Pipeline, PipelineConfig};
 use clap_parallel::{for_each_csp_set, Generator};
@@ -10,7 +19,11 @@ use clap_symex::{SapId, SapKind, SymTrace};
 use std::collections::HashMap;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "pfscan".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, observer) = split_obs_args(&args).expect("bad arguments");
+    let observer = observer.with_summary();
+    let name = rest.first().cloned().unwrap_or_else(|| "pfscan".into());
+
     let w = clap_workloads::by_name(&name).unwrap();
     let pipeline = Pipeline::new(w.program());
     let mut config = PipelineConfig::new(w.model);
@@ -20,27 +33,38 @@ fn main() {
     let trace = pipeline.symbolic_trace(&recorded).unwrap();
     let sys = ConstraintSystem::build(pipeline.program(), &trace, w.model);
 
+    // Install after the setup work so the report covers only the probe
+    // itself, not the record/symex phases.
+    observer.install();
     for (ti, saps) in trace.per_thread.iter().enumerate() {
         let kinds: Vec<String> = saps.iter().map(|&s| short(&trace, s)).collect();
-        println!("thread {ti}: {}", kinds.join(" "));
+        clap_obs::event(
+            "dbgdead.thread",
+            &[("thread", ti.to_string()), ("saps", kinds.join(" "))],
+        );
     }
-    println!("waits:");
     for row in &sys.waits {
-        println!(
-            "  wait {:?} release {:?} signals {:?} broadcasts {:?}",
-            row.wait, row.release, row.signals, row.broadcasts
+        clap_obs::event(
+            "dbgdead.wait",
+            &[
+                ("wait", format!("{:?}", row.wait)),
+                ("release", format!("{:?}", row.release)),
+                ("signals", format!("{:?}", row.signals)),
+                ("broadcasts", format!("{:?}", row.broadcasts)),
+            ],
         );
     }
 
     for level in 0..=2usize {
         for pruned in [true, false] {
+            let _span = clap_obs::span("dbgdead.generate");
             let mut gen = if pruned {
                 Generator::new(pipeline.program(), &sys, 100_000)
             } else {
                 Generator::without_pruning(&sys, 100_000)
             };
+            let mode = if pruned { "pruned" } else { "unpruned" };
             let mut n = 0u64;
-            let mut outcomes: HashMap<String, u64> = HashMap::new();
             for_each_csp_set(&sys, level, 10_000, &mut |set| {
                 gen.run(set, &mut |order| {
                     n += 1;
@@ -48,23 +72,23 @@ fn main() {
                         order: order.to_vec(),
                     };
                     let label = match clap_constraints::validate(pipeline.program(), &sys, &s) {
-                        Ok(_) => "OK".to_owned(),
+                        Ok(_) => "ok".to_owned(),
                         Err(e) => format!("{e:?}")
                             .split_whitespace()
                             .next()
                             .unwrap()
-                            .to_owned(),
+                            .to_lowercase(),
                     };
-                    *outcomes.entry(label).or_default() += 1;
+                    clap_obs::add(&format!("dbgdead.level{level}.{mode}.outcome.{label}"), 1);
                     n < 100_000
                 })
             });
-            println!("level {level} pruned={pruned}: generated={n} {outcomes:?}");
+            clap_obs::add(&format!("dbgdead.level{level}.{mode}.generated"), n);
         }
     }
 
     // One greedy structural run (no pruning, no CSPs) mirroring the
-    // generator's switching rules; print the frontier at the dead end.
+    // generator's switching rules; report the frontier at the dead end.
     let n = trace.sap_count();
     let mut succ = vec![Vec::new(); n];
     let mut indeg = vec![0u32; n];
@@ -113,7 +137,8 @@ fn main() {
             None => break,
         }
     }
-    println!("greedy run emitted {}/{n} saps", order.len());
+    clap_obs::add("dbgdead.greedy.emitted", order.len() as u64);
+    clap_obs::add("dbgdead.greedy.total", n as u64);
     if order.len() < n {
         for t in 0..trace.thread_count() {
             let pending: Vec<&SapId> = trace.per_thread[t]
@@ -121,31 +146,38 @@ fn main() {
                 .filter(|s| !done[s.index()])
                 .collect();
             let Some(&&head) = pending.first() else {
-                println!("thread {t}: exhausted");
+                clap_obs::event(
+                    "dbgdead.frontier",
+                    &[("thread", t.to_string()), ("state", "exhausted".to_owned())],
+                );
                 continue;
             };
             let feasible = match wait_candidates.get(&head.0) {
                 None => true,
                 Some(c) => c.iter().any(|&x| done[x as usize]),
             };
-            println!(
-                "thread {t}: next {:?} ({}) indeg={} wake_feasible={} pending={}",
-                head,
-                short(&trace, head),
-                indeg[head.index()],
-                feasible,
-                pending.len()
-            );
             let blockers: Vec<String> = sys
                 .hard_edges
                 .iter()
                 .filter(|&&(_, b)| b == head)
                 .map(|&(a, _)| format!("{:?}:{}", a, short(&trace, a)))
                 .collect();
-            if !blockers.is_empty() {
-                println!("          blocked on {}", blockers.join(", "));
-            }
+            clap_obs::event(
+                "dbgdead.frontier",
+                &[
+                    ("thread", t.to_string()),
+                    ("next", format!("{head:?} ({})", short(&trace, head))),
+                    ("indeg", indeg[head.index()].to_string()),
+                    ("wake_feasible", feasible.to_string()),
+                    ("pending", pending.len().to_string()),
+                    ("blocked_on", blockers.join(", ")),
+                ],
+            );
         }
+    }
+
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
     }
 }
 

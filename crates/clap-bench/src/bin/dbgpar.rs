@@ -1,14 +1,26 @@
 //! Diagnostic: why does the parallel search accept/reject candidates for
-//! a workload? Prints the distribution of validation outcomes per
-//! preemption level. Usage: `dbgpar [workload-name]` (default: peterson).
+//! a workload? Reports the distribution of validation outcomes per
+//! preemption level through the `clap-obs` collector.
+//!
+//! ```text
+//! dbgpar [workload-name] [--trace t.json] [--metrics m.jsonl]
+//! ```
+//!
+//! Default workload: peterson. The stderr summary is always on (it *is*
+//! the diagnostic output); `--trace`/`--metrics` additionally export the
+//! machine-readable sinks.
 
+use clap_bench::split_obs_args;
 use clap_constraints::{validate, ConstraintSystem, Schedule, ValidationError};
 use clap_core::{Pipeline, PipelineConfig};
 use clap_parallel::{for_each_csp_set, Generator};
-use std::collections::HashMap;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "peterson".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, observer) = split_obs_args(&args).expect("bad arguments");
+    let observer = observer.with_summary();
+    let name = rest.first().cloned().unwrap_or_else(|| "peterson".into());
+
     let w = clap_workloads::by_name(&name).unwrap();
     let pipeline = Pipeline::new(w.program());
     let mut config = PipelineConfig::new(w.model);
@@ -16,23 +28,42 @@ fn main() {
     config.seed_budget = w.seed_budget;
     let recorded = pipeline.record_failure(&config).unwrap();
     let trace = pipeline.symbolic_trace(&recorded).unwrap();
-    println!(
-        "saps={} threads={:?}",
-        trace.sap_count(),
-        trace.per_thread.iter().map(|t| t.len()).collect::<Vec<_>>()
-    );
     let sys = ConstraintSystem::build(pipeline.program(), &trace, w.model);
-    // The sequential solution for reference:
+
+    // Install after the setup work so the report covers only the probe
+    // itself, not the record/symex phases.
+    observer.install();
+    clap_obs::event(
+        "dbgpar.trace",
+        &[
+            ("workload", name.clone()),
+            ("saps", trace.sap_count().to_string()),
+            (
+                "threads",
+                format!(
+                    "{:?}",
+                    trace.per_thread.iter().map(Vec::len).collect::<Vec<_>>()
+                ),
+            ),
+        ],
+    );
+
+    // The sequential solution for reference.
     let seq = clap_solver::solve(
         pipeline.program(),
         &sys,
         clap_solver::SolverConfig::default(),
     );
     let sol = seq.solution().unwrap();
-    println!("seq cs = {}", sol.schedule.context_switches(&trace));
-    // Sample validation errors at each level.
+    clap_obs::gauge(
+        "dbgpar.seq_cs",
+        i64::try_from(sol.schedule.context_switches(&trace)).unwrap_or(i64::MAX),
+    );
+
+    // Sample validation outcomes at each preemption level.
     for c in 0..=4usize {
-        let mut errs: HashMap<String, u64> = HashMap::new();
+        let _level = clap_obs::span("dbgpar.level");
+        let mut ok = 0u64;
         let mut gen = Generator::new(pipeline.program(), &sys, 1_000_000);
         let mut n = 0u64;
         for_each_csp_set(&sys, c, 100_000, &mut |set| {
@@ -41,35 +72,29 @@ fn main() {
                 let s = Schedule {
                     order: order.to_vec(),
                 };
-                match validate(pipeline.program(), &sys, &s) {
+                let label = match validate(pipeline.program(), &sys, &s) {
                     Ok(_) => {
-                        *errs.entry("OK".into()).or_default() += 1;
+                        ok += 1;
+                        "ok"
                     }
-                    Err(ValidationError::PathViolation { .. }) => {
-                        *errs.entry("path".into()).or_default() += 1;
-                    }
-                    Err(ValidationError::BugNotManifested) => {
-                        *errs.entry("nobug".into()).or_default() += 1;
-                    }
-                    Err(ValidationError::OrderViolation { .. }) => {
-                        *errs.entry("order".into()).or_default() += 1;
-                    }
-                    Err(ValidationError::LockViolation { .. }) => {
-                        *errs.entry("lock".into()).or_default() += 1;
-                    }
-                    Err(ValidationError::UnmatchedWait { .. }) => {
-                        *errs.entry("wait".into()).or_default() += 1;
-                    }
-                    Err(ValidationError::BadAddress { .. }) => {
-                        *errs.entry("addr".into()).or_default() += 1;
-                    }
-                }
+                    Err(ValidationError::PathViolation { .. }) => "path",
+                    Err(ValidationError::BugNotManifested) => "nobug",
+                    Err(ValidationError::OrderViolation { .. }) => "order",
+                    Err(ValidationError::LockViolation { .. }) => "lock",
+                    Err(ValidationError::UnmatchedWait { .. }) => "wait",
+                    Err(ValidationError::BadAddress { .. }) => "addr",
+                };
+                clap_obs::add(&format!("dbgpar.level{c}.outcome.{label}"), 1);
                 n < 1_000_000
             })
         });
-        println!("level {c}: generated={n} outcomes={errs:?}");
-        if errs.contains_key("OK") {
+        clap_obs::add(&format!("dbgpar.level{c}.generated"), n);
+        if ok > 0 {
             break;
         }
+    }
+
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
     }
 }

@@ -1,0 +1,45 @@
+//! Validates a `clap-obs` JSONL metrics file: every line must match the
+//! schema in `clap_obs::sink::JSONL_SCHEMA`. Prints a per-record-type
+//! tally and exits non-zero on the first violation. Used by CI to gate
+//! the observability smoke run.
+//!
+//! ```text
+//! obsck <metrics.jsonl>
+//! ```
+
+use clap_obs::sink::validate_jsonl_line;
+use std::collections::BTreeMap;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obsck <metrics.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsck: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut tally: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        match validate_jsonl_line(line) {
+            Ok(ty) => *tally.entry(ty).or_default() += 1,
+            Err(e) => {
+                eprintln!("obsck: {path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if tally.get("meta") != Some(&1) {
+        eprintln!("obsck: {path}: expected exactly one meta line");
+        std::process::exit(1);
+    }
+    let total: u64 = tally.values().sum();
+    let breakdown: Vec<String> = tally.iter().map(|(t, n)| format!("{n} {t}")).collect();
+    println!(
+        "obsck: {path}: {total} valid lines ({})",
+        breakdown.join(", ")
+    );
+}

@@ -1,10 +1,17 @@
 //! Regenerates **Table 1** (overall bug-reproduction effectiveness): for
 //! every workload, the execution characteristics, constraint-system size,
 //! phase timings, context switches, and whether CLAP reproduced the bug.
+//!
+//! With `--metrics <path>` (and/or `--trace <path>`) the rows are also
+//! published through the `clap-obs` JSONL sink as `bench.table1.row`
+//! events.
 
-use clap_bench::{fmt_duration, table1_row};
+use clap_bench::{fmt_duration, split_obs_args, table1_row};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, observer) = split_obs_args(&args).expect("bad arguments");
+    observer.install();
     println!("Table 1 — CLAP bug-reproduction effectiveness (sequential solver)");
     println!(
         "{:<10} {:>4} {:>8} {:>4} {:>7} {:>6} {:>6} {:>12} {:>10} {:>9} {:>9} {:>4} {:>8}",
@@ -24,23 +31,46 @@ fn main() {
     );
     for workload in clap_workloads::all() {
         match table1_row(&workload) {
-            Ok(r) => println!(
-                "{:<10} {:>4} {:>8} {:>4} {:>7} {:>6} {:>6} {:>12} {:>10} {:>9} {:>9} {:>4} {:>8}",
-                r.name,
-                r.loc,
-                r.threads,
-                r.shared_vars,
-                r.instructions,
-                r.branches,
-                r.saps,
-                r.constraints,
-                r.variables,
-                fmt_duration(r.time_symbolic),
-                fmt_duration(r.time_solve),
-                r.cs,
-                if r.success { "Y" } else { "N" },
-            ),
+            Ok(r) => {
+                println!(
+                    "{:<10} {:>4} {:>8} {:>4} {:>7} {:>6} {:>6} {:>12} {:>10} {:>9} {:>9} {:>4} {:>8}",
+                    r.name,
+                    r.loc,
+                    r.threads,
+                    r.shared_vars,
+                    r.instructions,
+                    r.branches,
+                    r.saps,
+                    r.constraints,
+                    r.variables,
+                    fmt_duration(r.time_symbolic),
+                    fmt_duration(r.time_solve),
+                    r.cs,
+                    if r.success { "Y" } else { "N" },
+                );
+                clap_obs::event(
+                    "bench.table1.row",
+                    &[
+                        ("program", r.name.clone()),
+                        ("loc", r.loc.to_string()),
+                        ("threads", r.threads.to_string()),
+                        ("shared_vars", r.shared_vars.to_string()),
+                        ("instructions", r.instructions.to_string()),
+                        ("branches", r.branches.to_string()),
+                        ("saps", r.saps.to_string()),
+                        ("constraints", r.constraints.to_string()),
+                        ("variables", r.variables.to_string()),
+                        ("time_symbolic_ns", r.time_symbolic.as_nanos().to_string()),
+                        ("time_solve_ns", r.time_solve.as_nanos().to_string()),
+                        ("cs", r.cs.to_string()),
+                        ("success", r.success.to_string()),
+                    ],
+                );
+            }
             Err(e) => println!("{:<10} FAILED: {e}", workload.name),
         }
+    }
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
     }
 }

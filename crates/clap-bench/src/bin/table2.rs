@@ -1,7 +1,11 @@
 //! Regenerates **Table 2** (runtime and space overhead): native vs LEAP vs
 //! CLAP execution time and log size per workload, with CLAP's reductions.
+//!
+//! With `--metrics <path>` (and/or `--trace <path>`) the rows are also
+//! published through the `clap-obs` JSONL sink as `bench.table2.row`
+//! events.
 
-use clap_bench::{fmt_duration, table2_row};
+use clap_bench::{fmt_duration, split_obs_args, table2_row};
 
 fn fmt_bytes(b: usize) -> String {
     if b < 1024 {
@@ -14,10 +18,10 @@ fn fmt_bytes(b: usize) -> String {
 }
 
 fn main() {
-    let iterations: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, observer) = split_obs_args(&args).expect("bad arguments");
+    observer.install();
+    let iterations: u32 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(30);
     println!("Table 2 — recording overhead, native vs LEAP vs CLAP ({iterations} runs averaged, scaled workloads)");
     println!(
         "{:<10} {:>9} {:>16} {:>16} {:>7} {:>9} {:>9} {:>7}",
@@ -45,5 +49,27 @@ fn main() {
             fmt_bytes(r.clap_bytes),
             r.space_reduction_pct(),
         );
+        clap_obs::event(
+            "bench.table2.row",
+            &[
+                ("program", r.name.clone()),
+                ("native_ns", r.native.as_nanos().to_string()),
+                ("leap_ns", r.leap.as_nanos().to_string()),
+                ("clap_ns", r.clap.as_nanos().to_string()),
+                ("leap_bytes", r.leap_bytes.to_string()),
+                ("clap_bytes", r.clap_bytes.to_string()),
+                (
+                    "time_reduction_pct",
+                    format!("{:.1}", r.time_reduction_pct()),
+                ),
+                (
+                    "space_reduction_pct",
+                    format!("{:.1}", r.space_reduction_pct()),
+                ),
+            ],
+        );
+    }
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
     }
 }

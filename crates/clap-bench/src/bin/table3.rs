@@ -1,10 +1,17 @@
 //! Regenerates **Table 3** (parallel constraint solving): worst-case
 //! schedule counts, candidates generated, correct schedules found, and
 //! parallel vs sequential solve time.
+//!
+//! With `--metrics <path>` (and/or `--trace <path>`) the rows are also
+//! published through the `clap-obs` JSONL sink as `bench.table3.row`
+//! events.
 
-use clap_bench::{fmt_duration, table3_row};
+use clap_bench::{fmt_duration, split_obs_args, table3_row};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, observer) = split_obs_args(&args).expect("bad arguments");
+    observer.install();
     println!("Table 3 — parallel generate-and-validate vs sequential solving");
     println!(
         "{:<10} {:>12} {:>16} {:>6} {:>10} {:>10}",
@@ -12,23 +19,41 @@ fn main() {
     );
     for workload in clap_workloads::all() {
         match table3_row(&workload) {
-            Ok(r) => println!(
-                "{:<10} {:>9} {:>12}({}) {:>6} {:>10} {:>10}",
-                r.name,
-                format!("> 10^{:.0}", r.worst_log10),
-                r.generated,
-                r.cs_bound,
-                r.good,
-                if r.found {
-                    fmt_duration(r.par_time)
-                } else {
-                    format!("> {}*", fmt_duration(r.par_time))
-                },
-                fmt_duration(r.seq_time),
-            ),
+            Ok(r) => {
+                clap_obs::event(
+                    "bench.table3.row",
+                    &[
+                        ("program", r.name.clone()),
+                        ("worst_log10", format!("{:.0}", r.worst_log10)),
+                        ("generated", r.generated.to_string()),
+                        ("cs_bound", r.cs_bound.to_string()),
+                        ("good", r.good.to_string()),
+                        ("found", r.found.to_string()),
+                        ("par_time_ns", r.par_time.as_nanos().to_string()),
+                        ("seq_time_ns", r.seq_time.as_nanos().to_string()),
+                    ],
+                );
+                println!(
+                    "{:<10} {:>9} {:>12}({}) {:>6} {:>10} {:>10}",
+                    r.name,
+                    format!("> 10^{:.0}", r.worst_log10),
+                    r.generated,
+                    r.cs_bound,
+                    r.good,
+                    if r.found {
+                        fmt_duration(r.par_time)
+                    } else {
+                        format!("> {}*", fmt_duration(r.par_time))
+                    },
+                    fmt_duration(r.seq_time),
+                );
+            }
             Err(e) => println!("{:<10} FAILED: {e}", workload.name),
         }
     }
     println!("* the parallel search hit its deadline without a hit (the paper's");
     println!("  racey row is the analogous case); the sequential solver still solves it.");
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
+    }
 }

@@ -1,0 +1,274 @@
+//! The exploration-scaling sweep behind the `bench_explore` binary:
+//! wall-clock of the record-phase sweep ([`clap_core::Pipeline`]'s
+//! `record_failure`) for workers ∈ {1, 2, 4, 8} on three workloads, plus
+//! the selected candidate seed so the determinism contract is visible in
+//! the artifact (every worker count reports the same seed).
+//!
+//! Results are published through the [`clap_obs`] JSONL sink as
+//! `bench.explore` / `bench.explore.cell` events. The previous
+//! hand-rolled JSON rendering survives as [`legacy_json`] so the
+//! format-agreement test can prove both paths carry the same numbers.
+
+use crate::workload_config;
+use clap_core::Pipeline;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Worker counts swept per workload.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Workloads swept (small → mid-size).
+pub const WORKLOADS: [&str; 3] = ["sim_race", "pbzip2", "bakery"];
+
+/// One (workload, workers) measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Worker count of this cell.
+    pub workers: usize,
+    /// Best wall-clock over the repeats, in milliseconds.
+    pub millis: f64,
+    /// Speedup vs the 1-worker cell of the same workload.
+    pub speedup: f64,
+    /// Seed of the selected candidate (None when no failure was found).
+    pub seed: Option<u64>,
+}
+
+/// One workload's row of cells.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// The (possibly capped) seed budget used.
+    pub seed_budget: u64,
+    /// One cell per entry of [`WORKER_COUNTS`].
+    pub cells: Vec<Cell>,
+}
+
+/// A complete sweep result.
+#[derive(Debug, Clone)]
+pub struct ExploreBench {
+    /// Cores available on the measuring host.
+    pub host_cores: usize,
+    /// Repeats per cell (best-of).
+    pub repeats: u32,
+    /// One entry per swept workload.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Runs the sweep: `repeats` best-of runs per (workload, workers) cell,
+/// with each workload's seed budget capped at `budget_cap`.
+pub fn run(repeats: u32, budget_cap: u64) -> ExploreBench {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut workloads = Vec::new();
+    for name in WORKLOADS {
+        let workload = clap_workloads::by_name(name).expect("workload exists");
+        let pipeline = Pipeline::new(workload.program());
+        let mut config = workload_config(&workload);
+        config.seed_budget = config.seed_budget.min(budget_cap);
+
+        let mut cells = Vec::new();
+        for workers in WORKER_COUNTS {
+            config.explore_workers = workers;
+            let mut best = f64::INFINITY;
+            let mut seed = None;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let recorded = pipeline.record_failure(&config).ok();
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                seed = recorded.map(|r| r.seed);
+            }
+            eprintln!("{name}: workers={workers} best={best:.2}ms seed={seed:?}");
+            cells.push(Cell {
+                workers,
+                millis: best,
+                speedup: 0.0,
+                seed,
+            });
+        }
+        let base = cells[0].millis;
+        for cell in &mut cells {
+            cell.speedup = base / cell.millis;
+        }
+        workloads.push(WorkloadResult {
+            name: name.to_owned(),
+            seed_budget: config.seed_budget,
+            cells,
+        });
+    }
+    ExploreBench {
+        host_cores,
+        repeats,
+        workloads,
+    }
+}
+
+/// Records the sweep into the global [`clap_obs`] collector: one
+/// `bench.explore` header event plus one `bench.explore.cell` event per
+/// measurement. Flushing an observer with a metrics path then yields the
+/// JSONL artifact.
+pub fn emit_events(bench: &ExploreBench) {
+    clap_obs::event(
+        "bench.explore",
+        &[
+            ("host_cores", bench.host_cores.to_string()),
+            ("repeats", bench.repeats.to_string()),
+        ],
+    );
+    for w in &bench.workloads {
+        for cell in &w.cells {
+            clap_obs::event(
+                "bench.explore.cell",
+                &[
+                    ("workload", w.name.clone()),
+                    ("seed_budget", w.seed_budget.to_string()),
+                    ("workers", cell.workers.to_string()),
+                    ("millis", format!("{:.3}", cell.millis)),
+                    ("speedup", format!("{:.3}", cell.speedup)),
+                    (
+                        "seed",
+                        cell.seed
+                            .map_or_else(|| "none".to_owned(), |s| s.to_string()),
+                    ),
+                ],
+            );
+        }
+    }
+}
+
+/// The retired hand-rolled JSON rendering of a sweep, byte-compatible
+/// with the old `BENCH_explore.json` artifact. Kept only so the
+/// format-agreement test can check the JSONL events against it; no
+/// binary writes this format anymore.
+pub fn legacy_json(bench: &ExploreBench) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"explore\",");
+    let _ = writeln!(json, "  \"host_cores\": {},", bench.host_cores);
+    let _ = writeln!(json, "  \"repeats\": {},", bench.repeats);
+    json.push_str("  \"workloads\": [\n");
+    for (wi, w) in bench.workloads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"seed_budget\": {},", w.seed_budget);
+        json.push_str("      \"results\": [\n");
+        for (i, cell) in w.cells.iter().enumerate() {
+            let seed = cell
+                .seed
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_owned());
+            let _ = write!(
+                json,
+                "        {{\"workers\": {}, \"millis\": {:.3}, \"speedup\": {:.3}, \"seed\": {}}}",
+                cell.workers, cell.millis, cell.speedup, seed
+            );
+            json.push_str(if i + 1 < w.cells.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ]\n");
+        let _ = write!(json, "    }}");
+        json.push_str(if wi + 1 < bench.workloads.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExploreBench {
+        ExploreBench {
+            host_cores: 8,
+            repeats: 3,
+            workloads: vec![WorkloadResult {
+                name: "sim_race".to_owned(),
+                seed_budget: 400,
+                cells: vec![
+                    Cell {
+                        workers: 1,
+                        millis: 10.0,
+                        speedup: 1.0,
+                        seed: Some(17),
+                    },
+                    Cell {
+                        workers: 2,
+                        millis: 5.0,
+                        speedup: 2.0,
+                        seed: Some(17),
+                    },
+                    Cell {
+                        workers: 4,
+                        millis: 4.0,
+                        speedup: 2.5,
+                        seed: None,
+                    },
+                ],
+            }],
+        }
+    }
+
+    /// The JSONL event stream and the retired hand-rolled JSON carry the
+    /// same numbers for the same sweep — checked cell by cell before the
+    /// old writer was deleted.
+    #[test]
+    fn jsonl_events_agree_with_legacy_format() {
+        let bench = sample();
+
+        // Legacy side: parse the hand-rolled document.
+        let legacy = clap_obs::json::parse(&legacy_json(&bench)).expect("legacy JSON parses");
+        assert_eq!(legacy.get("bench").unwrap().as_str(), Some("explore"));
+        assert_eq!(legacy.get("host_cores").unwrap().as_num(), Some(8.0));
+        assert_eq!(legacy.get("repeats").unwrap().as_num(), Some(3.0));
+
+        // Event side: run the new emitter through the collector.
+        let _l = clap_obs::test_lock();
+        clap_obs::reset();
+        clap_obs::enable();
+        emit_events(&bench);
+        clap_obs::disable();
+        let snap = clap_obs::snapshot();
+        let cells: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "bench.explore.cell")
+            .collect();
+
+        let workloads = legacy.get("workloads").unwrap().as_arr().unwrap();
+        let mut legacy_cells = Vec::new();
+        for w in workloads {
+            let name = w.get("name").unwrap().as_str().unwrap();
+            for r in w.get("results").unwrap().as_arr().unwrap() {
+                legacy_cells.push((
+                    name.to_owned(),
+                    r.get("workers").unwrap().as_num().unwrap(),
+                    r.get("millis").unwrap().as_num().unwrap(),
+                    r.get("speedup").unwrap().as_num().unwrap(),
+                    r.get("seed").and_then(clap_obs::json::Value::as_num),
+                ));
+            }
+        }
+        assert_eq!(cells.len(), legacy_cells.len());
+        for (event, (name, workers, millis, speedup, seed)) in cells.iter().zip(&legacy_cells) {
+            let field = |k: &str| {
+                event
+                    .fields
+                    .iter()
+                    .find(|(fk, _)| fk == k)
+                    .map(|(_, v)| v.as_str())
+                    .unwrap()
+            };
+            assert_eq!(field("workload"), name);
+            assert_eq!(field("workers").parse::<f64>().unwrap(), *workers);
+            assert_eq!(field("millis").parse::<f64>().unwrap(), *millis);
+            assert_eq!(field("speedup").parse::<f64>().unwrap(), *speedup);
+            match seed {
+                Some(s) => assert_eq!(field("seed").parse::<f64>().unwrap(), *s),
+                None => assert_eq!(field("seed"), "none"),
+            }
+        }
+    }
+}

@@ -1,6 +1,9 @@
 //! The benchmark harness: shared measurement helpers behind the
 //! `table1`/`table2`/`table3` and `figure2`/`figure3`/`figure4` binaries
-//! that regenerate every table and figure of the paper's evaluation (§6).
+//! that regenerate every table and figure of the paper's evaluation (§6),
+//! plus the exploration-scaling sweep behind `bench_explore`.
+
+pub mod explore;
 
 use clap_constraints::{count, ConstraintSystem};
 use clap_core::{Pipeline, PipelineConfig, RecordedFailure, SolverChoice};
@@ -274,6 +277,36 @@ pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
         par_time,
         seq_time,
     })
+}
+
+/// Splits the observability flags (`--trace <path>`, `--metrics <path>`,
+/// `-v`/`--verbose`) out of a raw argument list, returning the remaining
+/// positional arguments and the configured [`clap_obs::Observer`]. Shared
+/// by the bench and diagnostic binaries so they all speak the same flags
+/// as `clap-reproduce`.
+///
+/// # Errors
+///
+/// Returns a message when a flag is missing its path argument.
+pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, clap_obs::Observer), String> {
+    let mut rest = Vec::new();
+    let mut observer = clap_obs::Observer::none();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path")?;
+                observer = observer.with_trace(v);
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                observer = observer.with_metrics(v);
+            }
+            "-v" | "--verbose" => observer = observer.with_summary(),
+            other => rest.push(other.to_owned()),
+        }
+    }
+    Ok((rest, observer))
 }
 
 /// Formats a `Duration` compactly for table cells.

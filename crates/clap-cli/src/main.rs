@@ -11,8 +11,15 @@
 //! `M` is one of `sc` (default), `tso`, `pso`. `--workers` sets the
 //! record-phase exploration pool size (0, the default, means one worker
 //! per core); any value returns the same artifact.
+//!
+//! Every command that executes the program (`run`, `explore`,
+//! `reproduce`) also accepts the observability flags: `--trace <path>`
+//! writes a Chrome `trace_event` JSON timeline (loadable in Perfetto or
+//! `about:tracing`), `--metrics <path>` writes the JSONL metric stream,
+//! and `-v`/`--verbose` prints the collector summary to stderr.
 
 use clap_core::{Pipeline, PipelineConfig, SolverChoice};
+use clap_obs::Observer;
 use clap_parallel::ParallelConfig;
 use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
 use std::process::ExitCode;
@@ -35,7 +42,12 @@ const USAGE: &str = "usage:
   clap-reproduce dump      <prog.clap>
   clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
   clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
-  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N] [--parallel] [--sync-order]";
+  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N] [--parallel] [--sync-order]
+
+observability (run/explore/reproduce):
+  --trace <path>     write a Chrome trace_event JSON timeline (Perfetto-loadable)
+  --metrics <path>   write the JSONL metric stream
+  -v, --verbose      print the collector summary to stderr";
 
 struct Options {
     file: String,
@@ -46,6 +58,25 @@ struct Options {
     workers: usize,
     parallel: bool,
     sync_order: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+    verbose: bool,
+}
+
+impl Options {
+    fn observer(&self) -> Observer {
+        let mut observer = Observer::none();
+        if let Some(path) = &self.trace {
+            observer = observer.with_trace(path);
+        }
+        if let Some(path) = &self.metrics {
+            observer = observer.with_metrics(path);
+        }
+        if self.verbose {
+            observer = observer.with_summary();
+        }
+        observer
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -58,6 +89,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: 0,
         parallel: false,
         sync_order: false,
+        trace: None,
+        metrics: None,
+        verbose: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -89,6 +123,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--parallel" => options.parallel = true,
             "--sync-order" => options.sync_order = true,
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path")?;
+                options.trace = Some(v.clone());
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                options.metrics = Some(v.clone());
+            }
+            "-v" | "--verbose" => options.verbose = true,
             other if !other.starts_with("--") && options.file.is_empty() => {
                 options.file = other.to_owned();
             }
@@ -99,6 +142,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         return Err("missing program file".into());
     }
     Ok(options)
+}
+
+fn flush(observer: &Observer) {
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
+    }
 }
 
 fn load(file: &str) -> Result<clap_ir::Program, String> {
@@ -132,10 +181,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => {
+            let observer = options.observer();
+            observer.install();
             let mut vm = Vm::new(&program, options.model);
             let mut sched = RandomScheduler::with_stickiness(options.seed, options.stickiness);
-            let outcome = vm.run(&mut sched, &mut NullMonitor);
+            let outcome = {
+                let _s = clap_obs::span("run");
+                vm.run(&mut sched, &mut NullMonitor)
+            };
             let stats = vm.stats();
+            clap_obs::add("run.instructions", stats.instructions);
+            clap_obs::add("run.saps", stats.saps);
+            flush(&observer);
             println!("outcome: {outcome:?}");
             println!(
                 "stats: {} instructions, {} branches, {} SAPs, {} threads",
@@ -153,11 +210,15 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explore" => {
+            let observer = options.observer();
+            observer.install();
             let pipeline = Pipeline::new(program);
             let mut config = PipelineConfig::new(options.model);
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
-            match pipeline.record_failure(&config) {
+            let result = pipeline.record_failure(&config);
+            flush(&observer);
+            match result {
                 Ok(recorded) => {
                     println!(
                         "failure: seed {} (stickiness {}) violates assert {} ({:?})",
@@ -182,22 +243,14 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "reproduce" => {
             let pipeline = Pipeline::new(program);
-            let mut config = PipelineConfig::new(options.model);
+            let mut config = PipelineConfig::new(options.model).with_observer(options.observer());
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
             if options.parallel {
                 config.solver = SolverChoice::Parallel(ParallelConfig::default());
             }
             config.record_sync_order = options.sync_order;
-            let recorded = pipeline
-                .record_failure(&config)
-                .map_err(|e| e.to_string())?;
-            let trace = pipeline
-                .symbolic_trace(&recorded)
-                .map_err(|e| e.to_string())?;
-            let report = pipeline
-                .reproduce_from(&config, &recorded)
-                .map_err(|e| e.to_string())?;
+            let report = pipeline.reproduce(&config).map_err(|e| e.to_string())?;
             println!("reproduced: {}", report.reproduced);
             println!(
                 "trace: {} threads, {} instructions, {} branches, {} SAPs",
@@ -209,12 +262,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.constraints.total_vars(),
                 report.log_bytes
             );
+            let p = &report.phases;
             println!(
-                "times: symbolic {:?}, solve {:?}; schedule has {} preemptive switches",
-                report.time_symbolic, report.time_solve, report.context_switches
+                "times: record {:?}, decode {:?}, symex {:?}, constrain {:?}, solve {:?}, replay {:?} (total {:?})",
+                p.record, p.decode, p.symex, p.constrain, p.solve, p.replay, p.total
             );
-            println!("schedule (thread per position):");
-            println!("  {}", report.schedule.thread_letters(&trace));
+            println!(
+                "schedule has {} preemptive switches (thread per position):",
+                report.context_switches
+            );
+            println!("  {}", report.schedule_letters);
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),

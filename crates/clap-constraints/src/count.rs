@@ -71,7 +71,7 @@ pub fn count(system: &ConstraintSystem<'_>) -> ConstraintStats {
     let fork_join_edges = system.hard_edges.len() - system.mo_edge_count;
     so_clauses += fork_join_edges;
 
-    ConstraintStats {
+    let stats = ConstraintStats {
         path_clauses,
         rw_clauses,
         so_clauses,
@@ -79,7 +79,17 @@ pub fn count(system: &ConstraintSystem<'_>) -> ConstraintStats {
         value_vars: trace.sym_vars.len(),
         order_vars: trace.sap_count(),
         match_vars,
-    }
+    };
+    // Mirror Table 1's per-class breakdown into the metrics stream.
+    let g = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
+    clap_obs::gauge("constrain.path_clauses", g(stats.path_clauses));
+    clap_obs::gauge("constrain.rw_clauses", g(stats.rw_clauses));
+    clap_obs::gauge("constrain.so_clauses", g(stats.so_clauses));
+    clap_obs::gauge("constrain.mo_clauses", g(stats.mo_clauses));
+    clap_obs::gauge("constrain.value_vars", g(stats.value_vars));
+    clap_obs::gauge("constrain.order_vars", g(stats.order_vars));
+    clap_obs::gauge("constrain.match_vars", g(stats.match_vars));
+    stats
 }
 
 #[cfg(test)]

@@ -25,6 +25,16 @@
 //! Stickiness levels are explored strictly in order; the first level that
 //! produces any failure is the last one explored, as in the sequential
 //! sweep.
+//!
+//! # Telemetry
+//!
+//! The engine reports through [`clap_obs`] in two tiers. *Counters*
+//! (`explore.levels`, `explore.failures`, `explore.seeds`) derive from the
+//! canonical post-truncation candidate set, so they are byte-identical for
+//! any worker count — the determinism contract extends to them. Runtime
+//! shape that legitimately varies with thread timing (per-worker seed
+//! counts and utilization, early-stop drain latency, parallel overshoot)
+//! goes into histograms and gauges instead.
 
 use crate::{Pipeline, PipelineConfig, PipelineError, RecordedFailure};
 use clap_profile::{PathRecorder, SyncOrderRecorder};
@@ -33,6 +43,7 @@ use clap_vm::{MultiMonitor, Outcome, RandomScheduler, Snapshot, Vm};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Failing runs collected per stickiness level before selection.
 pub(crate) const CANDIDATES: usize = 25;
@@ -84,6 +95,7 @@ fn run_seed(
             assert,
             stats: *vm.stats(),
             sync_order: sync_recorder.map(SyncOrderRecorder::finish),
+            record_time: Duration::ZERO,
         })
     } else {
         None
@@ -163,6 +175,10 @@ fn explore_level_parallel(
             let next = &next;
             let stop = &stop;
             scope.spawn(move || {
+                let _worker_span = clap_obs::span("explore.worker");
+                let worker_start = Instant::now();
+                let mut busy = Duration::ZERO;
+                let mut seeds_run: u64 = 0;
                 let (mut vm, base) = pristine_vm(pipeline, config);
                 loop {
                     // The stop check precedes the claim: a claimed seed is
@@ -175,11 +191,18 @@ fn explore_level_parallel(
                     if seed >= config.seed_budget {
                         break;
                     }
+                    let t = Instant::now();
                     let found = run_seed(pipeline, config, stickiness, seed, &mut vm, &base);
+                    busy += t.elapsed();
+                    seeds_run += 1;
                     if tx.send((seed, found)).is_err() {
                         break;
                     }
                 }
+                clap_obs::observe("explore.worker.seeds", seeds_run);
+                let wall = worker_start.elapsed().as_nanos().max(1) as u64;
+                let busy_pct = 100 * busy.as_nanos() as u64 / wall;
+                clap_obs::observe("explore.worker.busy_pct", busy_pct);
             });
         }
         drop(tx);
@@ -189,6 +212,7 @@ fn explore_level_parallel(
         // finalized failures, then drain everything still in flight.
         let mut failures: Vec<RecordedFailure> = Vec::new();
         let mut completed = Watermark::default();
+        let mut stopped_at: Option<Instant> = None;
         while let Ok((seed, found)) = rx.recv() {
             completed.complete(seed);
             if let Some(failure) = found {
@@ -199,20 +223,55 @@ fn explore_level_parallel(
                 let finalized = failures.iter().filter(|f| f.seed < watermark).count();
                 if finalized >= CANDIDATES {
                     stop.store(true, Ordering::Relaxed);
+                    stopped_at = Some(Instant::now());
                 }
             }
+        }
+        // How long the pool took to drain after the early stop fired —
+        // the latency cost of invariant 1 (claimed seeds always finish).
+        if let Some(at) = stopped_at {
+            clap_obs::gauge(
+                "explore.early_stop_ns",
+                i64::try_from(at.elapsed().as_nanos()).unwrap_or(i64::MAX),
+            );
         }
         failures
     })
 }
 
-/// Applies the sequential selection rule to a level's failures: keep the
-/// [`CANDIDATES`] earliest failing seeds, then pick the one with the
-/// fewest SAPs (earliest seed on ties).
-fn select(mut failures: Vec<RecordedFailure>) -> Option<RecordedFailure> {
+/// Reduces a level's failures to the canonical candidate set — the
+/// [`CANDIDATES`] earliest failing seeds, sorted — which is identical for
+/// any worker count.
+fn canonical_candidates(mut failures: Vec<RecordedFailure>) -> Vec<RecordedFailure> {
     failures.sort_by_key(|f| f.seed);
     failures.truncate(CANDIDATES);
-    failures.into_iter().min_by_key(|f| (f.stats.saps, f.seed))
+    failures
+}
+
+/// Applies the sequential selection rule to a canonical candidate set:
+/// pick the candidate with the fewest SAPs (earliest seed on ties).
+fn select(candidates: Vec<RecordedFailure>) -> Option<RecordedFailure> {
+    candidates
+        .into_iter()
+        .min_by_key(|f| (f.stats.saps, f.seed))
+}
+
+/// Emits the deterministic per-level counters, derived purely from the
+/// canonical candidate set and the configured budget so that any worker
+/// count produces identical values. `explore.seeds` is the number of
+/// seeds the *sequential* sweep runs for this level: up to the last
+/// candidate when the level filled, the whole budget otherwise (parallel
+/// overshoot past the stop point is deliberately not counted here — it
+/// shows up in the `explore.worker.seeds` histogram instead).
+fn emit_level_counters(config: &PipelineConfig, candidates: &[RecordedFailure]) {
+    clap_obs::add("explore.levels", 1);
+    clap_obs::add("explore.failures", candidates.len() as u64);
+    let seeds = if candidates.len() == CANDIDATES {
+        candidates.last().map_or(0, |f| f.seed + 1)
+    } else {
+        config.seed_budget
+    };
+    clap_obs::add("explore.seeds", seeds);
 }
 
 /// The engine entry point backing [`Pipeline::record_failure`].
@@ -220,6 +279,8 @@ pub(crate) fn record_failure(
     pipeline: &Pipeline,
     config: &PipelineConfig,
 ) -> Result<RecordedFailure, PipelineError> {
+    let _span = clap_obs::span("record");
+    let start = Instant::now();
     let workers = effective_workers(config.explore_workers);
     for &stickiness in &config.stickiness {
         let failures = if workers <= 1 {
@@ -227,7 +288,10 @@ pub(crate) fn record_failure(
         } else {
             explore_level_parallel(pipeline, config, stickiness, workers)
         };
-        if let Some(best) = select(failures) {
+        let candidates = canonical_candidates(failures);
+        emit_level_counters(config, &candidates);
+        if let Some(mut best) = select(candidates) {
+            best.record_time = start.elapsed();
             return Ok(best);
         }
     }

@@ -28,6 +28,7 @@
 use clap_analysis::{analyze, SharingAnalysis};
 use clap_constraints::{count, ConstraintStats, ConstraintSystem, Schedule, Witness};
 use clap_ir::{AssertId, Program};
+use clap_obs::Observer;
 use clap_parallel::{solve_parallel, ParallelConfig, ParallelOutcome};
 use clap_profile::{decode_log, BlTables, DecodeError, PathLog, SyncOrderLog};
 use clap_replay::{replay, ReplayError, ReplayReport};
@@ -71,6 +72,12 @@ pub struct PipelineConfig {
     /// exploration engine selects candidates deterministically regardless
     /// of thread timing.
     pub explore_workers: usize,
+    /// Observability sinks for this run. When any sink is configured,
+    /// [`Pipeline::reproduce`] installs the global [`clap_obs`] collector
+    /// before the record phase and flushes the sinks afterwards; the
+    /// default (no sinks) leaves the collector untouched, so all
+    /// instrumentation stays a no-op.
+    pub observer: Observer,
 }
 
 impl PipelineConfig {
@@ -85,6 +92,7 @@ impl PipelineConfig {
             solver: SolverChoice::Sequential(SolverConfig::default()),
             record_sync_order: false,
             explore_workers: 0,
+            observer: Observer::none(),
         }
     }
 
@@ -109,6 +117,13 @@ impl PipelineConfig {
     /// Overrides the record-phase worker count (0 = one per core).
     pub fn with_explore_workers(mut self, workers: usize) -> Self {
         self.explore_workers = workers;
+        self
+    }
+
+    /// Attaches observability sinks (trace/metrics files, stderr summary)
+    /// to this pipeline run.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
         self
     }
 }
@@ -167,6 +182,39 @@ pub struct RecordedFailure {
     pub stats: ExecStats,
     /// The synchronization-order log, when §6.4 recording was enabled.
     pub sync_order: Option<SyncOrderLog>,
+    /// Wall time the recording sweep spent finding this failure.
+    pub record_time: Duration,
+}
+
+/// Per-phase wall-time accounting for one reproduction: the six pipeline
+/// phases plus the end-to-end total. The same durations are exported as a
+/// root span tree through [`clap_obs`] when a collector is installed, and
+/// the phases are guaranteed to sum to within a few percent of `total`
+/// (the remainder is report assembly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Record phase: the exploration sweep that found the failure.
+    pub record: Duration,
+    /// Log decoding.
+    pub decode: Duration,
+    /// Path-directed symbolic execution.
+    pub symex: Duration,
+    /// Constraint generation (including §6.4 sync-order application and
+    /// statistics counting).
+    pub constrain: Duration,
+    /// Offline solving (sequential or parallel).
+    pub solve: Duration,
+    /// Schedule-enforced replay.
+    pub replay: Duration,
+    /// End-to-end wall time of the reproduction.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of the six phase durations.
+    pub fn phase_sum(&self) -> Duration {
+        self.record + self.decode + self.symex + self.constrain + self.solve + self.replay
+    }
 }
 
 /// The end-to-end result.
@@ -187,10 +235,18 @@ pub struct ReproductionReport {
     /// Path-log size in bytes (Table 2 space column).
     pub log_bytes: usize,
     /// Time spent decoding + symbolically executing + building
-    /// constraints (`Time-symbolic`).
+    /// constraints (`Time-symbolic`). Always equals
+    /// `phases.decode + phases.symex + phases.constrain`.
     pub time_symbolic: Duration,
-    /// Time spent solving (`Time-solve`).
+    /// Time spent solving (`Time-solve`). Always equals `phases.solve`.
     pub time_solve: Duration,
+    /// Per-phase wall-time breakdown (record/decode/symex/constrain/
+    /// solve/replay + total).
+    pub phases: PhaseTimings,
+    /// The schedule rendered as one letter per position (`M`, `A`, `B`,
+    /// …) — the compact preemption-structure view, precomputed here so
+    /// report consumers need not re-derive the symbolic trace.
+    pub schedule_letters: String,
     /// Preemptive context switches of the computed schedule (`#cs`).
     pub context_switches: usize,
     /// The computed schedule.
@@ -297,50 +353,91 @@ impl Pipeline {
         config: &PipelineConfig,
         recorded: &RecordedFailure,
     ) -> Result<ReproductionReport, PipelineError> {
-        let t0 = Instant::now();
-        let trace = self.symbolic_trace(recorded)?;
-        let mut system = ConstraintSystem::build(&self.program, &trace, config.model);
-        if let Some(sync_order) = &recorded.sync_order {
-            system
-                .apply_sync_order(sync_order)
-                .map_err(|e| PipelineError::Symex(clap_symex::SymexError(e.to_string())))?;
-        }
-        let system = system;
-        let stats = count(&system);
-        let time_symbolic = t0.elapsed();
+        let mut phases = PhaseTimings {
+            record: recorded.record_time,
+            ..PhaseTimings::default()
+        };
+        let offline_start = Instant::now();
 
-        let t1 = Instant::now();
-        let (schedule, witness) = match &config.solver {
-            SolverChoice::Sequential(solver_config) => {
-                match solve(&self.program, &system, *solver_config) {
-                    SolveOutcome::Sat(solution) => (solution.schedule, solution.witness),
-                    SolveOutcome::Unsat(_) => return Err(PipelineError::Unsat),
-                    SolveOutcome::Timeout(_) => return Err(PipelineError::SolverBudget),
-                }
+        let t = Instant::now();
+        let paths = {
+            let _s = clap_obs::span("decode");
+            decode_log(&self.program, &self.tables, &recorded.log).map_err(PipelineError::Decode)?
+        };
+        phases.decode = t.elapsed();
+
+        let t = Instant::now();
+        let trace = {
+            let _s = clap_obs::span("symex");
+            execute(
+                &self.program,
+                &self.sharing.shared_spec(),
+                &paths,
+                &recorded.failure,
+            )
+            .map_err(PipelineError::Symex)?
+        };
+        phases.symex = t.elapsed();
+
+        let t = Instant::now();
+        let (system, stats) = {
+            let _s = clap_obs::span("constrain");
+            let mut system = ConstraintSystem::build(&self.program, &trace, config.model);
+            if let Some(sync_order) = &recorded.sync_order {
+                system
+                    .apply_sync_order(sync_order)
+                    .map_err(|e| PipelineError::Symex(clap_symex::SymexError(e.to_string())))?;
             }
-            SolverChoice::Parallel(parallel_config) => {
-                match solve_parallel(&self.program, &system, *parallel_config) {
-                    ParallelOutcome::Found {
-                        schedule, witness, ..
-                    } => (schedule, witness),
-                    ParallelOutcome::Exhausted(_) => return Err(PipelineError::Unsat),
-                    ParallelOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
+            let stats = count(&system);
+            (system, stats)
+        };
+        phases.constrain = t.elapsed();
+
+        let t = Instant::now();
+        let (schedule, witness) = {
+            let _s = clap_obs::span("solve");
+            match &config.solver {
+                SolverChoice::Sequential(solver_config) => {
+                    match solve(&self.program, &system, *solver_config) {
+                        SolveOutcome::Sat(solution) => (solution.schedule, solution.witness),
+                        SolveOutcome::Unsat(_) => return Err(PipelineError::Unsat),
+                        SolveOutcome::Timeout(_) => return Err(PipelineError::SolverBudget),
+                    }
+                }
+                SolverChoice::Parallel(parallel_config) => {
+                    match solve_parallel(&self.program, &system, *parallel_config) {
+                        ParallelOutcome::Found {
+                            schedule, witness, ..
+                        } => (schedule, witness),
+                        ParallelOutcome::Exhausted(_) => return Err(PipelineError::Unsat),
+                        ParallelOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
+                    }
                 }
             }
         };
-        let time_solve = t1.elapsed();
+        phases.solve = t.elapsed();
 
-        let replay_report = replay(
-            &self.program,
-            config.model,
-            self.sharing.shared_spec(),
-            &trace,
-            &schedule,
-            recorded.assert,
-        )
-        .map_err(PipelineError::Replay)?;
+        let t = Instant::now();
+        let replay_report = {
+            let _s = clap_obs::span("replay");
+            replay(
+                &self.program,
+                config.model,
+                self.sharing.shared_spec(),
+                &trace,
+                &schedule,
+                recorded.assert,
+            )
+            .map_err(PipelineError::Replay)?
+        };
+        phases.replay = t.elapsed();
 
         let context_switches = schedule.context_switches(&trace);
+        clap_obs::gauge(
+            "replay.context_switches",
+            i64::try_from(context_switches).unwrap_or(i64::MAX),
+        );
+        phases.total = phases.record + offline_start.elapsed();
         Ok(ReproductionReport {
             threads: trace.thread_count(),
             shared_vars: self.sharing.shared_count(),
@@ -349,9 +446,11 @@ impl Pipeline {
             saps: trace.sap_count(),
             constraints: stats,
             log_bytes: recorded.log.size_bytes(),
-            time_symbolic,
-            time_solve,
+            time_symbolic: phases.decode + phases.symex + phases.constrain,
+            time_solve: phases.solve,
+            phases,
             context_switches,
+            schedule_letters: schedule.thread_letters(&trace),
             schedule,
             witness,
             reproduced: replay_report.reproduced,
@@ -362,12 +461,33 @@ impl Pipeline {
 
     /// The whole pipeline in one call.
     ///
+    /// When [`PipelineConfig::observer`] has any sink configured, the
+    /// global [`clap_obs`] collector is installed for the duration of the
+    /// run and the sinks are flushed before returning (on both success
+    /// and failure); sink I/O errors go to stderr rather than failing the
+    /// reproduction.
+    ///
     /// # Errors
     ///
     /// Any phase's [`PipelineError`].
     pub fn reproduce(&self, config: &PipelineConfig) -> Result<ReproductionReport, PipelineError> {
+        config.observer.install();
+        let result = self.reproduce_inner(config);
+        if let Err(e) = config.observer.flush() {
+            eprintln!("clap-obs: failed to write sink: {e}");
+        }
+        result
+    }
+
+    fn reproduce_inner(
+        &self,
+        config: &PipelineConfig,
+    ) -> Result<ReproductionReport, PipelineError> {
+        let t0 = Instant::now();
         let recorded = self.record_failure(config)?;
-        self.reproduce_from(config, &recorded)
+        let mut report = self.reproduce_from(config, &recorded)?;
+        report.phases.total = t0.elapsed();
+        Ok(report)
     }
 }
 

@@ -1,0 +1,604 @@
+//! Structured observability for the CLAP pipeline.
+//!
+//! A process-global [`Collector`] gathers **hierarchical spans** (wall-time
+//! accounting, per thread, nested by scope) and **metrics** — monotonic
+//! counters, last-value gauges, power-of-two-bucket histograms, and one-off
+//! structured events. Everything is a no-op while the collector is
+//! disabled: the fast path of every probe is a single relaxed atomic load,
+//! so always-on instrumentation costs nothing in production runs.
+//!
+//! Three sinks render a [`Snapshot`] of the collected data:
+//!
+//! * [`sink::write_summary`] — human-readable span tree + metric tables;
+//! * [`sink::write_jsonl`] — one JSON object per line, machine-readable
+//!   (schema checked by [`sink::validate_jsonl_line`]);
+//! * [`sink::write_chrome_trace`] — Chrome `trace_event` JSON, loadable in
+//!   `about:tracing` / [Perfetto](https://ui.perfetto.dev) for
+//!   flamegraph-style viewing.
+//!
+//! The [`Observer`] bundles sink destinations so a pipeline entry point can
+//! `install()` the collector, run, and `flush()` the files in one gesture.
+//!
+//! # Example
+//!
+//! ```
+//! clap_obs::reset();
+//! clap_obs::enable();
+//! {
+//!     let _phase = clap_obs::span("solve");
+//!     clap_obs::add("solver.decisions", 17);
+//!     clap_obs::observe("solver.batch", 64);
+//! }
+//! let snap = clap_obs::snapshot();
+//! assert_eq!(snap.counters["solver.decisions"], 17);
+//! assert_eq!(snap.spans.len(), 1);
+//! clap_obs::disable();
+//! ```
+
+pub mod json;
+pub mod sink;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One finished span: a named scope on one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Scope name (dotted lowercase, e.g. `explore.worker`).
+    pub name: Cow<'static, str>,
+    /// Collector-assigned thread id (0 is the first thread seen).
+    pub tid: u64,
+    /// Start, in nanoseconds since the collector was reset.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth on its thread (0 = root).
+    pub depth: u32,
+}
+
+/// One structured annotation: a named instant with string fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Collector-assigned thread id.
+    pub tid: u64,
+    /// Timestamp in nanoseconds since the collector was reset.
+    pub ts_ns: u64,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Power-of-two-bucket histogram (bucket `i` holds values with `i`
+/// significant bits, so `[2^(i-1), 2^i)`).
+#[derive(Debug, Clone)]
+struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// The bucket upper bound at which the cumulative count reaches
+    /// `q` (in per-mille) of the total.
+    fn quantile(&self, q_permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * q_permille).div_ceil(1000);
+        let mut cum = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile(500),
+            p90: self.quantile(900),
+            p99: self.quantile(990),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Aggregated histogram statistics as exported by [`snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Approximate 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+struct State {
+    start: Instant,
+    epoch: u64,
+    next_tid: u64,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Hist>,
+    events: Vec<EventRecord>,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            start: Instant::now(),
+            epoch: 0,
+            next_tid: 0,
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::new()))
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> = const { RefCell::new(Tls { tid: None, depth: 0 }) };
+}
+
+struct Tls {
+    /// Cached `(collector epoch, thread id)` — a reset bumps the epoch,
+    /// invalidating every thread's cache so ids never collide.
+    tid: Option<(u64, u64)>,
+    depth: u32,
+}
+
+fn thread_id(st: &mut State) -> u64 {
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        match tls.tid {
+            Some((epoch, t)) if epoch == st.epoch => t,
+            _ => {
+                let t = st.next_tid;
+                st.next_tid += 1;
+                tls.tid = Some((st.epoch, t));
+                t
+            }
+        }
+    })
+}
+
+/// Turns the collector on. Probes start recording immediately.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns the collector off. Probes become single-atomic-load no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether the collector is currently recording.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all collected data and restarts the clock. Thread-id
+/// assignments restart too: the reset bumps the collector epoch, which
+/// invalidates every thread's cached id on its next probe.
+pub fn reset() {
+    let mut st = state().lock().expect("obs state");
+    let epoch = st.epoch + 1;
+    *st = State::new();
+    st.epoch = epoch;
+}
+
+/// An RAII guard for one span; records the span when dropped.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct SpanGuard {
+    info: Option<(Cow<'static, str>, Instant)>,
+}
+
+/// Opens a span named `name` on the current thread. When the collector is
+/// disabled this is a no-op returning an inert guard.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { info: None };
+    }
+    TLS.with(|tls| tls.borrow_mut().depth += 1);
+    SpanGuard {
+        info: Some((name.into(), Instant::now())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, started)) = self.info.take() else {
+            return;
+        };
+        let depth = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            tls.depth = tls.depth.saturating_sub(1);
+            tls.depth
+        });
+        if !is_enabled() {
+            return; // disabled mid-span: drop the record
+        }
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        let mut st = state().lock().expect("obs state");
+        let start_ns = started.saturating_duration_since(st.start).as_nanos() as u64;
+        let tid = thread_id(&mut st);
+        st.spans.push(SpanRecord {
+            name,
+            tid,
+            start_ns,
+            dur_ns,
+            depth,
+        });
+    }
+}
+
+/// Adds `delta` to the counter `name`.
+pub fn add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("obs state");
+    match st.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            st.counters.insert(name.to_owned(), delta);
+        }
+    }
+}
+
+/// Sets the gauge `name` to `value` (last write wins).
+pub fn gauge(name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("obs state");
+    match st.gauges.get_mut(name) {
+        Some(v) => *v = value,
+        None => {
+            st.gauges.insert(name.to_owned(), value);
+        }
+    }
+}
+
+/// Records one sample into the histogram `name`.
+pub fn observe(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("obs state");
+    match st.hists.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Hist::new();
+            h.record(value);
+            st.hists.insert(name.to_owned(), h);
+        }
+    }
+}
+
+/// Records a structured instant event with string fields.
+pub fn event(name: &str, fields: &[(&str, String)]) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("obs state");
+    let ts_ns = st.start.elapsed().as_nanos() as u64;
+    let tid = thread_id(&mut st);
+    st.events.push(EventRecord {
+        name: name.to_owned(),
+        tid,
+        ts_ns,
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    });
+}
+
+/// An immutable copy of everything collected so far.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Nanoseconds since the collector was reset.
+    pub elapsed_ns: u64,
+    /// Finished spans, sorted by `(tid, start_ns, depth)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Instant events in recording order.
+    pub events: Vec<EventRecord>,
+}
+
+/// Takes a snapshot of the collector (works whether enabled or not).
+pub fn snapshot() -> Snapshot {
+    let st = state().lock().expect("obs state");
+    let mut spans = st.spans.clone();
+    spans.sort_by(|a, b| {
+        (a.tid, a.start_ns, a.depth, &a.name).cmp(&(b.tid, b.start_ns, b.depth, &b.name))
+    });
+    Snapshot {
+        elapsed_ns: st.start.elapsed().as_nanos() as u64,
+        spans,
+        counters: st.counters.clone(),
+        gauges: st.gauges.clone(),
+        hists: st
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+        events: st.events.clone(),
+    }
+}
+
+/// Sink destinations for one observed run, carried by
+/// `clap_core::PipelineConfig::with_observer` and the CLI's
+/// `--trace`/`--metrics`/`-v` flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Observer {
+    /// Write a Chrome `trace_event` JSON file here.
+    pub trace_path: Option<PathBuf>,
+    /// Write the JSONL metric/span stream here.
+    pub metrics_path: Option<PathBuf>,
+    /// Print the human-readable summary to stderr.
+    pub summary: bool,
+}
+
+impl Observer {
+    /// An observer with no sinks (collector stays untouched).
+    pub fn none() -> Self {
+        Observer::default()
+    }
+
+    /// Adds a Chrome trace output file.
+    #[must_use]
+    pub fn with_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Adds a JSONL metrics output file.
+    #[must_use]
+    pub fn with_metrics(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_path = Some(path.into());
+        self
+    }
+
+    /// Enables the stderr summary.
+    #[must_use]
+    pub fn with_summary(mut self) -> Self {
+        self.summary = true;
+        self
+    }
+
+    /// `true` when any sink is configured.
+    pub fn is_active(&self) -> bool {
+        self.trace_path.is_some() || self.metrics_path.is_some() || self.summary
+    }
+
+    /// Resets and enables the global collector — a no-op when no sink is
+    /// configured, so default configs never pay for instrumentation.
+    pub fn install(&self) {
+        if self.is_active() {
+            reset();
+            enable();
+        }
+    }
+
+    /// Writes every configured sink from a fresh snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the sink files.
+    pub fn flush(&self) -> io::Result<()> {
+        if !self.is_active() {
+            return Ok(());
+        }
+        let snap = snapshot();
+        if let Some(path) = &self.metrics_path {
+            let mut buf = Vec::new();
+            sink::write_jsonl(&snap, &mut buf)?;
+            std::fs::write(path, buf)?;
+        }
+        if let Some(path) = &self.trace_path {
+            let mut buf = Vec::new();
+            sink::write_chrome_trace(&snap, &mut buf)?;
+            std::fs::write(path, buf)?;
+        }
+        if self.summary {
+            let mut err = io::stderr().lock();
+            sink::write_summary(&snap, &mut err)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes tests that use the process-global collector. Rust runs the
+/// tests of one binary concurrently, so any test that calls
+/// [`reset`]/[`enable`]/[`snapshot`] must hold this guard for its whole
+/// body. Not part of the stable API.
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _l = test_lock();
+        reset();
+        disable();
+        add("c", 5);
+        gauge("g", 1);
+        observe("h", 2);
+        event("e", &[("k", "v".to_owned())]);
+        let _s = span("s");
+        drop(_s);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.hists.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_depth() {
+        let _l = test_lock();
+        reset();
+        enable();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.tid, inner.tid);
+        assert!(outer.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let _l = test_lock();
+        reset();
+        enable();
+        add("x", 2);
+        add("x", 3);
+        gauge("y", 10);
+        gauge("y", -4);
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.counters["x"], 5);
+        assert_eq!(snap.gauges["y"], -4);
+    }
+
+    #[test]
+    fn histogram_summaries_are_sane() {
+        let _l = test_lock();
+        reset();
+        enable();
+        for v in [1u64, 2, 3, 4, 100] {
+            observe("h", v);
+        }
+        disable();
+        let h = snapshot().hists["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 110);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert!(h.p50 >= 2 && h.p50 <= 7, "p50 = {}", h.p50);
+        assert_eq!(h.p99, 100);
+    }
+
+    #[test]
+    fn threads_get_distinct_ids() {
+        let _l = test_lock();
+        reset();
+        enable();
+        let _main = span("main-span");
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _w = span("worker");
+                });
+            }
+        });
+        drop(_main);
+        disable();
+        let snap = snapshot();
+        let mut tids: Vec<u64> = snap.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "three distinct threads: {:?}", snap.spans);
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let mut h = Hist::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.summary();
+        assert!(s.p50 <= 15);
+        assert_eq!(s.p99, 15, "99 of 100 samples sit in the [8,15] bucket");
+        assert_eq!(s.max, 1_000_000);
+    }
+}

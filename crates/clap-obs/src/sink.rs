@@ -1,0 +1,409 @@
+//! The three render targets for a [`Snapshot`]: human-readable summary,
+//! machine-readable JSONL, and Chrome `trace_event` JSON.
+//!
+//! The JSONL schema is deliberately rigid — every record type has a fixed
+//! key set in a fixed order — and [`validate_jsonl_line`] re-checks it, so
+//! downstream tooling (and the repo's own snapshot test and CI step) can
+//! rely on the stream shape.
+
+use crate::json;
+use crate::Snapshot;
+use std::io::{self, Write};
+
+/// Writes the human-readable summary: a span tree per thread followed by
+/// the metric tables.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_summary(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "== clap-obs summary: {} in {} span(s), {} counter(s), {} gauge(s), {} hist(s), {} event(s) ==",
+        fmt_ns(snap.elapsed_ns),
+        snap.spans.len(),
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.hists.len(),
+        snap.events.len(),
+    )?;
+    if !snap.spans.is_empty() {
+        writeln!(w, "spans:")?;
+        let mut tid = u64::MAX;
+        for s in &snap.spans {
+            if s.tid != tid {
+                tid = s.tid;
+                writeln!(w, "  [tid {tid}]")?;
+            }
+            writeln!(
+                w,
+                "    {:indent$}{:<32} {:>10}  @{}",
+                "",
+                s.name,
+                fmt_ns(s.dur_ns),
+                fmt_ns(s.start_ns),
+                indent = 2 * s.depth as usize,
+            )?;
+        }
+    }
+    if !snap.counters.is_empty() {
+        writeln!(w, "counters:")?;
+        for (name, value) in &snap.counters {
+            writeln!(w, "  {name:<40} {value:>12}")?;
+        }
+    }
+    if !snap.gauges.is_empty() {
+        writeln!(w, "gauges:")?;
+        for (name, value) in &snap.gauges {
+            writeln!(w, "  {name:<40} {value:>12}")?;
+        }
+    }
+    if !snap.hists.is_empty() {
+        writeln!(w, "histograms:")?;
+        for (name, h) in &snap.hists {
+            writeln!(
+                w,
+                "  {name:<40} count={} sum={} min={} p50~{} p90~{} p99~{} max={}",
+                h.count, h.sum, h.min, h.p50, h.p90, h.p99, h.max
+            )?;
+        }
+    }
+    if !snap.events.is_empty() {
+        writeln!(w, "events:")?;
+        for e in &snap.events {
+            write!(w, "  @{} [tid {}] {}", fmt_ns(e.ts_ns), e.tid, e.name)?;
+            for (k, v) in &e.fields {
+                write!(w, " {k}={v}")?;
+            }
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// Writes the JSONL stream: one `meta` line, then every span, counter,
+/// gauge, histogram, and event as its own line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{{\"type\":\"meta\",\"version\":1,\"elapsed_ns\":{},\"spans\":{},\"counters\":{},\"gauges\":{},\"hists\":{},\"events\":{}}}",
+        snap.elapsed_ns,
+        snap.spans.len(),
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.hists.len(),
+        snap.events.len(),
+    )?;
+    for s in &snap.spans {
+        writeln!(
+            w,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"depth\":{}}}",
+            json::escape(&s.name),
+            s.tid,
+            s.start_ns,
+            s.dur_ns,
+            s.depth,
+        )?;
+    }
+    for (name, value) in &snap.counters {
+        writeln!(
+            w,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json::escape(name),
+        )?;
+    }
+    for (name, value) in &snap.gauges {
+        writeln!(
+            w,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}",
+            json::escape(name),
+        )?;
+    }
+    for (name, h) in &snap.hists {
+        writeln!(
+            w,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json::escape(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50,
+            h.p90,
+            h.p99,
+        )?;
+    }
+    for e in &snap.events {
+        write!(
+            w,
+            "{{\"type\":\"event\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{},\"fields\":{{",
+            json::escape(&e.name),
+            e.tid,
+            e.ts_ns,
+        )?;
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "\"{}\":\"{}\"", json::escape(k), json::escape(v))?;
+        }
+        writeln!(w, "}}}}")?;
+    }
+    Ok(())
+}
+
+/// The exact key sequence each JSONL record type carries.
+pub const JSONL_SCHEMA: &[(&str, &[&str])] = &[
+    (
+        "meta",
+        &[
+            "type",
+            "version",
+            "elapsed_ns",
+            "spans",
+            "counters",
+            "gauges",
+            "hists",
+            "events",
+        ],
+    ),
+    (
+        "span",
+        &["type", "name", "tid", "start_ns", "dur_ns", "depth"],
+    ),
+    ("counter", &["type", "name", "value"]),
+    ("gauge", &["type", "name", "value"]),
+    (
+        "hist",
+        &[
+            "type", "name", "count", "sum", "min", "max", "p50", "p90", "p99",
+        ],
+    ),
+    ("event", &["type", "name", "tid", "ts_ns", "fields"]),
+];
+
+/// Validates one JSONL line against [`JSONL_SCHEMA`], returning the record
+/// type.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation: malformed JSON, an
+/// unknown record type, missing/extra/misordered keys, or a wrongly typed
+/// field.
+pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
+    let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let ty = v
+        .get("type")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| "missing `type`".to_owned())?;
+    let (ty_static, keys) = JSONL_SCHEMA
+        .iter()
+        .find(|(t, _)| *t == ty)
+        .ok_or_else(|| format!("unknown record type `{ty}`"))?;
+    let got = v
+        .keys()
+        .ok_or_else(|| "record is not an object".to_owned())?;
+    if got != *keys {
+        return Err(format!(
+            "key mismatch for `{ty}`: got {got:?}, want {keys:?}"
+        ));
+    }
+    for key in keys.iter().skip(1) {
+        let field = v.get(key).expect("key checked above");
+        let ok = match (*ty_static, *key) {
+            (_, "name") => field.as_str().is_some(),
+            ("event", "fields") => match field {
+                json::Value::Obj(entries) => entries.iter().all(|(_, fv)| fv.as_str().is_some()),
+                _ => false,
+            },
+            _ => field.as_num().is_some(),
+        };
+        if !ok {
+            return Err(format!("field `{key}` of `{ty}` has the wrong type"));
+        }
+    }
+    Ok(ty_static)
+}
+
+/// Writes Chrome `trace_event` JSON: spans as complete (`X`) events,
+/// counters/gauges as counter (`C`) samples, and events as instants (`i`).
+/// Loadable in `about:tracing` and Perfetto.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
+    let us = |ns: u64| ns as f64 / 1e3;
+    writeln!(w, "{{\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut dyn Write, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            writeln!(w, ",")
+        }
+    };
+    for s in &snap.spans {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"clap\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            json::escape(&s.name),
+            s.tid,
+            us(s.start_ns),
+            us(s.dur_ns),
+        )?;
+    }
+    for (name, value) in &snap.counters {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{:.3},\"args\":{{\"value\":{value}}}}}",
+            json::escape(name),
+            us(snap.elapsed_ns),
+        )?;
+    }
+    for (name, value) in &snap.gauges {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{:.3},\"args\":{{\"value\":{value}}}}}",
+            json::escape(name),
+            us(snap.elapsed_ns),
+        )?;
+    }
+    for e in &snap.events {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"s\":\"t\",\"args\":{{",
+            json::escape(&e.name),
+            e.tid,
+            us(e.ts_ns),
+        )?;
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "\"{}\":\"{}\"", json::escape(k), json::escape(v))?;
+        }
+        write!(w, "}}}}")?;
+    }
+    writeln!(w, "\n],\"displayTimeUnit\":\"ms\"}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add, disable, enable, event, gauge, observe, reset, snapshot, span, test_lock};
+
+    fn sample_snapshot() -> Snapshot {
+        let _l = test_lock();
+        reset();
+        enable();
+        {
+            let _root = span("record");
+            let _child = span("explore.worker");
+            add("explore.seeds", 42);
+            gauge("schedule.context_switches", 1);
+            observe("parallel.batch_occupancy", 64);
+            event("dbg.frontier", &[("thread", "2".to_owned())]);
+        }
+        disable();
+        snapshot()
+    }
+
+    #[test]
+    fn jsonl_lines_all_validate() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_jsonl(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut types = Vec::new();
+        for line in text.lines() {
+            types.push(validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}")));
+        }
+        assert_eq!(types[0], "meta");
+        for ty in ["span", "counter", "gauge", "hist", "event"] {
+            assert!(types.contains(&ty), "missing record type {ty}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        assert!(validate_jsonl_line("not json").is_err());
+        assert!(validate_jsonl_line(r#"{"type":"mystery"}"#).is_err());
+        // Missing a key.
+        assert!(validate_jsonl_line(r#"{"type":"counter","name":"x"}"#).is_err());
+        // Extra key.
+        assert!(
+            validate_jsonl_line(r#"{"type":"counter","name":"x","value":1,"unit":"s"}"#).is_err()
+        );
+        // Wrong type.
+        assert!(validate_jsonl_line(r#"{"type":"counter","name":"x","value":"1"}"#).is_err());
+        // Reordered keys.
+        assert!(validate_jsonl_line(r#"{"type":"counter","value":1,"name":"x"}"#).is_err());
+        // Correct line passes.
+        assert_eq!(
+            validate_jsonl_line(r#"{"type":"counter","name":"x","value":1}"#).unwrap(),
+            "counter"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_phases() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_chrome_trace(&snap, &mut buf).unwrap();
+        let doc = crate::json::parse(&String::from_utf8(buf).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.len() >= 5);
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"record"));
+        assert!(names.contains(&"explore.seeds"));
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "X" | "C" | "i"), "unexpected phase {ph}");
+        }
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_summary(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for needle in [
+            "spans:",
+            "counters:",
+            "gauges:",
+            "histograms:",
+            "events:",
+            "record",
+            "explore.seeds",
+        ] {
+            assert!(text.contains(needle), "summary missing {needle}:\n{text}");
+        }
+    }
+}

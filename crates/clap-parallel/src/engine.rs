@@ -141,6 +141,10 @@ pub fn solve_parallel(
                 let validated = &validated;
                 let good = &good;
                 scope.spawn(move || {
+                    let _span = clap_obs::span("parallel.validator");
+                    let worker_start = Instant::now();
+                    let mut busy = std::time::Duration::ZERO;
+                    let mut checked: u64 = 0;
                     let mut scratch = Schedule {
                         order: Vec::with_capacity(n),
                     };
@@ -148,11 +152,13 @@ pub fn solve_parallel(
                         if stop.load(Ordering::Relaxed) {
                             continue; // drain
                         }
+                        let t = Instant::now();
                         for i in 0..count {
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
                             validated.fetch_add(1, Ordering::Relaxed);
+                            checked += 1;
                             scratch.order.clear();
                             scratch.order.extend_from_slice(&flat[i * n..(i + 1) * n]);
                             if let Ok(witness) = validate(program, system, &scratch) {
@@ -163,7 +169,12 @@ pub fn solve_parallel(
                                 }
                             }
                         }
+                        busy += t.elapsed();
                     }
+                    clap_obs::observe("parallel.validator.validated", checked);
+                    let wall = worker_start.elapsed().as_nanos().max(1) as u64;
+                    let busy_pct = 100 * busy.as_nanos() as u64 / wall;
+                    clap_obs::observe("parallel.validator.busy_pct", busy_pct);
                 });
             }
             // Producer (this thread).
@@ -194,12 +205,14 @@ pub fn solve_parallel(
                         }
                         let full =
                             std::mem::replace(&mut batch, Vec::with_capacity(BATCH_ORDERS * n));
+                        clap_obs::observe("parallel.batch_occupancy", batch_count as u64);
                         let sent = tx.send((batch_count, full)).is_ok();
                         batch_count = 0;
                         sent
                     })
                 });
             if batch_count > 0 {
+                clap_obs::observe("parallel.batch_occupancy", batch_count as u64);
                 let _ = tx.send((batch_count, std::mem::take(&mut batch)));
             }
             if !exhausted_sets
@@ -222,6 +235,7 @@ pub fn solve_parallel(
         stats.good += found.len() as u64;
         if let Some((schedule, witness)) = found.into_iter().next() {
             let cs = schedule.context_switches(system.trace);
+            emit_stats(&stats);
             return ParallelOutcome::Found {
                 schedule,
                 witness,
@@ -234,11 +248,27 @@ pub fn solve_parallel(
             break;
         }
     }
+    emit_stats(&stats);
     if budget_hit {
         ParallelOutcome::Budget(stats)
     } else {
         ParallelOutcome::Exhausted(stats)
     }
+}
+
+/// Reports the search effort (Table 3 columns) to the metrics stream.
+fn emit_stats(stats: &ParallelStats) {
+    clap_obs::add("parallel.generated", stats.generated);
+    clap_obs::add("parallel.validated", stats.validated);
+    clap_obs::add("parallel.good", stats.good);
+    clap_obs::add(
+        "parallel.rejected",
+        stats.validated.saturating_sub(stats.good),
+    );
+    clap_obs::gauge(
+        "parallel.cs_bound",
+        i64::try_from(stats.cs_bound).unwrap_or(i64::MAX),
+    );
 }
 
 /// `log10` of the worst-case number of schedules — the interleaving count

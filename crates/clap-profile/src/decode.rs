@@ -70,6 +70,8 @@ pub fn decode_log(
     tables: &BlTables,
     log: &PathLog,
 ) -> Result<Vec<ThreadPath>, DecodeError> {
+    clap_obs::add("decode.bytes", log.size_bytes() as u64);
+    clap_obs::add("decode.paths", log.threads.len() as u64);
     log.threads
         .iter()
         .map(|t| {

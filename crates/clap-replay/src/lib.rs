@@ -257,6 +257,8 @@ pub fn replay_under(
     let outcome = vm.run(&mut sched, monitor);
     let steps = vm.stats().steps;
     let positions_consumed = sched.positions_consumed();
+    clap_obs::add("replay.steps", steps);
+    clap_obs::add("replay.scheduled_positions", positions_consumed as u64);
     if sched.is_stuck() {
         // The scheduler could not follow the schedule at some point; even
         // if an assert fired afterwards, the run was not the computed one.

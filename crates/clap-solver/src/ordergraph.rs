@@ -14,6 +14,9 @@ pub struct OrderGraph {
     trail: Vec<u32>,
     stamp: u64,
     visited: Vec<u64>,
+    queries: u64,
+    nodes_visited: u64,
+    edges_added: u64,
 }
 
 impl OrderGraph {
@@ -24,7 +27,26 @@ impl OrderGraph {
             trail: Vec::new(),
             stamp: 0,
             visited: vec![0; n],
+            queries: 0,
+            nodes_visited: 0,
+            edges_added: 0,
         }
+    }
+
+    /// Reachability queries answered over the graph's lifetime.
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    /// Nodes expanded across all DFS queries (the propagation work).
+    pub fn visit_count(&self) -> u64 {
+        self.nodes_visited
+    }
+
+    /// Edges accepted over the graph's lifetime (including later-undone
+    /// ones).
+    pub fn edge_count(&self) -> u64 {
+        self.edges_added
     }
 
     /// Number of nodes.
@@ -42,11 +64,13 @@ impl OrderGraph {
         if a == b {
             return true;
         }
+        self.queries += 1;
         self.stamp += 1;
         let stamp = self.stamp;
         let mut stack = vec![a];
         self.visited[a as usize] = stamp;
         while let Some(x) = stack.pop() {
+            self.nodes_visited += 1;
             for &y in &self.succ[x as usize] {
                 if y == b {
                     return true;
@@ -84,6 +108,7 @@ impl OrderGraph {
         }
         self.succ[a as usize].push(b);
         self.trail.push(a);
+        self.edges_added += 1;
         true
     }
 

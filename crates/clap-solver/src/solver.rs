@@ -86,7 +86,18 @@ pub fn solve(
     config: SolverConfig,
 ) -> SolveOutcome {
     let mut search = Search::new(program, system, config);
-    search.run()
+    let outcome = search.run();
+    let stats = match &outcome {
+        SolveOutcome::Sat(s) => s.stats,
+        SolveOutcome::Unsat(s) | SolveOutcome::Timeout(s) => *s,
+    };
+    clap_obs::add("solver.decisions", stats.decisions);
+    clap_obs::add("solver.conflicts", stats.conflicts);
+    clap_obs::add("solver.propagations", stats.propagations);
+    clap_obs::add("solver.order_graph.queries", search.graph.query_count());
+    clap_obs::add("solver.order_graph.visits", search.graph.visit_count());
+    clap_obs::add("solver.order_graph.edges", search.graph.edge_count());
+    outcome
 }
 
 #[derive(Debug, Clone)]

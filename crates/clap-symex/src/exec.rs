@@ -121,12 +121,16 @@ pub fn execute(
             .collect(),
         pending_args: HashMap::new(),
         nonshared: HashMap::new(),
+        instrs: 0,
     };
     // Main takes no arguments.
     exec.pending_args.insert(Lineage::main(), Vec::new());
     for (i, path) in paths.iter().enumerate() {
         exec.run_thread(ThreadIdx(i as u32), path)?;
     }
+    clap_obs::add("symex.instructions", exec.instrs);
+    clap_obs::add("symex.saps", exec.saps.len() as u64);
+    clap_obs::add("symex.expr_nodes", exec.arena.len() as u64);
     let bug = exec
         .bug
         .ok_or_else(|| SymexError("failing assert never reached on the recorded path".into()))?;
@@ -156,6 +160,8 @@ struct Executor<'a> {
     pending_args: HashMap<Lineage, Vec<ExprId>>,
     /// Symbolic images of non-shared global cells, keyed by (global, cell).
     nonshared: HashMap<(GlobalId, usize), ExprId>,
+    /// Instructions symbolically executed, across all threads.
+    instrs: u64,
 }
 
 /// Per-thread execution bookkeeping.
@@ -256,6 +262,7 @@ impl<'a> Executor<'a> {
                 (true, Some(ip)) => ip,
                 _ => block.instrs.len(),
             };
+            self.instrs += limit as u64;
             if limit > block.instrs.len() {
                 return Err(self.err("stop offset beyond block length"));
             }
