@@ -12,7 +12,7 @@ fn main() {
         config.stickiness = w.stickiness.to_vec();
         config.seed_budget = w.seed_budget;
         config.solver = SolverChoice::Sequential(SolverConfig {
-            deadline: Some(Instant::now() + deadline_per),
+            timeout: Some(deadline_per),
             max_decisions: 0,
         });
         match pipeline.reproduce(&config) {

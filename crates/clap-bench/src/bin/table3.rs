@@ -14,8 +14,8 @@ fn main() {
     observer.install();
     println!("Table 3 — parallel generate-and-validate vs sequential solving");
     println!(
-        "{:<10} {:>12} {:>16} {:>6} {:>10} {:>10}",
-        "Program", "#worst", "#gen(#cs)", "#good", "Time-par", "Time-seq"
+        "{:<10} {:>12} {:>16} {:>6} {:>10} {:>10} {:>16}",
+        "Program", "#worst", "#gen(#cs)", "#good", "Time-par", "Time-seq", "Time-auto(win)"
     );
     for workload in clap_workloads::all() {
         match table3_row(&workload) {
@@ -31,10 +31,16 @@ fn main() {
                         ("found", r.found.to_string()),
                         ("par_time_ns", r.par_time.as_nanos().to_string()),
                         ("seq_time_ns", r.seq_time.as_nanos().to_string()),
+                        ("auto_time_ns", r.auto_time.as_nanos().to_string()),
+                        (
+                            "auto_winner",
+                            r.auto_winner
+                                .map_or_else(|| "none".to_owned(), |w| w.to_string()),
+                        ),
                     ],
                 );
                 println!(
-                    "{:<10} {:>9} {:>12}({}) {:>6} {:>10} {:>10}",
+                    "{:<10} {:>9} {:>12}({}) {:>6} {:>10} {:>10} {:>16}",
                     r.name,
                     format!("> 10^{:.0}", r.worst_log10),
                     r.generated,
@@ -46,6 +52,10 @@ fn main() {
                         format!("> {}*", fmt_duration(r.par_time))
                     },
                     fmt_duration(r.seq_time),
+                    match r.auto_winner {
+                        Some(w) => format!("{} ({w})", fmt_duration(r.auto_time)),
+                        None => format!("{} (none)", fmt_duration(r.auto_time)),
+                    },
                 );
             }
             Err(e) => println!("{:<10} FAILED: {e}", workload.name),

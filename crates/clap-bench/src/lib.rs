@@ -6,7 +6,10 @@
 pub mod explore;
 
 use clap_constraints::{count, ConstraintSystem};
-use clap_core::{Pipeline, PipelineConfig, RecordedFailure, SolverChoice};
+use clap_core::{
+    solve_auto, AutoConfig, EngineKind, Pipeline, PipelineConfig, PortfolioOutcome,
+    RecordedFailure, SolverChoice,
+};
 use clap_leap::LeapRecorder;
 use clap_parallel::{solve_parallel, worst_case_schedules_log10, ParallelConfig, ParallelOutcome};
 use clap_profile::{BlTables, PathRecorder};
@@ -78,7 +81,7 @@ pub fn workload_config(workload: &Workload) -> PipelineConfig {
     config.stickiness = workload.stickiness.to_vec();
     config.seed_budget = workload.seed_budget;
     config.solver = SolverChoice::Sequential(SolverConfig {
-        deadline: Some(Instant::now() + Duration::from_secs(300)),
+        timeout: Some(Duration::from_secs(300)),
         max_decisions: 0,
     });
     // The table binaries record 25 failure candidates per workload; fan
@@ -227,6 +230,11 @@ pub struct Table3Row {
     pub par_time: Duration,
     /// Sequential solver time on the same system.
     pub seq_time: Duration,
+    /// Adaptive-portfolio ([`clap_core::solve_auto`]) time on the same
+    /// system.
+    pub auto_time: Duration,
+    /// The engine the portfolio won with (`None` when it failed).
+    pub auto_winner: Option<EngineKind>,
 }
 
 /// Runs both solvers on a workload's recorded failure (Table 3).
@@ -252,7 +260,7 @@ pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
         &system,
         ParallelConfig {
             stop_after_good: 8,
-            deadline: Some(Instant::now() + Duration::from_secs(120)),
+            timeout: Some(Duration::from_secs(120)),
             ..ParallelConfig::default()
         },
     );
@@ -267,6 +275,18 @@ pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
         return Err("sequential solver did not find a schedule".into());
     }
 
+    let t2 = Instant::now();
+    let auto = solve_auto(
+        pipeline.program(),
+        &system,
+        &AutoConfig::default().with_solve_timeout(Duration::from_secs(120)),
+    );
+    let auto_time = t2.elapsed();
+    let auto_winner = match &auto {
+        PortfolioOutcome::Found { report, .. } => report.winner,
+        PortfolioOutcome::Unsat(_) | PortfolioOutcome::Budget(_) => None,
+    };
+
     Ok(Table3Row {
         name: workload.name.to_owned(),
         worst_log10: worst_case_schedules_log10(&system),
@@ -276,6 +296,8 @@ pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
         found,
         par_time,
         seq_time,
+        auto_time,
+        auto_winner,
     })
 }
 

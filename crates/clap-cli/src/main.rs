@@ -5,12 +5,17 @@
 //! clap-reproduce dump      prog.clap                    pretty-print the lowered CFG
 //! clap-reproduce run       prog.clap [--model M] [--seed N] [--stickiness S]
 //! clap-reproduce explore   prog.clap [--model M] [--budget N] [--workers N]
-//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--workers N] [--parallel] [--sync-order]
+//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--workers N]
+//!                          [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
 //! ```
 //!
 //! `M` is one of `sc` (default), `tso`, `pso`. `--workers` sets the
 //! record-phase exploration pool size (0, the default, means one worker
-//! per core); any value returns the same artifact.
+//! per core); any value returns the same artifact. `--solver auto` runs
+//! the adaptive portfolio: the parallel engine escalates up a
+//! preemption-bound ladder, then the sequential solver takes the rest of
+//! the `--solve-timeout` budget. `--parallel` is shorthand for
+//! `--solver par`.
 //!
 //! Every command that executes the program (`run`, `explore`,
 //! `reproduce`) also accepts the observability flags: `--trace <path>`
@@ -18,11 +23,13 @@
 //! `about:tracing`), `--metrics <path>` writes the JSONL metric stream,
 //! and `-v`/`--verbose` prints the collector summary to stderr.
 
-use clap_core::{Pipeline, PipelineConfig, SolverChoice};
+use clap_core::{AutoConfig, Pipeline, PipelineConfig, SolverChoice};
 use clap_obs::Observer;
 use clap_parallel::ParallelConfig;
+use clap_solver::SolverConfig;
 use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,12 +49,26 @@ const USAGE: &str = "usage:
   clap-reproduce dump      <prog.clap>
   clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
   clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
-  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N] [--parallel] [--sync-order]
+  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
+                           [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
+
+solving (reproduce):
+  --solver seq|par|auto    sequential DPLL(T), parallel generate-and-validate,
+                           or the adaptive portfolio (ladder + fallback); default seq
+  --parallel               shorthand for --solver par
+  --solve-timeout SECS     overall wall-clock budget for the solve phase
 
 observability (run/explore/reproduce):
   --trace <path>     write a Chrome trace_event JSON timeline (Perfetto-loadable)
   --metrics <path>   write the JSONL metric stream
   -v, --verbose      print the collector summary to stderr";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SolverFlag {
+    Sequential,
+    Parallel,
+    Auto,
+}
 
 struct Options {
     file: String,
@@ -56,7 +77,8 @@ struct Options {
     stickiness: f64,
     budget: u64,
     workers: usize,
-    parallel: bool,
+    solver: SolverFlag,
+    solve_timeout: Option<Duration>,
     sync_order: bool,
     trace: Option<String>,
     metrics: Option<String>,
@@ -87,7 +109,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         stickiness: 0.7,
         budget: 20_000,
         workers: 0,
-        parallel: false,
+        solver: SolverFlag::Sequential,
+        solve_timeout: None,
         sync_order: false,
         trace: None,
         metrics: None,
@@ -121,7 +144,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--workers needs a value")?;
                 options.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
             }
-            "--parallel" => options.parallel = true,
+            "--parallel" => options.solver = SolverFlag::Parallel,
+            "--solver" => {
+                let v = it.next().ok_or("--solver needs a value")?;
+                options.solver = match v.as_str() {
+                    "seq" => SolverFlag::Sequential,
+                    "par" => SolverFlag::Parallel,
+                    "auto" => SolverFlag::Auto,
+                    other => return Err(format!("unknown solver `{other}` (seq|par|auto)")),
+                };
+            }
+            "--solve-timeout" => {
+                let v = it
+                    .next()
+                    .ok_or("--solve-timeout needs a value in seconds")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad solve timeout `{v}`"))?;
+                options.solve_timeout = Some(Duration::from_secs(secs));
+            }
             "--sync-order" => options.sync_order = true,
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a path")?;
@@ -246,9 +285,20 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut config = PipelineConfig::new(options.model).with_observer(options.observer());
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
-            if options.parallel {
-                config.solver = SolverChoice::Parallel(ParallelConfig::default());
-            }
+            config.solver = match options.solver {
+                SolverFlag::Sequential => SolverChoice::Sequential(SolverConfig {
+                    timeout: options.solve_timeout,
+                    ..SolverConfig::default()
+                }),
+                SolverFlag::Parallel => SolverChoice::Parallel(ParallelConfig {
+                    timeout: options.solve_timeout,
+                    ..ParallelConfig::default()
+                }),
+                SolverFlag::Auto => SolverChoice::Auto(AutoConfig {
+                    solve_timeout: options.solve_timeout,
+                    ..AutoConfig::default()
+                }),
+            };
             config.record_sync_order = options.sync_order;
             let report = pipeline.reproduce(&config).map_err(|e| e.to_string())?;
             println!("reproduced: {}", report.reproduced);
@@ -267,6 +317,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 "times: record {:?}, decode {:?}, symex {:?}, constrain {:?}, solve {:?}, replay {:?} (total {:?})",
                 p.record, p.decode, p.symex, p.constrain, p.solve, p.replay, p.total
             );
+            for attempt in &report.portfolio.attempts {
+                let bounds = match attempt.cs_bounds {
+                    Some((lo, hi)) => format!(" cs {lo}..={hi}"),
+                    None => String::new(),
+                };
+                println!(
+                    "solver attempt: {}{bounds} -> {} in {:?}",
+                    attempt.engine, attempt.outcome, attempt.wall
+                );
+            }
+            match report.portfolio.winner {
+                Some(winner) => println!("solver winner: {winner}"),
+                None => println!("solver winner: none"),
+            }
             println!(
                 "schedule has {} preemptive switches (thread per position):",
                 report.context_switches

@@ -39,15 +39,26 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 mod explore;
+mod portfolio;
+
+pub use portfolio::{
+    solve_auto, AttemptOutcome, AutoConfig, EngineKind, PortfolioAttempt, PortfolioOutcome,
+    PortfolioReport,
+};
 
 /// Which offline solver reconstructs the schedule.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum SolverChoice {
     /// The sequential DPLL(T)-style search ([`clap_solver`]).
     Sequential(SolverConfig),
     /// The §4.3 parallel generate-and-validate engine
     /// ([`clap_parallel`]); finds minimal-context-switch schedules.
     Parallel(ParallelConfig),
+    /// The adaptive portfolio ([`solve_auto`]): escalates the parallel
+    /// engine up a preemption-bound ladder, then falls back to (or races)
+    /// the sequential solver. The only choice that is both fast on
+    /// few-preemption bugs and complete on the rest.
+    Auto(AutoConfig),
 }
 
 /// Pipeline configuration.
@@ -108,6 +119,12 @@ impl PipelineConfig {
         self
     }
 
+    /// Switches to the adaptive solver portfolio.
+    pub fn with_auto_solver(mut self, config: AutoConfig) -> Self {
+        self.solver = SolverChoice::Auto(config);
+        self
+    }
+
     /// Overrides the exploration budget.
     pub fn with_seed_budget(mut self, budget: u64) -> Self {
         self.seed_budget = budget;
@@ -139,9 +156,16 @@ pub enum PipelineError {
     Decode(DecodeError),
     /// Symbolic execution rejected the trace.
     Symex(SymexError),
-    /// The constraints are unsatisfiable (should not happen for a
-    /// recorded failure — it indicates a modeling gap).
+    /// The constraints are unsatisfiable, *certified by a complete
+    /// search* (should not happen for a recorded failure — it indicates a
+    /// modeling gap).
     Unsat,
+    /// A bounded schedule search exhausted its preemption bounds without
+    /// finding a schedule — and without covering the full schedule space,
+    /// so this is **not** an unsatisfiability verdict. Retry with larger
+    /// bounds, or use [`SolverChoice::Auto`], which escalates and falls
+    /// back to a complete engine on its own.
+    SearchExhausted,
     /// The solver ran out of budget.
     SolverBudget,
     /// The computed schedule did not replay.
@@ -156,6 +180,11 @@ impl fmt::Display for PipelineError {
             PipelineError::Decode(e) => write!(f, "log decoding: {e}"),
             PipelineError::Symex(e) => write!(f, "symbolic execution: {e}"),
             PipelineError::Unsat => write!(f, "constraints unsatisfiable"),
+            PipelineError::SearchExhausted => write!(
+                f,
+                "bounded schedule search exhausted without certifying \
+                 unsatisfiability (try larger bounds or the auto solver)"
+            ),
             PipelineError::SolverBudget => write!(f, "solver budget exhausted"),
             PipelineError::Replay(e) => write!(f, "replay: {e}"),
         }
@@ -253,6 +282,11 @@ pub struct ReproductionReport {
     pub schedule: Schedule,
     /// Concrete witness (values + reads-from).
     pub witness: Witness,
+    /// The solver attempts that produced the schedule, and which engine
+    /// won. Single-entry for [`SolverChoice::Sequential`]/
+    /// [`SolverChoice::Parallel`]; the full attempt ladder for
+    /// [`SolverChoice::Auto`].
+    pub portfolio: PortfolioReport,
     /// The replay verification.
     pub replay: ReplayReport,
     /// `true` when replay fired the recorded assert.
@@ -394,12 +428,21 @@ impl Pipeline {
         phases.constrain = t.elapsed();
 
         let t = Instant::now();
-        let (schedule, witness) = {
+        let (schedule, witness, portfolio) = {
             let _s = clap_obs::span("solve");
             match &config.solver {
                 SolverChoice::Sequential(solver_config) => {
-                    match solve(&self.program, &system, *solver_config) {
-                        SolveOutcome::Sat(solution) => (solution.schedule, solution.witness),
+                    let outcome = solve(&self.program, &system, *solver_config);
+                    let report =
+                        |o| PortfolioReport::single(EngineKind::Sequential, o, t.elapsed());
+                    match outcome {
+                        SolveOutcome::Sat(solution) => (
+                            solution.schedule,
+                            solution.witness,
+                            report(AttemptOutcome::Found),
+                        ),
+                        // The sequential search is complete: Unsat here is
+                        // a certificate.
                         SolveOutcome::Unsat(_) => return Err(PipelineError::Unsat),
                         SolveOutcome::Timeout(_) => return Err(PipelineError::SolverBudget),
                     }
@@ -408,9 +451,35 @@ impl Pipeline {
                     match solve_parallel(&self.program, &system, *parallel_config) {
                         ParallelOutcome::Found {
                             schedule, witness, ..
-                        } => (schedule, witness),
-                        ParallelOutcome::Exhausted(_) => return Err(PipelineError::Unsat),
+                        } => {
+                            let report = PortfolioReport::single(
+                                EngineKind::Parallel,
+                                AttemptOutcome::Found,
+                                t.elapsed(),
+                            );
+                            (schedule, witness, report)
+                        }
+                        // A bounded search that came up empty is only an
+                        // unsatisfiability proof when the engine certifies
+                        // it covered the whole schedule space.
+                        ParallelOutcome::Exhausted(stats) if stats.complete => {
+                            return Err(PipelineError::Unsat)
+                        }
+                        ParallelOutcome::Exhausted(_) => {
+                            return Err(PipelineError::SearchExhausted)
+                        }
                         ParallelOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
+                    }
+                }
+                SolverChoice::Auto(auto_config) => {
+                    match solve_auto(&self.program, &system, auto_config) {
+                        PortfolioOutcome::Found {
+                            schedule,
+                            witness,
+                            report,
+                        } => (schedule, witness, report),
+                        PortfolioOutcome::Unsat(_) => return Err(PipelineError::Unsat),
+                        PortfolioOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
                     }
                 }
             }
@@ -453,6 +522,7 @@ impl Pipeline {
             schedule_letters: schedule.thread_letters(&trace),
             schedule,
             witness,
+            portfolio,
             reproduced: replay_report.reproduced,
             replay: replay_report,
             seed: recorded.seed,
@@ -586,6 +656,136 @@ mod tests {
         let added = chained.apply_sync_order(sync).unwrap();
         assert!(added > 0);
         assert_eq!(chained.hard_edges.len(), plain.hard_edges.len() + added);
+    }
+
+    #[test]
+    fn capped_exhaustion_is_not_unsat() {
+        // A parallel search that exhausts a bound too small to reach the
+        // bug must report SearchExhausted — never Unsat, which is a
+        // completeness claim the capped engine cannot make.
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc);
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let capped = PipelineConfig::new(MemModel::Sc).with_parallel_solver(ParallelConfig {
+            max_cs: 0,
+            ..ParallelConfig::default()
+        });
+        let err = pipeline.reproduce_from(&capped, &recorded).unwrap_err();
+        assert!(matches!(err, PipelineError::SearchExhausted), "got {err:?}");
+    }
+
+    #[test]
+    fn zero_timeout_is_solver_budget() {
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc);
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let starved = PipelineConfig::new(MemModel::Sc).with_parallel_solver(ParallelConfig {
+            timeout: Some(Duration::ZERO),
+            ..ParallelConfig::default()
+        });
+        let err = pipeline.reproduce_from(&starved, &recorded).unwrap_err();
+        assert!(matches!(err, PipelineError::SolverBudget), "got {err:?}");
+    }
+
+    #[test]
+    fn auto_certifies_genuine_unsat() {
+        // Rewrite a real failing trace's bug predicate to `false`: the
+        // portfolio must certify unsatisfiability (Unsat, not Budget) —
+        // either through a ladder that cleanly covered every preemption
+        // point, or through the complete sequential fallback.
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc);
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let mut trace = pipeline.symbolic_trace(&recorded).unwrap();
+        trace.bug = trace.arena.constant(0);
+        let system = ConstraintSystem::build(pipeline.program(), &trace, MemModel::Sc);
+        let outcome = solve_auto(pipeline.program(), &system, &AutoConfig::default());
+        let PortfolioOutcome::Unsat(report) = outcome else {
+            panic!("expected a certified unsat, got {outcome:?}")
+        };
+        let last = report.attempts.last().expect("attempts on record");
+        assert!(
+            matches!(
+                last.outcome,
+                AttemptOutcome::Unsat | AttemptOutcome::Exhausted
+            ),
+            "the certifying attempt must be on record: {report:?}"
+        );
+        assert_eq!(report.winner, None);
+    }
+
+    #[test]
+    fn auto_pipeline_reproduces_and_names_winner() {
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc).with_auto_solver(AutoConfig::default());
+        let report = pipeline.reproduce(&config).unwrap();
+        assert!(report.reproduced);
+        assert!(
+            report.portfolio.winner.is_some(),
+            "the winning engine must be named: {:?}",
+            report.portfolio
+        );
+        assert!(!report.portfolio.attempts.is_empty());
+    }
+
+    #[test]
+    fn auto_portfolio_is_deterministic_without_racing() {
+        // Racing disabled + one validator worker makes every attempt
+        // deterministic, so the same recording must yield the same
+        // schedule on repeated solves.
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc);
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let trace = pipeline.symbolic_trace(&recorded).unwrap();
+        let system = ConstraintSystem::build(pipeline.program(), &trace, MemModel::Sc);
+        let auto = AutoConfig {
+            parallel: ParallelConfig {
+                workers: 1,
+                ..ParallelConfig::default()
+            },
+            ..AutoConfig::default()
+        };
+        let solve_once = || match solve_auto(pipeline.program(), &system, &auto) {
+            PortfolioOutcome::Found {
+                schedule, report, ..
+            } => (schedule, report),
+            other => panic!("expected a schedule, got {other:?}"),
+        };
+        let (schedule_a, report_a) = solve_once();
+        let (schedule_b, report_b) = solve_once();
+        assert_eq!(schedule_a.order, schedule_b.order);
+        assert_eq!(report_a.winner, report_b.winner);
+        assert_eq!(report_a.attempts.len(), report_b.attempts.len());
+    }
+
+    #[test]
+    fn racing_portfolio_still_finds_a_schedule() {
+        // With racing enabled the sequential solver runs concurrently
+        // with the ladder and the loser is cancelled; whichever engine
+        // wins, the result must be a validated schedule and the raced
+        // attempt must appear in the report.
+        let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+        let config = PipelineConfig::new(MemModel::Sc);
+        let recorded = pipeline.record_failure(&config).unwrap();
+        let trace = pipeline.symbolic_trace(&recorded).unwrap();
+        let system = ConstraintSystem::build(pipeline.program(), &trace, MemModel::Sc);
+        let auto = AutoConfig::default().with_racing();
+        let outcome = solve_auto(pipeline.program(), &system, &auto);
+        let PortfolioOutcome::Found {
+            schedule, report, ..
+        } = outcome
+        else {
+            panic!("expected a schedule, got {outcome:?}")
+        };
+        clap_constraints::validate(pipeline.program(), &system, &schedule).unwrap();
+        assert!(report.winner.is_some());
+        assert!(
+            report
+                .attempts
+                .iter()
+                .any(|a| a.engine == EngineKind::Sequential),
+            "the raced sequential attempt must be on record: {report:?}"
+        );
     }
 
     #[test]

@@ -6,20 +6,28 @@
 //! independent and fast"). Exhausting each preemption bound before the
 //! next makes the first hit a **minimal-context-switch** reproduction.
 
-use crate::gen::{for_each_csp_set, Generator};
+use crate::gen::{for_each_csp_set, preemption_point_count, Generator};
 use clap_constraints::{validate, ConstraintSystem, Schedule, Witness};
 use clap_ir::Program;
 use clap_symex::SapId;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Parallel-search configuration.
+///
+/// The wall-clock budget is a [`Duration`], anchored when
+/// [`solve_parallel`] is entered — not when the config is built — so time
+/// spent recording or symbolically executing never eats the solve budget.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
     /// Validation workers (0 = one per available core, minus one for the
     /// producer).
     pub workers: usize,
+    /// Smallest preemption bound to try. A portfolio that already
+    /// exhausted bounds `0..=k` cleanly escalates with `min_cs = k + 1`
+    /// instead of re-enumerating the lower levels.
+    pub min_cs: usize,
     /// Largest preemption bound to try.
     pub max_cs: usize,
     /// Stop after this many validated schedules (the paper typically
@@ -32,25 +40,26 @@ pub struct ParallelConfig {
     /// Cap on generator DFS nodes per level (0 = unlimited); bounds
     /// pruned searches that rarely complete a schedule.
     pub max_nodes_per_level: u64,
-    /// Wall-clock deadline.
-    pub deadline: Option<Instant>,
+    /// Wall-clock budget for this solve call (`None` = unbounded).
+    pub timeout: Option<Duration>,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
             workers: 0,
+            min_cs: 0,
             max_cs: 3,
             stop_after_good: 1,
             max_generated_per_level: 2_000_000,
             max_sets_per_level: 200_000,
             max_nodes_per_level: 50_000_000,
-            deadline: None,
+            timeout: None,
         }
     }
 }
 
-/// Search counters (Table 3 columns).
+/// Search counters (Table 3 columns) plus the completeness signal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ParallelStats {
     /// Candidate schedules generated.
@@ -61,6 +70,16 @@ pub struct ParallelStats {
     pub good: u64,
     /// The preemption bound at which the search stopped.
     pub cs_bound: usize,
+    /// Whether any per-level cap (sets, schedules, DFS nodes), the
+    /// deadline, or an external cancellation cut the enumeration short.
+    pub truncated: bool,
+    /// Whether the search provably covered the **entire** schedule space:
+    /// nothing was truncated and the preemption ladder reached the number
+    /// of distinct preemption points in the trace. Only an
+    /// [`ParallelOutcome::Exhausted`] with `complete == true` is a
+    /// certificate of unsatisfiability; an incomplete exhaustion merely
+    /// says no schedule exists within the searched bounds.
+    pub complete: bool,
 }
 
 /// The outcome of the parallel search.
@@ -78,9 +97,13 @@ pub enum ParallelOutcome {
         /// Effort counters.
         stats: ParallelStats,
     },
-    /// Every preemption bound up to `max_cs` was exhausted with no hit.
+    /// Every preemption bound from `min_cs` up to `max_cs` was exhausted
+    /// with no hit. **This is not an unsatisfiability proof unless
+    /// [`ParallelStats::complete`] is set**: a capped ladder only shows
+    /// that no schedule exists within the searched preemption bounds.
     Exhausted(ParallelStats),
-    /// A budget (deadline, set cap, generation cap) stopped the search.
+    /// A budget (deadline, set cap, generation cap) or an external
+    /// cancellation stopped the search.
     Budget(ParallelStats),
 }
 
@@ -109,6 +132,21 @@ pub fn solve_parallel(
     system: &ConstraintSystem<'_>,
     config: ParallelConfig,
 ) -> ParallelOutcome {
+    solve_parallel_cancellable(program, system, config, None)
+}
+
+/// [`solve_parallel`] with a cooperative cancellation hook: when `cancel`
+/// is set by another thread (e.g. a portfolio race partner that already
+/// found a schedule), the search stops at the next check point and
+/// returns [`ParallelOutcome::Budget`] — cancellation is a budget event,
+/// never an exhaustion claim.
+pub fn solve_parallel_cancellable(
+    program: &Program,
+    system: &ConstraintSystem<'_>,
+    config: ParallelConfig,
+    cancel: Option<&AtomicBool>,
+) -> ParallelOutcome {
+    let deadline = config.timeout.map(|t| Instant::now() + t);
     let workers = if config.workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get().saturating_sub(1))
@@ -117,8 +155,12 @@ pub fn solve_parallel(
     } else {
         config.workers
     };
-    let mut stats = ParallelStats::default();
+    let mut stats = ParallelStats {
+        cs_bound: config.min_cs,
+        ..ParallelStats::default()
+    };
     let mut budget_hit = false;
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
 
     // Every emitted order is a full permutation of the trace's SAPs, so a
     // batch of k orders is one flat buffer of k·n ids — one allocation
@@ -126,8 +168,13 @@ pub fn solve_parallel(
     const BATCH_ORDERS: usize = 64;
     let n = system.trace.sap_count();
 
-    for c in 0..=config.max_cs {
+    for c in config.min_cs..=config.max_cs {
         stats.cs_bound = c;
+        if cancelled() {
+            stats.truncated = true;
+            budget_hit = true;
+            break;
+        }
         let stop = AtomicBool::new(false);
         let truncated = AtomicBool::new(false);
         let validated = AtomicU64::new(0);
@@ -180,7 +227,8 @@ pub fn solve_parallel(
             // Producer (this thread).
             let mut generator = Generator::new(program, system, config.max_generated_per_level);
             generator.set_node_budget(config.max_nodes_per_level);
-            generator.set_deadline(config.deadline);
+            generator.set_deadline(deadline);
+            generator.set_cancel(cancel);
             let mut batch: Vec<SapId> = Vec::with_capacity(BATCH_ORDERS * n);
             let mut batch_count = 0usize;
             let exhausted_sets =
@@ -188,7 +236,11 @@ pub fn solve_parallel(
                     if stop.load(Ordering::Relaxed) {
                         return false;
                     }
-                    if let Some(deadline) = config.deadline {
+                    if cancelled() {
+                        truncated.store(true, Ordering::Relaxed);
+                        return false;
+                    }
+                    if let Some(deadline) = deadline {
                         if Instant::now() >= deadline {
                             truncated.store(true, Ordering::Relaxed);
                             return false;
@@ -231,6 +283,9 @@ pub fn solve_parallel(
 
         stats.generated += generated_this_level;
         stats.validated += validated.load(Ordering::Relaxed);
+        if truncated.load(Ordering::Relaxed) {
+            stats.truncated = true;
+        }
         let found = good.into_inner().expect("good lock");
         stats.good += found.len() as u64;
         if let Some((schedule, witness)) = found.into_iter().next() {
@@ -243,11 +298,15 @@ pub fn solve_parallel(
                 stats,
             };
         }
-        if truncated.load(Ordering::Relaxed) {
+        if stats.truncated {
             budget_hit = true;
             break;
         }
     }
+    // A complete search must have started at bound 0, never truncated, and
+    // reached a bound covering every preemption point of the trace.
+    stats.complete =
+        !stats.truncated && config.min_cs == 0 && config.max_cs >= preemption_point_count(system);
     emit_stats(&stats);
     if budget_hit {
         ParallelOutcome::Budget(stats)
@@ -269,6 +328,8 @@ fn emit_stats(stats: &ParallelStats) {
         "parallel.cs_bound",
         i64::try_from(stats.cs_bound).unwrap_or(i64::MAX),
     );
+    clap_obs::gauge("parallel.truncated", i64::from(stats.truncated));
+    clap_obs::gauge("parallel.complete", i64::from(stats.complete));
 }
 
 /// `log10` of the worst-case number of schedules — the interleaving count

@@ -57,6 +57,7 @@ pub struct Generator<'a, 't> {
     nodes: u64,
     node_budget: u64,
     deadline: Option<std::time::Instant>,
+    cancel: Option<&'a std::sync::atomic::AtomicBool>,
     out_of_budget: bool,
     /// Prefix pruning: abandon a partial schedule the moment a path
     /// condition or lock rule is violated (massive search-space cut; the
@@ -249,6 +250,7 @@ impl<'a, 't> Generator<'a, 't> {
             nodes: 0,
             node_budget: 0,
             deadline: None,
+            cancel: None,
             out_of_budget: false,
             prune: None,
         }
@@ -262,6 +264,12 @@ impl<'a, 't> Generator<'a, 't> {
     /// Sets a wall-clock deadline checked periodically during the DFS.
     pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Sets a cooperative cancellation flag checked periodically during
+    /// the DFS (same cadence as the deadline).
+    pub fn set_cancel(&mut self, cancel: Option<&'a std::sync::atomic::AtomicBool>) {
+        self.cancel = cancel;
     }
 
     /// `true` when a node budget or deadline stopped the last run early.
@@ -434,6 +442,12 @@ impl<'a, 't> Generator<'a, 't> {
                 return false;
             }
             if self.nodes.is_multiple_of(8192) {
+                if let Some(c) = self.cancel {
+                    if c.load(std::sync::atomic::Ordering::Relaxed) {
+                        self.out_of_budget = true;
+                        return false;
+                    }
+                }
                 if let Some(d) = self.deadline {
                     if std::time::Instant::now() >= d {
                         self.out_of_budget = true;
@@ -469,20 +483,13 @@ impl<'a, 't> Generator<'a, 't> {
     }
 }
 
-/// Enumerates CSP sets of exactly `size` over the universe of feasible
-/// CSPs, calling `f` per set. CSPs within a set have distinct `(t1, k)`
-/// preemption points. `f` returns `false` to stop.
-pub fn for_each_csp_set(
-    sys: &ConstraintSystem<'_>,
-    size: usize,
-    max_sets: u64,
-    f: &mut impl FnMut(&[Csp]) -> bool,
-) -> bool {
+/// The CSP universe of a trace: preemption points before each SAP of each
+/// thread, paired with every possible takeover thread. Preempting before a
+/// thread's first SAP or before a must-interleave operation adds nothing
+/// (those switches are free), so `k` is restricted to 2..=len at SAPs that
+/// are not must-interleave.
+pub fn csp_universe(sys: &ConstraintSystem<'_>) -> Vec<Csp> {
     let threads = sys.trace.thread_count() as u32;
-    // The CSP universe: preemption points before each SAP of each thread.
-    // Preempting before a thread's first SAP or before a must-interleave
-    // operation adds nothing (those switches are free), so restrict k to
-    // 2..=len at SAPs that are not must-interleave.
     let mut universe = Vec::new();
     for (ti, saps) in sys.trace.per_thread.iter().enumerate() {
         for (pos, &s) in saps.iter().enumerate() {
@@ -507,6 +514,33 @@ pub fn for_each_csp_set(
             }
         }
     }
+    universe
+}
+
+/// Number of distinct `(t1, k)` preemption points in the CSP universe.
+///
+/// A CSP set places at most one preemption per point, so enumerating every
+/// set size up to this count covers **all** preemption placements: a
+/// preemption-bounded search whose bound reaches this value (and whose
+/// per-level caps never fired) is a complete search of the schedule space.
+pub fn preemption_point_count(sys: &ConstraintSystem<'_>) -> usize {
+    let mut points = std::collections::HashSet::new();
+    for c in csp_universe(sys) {
+        points.insert((c.t1, c.k));
+    }
+    points.len()
+}
+
+/// Enumerates CSP sets of exactly `size` over the universe of feasible
+/// CSPs, calling `f` per set. CSPs within a set have distinct `(t1, k)`
+/// preemption points. `f` returns `false` to stop.
+pub fn for_each_csp_set(
+    sys: &ConstraintSystem<'_>,
+    size: usize,
+    max_sets: u64,
+    f: &mut impl FnMut(&[Csp]) -> bool,
+) -> bool {
+    let universe = csp_universe(sys);
     if size == 0 {
         return f(&[]);
     }

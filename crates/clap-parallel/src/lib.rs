@@ -12,9 +12,10 @@ pub mod engine;
 pub mod gen;
 
 pub use engine::{
-    solve_parallel, worst_case_schedules_log10, ParallelConfig, ParallelOutcome, ParallelStats,
+    solve_parallel, solve_parallel_cancellable, worst_case_schedules_log10, ParallelConfig,
+    ParallelOutcome, ParallelStats,
 };
-pub use gen::{for_each_csp_set, Csp, Generator};
+pub use gen::{csp_universe, for_each_csp_set, preemption_point_count, Csp, Generator};
 
 #[cfg(any(test, feature = "testutil"))]
 pub mod testutil {

@@ -13,7 +13,7 @@ pub mod ordergraph;
 pub mod solver;
 
 pub use ordergraph::OrderGraph;
-pub use solver::{solve, Solution, SolveOutcome, SolveStats, SolverConfig};
+pub use solver::{solve, solve_cancellable, Solution, SolveOutcome, SolveStats, SolverConfig};
 
 #[cfg(test)]
 mod tests {
@@ -190,7 +190,7 @@ mod tests {
             &program,
             &sys,
             SolverConfig {
-                deadline: None,
+                timeout: None,
                 max_decisions: 1,
             },
         );

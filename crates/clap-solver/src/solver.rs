@@ -25,7 +25,8 @@ use clap_constraints::{validate, ConstraintSystem, ReadSource, Schedule, Witness
 use clap_ir::Program;
 use clap_symex::{ExprId, SapId, SymVarId};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Search effort counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,10 +72,14 @@ impl SolveOutcome {
 }
 
 /// Solver limits.
+///
+/// The wall-clock budget is a [`Duration`], anchored when [`solve`] (or
+/// [`solve_cancellable`]) is entered — not when the config is built — so
+/// time spent in earlier pipeline phases never eats the solve budget.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverConfig {
-    /// Wall-clock deadline.
-    pub deadline: Option<Instant>,
+    /// Wall-clock budget for this solve call (`None` = unbounded).
+    pub timeout: Option<Duration>,
     /// Decision budget (0 = unlimited).
     pub max_decisions: u64,
 }
@@ -85,7 +90,23 @@ pub fn solve(
     system: &ConstraintSystem<'_>,
     config: SolverConfig,
 ) -> SolveOutcome {
+    solve_cancellable(program, system, config, None)
+}
+
+/// [`solve`] with a cooperative cancellation hook: when `cancel` is set by
+/// another thread (e.g. a portfolio race partner that already found a
+/// schedule), the search stops at the next decision and returns
+/// [`SolveOutcome::Timeout`] — cancellation is a budget event, never an
+/// unsatisfiability claim.
+pub fn solve_cancellable(
+    program: &Program,
+    system: &ConstraintSystem<'_>,
+    config: SolverConfig,
+    cancel: Option<&AtomicBool>,
+) -> SolveOutcome {
     let mut search = Search::new(program, system, config);
+    search.deadline = config.timeout.map(|t| Instant::now() + t);
+    search.cancel = cancel;
     let outcome = search.run();
     let stats = match &outcome {
         SolveOutcome::Sat(s) => s.stats,
@@ -134,6 +155,10 @@ struct Search<'p, 'a, 't> {
     program: &'p Program,
     sys: &'a ConstraintSystem<'t>,
     config: SolverConfig,
+    /// Wall-clock deadline, anchored at solve entry from `config.timeout`.
+    deadline: Option<Instant>,
+    /// External cooperative stop flag (portfolio racing).
+    cancel: Option<&'p AtomicBool>,
     graph: OrderGraph,
     assignment: Vec<Option<i64>>,
     assign_trail: Vec<SymVarId>,
@@ -161,6 +186,8 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
             program,
             sys,
             config,
+            deadline: None,
+            cancel: None,
             graph: OrderGraph::new(sys.trace.sap_count()),
             assignment: vec![None; sys.trace.sym_vars.len()],
             assign_trail: Vec::new(),
@@ -583,7 +610,12 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
         if self.config.max_decisions > 0 && self.stats.decisions >= self.config.max_decisions {
             return true;
         }
-        if let Some(deadline) = self.config.deadline {
+        if let Some(cancel) = self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
             // Checking time every decision is cheap relative to search.
             if Instant::now() >= deadline {
                 return true;

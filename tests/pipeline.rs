@@ -1,17 +1,17 @@
 //! Cross-crate integration: the full CLAP pipeline (record → decode →
 //! symex → constrain → solve → replay) over the whole evaluation suite.
 
-use clap_core::{Pipeline, PipelineConfig, SolverChoice};
+use clap_core::{AutoConfig, EngineKind, Pipeline, PipelineConfig, SolverChoice};
 use clap_parallel::ParallelConfig;
 use clap_solver::SolverConfig;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn config_for(workload: &clap_workloads::Workload) -> PipelineConfig {
     let mut config = PipelineConfig::new(workload.model);
     config.stickiness = workload.stickiness.to_vec();
     config.seed_budget = workload.seed_budget;
     config.solver = SolverChoice::Sequential(SolverConfig {
-        deadline: Some(Instant::now() + Duration::from_secs(120)),
+        timeout: Some(Duration::from_secs(120)),
         max_decisions: 0,
     });
     config
@@ -40,19 +40,12 @@ fn all_workloads_reproduce_sequentially() {
 /// small preemption counts.
 #[test]
 fn parallel_engine_reproduces_with_few_preemptions() {
-    // pfscan is exercised by the sequential solver instead (see
-    // `offline_phase_is_deterministic`): its recorded trace interleaves
-    // the two workers' queue-pop regions many times, so while the §4.2
-    // segment metric of the solved schedule is small, *realizing* such a
-    // schedule takes more preemption points than the generate-and-validate
-    // engine's level cap — every schedule reachable within ≤3 preemptions
-    // fails validation and the engine correctly reports budget exhaustion.
     for name in ["sim_race", "aget", "swarm", "pbzip2", "dekker", "peterson"] {
         let workload = clap_workloads::by_name(name).expect("workload exists");
         let pipeline = Pipeline::new(workload.program());
         let mut config = config_for(&workload);
         config.solver = SolverChoice::Parallel(ParallelConfig {
-            deadline: Some(Instant::now() + Duration::from_secs(120)),
+            timeout: Some(Duration::from_secs(120)),
             ..ParallelConfig::default()
         });
         let report = pipeline
@@ -65,6 +58,34 @@ fn parallel_engine_reproduces_with_few_preemptions() {
             report.context_switches
         );
     }
+}
+
+/// pfscan's recorded trace needs more preemption points than the parallel
+/// engine's small bounds reach, so the bare engine exhausts its ladder
+/// rungs without a candidate. The portfolio must classify that correctly
+/// (exhausted, not unsat), fall back to the sequential solver, and still
+/// reproduce end to end — naming the winning engine in the report.
+#[test]
+fn auto_portfolio_reproduces_pfscan() {
+    let workload = clap_workloads::by_name("pfscan").expect("pfscan exists");
+    let pipeline = Pipeline::new(workload.program());
+    let mut config = config_for(&workload);
+    config.solver =
+        SolverChoice::Auto(AutoConfig::default().with_solve_timeout(Duration::from_secs(120)));
+    let report = pipeline.reproduce(&config).expect("auto reproduces pfscan");
+    assert!(report.reproduced);
+    assert_eq!(
+        report.portfolio.winner,
+        Some(EngineKind::Sequential),
+        "the small-bound ladder cannot realize pfscan's schedule; the \
+         sequential fallback must win: {:?}",
+        report.portfolio
+    );
+    assert!(
+        report.portfolio.attempts.len() > 1,
+        "the ladder attempts must be on record: {:?}",
+        report.portfolio
+    );
 }
 
 /// The recorded artifact (path log + crash context) is self-contained:
