@@ -1,0 +1,376 @@
+//! Execution fingerprints: the canonical visible-event sequence of one run.
+//!
+//! Two executions are *the same interleaving* exactly when their fingerprints
+//! are equal: the sequence of globally visible events — shared reads (with
+//! the value observed), store **commits** (the moment a write becomes
+//! visible, which under TSO/PSO is the drain/flush, not the buffering), and
+//! synchronization operations — with every thread named by its canonical
+//! [`Lineage`] rather than its runtime id. This is what lets the oracle's
+//! enumerated executions be compared against a pipeline replay that may have
+//! created the same logical threads under different runtime ids.
+
+use clap_ir::AssertId;
+use clap_vm::{AccessEvent, Lineage, Monitor, SyncEvent, ThreadId};
+use std::collections::HashMap;
+
+/// One canonical visible event. Addresses, mutexes and condvars are plain
+/// indices (stable across runs of the same program); threads are lineages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A shared load observed `value`.
+    Read {
+        /// Executing thread.
+        thread: Lineage,
+        /// Flattened address.
+        addr: u32,
+        /// The value read.
+        value: i64,
+    },
+    /// A store became globally visible (SC store, drain, or fence flush).
+    Commit {
+        /// The thread whose store committed.
+        thread: Lineage,
+        /// Flattened address.
+        addr: u32,
+        /// The value written.
+        value: i64,
+    },
+    /// Mutex acquired.
+    Lock {
+        /// Executing thread.
+        thread: Lineage,
+        /// Mutex index.
+        mutex: u32,
+    },
+    /// Mutex released (including the release phase of `wait`).
+    Unlock {
+        /// Executing thread.
+        thread: Lineage,
+        /// Mutex index.
+        mutex: u32,
+    },
+    /// Thread forked.
+    Fork {
+        /// The forking thread.
+        thread: Lineage,
+        /// The new thread.
+        child: Lineage,
+    },
+    /// Join completed.
+    Join {
+        /// The joining thread.
+        thread: Lineage,
+        /// The joined thread.
+        child: Lineage,
+    },
+    /// Cond-wait completed (mutex reacquired).
+    Wait {
+        /// Executing thread.
+        thread: Lineage,
+        /// Condvar index.
+        cond: u32,
+    },
+    /// Cond signalled.
+    Signal {
+        /// Executing thread.
+        thread: Lineage,
+        /// Condvar index.
+        cond: u32,
+    },
+    /// Cond broadcast.
+    Broadcast {
+        /// Executing thread.
+        thread: Lineage,
+        /// Condvar index.
+        cond: u32,
+    },
+}
+
+impl Event {
+    /// The lineage of the thread that performed the event.
+    pub fn thread(&self) -> &Lineage {
+        match self {
+            Event::Read { thread, .. }
+            | Event::Commit { thread, .. }
+            | Event::Lock { thread, .. }
+            | Event::Unlock { thread, .. }
+            | Event::Fork { thread, .. }
+            | Event::Join { thread, .. }
+            | Event::Wait { thread, .. }
+            | Event::Signal { thread, .. }
+            | Event::Broadcast { thread, .. } => thread,
+        }
+    }
+}
+
+/// The canonical identity of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Fingerprint {
+    /// Visible events in execution order.
+    pub events: Vec<Event>,
+    /// The assert that failed, when the run ended in a failure.
+    pub assert: Option<AssertId>,
+}
+
+impl Fingerprint {
+    /// Number of adjacent visible-event pairs executed by different
+    /// threads — an upper bound on the *preemptive* context switches of
+    /// the execution (some switches are forced, e.g. away from an exited
+    /// thread), which is what makes it the safe gate for bounded-oracle
+    /// membership checks: `switches() <= bound` implies the execution was
+    /// within the oracle's preemption bound.
+    pub fn switches(&self) -> usize {
+        self.events
+            .windows(2)
+            .filter(|w| w[0].thread() != w[1].thread())
+            .count()
+    }
+
+    /// One letter per visible event: `M` for main, `A`, `B`, … for worker
+    /// lineages in their canonical (lexicographic) order. Commit events
+    /// are lowercase so delayed store visibility is legible at a glance.
+    pub fn letters(&self) -> String {
+        let mut workers: Vec<&Lineage> = self
+            .events
+            .iter()
+            .map(Event::thread)
+            .filter(|l| l.components() != [0])
+            .collect();
+        workers.sort();
+        workers.dedup();
+        let letter = |l: &Lineage| -> char {
+            if l.components() == [0] {
+                'M'
+            } else {
+                let i = workers.iter().position(|w| *w == l).expect("worker known");
+                (b'A' + (i % 26) as u8) as char
+            }
+        };
+        self.events
+            .iter()
+            .map(|e| {
+                let c = letter(e.thread());
+                if matches!(e, Event::Commit { .. }) {
+                    c.to_ascii_lowercase()
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+}
+
+/// Raw event as captured mid-run (runtime thread ids; canonicalized later).
+#[derive(Debug, Clone)]
+enum RawEvent {
+    Read(ThreadId, u32, i64),
+    Commit(ThreadId, u32, i64),
+    Sync(ThreadId, SyncEvent),
+}
+
+/// A rewind point for DFS backtracking (see [`FingerprintMonitor::mark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark {
+    events: usize,
+    threads: usize,
+}
+
+/// A [`Monitor`] that records the visible-event sequence of a run and
+/// finalizes it into a [`Fingerprint`].
+///
+/// Designed for enumeration: [`FingerprintMonitor::mark`] /
+/// [`FingerprintMonitor::rewind`] snapshot and restore the recorded prefix
+/// in O(1)/O(suffix), mirroring `Vm::snapshot`/`Vm::restore` during a DFS.
+#[derive(Debug, Default)]
+pub struct FingerprintMonitor {
+    events: Vec<RawEvent>,
+    /// Runtime id → lineage, in announcement order (append-only within a
+    /// path; truncated on rewind).
+    threads: Vec<(ThreadId, Lineage)>,
+}
+
+impl FingerprintMonitor {
+    /// A fresh, empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a thread without going through a VM callback — needed for
+    /// the main thread under caller-driven stepping, where `Vm::run`'s
+    /// announcement never happens.
+    pub fn register_thread(&mut self, thread: ThreadId, lineage: Lineage) {
+        self.threads.push((thread, lineage));
+    }
+
+    /// The current rewind point.
+    pub fn mark(&self) -> Mark {
+        Mark {
+            events: self.events.len(),
+            threads: self.threads.len(),
+        }
+    }
+
+    /// Drops everything recorded after `mark`.
+    pub fn rewind(&mut self, mark: Mark) {
+        self.events.truncate(mark.events);
+        self.threads.truncate(mark.threads);
+    }
+
+    /// Number of visible events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Canonicalizes the recorded prefix into a [`Fingerprint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a thread that was never announced
+    /// (a monitor wired past [`FingerprintMonitor::register_thread`]).
+    pub fn fingerprint(&self, assert: Option<AssertId>) -> Fingerprint {
+        let map: HashMap<ThreadId, Lineage> = self.threads.iter().cloned().collect();
+        let lin = |t: ThreadId| -> Lineage {
+            map.get(&t)
+                .unwrap_or_else(|| panic!("thread {t} never announced"))
+                .clone()
+        };
+        let events = self
+            .events
+            .iter()
+            .map(|raw| match raw {
+                RawEvent::Read(t, addr, value) => Event::Read {
+                    thread: lin(*t),
+                    addr: *addr,
+                    value: *value,
+                },
+                RawEvent::Commit(t, addr, value) => Event::Commit {
+                    thread: lin(*t),
+                    addr: *addr,
+                    value: *value,
+                },
+                RawEvent::Sync(t, sync) => {
+                    let thread = lin(*t);
+                    match sync {
+                        SyncEvent::Lock(m) => Event::Lock { thread, mutex: m.0 },
+                        SyncEvent::Unlock(m) => Event::Unlock { thread, mutex: m.0 },
+                        SyncEvent::Fork(child) => Event::Fork {
+                            thread,
+                            child: lin(*child),
+                        },
+                        SyncEvent::Join(child) => Event::Join {
+                            thread,
+                            child: lin(*child),
+                        },
+                        SyncEvent::Wait(c, _) => Event::Wait { thread, cond: c.0 },
+                        SyncEvent::Signal(c) => Event::Signal { thread, cond: c.0 },
+                        SyncEvent::Broadcast(c) => Event::Broadcast { thread, cond: c.0 },
+                    }
+                }
+            })
+            .collect();
+        Fingerprint { events, assert }
+    }
+}
+
+impl Monitor for FingerprintMonitor {
+    fn on_thread_start(&mut self, thread: ThreadId, lineage: &Lineage, _func: clap_ir::FuncId) {
+        self.threads.push((thread, lineage.clone()));
+    }
+
+    fn on_access(&mut self, thread: ThreadId, event: &AccessEvent) {
+        // Writes are recorded at *commit* time (visibility), not here.
+        if !event.is_write {
+            self.events
+                .push(RawEvent::Read(thread, event.addr.0, event.value));
+        }
+    }
+
+    fn on_commit(&mut self, thread: ThreadId, addr: clap_vm::Addr, value: i64) {
+        self.events.push(RawEvent::Commit(thread, addr.0, value));
+    }
+
+    fn on_sync(&mut self, thread: ThreadId, event: &SyncEvent) {
+        self.events.push(RawEvent::Sync(thread, *event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clap_vm::{run_with_seed, MemModel};
+
+    #[test]
+    fn mark_rewind_round_trip() {
+        let mut mon = FingerprintMonitor::new();
+        mon.register_thread(ThreadId::MAIN, Lineage::main());
+        mon.on_commit(ThreadId::MAIN, clap_vm::Addr(0), 7);
+        let mark = mon.mark();
+        mon.on_commit(ThreadId::MAIN, clap_vm::Addr(1), 8);
+        assert_eq!(mon.event_count(), 2);
+        mon.rewind(mark);
+        assert_eq!(mon.event_count(), 1);
+        let fp = mon.fingerprint(None);
+        assert_eq!(
+            fp.events,
+            vec![Event::Commit {
+                thread: Lineage::main(),
+                addr: 0,
+                value: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint_different_seed_may_differ() {
+        let program = clap_ir::parse(
+            "global int x = 0;
+             fn w() { let v: int = x; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2); }",
+        )
+        .unwrap();
+        let fp = |seed| {
+            let mut mon = FingerprintMonitor::new();
+            let (outcome, _) = run_with_seed(&program, MemModel::Sc, seed, &mut mon);
+            let assert = match outcome {
+                clap_vm::Outcome::AssertFailed { assert, .. } => Some(assert),
+                _ => None,
+            };
+            mon.fingerprint(assert)
+        };
+        assert_eq!(fp(3), fp(3), "fingerprints are deterministic per seed");
+    }
+
+    #[test]
+    fn letters_use_canonical_worker_order() {
+        let t1 = Lineage::main().child(1);
+        let t2 = Lineage::main().child(2);
+        let fp = Fingerprint {
+            events: vec![
+                Event::Lock {
+                    thread: Lineage::main(),
+                    mutex: 0,
+                },
+                Event::Read {
+                    thread: t2.clone(),
+                    addr: 0,
+                    value: 0,
+                },
+                Event::Commit {
+                    thread: t1.clone(),
+                    addr: 0,
+                    value: 1,
+                },
+                Event::Read {
+                    thread: t1,
+                    addr: 0,
+                    value: 1,
+                },
+            ],
+            assert: None,
+        };
+        assert_eq!(fp.letters(), "MBaA");
+        // M→B, B→a are switches; a→A is the same thread (t1).
+        assert_eq!(fp.switches(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Counterexample shrinking: greedy delta-debugging over the `.clap` AST.
+//!
+//! Given a source program and a predicate ("still disagrees", "still
+//! fails the oracle", …), the shrinker repeatedly tries structural
+//! deletions — whole functions, single statements (subtrees included),
+//! then unused declarations — keeping any deletion after which the
+//! program still parses, lowers, *and* satisfies the predicate, until no
+//! single deletion survives. The result is a local minimum: every
+//! remaining statement is load-bearing for the predicate.
+//!
+//! Candidates are validated through the real frontend (`clap_ir::parse`
+//! on the unparsed module), so the shrinker can never hand the predicate
+//! an ill-formed program — deleting a function that is still forked
+//! simply fails lowering and is skipped.
+
+use clap_ir::ast::{Module, Stmt};
+use clap_ir::unparse::unparse;
+
+/// Minimizes `source` under `predicate`.
+///
+/// Returns `None` when `source` itself does not parse or does not satisfy
+/// the predicate (there is nothing to shrink towards); otherwise returns
+/// the minimized source, which always still parses and satisfies the
+/// predicate. The original is returned unchanged when already minimal.
+pub fn shrink_source(source: &str, mut predicate: impl FnMut(&str) -> bool) -> Option<String> {
+    let _span = clap_obs::span("check.shrink");
+    let mut module = clap_ir::parse_module(source).ok()?;
+    if clap_ir::parse(source).is_err() || !predicate(source) {
+        return None;
+    }
+    let mut tries = 0u64;
+    let mut keeps = 0u64;
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&module) {
+            let src = unparse(&candidate);
+            tries += 1;
+            if clap_ir::parse(&src).is_ok() && predicate(&src) {
+                keeps += 1;
+                module = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    clap_obs::add("check.shrink.tries", tries);
+    clap_obs::add("check.shrink.kept", keeps);
+    Some(unparse(&module))
+}
+
+/// All single-deletion neighbors of `module`, largest deletions first.
+fn candidates(module: &Module) -> Vec<Module> {
+    let mut out = Vec::new();
+    // Whole non-main functions.
+    for (i, f) in module.functions.iter().enumerate() {
+        if f.name != "main" {
+            let mut m = module.clone();
+            m.functions.remove(i);
+            out.push(m);
+        }
+    }
+    // Single statements (a deletion takes the whole subtree with it).
+    for (fi, f) in module.functions.iter().enumerate() {
+        for n in 0..count_stmts(&f.body) {
+            let mut m = module.clone();
+            let mut target = n;
+            let removed = remove_nth(&mut m.functions[fi].body, &mut target);
+            debug_assert!(removed);
+            out.push(m);
+        }
+    }
+    // Declarations (only removable once nothing references them).
+    for i in 0..module.globals.len() {
+        let mut m = module.clone();
+        m.globals.remove(i);
+        out.push(m);
+    }
+    for i in 0..module.mutexes.len() {
+        let mut m = module.clone();
+        m.mutexes.remove(i);
+        out.push(m);
+    }
+    for i in 0..module.conds.len() {
+        let mut m = module.clone();
+        m.conds.remove(i);
+        out.push(m);
+    }
+    out
+}
+
+/// Number of statements in `body`, nested bodies included.
+fn count_stmts(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| {
+            1 + match s {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => count_stmts(then_body) + count_stmts(else_body),
+                Stmt::While { body, .. } => count_stmts(body),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// Removes the `*n`-th statement in DFS pre-order; returns `true` when the
+/// removal happened (and `*n` is meaningless afterwards).
+fn remove_nth(body: &mut Vec<Stmt>, n: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *n == 0 {
+            body.remove(i);
+            return true;
+        }
+        *n -= 1;
+        let descended = match &mut body[i] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => remove_nth(then_body, n) || remove_nth(else_body, n),
+            Stmt::While { body: inner, .. } => remove_nth(inner, n),
+            _ => false,
+        };
+        if descended {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_remove_agree_on_nested_bodies() {
+        let m = clap_ir::parse_module(
+            "fn main() { let x: int = 1; if (x == 1) { yield; yield; } else { yield; } }",
+        )
+        .unwrap();
+        let body = &m.functions[0].body;
+        let total = super::count_stmts(body);
+        assert_eq!(total, 5, "let + if + 3 nested yields");
+        for n in 0..total {
+            let mut b = body.clone();
+            let mut target = n;
+            assert!(super::remove_nth(&mut b, &mut target), "index {n}");
+        }
+        let mut b = body.clone();
+        let mut target = total;
+        assert!(!super::remove_nth(&mut b, &mut target), "one past the end");
+    }
+
+    #[test]
+    fn shrinks_to_the_load_bearing_core() {
+        let src = "global int x = 0; global int unused = 0; mutex m;
+             fn noise() { lock(m); unlock(m); }
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() {
+                 let n: thread = fork noise();
+                 let a: thread = fork w(); let b: thread = fork w();
+                 join n; join a; join b;
+                 let pad: int = 7;
+                 assert(x == 2, \"lost\");
+             }";
+        // Predicate: still a *concurrency* failure — some interleavings
+        // fail, some complete. (Plain `!failing.is_empty()` would let the
+        // shrinker strip the forks down to a deterministic assert(false).)
+        let pred = |s: &str| {
+            let p = clap_ir::parse(s).expect("shrinker candidates parse");
+            let r = crate::oracle::enumerate(
+                &p,
+                &crate::oracle::OracleConfig::new(clap_vm::MemModel::Sc),
+            );
+            !r.failing.is_empty() && r.completed > 0
+        };
+        let shrunk = shrink_source(src, pred).expect("original fails");
+        assert!(pred(&shrunk), "shrunk program still fails");
+        // The noise function, the unused global, and the pad statement
+        // must all be gone; the racy core must survive.
+        assert!(!shrunk.contains("noise"));
+        assert!(!shrunk.contains("unused"));
+        assert!(!shrunk.contains("pad"));
+        assert!(shrunk.contains("fork"));
+        assert!(shrunk.contains("assert"));
+        assert!(shrunk.len() < src.len() / 2, "substantial shrink: {shrunk}");
+    }
+
+    #[test]
+    fn non_failing_input_returns_none() {
+        assert!(shrink_source("fn main() { yield; }", |_| false).is_none());
+        assert!(shrink_source("not a program", |_| true).is_none());
+    }
+}

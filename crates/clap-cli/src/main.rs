@@ -1,13 +1,27 @@
 //! `clap-reproduce` — the command-line front end of the CLAP reproduction.
 //!
 //! ```text
-//! clap-reproduce check     prog.clap                    parse + check, print summary
+//! clap-reproduce check     [prog.clap] [--all-examples] [--model sc,tso,pso]
+//!                          [--fuzz N] [--fuzz-seed S] [--max-preemptions K]
+//!                          [--max-executions N] [--strict-record]
+//!                          [--shrink-out PATH] [--budget N] [--solver ...]
 //! clap-reproduce dump      prog.clap                    pretty-print the lowered CFG
 //! clap-reproduce run       prog.clap [--model M] [--seed N] [--stickiness S]
 //! clap-reproduce explore   prog.clap [--model M] [--budget N] [--workers N]
 //! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--workers N]
 //!                          [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
 //! ```
+//!
+//! `check` is the differential harness: each target program runs through
+//! both the bounded enumeration oracle (`clap-check`) and the full
+//! pipeline, per memory model, and any **hard disagreement** — an
+//! unsound schedule, a false `Unsat`, or a structural pipeline failure —
+//! makes the command shrink the offending program, write it to
+//! `--shrink-out` (default `check-counterexample.clap`), and exit
+//! non-zero. Soft notes (the randomized record phase missing a rare
+//! interleaving, a solver giving up within budget) are reported but do
+//! not fail the run. `--model` takes a comma-separated list for `check`;
+//! the other commands take a single model.
 //!
 //! `M` is one of `sc` (default), `tso`, `pso`. `--workers` sets the
 //! record-phase exploration pool size (0, the default, means one worker
@@ -17,12 +31,13 @@
 //! the `--solve-timeout` budget. `--parallel` is shorthand for
 //! `--solver par`.
 //!
-//! Every command that executes the program (`run`, `explore`,
+//! Every command that executes the program (`check`, `run`, `explore`,
 //! `reproduce`) also accepts the observability flags: `--trace <path>`
 //! writes a Chrome `trace_event` JSON timeline (loadable in Perfetto or
 //! `about:tracing`), `--metrics <path>` writes the JSONL metric stream,
 //! and `-v`/`--verbose` prints the collector summary to stderr.
 
+use clap_check::{DiffConfig, ProgramSpec};
 use clap_core::{AutoConfig, Pipeline, PipelineConfig, SolverChoice};
 use clap_obs::Observer;
 use clap_parallel::ParallelConfig;
@@ -45,14 +60,29 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  clap-reproduce check     <prog.clap>
+  clap-reproduce check     [prog.clap] [--all-examples] [--examples-dir DIR]
+                           [--model sc,tso,pso] [--fuzz N] [--fuzz-seed S]
+                           [--max-preemptions K] [--max-executions N]
+                           [--strict-record] [--shrink-out PATH]
+                           [--budget N] [--solver seq|par|auto] [--solve-timeout SECS]
   clap-reproduce dump      <prog.clap>
   clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
   clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
   clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
                            [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
 
-solving (reproduce):
+differential checking (check):
+  --all-examples           check every .clap under --examples-dir (default examples)
+  --model a,b,...          memory models to cross-check (default sc)
+  --fuzz N                 also check N seeded random programs
+  --fuzz-seed S            base seed for --fuzz (default 0; case i uses S+i)
+  --max-preemptions K      oracle preemption bound (default 2)
+  --max-executions N       oracle execution cap (default 200000)
+  --strict-record          treat record-phase misses as hard disagreements
+  --shrink-out PATH        where to write the shrunk counterexample
+                           (default check-counterexample.clap)
+
+solving (reproduce/check):
   --solver seq|par|auto    sequential DPLL(T), parallel generate-and-validate,
                            or the adaptive portfolio (ladder + fallback); default seq
   --parallel               shorthand for --solver par
@@ -72,7 +102,7 @@ enum SolverFlag {
 
 struct Options {
     file: String,
-    model: MemModel,
+    models: Vec<MemModel>,
     seed: u64,
     stickiness: f64,
     budget: u64,
@@ -80,6 +110,14 @@ struct Options {
     solver: SolverFlag,
     solve_timeout: Option<Duration>,
     sync_order: bool,
+    all_examples: bool,
+    examples_dir: String,
+    fuzz: u64,
+    fuzz_seed: u64,
+    max_preemptions: usize,
+    max_executions: u64,
+    strict_record: bool,
+    shrink_out: String,
     trace: Option<String>,
     metrics: Option<String>,
     verbose: bool,
@@ -99,12 +137,30 @@ impl Options {
         }
         observer
     }
+
+    /// The single memory model for the non-differential commands.
+    fn single_model(&self) -> Result<MemModel, String> {
+        match self.models.as_slice() {
+            [] => Ok(MemModel::Sc),
+            [m] => Ok(*m),
+            _ => Err("this command takes a single --model".into()),
+        }
+    }
+}
+
+fn parse_model(name: &str) -> Result<MemModel, String> {
+    match name {
+        "sc" => Ok(MemModel::Sc),
+        "tso" => Ok(MemModel::Tso),
+        "pso" => Ok(MemModel::Pso),
+        other => Err(format!("unknown memory model `{other}`")),
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         file: String::new(),
-        model: MemModel::Sc,
+        models: Vec::new(),
         seed: 0,
         stickiness: 0.7,
         budget: 20_000,
@@ -112,6 +168,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         solver: SolverFlag::Sequential,
         solve_timeout: None,
         sync_order: false,
+        all_examples: false,
+        examples_dir: "examples".into(),
+        fuzz: 0,
+        fuzz_seed: 0,
+        max_preemptions: 2,
+        max_executions: 200_000,
+        strict_record: false,
+        shrink_out: "check-counterexample.clap".into(),
         trace: None,
         metrics: None,
         verbose: false,
@@ -121,12 +185,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--model" => {
                 let v = it.next().ok_or("--model needs a value")?;
-                options.model = match v.as_str() {
-                    "sc" => MemModel::Sc,
-                    "tso" => MemModel::Tso,
-                    "pso" => MemModel::Pso,
-                    other => return Err(format!("unknown memory model `{other}`")),
-                };
+                options.models = v
+                    .split(',')
+                    .map(parse_model)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.models.is_empty() {
+                    return Err("--model needs at least one model".into());
+                }
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -162,6 +227,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.solve_timeout = Some(Duration::from_secs(secs));
             }
             "--sync-order" => options.sync_order = true,
+            "--all-examples" => options.all_examples = true,
+            "--examples-dir" => {
+                let v = it.next().ok_or("--examples-dir needs a path")?;
+                options.examples_dir = v.clone();
+            }
+            "--fuzz" => {
+                let v = it.next().ok_or("--fuzz needs a case count")?;
+                options.fuzz = v.parse().map_err(|_| format!("bad fuzz count `{v}`"))?;
+            }
+            "--fuzz-seed" => {
+                let v = it.next().ok_or("--fuzz-seed needs a value")?;
+                options.fuzz_seed = v.parse().map_err(|_| format!("bad fuzz seed `{v}`"))?;
+            }
+            "--max-preemptions" => {
+                let v = it.next().ok_or("--max-preemptions needs a value")?;
+                options.max_preemptions = v
+                    .parse()
+                    .map_err(|_| format!("bad preemption bound `{v}`"))?;
+            }
+            "--max-executions" => {
+                let v = it.next().ok_or("--max-executions needs a value")?;
+                options.max_executions =
+                    v.parse().map_err(|_| format!("bad execution cap `{v}`"))?;
+            }
+            "--strict-record" => options.strict_record = true,
+            "--shrink-out" => {
+                let v = it.next().ok_or("--shrink-out needs a path")?;
+                options.shrink_out = v.clone();
+            }
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a path")?;
                 options.trace = Some(v.clone());
@@ -177,7 +271,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    if options.file.is_empty() {
+    if options.file.is_empty() && !options.all_examples && options.fuzz == 0 {
         return Err("missing program file".into());
     }
     Ok(options)
@@ -199,22 +293,14 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let options = parse_options(rest)?;
+    if command == "check" {
+        return check(&options);
+    }
+    if options.file.is_empty() {
+        return Err("missing program file".into());
+    }
     let program = load(&options.file)?;
     match command.as_str() {
-        "check" => {
-            println!(
-                "{}: ok — {} function(s), {} global(s), {} mutex(es), {} cond(s), {} assert site(s)",
-                options.file,
-                program.functions.len(),
-                program.globals.len(),
-                program.mutexes.len(),
-                program.conds.len(),
-                program.asserts.len()
-            );
-            let sharing = clap_analysis_summary(&program);
-            println!("{sharing}");
-            Ok(())
-        }
         "dump" => {
             print!("{}", clap_ir::pretty::program_to_string(&program));
             Ok(())
@@ -222,7 +308,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => {
             let observer = options.observer();
             observer.install();
-            let mut vm = Vm::new(&program, options.model);
+            let mut vm = Vm::new(&program, options.single_model()?);
             let mut sched = RandomScheduler::with_stickiness(options.seed, options.stickiness);
             let outcome = {
                 let _s = clap_obs::span("run");
@@ -252,7 +338,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let observer = options.observer();
             observer.install();
             let pipeline = Pipeline::new(program);
-            let mut config = PipelineConfig::new(options.model);
+            let mut config = PipelineConfig::new(options.single_model()?);
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
             let result = pipeline.record_failure(&config);
@@ -282,7 +368,8 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "reproduce" => {
             let pipeline = Pipeline::new(program);
-            let mut config = PipelineConfig::new(options.model).with_observer(options.observer());
+            let mut config =
+                PipelineConfig::new(options.single_model()?).with_observer(options.observer());
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
             config.solver = match options.solver {
@@ -342,16 +429,113 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn clap_analysis_summary(program: &clap_ir::Program) -> String {
-    // Avoid a hard dependency cycle: summarize sharing via clap-core's
-    // pipeline construction.
-    let pipeline = Pipeline::new(program.clone());
-    let shared: Vec<&str> = program
-        .globals
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| pipeline.sharing().is_shared(clap_ir::GlobalId(*i as u32)))
-        .map(|(_, g)| g.name.as_str())
-        .collect();
-    format!("shared variables: {{{}}}", shared.join(", "))
+/// The differential `check` subcommand: every target program (explicit
+/// file, the examples directory, seeded fuzz cases) is run through both
+/// the bounded oracle and the full pipeline under every requested memory
+/// model. Hard disagreements shrink the offending program, write it to
+/// `--shrink-out`, and fail the command.
+fn check(options: &Options) -> Result<(), String> {
+    let observer = options.observer();
+    observer.install();
+    let mut config = DiffConfig::default()
+        .with_models(if options.models.is_empty() {
+            vec![MemModel::Sc]
+        } else {
+            options.models.clone()
+        })
+        .with_max_executions(options.max_executions);
+    config.max_preemptions = options.max_preemptions;
+    config.seed_budget = options.budget;
+    config.strict_record = options.strict_record;
+    config.solver = match options.solver {
+        SolverFlag::Sequential => SolverChoice::Sequential(SolverConfig {
+            timeout: options.solve_timeout,
+            ..SolverConfig::default()
+        }),
+        SolverFlag::Parallel => SolverChoice::Parallel(ParallelConfig {
+            timeout: options.solve_timeout,
+            ..ParallelConfig::default()
+        }),
+        SolverFlag::Auto => SolverChoice::Auto(AutoConfig {
+            solve_timeout: options.solve_timeout,
+            ..AutoConfig::default()
+        }),
+    };
+
+    // Collect targets: (name, source).
+    let mut targets: Vec<(String, String)> = Vec::new();
+    if !options.file.is_empty() {
+        let source = std::fs::read_to_string(&options.file)
+            .map_err(|e| format!("cannot read `{}`: {e}", options.file))?;
+        targets.push((options.file.clone(), source));
+    }
+    if options.all_examples {
+        let dir = &options.examples_dir;
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read examples dir `{dir}`: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "clap"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let name = path.display().to_string();
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{name}`: {e}"))?;
+            targets.push((name, source));
+        }
+    }
+    for i in 0..options.fuzz {
+        let seed = options.fuzz_seed.wrapping_add(i);
+        let source = ProgramSpec::from_seed(seed).source();
+        targets.push((format!("fuzz:{seed}"), source));
+    }
+    if targets.is_empty() {
+        return Err("check: nothing to check (give a file, --all-examples, or --fuzz N)".into());
+    }
+
+    let mut hard: Option<(String, String)> = None;
+    let mut checked = 0usize;
+    for (name, source) in &targets {
+        let report =
+            clap_check::diff_source(source, &config).map_err(|e| format!("{name}: {e}"))?;
+        checked += 1;
+        let ok = report.ok();
+        if ok && options.fuzz > 0 && name.starts_with("fuzz:") && !options.verbose {
+            continue; // keep fuzz output to failures only
+        }
+        println!("{name}:");
+        for line in report.summary().lines() {
+            println!("  {line}");
+        }
+        if !ok && hard.is_none() {
+            hard = Some((name.clone(), source.clone()));
+        }
+    }
+    flush(&observer);
+    let Some((name, source)) = hard else {
+        println!(
+            "check: {checked} program(s) x {} model(s): no hard disagreements",
+            config.models.len()
+        );
+        return Ok(());
+    };
+
+    // Shrink the first hard disagreement before failing, so the artifact
+    // a CI run uploads is already minimal.
+    eprintln!("check: hard disagreement in {name}; shrinking...");
+    let shrink_config = config.clone();
+    let shrunk = clap_check::shrink_source(source.as_str(), |candidate| {
+        clap_check::diff_source(candidate, &shrink_config)
+            .map(|r| !r.ok())
+            .unwrap_or(false)
+    })
+    .unwrap_or_else(|| source.clone());
+    std::fs::write(&options.shrink_out, &shrunk)
+        .map_err(|e| format!("cannot write `{}`: {e}", options.shrink_out))?;
+    eprintln!(
+        "check: shrunk counterexample ({} bytes) written to {}",
+        shrunk.len(),
+        options.shrink_out
+    );
+    Err(format!("check: hard disagreement in {name}"))
 }

@@ -34,7 +34,7 @@ use clap_profile::{decode_log, BlTables, DecodeError, PathLog, SyncOrderLog};
 use clap_replay::{replay, ReplayError, ReplayReport};
 use clap_solver::{solve, SolveOutcome, SolverConfig};
 use clap_symex::{execute, FailureContext, SymTrace, SymexError};
-use clap_vm::{ExecStats, MemModel};
+use clap_vm::{ExecStats, MemModel, Monitor};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -527,6 +527,39 @@ impl Pipeline {
             replay: replay_report,
             seed: recorded.seed,
         })
+    }
+
+    /// Re-replays an already-computed schedule for `recorded` with an
+    /// arbitrary [`Monitor`] attached.
+    ///
+    /// This is the differential-checking entry point: an external oracle
+    /// (`clap-check`) replays the pipeline's schedule under its own
+    /// event-fingerprinting monitor and compares the observed execution
+    /// against its exhaustively enumerated failing set — certifying the
+    /// schedule against something other than the pipeline's own replayer.
+    ///
+    /// # Errors
+    ///
+    /// Decode/symex errors for a corrupt artifact, or
+    /// [`PipelineError::Replay`] when the schedule does not replay.
+    pub fn replay_with_monitor(
+        &self,
+        config: &PipelineConfig,
+        recorded: &RecordedFailure,
+        schedule: &Schedule,
+        monitor: &mut dyn Monitor,
+    ) -> Result<ReplayReport, PipelineError> {
+        let trace = self.symbolic_trace(recorded)?;
+        clap_replay::replay_under(
+            &self.program,
+            config.model,
+            self.sharing.shared_spec(),
+            &trace,
+            schedule,
+            recorded.assert,
+            monitor,
+        )
+        .map_err(PipelineError::Replay)
     }
 
     /// The whole pipeline in one call.

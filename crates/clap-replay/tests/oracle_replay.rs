@@ -1,0 +1,167 @@
+//! Oracle-vs-replayer differential suite: every failing schedule the
+//! bounded enumeration oracle finds must replay through the *production*
+//! replayer and fire the assert.
+//!
+//! This closes the loop from the other side of `clap-check::diff`: the
+//! diff harness checks pipeline-produced schedules against the oracle,
+//! while this suite feeds oracle-produced schedules into the pipeline's
+//! replayer. Silent replayer drift — a gating rule that diverges from VM
+//! semantics, a drain misplaced relative to its fence — shows up here as
+//! a schedule the oracle proved failing that the replayer can no longer
+//! drive to the bug.
+//!
+//! Plumbing per failing execution: re-run the oracle's decision script
+//! under a `ScriptScheduler` with the path recorder attached, decode and
+//! symbolically re-execute that log into a `SymTrace`, convert the
+//! script's visible-event order into a `Schedule` over the trace's SAP
+//! ids, and hand it to `replay_under`.
+
+use clap_analysis::analyze;
+use clap_check::{enumerate_with_shared, schedule_of_choices, OracleConfig};
+use clap_constraints::Schedule;
+use clap_ir::Program;
+use clap_profile::{decode_log, BlTables, PathRecorder};
+use clap_replay::replay_under;
+use clap_symex::{execute, FailureContext, SymTrace};
+use clap_vm::{Lineage, MemModel, NullMonitor, Outcome, ScriptScheduler, Vm};
+
+/// Maps the oracle's `(lineage, per-thread SAP index)` visibility order
+/// onto the trace's `SapId` space.
+fn schedule_from_pairs(trace: &SymTrace, pairs: &[(Lineage, u64)]) -> Schedule {
+    let order = pairs
+        .iter()
+        .map(|(lineage, po)| {
+            let idx = trace
+                .lineages
+                .iter()
+                .position(|l| l == lineage)
+                .unwrap_or_else(|| panic!("lineage {lineage:?} not in trace"));
+            trace.per_thread[idx][*po as usize]
+        })
+        .collect();
+    Schedule::new(order, trace)
+}
+
+/// Replays every oracle-enumerated failing execution of `src` under
+/// `model` (up to `cap` schedules) and asserts each one reproduces.
+/// Returns how many schedules were exercised.
+fn replay_oracle_failures(src: &str, model: MemModel, cap: usize) -> usize {
+    let program: Program = clap_ir::parse(src).expect("test program parses");
+    let sharing = analyze(&program);
+    let shared = sharing.shared_spec();
+    let tables = BlTables::build(&program);
+    let report = enumerate_with_shared(&program, shared.clone(), &OracleConfig::new(model));
+    assert!(
+        report.complete_within_bound(),
+        "oracle truncated on a corpus-sized program"
+    );
+    for failing in report.failing.iter().take(cap) {
+        // Re-execute the decision script with the recorder attached.
+        let mut vm = Vm::with_shared(&program, model, shared.clone());
+        let mut sched = ScriptScheduler::new(failing.choices.clone());
+        let mut rec = PathRecorder::new(&tables);
+        let outcome = vm.run(&mut sched, &mut rec);
+        assert!(!sched.overran(), "script fits: {}", failing.letters);
+        let Outcome::AssertFailed { assert, .. } = outcome else {
+            panic!(
+                "script must re-fail, got {outcome:?} for {}",
+                failing.letters
+            );
+        };
+        assert_eq!(assert, failing.assert);
+
+        // Decode + symbolically re-execute into a trace, then build the
+        // schedule from the oracle's visibility order.
+        let failure = FailureContext::from_vm(&vm);
+        let paths = decode_log(&program, &tables, &rec.finish()).expect("log decodes");
+        let trace = execute(&program, &shared, &paths, &failure).expect("symex accepts");
+        let (pairs, replay_outcome) =
+            schedule_of_choices(&program, model, shared.clone(), &failing.choices);
+        assert!(
+            matches!(replay_outcome, Some(Outcome::AssertFailed { .. })),
+            "schedule_of_choices re-execution diverged for {}",
+            failing.letters
+        );
+        let schedule = schedule_from_pairs(&trace, &pairs);
+
+        // The production replayer must drive this schedule to the bug.
+        let report = replay_under(
+            &program,
+            model,
+            shared.clone(),
+            &trace,
+            &schedule,
+            assert,
+            &mut NullMonitor,
+        )
+        .unwrap_or_else(|e| panic!("replay failed for {}: {e:?}", failing.letters));
+        assert!(
+            report.reproduced,
+            "assert must fire for {}",
+            failing.letters
+        );
+    }
+    report.failing.len().min(cap)
+}
+
+const LOST_UPDATE: &str = "global int x = 0;
+     fn w() { let v: int = x; yield; x = v + 1; }
+     fn main() { let a: thread = fork w(); let b: thread = fork w();
+                 join a; join b; assert(x == 2, \"lost\"); }";
+
+const SB: &str = "global int x = 0; global int y = 0;
+     global int r1 = -1; global int r2 = -1;
+     fn t1() { x = 1; r1 = y; }
+     fn t2() { y = 1; r2 = x; }
+     fn main() {
+         let a: thread = fork t1(); let b: thread = fork t2();
+         join a; join b;
+         assert(r1 + r2 > 0, \"SB\");
+     }";
+
+const MP: &str = "global int data = 0; global int flag = 0; global int seen = -1;
+     fn writer() { data = 1; flag = 1; }
+     fn reader() { let f: int = flag; if (f == 1) { seen = data; } }
+     fn main() {
+         let w: thread = fork writer(); let r: thread = fork reader();
+         join w; join r;
+         assert(seen != 0, \"MP\");
+     }";
+
+const HANDOFF: &str = "global int ready = 0; global int x = 0; mutex m; cond c;
+     fn worker() {
+         lock(m);
+         while (ready == 0) { wait(c, m); }
+         unlock(m);
+         let v: int = x; yield; x = v + 1;
+     }
+     fn main() {
+         let a: thread = fork worker(); let b: thread = fork worker();
+         lock(m); ready = 1; broadcast(c); unlock(m);
+         join a; join b;
+         assert(x == 2, \"handoff race\");
+     }";
+
+#[test]
+fn every_sc_lost_update_schedule_replays() {
+    let n = replay_oracle_failures(LOST_UPDATE, MemModel::Sc, usize::MAX);
+    assert!(n >= 5, "expected a rich failing set, got {n}");
+}
+
+#[test]
+fn tso_store_buffering_schedules_replay() {
+    let n = replay_oracle_failures(SB, MemModel::Tso, 12);
+    assert!(n > 0, "TSO SB failures must exist");
+}
+
+#[test]
+fn pso_message_passing_schedules_replay() {
+    let n = replay_oracle_failures(MP, MemModel::Pso, 12);
+    assert!(n > 0, "PSO MP failures must exist");
+}
+
+#[test]
+fn condvar_handoff_schedules_replay() {
+    let n = replay_oracle_failures(HANDOFF, MemModel::Sc, 8);
+    assert!(n > 0, "handoff race failures must exist");
+}

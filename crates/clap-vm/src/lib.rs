@@ -37,7 +37,7 @@ pub mod vm;
 
 pub use mem::{Addr, Layout, MemModel, Memory, StoreBuffer};
 pub use monitor::{AccessEvent, CountingMonitor, Monitor, MultiMonitor, NullMonitor, SyncEvent};
-pub use sched::{Action, FifoScheduler, RandomScheduler, Scheduler};
+pub use sched::{Action, FifoScheduler, FnScheduler, RandomScheduler, Scheduler, ScriptScheduler};
 pub use stats::ExecStats;
 pub use thread::{Frame, Lineage, Status, Thread, ThreadId};
 pub use vm::{run_with_seed, Outcome, SapPreviewKind, SharedSpec, Snapshot, StepPreview, Vm};

@@ -106,6 +106,74 @@ impl Scheduler for FifoScheduler {
     }
 }
 
+/// The chooser hook for enumeration tools: replays a fixed sequence of
+/// decision indices against the VM's (deterministically ordered)
+/// [`Vm::enabled_actions`] list, one index per scheduler step.
+///
+/// This is how the bounded model checker (`clap-check`) re-executes one
+/// enumerated interleaving — including its buffer-drain choices — exactly:
+/// the `k`-th entry names which enabled action the `k`-th step takes. Once
+/// the script runs out (or an entry is out of range, which means the script
+/// was recorded against a different program or model), the scheduler falls
+/// back to the first action and latches [`ScriptScheduler::overran`].
+#[derive(Debug, Clone)]
+pub struct ScriptScheduler {
+    choices: Vec<u32>,
+    pos: usize,
+    overran: bool,
+}
+
+impl ScriptScheduler {
+    /// A scheduler that will follow `choices` step by step.
+    pub fn new(choices: Vec<u32>) -> Self {
+        ScriptScheduler {
+            choices,
+            pos: 0,
+            overran: false,
+        }
+    }
+
+    /// How many scripted decisions have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` when the run needed more decisions than the script held, or
+    /// a scripted index did not exist in the enabled-action list — the
+    /// execution diverged from the recorded one.
+    pub fn overran(&self) -> bool {
+        self.overran
+    }
+}
+
+impl Scheduler for ScriptScheduler {
+    fn pick(&mut self, _vm: &Vm<'_>, actions: &[Action]) -> usize {
+        let Some(&choice) = self.choices.get(self.pos) else {
+            self.overran = true;
+            return 0;
+        };
+        self.pos += 1;
+        let i = choice as usize;
+        if i < actions.len() {
+            i
+        } else {
+            self.overran = true;
+            0
+        }
+    }
+}
+
+/// Adapts a closure into a [`Scheduler`] — the lightweight way for a tool
+/// to drive scheduling and drain nondeterminism without a named type.
+#[derive(Debug)]
+pub struct FnScheduler<F>(pub F);
+
+impl<F: FnMut(&Vm<'_>, &[Action]) -> usize> Scheduler for FnScheduler<F> {
+    fn pick(&mut self, vm: &Vm<'_>, actions: &[Action]) -> usize {
+        (self.0)(vm, actions)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -299,6 +299,15 @@ impl<'p> Vm<'p> {
         self.buffers[t.index()].len()
     }
 
+    /// Thread `t`'s store buffer, oldest entry first.
+    ///
+    /// Enumeration tools use this to account for stores that will be
+    /// committed by an implicit fence (lock/unlock/join/exit) rather than
+    /// by an explicit [`Action::Drain`].
+    pub fn buffer(&self, t: ThreadId) -> &StoreBuffer {
+        &self.buffers[t.index()]
+    }
+
     /// Classifies what stepping thread `t` would do, without side effects.
     ///
     /// # Panics

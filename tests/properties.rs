@@ -190,3 +190,24 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Differential property: programs from the extended generator
+    /// (three workers, computed array indices, condvar handoffs) must
+    /// never make the pipeline hard-disagree with the bounded
+    /// enumeration oracle, under any memory model. This is the
+    /// fuzz-scale version of the CI `clap check` smoke step.
+    #[test]
+    fn generated_programs_diff_clean_against_oracle(seed in 0u64..1_000_000) {
+        let spec = clap_check::ProgramSpec::from_seed(seed);
+        let config = clap_check::DiffConfig::default()
+            .with_models(vec![MemModel::Sc, MemModel::Tso, MemModel::Pso])
+            .with_seed_budget(400, vec![0.7, 0.3])
+            .with_max_executions(20_000);
+        let report = clap_check::diff_source(&spec.source(), &config)
+            .expect("generated source parses");
+        prop_assert!(report.ok(), "seed {seed}:\n{}", report.summary());
+    }
+}
