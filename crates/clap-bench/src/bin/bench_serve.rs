@@ -1,0 +1,37 @@
+//! Emits `BENCH_serve.jsonl`: the reproduction-service load generation —
+//! N concurrent clients over the example corpus against a live
+//! [`clap_serve::Server`], cold (every submission solves) vs. warm
+//! (every submission is a content-addressed cache hit), plus the
+//! backpressure shed phase on a deliberately undersized instance.
+//!
+//! The artifact is the standard `clap-obs` JSONL stream (validate with
+//! the `obsck` binary): one `bench.serve` header, one `bench.serve.cell`
+//! per timed submission, a `bench.serve.summary` comparison, and a
+//! `bench.serve.shed` tally.
+//!
+//! ```text
+//! bench_serve [output.jsonl] [clients] [corpus_dir]
+//! ```
+
+use clap_bench::serve;
+use clap_obs::Observer;
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_serve.jsonl".to_owned());
+    let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let corpus_dir = args.next().unwrap_or_else(|| "examples".to_owned());
+
+    let corpus = serve::load_corpus(Path::new(&corpus_dir))
+        .unwrap_or_else(|e| panic!("read corpus `{corpus_dir}`: {e}"));
+    let bench = serve::run(&corpus, clients);
+
+    let observer = Observer::none().with_metrics(&out_path);
+    observer.install();
+    serve::emit_events(&bench);
+    observer.flush().expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

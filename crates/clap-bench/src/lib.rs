@@ -4,6 +4,7 @@
 //! plus the exploration-scaling sweep behind `bench_explore`.
 
 pub mod explore;
+pub mod serve;
 
 use clap_constraints::{count, ConstraintSystem};
 use clap_core::{

@@ -38,9 +38,10 @@
 //! and `-v`/`--verbose` prints the collector summary to stderr.
 
 use clap_check::{DiffConfig, ProgramSpec};
-use clap_core::{AutoConfig, Pipeline, PipelineConfig, SolverChoice};
+use clap_core::{AutoConfig, Pipeline, PipelineConfig, ReproductionReport, SolverChoice};
 use clap_obs::Observer;
 use clap_parallel::ParallelConfig;
+use clap_serve::{Client, ServeConfig, Server, SolverKind, SubmitRequest};
 use clap_solver::SolverConfig;
 use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
 use std::process::ExitCode;
@@ -70,6 +71,23 @@ const USAGE: &str = "usage:
   clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
   clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
                            [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
+                           [--json]
+  clap-reproduce serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                           [--cache-dir DIR] [--trace PATH] [--metrics PATH] [-v]
+  clap-reproduce submit    <prog.clap> [--addr HOST:PORT] [--model M] [--budget N]
+                           [--solver seq|par|auto] [--sync-order] [--wait]
+                           [--wait-timeout SECS] [--json]
+  clap-reproduce status    <job-id> [--addr HOST:PORT]
+  clap-reproduce fetch     <job-id> [--addr HOST:PORT]
+  clap-reproduce shutdown  [--addr HOST:PORT]
+
+service (serve/submit/status/fetch/shutdown):
+  --addr HOST:PORT         daemon address (default 127.0.0.1:7117)
+  --queue-cap N            bounded job queue; extra submissions get 503 (default 64)
+  --cache-dir DIR          persist the content-addressed result cache here
+  --wait                   poll the submitted job until it finishes
+  --wait-timeout SECS      give up waiting after this long (default 300)
+  --json                   print the raw ReproductionReport JSON
 
 differential checking (check):
   --all-examples           check every .clap under --examples-dir (default examples)
@@ -121,6 +139,12 @@ struct Options {
     trace: Option<String>,
     metrics: Option<String>,
     verbose: bool,
+    addr: String,
+    queue_cap: usize,
+    cache_dir: Option<String>,
+    wait: bool,
+    wait_timeout: Duration,
+    json: bool,
 }
 
 impl Options {
@@ -179,6 +203,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: None,
         metrics: None,
         verbose: false,
+        addr: "127.0.0.1:7117".into(),
+        queue_cap: 64,
+        cache_dir: None,
+        wait: false,
+        wait_timeout: Duration::from_secs(300),
+        json: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -264,15 +294,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--metrics needs a path")?;
                 options.metrics = Some(v.clone());
             }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs host:port")?;
+                options.addr = v.clone();
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                options.queue_cap = v.parse().map_err(|_| format!("bad queue cap `{v}`"))?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                options.cache_dir = Some(v.clone());
+            }
+            "--wait" => options.wait = true,
+            "--wait-timeout" => {
+                let v = it.next().ok_or("--wait-timeout needs a value in seconds")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad wait timeout `{v}`"))?;
+                options.wait_timeout = Duration::from_secs(secs);
+            }
+            "--json" => options.json = true,
             "-v" | "--verbose" => options.verbose = true,
             other if !other.starts_with("--") && options.file.is_empty() => {
                 options.file = other.to_owned();
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
-    }
-    if options.file.is_empty() && !options.all_examples && options.fuzz == 0 {
-        return Err("missing program file".into());
     }
     Ok(options)
 }
@@ -293,8 +339,19 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let options = parse_options(rest)?;
-    if command == "check" {
-        return check(&options);
+    match command.as_str() {
+        "check" => return check(&options),
+        "serve" => return serve(&options),
+        "submit" => return submit(&options),
+        "status" | "fetch" => return poll(command, &options),
+        "shutdown" => {
+            Client::new(options.addr.clone())
+                .shutdown()
+                .map_err(|e| e.to_string())?;
+            println!("draining");
+            return Ok(());
+        }
+        _ => {}
     }
     if options.file.is_empty() {
         return Err("missing program file".into());
@@ -388,6 +445,10 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             config.record_sync_order = options.sync_order;
             let report = pipeline.reproduce(&config).map_err(|e| e.to_string())?;
+            if options.json {
+                println!("{}", report.to_json());
+                return Ok(());
+            }
             println!("reproduced: {}", report.reproduced);
             println!(
                 "trace: {} threads, {} instructions, {} branches, {} SAPs",
@@ -427,6 +488,125 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// The `serve` subcommand: run the reproduction daemon until a client
+/// posts `/shutdown`, then drain and flush the sinks.
+fn serve(options: &Options) -> Result<(), String> {
+    let observer = options.observer();
+    if observer.is_active() {
+        clap_obs::reset();
+    }
+    let server = Server::start(ServeConfig {
+        addr: options.addr.clone(),
+        workers: if options.workers == 0 {
+            2
+        } else {
+            options.workers
+        },
+        queue_cap: options.queue_cap,
+        cache_dir: options.cache_dir.clone().map(Into::into),
+        observer,
+    })
+    .map_err(|e| e.to_string())?;
+    println!("serving on {}", server.addr());
+    server.join();
+    println!("drained and stopped");
+    Ok(())
+}
+
+fn submit_request(options: &Options) -> Result<SubmitRequest, String> {
+    let source = std::fs::read_to_string(&options.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", options.file))?;
+    let mut request = SubmitRequest::new(source);
+    request.model = options.single_model()?;
+    request.solver = match options.solver {
+        SolverFlag::Sequential => SolverKind::Sequential,
+        SolverFlag::Parallel => SolverKind::Parallel,
+        SolverFlag::Auto => SolverKind::Auto,
+    };
+    request.seed_budget = Some(options.budget);
+    request.sync_order = options.sync_order;
+    Ok(request)
+}
+
+/// The `submit` subcommand: post a program to the daemon; with `--wait`,
+/// poll until it finishes and print the schedule (or, with `--json`, the
+/// raw report document).
+fn submit(options: &Options) -> Result<(), String> {
+    if options.file.is_empty() {
+        return Err("missing program file".into());
+    }
+    let request = submit_request(options)?;
+    let client = Client::new(options.addr.clone());
+    let mut info = client.submit(&request).map_err(|e| e.to_string())?;
+    // With --json, stdout carries only the report document; the job
+    // lifecycle lines go to stderr so the output stays pipeable.
+    let status_line = |line: String| {
+        if options.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    status_line(format!("job: {}", info.job));
+    if options.wait {
+        info = client
+            .wait(info.job, options.wait_timeout)
+            .map_err(|e| e.to_string())?;
+    }
+    status_line(format!("state: {}", info.state));
+    status_line(format!("cached: {}", info.cached));
+    match info.state {
+        clap_serve::JobState::Done => {
+            let report_json = client.fetch(info.job).map_err(|e| e.to_string())?;
+            if options.json {
+                println!("{report_json}");
+            } else {
+                let report = ReproductionReport::from_json(&report_json)?;
+                println!("reproduced: {}", report.reproduced);
+                println!("schedule: {}", report.schedule_letters);
+            }
+            Ok(())
+        }
+        clap_serve::JobState::Failed => Err(format!(
+            "job {} failed: {}",
+            info.job,
+            info.error.as_deref().unwrap_or("unknown error")
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// The `status`/`fetch` subcommands: look up one job by id.
+fn poll(command: &str, options: &Options) -> Result<(), String> {
+    let job: u64 = options
+        .file
+        .parse()
+        .map_err(|_| format!("`{command}` needs a numeric job id"))?;
+    let client = Client::new(options.addr.clone());
+    match command {
+        "status" => {
+            let info = client.status(job).map_err(|e| e.to_string())?;
+            println!("job: {}", info.job);
+            println!("state: {}", info.state);
+            println!("cached: {}", info.cached);
+            if let Some(error) = &info.error {
+                println!("error: {error}");
+            }
+        }
+        _ => {
+            let report_json = client.fetch(job).map_err(|e| e.to_string())?;
+            if options.json {
+                println!("{report_json}");
+            } else {
+                let report = ReproductionReport::from_json(&report_json)?;
+                println!("reproduced: {}", report.reproduced);
+                println!("schedule: {}", report.schedule_letters);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The differential `check` subcommand: every target program (explicit

@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 mod explore;
 mod portfolio;
+mod report_json;
 
 pub use portfolio::{
     solve_auto, AttemptOutcome, AutoConfig, EngineKind, PortfolioAttempt, PortfolioOutcome,

@@ -95,3 +95,16 @@ pub fn parse_module(source: &str) -> Result<Module> {
     let tokens = lexer::lex(source)?;
     parser::parse_tokens(&tokens)
 }
+
+/// Canonicalizes DSL source text: parses it and prints it back through
+/// [`unparse::unparse`], erasing formatting-only differences (whitespace,
+/// comments, redundant parentheses). The result is a **fixpoint** —
+/// canonicalizing it again returns the same bytes — which makes it a
+/// stable content-address key for caches keyed by program identity.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] for lexical or syntactic problems.
+pub fn canonicalize(source: &str) -> Result<String> {
+    Ok(unparse::unparse(&parse_module(source)?))
+}

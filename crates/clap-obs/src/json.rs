@@ -64,6 +64,60 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Renders the value as a compact JSON document. Numbers that are
+    /// exact integers (the only kind the CLAP encoders produce) render
+    /// without a fractional part, so `parse ∘ render` is byte-stable for
+    /// integer-valued documents.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
 /// Escapes `s` for embedding in a JSON string literal (without quotes).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -301,6 +355,15 @@ mod tests {
         let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_byte_stable() {
+        let doc = r#"{"a":1,"b":[true,null,"x\ny"],"c":-25,"d":{"e":0.5}}"#;
+        let v = parse(doc).unwrap();
+        let rendered = v.render();
+        assert_eq!(rendered, doc);
+        assert_eq!(parse(&rendered).unwrap().render(), rendered);
     }
 
     #[test]

@@ -377,6 +377,71 @@ pub struct Snapshot {
     pub events: Vec<EventRecord>,
 }
 
+/// A position in the collector's stream, taken with [`mark`]: the point
+/// from which [`snapshot_since`] reports deltas. Used by services running
+/// several observed pipelines in one process to attribute a window of the
+/// shared stream to one job.
+#[derive(Debug, Clone)]
+pub struct Mark {
+    epoch: u64,
+    spans: usize,
+    events: usize,
+    counters: BTreeMap<String, u64>,
+}
+
+/// Records the current stream position for a later [`snapshot_since`].
+pub fn mark() -> Mark {
+    let st = state().lock().expect("obs state");
+    Mark {
+        epoch: st.epoch,
+        spans: st.spans.len(),
+        events: st.events.len(),
+        counters: st.counters.clone(),
+    }
+}
+
+/// A snapshot of what was collected **after** `mark`: spans and events
+/// recorded since, and counters as deltas (zero-delta counters are
+/// omitted). Gauges and histograms are reported cumulatively — a gauge is
+/// last-write-wins and bucket counts cannot be subtracted faithfully. If
+/// the collector was [`reset`] after the mark was taken, the full current
+/// snapshot is returned (the old positions are meaningless).
+///
+/// Note that in a concurrent process the window contains *everything*
+/// recorded during it, including spans of other threads' work; records
+/// stay attributable through their `tid`.
+pub fn snapshot_since(mark: &Mark) -> Snapshot {
+    let st = state().lock().expect("obs state");
+    if st.epoch != mark.epoch {
+        drop(st);
+        return snapshot();
+    }
+    let mut spans: Vec<SpanRecord> = st.spans[mark.spans.min(st.spans.len())..].to_vec();
+    spans.sort_by(|a, b| {
+        (a.tid, a.start_ns, a.depth, &a.name).cmp(&(b.tid, b.start_ns, b.depth, &b.name))
+    });
+    let counters = st
+        .counters
+        .iter()
+        .filter_map(|(k, v)| {
+            let delta = v - mark.counters.get(k).copied().unwrap_or(0);
+            (delta > 0).then(|| (k.clone(), delta))
+        })
+        .collect();
+    Snapshot {
+        elapsed_ns: st.start.elapsed().as_nanos() as u64,
+        spans,
+        counters,
+        gauges: st.gauges.clone(),
+        hists: st
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+        events: st.events[mark.events.min(st.events.len())..].to_vec(),
+    }
+}
+
 /// Takes a snapshot of the collector (works whether enabled or not).
 pub fn snapshot() -> Snapshot {
     let st = state().lock().expect("obs state");
@@ -443,6 +508,32 @@ impl Observer {
         self.trace_path.is_some() || self.metrics_path.is_some() || self.summary
     }
 
+    /// Derives a per-job observer: every file sink path gains a
+    /// `.job<id>` component before its extension (`out.jsonl` →
+    /// `out.job3.jsonl`), so concurrent pipelines in one process write
+    /// disjoint files instead of clobbering a shared path.
+    #[must_use]
+    pub fn for_job(&self, job_id: u64) -> Self {
+        let suffix = |path: &PathBuf| -> PathBuf {
+            let mut p = path.clone();
+            let stem = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let name = match p.extension() {
+                Some(ext) => format!("{stem}.job{job_id}.{}", ext.to_string_lossy()),
+                None => format!("{stem}.job{job_id}"),
+            };
+            p.set_file_name(name);
+            p
+        };
+        Observer {
+            trace_path: self.trace_path.as_ref().map(&suffix),
+            metrics_path: self.metrics_path.as_ref().map(&suffix),
+            summary: self.summary,
+        }
+    }
+
     /// Resets and enables the global collector — a no-op when no sink is
     /// configured, so default configs never pay for instrumentation.
     pub fn install(&self) {
@@ -461,20 +552,38 @@ impl Observer {
         if !self.is_active() {
             return Ok(());
         }
-        let snap = snapshot();
+        self.write_sinks(&snapshot())
+    }
+
+    /// Writes every configured sink from a [`snapshot_since`] delta — the
+    /// per-job flush used by services: each job marks the stream when it
+    /// starts and flushes only its own window on completion, without
+    /// resetting the process-global collector other jobs are feeding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the sink files.
+    pub fn flush_since(&self, mark: &Mark) -> io::Result<()> {
+        if !self.is_active() {
+            return Ok(());
+        }
+        self.write_sinks(&snapshot_since(mark))
+    }
+
+    fn write_sinks(&self, snap: &Snapshot) -> io::Result<()> {
         if let Some(path) = &self.metrics_path {
             let mut buf = Vec::new();
-            sink::write_jsonl(&snap, &mut buf)?;
+            sink::write_jsonl(snap, &mut buf)?;
             std::fs::write(path, buf)?;
         }
         if let Some(path) = &self.trace_path {
             let mut buf = Vec::new();
-            sink::write_chrome_trace(&snap, &mut buf)?;
+            sink::write_chrome_trace(snap, &mut buf)?;
             std::fs::write(path, buf)?;
         }
         if self.summary {
             let mut err = io::stderr().lock();
-            sink::write_summary(&snap, &mut err)?;
+            sink::write_summary(snap, &mut err)?;
         }
         Ok(())
     }
@@ -587,6 +696,70 @@ mod tests {
         tids.sort_unstable();
         tids.dedup();
         assert_eq!(tids.len(), 3, "three distinct threads: {:?}", snap.spans);
+    }
+
+    #[test]
+    fn snapshot_since_reports_only_the_window() {
+        let _l = test_lock();
+        reset();
+        enable();
+        add("before", 7);
+        add("both", 2);
+        {
+            let _s = span("early");
+        }
+        let m = mark();
+        add("both", 3);
+        add("after", 1);
+        {
+            let _s = span("late");
+        }
+        event("window.event", &[]);
+        disable();
+        let delta = snapshot_since(&m);
+        assert_eq!(delta.counters.get("both"), Some(&3));
+        assert_eq!(delta.counters.get("after"), Some(&1));
+        assert!(!delta.counters.contains_key("before"), "zero-delta omitted");
+        assert_eq!(delta.spans.len(), 1);
+        assert_eq!(delta.spans[0].name, "late");
+        assert_eq!(delta.events.len(), 1);
+        assert_eq!(delta.events[0].name, "window.event");
+    }
+
+    #[test]
+    fn snapshot_since_survives_reset() {
+        let _l = test_lock();
+        reset();
+        enable();
+        let m = mark();
+        reset();
+        add("fresh", 1);
+        disable();
+        // Positions from a previous epoch are meaningless: fall back to
+        // the full snapshot instead of slicing out of bounds.
+        let delta = snapshot_since(&m);
+        assert_eq!(delta.counters.get("fresh"), Some(&1));
+    }
+
+    #[test]
+    fn for_job_suffixes_every_file_sink() {
+        let obs = Observer::none()
+            .with_trace("/tmp/out.trace.json")
+            .with_metrics("/tmp/metrics.jsonl");
+        let job = obs.for_job(7);
+        assert_eq!(
+            job.trace_path.as_deref(),
+            Some(std::path::Path::new("/tmp/out.trace.job7.json"))
+        );
+        assert_eq!(
+            job.metrics_path.as_deref(),
+            Some(std::path::Path::new("/tmp/metrics.job7.jsonl"))
+        );
+        let bare = Observer::none().with_metrics("/tmp/metrics").for_job(2);
+        assert_eq!(
+            bare.metrics_path.as_deref(),
+            Some(std::path::Path::new("/tmp/metrics.job2"))
+        );
     }
 
     #[test]

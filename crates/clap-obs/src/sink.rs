@@ -198,14 +198,87 @@ pub const JSONL_SCHEMA: &[(&str, &[&str])] = &[
     ("event", &["type", "name", "tid", "ts_ns", "fields"]),
 ];
 
+/// Exact field-key sequences for the structured events whose shape is a
+/// stable contract (service and benchmark artifacts that downstream
+/// tooling parses). Events not listed here are free-form; events whose
+/// name falls under a [`STRICT_NAME_PREFIXES`] prefix **must** be listed.
+pub const EVENT_FIELD_SCHEMA: &[(&str, &[&str])] = &[
+    (
+        "portfolio.attempt",
+        &["engine", "cs_min", "cs_max", "outcome", "wall_us"],
+    ),
+    ("portfolio.winner", &["engine"]),
+    ("bench.explore", &["host_cores", "repeats"]),
+    (
+        "bench.explore.cell",
+        &[
+            "workload",
+            "seed_budget",
+            "workers",
+            "millis",
+            "speedup",
+            "seed",
+        ],
+    ),
+    (
+        "bench.serve",
+        &["corpus", "workers", "queue_cap", "clients"],
+    ),
+    (
+        "bench.serve.cell",
+        &["program", "phase", "latency_us", "cached"],
+    ),
+    ("bench.serve.summary", &["cold_us", "warm_us", "speedup"]),
+    (
+        "bench.serve.shed",
+        &["submitted", "accepted", "shed", "drained"],
+    ),
+    ("serve.job.done", &["job", "cached", "wall_us"]),
+    ("serve.job.failed", &["job", "error"]),
+    ("serve.shutdown", &["drained"]),
+];
+
+/// Name prefixes under strict validation: counters, gauges, and
+/// histograms must appear in [`KNOWN_STRICT_METRICS`], events in
+/// [`EVENT_FIELD_SCHEMA`]. Everything else (pipeline internals, debug
+/// probes) stays free-form.
+pub const STRICT_NAME_PREFIXES: &[&str] = &["serve.", "bench."];
+
+/// Every counter/gauge/histogram name the service and benchmark layers
+/// may emit under a strict prefix. A misspelled `serve.*` metric fails
+/// [`validate_jsonl_line`] instead of silently forking the namespace.
+pub const KNOWN_STRICT_METRICS: &[&str] = &[
+    "serve.cache.hit",
+    "serve.cache.miss",
+    "serve.cache.coalesced",
+    "serve.cache.entries",
+    "serve.cache.journal.loaded",
+    "serve.cache.journal.skipped",
+    "serve.queue.depth",
+    "serve.queue.rejected",
+    "serve.jobs.submitted",
+    "serve.jobs.completed",
+    "serve.jobs.failed",
+    "serve.job.wall_us",
+    "serve.http.requests",
+    "serve.http.errors",
+];
+
+fn strict(name: &str) -> bool {
+    STRICT_NAME_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
 /// Validates one JSONL line against [`JSONL_SCHEMA`], returning the record
-/// type.
+/// type. Names under a [`STRICT_NAME_PREFIXES`] prefix are additionally
+/// checked against the name registries: events must match their
+/// [`EVENT_FIELD_SCHEMA`] field sequence exactly, metrics must be listed
+/// in [`KNOWN_STRICT_METRICS`].
 ///
 /// # Errors
 ///
 /// Returns a description of the first schema violation: malformed JSON, an
-/// unknown record type, missing/extra/misordered keys, or a wrongly typed
-/// field.
+/// unknown record type, missing/extra/misordered keys, a wrongly typed
+/// field, or an unregistered/misshapen strict-prefix record.
 pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
     let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
     let ty = v
@@ -236,6 +309,33 @@ pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
         };
         if !ok {
             return Err(format!("field `{key}` of `{ty}` has the wrong type"));
+        }
+    }
+    let name = v.get("name").and_then(json::Value::as_str).unwrap_or("");
+    if strict(name) {
+        match *ty_static {
+            "event" => {
+                let want = EVENT_FIELD_SCHEMA
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, fields)| *fields)
+                    .ok_or_else(|| format!("unregistered strict event `{name}`"))?;
+                let got: Vec<&str> = match v.get("fields") {
+                    Some(json::Value::Obj(entries)) => {
+                        entries.iter().map(|(k, _)| k.as_str()).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                if got != want {
+                    return Err(format!(
+                        "event `{name}` fields drifted: got {got:?}, want {want:?}"
+                    ));
+                }
+            }
+            "counter" | "gauge" | "hist" if !KNOWN_STRICT_METRICS.contains(&name) => {
+                return Err(format!("unregistered strict metric `{name}`"));
+            }
+            _ => {}
         }
     }
     Ok(ty_static)
@@ -364,6 +464,49 @@ mod tests {
         // Correct line passes.
         assert_eq!(
             validate_jsonl_line(r#"{"type":"counter","name":"x","value":1}"#).unwrap(),
+            "counter"
+        );
+    }
+
+    #[test]
+    fn strict_prefix_names_are_registry_checked() {
+        // A registered serve counter passes; a misspelled one fails.
+        assert_eq!(
+            validate_jsonl_line(r#"{"type":"counter","name":"serve.cache.hit","value":3}"#)
+                .unwrap(),
+            "counter"
+        );
+        assert!(
+            validate_jsonl_line(r#"{"type":"counter","name":"serve.cache.hits","value":3}"#)
+                .is_err()
+        );
+        // A registered serve event with the exact field sequence passes.
+        assert_eq!(
+            validate_jsonl_line(
+                r#"{"type":"event","name":"serve.job.done","tid":0,"ts_ns":1,"fields":{"job":"3","cached":"true","wall_us":"12"}}"#
+            )
+            .unwrap(),
+            "event"
+        );
+        // Drifted fields and unregistered serve events fail.
+        assert!(validate_jsonl_line(
+            r#"{"type":"event","name":"serve.job.done","tid":0,"ts_ns":1,"fields":{"job":"3"}}"#
+        )
+        .is_err());
+        assert!(validate_jsonl_line(
+            r#"{"type":"event","name":"serve.mystery","tid":0,"ts_ns":1,"fields":{}}"#
+        )
+        .is_err());
+        // Non-strict names stay free-form.
+        assert_eq!(
+            validate_jsonl_line(
+                r#"{"type":"event","name":"dbg.anything","tid":0,"ts_ns":1,"fields":{"x":"y"}}"#
+            )
+            .unwrap(),
+            "event"
+        );
+        assert_eq!(
+            validate_jsonl_line(r#"{"type":"counter","name":"explore.novel","value":1}"#).unwrap(),
             "counter"
         );
     }

@@ -1,0 +1,53 @@
+//! The CLAP reproduction **service**: many recorded failures stream in,
+//! a pool of workers grinds through them offline, and identical
+//! submissions are never solved twice.
+//!
+//! CLAP's recording half is cheap enough to leave on in production; the
+//! expensive half — symbolic execution and constraint solving — runs
+//! offline. This crate gives that offline half the shape the deployment
+//! story implies: a daemon with
+//!
+//! - a minimal hand-rolled HTTP/1.1 wire protocol ([`http`]):
+//!   `POST /submit`, `GET /status/<id>`, `GET /report/<id>`,
+//!   `GET /metrics`, `POST /shutdown`;
+//! - a bounded job queue and worker pool with backpressure (`503` when
+//!   the queue is full) and graceful drain ([`server`]);
+//! - a **content-addressed result cache** ([`cache`]) keyed by the
+//!   fingerprint of (canonicalized source, memory model, solver config),
+//!   with in-flight coalescing — N identical concurrent submissions cost
+//!   one solve — and a JSONL journal that survives restarts;
+//! - per-job observability: each job flushes its own window of the
+//!   global `clap_obs` stream to per-job sink files.
+//!
+//! # Example
+//!
+//! ```
+//! use clap_serve::{Client, ServeConfig, Server, SubmitRequest};
+//! use std::time::Duration;
+//!
+//! let _guard = clap_obs::test_lock();
+//! let server = Server::start(ServeConfig::default())?;
+//! let client = Client::new(server.addr().to_string());
+//! let program = "global int x = 0;
+//!     fn w() { let v: int = x; yield; x = v + 1; }
+//!     fn main() { let a: thread = fork w(); let b: thread = fork w();
+//!                 join a; join b; assert(x == 2, \"lost update\"); }";
+//! let job = client.submit(&SubmitRequest::new(program))?;
+//! let done = client.wait(job.job, Duration::from_secs(60))?;
+//! let report = clap_core::ReproductionReport::from_json(&client.fetch(done.job)?)?;
+//! assert!(report.reproduced);
+//! client.shutdown()?;
+//! server.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod proto;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::{Client, ClientError};
+pub use proto::{parse_model, JobInfo, JobState, SolverKind, SubmitRequest};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,373 @@
+//! Wire types for the reproduction service: the submit request, the job
+//! info envelope, and the **content-address fingerprint** that keys the
+//! result cache.
+//!
+//! The fingerprint hashes the *canonicalized* program source (via
+//! [`clap_ir::canonicalize`], which erases formatting-only differences)
+//! together with every reproduction-relevant knob, so two submissions
+//! that differ only in whitespace or comments share one cache entry,
+//! while a changed memory model or solver choice never does.
+
+use clap_core::{AutoConfig, PipelineConfig, SolverChoice};
+use clap_obs::json::{self, Value};
+use clap_parallel::ParallelConfig;
+use clap_solver::SolverConfig;
+use clap_vm::MemModel;
+use std::fmt;
+
+/// Which offline solver a submission requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// The adaptive portfolio (default — fast on few-preemption bugs,
+    /// complete on the rest).
+    #[default]
+    Auto,
+    /// The sequential DPLL(T)-style search.
+    Sequential,
+    /// The §4.3 parallel generate-and-validate engine.
+    Parallel,
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolverKind::Auto => "auto",
+            SolverKind::Sequential => "sequential",
+            SolverKind::Parallel => "parallel",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SolverKind::Auto),
+            "sequential" => Ok(SolverKind::Sequential),
+            "parallel" => Ok(SolverKind::Parallel),
+            other => Err(format!("unknown solver `{other}`")),
+        }
+    }
+}
+
+fn model_str(model: MemModel) -> &'static str {
+    match model {
+        MemModel::Sc => "SC",
+        MemModel::Tso => "TSO",
+        MemModel::Pso => "PSO",
+    }
+}
+
+/// Parses a memory-model name (case-insensitive).
+///
+/// # Errors
+///
+/// Returns a message for unknown names.
+pub fn parse_model(s: &str) -> Result<MemModel, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "sc" => Ok(MemModel::Sc),
+        "tso" => Ok(MemModel::Tso),
+        "pso" => Ok(MemModel::Pso),
+        other => Err(format!("unknown memory model `{other}`")),
+    }
+}
+
+/// One reproduction submission: the program plus every knob that affects
+/// the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// DSL source of the program to reproduce.
+    pub source: String,
+    /// Memory model of the recorded execution.
+    pub model: MemModel,
+    /// Offline solver choice.
+    pub solver: SolverKind,
+    /// Exploration seed budget override (`None` = pipeline default).
+    pub seed_budget: Option<u64>,
+    /// Record the §6.4 global synchronization order.
+    pub sync_order: bool,
+}
+
+impl SubmitRequest {
+    /// A submission with default knobs (SC, auto solver).
+    pub fn new(source: impl Into<String>) -> Self {
+        SubmitRequest {
+            source: source.into(),
+            model: MemModel::Sc,
+            solver: SolverKind::default(),
+            seed_budget: None,
+            sync_order: false,
+        }
+    }
+
+    /// Encodes the submission as JSON.
+    pub fn to_json(&self) -> String {
+        Value::Obj(vec![
+            ("source".to_owned(), Value::Str(self.source.clone())),
+            (
+                "model".to_owned(),
+                Value::Str(model_str(self.model).to_owned()),
+            ),
+            ("solver".to_owned(), Value::Str(self.solver.to_string())),
+            (
+                "seed_budget".to_owned(),
+                match self.seed_budget {
+                    Some(b) => Value::Num(b as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("sync_order".to_owned(), Value::Bool(self.sync_order)),
+        ])
+        .render()
+    }
+
+    /// Decodes a submission from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let source = v
+            .get("source")
+            .and_then(Value::as_str)
+            .ok_or("missing `source`")?
+            .to_owned();
+        let model = match v.get("model") {
+            None | Some(Value::Null) => MemModel::Sc,
+            Some(m) => parse_model(m.as_str().ok_or("`model` is not a string")?)?,
+        };
+        let solver = match v.get("solver") {
+            None | Some(Value::Null) => SolverKind::default(),
+            Some(s) => s.as_str().ok_or("`solver` is not a string")?.parse()?,
+        };
+        let seed_budget = match v.get("seed_budget") {
+            None | Some(Value::Null) => None,
+            Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            Some(_) => return Err("`seed_budget` is not an unsigned integer".to_owned()),
+        };
+        let sync_order = match v.get("sync_order") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("`sync_order` is not a bool".to_owned()),
+        };
+        Ok(SubmitRequest {
+            source,
+            model,
+            solver,
+            seed_budget,
+            sync_order,
+        })
+    }
+
+    /// The content-address of this submission: an FNV-1a 64-bit hash (as
+    /// 16 hex digits) of the canonicalized source plus every
+    /// result-affecting knob. Formatting-only source differences share a
+    /// fingerprint; any semantic or configuration difference does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when the source is not syntactically valid.
+    pub fn fingerprint(&self) -> Result<String, clap_ir::Error> {
+        let canon = clap_ir::canonicalize(&self.source)?;
+        let budget = match self.seed_budget {
+            Some(b) => b.to_string(),
+            None => "default".to_owned(),
+        };
+        let material = format!(
+            "{canon}\u{0}model={};solver={};seed_budget={budget};sync_order={}",
+            model_str(self.model),
+            self.solver,
+            self.sync_order,
+        );
+        Ok(format!("{:016x}", fnv1a(material.as_bytes())))
+    }
+
+    /// Lowers the submission to a pipeline configuration.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let mut config = PipelineConfig::new(self.model);
+        config.solver = match self.solver {
+            SolverKind::Auto => SolverChoice::Auto(AutoConfig::default()),
+            SolverKind::Sequential => SolverChoice::Sequential(SolverConfig::default()),
+            SolverKind::Parallel => SolverChoice::Parallel(ParallelConfig::default()),
+        };
+        if let Some(budget) = self.seed_budget {
+            config.seed_budget = budget;
+        }
+        config.record_sync_order = self.sync_order;
+        config
+    }
+}
+
+/// FNV-1a, 64-bit: the classic small fast hash — deterministic across
+/// runs and platforms, which `DefaultHasher` does not guarantee.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue (or for an identical in-flight solve).
+    Queued,
+    /// A worker is running the pipeline.
+    Running,
+    /// The report is ready.
+    Done,
+    /// The pipeline failed.
+    Failed,
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for JobState {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            other => Err(format!("unknown job state `{other}`")),
+        }
+    }
+}
+
+/// The job envelope returned by `/submit` and `/status/<id>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfo {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// `true` when the report came from the cache (or an in-flight
+    /// coalesced solve) instead of a dedicated pipeline run.
+    pub cached: bool,
+    /// The failure description, for [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobInfo {
+    /// Encodes the envelope as JSON.
+    pub fn to_json(&self) -> String {
+        Value::Obj(vec![
+            ("job".to_owned(), Value::Num(self.job as f64)),
+            ("state".to_owned(), Value::Str(self.state.to_string())),
+            ("cached".to_owned(), Value::Bool(self.cached)),
+            (
+                "error".to_owned(),
+                match &self.error {
+                    Some(e) => Value::Str(e.clone()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+        .render()
+    }
+
+    /// Decodes the envelope from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let job = v
+            .get("job")
+            .and_then(Value::as_num)
+            .ok_or("missing `job`")? as u64;
+        let state = v
+            .get("state")
+            .and_then(Value::as_str)
+            .ok_or("missing `state`")?
+            .parse()?;
+        let cached = matches!(v.get("cached"), Some(Value::Bool(true)));
+        let error = v.get("error").and_then(Value::as_str).map(str::to_owned);
+        Ok(JobInfo {
+            job,
+            state,
+            cached,
+            error,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "global int x = 0;
+         fn w() { let v: int = x; yield; x = v + 1; }
+         fn main() { let a: thread = fork w(); let b: thread = fork w();
+                     join a; join b; assert(x == 2, \"lost\"); }";
+
+    #[test]
+    fn submit_round_trips_through_json() {
+        let mut req = SubmitRequest::new(PROGRAM);
+        req.model = MemModel::Tso;
+        req.solver = SolverKind::Parallel;
+        req.seed_budget = Some(123);
+        req.sync_order = true;
+        let decoded = SubmitRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn fingerprint_ignores_formatting_but_not_knobs() {
+        let a = SubmitRequest::new(PROGRAM);
+        // Same program, wildly different whitespace.
+        let b = SubmitRequest::new(PROGRAM.replace("\n", "  \n\n").replace("; ", ";\n"));
+        assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+
+        let mut c = a.clone();
+        c.model = MemModel::Tso;
+        assert_ne!(a.fingerprint().unwrap(), c.fingerprint().unwrap());
+        let mut d = a.clone();
+        d.solver = SolverKind::Sequential;
+        assert_ne!(a.fingerprint().unwrap(), d.fingerprint().unwrap());
+        let mut e = a.clone();
+        e.seed_budget = Some(7);
+        assert_ne!(a.fingerprint().unwrap(), e.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn fingerprint_rejects_garbage_source() {
+        assert!(SubmitRequest::new("not a program").fingerprint().is_err());
+    }
+
+    #[test]
+    fn job_info_round_trips() {
+        let info = JobInfo {
+            job: 42,
+            state: JobState::Failed,
+            cached: false,
+            error: Some("solver budget exhausted".to_owned()),
+        };
+        assert_eq!(JobInfo::from_json(&info.to_json()).unwrap(), info);
+        let ok = JobInfo {
+            job: 7,
+            state: JobState::Done,
+            cached: true,
+            error: None,
+        };
+        assert_eq!(JobInfo::from_json(&ok.to_json()).unwrap(), ok);
+    }
+}

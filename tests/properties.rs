@@ -192,6 +192,30 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `clap_ir::canonicalize` (parse ∘ unparse) is a fixpoint: the
+    /// second round-trip is byte-identical to the first. The service's
+    /// content-addressed cache keys on the canonical form, so this is
+    /// exactly the property that makes "same program modulo formatting"
+    /// a single cache entry.
+    #[test]
+    fn canonicalization_is_a_fixpoint(
+        ops_a in proptest::collection::vec(op_strategy(), 1..4),
+        ops_b in proptest::collection::vec(op_strategy(), 1..4),
+        seed in 0u64..1_000_000,
+    ) {
+        let handwritten = build_program(&ops_a, &ops_b);
+        let generated = clap_check::ProgramSpec::from_seed(seed).source();
+        for source in [handwritten, generated] {
+            let once = clap_ir::canonicalize(&source).expect("source parses");
+            let twice = clap_ir::canonicalize(&once).expect("canonical form parses");
+            prop_assert!(once == twice, "canonical form must be stable");
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
     /// Differential property: programs from the extended generator
@@ -210,4 +234,23 @@ proptest! {
             .expect("generated source parses");
         prop_assert!(report.ok(), "seed {seed}:\n{}", report.summary());
     }
+}
+
+/// The shipped example corpus is parseable and canonically stable — the
+/// precondition for the CI service-smoke step's cache-hit assertion
+/// (identical resubmissions must fingerprint identically).
+#[test]
+fn example_corpus_canonicalizes() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir("examples").expect("examples dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "clap") {
+            let source = std::fs::read_to_string(&path).expect("read example");
+            let once = clap_ir::canonicalize(&source).expect("example parses");
+            let twice = clap_ir::canonicalize(&once).expect("canonical form parses");
+            assert_eq!(once, twice, "{} is not canonically stable", path.display());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "expected at least two example programs");
 }
