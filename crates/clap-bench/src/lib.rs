@@ -5,6 +5,7 @@
 
 pub mod explore;
 pub mod serve;
+pub mod vm;
 
 use clap_constraints::{count, ConstraintSystem};
 use clap_core::{

@@ -34,8 +34,8 @@
 use crate::fingerprint::{Fingerprint, FingerprintMonitor};
 use clap_ir::{AssertId, Instr, Operand, Program};
 use clap_vm::{
-    Action, Frame, Lineage, MemModel, NullMonitor, Outcome, SapPreviewKind, SharedSpec,
-    StepPreview, ThreadId, Vm,
+    Action, Backend, Frame, Lineage, MemModel, NullMonitor, Outcome, SapPreviewKind, SharedSpec,
+    Snapshot, StepPreview, ThreadId, Vm,
 };
 use std::collections::HashSet;
 
@@ -54,6 +54,10 @@ pub struct OracleConfig {
     pub max_executions: u64,
     /// Cap on distinct failing executions collected.
     pub max_failing: usize,
+    /// Which VM execution backend to enumerate with. The report is
+    /// backend-independent (the equivalence suite pins this); the flat
+    /// bytecode backend is simply faster.
+    pub backend: Backend,
 }
 
 impl OracleConfig {
@@ -65,6 +69,7 @@ impl OracleConfig {
             max_steps: 10_000,
             max_executions: 200_000,
             max_failing: 4_096,
+            backend: Backend::default(),
         }
     }
 
@@ -77,6 +82,12 @@ impl OracleConfig {
     /// Overrides the execution cap.
     pub fn with_max_executions(mut self, cap: u64) -> Self {
         self.max_executions = cap;
+        self
+    }
+
+    /// Overrides the VM execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -165,7 +176,7 @@ pub fn enumerate_with_shared(
     config: &OracleConfig,
 ) -> OracleReport {
     let _span = clap_obs::span("check.oracle");
-    let vm = Vm::with_shared(program, config.model, shared);
+    let vm = Vm::with_backend(program, config.model, shared, config.backend);
     let mut mon = FingerprintMonitor::new();
     mon.register_thread(ThreadId::MAIN, vm.thread(ThreadId::MAIN).lineage.clone());
     let mut e = Enumerator {
@@ -177,6 +188,8 @@ pub fn enumerate_with_shared(
         seen: HashSet::new(),
         report: OracleReport::default(),
         stop: false,
+        pool: Vec::new(),
+        action_pool: Vec::new(),
     };
     e.explore(None, 0, 0);
     let r = &e.report;
@@ -197,10 +210,29 @@ struct Enumerator<'p, 'c> {
     seen: HashSet<Fingerprint>,
     report: OracleReport,
     stop: bool,
+    /// Retired branch snapshots, reused at the next branch of the same
+    /// depth: `Vm::snapshot_into` overwrites a pooled snapshot's buffers
+    /// in place, so steady-state DFS allocates nothing per branch.
+    pool: Vec<Snapshot>,
+    /// Retired enabled-action buffers, pooled the same way so the
+    /// per-step `Vm::enabled_actions_into` query allocates nothing.
+    action_pool: Vec<Vec<Action>>,
 }
 
 impl Enumerator<'_, '_> {
     fn explore(&mut self, last: Option<ThreadId>, preemptions: usize, path_steps: u64) {
+        let mut actions = self.action_pool.pop().unwrap_or_default();
+        self.explore_with(&mut actions, last, preemptions, path_steps);
+        self.action_pool.push(actions);
+    }
+
+    fn explore_with(
+        &mut self,
+        actions: &mut Vec<Action>,
+        last: Option<ThreadId>,
+        preemptions: usize,
+        path_steps: u64,
+    ) {
         let mut steps = path_steps;
         loop {
             if self.stop {
@@ -215,31 +247,32 @@ impl Enumerator<'_, '_> {
                 self.count_leaf();
                 return;
             }
-            let actions = self.vm.enabled_actions();
+            self.vm.enabled_actions_into(actions);
             if actions.is_empty() {
                 self.terminal_leaf();
                 return;
             }
             // Eagerly run one local (commuting) step without branching.
-            if let Some(i) = self.local_action(&actions) {
-                self.take(&actions, i);
+            if let Some(i) = self.local_action(actions) {
+                self.take(actions, i);
                 steps += 1;
                 continue;
             }
-            let candidates = self.branch_candidates(&actions);
+            let candidates = self.branch_candidates(actions);
             if candidates.is_empty() {
                 // Everything would block: execute one blocking step so the
                 // VM parks the thread and the run can reach Deadlock.
-                self.take(&actions, 0);
+                self.take(actions, 0);
                 steps += 1;
                 continue;
             }
-            let snap = self.vm.snapshot();
+            let mut snap = self.pool.pop().unwrap_or_default();
+            self.vm.snapshot_into(&mut snap);
             let mark = self.mon.mark();
             let depth = self.choices.len();
             // Evaluated at the branch state, before any candidate steps
             // drift the VM.
-            let prev_active = last.map(|prev| self.still_active(&actions, prev));
+            let prev_active = last.map(|prev| self.still_active(actions, prev));
             let mut first = true;
             for (i, preemption_free) in candidates {
                 let t = actions[i].thread();
@@ -261,12 +294,13 @@ impl Enumerator<'_, '_> {
                     self.choices.truncate(depth);
                 }
                 first = false;
-                self.take(&actions, i);
+                self.take(actions, i);
                 self.explore(Some(t), p, steps + 1);
                 if self.stop {
-                    return;
+                    break;
                 }
             }
+            self.pool.push(snap);
             return;
         }
     }

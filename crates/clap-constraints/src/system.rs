@@ -437,8 +437,9 @@ pub(crate) mod tests {
         let program = parse(src).unwrap();
         let sharing = analyze(&program);
         let tables = BlTables::build(&program);
+        let mut vm = Vm::with_shared(&program, model, sharing.shared_spec());
         for seed in 0..max_seed {
-            let mut vm = Vm::with_shared(&program, model, sharing.shared_spec());
+            vm.reset();
             let mut rec = PathRecorder::new(&tables);
             let outcome = vm.run(&mut RandomScheduler::new(seed), &mut rec);
             if let Outcome::AssertFailed { .. } = outcome {

@@ -39,7 +39,7 @@
 use crate::{Pipeline, PipelineConfig, PipelineError, RecordedFailure};
 use clap_profile::{PathRecorder, SyncOrderRecorder};
 use clap_symex::FailureContext;
-use clap_vm::{MultiMonitor, Outcome, RandomScheduler, Snapshot, Vm};
+use clap_vm::{Backend, MultiMonitor, Outcome, RandomScheduler, Vm};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,6 +47,13 @@ use std::time::{Duration, Instant};
 
 /// Failing runs collected per stickiness level before selection.
 pub(crate) const CANDIDATES: usize = 25;
+
+/// Seed budgets below this run the level sequentially even when a worker
+/// pool was requested: spawning threads, cloning channels, and draining
+/// the pool costs more than sweeping a few thousand seeds on one core.
+/// The determinism contract makes the cutover unobservable — sequential
+/// and parallel sweeps return byte-identical artifacts by construction.
+pub(crate) const SEQUENTIAL_CUTOVER: u64 = 2048;
 
 /// Resolves a worker-count request: `0` means one worker per available
 /// core.
@@ -63,17 +70,18 @@ pub(crate) fn effective_workers(requested: usize) -> usize {
 /// Runs one (stickiness, seed) cell of the sweep on a reusable VM,
 /// returning the recorded artifact when the run fails its assert.
 ///
-/// `base` must be a snapshot of the pristine (never-run) VM; restoring it
-/// is what makes the per-seed reset equivalent to constructing a fresh VM.
+/// [`Vm::reset`] rewinds the VM to its pristine state in place — no
+/// snapshot round-trip, no reallocation — which is what makes the
+/// per-seed reset equivalent to (and much cheaper than) constructing a
+/// fresh VM.
 fn run_seed(
     pipeline: &Pipeline,
     config: &PipelineConfig,
     stickiness: f64,
     seed: u64,
     vm: &mut Vm<'_>,
-    base: &Snapshot,
 ) -> Option<RecordedFailure> {
-    vm.restore(base);
+    vm.reset();
     let mut recorder = PathRecorder::new(&pipeline.tables);
     let mut sync_recorder = config.record_sync_order.then(SyncOrderRecorder::new);
     let mut sched = RandomScheduler::with_stickiness(seed, stickiness);
@@ -102,15 +110,16 @@ fn run_seed(
     }
 }
 
-fn pristine_vm<'p>(pipeline: &'p Pipeline, config: &PipelineConfig) -> (Vm<'p>, Snapshot) {
-    let mut vm = Vm::with_shared(
+fn pristine_vm<'p>(pipeline: &'p Pipeline, config: &PipelineConfig) -> Vm<'p> {
+    let mut vm = Vm::with_compiled(
         &pipeline.program,
+        std::sync::Arc::clone(pipeline.compiled()),
         config.model,
         pipeline.sharing.shared_spec(),
+        Backend::Bytecode,
     );
     vm.set_step_limit(config.step_limit);
-    let base = vm.snapshot();
-    (vm, base)
+    vm
 }
 
 /// The sequential sweep of one stickiness level: seeds in order, stopping
@@ -120,10 +129,10 @@ fn explore_level_sequential(
     config: &PipelineConfig,
     stickiness: f64,
 ) -> Vec<RecordedFailure> {
-    let (mut vm, base) = pristine_vm(pipeline, config);
+    let mut vm = pristine_vm(pipeline, config);
     let mut failures = Vec::new();
     for seed in 0..config.seed_budget {
-        if let Some(found) = run_seed(pipeline, config, stickiness, seed, &mut vm, &base) {
+        if let Some(found) = run_seed(pipeline, config, stickiness, seed, &mut vm) {
             failures.push(found);
             if failures.len() >= CANDIDATES {
                 break;
@@ -179,7 +188,7 @@ fn explore_level_parallel(
                 let worker_start = Instant::now();
                 let mut busy = Duration::ZERO;
                 let mut seeds_run: u64 = 0;
-                let (mut vm, base) = pristine_vm(pipeline, config);
+                let mut vm = pristine_vm(pipeline, config);
                 loop {
                     // The stop check precedes the claim: a claimed seed is
                     // always run and reported, which keeps completed seeds
@@ -192,7 +201,7 @@ fn explore_level_parallel(
                         break;
                     }
                     let t = Instant::now();
-                    let found = run_seed(pipeline, config, stickiness, seed, &mut vm, &base);
+                    let found = run_seed(pipeline, config, stickiness, seed, &mut vm);
                     busy += t.elapsed();
                     seeds_run += 1;
                     if tx.send((seed, found)).is_err() {
@@ -281,7 +290,14 @@ pub(crate) fn record_failure(
 ) -> Result<RecordedFailure, PipelineError> {
     let _span = clap_obs::span("record");
     let start = Instant::now();
-    let workers = effective_workers(config.explore_workers);
+    // Small budgets finish before a worker pool would spin up; force the
+    // sequential path below the cutover (see [`SEQUENTIAL_CUTOVER`]). The
+    // candidate set is byte-identical either way.
+    let workers = if config.seed_budget < SEQUENTIAL_CUTOVER {
+        1
+    } else {
+        effective_workers(config.explore_workers)
+    };
     for &stickiness in &config.stickiness {
         let failures = if workers <= 1 {
             explore_level_sequential(pipeline, config, stickiness)

@@ -31,11 +31,12 @@ use clap_ir::{AssertId, Program};
 use clap_obs::Observer;
 use clap_parallel::{solve_parallel, ParallelConfig, ParallelOutcome};
 use clap_profile::{decode_log, BlTables, DecodeError, PathLog, SyncOrderLog};
-use clap_replay::{replay, ReplayError, ReplayReport};
+use clap_replay::{ReplayError, ReplayReport};
 use clap_solver::{solve, SolveOutcome, SolverConfig};
 use clap_symex::{execute, FailureContext, SymTrace, SymexError};
-use clap_vm::{ExecStats, MemModel, Monitor};
+use clap_vm::{CompiledProgram, ExecStats, MemModel, Monitor};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 mod explore;
@@ -302,6 +303,7 @@ pub struct Pipeline {
     program: Program,
     sharing: SharingAnalysis,
     tables: BlTables,
+    compiled: Arc<CompiledProgram>,
 }
 
 impl Pipeline {
@@ -309,10 +311,12 @@ impl Pipeline {
     pub fn new(program: Program) -> Self {
         let sharing = analyze(&program);
         let tables = BlTables::build(&program);
+        let compiled = Arc::new(CompiledProgram::new(&program));
         Pipeline {
             program,
             sharing,
             tables,
+            compiled,
         }
     }
 
@@ -334,6 +338,12 @@ impl Pipeline {
     /// The sharing analysis result.
     pub fn sharing(&self) -> &SharingAnalysis {
         &self.sharing
+    }
+
+    /// The program lowered to flat bytecode, compiled once at
+    /// construction and shared by every VM the pipeline spins up.
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
     }
 
     /// Phase 1: explores seeded schedules *with the CLAP recorder
@@ -490,13 +500,15 @@ impl Pipeline {
         let t = Instant::now();
         let replay_report = {
             let _s = clap_obs::span("replay");
-            replay(
+            clap_replay::replay_compiled(
                 &self.program,
+                Arc::clone(&self.compiled),
                 config.model,
                 self.sharing.shared_spec(),
                 &trace,
                 &schedule,
                 recorded.assert,
+                &mut clap_vm::NullMonitor,
             )
             .map_err(PipelineError::Replay)?
         };
@@ -551,8 +563,9 @@ impl Pipeline {
         monitor: &mut dyn Monitor,
     ) -> Result<ReplayReport, PipelineError> {
         let trace = self.symbolic_trace(recorded)?;
-        clap_replay::replay_under(
+        clap_replay::replay_compiled(
             &self.program,
+            Arc::clone(&self.compiled),
             config.model,
             self.sharing.shared_spec(),
             &trace,

@@ -220,6 +220,11 @@ pub const EVENT_FIELD_SCHEMA: &[(&str, &[&str])] = &[
             "seed",
         ],
     ),
+    ("bench.vm", &["host_cores", "repeats"]),
+    (
+        "bench.vm.cell",
+        &["workload", "phase", "backend", "millis", "steps", "speedup"],
+    ),
     (
         "bench.serve",
         &["corpus", "workers", "queue_cap", "clients"],

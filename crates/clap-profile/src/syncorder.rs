@@ -209,8 +209,9 @@ mod tests {
                          lock(m); ready = 1; signal(c); unlock(m); join t; }",
         )
         .unwrap();
+        let mut vm = Vm::new(&p, MemModel::Sc);
         for seed in 0..50 {
-            let mut vm = Vm::new(&p, MemModel::Sc);
+            vm.reset();
             let mut rec = SyncOrderRecorder::new();
             let outcome = vm.run(&mut RandomScheduler::new(seed), &mut rec);
             assert_eq!(outcome, clap_vm::Outcome::Completed);

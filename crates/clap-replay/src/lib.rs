@@ -24,11 +24,12 @@ use clap_constraints::Schedule;
 use clap_ir::{AssertId, Program};
 use clap_symex::{SapKind, SymTrace, ThreadIdx};
 use clap_vm::{
-    Action, Lineage, Monitor, NullMonitor, Outcome, Scheduler, SharedSpec, StepPreview, ThreadId,
-    Vm,
+    Action, Backend, CompiledProgram, Lineage, Monitor, NullMonitor, Outcome, Scheduler,
+    SharedSpec, StepPreview, ThreadId, Vm,
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What a replay run produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -249,7 +250,41 @@ pub fn replay_under(
     expected_assert: AssertId,
     monitor: &mut dyn Monitor,
 ) -> Result<ReplayReport, ReplayError> {
-    let mut vm = Vm::with_shared(program, model, shared);
+    let vm = Vm::with_shared(program, model, shared);
+    replay_on(vm, trace, schedule, expected_assert, monitor)
+}
+
+/// [`replay_under`] on pre-compiled bytecode: callers that already hold a
+/// program's [`CompiledProgram`] (the pipeline compiles once at
+/// construction) skip the per-replay lowering pass.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Stuck`] when the schedule cannot be enforced and
+/// [`ReplayError::Diverged`] when the run ends without the expected
+/// failure.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_compiled(
+    program: &Program,
+    compiled: Arc<CompiledProgram>,
+    model: clap_vm::MemModel,
+    shared: SharedSpec,
+    trace: &SymTrace,
+    schedule: &Schedule,
+    expected_assert: AssertId,
+    monitor: &mut dyn Monitor,
+) -> Result<ReplayReport, ReplayError> {
+    let vm = Vm::with_compiled(program, compiled, model, shared, Backend::Bytecode);
+    replay_on(vm, trace, schedule, expected_assert, monitor)
+}
+
+fn replay_on(
+    mut vm: Vm<'_>,
+    trace: &SymTrace,
+    schedule: &Schedule,
+    expected_assert: AssertId,
+    monitor: &mut dyn Monitor,
+) -> Result<ReplayReport, ReplayError> {
     // A generous fuse: replay performs O(instructions) steps; a stuck
     // scheduler burns steps on a blocked action until this fires.
     vm.set_step_limit(50_000_000);
@@ -291,8 +326,9 @@ mod tests {
         let program = parse(src).unwrap();
         let sharing = analyze(&program);
         let tables = BlTables::build(&program);
+        let mut vm = Vm::with_shared(&program, model, sharing.shared_spec());
         for seed in 0..max_seed {
-            let mut vm = Vm::with_shared(&program, model, sharing.shared_spec());
+            vm.reset();
             let mut rec = PathRecorder::new(&tables);
             let outcome = vm.run(&mut RandomScheduler::new(seed), &mut rec);
             if let Outcome::AssertFailed { assert, .. } = outcome {

@@ -28,6 +28,8 @@
 //! # Ok::<(), clap_ir::Error>(())
 //! ```
 
+pub mod bytecode;
+pub mod compile;
 pub mod mem;
 pub mod monitor;
 pub mod sched;
@@ -35,9 +37,12 @@ pub mod stats;
 pub mod thread;
 pub mod vm;
 
+pub use bytecode::{CompiledProgram, Op};
 pub use mem::{Addr, Layout, MemModel, Memory, StoreBuffer};
 pub use monitor::{AccessEvent, CountingMonitor, Monitor, MultiMonitor, NullMonitor, SyncEvent};
 pub use sched::{Action, FifoScheduler, FnScheduler, RandomScheduler, Scheduler, ScriptScheduler};
 pub use stats::ExecStats;
 pub use thread::{Frame, Lineage, Status, Thread, ThreadId};
-pub use vm::{run_with_seed, Outcome, SapPreviewKind, SharedSpec, Snapshot, StepPreview, Vm};
+pub use vm::{
+    run_with_seed, Backend, Outcome, SapPreviewKind, SharedSpec, Snapshot, StepPreview, Vm,
+};

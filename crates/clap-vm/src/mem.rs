@@ -171,19 +171,42 @@ impl StoreBuffer {
     /// Addresses that may legally drain next under `model`:
     /// TSO — only the FIFO front; PSO — the front entry of each address.
     pub fn drainable(&self, model: MemModel) -> Vec<Addr> {
+        let mut out = Vec::new();
+        self.for_each_drainable(model, |addr| out.push(addr));
+        out
+    }
+
+    /// Visits each drainable address (same order as
+    /// [`StoreBuffer::drainable`]) without allocating — the interpreter's
+    /// per-step enabled-action scan.
+    pub fn for_each_drainable(&self, model: MemModel, mut f: impl FnMut(Addr)) {
         match model {
-            MemModel::Sc => Vec::new(),
-            MemModel::Tso => self.entries.front().map(|s| s.addr).into_iter().collect(),
+            MemModel::Sc => {}
+            MemModel::Tso => {
+                if let Some(s) = self.entries.front() {
+                    f(s.addr);
+                }
+            }
             MemModel::Pso => {
-                let mut seen = Vec::new();
-                for s in &self.entries {
-                    if !seen.contains(&s.addr) {
-                        seen.push(s.addr);
+                for (i, s) in self.entries.iter().enumerate() {
+                    let first = !self.entries.iter().take(i).any(|p| p.addr == s.addr);
+                    if first {
+                        f(s.addr);
                     }
                 }
-                seen
             }
         }
+    }
+
+    /// Overwrites the buffer's contents in place (snapshot restore).
+    pub fn assign(&mut self, stores: &[BufferedStore]) {
+        self.entries.clear();
+        self.entries.extend(stores.iter().copied());
+    }
+
+    /// Empties the buffer without deallocating.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Removes and returns the oldest buffered store to `addr`.
@@ -217,14 +240,23 @@ pub struct Memory {
 impl Memory {
     /// Creates memory initialized from the program's global declarations.
     pub fn new(program: &Program, layout: &Layout) -> Self {
-        let mut cells = vec![0i64; layout.total_cells()];
+        let mut m = Memory {
+            cells: vec![0i64; layout.total_cells()],
+        };
+        m.reinit(program, layout);
+        m
+    }
+
+    /// Re-applies the program's initial values in place — the realloc-free
+    /// equivalent of building a fresh [`Memory`].
+    pub fn reinit(&mut self, program: &Program, layout: &Layout) {
+        self.cells.fill(0);
         for (i, g) in program.globals.iter().enumerate() {
             if g.len.is_none() {
                 let addr = layout.addr(GlobalId::from(i), 0).expect("scalar in range");
-                cells[addr.index()] = g.init;
+                self.cells[addr.index()] = g.init;
             }
         }
-        Memory { cells }
     }
 
     /// Reads a cell.
@@ -235,6 +267,17 @@ impl Memory {
     /// Writes a cell.
     pub fn write(&mut self, addr: Addr, value: i64) {
         self.cells[addr.index()] = value;
+    }
+
+    /// The flat cell image (snapshot capture).
+    pub fn cells(&self) -> &[i64] {
+        &self.cells
+    }
+
+    /// Overwrites the image in place from a captured cell slice.
+    pub fn assign(&mut self, cells: &[i64]) {
+        self.cells.clear();
+        self.cells.extend_from_slice(cells);
     }
 }
 

@@ -57,6 +57,19 @@ impl Lineage {
     pub fn components(&self) -> &[u32] {
         &self.0
     }
+
+    /// Rebuilds a lineage from a raw ordinal chain (see
+    /// [`Lineage::components`]).
+    pub fn from_components(components: &[u32]) -> Self {
+        Lineage(components.to_vec())
+    }
+
+    /// Overwrites this lineage in place without reallocating when capacity
+    /// suffices — the snapshot-restore fast path.
+    pub fn assign(&mut self, components: &[u32]) {
+        self.0.clear();
+        self.0.extend_from_slice(components);
+    }
 }
 
 impl fmt::Display for Lineage {
@@ -79,6 +92,11 @@ pub struct Frame {
     pub ip: usize,
     /// Where the caller wants the return value, if anywhere.
     pub ret_dst: Option<LocalId>,
+    /// Flat-bytecode address of the next op (see [`crate::bytecode`]).
+    /// Maintained only by the bytecode backend; the tree walker leaves it
+    /// untouched, and snapshot restore re-derives it from
+    /// `(func, block, ip)`.
+    pub pc: u32,
 }
 
 impl Frame {
@@ -92,6 +110,7 @@ impl Frame {
             block: entry,
             ip: 0,
             ret_dst: None,
+            pc: 0,
         }
     }
 }

@@ -7,17 +7,26 @@
 //! step, so a scheduler sees every interleaving point — including the
 //! relaxed-memory visibility points that make Dekker-style algorithms fail
 //! under TSO/PSO.
+//!
+//! Two execution backends share this interface (see [`Backend`]): the
+//! original tree walker over the CFG, and the default flat-bytecode
+//! interpreter (see [`crate::bytecode`]) whose inner loop fetches `Copy`
+//! ops by absolute address. Both produce bit-identical schedules, stats,
+//! and monitor event streams; the tree walker is retained as the
+//! differential baseline.
 
+use crate::bytecode::{CompiledProgram, Op, Rv};
 use crate::mem::{Addr, BufferedStore, Layout, MemModel, Memory, StoreBuffer};
 use crate::monitor::{AccessEvent, Monitor, SyncEvent};
 use crate::sched::{Action, Scheduler};
 use crate::stats::ExecStats;
 use crate::thread::{Frame, Lineage, Status, Thread, ThreadId};
 use clap_ir::{
-    eval_binop, eval_unop, AssertId, CondId, FuncId, GlobalId, Instr, MutexId, Operand, Program,
-    Rvalue, Terminator,
+    eval_binop, eval_unop, AssertId, BlockId, CondId, FuncId, GlobalId, Instr, LocalId, MutexId,
+    Operand, Program, Rvalue, Terminator,
 };
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +79,31 @@ impl SharedSpec {
         match self {
             SharedSpec::All => true,
             SharedSpec::Set(set) => set.contains(&global),
+        }
+    }
+}
+
+/// Which interpreter executes the program. Both backends implement the
+/// exact same step semantics — same enabled actions, same stats, same
+/// monitor events at the same points — so they are interchangeable under
+/// any scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Walk the CFG directly (`functions[f].blocks[b].instrs[ip]`). The
+    /// original interpreter, kept as the differential-testing baseline.
+    Tree,
+    /// Execute flat bytecode compiled once per program (see
+    /// [`crate::compile`]): index-advancing dispatch over `Copy` ops with
+    /// pre-resolved jump targets.
+    #[default]
+    Bytecode,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Tree => write!(f, "tree"),
+            Backend::Bytecode => write!(f, "bytecode"),
         }
     }
 }
@@ -133,15 +167,56 @@ pub enum SapPreviewKind {
 
 /// A captured execution state (see [`Vm::snapshot`]): everything mutable
 /// about a run, detached from the program (which snapshots share).
-#[derive(Debug, Clone)]
+///
+/// The state is flattened into a handful of pooled arrays — per-thread
+/// metadata records index ranges of shared `locals` / `lineage` / store
+/// pools — so capture is a few `extend_from_slice` calls and restore
+/// ([`Vm::restore`]) rewrites the VM in place without allocating once the
+/// capacities have warmed up. Snapshot-heavy loops (the exploration
+/// sweep's per-seed reset, the oracle's DFS backtracking) reuse one
+/// `Snapshot` via [`Vm::snapshot_into`].
+#[derive(Debug, Clone, Default)]
 pub struct Snapshot {
-    memory: Memory,
-    threads: Vec<Thread>,
-    buffers: Vec<StoreBuffer>,
+    memory: Vec<i64>,
+    threads: Vec<ThreadImage>,
+    frames: Vec<FrameImage>,
+    locals: Vec<i64>,
+    lineages: Vec<u32>,
+    stores: Vec<BufferedStore>,
+    cond_waiters: Vec<ThreadId>,
+    cond_lens: Vec<u32>,
     mutex_owner: Vec<Option<ThreadId>>,
-    cond_queue: Vec<VecDeque<ThreadId>>,
     stats: ExecStats,
     announced_main: bool,
+}
+
+/// Flattened per-thread record: scalar state plus ranges into the
+/// snapshot's pooled arrays.
+#[derive(Debug, Clone, Copy)]
+struct ThreadImage {
+    id: ThreadId,
+    status: Status,
+    forks: u32,
+    next_sap_index: u64,
+    waiting_reacquire: Option<MutexId>,
+    lineage_start: u32,
+    lineage_len: u32,
+    frame_start: u32,
+    frame_len: u32,
+    store_start: u32,
+    store_len: u32,
+}
+
+/// Flattened activation record; `pc` is re-derived from `(func, block,
+/// ip)` at restore time so snapshots are interchangeable across backends.
+#[derive(Debug, Clone, Copy)]
+struct FrameImage {
+    func: FuncId,
+    block: BlockId,
+    ip: u32,
+    ret_dst: Option<LocalId>,
+    locals_start: u32,
+    locals_len: u32,
 }
 
 impl Snapshot {
@@ -160,10 +235,14 @@ impl Snapshot {
 #[derive(Debug)]
 pub struct Vm<'p> {
     program: &'p Program,
+    compiled: Arc<CompiledProgram>,
+    backend: Backend,
     layout: Layout,
     memory: Memory,
     model: MemModel,
-    shared: SharedSpec,
+    /// `shared.contains(g)` precomputed per global: the hot paths test a
+    /// bool slot instead of hashing into a `HashSet`.
+    shared_mask: Vec<bool>,
     threads: Vec<Thread>,
     buffers: Vec<StoreBuffer>,
     mutex_owner: Vec<Option<ThreadId>>,
@@ -172,6 +251,9 @@ pub struct Vm<'p> {
     outcome: Option<Outcome>,
     step_limit: u64,
     announced_main: bool,
+    /// Reused by [`Vm::run`] across steps (and across runs of the same
+    /// VM) so the enabled-action scan stops allocating per step.
+    actions_scratch: Vec<Action>,
 }
 
 impl<'p> Vm<'p> {
@@ -183,21 +265,67 @@ impl<'p> Vm<'p> {
 
     /// Creates a VM with an explicit shared-variable specification.
     pub fn with_shared(program: &'p Program, model: MemModel, shared: SharedSpec) -> Self {
+        Self::with_backend(program, model, shared, Backend::default())
+    }
+
+    /// Creates a VM with an explicit execution backend (compiling the
+    /// program's bytecode itself).
+    pub fn with_backend(
+        program: &'p Program,
+        model: MemModel,
+        shared: SharedSpec,
+        backend: Backend,
+    ) -> Self {
+        let compiled = Arc::new(CompiledProgram::new(program));
+        Self::with_compiled(program, compiled, model, shared, backend)
+    }
+
+    /// Creates a VM reusing an already-compiled program — the cheap
+    /// constructor when many VMs execute the same program (exploration
+    /// workers, replay validators, the serving loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `compiled` was not produced from `program`.
+    pub fn with_compiled(
+        program: &'p Program,
+        compiled: Arc<CompiledProgram>,
+        model: MemModel,
+        shared: SharedSpec,
+        backend: Backend,
+    ) -> Self {
+        let expected: usize = program
+            .functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .map(|b| b.instrs.len() + 1)
+            .sum();
+        assert_eq!(
+            compiled.len(),
+            expected,
+            "compiled bytecode is from a different program"
+        );
         let layout = Layout::new(program);
         let memory = Memory::new(program, &layout);
         let main_fn = program.function(program.main);
-        let frame = Frame::new(program.main, main_fn.entry, main_fn.locals.len(), &[]);
+        let mut frame = Frame::new(program.main, main_fn.entry, main_fn.locals.len(), &[]);
+        frame.pc = compiled.func(program.main).entry;
         let main = Thread::new(ThreadId::MAIN, Lineage::main(), frame);
         let stats = ExecStats {
             threads: 1,
             ..ExecStats::default()
         };
+        let shared_mask = (0..program.globals.len())
+            .map(|i| shared.contains(GlobalId::from(i)))
+            .collect();
         Vm {
             program,
+            compiled,
+            backend,
             layout,
             memory,
             model,
-            shared,
+            shared_mask,
             threads: vec![main],
             buffers: vec![StoreBuffer::default()],
             mutex_owner: vec![None; program.mutexes.len()],
@@ -206,6 +334,7 @@ impl<'p> Vm<'p> {
             outcome: None,
             step_limit: 200_000_000,
             announced_main: false,
+            actions_scratch: Vec::new(),
         }
     }
 
@@ -223,6 +352,22 @@ impl<'p> Vm<'p> {
     /// The memory model in effect.
     pub fn model(&self) -> MemModel {
         self.model
+    }
+
+    /// The execution backend in effect.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The compiled bytecode, shareable with other VMs over the same
+    /// program via [`Vm::with_compiled`].
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
+    }
+
+    #[inline]
+    fn is_shared(&self, global: GlobalId) -> bool {
+        self.shared_mask[global.index()]
     }
 
     /// The address layout (for monitors that need to resolve addresses).
@@ -272,17 +417,33 @@ impl<'p> Vm<'p> {
     /// The currently enabled actions.
     pub fn enabled_actions(&self) -> Vec<Action> {
         let mut actions = Vec::new();
+        self.fill_enabled_actions(&mut actions);
+        actions
+    }
+
+    /// [`Vm::enabled_actions`] into a caller-owned buffer (cleared
+    /// first): the allocation-free variant for enumeration loops that
+    /// query the enabled set every step.
+    pub fn enabled_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        self.fill_enabled_actions(out);
+    }
+
+    /// Appends the enabled actions to `out` (same order as
+    /// [`Vm::enabled_actions`]: runnable steps in thread order, then
+    /// drains in thread order) without allocating.
+    fn fill_enabled_actions(&self, out: &mut Vec<Action>) {
         for t in &self.threads {
             if t.is_runnable() {
-                actions.push(Action::Step(t.id));
+                out.push(Action::Step(t.id));
             }
         }
-        for (i, buf) in self.buffers.iter().enumerate() {
-            for addr in buf.drainable(self.model) {
-                actions.push(Action::Drain(ThreadId::from(i), addr));
+        if self.model.buffered() {
+            for (i, buf) in self.buffers.iter().enumerate() {
+                let owner = ThreadId::from(i);
+                buf.for_each_drainable(self.model, |addr| out.push(Action::Drain(owner, addr)));
             }
         }
-        actions
     }
 
     /// The per-thread SAP index of the oldest buffered store to `addr` by
@@ -310,6 +471,11 @@ impl<'p> Vm<'p> {
 
     /// Classifies what stepping thread `t` would do, without side effects.
     ///
+    /// Both backends share this implementation: it classifies the flat
+    /// bytecode op at the thread's position (for the tree walker the
+    /// address is re-derived from `(func, block, ip)`), which is exactly
+    /// the instruction or terminator the step would execute.
+    ///
     /// # Panics
     ///
     /// Panics if `t` has exited.
@@ -317,24 +483,29 @@ impl<'p> Vm<'p> {
         let thread = &self.threads[t.index()];
         assert!(!thread.frames.is_empty(), "preview of an exited thread");
         let frame = thread.frame();
-        let func = self.program.function(frame.func);
-        let block = func.block(frame.block);
-        if frame.ip >= block.instrs.len() {
-            if matches!(block.term, clap_ir::Terminator::Return(_)) && thread.frames.len() == 1 {
-                return StepPreview::ThreadExit;
-            }
-            return StepPreview::Invisible; // terminator
-        }
+        let pc = match self.backend {
+            Backend::Bytecode => frame.pc,
+            Backend::Tree => self.compiled.pc_of(frame.func, frame.block, frame.ip),
+        };
         let sap = thread.next_sap_index;
-        match &block.instrs[frame.ip] {
-            Instr::Assign { .. } | Instr::Call { .. } | Instr::Yield => StepPreview::Invisible,
-            Instr::Assert { .. } => StepPreview::AssertStep,
-            Instr::Load { global, index, .. } => {
-                if !self.shared.contains(*global) {
+        match self.compiled.op(pc) {
+            // Terminators: a thread's final `return` flushes its buffer.
+            Op::Jump { .. } | Op::Branch { .. } => StepPreview::Invisible,
+            Op::Return { .. } => {
+                if thread.frames.len() == 1 {
+                    StepPreview::ThreadExit
+                } else {
+                    StepPreview::Invisible
+                }
+            }
+            Op::Assign { .. } | Op::Call { .. } | Op::Yield => StepPreview::Invisible,
+            Op::Assert { .. } => StepPreview::AssertStep,
+            Op::Load { global, index, .. } => {
+                if !self.is_shared(global) {
                     return StepPreview::Invisible;
                 }
                 let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
-                match self.layout.addr(*global, offset) {
+                match self.layout.addr(global, offset) {
                     Some(addr) => StepPreview::Sap {
                         po_index: sap,
                         kind: SapPreviewKind::Read(addr),
@@ -342,15 +513,15 @@ impl<'p> Vm<'p> {
                     None => StepPreview::Invisible, // will fault on execution
                 }
             }
-            Instr::Store { global, index, .. } => {
-                if !self.shared.contains(*global) {
+            Op::Store { global, index, .. } => {
+                if !self.is_shared(global) {
                     return StepPreview::Invisible;
                 }
                 if self.model.buffered() {
                     return StepPreview::BufferedStore { po_index: sap };
                 }
                 let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
-                match self.layout.addr(*global, offset) {
+                match self.layout.addr(global, offset) {
                     Some(addr) => StepPreview::Sap {
                         po_index: sap,
                         kind: SapPreviewKind::Write(addr),
@@ -358,26 +529,26 @@ impl<'p> Vm<'p> {
                     None => StepPreview::Invisible,
                 }
             }
-            Instr::Lock(m) => {
+            Op::Lock(m) => {
                 if self.mutex_owner[m.index()].is_none() {
                     StepPreview::Sap {
                         po_index: sap,
-                        kind: SapPreviewKind::Lock(*m),
+                        kind: SapPreviewKind::Lock(m),
                     }
                 } else {
                     StepPreview::WouldBlock
                 }
             }
-            Instr::Unlock(m) => StepPreview::Sap {
+            Op::Unlock(m) => StepPreview::Sap {
                 po_index: sap,
-                kind: SapPreviewKind::Unlock(*m),
+                kind: SapPreviewKind::Unlock(m),
             },
-            Instr::Fork { .. } => StepPreview::Sap {
+            Op::Fork { .. } => StepPreview::Sap {
                 po_index: sap,
                 kind: SapPreviewKind::Fork,
             },
-            Instr::Join { handle } => {
-                let target = operand(frame, *handle);
+            Op::Join { handle } => {
+                let target = operand(frame, handle);
                 let exited = self
                     .threads
                     .get(target as usize)
@@ -392,31 +563,30 @@ impl<'p> Vm<'p> {
                     StepPreview::WouldBlock
                 }
             }
-            Instr::Wait { cond, mutex } => {
+            Op::Wait { cond, .. } => {
                 if let Some(m) = thread.waiting_reacquire {
                     if self.mutex_owner[m.index()].is_none() {
                         StepPreview::Sap {
                             po_index: sap,
-                            kind: SapPreviewKind::WaitAcquire(*cond),
+                            kind: SapPreviewKind::WaitAcquire(cond),
                         }
                     } else {
                         StepPreview::WouldBlock
                     }
                 } else {
-                    let _ = mutex;
                     StepPreview::Sap {
                         po_index: sap,
-                        kind: SapPreviewKind::WaitRelease(*cond),
+                        kind: SapPreviewKind::WaitRelease(cond),
                     }
                 }
             }
-            Instr::Signal(c) => StepPreview::Sap {
+            Op::Signal(c) => StepPreview::Sap {
                 po_index: sap,
-                kind: SapPreviewKind::Signal(*c),
+                kind: SapPreviewKind::Signal(c),
             },
-            Instr::Broadcast(c) => StepPreview::Sap {
+            Op::Broadcast(c) => StepPreview::Sap {
                 po_index: sap,
-                kind: SapPreviewKind::Broadcast(*c),
+                kind: SapPreviewKind::Broadcast(c),
             },
         }
     }
@@ -429,11 +599,15 @@ impl<'p> Vm<'p> {
             monitor.on_thread_start(ThreadId::MAIN, &lineage, self.program.main);
             monitor.on_func_enter(ThreadId::MAIN, self.program.main);
         }
-        loop {
+        // Move the scratch buffer into a local so `scheduler.pick(self, …)`
+        // can borrow the whole VM; put it back on every exit path.
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        let outcome = loop {
             if let Some(outcome) = &self.outcome {
-                return outcome.clone();
+                break outcome.clone();
             }
-            let actions = self.enabled_actions();
+            actions.clear();
+            self.fill_enabled_actions(&mut actions);
             if actions.is_empty() {
                 let all_exited = self.threads.iter().all(|t| t.status == Status::Exited);
                 let outcome = if all_exited {
@@ -442,18 +616,20 @@ impl<'p> Vm<'p> {
                     Outcome::Deadlock
                 };
                 self.outcome = Some(outcome.clone());
-                return outcome;
+                break outcome;
             }
             if self.stats.steps >= self.step_limit {
                 self.outcome = Some(Outcome::StepLimit);
-                return Outcome::StepLimit;
+                break Outcome::StepLimit;
             }
             let choice = scheduler.pick(self, &actions);
             match actions[choice] {
                 Action::Step(t) => self.step_thread(t, monitor),
                 Action::Drain(t, addr) => self.drain(t, addr, monitor),
             }
-        }
+        };
+        self.actions_scratch = actions;
+        outcome
     }
 
     /// Captures the complete mutable execution state — the checkpointing
@@ -461,22 +637,73 @@ impl<'p> Vm<'p> {
     /// so that each execution segment has a tractable size of
     /// constraints. Checkpointing is a common technique used in such
     /// contexts"). Restore with [`Vm::restore`] to re-run (or record)
-    /// from the captured point.
+    /// from the captured point. Loops that snapshot repeatedly should
+    /// reuse one buffer via [`Vm::snapshot_into`].
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            memory: self.memory.clone(),
-            threads: self.threads.clone(),
-            buffers: self.buffers.clone(),
-            mutex_owner: self.mutex_owner.clone(),
-            cond_queue: self.cond_queue.clone(),
-            stats: self.stats,
-            announced_main: self.announced_main,
-        }
+        let mut snap = Snapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
     }
 
-    /// Restores a [`Vm::snapshot`] taken from a VM over the same program.
-    /// The outcome and step limit are reset so the restored VM can run
-    /// again.
+    /// Captures the execution state into an existing [`Snapshot`],
+    /// reusing its allocations. Equivalent to `*snap = self.snapshot()`
+    /// without the per-capture heap traffic.
+    pub fn snapshot_into(&self, snap: &mut Snapshot) {
+        snap.memory.clear();
+        snap.memory.extend_from_slice(self.memory.cells());
+        snap.threads.clear();
+        snap.frames.clear();
+        snap.locals.clear();
+        snap.lineages.clear();
+        snap.stores.clear();
+        for (i, th) in self.threads.iter().enumerate() {
+            let lineage_start = snap.lineages.len() as u32;
+            snap.lineages.extend_from_slice(th.lineage.components());
+            let frame_start = snap.frames.len() as u32;
+            for fr in &th.frames {
+                let locals_start = snap.locals.len() as u32;
+                snap.locals.extend_from_slice(&fr.locals);
+                snap.frames.push(FrameImage {
+                    func: fr.func,
+                    block: fr.block,
+                    ip: fr.ip as u32,
+                    ret_dst: fr.ret_dst,
+                    locals_start,
+                    locals_len: fr.locals.len() as u32,
+                });
+            }
+            let store_start = snap.stores.len() as u32;
+            snap.stores.extend(self.buffers[i].iter().copied());
+            snap.threads.push(ThreadImage {
+                id: th.id,
+                status: th.status,
+                forks: th.forks,
+                next_sap_index: th.next_sap_index,
+                waiting_reacquire: th.waiting_reacquire,
+                lineage_start,
+                lineage_len: th.lineage.components().len() as u32,
+                frame_start,
+                frame_len: th.frames.len() as u32,
+                store_start,
+                store_len: self.buffers[i].len() as u32,
+            });
+        }
+        snap.cond_waiters.clear();
+        snap.cond_lens.clear();
+        for q in &self.cond_queue {
+            snap.cond_lens.push(q.len() as u32);
+            snap.cond_waiters.extend(q.iter().copied());
+        }
+        snap.mutex_owner.clear();
+        snap.mutex_owner.extend_from_slice(&self.mutex_owner);
+        snap.stats = self.stats;
+        snap.announced_main = self.announced_main;
+    }
+
+    /// Restores a [`Vm::snapshot`] taken from a VM over the same program,
+    /// rewriting state in place (no allocation once thread/frame/buffer
+    /// capacities have warmed up). The outcome is reset so the restored
+    /// VM can run again.
     ///
     /// # Panics
     ///
@@ -488,48 +715,159 @@ impl<'p> Vm<'p> {
             self.program.mutexes.len(),
             "snapshot is from a different program"
         );
-        self.memory = snapshot.memory.clone();
-        self.threads = snapshot.threads.clone();
-        self.buffers = snapshot.buffers.clone();
-        self.mutex_owner = snapshot.mutex_owner.clone();
-        self.cond_queue = snapshot.cond_queue.clone();
+        self.memory.assign(&snapshot.memory);
+        self.threads.truncate(snapshot.threads.len());
+        self.buffers.truncate(snapshot.threads.len());
+        for (i, img) in snapshot.threads.iter().enumerate() {
+            let lineage = &snapshot.lineages
+                [img.lineage_start as usize..(img.lineage_start + img.lineage_len) as usize];
+            let frames = &snapshot.frames
+                [img.frame_start as usize..(img.frame_start + img.frame_len) as usize];
+            let stores = &snapshot.stores
+                [img.store_start as usize..(img.store_start + img.store_len) as usize];
+            let restore_frame = |fr: &mut Frame, fi: &FrameImage| {
+                fr.func = fi.func;
+                fr.block = fi.block;
+                fr.ip = fi.ip as usize;
+                fr.ret_dst = fi.ret_dst;
+                fr.locals.clear();
+                fr.locals.extend_from_slice(
+                    &snapshot.locals
+                        [fi.locals_start as usize..(fi.locals_start + fi.locals_len) as usize],
+                );
+            };
+            if i < self.threads.len() {
+                let th = &mut self.threads[i];
+                th.id = img.id;
+                th.status = img.status;
+                th.forks = img.forks;
+                th.next_sap_index = img.next_sap_index;
+                th.waiting_reacquire = img.waiting_reacquire;
+                th.lineage.assign(lineage);
+                th.frames.truncate(frames.len());
+                for (j, fi) in frames.iter().enumerate() {
+                    if j < th.frames.len() {
+                        restore_frame(&mut th.frames[j], fi);
+                    } else {
+                        let mut fr = Frame::new(fi.func, fi.block, 0, &[]);
+                        restore_frame(&mut fr, fi);
+                        th.frames.push(fr);
+                    }
+                }
+                self.buffers[i].assign(stores);
+            } else {
+                let mut new_frames = Vec::with_capacity(frames.len());
+                for fi in frames {
+                    let mut fr = Frame::new(fi.func, fi.block, 0, &[]);
+                    restore_frame(&mut fr, fi);
+                    new_frames.push(fr);
+                }
+                let mut th = Thread::new(
+                    img.id,
+                    Lineage::from_components(lineage),
+                    Frame::new(FuncId(0), BlockId(0), 0, &[]),
+                );
+                th.frames = new_frames;
+                th.status = img.status;
+                th.forks = img.forks;
+                th.next_sap_index = img.next_sap_index;
+                th.waiting_reacquire = img.waiting_reacquire;
+                self.threads.push(th);
+                let mut buf = StoreBuffer::default();
+                buf.assign(stores);
+                self.buffers.push(buf);
+            }
+        }
+        self.mutex_owner.copy_from_slice(&snapshot.mutex_owner);
+        let mut start = 0usize;
+        for (q, &len) in self.cond_queue.iter_mut().zip(&snapshot.cond_lens) {
+            q.clear();
+            q.extend(
+                snapshot.cond_waiters[start..start + len as usize]
+                    .iter()
+                    .copied(),
+            );
+            start += len as usize;
+        }
         self.stats = snapshot.stats;
         self.announced_main = snapshot.announced_main;
         self.outcome = None;
+        self.resync_pcs();
     }
 
-    /// Like [`Vm::restore`], but consumes the snapshot and moves its
-    /// state into place instead of cloning every field — the cheap path
-    /// when the snapshot is not needed again (a one-shot hand-off such as
-    /// `vm.restore_from(other.snapshot())`).
+    /// Like [`Vm::restore`], but consumes the snapshot (a one-shot
+    /// hand-off such as `vm.restore_from(other.snapshot())`).
     ///
     /// # Panics
     ///
     /// Panics when the snapshot's shapes do not match the program (a
     /// snapshot from a different program).
     pub fn restore_from(&mut self, snapshot: Snapshot) {
-        assert_eq!(
-            snapshot.mutex_owner.len(),
-            self.program.mutexes.len(),
-            "snapshot is from a different program"
-        );
-        let Snapshot {
-            memory,
-            threads,
-            buffers,
-            mutex_owner,
-            cond_queue,
-            stats,
-            announced_main,
-        } = snapshot;
-        self.memory = memory;
-        self.threads = threads;
-        self.buffers = buffers;
-        self.mutex_owner = mutex_owner;
-        self.cond_queue = cond_queue;
-        self.stats = stats;
-        self.announced_main = announced_main;
+        self.restore(&snapshot);
+    }
+
+    /// Rewinds the VM to the pristine just-constructed state in place —
+    /// the per-seed reset of an exploration sweep, without the cost of
+    /// restoring (or even keeping) a base snapshot.
+    pub fn reset(&mut self) {
+        self.memory.reinit(self.program, &self.layout);
+        let main_fn = self.program.function(self.program.main);
+        let entry_pc = self.compiled.func(self.program.main).entry;
+        self.threads.truncate(1);
+        self.buffers.truncate(1);
+        let th = &mut self.threads[0];
+        th.id = ThreadId::MAIN;
+        th.status = Status::Runnable;
+        th.forks = 0;
+        th.next_sap_index = 0;
+        th.waiting_reacquire = None;
+        th.lineage.assign(&[0]); // Lineage::main()
+        th.frames.truncate(1);
+        if th.frames.is_empty() {
+            th.frames.push(Frame::new(
+                self.program.main,
+                main_fn.entry,
+                main_fn.locals.len(),
+                &[],
+            ));
+        } else {
+            let fr = &mut th.frames[0];
+            fr.func = self.program.main;
+            fr.block = main_fn.entry;
+            fr.ip = 0;
+            fr.ret_dst = None;
+            fr.locals.clear();
+            fr.locals.resize(main_fn.locals.len(), 0);
+        }
+        th.frames[0].pc = entry_pc;
+        self.buffers[0].clear();
+        for owner in &mut self.mutex_owner {
+            *owner = None;
+        }
+        for q in &mut self.cond_queue {
+            q.clear();
+        }
+        self.stats = ExecStats {
+            threads: 1,
+            ..ExecStats::default()
+        };
         self.outcome = None;
+        self.announced_main = false;
+    }
+
+    /// Re-derives every frame's flat `pc` from its `(func, block, ip)`
+    /// coordinates — restore-time sync that makes snapshots
+    /// interchangeable across backends (the tree walker never maintains
+    /// `pc`).
+    fn resync_pcs(&mut self) {
+        if self.backend != Backend::Bytecode {
+            return;
+        }
+        for th in &mut self.threads {
+            for fr in &mut th.frames {
+                fr.pc = self.compiled.pc_of(fr.func, fr.block, fr.ip);
+            }
+        }
     }
 
     /// Performs one action directly — caller-driven execution for tools
@@ -586,6 +924,349 @@ impl<'p> Vm<'p> {
     }
 
     fn step_thread(&mut self, t: ThreadId, monitor: &mut dyn Monitor) {
+        match self.backend {
+            Backend::Bytecode => self.step_thread_bc(t, monitor),
+            Backend::Tree => self.step_thread_tree(t, monitor),
+        }
+    }
+
+    /// The bytecode inner loop: one `Copy` op fetched by absolute address,
+    /// no block lookup, no terminator clone. Must mirror
+    /// [`Vm::step_thread_tree`] effect-for-effect — stats increments,
+    /// monitor callbacks and their order, blocking behavior — so the two
+    /// backends stay schedule-equivalent.
+    fn step_thread_bc(&mut self, t: ThreadId, monitor: &mut dyn Monitor) {
+        self.stats.steps += 1;
+        let ti = t.index();
+        let pc = self.threads[ti].frame().pc;
+        match self.compiled.code[pc as usize] {
+            Op::Assign { dst, rv } => {
+                let frame = self.threads[ti].frame_mut();
+                let value = match rv {
+                    Rv::Use(op) => operand(frame, op),
+                    Rv::Unary(op, a) => eval_unop(op, operand(frame, a)),
+                    Rv::Binary(op, a, b) => eval_binop(op, operand(frame, a), operand(frame, b)),
+                };
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+            }
+            Op::Load { dst, global, index } => {
+                let frame = self.threads[ti].frame();
+                let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
+                let Some(addr) = self.layout.addr(global, offset) else {
+                    let name = &self.program.globals[global.index()].name;
+                    self.fault(t, format!("load out of bounds: {name}[{offset}]"));
+                    return;
+                };
+                let shared = self.is_shared(global);
+                let value = if shared && self.model.buffered() {
+                    self.buffers[ti]
+                        .forward(addr)
+                        .unwrap_or_else(|| self.memory.read(addr))
+                } else {
+                    self.memory.read(addr)
+                };
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                if shared {
+                    self.take_sap(t);
+                    monitor.on_access(
+                        t,
+                        &AccessEvent {
+                            global,
+                            offset: offset as usize,
+                            addr,
+                            is_write: false,
+                            value,
+                        },
+                    );
+                }
+            }
+            Op::Store { global, index, src } => {
+                let frame = self.threads[ti].frame();
+                let offset = index.map(|op| operand(frame, op)).unwrap_or(0);
+                let value = operand(frame, src);
+                let Some(addr) = self.layout.addr(global, offset) else {
+                    let name = &self.program.globals[global.index()].name;
+                    self.fault(t, format!("store out of bounds: {name}[{offset}]"));
+                    return;
+                };
+                let shared = self.is_shared(global);
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                if shared {
+                    let po_index = self.take_sap(t);
+                    if self.model.buffered() {
+                        self.buffers[ti].push(BufferedStore {
+                            addr,
+                            value,
+                            po_index,
+                        });
+                    } else {
+                        self.memory.write(addr, value);
+                        monitor.on_commit(t, addr, value);
+                    }
+                    monitor.on_access(
+                        t,
+                        &AccessEvent {
+                            global,
+                            offset: offset as usize,
+                            addr,
+                            is_write: true,
+                            value,
+                        },
+                    );
+                } else {
+                    self.memory.write(addr, value);
+                }
+            }
+            Op::Lock(m) => {
+                if self.mutex_owner[m.index()].is_none() {
+                    self.flush_buffer(t, monitor);
+                    self.mutex_owner[m.index()] = Some(t);
+                    let frame = self.threads[ti].frame_mut();
+                    frame.ip += 1;
+                    frame.pc += 1;
+                    self.stats.instructions += 1;
+                    self.take_sap(t);
+                    monitor.on_sync(t, &SyncEvent::Lock(m));
+                } else {
+                    self.threads[ti].status = Status::BlockedLock(m);
+                }
+            }
+            Op::Unlock(m) => {
+                if self.mutex_owner[m.index()] != Some(t) {
+                    let name = &self.program.mutexes[m.index()];
+                    self.fault(t, format!("unlock of mutex `{name}` not held by {t}"));
+                    return;
+                }
+                self.flush_buffer(t, monitor);
+                self.mutex_owner[m.index()] = None;
+                self.wake_lock_waiters(m);
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Unlock(m));
+            }
+            Op::Fork {
+                dst,
+                func: callee,
+                args,
+            } => {
+                let argv: Vec<i64> = {
+                    let frame = self.threads[ti].frame();
+                    self.compiled
+                        .args(args)
+                        .iter()
+                        .map(|a| operand(frame, *a))
+                        .collect()
+                };
+                self.flush_buffer(t, monitor);
+                let parent = &mut self.threads[ti];
+                parent.forks += 1;
+                let lineage = parent.lineage.child(parent.forks);
+                let child = ThreadId::from(self.threads.len());
+                let meta = self.compiled.func(callee);
+                let entry_block = self.compiled.info(meta.entry).block;
+                let mut child_frame = Frame::new(callee, entry_block, meta.locals as usize, &argv);
+                child_frame.pc = meta.entry;
+                self.threads
+                    .push(Thread::new(child, lineage.clone(), child_frame));
+                self.buffers.push(StoreBuffer::default());
+                self.stats.threads += 1;
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = child.0 as i64;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Fork(child));
+                monitor.on_thread_start(child, &lineage, callee);
+                monitor.on_func_enter(child, callee);
+            }
+            Op::Join { handle } => {
+                let target = operand(self.threads[ti].frame(), handle);
+                if target < 0 || target as usize >= self.threads.len() {
+                    self.fault(t, format!("join of invalid thread handle {target}"));
+                    return;
+                }
+                let target = ThreadId::from(target as usize);
+                if self.threads[target.index()].status == Status::Exited {
+                    self.flush_buffer(t, monitor);
+                    let frame = self.threads[ti].frame_mut();
+                    frame.ip += 1;
+                    frame.pc += 1;
+                    self.stats.instructions += 1;
+                    self.take_sap(t);
+                    monitor.on_sync(t, &SyncEvent::Join(target));
+                } else {
+                    self.threads[ti].status = Status::BlockedJoin(target);
+                }
+            }
+            Op::Wait { cond, mutex } => {
+                if let Some(m) = self.threads[ti].waiting_reacquire {
+                    // Phase 2: reacquire the mutex, complete the wait.
+                    if self.mutex_owner[m.index()].is_none() {
+                        self.mutex_owner[m.index()] = Some(t);
+                        let thread = &mut self.threads[ti];
+                        thread.waiting_reacquire = None;
+                        let frame = thread.frame_mut();
+                        frame.ip += 1;
+                        frame.pc += 1;
+                        self.stats.instructions += 1;
+                        self.take_sap(t);
+                        monitor.on_sync(t, &SyncEvent::Wait(cond, m));
+                    } else {
+                        self.threads[ti].status = Status::BlockedLock(m);
+                    }
+                } else {
+                    // Phase 1: release the mutex and park.
+                    if self.mutex_owner[mutex.index()] != Some(t) {
+                        let name = &self.program.mutexes[mutex.index()];
+                        self.fault(t, format!("wait without holding mutex `{name}`"));
+                        return;
+                    }
+                    self.flush_buffer(t, monitor);
+                    self.mutex_owner[mutex.index()] = None;
+                    self.wake_lock_waiters(mutex);
+                    let thread = &mut self.threads[ti];
+                    thread.status = Status::BlockedWait(cond);
+                    thread.waiting_reacquire = Some(mutex);
+                    self.cond_queue[cond.index()].push_back(t);
+                    self.stats.instructions += 1;
+                    self.take_sap(t);
+                    monitor.on_sync(t, &SyncEvent::Unlock(mutex));
+                }
+            }
+            Op::Signal(c) => {
+                if let Some(waiter) = self.cond_queue[c.index()].pop_front() {
+                    self.threads[waiter.index()].status = Status::Runnable;
+                }
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Signal(c));
+            }
+            Op::Broadcast(c) => {
+                while let Some(waiter) = self.cond_queue[c.index()].pop_front() {
+                    self.threads[waiter.index()].status = Status::Runnable;
+                }
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::Broadcast(c));
+            }
+            Op::Yield => {
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+            }
+            Op::Assert { cond, id } => {
+                let passed = operand(self.threads[ti].frame(), cond) != 0;
+                monitor.on_assert(t, id, passed);
+                self.stats.instructions += 1;
+                if passed {
+                    let frame = self.threads[ti].frame_mut();
+                    frame.ip += 1;
+                    frame.pc += 1;
+                } else {
+                    self.outcome = Some(Outcome::AssertFailed {
+                        assert: id,
+                        thread: t,
+                    });
+                }
+            }
+            Op::Call {
+                dst,
+                func: callee,
+                args,
+            } => {
+                let argv: Vec<i64> = {
+                    let frame = self.threads[ti].frame();
+                    self.compiled
+                        .args(args)
+                        .iter()
+                        .map(|a| operand(frame, *a))
+                        .collect()
+                };
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                let meta = self.compiled.func(callee);
+                let entry_block = self.compiled.info(meta.entry).block;
+                let mut new_frame = Frame::new(callee, entry_block, meta.locals as usize, &argv);
+                new_frame.pc = meta.entry;
+                new_frame.ret_dst = dst;
+                self.threads[ti].frames.push(new_frame);
+                monitor.on_func_enter(t, callee);
+            }
+            Op::Jump { target } => {
+                let to = self.compiled.info[target as usize].block;
+                let frame = self.threads[ti].frame_mut();
+                let func = frame.func;
+                let from = frame.block;
+                frame.block = to;
+                frame.ip = 0;
+                frame.pc = target;
+                monitor.on_edge(t, func, from, to);
+            }
+            Op::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                let target = if operand(self.threads[ti].frame(), cond) != 0 {
+                    then_pc
+                } else {
+                    else_pc
+                };
+                let to = self.compiled.info[target as usize].block;
+                let frame = self.threads[ti].frame_mut();
+                let func = frame.func;
+                let from = frame.block;
+                frame.block = to;
+                frame.ip = 0;
+                frame.pc = target;
+                self.stats.branches += 1;
+                monitor.on_edge(t, func, from, to);
+            }
+            Op::Return { value } => {
+                let ret = value.map(|op| operand(self.threads[ti].frame(), op));
+                let popped = self.threads[ti].frames.pop().expect("frame exists");
+                monitor.on_func_exit(t, popped.func);
+                if self.threads[ti].frames.is_empty() {
+                    // Thread exit: flush buffered stores, wake joiners.
+                    self.flush_buffer(t, monitor);
+                    self.threads[ti].status = Status::Exited;
+                    for th in &mut self.threads {
+                        if th.status == Status::BlockedJoin(t) {
+                            th.status = Status::Runnable;
+                        }
+                    }
+                    monitor.on_thread_exit(t);
+                } else if let (Some(dst), Some(v)) = (popped.ret_dst, ret) {
+                    self.threads[ti].frame_mut().locals[dst.index()] = v;
+                }
+            }
+        }
+    }
+
+    fn step_thread_tree(&mut self, t: ThreadId, monitor: &mut dyn Monitor) {
         self.stats.steps += 1;
         let program = self.program;
         let (func_id, block_id, ip) = {
@@ -621,7 +1302,7 @@ impl<'p> Vm<'p> {
                     self.fault(t, format!("load out of bounds: {name}[{offset}]"));
                     return;
                 };
-                let shared = self.shared.contains(*global);
+                let shared = self.is_shared(*global);
                 let value = if shared && self.model.buffered() {
                     self.buffers[t.index()]
                         .forward(addr)
@@ -656,7 +1337,7 @@ impl<'p> Vm<'p> {
                     self.fault(t, format!("store out of bounds: {name}[{offset}]"));
                     return;
                 };
-                let shared = self.shared.contains(*global);
+                let shared = self.is_shared(*global);
                 self.threads[t.index()].frame_mut().ip += 1;
                 self.stats.instructions += 1;
                 if shared {
@@ -1342,6 +2023,128 @@ mod tests {
                 assert_eq!(run(()), run(()), "{model} seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn backends_agree_step_for_step() {
+        // The flat-bytecode interpreter must match the tree walker under
+        // identical schedules: same outcome, same stats (steps,
+        // instructions, branches, saps, drains), same memory.
+        let src = "global int x = 0; global int y = 0; mutex m; cond c;
+             global int ready = 0;
+             fn helper(n: int) { return n * 2; }
+             fn w() { let v: int = x; yield; x = v + 1; y = helper(v); }
+             fn waiter() { lock(m); while (ready == 0) { wait(c, m); } unlock(m); }
+             fn main() {
+                 let a: thread = fork w(); let b: thread = fork w();
+                 let t: thread = fork waiter();
+                 lock(m); ready = 1; signal(c); unlock(m);
+                 join a; join b; join t;
+             }";
+        let p = parse(src).unwrap();
+        for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
+            for seed in 0..40u64 {
+                let run_backend = |backend: Backend| {
+                    let mut vm = Vm::with_backend(&p, model, SharedSpec::All, backend);
+                    let mut sched = RandomScheduler::new(seed);
+                    let outcome = vm.run(&mut sched, &mut NullMonitor);
+                    let mem: Vec<i64> = (0..p.globals.len())
+                        .map(|g| vm.read_global(clap_ir::GlobalId::from(g), 0))
+                        .collect();
+                    (outcome, *vm.stats(), mem)
+                };
+                assert_eq!(
+                    run_backend(Backend::Tree),
+                    run_backend(Backend::Bytecode),
+                    "{model} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_equals_fresh_vm() {
+        let p = parse(
+            "global int x = 0; mutex m;
+             fn w() { lock(m); x = x + 1; unlock(m); }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2); }",
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p, MemModel::Tso);
+        let fresh = |seed: u64| {
+            let mut vm = Vm::new(&p, MemModel::Tso);
+            let mut sched = RandomScheduler::new(seed);
+            let o = vm.run(&mut sched, &mut NullMonitor);
+            (o, *vm.stats())
+        };
+        for seed in 0..25u64 {
+            vm.reset();
+            let mut sched = RandomScheduler::new(seed);
+            let o = vm.run(&mut sched, &mut NullMonitor);
+            assert_eq!((o, *vm.stats()), fresh(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn snapshots_transfer_across_backends() {
+        // A snapshot captured mid-run on one backend must restore into
+        // the other and finish identically: `pc` is re-derived on
+        // restore, `(func, block, ip)` is the portable coordinate.
+        let p = parse(
+            "global int x = 0;
+             fn w(n: int) { let i: int = 0; while (i < n) { x = x + 1; yield; i = i + 1; } }
+             fn main() { let a: thread = fork w(5); let b: thread = fork w(3); join a; join b; }",
+        )
+        .unwrap();
+        for (from, to) in [
+            (Backend::Tree, Backend::Bytecode),
+            (Backend::Bytecode, Backend::Tree),
+        ] {
+            let mut vm = Vm::with_backend(&p, MemModel::Tso, SharedSpec::All, from);
+            let mut sched = RandomScheduler::new(5);
+            for _ in 0..30 {
+                if vm.outcome().is_some() {
+                    break;
+                }
+                let actions = vm.enabled_actions();
+                if actions.is_empty() {
+                    break;
+                }
+                let i = sched.pick(&vm, &actions);
+                vm.step(actions[i], &mut NullMonitor);
+            }
+            let snap = vm.snapshot();
+            let finish = |backend: Backend| {
+                let mut vm = Vm::with_backend(&p, MemModel::Tso, SharedSpec::All, backend);
+                vm.restore(&snap);
+                let mut sched = RandomScheduler::new(77);
+                let o = vm.run(&mut sched, &mut NullMonitor);
+                (
+                    o,
+                    *vm.stats(),
+                    vm.read_global(p.global_by_name("x").unwrap(), 0),
+                )
+            };
+            assert_eq!(finish(from), finish(to), "{from} -> {to}");
+        }
+    }
+
+    #[test]
+    fn with_compiled_shares_bytecode() {
+        let p = parse("global int x = 0; fn main() { x = 1; }").unwrap();
+        let vm = Vm::new(&p, MemModel::Sc);
+        let compiled = Arc::clone(vm.compiled());
+        let mut vm2 = Vm::with_compiled(
+            &p,
+            compiled,
+            MemModel::Sc,
+            SharedSpec::All,
+            Backend::Bytecode,
+        );
+        let o = vm2.run(&mut FifoScheduler, &mut NullMonitor);
+        assert_eq!(o, Outcome::Completed);
+        assert_eq!(vm2.read_global(p.global_by_name("x").unwrap(), 0), 1);
     }
 
     #[test]

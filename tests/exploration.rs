@@ -47,6 +47,21 @@ fn parallel_exploration_matches_sequential_sc() {
 }
 
 #[test]
+fn small_budgets_cut_over_to_sequential_without_changing_selection() {
+    // Seed budgets below the explore cutover (2048 seeds) run on the
+    // caller thread even when a worker pool is requested — spawning and
+    // joining workers costs more than the sweep itself. The selected
+    // artifact must be byte-identical on both sides of the threshold.
+    let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+    for budget in [64, 4096] {
+        let mut config = PipelineConfig::new(MemModel::Sc);
+        config.seed_budget = budget;
+        let (sequential, parallel) = record_pair(&pipeline, &config, 8);
+        assert_identical(&sequential, &parallel);
+    }
+}
+
+#[test]
 fn parallel_exploration_matches_sequential_tso() {
     // A store-buffering workload: the failing interleavings involve drain
     // actions, a different action mix than the SC test exercises.
