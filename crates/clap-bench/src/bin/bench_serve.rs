@@ -14,6 +14,7 @@
 //! ```
 
 use clap_bench::serve;
+use clap_obs::sink::validate_jsonl_line;
 use clap_obs::Observer;
 use std::path::Path;
 
@@ -33,5 +34,29 @@ fn main() {
     observer.install();
     serve::emit_events(&bench);
     observer.flush().expect("write benchmark artifact");
-    println!("wrote {out_path}");
+
+    // The perf gate (`benchdiff --check`) compares against this file's
+    // committed copy, so a run that "succeeds" while writing an empty or
+    // malformed artifact would quietly disable the gate. Read the file
+    // back, re-validate every line against the strict schema, and refuse
+    // to exit cleanly unless it carries timed cells.
+    let written = std::fs::read_to_string(&out_path).expect("read back benchmark artifact");
+    let mut cells = 0usize;
+    for (i, line) in written.lines().enumerate() {
+        if let Err(e) = validate_jsonl_line(line) {
+            eprintln!(
+                "bench_serve: {out_path}:{}: invalid artifact line: {e}",
+                i + 1
+            );
+            std::process::exit(1);
+        }
+        if line.contains("\"name\":\"bench.serve.cell\"") {
+            cells += 1;
+        }
+    }
+    if cells == 0 {
+        eprintln!("bench_serve: {out_path} carries no bench.serve.cell events — refusing to pass");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({cells} timed cells)");
 }

@@ -3,6 +3,7 @@
 //! that regenerate every table and figure of the paper's evaluation (§6),
 //! plus the exploration-scaling sweep behind `bench_explore`.
 
+pub mod diff;
 pub mod explore;
 pub mod serve;
 pub mod vm;

@@ -532,14 +532,20 @@ fn submit_request(options: &Options) -> Result<SubmitRequest, String> {
 
 /// The `submit` subcommand: post a program to the daemon; with `--wait`,
 /// poll until it finishes and print the schedule (or, with `--json`, the
-/// raw report document).
+/// raw report document). Every submission mints a trace id, sent in the
+/// `X-Clap-Trace` header: the server stamps it into the job's per-job
+/// sinks, and with `--trace`/`--metrics` the client writes its own
+/// submit/wait/fetch spans under the same id, so one id stitches the
+/// whole request path.
 fn submit(options: &Options) -> Result<(), String> {
     if options.file.is_empty() {
         return Err("missing program file".into());
     }
     let request = submit_request(options)?;
-    let client = Client::new(options.addr.clone());
-    let mut info = client.submit(&request).map_err(|e| e.to_string())?;
+    let trace_id = clap_serve::mint_trace_id();
+    let client = Client::new(options.addr.clone()).with_trace_id(trace_id.clone());
+    let observer = options.observer().with_trace_id(trace_id.clone());
+    observer.install();
     // With --json, stdout carries only the report document; the job
     // lifecycle lines go to stderr so the output stays pipeable.
     let status_line = |line: String| {
@@ -549,33 +555,46 @@ fn submit(options: &Options) -> Result<(), String> {
             println!("{line}");
         }
     };
-    status_line(format!("job: {}", info.job));
-    if options.wait {
-        info = client
-            .wait(info.job, options.wait_timeout)
-            .map_err(|e| e.to_string())?;
-    }
-    status_line(format!("state: {}", info.state));
-    status_line(format!("cached: {}", info.cached));
-    match info.state {
-        clap_serve::JobState::Done => {
-            let report_json = client.fetch(info.job).map_err(|e| e.to_string())?;
-            if options.json {
-                println!("{report_json}");
-            } else {
-                let report = ReproductionReport::from_json(&report_json)?;
-                println!("reproduced: {}", report.reproduced);
-                println!("schedule: {}", report.schedule_letters);
-            }
-            Ok(())
+    let result = (|| {
+        let mut info = {
+            let _s = clap_obs::span("client.submit");
+            client.submit(&request).map_err(|e| e.to_string())?
+        };
+        status_line(format!("job: {}", info.job));
+        status_line(format!("trace: {trace_id}"));
+        if options.wait {
+            let _s = clap_obs::span("client.wait");
+            info = client
+                .wait(info.job, options.wait_timeout)
+                .map_err(|e| e.to_string())?;
         }
-        clap_serve::JobState::Failed => Err(format!(
-            "job {} failed: {}",
-            info.job,
-            info.error.as_deref().unwrap_or("unknown error")
-        )),
-        _ => Ok(()),
-    }
+        status_line(format!("state: {}", info.state));
+        status_line(format!("cached: {}", info.cached));
+        match info.state {
+            clap_serve::JobState::Done => {
+                let report_json = {
+                    let _s = clap_obs::span("client.fetch");
+                    client.fetch(info.job).map_err(|e| e.to_string())?
+                };
+                if options.json {
+                    println!("{report_json}");
+                } else {
+                    let report = ReproductionReport::from_json(&report_json)?;
+                    println!("reproduced: {}", report.reproduced);
+                    println!("schedule: {}", report.schedule_letters);
+                }
+                Ok(())
+            }
+            clap_serve::JobState::Failed => Err(format!(
+                "job {} failed: {}",
+                info.job,
+                info.error.as_deref().unwrap_or("unknown error")
+            )),
+            _ => Ok(()),
+        }
+    })();
+    flush(&observer);
+    result
 }
 
 /// The `status`/`fetch` subcommands: look up one job by id.

@@ -42,7 +42,9 @@ use clap_symex::FailureContext;
 use clap_vm::{Backend, MultiMonitor, Outcome, RandomScheduler, Vm};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Failing runs collected per stickiness level before selection.
@@ -74,14 +76,26 @@ pub(crate) fn effective_workers(requested: usize) -> usize {
 /// snapshot round-trip, no reallocation — which is what makes the
 /// per-seed reset equivalent to (and much cheaper than) constructing a
 /// fresh VM.
+///
+/// With `attr` set the cell is profiled: the reset is timed into
+/// [`WorkerAttribution::restore`], the run's enabled-action rebuild into
+/// `rebuild`, and the rest of the run (scheduler picks, instruction
+/// execution, recorder callbacks) into `step`.
 fn run_seed(
     pipeline: &Pipeline,
     config: &PipelineConfig,
     stickiness: f64,
     seed: u64,
     vm: &mut Vm<'_>,
+    mut attr: Option<&mut WorkerAttribution>,
 ) -> Option<RecordedFailure> {
+    let t0 = attr.is_some().then(Instant::now);
     vm.reset();
+    if let (Some(t0), Some(a)) = (t0, attr.as_deref_mut()) {
+        a.restore += t0.elapsed();
+        vm.enable_step_profile();
+    }
+    let t_run = attr.is_some().then(Instant::now);
     let mut recorder = PathRecorder::new(&pipeline.tables);
     let mut sync_recorder = config.record_sync_order.then(SyncOrderRecorder::new);
     let mut sched = RandomScheduler::with_stickiness(seed, stickiness);
@@ -94,6 +108,12 @@ fn run_seed(
         }
         None => vm.run(&mut sched, &mut recorder),
     };
+    if let (Some(t_run), Some(a)) = (t_run, attr) {
+        let total = t_run.elapsed();
+        let prof = vm.take_step_profile().unwrap_or_default();
+        a.rebuild += prof.rebuild;
+        a.step += total.saturating_sub(prof.rebuild);
+    }
     if let Outcome::AssertFailed { assert, .. } = outcome {
         Some(RecordedFailure {
             seed,
@@ -132,7 +152,7 @@ fn explore_level_sequential(
     let mut vm = pristine_vm(pipeline, config);
     let mut failures = Vec::new();
     for seed in 0..config.seed_budget {
-        if let Some(found) = run_seed(pipeline, config, stickiness, seed, &mut vm) {
+        if let Some(found) = run_seed(pipeline, config, stickiness, seed, &mut vm, None) {
             failures.push(found);
             if failures.len() >= CANDIDATES {
                 break;
@@ -140,6 +160,180 @@ fn explore_level_sequential(
         }
     }
     failures
+}
+
+/// Where one parallel-sweep worker spent its wall time, measured by the
+/// contention profiler ([`Pipeline::profile_contention`]). The taxonomy
+/// follows ROADMAP item 2's suspect list so the profile is direct
+/// evidence for (or against) each suspect:
+///
+/// - `claim`: the atomic `fetch_add` seed claim, the stop check, and the
+///   result send to the watermark collector — all cross-thread
+///   coordination;
+/// - `restore`: [`Vm::reset`] rewinding the VM between seeds (the
+///   "per-seed snapshot restore" suspect);
+/// - `rebuild`: re-deriving the enabled-action set after every step
+///   inside [`Vm::run`];
+/// - `step`: the rest of the VM run — scheduler picks, instruction
+///   execution, recorder callbacks;
+/// - `idle`: wall time not accounted above — thread start/stop, VM
+///   construction, scheduling gaps, and the post-stop drain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerAttribution {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Seeds this worker claimed and ran.
+    pub seeds: u64,
+    /// Total wall time from pool start to worker exit.
+    pub wall: Duration,
+    /// Seed claiming + result send (cross-thread coordination).
+    pub claim: Duration,
+    /// Per-seed VM reset.
+    pub restore: Duration,
+    /// Enabled-action set rebuilds inside the VM step loop.
+    pub rebuild: Duration,
+    /// Scheduler picks + instruction execution + recorder callbacks.
+    pub step: Duration,
+    /// Unattributed remainder of `wall`.
+    pub idle: Duration,
+}
+
+impl WorkerAttribution {
+    /// Sum of the directly measured categories (everything but `idle`).
+    pub fn accounted(&self) -> Duration {
+        self.claim + self.restore + self.rebuild + self.step
+    }
+}
+
+/// The category names of [`WorkerAttribution`], in table order.
+pub const ATTRIBUTION_CATEGORIES: [&str; 5] = ["claim", "restore", "rebuild", "step", "idle"];
+
+/// One stickiness level swept in profiled parallel mode: per-worker time
+/// attribution plus the level's canonical failure count. Produced by
+/// [`Pipeline::profile_contention`]; rendered by
+/// [`ContentionProfile::render_table`].
+#[derive(Debug, Clone)]
+pub struct ContentionProfile {
+    /// The stickiness level that was swept.
+    pub stickiness: f64,
+    /// The seed budget of the sweep.
+    pub seed_budget: u64,
+    /// Worker-pool size.
+    pub requested_workers: usize,
+    /// Canonical candidate count the level produced (deterministic).
+    pub failures: usize,
+    /// Per-worker attribution, sorted by worker index.
+    pub workers: Vec<WorkerAttribution>,
+}
+
+impl ContentionProfile {
+    /// Per-category totals across all workers, in
+    /// [`ATTRIBUTION_CATEGORIES`] order.
+    pub fn totals(&self) -> [(&'static str, Duration); 5] {
+        let mut sums = [Duration::ZERO; 5];
+        for w in &self.workers {
+            for (slot, v) in sums
+                .iter_mut()
+                .zip([w.claim, w.restore, w.rebuild, w.step, w.idle])
+            {
+                *slot += v;
+            }
+        }
+        [
+            (ATTRIBUTION_CATEGORIES[0], sums[0]),
+            (ATTRIBUTION_CATEGORIES[1], sums[1]),
+            (ATTRIBUTION_CATEGORIES[2], sums[2]),
+            (ATTRIBUTION_CATEGORIES[3], sums[3]),
+            (ATTRIBUTION_CATEGORIES[4], sums[4]),
+        ]
+    }
+
+    /// The category with the largest pool-wide total — the headline of
+    /// the utilization table.
+    pub fn dominant_category(&self) -> &'static str {
+        self.totals()
+            .into_iter()
+            .max_by_key(|&(_, d)| d)
+            .map(|(name, _)| name)
+            .unwrap_or("idle")
+    }
+
+    /// Pool-wide wall time (sum over workers).
+    pub fn total_wall(&self) -> Duration {
+        self.workers.iter().map(|w| w.wall).sum()
+    }
+
+    /// The per-worker utilization table as aligned plain text: one row
+    /// per worker with seed count, wall milliseconds, and each category
+    /// as a percentage of that worker's wall, plus a pool-total row.
+    pub fn render_table(&self) -> String {
+        fn pct(part: Duration, whole: Duration) -> f64 {
+            if whole.is_zero() {
+                0.0
+            } else {
+                100.0 * part.as_secs_f64() / whole.as_secs_f64()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "worker", "seeds", "wall_ms", "claim%", "restore%", "rebuild%", "step%", "idle%"
+        );
+        let mut rows: Vec<(String, u64, Duration, &WorkerAttribution)> = Vec::new();
+        for w in &self.workers {
+            rows.push((w.worker.to_string(), w.seeds, w.wall, w));
+        }
+        let total = WorkerAttribution {
+            worker: 0,
+            seeds: self.workers.iter().map(|w| w.seeds).sum(),
+            wall: self.total_wall(),
+            claim: self.workers.iter().map(|w| w.claim).sum(),
+            restore: self.workers.iter().map(|w| w.restore).sum(),
+            rebuild: self.workers.iter().map(|w| w.rebuild).sum(),
+            step: self.workers.iter().map(|w| w.step).sum(),
+            idle: self.workers.iter().map(|w| w.idle).sum(),
+        };
+        rows.push(("total".into(), total.seeds, total.wall, &total));
+        for (name, seeds, wall, w) in &rows {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>7} {:>9.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+                name,
+                seeds,
+                wall.as_secs_f64() * 1e3,
+                pct(w.claim, *wall),
+                pct(w.restore, *wall),
+                pct(w.rebuild, *wall),
+                pct(w.step, *wall),
+                pct(w.idle, *wall),
+            );
+        }
+        out
+    }
+}
+
+/// Sweeps one stickiness level with the worker pool in profiled mode —
+/// always parallel, ignoring [`SEQUENTIAL_CUTOVER`] (a one-worker
+/// "contention" profile would answer nothing).
+pub(crate) fn profile_contention(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    stickiness: f64,
+) -> ContentionProfile {
+    let workers = effective_workers(config.explore_workers).max(2);
+    let attributions = Mutex::new(Vec::new());
+    let failures =
+        explore_level_parallel(pipeline, config, stickiness, workers, Some(&attributions));
+    let mut per_worker = attributions.into_inner().expect("attribution lock");
+    per_worker.sort_by_key(|a| a.worker);
+    ContentionProfile {
+        stickiness,
+        seed_budget: config.seed_budget,
+        requested_workers: workers,
+        failures: canonical_candidates(failures).len(),
+        workers: per_worker,
+    }
 }
 
 /// Tracks the contiguous prefix of completed seeds: `watermark()` is the
@@ -168,18 +362,24 @@ impl Watermark {
 /// The parallel sweep of one stickiness level. Returns every failure
 /// reported by the pool; the caller's sort-and-truncate reduces that to
 /// the sequential candidate set (see the module docs for why).
+///
+/// With `attributions` set, every worker keeps a [`WorkerAttribution`]
+/// and pushes it there on exit — the contention-profiler mode behind
+/// [`Pipeline::profile_contention`]. The extra timer reads only happen in
+/// that mode; the plain sweep pays one `Option` test per seed.
 fn explore_level_parallel(
     pipeline: &Pipeline,
     config: &PipelineConfig,
     stickiness: f64,
     workers: usize,
+    attributions: Option<&Mutex<Vec<WorkerAttribution>>>,
 ) -> Vec<RecordedFailure> {
     let next = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let (tx, rx) = crossbeam::channel::unbounded::<(u64, Option<RecordedFailure>)>();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for index in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let stop = &stop;
@@ -188,11 +388,16 @@ fn explore_level_parallel(
                 let worker_start = Instant::now();
                 let mut busy = Duration::ZERO;
                 let mut seeds_run: u64 = 0;
+                let mut attr = attributions.map(|_| WorkerAttribution {
+                    worker: index,
+                    ..WorkerAttribution::default()
+                });
                 let mut vm = pristine_vm(pipeline, config);
                 loop {
                     // The stop check precedes the claim: a claimed seed is
                     // always run and reported, which keeps completed seeds
                     // a contiguous prefix (the determinism invariant).
+                    let t_claim = attr.is_some().then(Instant::now);
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
@@ -200,18 +405,32 @@ fn explore_level_parallel(
                     if seed >= config.seed_budget {
                         break;
                     }
+                    if let (Some(t), Some(a)) = (t_claim, attr.as_mut()) {
+                        a.claim += t.elapsed();
+                    }
                     let t = Instant::now();
-                    let found = run_seed(pipeline, config, stickiness, seed, &mut vm);
+                    let found =
+                        run_seed(pipeline, config, stickiness, seed, &mut vm, attr.as_mut());
                     busy += t.elapsed();
                     seeds_run += 1;
+                    let t_send = attr.is_some().then(Instant::now);
                     if tx.send((seed, found)).is_err() {
                         break;
                     }
+                    if let (Some(t), Some(a)) = (t_send, attr.as_mut()) {
+                        a.claim += t.elapsed();
+                    }
                 }
                 clap_obs::observe("explore.worker.seeds", seeds_run);
-                let wall = worker_start.elapsed().as_nanos().max(1) as u64;
-                let busy_pct = 100 * busy.as_nanos() as u64 / wall;
+                let wall = worker_start.elapsed();
+                let busy_pct = 100 * busy.as_nanos() as u64 / wall.as_nanos().max(1) as u64;
                 clap_obs::observe("explore.worker.busy_pct", busy_pct);
+                if let (Some(list), Some(mut a)) = (attributions, attr) {
+                    a.seeds = seeds_run;
+                    a.wall = wall;
+                    a.idle = wall.saturating_sub(a.accounted());
+                    list.lock().expect("attribution lock").push(a);
+                }
             });
         }
         drop(tx);
@@ -302,7 +521,7 @@ pub(crate) fn record_failure(
         let failures = if workers <= 1 {
             explore_level_sequential(pipeline, config, stickiness)
         } else {
-            explore_level_parallel(pipeline, config, stickiness, workers)
+            explore_level_parallel(pipeline, config, stickiness, workers, None)
         };
         let candidates = canonical_candidates(failures);
         emit_level_counters(config, &candidates);
@@ -317,6 +536,39 @@ pub(crate) fn record_failure(
 #[cfg(test)]
 mod tests {
     use super::Watermark;
+
+    #[test]
+    fn profile_contention_covers_worker_wall_and_renders() {
+        let pipeline = crate::Pipeline::from_source(
+            "global int x = 0;
+             fn w() { let v: int = x; yield; x = v + 1; }
+             fn main() { let a: thread = fork w(); let b: thread = fork w();
+                         join a; join b; assert(x == 2, \"lost update\"); }",
+        )
+        .unwrap();
+        let mut config = crate::PipelineConfig::new(clap_vm::MemModel::Sc);
+        config.seed_budget = 500;
+        config.explore_workers = 2;
+        let profile = super::profile_contention(&pipeline, &config, 1.0);
+        assert_eq!(profile.requested_workers, 2);
+        assert_eq!(profile.workers.len(), 2);
+        for w in &profile.workers {
+            // The five categories must reconstruct the worker's wall time:
+            // idle is the saturating remainder, so the sum can only exceed
+            // the wall by timer noise, never undershoot it.
+            let sum = w.accounted() + w.idle;
+            assert!(
+                sum >= w.wall && sum.as_secs_f64() <= w.wall.as_secs_f64() * 1.1,
+                "worker {}: categories sum {sum:?} vs wall {:?}",
+                w.worker,
+                w.wall
+            );
+        }
+        let table = profile.render_table();
+        assert!(table.contains("worker"), "header row: {table}");
+        assert!(table.contains("total"), "total row: {table}");
+        assert!(!profile.dominant_category().is_empty());
+    }
 
     #[test]
     fn watermark_tracks_contiguous_prefix() {

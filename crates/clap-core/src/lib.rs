@@ -43,6 +43,7 @@ mod explore;
 mod portfolio;
 mod report_json;
 
+pub use explore::{ContentionProfile, WorkerAttribution, ATTRIBUTION_CATEGORIES};
 pub use portfolio::{
     solve_auto, AttemptOutcome, AutoConfig, EngineKind, PortfolioAttempt, PortfolioOutcome,
     PortfolioReport,
@@ -368,6 +369,21 @@ impl Pipeline {
         config: &PipelineConfig,
     ) -> Result<RecordedFailure, PipelineError> {
         explore::record_failure(self, config)
+    }
+
+    /// Sweeps one stickiness level with the exploration worker pool in
+    /// *profiled* mode, attributing each worker's wall time across seed
+    /// claiming, VM restore, enabled-action rebuild, VM stepping and idle
+    /// (see [`WorkerAttribution`]). Always runs the parallel engine —
+    /// even below the sequential cutover — because the point is to watch
+    /// the pool contend. The `dbgcontend` probe in `clap-bench` renders
+    /// the result as a utilization table.
+    pub fn profile_contention(
+        &self,
+        config: &PipelineConfig,
+        stickiness: f64,
+    ) -> ContentionProfile {
+        explore::profile_contention(self, config, stickiness)
     }
 
     /// Phase 2a: decodes the log and symbolically executes the paths.

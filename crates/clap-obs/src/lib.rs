@@ -2,8 +2,8 @@
 //!
 //! A process-global [`Collector`] gathers **hierarchical spans** (wall-time
 //! accounting, per thread, nested by scope) and **metrics** — monotonic
-//! counters, last-value gauges, power-of-two-bucket histograms, and one-off
-//! structured events. Everything is a no-op while the collector is
+//! counters, last-value gauges, log-bucketed quantile [`Histogram`]s, and
+//! one-off structured events. Everything is a no-op while the collector is
 //! disabled: the fast path of every probe is a single relaxed atomic load,
 //! so always-on instrumentation costs nothing in production runs.
 //!
@@ -14,7 +14,9 @@
 //!   (schema checked by [`sink::validate_jsonl_line`]);
 //! * [`sink::write_chrome_trace`] — Chrome `trace_event` JSON, loadable in
 //!   `about:tracing` / [Perfetto](https://ui.perfetto.dev) for
-//!   flamegraph-style viewing.
+//!   flamegraph-style viewing;
+//! * [`sink::write_prometheus`] — Prometheus-compatible text exposition
+//!   (served by `clap-serve GET /metrics`).
 //!
 //! The [`Observer`] bundles sink destinations so a pipeline entry point can
 //! `install()` the collector, run, and `flush()` the files in one gesture.
@@ -77,97 +79,193 @@ pub struct EventRecord {
     pub fields: Vec<(String, String)>,
 }
 
-/// Power-of-two-bucket histogram (bucket `i` holds values with `i`
-/// significant bits, so `[2^(i-1), 2^i)`).
-#[derive(Debug, Clone)]
-struct Hist {
+/// Sub-bucket resolution of [`Histogram`]: each power-of-two octave is
+/// split into `2^SUB_BUCKET_BITS` equal-width sub-buckets, bounding the
+/// relative error of any reported quantile to `2^-SUB_BUCKET_BITS`
+/// (6.25%).
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Log-bucketed histogram (HdrHistogram-style, zero-dependency).
+///
+/// Values below `2^SUB_BUCKET_BITS` land in exact unit buckets; above,
+/// each power-of-two octave is split into [`SUB_BUCKETS`](SUB_BUCKET_BITS)
+/// equal-width sub-buckets, so every quantile is reported as a bucket
+/// upper bound within 6.25% of the true sample. Buckets are stored
+/// sparsely as sorted `(upper_inclusive, count)` pairs: snapshots carry
+/// their bounds, serialize losslessly, and [`merge`](Histogram::merge)
+/// exactly across workers or service windows (merge is associative and
+/// commutative — the bucket grid is fixed, so merging never re-buckets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
-    buckets: [u64; 65],
+    buckets: Vec<(u64, u64)>,
 }
 
-impl Hist {
-    fn new() -> Self {
-        Hist {
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
             count: 0,
             sum: 0,
             min: u64::MAX,
             max: 0,
-            buckets: [0; 65],
+            buckets: Vec::new(),
         }
     }
 
-    fn record(&mut self, v: u64) {
+    /// Inclusive upper bound of the log bucket containing `v`.
+    pub fn bucket_upper(v: u64) -> u64 {
+        if v < SUB_BUCKETS {
+            return v; // exact linear region
+        }
+        let exp = 63 - v.leading_zeros(); // position of the leading bit
+        let scale = exp - SUB_BUCKET_BITS; // sub-bucket width = 2^scale
+        v | ((1u64 << scale) - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        self.buckets[bucket_of(v)] += 1;
+        let upper = Self::bucket_upper(v);
+        match self.buckets.binary_search_by_key(&upper, |&(u, _)| u) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (upper, 1)),
+        }
+    }
+
+    /// Folds another histogram into this one. Because both sides share
+    /// the fixed bucket grid, the merge is exact: the result is
+    /// indistinguishable from having recorded every sample into one
+    /// histogram (up to the saturating `sum`).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ua, ca)), Some(&&(ub, cb))) => match ua.cmp(&ub) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((ua, ca));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((ub, cb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((ua, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The occupied buckets as sorted `(upper_inclusive, count)` pairs.
+    pub fn buckets(&self) -> &[(u64, u64)] {
+        &self.buckets
     }
 
     /// The bucket upper bound at which the cumulative count reaches
-    /// `q` (in per-mille) of the total.
-    fn quantile(&self, q_permille: u64) -> u64 {
+    /// fraction `q` (clamped to `[0, 1]`) of the total, capped at the
+    /// exact observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (self.count * q_permille).div_ceil(1000);
-        let mut cum = 0;
-        for (i, &b) in self.buckets.iter().enumerate() {
-            cum += b;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(upper, c) in &self.buckets {
+            cum += c;
             if cum >= target {
-                return bucket_upper(i).min(self.max);
+                return upper.min(self.max);
             }
         }
         self.max
     }
 
-    fn summary(&self) -> HistSummary {
-        HistSummary {
-            count: self.count,
-            sum: self.sum,
-            min: if self.count == 0 { 0 } else { self.min },
-            max: self.max,
-            p50: self.quantile(500),
-            p90: self.quantile(900),
-            p99: self.quantile(990),
-        }
-    }
-}
-
-fn bucket_of(v: u64) -> usize {
-    (64 - v.leading_zeros()) as usize
-}
-
-fn bucket_upper(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else if i >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << i) - 1
-    }
-}
-
-/// Aggregated histogram statistics as exported by [`snapshot`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HistSummary {
-    /// Samples recorded.
-    pub count: u64,
-    /// Sum of all samples (saturating).
-    pub sum: u64,
-    /// Smallest sample (0 when empty).
-    pub min: u64,
-    /// Largest sample.
-    pub max: u64,
     /// Approximate 50th percentile (bucket upper bound).
-    pub p50: u64,
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
     /// Approximate 90th percentile.
-    pub p90: u64,
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Approximate 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
     /// Approximate 99th percentile.
-    pub p99: u64,
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 struct State {
@@ -177,7 +275,7 @@ struct State {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
-    hists: BTreeMap<String, Hist>,
+    hists: BTreeMap<String, Histogram>,
     events: Vec<EventRecord>,
 }
 
@@ -334,7 +432,7 @@ pub fn observe(name: &str, value: u64) {
     match st.hists.get_mut(name) {
         Some(h) => h.record(value),
         None => {
-            let mut h = Hist::new();
+            let mut h = Histogram::new();
             h.record(value);
             st.hists.insert(name.to_owned(), h);
         }
@@ -371,10 +469,13 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, i64>,
-    /// Histogram summaries by name.
-    pub hists: BTreeMap<String, HistSummary>,
+    /// Full mergeable histograms by name (bucket bounds included).
+    pub hists: BTreeMap<String, Histogram>,
     /// Instant events in recording order.
     pub events: Vec<EventRecord>,
+    /// Trace id this snapshot belongs to, when it covers one traced
+    /// request's window (set by [`Observer::with_trace_id`]).
+    pub trace_id: Option<String>,
 }
 
 /// A position in the collector's stream, taken with [`mark`]: the point
@@ -433,12 +534,9 @@ pub fn snapshot_since(mark: &Mark) -> Snapshot {
         spans,
         counters,
         gauges: st.gauges.clone(),
-        hists: st
-            .hists
-            .iter()
-            .map(|(k, h)| (k.clone(), h.summary()))
-            .collect(),
+        hists: st.hists.clone(),
         events: st.events[mark.events.min(st.events.len())..].to_vec(),
+        trace_id: None,
     }
 }
 
@@ -454,12 +552,9 @@ pub fn snapshot() -> Snapshot {
         spans,
         counters: st.counters.clone(),
         gauges: st.gauges.clone(),
-        hists: st
-            .hists
-            .iter()
-            .map(|(k, h)| (k.clone(), h.summary()))
-            .collect(),
+        hists: st.hists.clone(),
         events: st.events.clone(),
+        trace_id: None,
     }
 }
 
@@ -474,6 +569,9 @@ pub struct Observer {
     pub metrics_path: Option<PathBuf>,
     /// Print the human-readable summary to stderr.
     pub summary: bool,
+    /// Trace id stamped into every snapshot this observer flushes, so
+    /// sink files can be joined back to the request that produced them.
+    pub trace_id: Option<String>,
 }
 
 impl Observer {
@@ -500,6 +598,15 @@ impl Observer {
     #[must_use]
     pub fn with_summary(mut self) -> Self {
         self.summary = true;
+        self
+    }
+
+    /// Stamps a trace id into every snapshot this observer flushes: the
+    /// JSONL sink gains a `trace` record and the Chrome trace gains
+    /// process metadata, so one id links client, wire, and job files.
+    #[must_use]
+    pub fn with_trace_id(mut self, id: impl Into<String>) -> Self {
+        self.trace_id = Some(id.into());
         self
     }
 
@@ -531,6 +638,7 @@ impl Observer {
             trace_path: self.trace_path.as_ref().map(&suffix),
             metrics_path: self.metrics_path.as_ref().map(&suffix),
             summary: self.summary,
+            trace_id: self.trace_id.clone(),
         }
     }
 
@@ -552,7 +660,9 @@ impl Observer {
         if !self.is_active() {
             return Ok(());
         }
-        self.write_sinks(&snapshot())
+        let mut snap = snapshot();
+        snap.trace_id.clone_from(&self.trace_id);
+        self.write_sinks(&snap)
     }
 
     /// Writes every configured sink from a [`snapshot_since`] delta — the
@@ -567,7 +677,9 @@ impl Observer {
         if !self.is_active() {
             return Ok(());
         }
-        self.write_sinks(&snapshot_since(mark))
+        let mut snap = snapshot_since(mark);
+        snap.trace_id.clone_from(&self.trace_id);
+        self.write_sinks(&snap)
     }
 
     fn write_sinks(&self, snap: &Snapshot) -> io::Result<()> {
@@ -667,13 +779,14 @@ mod tests {
             observe("h", v);
         }
         disable();
-        let h = snapshot().hists["h"];
-        assert_eq!(h.count, 5);
-        assert_eq!(h.sum, 110);
-        assert_eq!(h.min, 1);
-        assert_eq!(h.max, 100);
-        assert!(h.p50 >= 2 && h.p50 <= 7, "p50 = {}", h.p50);
-        assert_eq!(h.p99, 100);
+        let snap = snapshot();
+        let h = &snap.hists["h"];
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!(h.p50() >= 2 && h.p50() <= 7, "p50 = {}", h.p50());
+        assert_eq!(h.p99(), 100);
     }
 
     #[test]
@@ -764,14 +877,111 @@ mod tests {
 
     #[test]
     fn quantile_bounds() {
-        let mut h = Hist::new();
+        let mut h = Histogram::new();
         for _ in 0..99 {
             h.record(10);
         }
         h.record(1_000_000);
-        let s = h.summary();
-        assert!(s.p50 <= 15);
-        assert_eq!(s.p99, 15, "99 of 100 samples sit in the [8,15] bucket");
-        assert_eq!(s.max, 1_000_000);
+        assert_eq!(h.p50(), 10, "10 < 16 sits in an exact unit bucket");
+        assert_eq!(h.p99(), 10, "99 of 100 samples are exactly 10");
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    /// The log-bucket invariant every quantile estimate must satisfy:
+    /// the true sample lies inside the reported bucket.
+    fn assert_in_bucket(estimate: u64, truth: u64) {
+        assert_eq!(
+            Histogram::bucket_upper(truth),
+            Histogram::bucket_upper(estimate),
+            "estimate {estimate} not in the bucket of true value {truth}"
+        );
+        let rel = (estimate as f64 - truth as f64) / truth.max(1) as f64;
+        assert!(
+            rel.abs() <= 1.0 / SUB_BUCKETS as f64,
+            "relative error {rel} above 1/{SUB_BUCKETS} (estimate {estimate}, truth {truth})"
+        );
+    }
+
+    #[test]
+    fn quantiles_of_known_distributions_land_in_the_right_bucket() {
+        // Uniform 1..=10_000 recorded in a worst-case (descending) order.
+        let mut h = Histogram::new();
+        for v in (1..=10_000u64).rev() {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_in_bucket(h.p50(), 5_000);
+        assert_in_bucket(h.p90(), 9_000);
+        assert_in_bucket(h.p95(), 9_500);
+        assert_in_bucket(h.p99(), 9_900);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.min(), 1);
+
+        // Point mass with a far outlier: quantiles must not leak toward it.
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(u64::MAX);
+        assert_in_bucket(h.p50(), 100);
+        assert_in_bucket(h.p99(), 100);
+        assert_eq!(h.max(), u64::MAX);
+
+        // Exponentially spread decades.
+        let mut h = Histogram::new();
+        for decade in 0..6u32 {
+            for _ in 0..100 {
+                h.record(10u64.pow(decade));
+            }
+        }
+        assert_in_bucket(h.p50(), 100); // 300th of 600 samples
+        assert_in_bucket(h.p90(), 100_000);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_recording() {
+        let samples: Vec<u64> = (0..3_000u64)
+            .map(|i| (i * 2_654_435_761) % 1_000_000)
+            .collect();
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let thirds: Vec<Histogram> = samples
+            .chunks(1_000)
+            .map(|c| {
+                let mut h = Histogram::new();
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        // (a ⊕ b) ⊕ c
+        let mut left = thirds[0].clone();
+        left.merge(&thirds[1]);
+        left.merge(&thirds[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = thirds[1].clone();
+        bc.merge(&thirds[2]);
+        let mut right = thirds[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left, whole, "merged shards must equal one-shot recording");
+        let mut empty = Histogram::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole, "empty is a merge identity");
+    }
+
+    #[test]
+    fn bucket_upper_is_monotone_and_idempotent() {
+        let mut prev = 0;
+        for v in (0..4096u64).chain([u64::MAX - 1, u64::MAX]) {
+            let u = Histogram::bucket_upper(v);
+            assert!(u >= v, "upper bound below value at {v}");
+            assert!(u >= prev, "bucket bounds must be monotone at {v}");
+            assert_eq!(Histogram::bucket_upper(u), u, "upper must be a fixpoint");
+            prev = u;
+        }
     }
 }

@@ -63,8 +63,15 @@ pub fn write_summary(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
         for (name, h) in &snap.hists {
             writeln!(
                 w,
-                "  {name:<40} count={} sum={} min={} p50~{} p90~{} p99~{} max={}",
-                h.count, h.sum, h.min, h.p50, h.p90, h.p99, h.max
+                "  {name:<40} count={} sum={} min={} p50~{} p90~{} p95~{} p99~{} max={}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.p50(),
+                h.p90(),
+                h.p95(),
+                h.p99(),
+                h.max()
             )?;
         }
     }
@@ -110,6 +117,13 @@ pub fn write_jsonl(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
         snap.hists.len(),
         snap.events.len(),
     )?;
+    if let Some(id) = &snap.trace_id {
+        writeln!(
+            w,
+            "{{\"type\":\"trace\",\"trace_id\":\"{}\"}}",
+            json::escape(id)
+        )?;
+    }
     for s in &snap.spans {
         writeln!(
             w,
@@ -136,18 +150,26 @@ pub fn write_jsonl(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
         )?;
     }
     for (name, h) in &snap.hists {
-        writeln!(
+        write!(
             w,
-            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
             json::escape(name),
-            h.count,
-            h.sum,
-            h.min,
-            h.max,
-            h.p50,
-            h.p90,
-            h.p99,
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p90(),
+            h.p95(),
+            h.p99(),
         )?;
+        for (i, (upper, count)) in h.buckets().iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "[{upper},{count}]")?;
+        }
+        writeln!(w, "]}}")?;
     }
     for e in &snap.events {
         write!(
@@ -183,6 +205,7 @@ pub const JSONL_SCHEMA: &[(&str, &[&str])] = &[
             "events",
         ],
     ),
+    ("trace", &["type", "trace_id"]),
     (
         "span",
         &["type", "name", "tid", "start_ns", "dur_ns", "depth"],
@@ -192,7 +215,7 @@ pub const JSONL_SCHEMA: &[(&str, &[&str])] = &[
     (
         "hist",
         &[
-            "type", "name", "count", "sum", "min", "max", "p50", "p90", "p99",
+            "type", "name", "count", "sum", "min", "max", "p50", "p90", "p95", "p99", "buckets",
         ],
     ),
     ("event", &["type", "name", "tid", "ts_ns", "fields"]),
@@ -240,7 +263,23 @@ pub const EVENT_FIELD_SCHEMA: &[(&str, &[&str])] = &[
     ),
     ("serve.job.done", &["job", "cached", "wall_us"]),
     ("serve.job.failed", &["job", "error"]),
+    ("serve.job.trace", &["job", "trace_id", "queue_wait_us"]),
     ("serve.shutdown", &["drained"]),
+    (
+        "bench.diff",
+        &[
+            "old",
+            "new",
+            "margin_pct",
+            "cells",
+            "regressions",
+            "improvements",
+        ],
+    ),
+    (
+        "bench.diff.cell",
+        &["bench", "key", "old", "new", "delta_pct", "status"],
+    ),
 ];
 
 /// Name prefixes under strict validation: counters, gauges, and
@@ -267,6 +306,14 @@ pub const KNOWN_STRICT_METRICS: &[&str] = &[
     "serve.job.wall_us",
     "serve.http.requests",
     "serve.http.errors",
+    "serve.queue.wait_us",
+    "serve.cache.hit_ratio_pct",
+    "serve.http.latency_us.submit",
+    "serve.http.latency_us.status",
+    "serve.http.latency_us.report",
+    "serve.http.latency_us.metrics",
+    "serve.http.latency_us.shutdown",
+    "serve.http.latency_us.other",
 ];
 
 fn strict(name: &str) -> bool {
@@ -306,14 +353,35 @@ pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
         let field = v.get(key).expect("key checked above");
         let ok = match (*ty_static, *key) {
             (_, "name") => field.as_str().is_some(),
+            ("trace", "trace_id") => field.as_str().is_some(),
             ("event", "fields") => match field {
                 json::Value::Obj(entries) => entries.iter().all(|(_, fv)| fv.as_str().is_some()),
+                _ => false,
+            },
+            ("hist", "buckets") => match field {
+                json::Value::Arr(pairs) => pairs.iter().all(|p| {
+                    p.as_arr().is_some_and(|pair| {
+                        pair.len() == 2 && pair.iter().all(|n| n.as_num().is_some())
+                    })
+                }),
                 _ => false,
             },
             _ => field.as_num().is_some(),
         };
         if !ok {
             return Err(format!("field `{key}` of `{ty}` has the wrong type"));
+        }
+    }
+    if *ty_static == "hist" {
+        // A non-empty histogram must carry its bucket bounds: quantiles
+        // without the buckets they came from are unverifiable.
+        let count = v.get("count").and_then(json::Value::as_num).unwrap_or(0.0);
+        let buckets = match v.get("buckets") {
+            Some(json::Value::Arr(pairs)) => pairs.len(),
+            _ => 0,
+        };
+        if count > 0.0 && buckets == 0 {
+            return Err("hist record with samples but no bucket bounds".to_owned());
         }
     }
     let name = v.get("name").and_then(json::Value::as_str).unwrap_or("");
@@ -365,6 +433,16 @@ pub fn write_chrome_trace(snap: &Snapshot, w: &mut impl Write) -> io::Result<()>
             writeln!(w, ",")
         }
     };
+    if let Some(id) = &snap.trace_id {
+        // Label the process with the request's trace id so stitched
+        // client/worker traces identify themselves in the viewer.
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"process_labels\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"labels\":\"trace:{}\"}}}}",
+            json::escape(id),
+        )?;
+    }
     for s in &snap.spans {
         sep(w, &mut first)?;
         write!(
@@ -412,6 +490,65 @@ pub fn write_chrome_trace(snap: &Snapshot, w: &mut impl Write) -> io::Result<()>
         write!(w, "}}}}")?;
     }
     writeln!(w, "\n],\"displayTimeUnit\":\"ms\"}}")?;
+    Ok(())
+}
+
+/// Sanitizes a dotted metric name into a Prometheus metric name:
+/// `serve.http.latency_us.submit` → `clap_serve_http_latency_us_submit`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("clap_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || (c == '_' && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Writes the Prometheus text exposition (format version 0.0.4) of a
+/// snapshot: counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series with `_sum`/`_count` plus
+/// companion `_p50`/`_p90`/`_p95`/`_p99` gauges precomputed from the log
+/// buckets. Served by `clap-serve GET /metrics`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_prometheus(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
+    for (name, value) in &snap.counters {
+        let n = prometheus_name(name);
+        writeln!(w, "# TYPE {n} counter")?;
+        writeln!(w, "{n} {value}")?;
+    }
+    for (name, value) in &snap.gauges {
+        let n = prometheus_name(name);
+        writeln!(w, "# TYPE {n} gauge")?;
+        writeln!(w, "{n} {value}")?;
+    }
+    for (name, h) in &snap.hists {
+        let n = prometheus_name(name);
+        writeln!(w, "# TYPE {n} histogram")?;
+        let mut cum = 0u64;
+        for &(upper, count) in h.buckets() {
+            cum += count;
+            writeln!(w, "{n}_bucket{{le=\"{upper}\"}} {cum}")?;
+        }
+        writeln!(w, "{n}_bucket{{le=\"+Inf\"}} {}", h.count())?;
+        writeln!(w, "{n}_sum {}", h.sum())?;
+        writeln!(w, "{n}_count {}", h.count())?;
+        for (q, v) in [
+            ("p50", h.p50()),
+            ("p90", h.p90()),
+            ("p95", h.p95()),
+            ("p99", h.p99()),
+        ] {
+            writeln!(w, "# TYPE {n}_{q} gauge")?;
+            writeln!(w, "{n}_{q} {v}")?;
+        }
+    }
     Ok(())
 }
 
@@ -533,6 +670,95 @@ mod tests {
         for e in events {
             let ph = e.get("ph").unwrap().as_str().unwrap();
             assert!(matches!(ph, "X" | "C" | "i"), "unexpected phase {ph}");
+        }
+    }
+
+    #[test]
+    fn hist_records_must_carry_bucket_bounds() {
+        // A well-formed hist line with bounds passes.
+        assert_eq!(
+            validate_jsonl_line(
+                r#"{"type":"hist","name":"h","count":2,"sum":30,"min":10,"max":20,"p50":10,"p90":20,"p95":20,"p99":20,"buckets":[[10,1],[20,1]]}"#
+            )
+            .unwrap(),
+            "hist"
+        );
+        // Samples but no bucket bounds: rejected.
+        assert!(validate_jsonl_line(
+            r#"{"type":"hist","name":"h","count":2,"sum":30,"min":10,"max":20,"p50":10,"p90":20,"p95":20,"p99":20,"buckets":[]}"#
+        )
+        .is_err());
+        // Old shape without the buckets key at all: rejected.
+        assert!(validate_jsonl_line(
+            r#"{"type":"hist","name":"h","count":2,"sum":30,"min":10,"max":20,"p50":10,"p90":20,"p99":20}"#
+        )
+        .is_err());
+        // Malformed bucket pair: rejected.
+        assert!(validate_jsonl_line(
+            r#"{"type":"hist","name":"h","count":1,"sum":10,"min":10,"max":10,"p50":10,"p90":10,"p95":10,"p99":10,"buckets":[[10]]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_records_validate() {
+        assert_eq!(
+            validate_jsonl_line(r#"{"type":"trace","trace_id":"d1c3b00c0ffee777"}"#).unwrap(),
+            "trace"
+        );
+        assert!(validate_jsonl_line(r#"{"type":"trace","trace_id":7}"#).is_err());
+        assert!(validate_jsonl_line(r#"{"type":"trace"}"#).is_err());
+    }
+
+    #[test]
+    fn trace_id_flows_into_jsonl_and_chrome_sinks() {
+        let mut snap = sample_snapshot();
+        snap.trace_id = Some("cafe1234beef5678".to_owned());
+        let mut buf = Vec::new();
+        write_jsonl(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let trace_line = text.lines().nth(1).expect("trace line after meta");
+        assert_eq!(
+            trace_line,
+            r#"{"type":"trace","trace_id":"cafe1234beef5678"}"#
+        );
+        for line in text.lines() {
+            validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+        let mut buf = Vec::new();
+        write_chrome_trace(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("trace:cafe1234beef5678"));
+        crate::json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn prometheus_exposition_has_buckets_and_quantiles() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_prometheus(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE clap_explore_seeds counter"));
+        assert!(text.contains("clap_explore_seeds 42"));
+        assert!(text.contains("# TYPE clap_schedule_context_switches gauge"));
+        assert!(text.contains("# TYPE clap_parallel_batch_occupancy histogram"));
+        assert!(text.contains("clap_parallel_batch_occupancy_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("clap_parallel_batch_occupancy_count 1"));
+        for q in ["p50", "p95", "p99"] {
+            assert!(
+                text.contains(&format!("clap_parallel_batch_occupancy_{q} ")),
+                "missing {q}:\n{text}"
+            );
+        }
+        // Cumulative bucket counts are monotone.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            if line.contains("+Inf") {
+                continue;
+            }
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "bucket counts not cumulative: {line}");
+            last = n;
         }
     }
 

@@ -191,11 +191,22 @@ pub fn solve_parallel_cancellable(
                     let _span = clap_obs::span("parallel.validator");
                     let worker_start = Instant::now();
                     let mut busy = std::time::Duration::ZERO;
+                    let mut recv_wait = std::time::Duration::ZERO;
                     let mut checked: u64 = 0;
                     let mut scratch = Schedule {
                         order: Vec::with_capacity(n),
                     };
-                    while let Ok((count, flat)) = rx.recv() {
+                    loop {
+                        // Time blocked on the producer: starved validators
+                        // show up as a high recv-wait share, distinguishing
+                        // a generation-bound level from a validation-bound
+                        // one in the contention picture.
+                        let t_wait = Instant::now();
+                        let Ok((count, flat)) = rx.recv() else {
+                            recv_wait += t_wait.elapsed();
+                            break;
+                        };
+                        recv_wait += t_wait.elapsed();
                         if stop.load(Ordering::Relaxed) {
                             continue; // drain
                         }
@@ -222,6 +233,10 @@ pub fn solve_parallel_cancellable(
                     let wall = worker_start.elapsed().as_nanos().max(1) as u64;
                     let busy_pct = 100 * busy.as_nanos() as u64 / wall;
                     clap_obs::observe("parallel.validator.busy_pct", busy_pct);
+                    clap_obs::observe(
+                        "parallel.validator.recv_wait_us",
+                        recv_wait.as_micros() as u64,
+                    );
                 });
             }
             // Producer (this thread).

@@ -53,12 +53,30 @@ impl From<io::Error> for ClientError {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    trace: Option<String>,
 }
 
 impl Client {
     /// A client for the daemon at `addr` (e.g. `127.0.0.1:7117`).
     pub fn new(addr: impl Into<String>) -> Self {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace id (see `proto::mint_trace_id`): every request
+    /// this client sends carries it in the `X-Clap-Trace` header, and the
+    /// server threads it into the job's observability window.
+    #[must_use]
+    pub fn with_trace_id(mut self, id: impl Into<String>) -> Self {
+        self.trace = Some(id.into());
+        self
+    }
+
+    /// The trace id attached to this client, if any.
+    pub fn trace_id(&self) -> Option<&str> {
+        self.trace.as_deref()
     }
 
     /// Connects with retry until `deadline` elapses — the "wait for the
@@ -83,9 +101,13 @@ impl Client {
     fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<String, ClientError> {
         let mut stream = TcpStream::connect(&self.addr)?;
         let body = body.unwrap_or("");
+        let trace_line = match &self.trace {
+            Some(id) => format!("X-Clap-Trace: {id}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n",
+             {trace_line}Content-Length: {}\r\nConnection: close\r\n\r\n",
             self.addr,
             body.len()
         );
@@ -154,13 +176,25 @@ impl Client {
         }
     }
 
-    /// Scrapes `/metrics` (a JSON document of counters/gauges/hists).
+    /// Scrapes `/metrics` (Prometheus text exposition: per-endpoint
+    /// latency histograms with quantiles, queue depth, cache hit ratio,
+    /// shed count).
     ///
     /// # Errors
     ///
     /// Socket-level failures only.
     pub fn metrics(&self) -> Result<String, ClientError> {
         self.request("GET", "/metrics", None)
+    }
+
+    /// Scrapes `/metrics.json` (the same data as a JSON document, for
+    /// tooling that predates the Prometheus exposition).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures only.
+    pub fn metrics_json(&self) -> Result<String, ClientError> {
+        self.request("GET", "/metrics.json", None)
     }
 
     /// Requests a graceful drain-and-stop.

@@ -16,6 +16,16 @@ pub const MAX_BODY: usize = 4 * 1024 * 1024;
 /// accept loop forever.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// The wire-protocol header carrying the client-minted trace id.
+pub const TRACE_HEADER: &str = "x-clap-trace";
+/// Longest trace id accepted from the wire.
+pub const MAX_TRACE_ID: usize = 64;
+
+/// `Content-Type` for JSON bodies (every endpoint except `/metrics`).
+pub const CT_JSON: &str = "application/json";
+/// `Content-Type` for the Prometheus text exposition.
+pub const CT_TEXT: &str = "text/plain; version=0.0.4";
+
 /// One parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -25,6 +35,21 @@ pub struct Request {
     pub path: String,
     /// The decoded body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Sanitized [`TRACE_HEADER`] value, when the client sent one.
+    pub trace: Option<String>,
+}
+
+/// Keeps only the characters a trace id may carry (alphanumerics and
+/// dashes, capped at [`MAX_TRACE_ID`]), so a hostile header cannot smuggle
+/// arbitrary bytes into sink files or response heads.
+fn sanitize_trace_id(raw: &str) -> Option<String> {
+    let id: String = raw
+        .trim()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-')
+        .take(MAX_TRACE_ID)
+        .collect();
+    (!id.is_empty()).then_some(id)
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -64,6 +89,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let path = parts.next().ok_or_else(|| bad("missing path"))?.to_owned();
 
     let mut content_length = 0usize;
+    let mut trace = None;
     for line in lines {
         if line.is_empty() {
             break;
@@ -74,6 +100,8 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
                     .trim()
                     .parse()
                     .map_err(|_| bad("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case(TRACE_HEADER) {
+                trace = sanitize_trace_id(value);
             }
         }
     }
@@ -83,15 +111,28 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
 
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        trace,
+    })
 }
 
-/// Writes one `Connection: close` response with a JSON body.
+/// Writes one `Connection: close` response. The request's trace id, when
+/// present, is echoed back in [`TRACE_HEADER`] so clients can confirm the
+/// id the server attributed their work to.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    trace: Option<&str>,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -101,9 +142,13 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Re
         503 => "Service Unavailable",
         _ => "Unknown",
     };
+    let trace_line = match trace {
+        Some(id) => format!("X-Clap-Trace: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         {trace_line}Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;

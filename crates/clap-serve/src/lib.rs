@@ -9,7 +9,10 @@
 //!
 //! - a minimal hand-rolled HTTP/1.1 wire protocol ([`http`]):
 //!   `POST /submit`, `GET /status/<id>`, `GET /report/<id>`,
-//!   `GET /metrics`, `POST /shutdown`;
+//!   `GET /metrics` (Prometheus text; `/metrics.json` for the JSON
+//!   document), `POST /shutdown` — every request may carry a
+//!   client-minted [`mint_trace_id`] in the `X-Clap-Trace` header, which
+//!   the server threads into the job's per-job sinks;
 //! - a bounded job queue and worker pool with backpressure (`503` when
 //!   the queue is full) and graceful drain ([`server`]);
 //! - a **content-addressed result cache** ([`cache`]) keyed by the
@@ -49,5 +52,5 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::{Client, ClientError};
-pub use proto::{parse_model, JobInfo, JobState, SolverKind, SubmitRequest};
+pub use proto::{mint_trace_id, parse_model, JobInfo, JobState, SolverKind, SubmitRequest};
 pub use server::{ServeConfig, Server};

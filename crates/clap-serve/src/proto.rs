@@ -201,6 +201,23 @@ impl SubmitRequest {
     }
 }
 
+/// Mints a fresh 16-hex-digit trace id on the client side, unique across
+/// processes and calls (wall clock × pid × per-process counter, mixed
+/// through FNV-1a). Carried in the `X-Clap-Trace` wire header so one id
+/// stitches the client span, the queue wait, and the worker's pipeline
+/// phases into a single trace.
+pub fn mint_trace_id() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let material = format!("{now}:{}:{seq}", std::process::id());
+    format!("{:016x}", fnv1a(material.as_bytes()))
+}
+
 /// FNV-1a, 64-bit: the classic small fast hash — deterministic across
 /// runs and platforms, which `DefaultHasher` does not guarantee.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -351,6 +368,17 @@ mod tests {
     #[test]
     fn fingerprint_rejects_garbage_source() {
         assert!(SubmitRequest::new("not a program").fingerprint().is_err());
+    }
+
+    #[test]
+    fn trace_ids_are_distinct_hex() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, b, "consecutive mints must differ");
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+        }
     }
 
     #[test]

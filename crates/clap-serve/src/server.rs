@@ -73,6 +73,12 @@ struct WorkItem {
     job: u64,
     key: String,
     request: SubmitRequest,
+    /// Client-minted trace id, threaded into the job's observability
+    /// window and per-job sink files.
+    trace: Option<String>,
+    /// When the item entered the queue — the worker turns this into the
+    /// `serve.queue.wait_us` histogram.
+    enqueued: Instant,
 }
 
 /// Everything behind the one state mutex.
@@ -201,7 +207,7 @@ enum SubmitOutcome {
     QueueFull,
 }
 
-fn submit(shared: &Shared, request: SubmitRequest) -> SubmitOutcome {
+fn submit(shared: &Shared, request: SubmitRequest, trace: Option<String>) -> SubmitOutcome {
     // Canonicalize + hash outside the lock: it parses the program.
     let key = match request.fingerprint() {
         Ok(key) => key,
@@ -266,6 +272,8 @@ fn submit(shared: &Shared, request: SubmitRequest) -> SubmitOutcome {
         job: id,
         key,
         request,
+        trace,
+        enqueued: Instant::now(),
     });
     clap_obs::gauge("serve.queue.depth", core.queue.len() as i64);
     let info = job_info(id, &core.jobs[&id]);
@@ -339,12 +347,31 @@ fn worker_loop(shared: &Shared) {
         }
         // Mark the global stream so this job's sinks get only its window.
         let obs_mark = clap_obs::mark();
+        let queue_wait_us = item.enqueued.elapsed().as_micros() as u64;
+        clap_obs::observe("serve.queue.wait_us", queue_wait_us);
+        // Inside the window (after the mark), so the per-job sink carries
+        // the id that links this job back to the client's trace.
+        clap_obs::event(
+            "serve.job.trace",
+            &[
+                ("job", item.job.to_string()),
+                (
+                    "trace_id",
+                    item.trace.clone().unwrap_or_else(|| "-".to_owned()),
+                ),
+                ("queue_wait_us", queue_wait_us.to_string()),
+            ],
+        );
         let start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| run_job(&item.request)))
             .unwrap_or_else(|_| Err("pipeline panicked".to_owned()));
         let wall_us = start.elapsed().as_micros() as u64;
         if shared.observer.is_active() {
-            if let Err(e) = shared.observer.for_job(item.job).flush_since(&obs_mark) {
+            let mut job_obs = shared.observer.for_job(item.job);
+            if let Some(id) = &item.trace {
+                job_obs = job_obs.with_trace_id(id.clone());
+            }
+            if let Err(e) = job_obs.flush_since(&obs_mark) {
                 eprintln!("clap-serve: job {} sink flush failed: {e}", item.job);
             }
         }
@@ -370,8 +397,29 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// The current snapshot with the derived cache-hit-ratio gauge mixed in
+/// (hits as a percentage of hit+miss lookups, absent until the first
+/// lookup).
+fn metrics_snapshot() -> clap_obs::Snapshot {
+    let mut snap = clap_obs::snapshot();
+    let hit = snap.counters.get("serve.cache.hit").copied().unwrap_or(0);
+    let miss = snap.counters.get("serve.cache.miss").copied().unwrap_or(0);
+    if let Some(ratio) = (hit * 100).checked_div(hit + miss) {
+        snap.gauges
+            .insert("serve.cache.hit_ratio_pct".to_owned(), ratio as i64);
+    }
+    snap
+}
+
+fn metrics_prometheus() -> String {
+    let mut buf = Vec::new();
+    clap_obs::sink::write_prometheus(&metrics_snapshot(), &mut buf)
+        .expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("prometheus exposition is utf-8")
+}
+
 fn metrics_json() -> String {
-    let snap = clap_obs::snapshot();
+    let snap = metrics_snapshot();
     let counters = snap
         .counters
         .iter()
@@ -389,9 +437,10 @@ fn metrics_json() -> String {
             (
                 k.clone(),
                 Value::Obj(vec![
-                    ("count".to_owned(), Value::Num(h.count as f64)),
-                    ("p50".to_owned(), Value::Num(h.p50 as f64)),
-                    ("p99".to_owned(), Value::Num(h.p99 as f64)),
+                    ("count".to_owned(), Value::Num(h.count() as f64)),
+                    ("p50".to_owned(), Value::Num(h.p50() as f64)),
+                    ("p95".to_owned(), Value::Num(h.p95() as f64)),
+                    ("p99".to_owned(), Value::Num(h.p99() as f64)),
                 ]),
             )
         })
@@ -404,28 +453,71 @@ fn metrics_json() -> String {
     .render()
 }
 
+/// The per-endpoint latency histogram a request lands in. Static strings,
+/// pre-registered in `clap_obs::sink::KNOWN_STRICT_METRICS`.
+fn latency_metric(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/submit") => "serve.http.latency_us.submit",
+        ("GET", "/metrics" | "/metrics.json") => "serve.http.latency_us.metrics",
+        ("POST", "/shutdown") => "serve.http.latency_us.shutdown",
+        ("GET", p) if p.starts_with("/status/") => "serve.http.latency_us.status",
+        ("GET", p) if p.starts_with("/report/") => "serve.http.latency_us.report",
+        _ => "serve.http.latency_us.other",
+    }
+}
+
 fn error_body(message: &str) -> String {
     Value::Obj(vec![("error".to_owned(), Value::Str(message.to_owned()))]).render()
 }
 
 fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
     clap_obs::add("serve.http.requests", 1);
+    let start = Instant::now();
     let request = match http::read_request(stream) {
         Ok(request) => request,
         Err(e) => {
             clap_obs::add("serve.http.errors", 1);
-            let _ = http::write_response(stream, 400, &error_body(&e.to_string()));
+            let _ = http::write_response(
+                stream,
+                400,
+                &error_body(&e.to_string()),
+                http::CT_JSON,
+                None,
+            );
+            clap_obs::observe(
+                "serve.http.latency_us.other",
+                start.elapsed().as_micros() as u64,
+            );
             return;
         }
     };
-    let (status, body) = route(shared, &request);
+    let (status, body, content_type) = route(shared, &request);
     if status >= 400 {
         clap_obs::add("serve.http.errors", 1);
     }
-    let _ = http::write_response(stream, status, &body);
+    let _ = http::write_response(
+        stream,
+        status,
+        &body,
+        content_type,
+        request.trace.as_deref(),
+    );
+    clap_obs::observe(
+        latency_metric(&request.method, &request.path),
+        start.elapsed().as_micros() as u64,
+    );
 }
 
-fn route(shared: &Shared, request: &http::Request) -> (u16, String) {
+fn route(shared: &Shared, request: &http::Request) -> (u16, String, &'static str) {
+    if request.method == "GET" && request.path == "/metrics" {
+        // The scrape endpoint: Prometheus text, not JSON.
+        return (200, metrics_prometheus(), http::CT_TEXT);
+    }
+    let (status, body) = route_json(shared, request);
+    (status, body, http::CT_JSON)
+}
+
+fn route_json(shared: &Shared, request: &http::Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/submit") => {
             let body = match std::str::from_utf8(&request.body) {
@@ -436,13 +528,13 @@ fn route(shared: &Shared, request: &http::Request) -> (u16, String) {
                 Ok(r) => r,
                 Err(e) => return (400, error_body(&e)),
             };
-            match submit(shared, submit_request) {
+            match submit(shared, submit_request, request.trace.clone()) {
                 SubmitOutcome::Accepted(info) => (200, info.to_json()),
                 SubmitOutcome::BadProgram(e) => (400, error_body(&e)),
                 SubmitOutcome::QueueFull => (503, error_body("queue full")),
             }
         }
-        ("GET", "/metrics") => (200, metrics_json()),
+        ("GET", "/metrics.json") => (200, metrics_json()),
         ("POST", "/shutdown") => {
             let mut core = shared.core.lock().expect("serve core");
             if !core.shutdown {

@@ -340,10 +340,106 @@ fn protocol_errors_are_reported_not_fatal() {
     assert_eq!(failed.state, JobState::Failed);
     assert!(failed.error.is_some());
 
-    // /metrics scrapes as JSON.
+    // /metrics scrapes as Prometheus text, /metrics.json as JSON.
     let metrics = client.metrics().unwrap();
-    assert!(clap_obs::json::parse(&metrics).is_ok());
+    assert!(metrics.contains("# TYPE clap_serve_http_requests counter"));
+    let metrics_json = client.metrics_json().unwrap();
+    assert!(clap_obs::json::parse(&metrics_json).is_ok());
 
     client.shutdown().unwrap();
     server.join();
+}
+
+#[test]
+fn metrics_expose_latency_quantiles_under_concurrent_load() {
+    let _guard = clap_obs::test_lock();
+    clap_obs::reset();
+    let (server, client) = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // Concurrent load: several clients submitting (one solve, the rest
+    // cache hits or coalesced) plus status polls, all racing.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let client = client.clone();
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let job = client.submit(&SubmitRequest::new(LOST_UPDATE)).unwrap();
+                    client.wait(job.job, Duration::from_secs(120)).unwrap();
+                    let _ = client.status(job.job);
+                }
+            });
+        }
+    });
+
+    let text = client.metrics().unwrap();
+    // The request-latency histogram for /submit, with cumulative buckets
+    // and p50/p95/p99 quantile gauges derived from the log buckets.
+    assert!(
+        text.contains("# TYPE clap_serve_http_latency_us_submit histogram"),
+        "missing submit latency histogram:\n{text}"
+    );
+    assert!(text.contains("clap_serve_http_latency_us_submit_bucket{le=\"+Inf\"} 12"));
+    for q in ["p50", "p95", "p99"] {
+        let needle = format!("clap_serve_http_latency_us_submit_{q} ");
+        assert!(text.contains(&needle), "missing {q}:\n{text}");
+    }
+    // Queue depth, cache hit ratio, and shed count are all scrapeable.
+    assert!(text.contains("# TYPE clap_serve_queue_depth gauge"));
+    assert!(text.contains("# TYPE clap_serve_cache_hit_ratio_pct gauge"));
+    assert!(text.contains("clap_serve_jobs_submitted 12"));
+    // Queue wait is measured per worked job.
+    assert!(text.contains("# TYPE clap_serve_queue_wait_us histogram"));
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn client_minted_trace_id_reaches_the_per_job_sink() {
+    let _guard = clap_obs::test_lock();
+    clap_obs::reset();
+    let dir = fresh_dir("trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("serve.jsonl");
+
+    let (server, client) = start(ServeConfig {
+        observer: clap_obs::Observer::none().with_metrics(&metrics),
+        ..ServeConfig::default()
+    });
+    let trace_id = clap_serve::mint_trace_id();
+    let traced = client.clone().with_trace_id(trace_id.clone());
+    assert_eq!(traced.trace_id(), Some(trace_id.as_str()));
+    let job = traced.submit(&SubmitRequest::new(LOST_UPDATE)).unwrap();
+    traced.wait(job.job, Duration::from_secs(120)).unwrap();
+    client.shutdown().unwrap();
+    server.join();
+
+    // The per-job sink opens with the client's trace id and carries the
+    // serve.job.trace event binding job ↔ trace ↔ queue wait; every line
+    // still validates against the strict schema.
+    let path = dir.join(format!("serve.job{}.jsonl", job.job));
+    let sink = std::fs::read_to_string(&path).unwrap();
+    for line in sink.lines() {
+        clap_obs::sink::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    assert!(
+        sink.contains(&format!(
+            "{{\"type\":\"trace\",\"trace_id\":\"{trace_id}\"}}"
+        )),
+        "per-job sink missing the trace record:\n{sink}"
+    );
+    let trace_event = sink
+        .lines()
+        .find(|l| l.contains("serve.job.trace"))
+        .expect("serve.job.trace event in the job window");
+    assert!(trace_event.contains(&trace_id));
+    assert!(trace_event.contains("queue_wait_us"));
+
+    // An untraced submission gets no trace record, but still events.
+    let combined = std::fs::read_to_string(&metrics).unwrap();
+    assert!(combined.contains("serve.job.trace"));
+    let _ = std::fs::remove_dir_all(&dir);
 }

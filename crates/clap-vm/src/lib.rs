@@ -44,5 +44,6 @@ pub use sched::{Action, FifoScheduler, FnScheduler, RandomScheduler, Scheduler, 
 pub use stats::ExecStats;
 pub use thread::{Frame, Lineage, Status, Thread, ThreadId};
 pub use vm::{
-    run_with_seed, Backend, Outcome, SapPreviewKind, SharedSpec, Snapshot, StepPreview, Vm,
+    run_with_seed, Backend, Outcome, SapPreviewKind, SharedSpec, Snapshot, StepPreview,
+    StepProfile, Vm,
 };

@@ -27,6 +27,7 @@ use clap_ir::{
 };
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -231,6 +232,26 @@ impl Snapshot {
     }
 }
 
+/// Wall-time attribution of the [`Vm::run`] inner loop, accumulated
+/// while profiling is on (see [`Vm::enable_step_profile`]). The loop has
+/// exactly three phases per scheduler decision — rebuild the enabled
+/// action set, ask the scheduler to pick, execute the choice — and the
+/// profile splits wall time across them. Accumulates across runs (and
+/// across [`Vm::reset`]) until taken, which is what a sweep worker wants:
+/// one profile covering every seed it ran.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepProfile {
+    /// Rebuilding the enabled-action set after each step.
+    pub rebuild: Duration,
+    /// Inside `scheduler.pick` (RNG draws, stickiness logic).
+    pub pick: Duration,
+    /// Executing the chosen action (instruction step or buffer drain),
+    /// including monitor callbacks.
+    pub exec: Duration,
+    /// Scheduler decisions profiled.
+    pub steps: u64,
+}
+
 /// The virtual machine.
 #[derive(Debug)]
 pub struct Vm<'p> {
@@ -254,6 +275,8 @@ pub struct Vm<'p> {
     /// Reused by [`Vm::run`] across steps (and across runs of the same
     /// VM) so the enabled-action scan stops allocating per step.
     actions_scratch: Vec<Action>,
+    /// `Some` while step profiling is on; [`Vm::run`] accumulates into it.
+    step_profile: Option<StepProfile>,
 }
 
 impl<'p> Vm<'p> {
@@ -335,6 +358,7 @@ impl<'p> Vm<'p> {
             step_limit: 200_000_000,
             announced_main: false,
             actions_scratch: Vec::new(),
+            step_profile: None,
         }
     }
 
@@ -602,12 +626,20 @@ impl<'p> Vm<'p> {
         // Move the scratch buffer into a local so `scheduler.pick(self, …)`
         // can borrow the whole VM; put it back on every exit path.
         let mut actions = std::mem::take(&mut self.actions_scratch);
+        // The profiled loop pays three timer pairs per decision; the
+        // default path pays one discriminant test here and nothing inside.
+        let profiling = self.step_profile.is_some();
         let outcome = loop {
             if let Some(outcome) = &self.outcome {
                 break outcome.clone();
             }
+            let t = profiling.then(Instant::now);
             actions.clear();
             self.fill_enabled_actions(&mut actions);
+            if let Some(t) = t {
+                let p = self.step_profile.as_mut().expect("profiling is on");
+                p.rebuild += t.elapsed();
+            }
             if actions.is_empty() {
                 let all_exited = self.threads.iter().all(|t| t.status == Status::Exited);
                 let outcome = if all_exited {
@@ -622,14 +654,40 @@ impl<'p> Vm<'p> {
                 self.outcome = Some(Outcome::StepLimit);
                 break Outcome::StepLimit;
             }
+            let t = profiling.then(Instant::now);
             let choice = scheduler.pick(self, &actions);
+            if let Some(t) = t {
+                let p = self.step_profile.as_mut().expect("profiling is on");
+                p.pick += t.elapsed();
+                p.steps += 1;
+            }
+            let t0 = profiling.then(Instant::now);
             match actions[choice] {
                 Action::Step(t) => self.step_thread(t, monitor),
                 Action::Drain(t, addr) => self.drain(t, addr, monitor),
             }
+            if let Some(t0) = t0 {
+                let p = self.step_profile.as_mut().expect("profiling is on");
+                p.exec += t0.elapsed();
+            }
         };
         self.actions_scratch = actions;
         outcome
+    }
+
+    /// Turns on per-step wall-time attribution for subsequent [`Vm::run`]
+    /// calls; see [`StepProfile`] for what is measured. Idempotent: the
+    /// accumulated profile is kept when already on.
+    pub fn enable_step_profile(&mut self) {
+        if self.step_profile.is_none() {
+            self.step_profile = Some(StepProfile::default());
+        }
+    }
+
+    /// Takes the accumulated profile and turns profiling off. `None` when
+    /// profiling was never enabled.
+    pub fn take_step_profile(&mut self) -> Option<StepProfile> {
+        self.step_profile.take()
     }
 
     /// Captures the complete mutable execution state — the checkpointing
