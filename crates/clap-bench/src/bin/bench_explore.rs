@@ -1,32 +1,83 @@
 //! Emits `BENCH_explore.jsonl`: wall-clock of the record-phase sweep
 //! ([`clap_core::Pipeline`]'s `record_failure`) for workers ∈ {1, 2, 4, 8}
-//! on three workloads, plus the selected candidate seed so the
-//! determinism contract is visible in the artifact (every worker count
-//! reports the same seed).
+//! on three small workloads, plus large-budget scaling rows (10⁵–10⁶
+//! seeds on the dedicated `scaling` workload, adaptive and forced-pool
+//! variants) and the selected candidate seed so the determinism contract
+//! is visible in the artifact (every worker count reports the same seed).
 //!
 //! The artifact is the standard `clap-obs` JSONL stream (validate with
 //! the `obsck` binary): one `bench.explore` header event and one
 //! `bench.explore.cell` event per measurement.
 //!
 //! ```text
-//! bench_explore [output.jsonl] [repeats]
+//! bench_explore [output.jsonl] [repeats] [--budgets N,N,...] [--check] [--margin PCT]
 //! ```
+//!
+//! `--check` turns the run into a perf-regression gate: every cell must
+//! stay within `--margin` percent (default 25) of its row's 1-worker
+//! baseline, i.e. requesting workers must never make the sweep
+//! materially slower than sequential. Exit 1 on violation.
 
 use clap_bench::explore;
 use clap_obs::Observer;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let out_path = args
-        .next()
-        .unwrap_or_else(|| "BENCH_explore.jsonl".to_owned());
-    let repeats: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let mut out_path = "BENCH_explore.jsonl".to_owned();
+    let mut repeats: u32 = 3;
+    let mut budgets: Vec<u64> = vec![100_000];
+    let mut check = false;
+    let mut margin: f64 = 25.0;
 
-    let bench = explore::run(repeats, 400);
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--margin" => {
+                margin = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--margin takes a percentage");
+            }
+            "--budgets" => {
+                let list = args.next().expect("--budgets takes N,N,...");
+                budgets = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--budgets entries are integers"))
+                    .collect();
+            }
+            other => {
+                match positional {
+                    0 => out_path = other.to_owned(),
+                    1 => repeats = other.parse().expect("repeats is an integer"),
+                    _ => panic!("unexpected argument: {other}"),
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    let mut bench = explore::run(repeats, 400);
+    bench
+        .workloads
+        .extend(explore::run_scaling(repeats, &budgets));
 
     let observer = Observer::none().with_metrics(&out_path);
     observer.install();
     explore::emit_events(&bench);
     observer.flush().expect("write benchmark artifact");
     println!("wrote {out_path}");
+
+    if check {
+        let violations = explore::check(&bench, margin);
+        if violations.is_empty() {
+            println!("explore gate: all cells within {margin:.0}% of their sequential baseline");
+        } else {
+            eprintln!("explore gate: {} violation(s)", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -13,9 +13,17 @@
 //!
 //! Every row attributes one worker's wall time across five categories —
 //! seed claim, VM restore, enabled-action rebuild, VM stepping, idle —
-//! as percentages of that worker's wall. The probe checks itself: it
-//! exits nonzero when the categories fail to cover a worker's wall time
-//! within 10%, i.e. when the attribution (not the pool) is broken.
+//! as percentages of that worker's wall, plus the attribution overrun
+//! (timer skew clamped away from idle) in microseconds. The probe checks
+//! itself: it exits nonzero when the categories fail to cover a worker's
+//! wall time within 10%, i.e. when the attribution (not the pool) is
+//! broken.
+//!
+//! The profiler always drives the parallel pool — a one-worker
+//! "contention" profile would answer nothing — but the header reports
+//! which path production (`record_failure`) would actually take for this
+//! configuration, and the table carries a `NOTE:` label when the two
+//! diverge.
 
 use clap_bench::split_obs_args;
 use clap_core::{Pipeline, PipelineConfig};
@@ -56,6 +64,15 @@ fn main() {
         "workload {name}  stickiness {stickiness}  seeds {}  workers {}  candidates {}",
         profile.seed_budget, profile.requested_workers, profile.failures
     );
+    println!(
+        "production path: {} ({})",
+        if profile.production_parallel {
+            "parallel"
+        } else {
+            "sequential"
+        },
+        profile.production_reason
+    );
     print!("{}", profile.render_table());
 
     // Feed the same numbers through the collector so --metrics/--trace
@@ -74,6 +91,7 @@ fn main() {
                 ("rebuild_us", wa.rebuild.as_micros().to_string()),
                 ("step_us", wa.step.as_micros().to_string()),
                 ("idle_us", wa.idle.as_micros().to_string()),
+                ("overrun_us", wa.overrun.as_micros().to_string()),
             ],
         );
         let wall = wa.wall.as_secs_f64().max(f64::EPSILON);

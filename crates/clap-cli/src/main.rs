@@ -7,8 +7,8 @@
 //!                          [--shrink-out PATH] [--budget N] [--solver ...]
 //! clap-reproduce dump      prog.clap                    pretty-print the lowered CFG
 //! clap-reproduce run       prog.clap [--model M] [--seed N] [--stickiness S]
-//! clap-reproduce explore   prog.clap [--model M] [--budget N] [--workers N]
-//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--workers N]
+//! clap-reproduce explore   prog.clap [--model M] [--budget N] [--workers N] [--cutover N]
+//! clap-reproduce reproduce prog.clap [--model M] [--budget N] [--workers N] [--cutover N]
 //!                          [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
 //! ```
 //!
@@ -25,7 +25,11 @@
 //!
 //! `M` is one of `sc` (default), `tso`, `pso`. `--workers` sets the
 //! record-phase exploration pool size (0, the default, means one worker
-//! per core); any value returns the same artifact. `--solver auto` runs
+//! per core); any value returns the same artifact. Whether a sweep
+//! actually uses the pool is decided per stickiness level by an adaptive
+//! cutover (a calibration probe versus the measured pool startup cost);
+//! `--cutover N` replaces that estimate with a fixed seed-budget
+//! threshold (`--cutover 0` forces the pool on). `--solver auto` runs
 //! the adaptive portfolio: the parallel engine escalates up a
 //! preemption-bound ladder, then the sequential solver takes the rest of
 //! the `--solve-timeout` budget. `--parallel` is shorthand for
@@ -38,7 +42,9 @@
 //! and `-v`/`--verbose` prints the collector summary to stderr.
 
 use clap_check::{DiffConfig, ProgramSpec};
-use clap_core::{AutoConfig, Pipeline, PipelineConfig, ReproductionReport, SolverChoice};
+use clap_core::{
+    AutoConfig, ExploreCutover, Pipeline, PipelineConfig, ReproductionReport, SolverChoice,
+};
 use clap_obs::Observer;
 use clap_parallel::ParallelConfig;
 use clap_serve::{Client, ServeConfig, Server, SolverKind, SubmitRequest};
@@ -69,7 +75,9 @@ const USAGE: &str = "usage:
   clap-reproduce dump      <prog.clap>
   clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
   clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
+                           [--cutover N]
   clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
+                           [--cutover N]
                            [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
                            [--json]
   clap-reproduce serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
@@ -125,6 +133,7 @@ struct Options {
     stickiness: f64,
     budget: u64,
     workers: usize,
+    cutover: Option<u64>,
     solver: SolverFlag,
     solve_timeout: Option<Duration>,
     sync_order: bool,
@@ -189,6 +198,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         stickiness: 0.7,
         budget: 20_000,
         workers: 0,
+        cutover: None,
         solver: SolverFlag::Sequential,
         solve_timeout: None,
         sync_order: false,
@@ -238,6 +248,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 options.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--cutover" => {
+                let v = it.next().ok_or("--cutover needs a value")?;
+                options.cutover = Some(v.parse().map_err(|_| format!("bad cutover `{v}`"))?);
             }
             "--parallel" => options.solver = SolverFlag::Parallel,
             "--solver" => {
@@ -398,6 +412,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut config = PipelineConfig::new(options.single_model()?);
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
+            if let Some(n) = options.cutover {
+                config.explore_cutover = ExploreCutover::Fixed(n);
+            }
             let result = pipeline.record_failure(&config);
             flush(&observer);
             match result {
@@ -429,6 +446,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 PipelineConfig::new(options.single_model()?).with_observer(options.observer());
             config.seed_budget = options.budget;
             config.explore_workers = options.workers;
+            if let Some(n) = options.cutover {
+                config.explore_cutover = ExploreCutover::Fixed(n);
+            }
             config.solver = match options.solver {
                 SolverFlag::Sequential => SolverChoice::Sequential(SolverConfig {
                     timeout: options.solve_timeout,

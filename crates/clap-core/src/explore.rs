@@ -1,30 +1,55 @@
 //! The record-phase exploration engine: sweeps the (stickiness, seed)
 //! grid of [`Pipeline::record_failure`] hunting a failing interleaving,
-//! optionally fanning the sweep over a worker pool.
+//! optionally fanning the sweep over a persistent worker pool.
+//!
+//! # Architecture
+//!
+//! One pool per sweep: [`record_failure`] opens a single thread scope
+//! around the whole stickiness loop and starts the pool lazily, the first
+//! time a level's plan goes parallel. Workers build their scratch VM once,
+//! then park on a condvar between levels; each level is handed off by
+//! bumping an epoch and publishing a [`LevelTask`] — no thread is spawned
+//! or joined between levels. Seeds are claimed in *chunks* (one atomic
+//! `fetch_add` claims a run of seeds) so the cross-thread coordination
+//! cost amortizes across the chunk.
+//!
+//! Whether a level runs on the pool at all is decided *per level* by
+//! [`plan_level`]: a short sequential calibration probe measures the
+//! per-seed cost and failure density, estimates the remaining sequential
+//! tail, and compares the parallel savings against the *measured* pool
+//! startup cost (or the much cheaper handoff cost once the pool exists).
+//! [`crate::ExploreCutover::Fixed`] replaces the estimate with an explicit
+//! seed-budget threshold (`Fixed(0)` forces the pool on, which the tests
+//! and the contention profiler use).
 //!
 //! # Determinism contract
 //!
 //! Parallel exploration returns **byte-identical** artifacts to the
-//! sequential sweep, regardless of thread count or timing. The invariants
-//! that make this hold:
+//! sequential sweep, regardless of thread count, chunk width, or timing.
+//! The invariants that make this hold:
 //!
-//! 1. Workers claim seeds with an atomic `fetch_add` and *always* run and
-//!    report a claimed seed (the stop check happens before the claim, not
-//!    after), so completed seeds form a contiguous prefix of `0..budget`.
-//! 2. The collector maintains a *watermark* — the length of that
-//!    contiguous completed prefix — and only counts a failure as
+//! 1. The collector maintains a *watermark* — the length of the
+//!    contiguous prefix of completed seeds — and only counts a failure as
 //!    *finalized* once every smaller seed has completed. Early stop fires
 //!    when [`CANDIDATES`] failures are finalized; at that point the
 //!    `CANDIDATES` smallest failing seeds are all known.
-//! 3. After the pool drains, failures are sorted by seed and truncated to
-//!    [`CANDIDATES`] — exactly the candidate set the sequential loop
+//! 2. Before the stop fires, every claimed seed is run and reported, so
+//!    completed seeds form a contiguous prefix of `0..budget` up to
+//!    in-flight claims. *After* the stop fires a worker may abandon the
+//!    rest of its chunk: the watermark can never pass an unreported seed,
+//!    so every abandoned seed is above the watermark the stop decision
+//!    looked at — above every seed selection can observe.
+//! 3. After the level drains, failures are sorted by seed and truncated
+//!    to [`CANDIDATES`] — exactly the candidate set the sequential loop
 //!    collects — and the winner is the candidate minimizing
 //!    `(saps, seed)`, which reproduces the sequential selection rule
 //!    (strictly fewer SAPs wins, ties keep the earliest seed).
 //!
 //! Stickiness levels are explored strictly in order; the first level that
 //! produces any failure is the last one explored, as in the sequential
-//! sweep.
+//! sweep. The calibration probe is itself the first stretch of the
+//! sequential sweep, so its failures are carried into the level result
+//! whichever path the plan picks.
 //!
 //! # Telemetry
 //!
@@ -33,40 +58,94 @@
 //! canonical post-truncation candidate set, so they are byte-identical for
 //! any worker count — the determinism contract extends to them. Runtime
 //! shape that legitimately varies with thread timing (per-worker seed
-//! counts and utilization, early-stop drain latency, parallel overshoot)
-//! goes into histograms and gauges instead.
+//! counts and utilization, pool startup latency, early-stop drain latency,
+//! attribution overrun) goes into histograms and gauges instead, and each
+//! level emits an `explore.level.path` event naming the path it took and
+//! why.
 
-use crate::{Pipeline, PipelineConfig, PipelineError, RecordedFailure};
+use crate::{ExploreCutover, Pipeline, PipelineConfig, PipelineError, RecordedFailure};
 use clap_profile::{PathRecorder, SyncOrderRecorder};
 use clap_symex::FailureContext;
 use clap_vm::{Backend, MultiMonitor, Outcome, RandomScheduler, Vm};
+use crossbeam::channel::{Receiver, Sender};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 /// Failing runs collected per stickiness level before selection.
 pub(crate) const CANDIDATES: usize = 25;
 
-/// Seed budgets below this run the level sequentially even when a worker
-/// pool was requested: spawning threads, cloning channels, and draining
-/// the pool costs more than sweeping a few thousand seeds on one core.
-/// The determinism contract makes the cutover unobservable — sequential
-/// and parallel sweeps return byte-identical artifacts by construction.
-pub(crate) const SEQUENTIAL_CUTOVER: u64 = 2048;
+/// Seeds the adaptive planner sweeps sequentially before deciding whether
+/// the rest of the level is worth handing to the pool. The probe is not
+/// overhead: it is the first stretch of the sequential sweep, and its
+/// failures are carried into the level result.
+const PROBE_SEEDS: u64 = 32;
+
+/// Pool spawn-to-parked prior used before any pool has been measured in
+/// this process. Deliberately pessimistic — the contention profiler showed
+/// a whole small level (~2 ms) finishing before the pool finished
+/// spawning, so that is the cost a sweep must amortize.
+const STARTUP_PRIOR: Duration = Duration::from_millis(2);
+
+/// Last measured pool startup latency (blended over sweeps),
+/// process-global so later sweeps start from a calibrated figure instead
+/// of the prior. Zero means "not measured yet".
+static MEASURED_STARTUP_NANOS: AtomicU64 = AtomicU64::new(0);
+
+fn startup_estimate() -> Duration {
+    match MEASURED_STARTUP_NANOS.load(Ordering::Relaxed) {
+        0 => STARTUP_PRIOR,
+        n => Duration::from_nanos(n),
+    }
+}
+
+fn record_pool_startup(measured: Duration) {
+    let new = u64::try_from(measured.as_nanos())
+        .unwrap_or(u64::MAX)
+        .max(1);
+    let old = MEASURED_STARTUP_NANOS.load(Ordering::Relaxed);
+    let blended = if old == 0 { new } else { old / 2 + new / 2 };
+    MEASURED_STARTUP_NANOS.store(blended.max(1), Ordering::Relaxed);
+}
+
+/// Handing a level to an already-parked pool costs a lock, a broadcast,
+/// and per-worker wakeup latency — far below a cold start. Estimated as a
+/// fraction of the measured startup, floored at the cost of a few context
+/// switches.
+fn handoff_estimate() -> Duration {
+    (startup_estimate() / 16).max(Duration::from_micros(20))
+}
+
+fn available_cores() -> usize {
+    // Cached: available_parallelism re-reads cgroup quota files on every
+    // call (~10µs on some hosts), which would tax each level's plan.
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// Resolves a worker-count request: `0` means one worker per available
 /// core.
 pub(crate) fn effective_workers(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        available_cores()
     } else {
         requested
     }
+}
+
+/// Chunk width for one atomic seed claim: aim for ~64 claims per worker
+/// so the `fetch_add` and wakeups amortize, capped so tail imbalance and
+/// post-stop abandonment stay bounded.
+fn chunk_size(remaining: u64, workers: usize) -> u64 {
+    (remaining / (workers.max(1) as u64 * 64)).clamp(1, 1024)
 }
 
 /// Runs one (stickiness, seed) cell of the sweep on a reusable VM,
@@ -142,21 +221,24 @@ fn pristine_vm<'p>(pipeline: &'p Pipeline, config: &PipelineConfig) -> Vm<'p> {
     vm
 }
 
-/// The sequential sweep of one stickiness level: seeds in order, stopping
-/// at [`CANDIDATES`] failures.
-fn explore_level_sequential(
-    pipeline: &Pipeline,
+/// Continues the sequential sweep of one stickiness level from `start`,
+/// carrying failures already collected (by the calibration probe), on the
+/// caller's reusable scratch VM. Stops at [`CANDIDATES`] failures.
+fn run_sequential<'p>(
+    pipeline: &'p Pipeline,
     config: &PipelineConfig,
     stickiness: f64,
+    scratch: &mut Option<Vm<'p>>,
+    start: u64,
+    mut failures: Vec<RecordedFailure>,
 ) -> Vec<RecordedFailure> {
-    let mut vm = pristine_vm(pipeline, config);
-    let mut failures = Vec::new();
-    for seed in 0..config.seed_budget {
-        if let Some(found) = run_seed(pipeline, config, stickiness, seed, &mut vm, None) {
+    let vm = scratch.get_or_insert_with(|| pristine_vm(pipeline, config));
+    for seed in start..config.seed_budget {
+        if failures.len() >= CANDIDATES {
+            break;
+        }
+        if let Some(found) = run_seed(pipeline, config, stickiness, seed, vm, None) {
             failures.push(found);
-            if failures.len() >= CANDIDATES {
-                break;
-            }
         }
     }
     failures
@@ -167,7 +249,7 @@ fn explore_level_sequential(
 /// follows ROADMAP item 2's suspect list so the profile is direct
 /// evidence for (or against) each suspect:
 ///
-/// - `claim`: the atomic `fetch_add` seed claim, the stop check, and the
+/// - `claim`: the chunked `fetch_add` seed claim, the stop check, and the
 ///   result send to the watermark collector — all cross-thread
 ///   coordination;
 /// - `restore`: [`Vm::reset`] rewinding the VM between seeds (the
@@ -176,15 +258,20 @@ fn explore_level_sequential(
 ///   inside [`Vm::run`];
 /// - `step`: the rest of the VM run — scheduler picks, instruction
 ///   execution, recorder callbacks;
-/// - `idle`: wall time not accounted above — thread start/stop, VM
-///   construction, scheduling gaps, and the post-stop drain.
+/// - `idle`: wall time not accounted above — parked time between levels,
+///   scheduling gaps, and the post-stop drain;
+/// - `overrun`: the amount by which the measured categories *exceeded*
+///   the wall clock. Timer skew can over-account; clamping `idle` at zero
+///   hides that, so the clamped-away excess is kept here and surfaced in
+///   the `explore.worker.attribution_overrun_us` histogram.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerAttribution {
     /// Worker index within the pool.
     pub worker: usize,
     /// Seeds this worker claimed and ran.
     pub seeds: u64,
-    /// Total wall time from pool start to worker exit.
+    /// Total wall time this worker spent on the level (claim loop entry
+    /// to drain).
     pub wall: Duration,
     /// Seed claiming + result send (cross-thread coordination).
     pub claim: Duration,
@@ -194,8 +281,11 @@ pub struct WorkerAttribution {
     pub rebuild: Duration,
     /// Scheduler picks + instruction execution + recorder callbacks.
     pub step: Duration,
-    /// Unattributed remainder of `wall`.
+    /// Unattributed remainder of `wall`, clamped at zero.
     pub idle: Duration,
+    /// Over-accounting clamped away from `idle`: how far the measured
+    /// categories exceeded `wall` (timer skew; zero when timers behave).
+    pub overrun: Duration,
 }
 
 impl WorkerAttribution {
@@ -224,6 +314,14 @@ pub struct ContentionProfile {
     pub failures: usize,
     /// Per-worker attribution, sorted by worker index.
     pub workers: Vec<WorkerAttribution>,
+    /// Whether production ([`Pipeline::record_failure`]) would run this
+    /// level on the pool. The profiler itself always profiles the
+    /// parallel path (a one-worker "contention" profile would answer
+    /// nothing), so when this is `false` the profiled configuration
+    /// diverges from what production would execute.
+    pub production_parallel: bool,
+    /// The planner's reason for the production path.
+    pub production_reason: String,
 }
 
 impl ContentionProfile {
@@ -263,9 +361,18 @@ impl ContentionProfile {
         self.workers.iter().map(|w| w.wall).sum()
     }
 
+    /// Total attribution overrun across workers (timer skew clamped away
+    /// from `idle`).
+    pub fn total_overrun(&self) -> Duration {
+        self.workers.iter().map(|w| w.overrun).sum()
+    }
+
     /// The per-worker utilization table as aligned plain text: one row
-    /// per worker with seed count, wall milliseconds, and each category
-    /// as a percentage of that worker's wall, plus a pool-total row.
+    /// per worker with seed count, wall milliseconds, each category as a
+    /// percentage of that worker's wall, and the attribution overrun in
+    /// microseconds, plus a pool-total row. When the profiled parallel
+    /// path diverges from the path production would take, a `NOTE:` line
+    /// labels the table.
     pub fn render_table(&self) -> String {
         fn pct(part: Duration, whole: Duration) -> f64 {
             if whole.is_zero() {
@@ -275,10 +382,26 @@ impl ContentionProfile {
             }
         }
         let mut out = String::new();
+        if !self.production_parallel {
+            let _ = writeln!(
+                out,
+                "NOTE: profiled path diverges from production — record_failure would run \
+                 this level sequentially ({}).",
+                self.production_reason
+            );
+        }
         let _ = writeln!(
             out,
-            "{:>6} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "worker", "seeds", "wall_ms", "claim%", "restore%", "rebuild%", "step%", "idle%"
+            "{:>6} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "worker",
+            "seeds",
+            "wall_ms",
+            "claim%",
+            "restore%",
+            "rebuild%",
+            "step%",
+            "idle%",
+            "over_us"
         );
         let mut rows: Vec<(String, u64, Duration, &WorkerAttribution)> = Vec::new();
         for w in &self.workers {
@@ -293,12 +416,13 @@ impl ContentionProfile {
             rebuild: self.workers.iter().map(|w| w.rebuild).sum(),
             step: self.workers.iter().map(|w| w.step).sum(),
             idle: self.workers.iter().map(|w| w.idle).sum(),
+            overrun: self.total_overrun(),
         };
         rows.push(("total".into(), total.seeds, total.wall, &total));
         for (name, seeds, wall, w) in &rows {
             let _ = writeln!(
                 out,
-                "{:>6} {:>7} {:>9.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+                "{:>6} {:>7} {:>9.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8}",
                 name,
                 seeds,
                 wall.as_secs_f64() * 1e3,
@@ -307,32 +431,577 @@ impl ContentionProfile {
                 pct(w.rebuild, *wall),
                 pct(w.step, *wall),
                 pct(w.idle, *wall),
+                w.overrun.as_micros(),
             );
         }
         out
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One stickiness level handed to the pool. Workers claim chunks of
+/// `next..budget`, report every completed seed on `tx`, and finish with a
+/// [`WorkerMsg::Done`] carrying their attribution.
+struct LevelTask {
+    stickiness: f64,
+    budget: u64,
+    chunk: u64,
+    next: AtomicU64,
+    stop: AtomicBool,
+    profiled: bool,
+    tx: Sender<WorkerMsg>,
+}
+
+enum WorkerMsg {
+    Seed(u64, Option<RecordedFailure>),
+    Done(WorkerAttribution),
+}
+
+struct PoolState {
+    epoch: u64,
+    task: Option<Arc<LevelTask>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// A pool of parked worker threads that lives for one `record_failure`
+/// sweep (or one profiler run). Threads are spawned exactly once; levels
+/// are handed off by bumping the epoch, and level completion is detected
+/// by counting per-worker [`WorkerMsg::Done`] messages — the channel is
+/// never relied on to close.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn post(&self, task: Arc<LevelTask>) {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        st.epoch += 1;
+        st.task = Some(task);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Parks no more: wakes every worker for exit and records how many
+    /// threads this sweep spawned in total (the pool-reuse contract —
+    /// `explore.pool.spawned` equals the worker count, not
+    /// `levels × workers`).
+    fn shutdown(&self) {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        st.shutdown = true;
+        st.task = None;
+        drop(st);
+        self.shared.cv.notify_all();
+        clap_obs::gauge("explore.pool.spawned", self.workers as i64);
+    }
+}
+
+/// Spawns the pool inside the caller's scope and blocks until every
+/// worker has built its scratch VM and parked. The measured
+/// spawn-to-parked latency is exactly the cost a sweep pays before the
+/// pool can contribute, so it is what the adaptive cutover amortizes.
+fn start_pool<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    pipeline: &'env Pipeline,
+    config: &'env PipelineConfig,
+    workers: usize,
+) -> WorkerPool {
+    let t0 = Instant::now();
+    let shared = Arc::new(PoolShared {
+        state: Mutex::new(PoolState {
+            epoch: 0,
+            task: None,
+            shutdown: false,
+        }),
+        cv: Condvar::new(),
+    });
+    let ready = Arc::new(AtomicUsize::new(0));
+    for index in 0..workers {
+        let shared = Arc::clone(&shared);
+        let ready = Arc::clone(&ready);
+        scope.spawn(move || {
+            let _worker_span = clap_obs::span("explore.worker");
+            // Scratch survives every level of the sweep: the VM (heap
+            // snapshot, action buffers, recorder tables) is built once
+            // here and merely reset per seed from then on.
+            let mut vm = pristine_vm(pipeline, config);
+            ready.fetch_add(1, Ordering::Release);
+            let mut seen_epoch = 0u64;
+            loop {
+                let task = {
+                    let mut st = shared.state.lock().expect("pool lock");
+                    loop {
+                        if st.shutdown {
+                            return;
+                        }
+                        if st.epoch != seen_epoch {
+                            seen_epoch = st.epoch;
+                            break Arc::clone(st.task.as_ref().expect("epoch implies task"));
+                        }
+                        st = shared.cv.wait(st).expect("pool lock");
+                    }
+                };
+                run_level_worker(pipeline, config, index, &task, &mut vm);
+            }
+        });
+    }
+    while ready.load(Ordering::Acquire) < workers {
+        std::thread::yield_now();
+    }
+    let startup = t0.elapsed();
+    record_pool_startup(startup);
+    clap_obs::gauge(
+        "explore.pool.startup_ns",
+        i64::try_from(startup.as_nanos()).unwrap_or(i64::MAX),
+    );
+    WorkerPool { shared, workers }
+}
+
+/// One worker's share of one level: claim chunks, run seeds, report, and
+/// finish with a `Done` message carrying the attribution.
+fn run_level_worker(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    index: usize,
+    task: &LevelTask,
+    vm: &mut Vm<'_>,
+) {
+    let worker_start = Instant::now();
+    let mut busy = Duration::ZERO;
+    let mut attr = WorkerAttribution {
+        worker: index,
+        ..WorkerAttribution::default()
+    };
+    let profiled = task.profiled;
+    'claim: loop {
+        let t_claim = profiled.then(Instant::now);
+        if task.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let first = task.next.fetch_add(task.chunk, Ordering::Relaxed);
+        if first >= task.budget {
+            break;
+        }
+        let end = first.saturating_add(task.chunk).min(task.budget);
+        if let Some(t) = t_claim {
+            attr.claim += t.elapsed();
+        }
+        for seed in first..end {
+            // Abandoning the rest of a claimed chunk is safe once the
+            // stop flag is up: the watermark never passes an unreported
+            // seed, so everything abandoned here sits above every seed
+            // the stop decision (and therefore selection) looked at.
+            if seed > first && task.stop.load(Ordering::Relaxed) {
+                break 'claim;
+            }
+            let t = Instant::now();
+            let found = run_seed(
+                pipeline,
+                config,
+                task.stickiness,
+                seed,
+                vm,
+                profiled.then_some(&mut attr),
+            );
+            busy += t.elapsed();
+            attr.seeds += 1;
+            let t_send = profiled.then(Instant::now);
+            if task.tx.send(WorkerMsg::Seed(seed, found)).is_err() {
+                break 'claim;
+            }
+            if let Some(t) = t_send {
+                attr.claim += t.elapsed();
+            }
+        }
+    }
+    clap_obs::observe("explore.worker.seeds", attr.seeds);
+    attr.wall = worker_start.elapsed();
+    let busy_pct = 100 * busy.as_nanos() as u64 / attr.wall.as_nanos().max(1) as u64;
+    clap_obs::observe("explore.worker.busy_pct", busy_pct);
+    // Clamp idle at zero but keep the evidence: timer skew where the
+    // categories over-account the wall is recorded as `overrun` and
+    // surfaced through the histogram instead of being silently discarded.
+    let accounted = attr.accounted();
+    attr.idle = attr.wall.saturating_sub(accounted);
+    attr.overrun = accounted.saturating_sub(attr.wall);
+    if profiled && !attr.overrun.is_zero() {
+        clap_obs::observe(
+            "explore.worker.attribution_overrun_us",
+            u64::try_from(attr.overrun.as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+    let _ = task.tx.send(WorkerMsg::Done(attr));
+}
+
+/// Hands one level to the pool and collects it: failures carried in from
+/// the calibration probe (all below `start`, hence finalized from the
+/// outset) plus everything the workers report for `start..budget`.
+fn run_level_on_pool(
+    pool: &WorkerPool,
+    stickiness: f64,
+    budget: u64,
+    start: u64,
+    carried: Vec<RecordedFailure>,
+    profile: Option<&mut Vec<WorkerAttribution>>,
+) -> Vec<RecordedFailure> {
+    let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
+    let task = Arc::new(LevelTask {
+        stickiness,
+        budget,
+        chunk: chunk_size(budget.saturating_sub(start), pool.workers),
+        next: AtomicU64::new(start),
+        stop: AtomicBool::new(false),
+        profiled: profile.is_some(),
+        tx,
+    });
+    pool.post(Arc::clone(&task));
+    collect_level(&rx, &task, pool.workers, carried, start, profile)
+}
+
+/// The level collector: counts failures as finalized only once all
+/// smaller seeds have completed (watermark), fires the early stop at
+/// [`CANDIDATES`] finalized failures, and returns once every worker has
+/// sent its `Done` for this level.
+fn collect_level(
+    rx: &Receiver<WorkerMsg>,
+    task: &LevelTask,
+    workers: usize,
+    mut failures: Vec<RecordedFailure>,
+    start: u64,
+    mut profile: Option<&mut Vec<WorkerAttribution>>,
+) -> Vec<RecordedFailure> {
+    let mut completed = Watermark::starting_at(start);
+    let mut stopped_at: Option<Instant> = None;
+    let mut done = 0usize;
+    while done < workers {
+        match rx.recv().expect("pool workers outlive the level") {
+            WorkerMsg::Seed(seed, found) => {
+                completed.complete(seed);
+                if let Some(failure) = found {
+                    failures.push(failure);
+                }
+                if !task.stop.load(Ordering::Relaxed) {
+                    let watermark = completed.watermark();
+                    let finalized = failures.iter().filter(|f| f.seed < watermark).count();
+                    if finalized >= CANDIDATES {
+                        task.stop.store(true, Ordering::Relaxed);
+                        stopped_at = Some(Instant::now());
+                    }
+                }
+            }
+            WorkerMsg::Done(attr) => {
+                done += 1;
+                if let Some(list) = profile.as_deref_mut() {
+                    list.push(attr);
+                }
+            }
+        }
+    }
+    // How long the pool took to drain after the early stop fired — the
+    // latency cost of finishing in-flight seeds and waking stragglers.
+    if let Some(at) = stopped_at {
+        clap_obs::gauge(
+            "explore.early_stop_ns",
+            i64::try_from(at.elapsed().as_nanos()).unwrap_or(i64::MAX),
+        );
+    }
+    failures
+}
+
+// ---------------------------------------------------------------------------
+// Per-level planning (adaptive cutover)
+// ---------------------------------------------------------------------------
+
+/// The path a level takes (or would take), with the planner's reason —
+/// reported in the `explore.level.path` event and by the contention
+/// profiler's production-path label.
+#[derive(Debug, Clone)]
+struct LevelPath {
+    parallel: bool,
+    reason: String,
+}
+
+impl LevelPath {
+    fn sequential(reason: impl Into<String>) -> Self {
+        LevelPath {
+            parallel: false,
+            reason: reason.into(),
+        }
+    }
+
+    fn parallel(reason: impl Into<String>) -> Self {
+        LevelPath {
+            parallel: true,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// What [`plan_level`] decided for a level.
+enum LevelPlan {
+    /// The level completed entirely during planning (the calibration
+    /// probe filled it, or the budget fit inside the probe).
+    Done(Vec<RecordedFailure>),
+    /// Run (or finish) the level sequentially from `start`, carrying the
+    /// probe's failures.
+    Sequential {
+        start: u64,
+        carried: Vec<RecordedFailure>,
+    },
+    /// Hand `start..budget` to the pool (of `workers` threads), carrying
+    /// the probe's failures.
+    Parallel {
+        start: u64,
+        carried: Vec<RecordedFailure>,
+        workers: usize,
+    },
+}
+
+/// Decides, per level, whether the remaining sweep is worth a worker
+/// pool. This runs fresh for every stickiness level — late levels of a
+/// sweep whose early levels were cheap can still choose differently, and
+/// the pool-exists discount means only the *first* parallel level pays
+/// startup.
+///
+/// The adaptive policy sweeps a short sequential calibration probe, then
+/// compares the estimated remaining sequential tail against the measured
+/// pool cost: go parallel iff
+/// `tail × (1 − 1/usable_cores) > 2 × pool_cost` (the factor 2 keeps
+/// noisy probes near the boundary sequential). The probe is carried into
+/// the level either way, so nothing is re-run.
+fn plan_level<'p>(
+    pipeline: &'p Pipeline,
+    config: &PipelineConfig,
+    stickiness: f64,
+    requested: usize,
+    pool_started: bool,
+    scratch: &mut Option<Vm<'p>>,
+) -> (LevelPlan, LevelPath) {
+    let budget = config.seed_budget;
+    if requested <= 1 {
+        return (
+            LevelPlan::Sequential {
+                start: 0,
+                carried: Vec::new(),
+            },
+            LevelPath::sequential("one worker requested"),
+        );
+    }
+    match config.explore_cutover {
+        ExploreCutover::Fixed(cutover) => {
+            if budget < cutover {
+                (
+                    LevelPlan::Sequential {
+                        start: 0,
+                        carried: Vec::new(),
+                    },
+                    LevelPath::sequential(format!(
+                        "seed budget {budget} below fixed cutover {cutover}"
+                    )),
+                )
+            } else {
+                (
+                    LevelPlan::Parallel {
+                        start: 0,
+                        carried: Vec::new(),
+                        workers: requested,
+                    },
+                    LevelPath::parallel(format!(
+                        "seed budget {budget} at/above fixed cutover {cutover}"
+                    )),
+                )
+            }
+        }
+        ExploreCutover::Adaptive => {
+            let usable = requested.min(available_cores());
+            if usable <= 1 {
+                return (
+                    LevelPlan::Sequential {
+                        start: 0,
+                        carried: Vec::new(),
+                    },
+                    LevelPath::sequential("single usable core"),
+                );
+            }
+            let probe_n = PROBE_SEEDS.min(budget);
+            if probe_n == 0 {
+                return (
+                    LevelPlan::Done(Vec::new()),
+                    LevelPath::sequential("empty seed budget"),
+                );
+            }
+            let t0 = Instant::now();
+            let mut failures = Vec::new();
+            let mut filled = false;
+            {
+                let vm = scratch.get_or_insert_with(|| pristine_vm(pipeline, config));
+                for seed in 0..probe_n {
+                    if let Some(found) = run_seed(pipeline, config, stickiness, seed, vm, None) {
+                        failures.push(found);
+                        if failures.len() >= CANDIDATES {
+                            filled = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let probe_time = t0.elapsed();
+            if filled || probe_n >= budget {
+                return (
+                    LevelPlan::Done(failures),
+                    LevelPath::sequential("level completed inside the calibration probe"),
+                );
+            }
+            let per_seed = probe_time / probe_n as u32;
+            // Seeds the sequential sweep would still run: with f probe
+            // failures, CANDIDATES failures arrive around seed
+            // CANDIDATES·probe_n/f; with none, assume the whole budget.
+            let expected_total = if failures.is_empty() {
+                budget
+            } else {
+                (CANDIDATES as u64 * probe_n / failures.len() as u64).min(budget)
+            };
+            let remaining = expected_total.saturating_sub(probe_n);
+            let tail = per_seed.mul_f64(remaining as f64);
+            let pool_cost = if pool_started {
+                handoff_estimate()
+            } else {
+                startup_estimate()
+            };
+            let savings = tail.mul_f64(1.0 - 1.0 / usable as f64);
+            if savings > pool_cost.saturating_mul(2) {
+                (
+                    LevelPlan::Parallel {
+                        start: probe_n,
+                        carried: failures,
+                        workers: usable,
+                    },
+                    LevelPath::parallel(format!(
+                        "estimated sequential tail {:.2}ms amortizes pool cost {:.3}ms \
+                         across {usable} cores",
+                        tail.as_secs_f64() * 1e3,
+                        pool_cost.as_secs_f64() * 1e3,
+                    )),
+                )
+            } else {
+                (
+                    LevelPlan::Sequential {
+                        start: probe_n,
+                        carried: failures,
+                    },
+                    LevelPath::sequential(format!(
+                        "estimated sequential tail {:.2}ms does not amortize pool cost \
+                         {:.3}ms",
+                        tail.as_secs_f64() * 1e3,
+                        pool_cost.as_secs_f64() * 1e3,
+                    )),
+                )
+            }
+        }
+    }
+}
+
+/// Plans and executes one stickiness level, starting the pool lazily on
+/// the first parallel plan of the sweep and reusing it afterwards.
+fn explore_level<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    pipeline: &'env Pipeline,
+    config: &'env PipelineConfig,
+    stickiness: f64,
+    requested: usize,
+    pool: &mut Option<WorkerPool>,
+    scratch: &mut Option<Vm<'env>>,
+) -> Vec<RecordedFailure> {
+    let (plan, path) = plan_level(
+        pipeline,
+        config,
+        stickiness,
+        requested,
+        pool.is_some(),
+        scratch,
+    );
+    clap_obs::event(
+        "explore.level.path",
+        &[
+            ("stickiness", format!("{stickiness}")),
+            (
+                "path",
+                if path.parallel {
+                    "parallel".into()
+                } else {
+                    "sequential".into()
+                },
+            ),
+            ("reason", path.reason.clone()),
+        ],
+    );
+    match plan {
+        LevelPlan::Done(failures) => failures,
+        LevelPlan::Sequential { start, carried } => {
+            run_sequential(pipeline, config, stickiness, scratch, start, carried)
+        }
+        LevelPlan::Parallel {
+            start,
+            carried,
+            workers,
+        } => {
+            let pool = pool.get_or_insert_with(|| start_pool(scope, pipeline, config, workers));
+            run_level_on_pool(pool, stickiness, config.seed_budget, start, carried, None)
+        }
+    }
+}
+
 /// Sweeps one stickiness level with the worker pool in profiled mode —
-/// always parallel, ignoring [`SEQUENTIAL_CUTOVER`] (a one-worker
-/// "contention" profile would answer nothing).
+/// the pool path is always profiled (a one-worker "contention" profile
+/// would answer nothing), but the profile *reports* which path production
+/// would actually take, and [`ContentionProfile::render_table`] labels
+/// the table when the two diverge.
 pub(crate) fn profile_contention(
     pipeline: &Pipeline,
     config: &PipelineConfig,
     stickiness: f64,
 ) -> ContentionProfile {
-    let workers = effective_workers(config.explore_workers).max(2);
-    let attributions = Mutex::new(Vec::new());
-    let failures =
-        explore_level_parallel(pipeline, config, stickiness, workers, Some(&attributions));
-    let mut per_worker = attributions.into_inner().expect("attribution lock");
-    per_worker.sort_by_key(|a| a.worker);
+    let requested = effective_workers(config.explore_workers);
+    let workers = requested.max(2);
+    // Ask the production planner (including its calibration probe) what
+    // record_failure would do with this configuration.
+    let production = {
+        let mut scratch: Option<Vm<'_>> = None;
+        let (_plan, path) =
+            plan_level(pipeline, config, stickiness, requested, false, &mut scratch);
+        path
+    };
+    let mut attributions: Vec<WorkerAttribution> = Vec::new();
+    let failures = std::thread::scope(|scope| {
+        let pool = start_pool(scope, pipeline, config, workers);
+        let failures = run_level_on_pool(
+            &pool,
+            stickiness,
+            config.seed_budget,
+            0,
+            Vec::new(),
+            Some(&mut attributions),
+        );
+        pool.shutdown();
+        failures
+    });
+    attributions.sort_by_key(|a| a.worker);
     ContentionProfile {
         stickiness,
         seed_budget: config.seed_budget,
         requested_workers: workers,
         failures: canonical_candidates(failures).len(),
-        workers: per_worker,
+        workers: attributions,
+        production_parallel: production.parallel,
+        production_reason: production.reason,
     }
 }
 
@@ -346,6 +1015,16 @@ struct Watermark {
 }
 
 impl Watermark {
+    /// A watermark whose contiguous prefix already covers `0..start` —
+    /// used when the calibration probe completed those seeds before the
+    /// pool took over.
+    fn starting_at(start: u64) -> Self {
+        Watermark {
+            next: start,
+            pending: BinaryHeap::new(),
+        }
+    }
+
     fn complete(&mut self, seed: u64) {
         self.pending.push(Reverse(seed));
         while self.pending.peek() == Some(&Reverse(self.next)) {
@@ -357,114 +1036,6 @@ impl Watermark {
     fn watermark(&self) -> u64 {
         self.next
     }
-}
-
-/// The parallel sweep of one stickiness level. Returns every failure
-/// reported by the pool; the caller's sort-and-truncate reduces that to
-/// the sequential candidate set (see the module docs for why).
-///
-/// With `attributions` set, every worker keeps a [`WorkerAttribution`]
-/// and pushes it there on exit — the contention-profiler mode behind
-/// [`Pipeline::profile_contention`]. The extra timer reads only happen in
-/// that mode; the plain sweep pays one `Option` test per seed.
-fn explore_level_parallel(
-    pipeline: &Pipeline,
-    config: &PipelineConfig,
-    stickiness: f64,
-    workers: usize,
-    attributions: Option<&Mutex<Vec<WorkerAttribution>>>,
-) -> Vec<RecordedFailure> {
-    let next = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
-    let (tx, rx) = crossbeam::channel::unbounded::<(u64, Option<RecordedFailure>)>();
-
-    std::thread::scope(|scope| {
-        for index in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let stop = &stop;
-            scope.spawn(move || {
-                let _worker_span = clap_obs::span("explore.worker");
-                let worker_start = Instant::now();
-                let mut busy = Duration::ZERO;
-                let mut seeds_run: u64 = 0;
-                let mut attr = attributions.map(|_| WorkerAttribution {
-                    worker: index,
-                    ..WorkerAttribution::default()
-                });
-                let mut vm = pristine_vm(pipeline, config);
-                loop {
-                    // The stop check precedes the claim: a claimed seed is
-                    // always run and reported, which keeps completed seeds
-                    // a contiguous prefix (the determinism invariant).
-                    let t_claim = attr.is_some().then(Instant::now);
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let seed = next.fetch_add(1, Ordering::Relaxed);
-                    if seed >= config.seed_budget {
-                        break;
-                    }
-                    if let (Some(t), Some(a)) = (t_claim, attr.as_mut()) {
-                        a.claim += t.elapsed();
-                    }
-                    let t = Instant::now();
-                    let found =
-                        run_seed(pipeline, config, stickiness, seed, &mut vm, attr.as_mut());
-                    busy += t.elapsed();
-                    seeds_run += 1;
-                    let t_send = attr.is_some().then(Instant::now);
-                    if tx.send((seed, found)).is_err() {
-                        break;
-                    }
-                    if let (Some(t), Some(a)) = (t_send, attr.as_mut()) {
-                        a.claim += t.elapsed();
-                    }
-                }
-                clap_obs::observe("explore.worker.seeds", seeds_run);
-                let wall = worker_start.elapsed();
-                let busy_pct = 100 * busy.as_nanos() as u64 / wall.as_nanos().max(1) as u64;
-                clap_obs::observe("explore.worker.busy_pct", busy_pct);
-                if let (Some(list), Some(mut a)) = (attributions, attr) {
-                    a.seeds = seeds_run;
-                    a.wall = wall;
-                    a.idle = wall.saturating_sub(a.accounted());
-                    list.lock().expect("attribution lock").push(a);
-                }
-            });
-        }
-        drop(tx);
-
-        // Collector: count failures as finalized only once all smaller
-        // seeds have completed, fire the early stop at CANDIDATES
-        // finalized failures, then drain everything still in flight.
-        let mut failures: Vec<RecordedFailure> = Vec::new();
-        let mut completed = Watermark::default();
-        let mut stopped_at: Option<Instant> = None;
-        while let Ok((seed, found)) = rx.recv() {
-            completed.complete(seed);
-            if let Some(failure) = found {
-                failures.push(failure);
-            }
-            if !stop.load(Ordering::Relaxed) {
-                let watermark = completed.watermark();
-                let finalized = failures.iter().filter(|f| f.seed < watermark).count();
-                if finalized >= CANDIDATES {
-                    stop.store(true, Ordering::Relaxed);
-                    stopped_at = Some(Instant::now());
-                }
-            }
-        }
-        // How long the pool took to drain after the early stop fired —
-        // the latency cost of invariant 1 (claimed seeds always finish).
-        if let Some(at) = stopped_at {
-            clap_obs::gauge(
-                "explore.early_stop_ns",
-                i64::try_from(at.elapsed().as_nanos()).unwrap_or(i64::MAX),
-            );
-        }
-        failures
-    })
 }
 
 /// Reduces a level's failures to the canonical candidate set — the
@@ -502,40 +1073,49 @@ fn emit_level_counters(config: &PipelineConfig, candidates: &[RecordedFailure]) 
     clap_obs::add("explore.seeds", seeds);
 }
 
-/// The engine entry point backing [`Pipeline::record_failure`].
+/// The engine entry point backing [`Pipeline::record_failure`]. One
+/// thread scope spans the whole stickiness loop: the pool (if any level
+/// goes parallel) is spawned once, parked between levels, and shut down
+/// on the way out — never respawned per level.
 pub(crate) fn record_failure(
     pipeline: &Pipeline,
     config: &PipelineConfig,
 ) -> Result<RecordedFailure, PipelineError> {
     let _span = clap_obs::span("record");
     let start = Instant::now();
-    // Small budgets finish before a worker pool would spin up; force the
-    // sequential path below the cutover (see [`SEQUENTIAL_CUTOVER`]). The
-    // candidate set is byte-identical either way.
-    let workers = if config.seed_budget < SEQUENTIAL_CUTOVER {
-        1
-    } else {
-        effective_workers(config.explore_workers)
-    };
-    for &stickiness in &config.stickiness {
-        let failures = if workers <= 1 {
-            explore_level_sequential(pipeline, config, stickiness)
-        } else {
-            explore_level_parallel(pipeline, config, stickiness, workers, None)
-        };
-        let candidates = canonical_candidates(failures);
-        emit_level_counters(config, &candidates);
-        if let Some(mut best) = select(candidates) {
-            best.record_time = start.elapsed();
-            return Ok(best);
+    let requested = effective_workers(config.explore_workers);
+    std::thread::scope(|scope| {
+        let mut pool: Option<WorkerPool> = None;
+        let mut scratch: Option<Vm<'_>> = None;
+        let mut result = Err(PipelineError::NoFailureFound);
+        for &stickiness in &config.stickiness {
+            let failures = explore_level(
+                scope,
+                pipeline,
+                config,
+                stickiness,
+                requested,
+                &mut pool,
+                &mut scratch,
+            );
+            let candidates = canonical_candidates(failures);
+            emit_level_counters(config, &candidates);
+            if let Some(mut best) = select(candidates) {
+                best.record_time = start.elapsed();
+                result = Ok(best);
+                break;
+            }
         }
-    }
-    Err(PipelineError::NoFailureFound)
+        if let Some(pool) = &pool {
+            pool.shutdown();
+        }
+        result
+    })
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Watermark;
+    use super::{chunk_size, Watermark};
 
     #[test]
     fn profile_contention_covers_worker_wall_and_renders() {
@@ -554,19 +1134,33 @@ mod tests {
         assert_eq!(profile.workers.len(), 2);
         for w in &profile.workers {
             // The five categories must reconstruct the worker's wall time:
-            // idle is the saturating remainder, so the sum can only exceed
-            // the wall by timer noise, never undershoot it.
+            // idle is the clamped remainder and overrun the clamped-away
+            // excess, so accounted + idle ≥ wall with the overrun bounding
+            // how far it exceeds it.
             let sum = w.accounted() + w.idle;
             assert!(
-                sum >= w.wall && sum.as_secs_f64() <= w.wall.as_secs_f64() * 1.1,
+                sum >= w.wall,
                 "worker {}: categories sum {sum:?} vs wall {:?}",
                 w.worker,
                 w.wall
             );
+            assert_eq!(
+                sum,
+                w.wall + w.overrun,
+                "overrun must be exactly the over-accounted excess"
+            );
         }
+        assert!(!profile.production_reason.is_empty());
         let table = profile.render_table();
         assert!(table.contains("worker"), "header row: {table}");
         assert!(table.contains("total"), "total row: {table}");
+        assert!(table.contains("over_us"), "overrun column: {table}");
+        if !profile.production_parallel {
+            assert!(
+                table.contains("NOTE: profiled path diverges"),
+                "divergence label: {table}"
+            );
+        }
         assert!(!profile.dominant_category().is_empty());
     }
 
@@ -584,5 +1178,23 @@ mod tests {
         w.complete(4);
         w.complete(3);
         assert_eq!(w.watermark(), 6);
+    }
+
+    #[test]
+    fn watermark_starting_at_skips_probe_prefix() {
+        let mut w = Watermark::starting_at(32);
+        assert_eq!(w.watermark(), 32);
+        w.complete(33);
+        assert_eq!(w.watermark(), 32);
+        w.complete(32);
+        assert_eq!(w.watermark(), 34);
+    }
+
+    #[test]
+    fn chunk_size_adapts_to_budget_and_workers() {
+        assert_eq!(chunk_size(0, 4), 1, "empty budget still claims minimally");
+        assert_eq!(chunk_size(100, 4), 1, "small budgets stay fine-grained");
+        assert_eq!(chunk_size(100_000, 4), 390);
+        assert_eq!(chunk_size(1_000_000, 4), 1024, "capped for tail balance");
     }
 }

@@ -64,6 +64,25 @@ pub enum SolverChoice {
     Auto(AutoConfig),
 }
 
+/// How [`Pipeline::record_failure`] decides, per stickiness level,
+/// whether the seed sweep runs on the persistent worker pool or stays
+/// sequential. The determinism contract makes the choice unobservable in
+/// the artifact — sequential and parallel sweeps return byte-identical
+/// results by construction — so this is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreCutover {
+    /// Decide per level from a short sequential calibration probe: go
+    /// parallel only when the estimated remaining sequential tail
+    /// amortizes the *measured* pool startup (or handoff) cost on the
+    /// usable cores. The default.
+    Adaptive,
+    /// Explicit seed-budget threshold: levels whose budget is below the
+    /// value run sequentially, everything else goes to the pool.
+    /// `Fixed(0)` forces the pool on for every level (used by tests and
+    /// the contention profiler).
+    Fixed(u64),
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -86,6 +105,9 @@ pub struct PipelineConfig {
     /// exploration engine selects candidates deterministically regardless
     /// of thread timing.
     pub explore_workers: usize,
+    /// Sequential/parallel cutover policy for the record-phase sweep,
+    /// re-evaluated for every stickiness level (see [`ExploreCutover`]).
+    pub explore_cutover: ExploreCutover,
     /// Observability sinks for this run. When any sink is configured,
     /// [`Pipeline::reproduce`] installs the global [`clap_obs`] collector
     /// before the record phase and flushes the sinks afterwards; the
@@ -106,6 +128,7 @@ impl PipelineConfig {
             solver: SolverChoice::Sequential(SolverConfig::default()),
             record_sync_order: false,
             explore_workers: 0,
+            explore_cutover: ExploreCutover::Adaptive,
             observer: Observer::none(),
         }
     }
@@ -137,6 +160,13 @@ impl PipelineConfig {
     /// Overrides the record-phase worker count (0 = one per core).
     pub fn with_explore_workers(mut self, workers: usize) -> Self {
         self.explore_workers = workers;
+        self
+    }
+
+    /// Overrides the sequential/parallel cutover policy for the
+    /// record-phase sweep.
+    pub fn with_explore_cutover(mut self, cutover: ExploreCutover) -> Self {
+        self.explore_cutover = cutover;
         self
     }
 
@@ -374,10 +404,12 @@ impl Pipeline {
     /// Sweeps one stickiness level with the exploration worker pool in
     /// *profiled* mode, attributing each worker's wall time across seed
     /// claiming, VM restore, enabled-action rebuild, VM stepping and idle
-    /// (see [`WorkerAttribution`]). Always runs the parallel engine —
-    /// even below the sequential cutover — because the point is to watch
-    /// the pool contend. The `dbgcontend` probe in `clap-bench` renders
-    /// the result as a utilization table.
+    /// (see [`WorkerAttribution`]). Always profiles the parallel engine —
+    /// a one-worker "contention" profile would answer nothing — but the
+    /// returned profile reports which path production would actually take
+    /// under the configured [`ExploreCutover`], and the rendered table is
+    /// labelled when the two diverge. The `dbgcontend` probe in
+    /// `clap-bench` renders the result as a utilization table.
     pub fn profile_contention(
         &self,
         config: &PipelineConfig,

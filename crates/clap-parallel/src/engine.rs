@@ -10,8 +10,9 @@ use crate::gen::{for_each_csp_set, preemption_point_count, Generator};
 use clap_constraints::{validate, ConstraintSystem, Schedule, Witness};
 use clap_ir::Program;
 use clap_symex::SapId;
+use crossbeam::channel::{Receiver, Sender};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Parallel-search configuration.
@@ -107,6 +108,30 @@ pub enum ParallelOutcome {
     Budget(ParallelStats),
 }
 
+/// One preemption-bound rung handed to the persistent validator pool.
+/// Workers drain `rx`, validate candidates, and send one `()` on
+/// `done_tx` when the rung's channel closes — the producer counts those
+/// to detect rung completion (the pool itself never joins between rungs).
+struct Rung {
+    rx: Receiver<(usize, Vec<SapId>)>,
+    stop: AtomicBool,
+    validated: AtomicU64,
+    good: Mutex<Vec<(Schedule, Witness)>>,
+    stop_after_good: usize,
+    done_tx: Sender<()>,
+}
+
+struct ValidatorPoolState {
+    epoch: u64,
+    rung: Option<Arc<Rung>>,
+    shutdown: bool,
+}
+
+struct ValidatorPool {
+    state: Mutex<ValidatorPoolState>,
+    cv: Condvar,
+}
+
 impl ParallelOutcome {
     /// The found schedule, if any.
     pub fn schedule(&self) -> Option<&Schedule> {
@@ -168,78 +193,128 @@ pub fn solve_parallel_cancellable(
     const BATCH_ORDERS: usize = 64;
     let n = system.trace.sap_count();
 
-    for c in config.min_cs..=config.max_cs {
-        stats.cs_bound = c;
-        if cancelled() {
-            stats.truncated = true;
-            budget_hit = true;
-            break;
-        }
-        let stop = AtomicBool::new(false);
-        let truncated = AtomicBool::new(false);
-        let validated = AtomicU64::new(0);
-        let good: Mutex<Vec<(Schedule, Witness)>> = Mutex::new(Vec::new());
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, Vec<SapId>)>(64);
-
-        let generated_this_level = std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let rx = rx.clone();
-                let stop = &stop;
-                let validated = &validated;
-                let good = &good;
-                scope.spawn(move || {
-                    let _span = clap_obs::span("parallel.validator");
-                    let worker_start = Instant::now();
-                    let mut busy = std::time::Duration::ZERO;
-                    let mut recv_wait = std::time::Duration::ZERO;
-                    let mut checked: u64 = 0;
-                    let mut scratch = Schedule {
-                        order: Vec::with_capacity(n),
+    // One validator pool for the whole preemption ladder: workers are
+    // spawned once, park on a condvar between rungs, and pick each rung
+    // up by epoch — the old per-rung scope paid a full spawn/join cycle
+    // at every bound even when a rung generated almost nothing.
+    let early = std::thread::scope(|scope| {
+        let pool = Arc::new(ValidatorPool {
+            state: Mutex::new(ValidatorPoolState {
+                epoch: 0,
+                rung: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        for _ in 0..workers {
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || {
+                let _span = clap_obs::span("parallel.validator");
+                // Scratch survives every rung of the ladder.
+                let mut scratch = Schedule {
+                    order: Vec::with_capacity(n),
+                };
+                let mut seen_epoch = 0u64;
+                loop {
+                    let rung = {
+                        let mut st = pool.state.lock().expect("validator pool lock");
+                        loop {
+                            if st.shutdown {
+                                return;
+                            }
+                            if st.epoch != seen_epoch {
+                                seen_epoch = st.epoch;
+                                break Arc::clone(st.rung.as_ref().expect("epoch implies rung"));
+                            }
+                            st = pool.cv.wait(st).expect("validator pool lock");
+                        }
                     };
+                    let rung_start = Instant::now();
+                    let mut busy = Duration::ZERO;
+                    let mut recv_wait = Duration::ZERO;
+                    let mut checked: u64 = 0;
                     loop {
                         // Time blocked on the producer: starved validators
                         // show up as a high recv-wait share, distinguishing
-                        // a generation-bound level from a validation-bound
+                        // a generation-bound rung from a validation-bound
                         // one in the contention picture.
                         let t_wait = Instant::now();
-                        let Ok((count, flat)) = rx.recv() else {
+                        let Ok((count, flat)) = rung.rx.recv() else {
                             recv_wait += t_wait.elapsed();
                             break;
                         };
                         recv_wait += t_wait.elapsed();
-                        if stop.load(Ordering::Relaxed) {
+                        if rung.stop.load(Ordering::Relaxed) {
                             continue; // drain
                         }
                         let t = Instant::now();
                         for i in 0..count {
-                            if stop.load(Ordering::Relaxed) {
+                            if rung.stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            validated.fetch_add(1, Ordering::Relaxed);
+                            rung.validated.fetch_add(1, Ordering::Relaxed);
                             checked += 1;
                             scratch.order.clear();
                             scratch.order.extend_from_slice(&flat[i * n..(i + 1) * n]);
                             if let Ok(witness) = validate(program, system, &scratch) {
-                                let mut g = good.lock().expect("good lock");
+                                let mut g = rung.good.lock().expect("good lock");
                                 g.push((scratch.clone(), witness));
-                                if g.len() >= config.stop_after_good {
-                                    stop.store(true, Ordering::Relaxed);
+                                if g.len() >= rung.stop_after_good {
+                                    rung.stop.store(true, Ordering::Relaxed);
                                 }
                             }
                         }
                         busy += t.elapsed();
                     }
                     clap_obs::observe("parallel.validator.validated", checked);
-                    let wall = worker_start.elapsed().as_nanos().max(1) as u64;
+                    let wall = rung_start.elapsed().as_nanos().max(1) as u64;
                     let busy_pct = 100 * busy.as_nanos() as u64 / wall;
                     clap_obs::observe("parallel.validator.busy_pct", busy_pct);
                     clap_obs::observe(
                         "parallel.validator.recv_wait_us",
                         recv_wait.as_micros() as u64,
                     );
-                });
+                    let _ = rung.done_tx.send(());
+                }
+            });
+        }
+
+        let shutdown = |pool: &ValidatorPool| {
+            let mut st = pool.state.lock().expect("validator pool lock");
+            st.shutdown = true;
+            st.rung = None;
+            drop(st);
+            pool.cv.notify_all();
+        };
+
+        for c in config.min_cs..=config.max_cs {
+            stats.cs_bound = c;
+            if cancelled() {
+                stats.truncated = true;
+                budget_hit = true;
+                break;
             }
+            let truncated = AtomicBool::new(false);
+            let (tx, rx) = crossbeam::channel::bounded::<(usize, Vec<SapId>)>(64);
+            let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(workers);
+            let rung = Arc::new(Rung {
+                rx,
+                stop: AtomicBool::new(false),
+                validated: AtomicU64::new(0),
+                good: Mutex::new(Vec::new()),
+                stop_after_good: config.stop_after_good,
+                done_tx,
+            });
+            {
+                let mut st = pool.state.lock().expect("validator pool lock");
+                st.epoch += 1;
+                st.rung = Some(Arc::clone(&rung));
+                drop(st);
+                pool.cv.notify_all();
+            }
+
             // Producer (this thread).
+            let stop = &rung.stop;
             let mut generator = Generator::new(program, system, config.max_generated_per_level);
             generator.set_node_budget(config.max_nodes_per_level);
             generator.set_deadline(deadline);
@@ -292,31 +367,41 @@ pub fn solve_parallel_cancellable(
                     truncated.store(true, Ordering::Relaxed);
                 }
             }
+            // Close the rung's channel, then wait for every worker's done
+            // signal: completion is counted, not inferred from joins.
             drop(tx);
-            generator.generated()
-        });
+            for _ in 0..workers {
+                let _ = done_rx.recv();
+            }
 
-        stats.generated += generated_this_level;
-        stats.validated += validated.load(Ordering::Relaxed);
-        if truncated.load(Ordering::Relaxed) {
-            stats.truncated = true;
+            stats.generated += generator.generated();
+            stats.validated += rung.validated.load(Ordering::Relaxed);
+            if truncated.load(Ordering::Relaxed) {
+                stats.truncated = true;
+            }
+            let found = std::mem::take(&mut *rung.good.lock().expect("good lock"));
+            stats.good += found.len() as u64;
+            if let Some((schedule, witness)) = found.into_iter().next() {
+                let cs = schedule.context_switches(system.trace);
+                emit_stats(&stats);
+                shutdown(&pool);
+                return Some(ParallelOutcome::Found {
+                    schedule,
+                    witness,
+                    cs,
+                    stats,
+                });
+            }
+            if stats.truncated {
+                budget_hit = true;
+                break;
+            }
         }
-        let found = good.into_inner().expect("good lock");
-        stats.good += found.len() as u64;
-        if let Some((schedule, witness)) = found.into_iter().next() {
-            let cs = schedule.context_switches(system.trace);
-            emit_stats(&stats);
-            return ParallelOutcome::Found {
-                schedule,
-                witness,
-                cs,
-                stats,
-            };
-        }
-        if stats.truncated {
-            budget_hit = true;
-            break;
-        }
+        shutdown(&pool);
+        None
+    });
+    if let Some(found) = early {
+        return found;
     }
     // A complete search must have started at bound 0, never truncated, and
     // reached a bound covering every preemption point of the trace.

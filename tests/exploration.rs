@@ -3,7 +3,7 @@
 //! byte for byte), and the early stop must neither hang nor change the
 //! selection even when failures are abundant.
 
-use clap_core::{Pipeline, PipelineConfig, RecordedFailure};
+use clap_core::{ExploreCutover, Pipeline, PipelineConfig, RecordedFailure};
 use clap_vm::MemModel;
 use std::time::{Duration, Instant};
 
@@ -48,10 +48,10 @@ fn parallel_exploration_matches_sequential_sc() {
 
 #[test]
 fn small_budgets_cut_over_to_sequential_without_changing_selection() {
-    // Seed budgets below the explore cutover (2048 seeds) run on the
-    // caller thread even when a worker pool is requested — spawning and
-    // joining workers costs more than the sweep itself. The selected
-    // artifact must be byte-identical on both sides of the threshold.
+    // Under the default adaptive cutover, small budgets run on the caller
+    // thread even when a worker pool is requested — the calibration probe
+    // sees a sweep too short to amortize pool startup. The selected
+    // artifact must be byte-identical whichever path the planner picks.
     let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
     for budget in [64, 4096] {
         let mut config = PipelineConfig::new(MemModel::Sc);
@@ -59,6 +59,73 @@ fn small_budgets_cut_over_to_sequential_without_changing_selection() {
         let (sequential, parallel) = record_pair(&pipeline, &config, 8);
         assert_identical(&sequential, &parallel);
     }
+}
+
+#[test]
+fn determinism_pinned_at_fixed_cutover_boundary() {
+    // seed_budget ∈ {cutover−1, cutover, cutover+1} with an explicit
+    // Fixed(64) policy: budget 63 stays sequential even at 8 workers,
+    // 64 and 65 go to the pool. The artifact must be byte-identical on
+    // every side of the boundary.
+    let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+    for budget in [63, 64, 65] {
+        let mut config =
+            PipelineConfig::new(MemModel::Sc).with_explore_cutover(ExploreCutover::Fixed(64));
+        config.seed_budget = budget;
+        let (sequential, parallel) = record_pair(&pipeline, &config, 8);
+        assert_identical(&sequential, &parallel);
+    }
+}
+
+#[test]
+fn forced_pool_matches_sequential_with_chunked_claiming() {
+    // Fixed(0) forces the pool on regardless of host cores or probe
+    // estimates, so this exercises the chunked claim + watermark early
+    // stop even where the adaptive policy would stay sequential.
+    let pipeline = Pipeline::from_source(LOST_UPDATE).unwrap();
+    let mut config =
+        PipelineConfig::new(MemModel::Sc).with_explore_cutover(ExploreCutover::Fixed(0));
+    config.seed_budget = 5_000;
+    let (sequential, parallel) = record_pair(&pipeline, &config, 4);
+    assert_identical(&sequential, &parallel);
+}
+
+#[test]
+fn pool_threads_spawn_at_most_once_per_sweep() {
+    // A correct program: every stickiness level sweeps its full budget,
+    // so a pool respawned per level would report spawned = levels ×
+    // workers. The persistent pool must report exactly `workers`.
+    let pipeline = Pipeline::from_source(
+        "global int x = 0;
+         mutex m;
+         fn w() { lock(m); let v: int = x; x = v + 1; unlock(m); }
+         fn main() { let a: thread = fork w(); let b: thread = fork w();
+                     join a; join b; assert(x == 2, \"never fails\"); }",
+    )
+    .unwrap();
+    let mut config = PipelineConfig::new(MemModel::Sc)
+        .with_explore_workers(3)
+        .with_explore_cutover(ExploreCutover::Fixed(0)); // force the pool on
+    config.seed_budget = 200;
+    config.stickiness = vec![0.9, 0.7, 0.5];
+
+    let _l = clap_obs::test_lock();
+    clap_obs::reset();
+    clap_obs::enable();
+    let result = pipeline.record_failure(&config);
+    clap_obs::disable();
+    let snap = clap_obs::snapshot();
+    assert!(result.is_err(), "the program is correct; no failure exists");
+    assert_eq!(
+        snap.counters.get("explore.levels"),
+        Some(&3),
+        "all three stickiness levels swept"
+    );
+    assert_eq!(
+        snap.gauges.get("explore.pool.spawned"),
+        Some(&3),
+        "worker threads spawned once per sweep, not once per level"
+    );
 }
 
 #[test]
