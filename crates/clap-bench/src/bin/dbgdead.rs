@@ -192,5 +192,13 @@ fn short(trace: &SymTrace, s: SapId) -> String {
         SapKind::Broadcast(c) => format!("bc{}", c.0),
         SapKind::Fork { child } => format!("fork{}", child.0),
         SapKind::Join { child } => format!("join{}", child.0),
+        SapKind::Send { chan, .. } => format!("snd{}", chan.0),
+        SapKind::Recv { chan, .. } => format!("rcv{}", chan.0),
+        SapKind::TrySend { chan, .. } => format!("tsnd{}", chan.0),
+        SapKind::TryRecv { chan, .. } => format!("trcv{}", chan.0),
+        SapKind::ChanClose(c) => format!("cls{}", c.0),
+        SapKind::SpawnActor { child } => format!("spawn{}", child.0),
+        SapKind::MailboxSend { target, .. } => format!("mbs{}", target.0),
+        SapKind::MailboxRecv { .. } => "mbr".into(),
     }
 }

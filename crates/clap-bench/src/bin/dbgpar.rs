@@ -82,6 +82,7 @@ fn main() {
                     Err(ValidationError::OrderViolation { .. }) => "order",
                     Err(ValidationError::LockViolation { .. }) => "lock",
                     Err(ValidationError::UnmatchedWait { .. }) => "wait",
+                    Err(ValidationError::ChannelViolation { .. }) => "chan",
                     Err(ValidationError::BadAddress { .. }) => "addr",
                 };
                 clap_obs::add(&format!("dbgpar.level{c}.outcome.{label}"), 1);

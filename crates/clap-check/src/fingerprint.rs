@@ -84,6 +84,65 @@ pub enum Event {
         /// Condvar index.
         cond: u32,
     },
+    /// Channel send completed (value enqueued or rendezvoused; sends on a
+    /// closed channel complete too — the drop is itself visible ordering).
+    ChanSend {
+        /// Executing thread.
+        thread: Lineage,
+        /// Channel index.
+        chan: u32,
+    },
+    /// Channel receive completed.
+    ChanRecv {
+        /// Executing thread.
+        thread: Lineage,
+        /// Channel index.
+        chan: u32,
+    },
+    /// Non-blocking channel send.
+    ChanTrySend {
+        /// Executing thread.
+        thread: Lineage,
+        /// Channel index.
+        chan: u32,
+        /// Whether the value was enqueued.
+        ok: bool,
+    },
+    /// Non-blocking channel receive.
+    ChanTryRecv {
+        /// Executing thread.
+        thread: Lineage,
+        /// Channel index.
+        chan: u32,
+        /// Whether a value was dequeued.
+        ok: bool,
+    },
+    /// Channel closed.
+    ChanClose {
+        /// Executing thread.
+        thread: Lineage,
+        /// Channel index.
+        chan: u32,
+    },
+    /// Actor spawned.
+    SpawnActor {
+        /// The spawning thread.
+        thread: Lineage,
+        /// The new actor thread.
+        child: Lineage,
+    },
+    /// Mailbox append.
+    MailboxSend {
+        /// Executing thread.
+        thread: Lineage,
+        /// The mailbox owner.
+        target: Lineage,
+    },
+    /// Mailbox dequeue completed.
+    MailboxRecv {
+        /// Executing thread.
+        thread: Lineage,
+    },
 }
 
 impl Event {
@@ -98,7 +157,15 @@ impl Event {
             | Event::Join { thread, .. }
             | Event::Wait { thread, .. }
             | Event::Signal { thread, .. }
-            | Event::Broadcast { thread, .. } => thread,
+            | Event::Broadcast { thread, .. }
+            | Event::ChanSend { thread, .. }
+            | Event::ChanRecv { thread, .. }
+            | Event::ChanTrySend { thread, .. }
+            | Event::ChanTryRecv { thread, .. }
+            | Event::ChanClose { thread, .. }
+            | Event::SpawnActor { thread, .. }
+            | Event::MailboxSend { thread, .. }
+            | Event::MailboxRecv { thread } => thread,
         }
     }
 }
@@ -264,6 +331,28 @@ impl FingerprintMonitor {
                         SyncEvent::Wait(c, _) => Event::Wait { thread, cond: c.0 },
                         SyncEvent::Signal(c) => Event::Signal { thread, cond: c.0 },
                         SyncEvent::Broadcast(c) => Event::Broadcast { thread, cond: c.0 },
+                        SyncEvent::ChanSend(ch) => Event::ChanSend { thread, chan: ch.0 },
+                        SyncEvent::ChanRecv(ch) => Event::ChanRecv { thread, chan: ch.0 },
+                        SyncEvent::ChanTrySend(ch, ok) => Event::ChanTrySend {
+                            thread,
+                            chan: ch.0,
+                            ok: *ok,
+                        },
+                        SyncEvent::ChanTryRecv(ch, ok) => Event::ChanTryRecv {
+                            thread,
+                            chan: ch.0,
+                            ok: *ok,
+                        },
+                        SyncEvent::ChanClose(ch) => Event::ChanClose { thread, chan: ch.0 },
+                        SyncEvent::SpawnActor(child) => Event::SpawnActor {
+                            thread,
+                            child: lin(*child),
+                        },
+                        SyncEvent::MailboxSend(owner) => Event::MailboxSend {
+                            thread,
+                            target: lin(*owner),
+                        },
+                        SyncEvent::MailboxRecv => Event::MailboxRecv { thread },
                     }
                 }
             })

@@ -150,6 +150,202 @@ impl ProgramSpec {
     }
 }
 
+/// One worker operation template for channel programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanOp {
+    /// Blocking `send(ch, v)`. Drops the value when the channel is
+    /// already closed — the lost-close race.
+    Send(i64),
+    /// Blocking `recv(ch)` folded into `sum` under the lock. Yields `-1`
+    /// once the channel is closed and drained.
+    Recv,
+    /// `try_send(ch, v)`: sheds the value when the queue is full, adding
+    /// the 0/1 outcome to `sent`.
+    TrySend(i64),
+    /// `try_recv(ch)`: non-negative results fold into `sum`; an empty
+    /// queue yields `-1`, which is skipped.
+    TryRecv,
+    /// `close(ch)` from a worker (main also always closes after forking,
+    /// so no generated program can deadlock on a starved `recv`).
+    Close,
+}
+
+/// A generated channel/actor program: a bounded channel of capacity
+/// 0–3, one op list per worker, and an optional actor mailbox leg.
+///
+/// The skeleton guarantees termination on *every* interleaving: main
+/// closes the channel right after forking, so blocked senders drop and
+/// blocked receivers drain to `-1` once the close lands. The final
+/// assert demands the full-delivery outcome (`sum` equals the sum of
+/// every sent value, all `try_send`s accepted), so any shed, dropped, or
+/// drained message fails it on the schedules where the race bites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChanSpec {
+    /// Channel capacity (0 = rendezvous).
+    pub cap: usize,
+    /// Worker bodies, in fork order.
+    pub workers: Vec<Vec<ChanOp>>,
+    /// Values main delivers to a `spawn_actor` mailbox (empty = no
+    /// actor leg).
+    pub actor_msgs: Vec<i64>,
+}
+
+impl ChanSpec {
+    /// Deterministically derives a spec from `seed`: capacity 0–3, 1–3
+    /// workers of 1–3 ops each, and an actor leg on half the seeds. If
+    /// no worker ever receives, a `Recv` is appended to the last worker
+    /// so sends have at least one potential partner.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let cap = rng.gen_range(0..4usize);
+        let workers: Vec<Vec<ChanOp>> = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                (0..rng.gen_range(1..4usize))
+                    .map(|_| match rng.gen_range(0..8usize) {
+                        0 | 1 => ChanOp::Send(rng.gen_range(1i64..6)),
+                        2 | 3 => ChanOp::Recv,
+                        4 => ChanOp::TrySend(rng.gen_range(1i64..6)),
+                        5 => ChanOp::TryRecv,
+                        6 => ChanOp::Close,
+                        _ => ChanOp::Recv,
+                    })
+                    .collect()
+            })
+            .collect();
+        let actor_msgs = if rng.gen_range(0..2usize) == 1 {
+            (0..rng.gen_range(1..3usize))
+                .map(|_| rng.gen_range(1i64..6))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut spec = ChanSpec {
+            cap,
+            workers,
+            actor_msgs,
+        };
+        let receives = spec
+            .workers
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, ChanOp::Recv | ChanOp::TryRecv));
+        let sends = spec
+            .workers
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, ChanOp::Send(_) | ChanOp::TrySend(_)));
+        if sends && !receives {
+            spec.workers
+                .last_mut()
+                .expect("≥1 worker")
+                .push(ChanOp::Recv);
+        }
+        spec
+    }
+
+    /// Sum of every value any op might deliver — the full-delivery
+    /// outcome the assert demands.
+    fn total(&self) -> i64 {
+        let chan: i64 = self
+            .workers
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                ChanOp::Send(v) | ChanOp::TrySend(v) => *v,
+                _ => 0,
+            })
+            .sum();
+        chan + self.actor_msgs.iter().sum::<i64>()
+    }
+
+    /// Number of `try_send` ops (the expected value of `sent` under full
+    /// delivery).
+    fn try_sends(&self) -> i64 {
+        self.workers
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, ChanOp::TrySend(_)))
+            .count() as i64
+    }
+
+    /// Renders the spec to `.clap` source.
+    pub fn source(&self) -> String {
+        let mut out = String::from("global int sum = 0; global int sent = 0;\nmutex m;\n");
+        let _ = writeln!(out, "chan ch({});", self.cap);
+        for (w, ops) in self.workers.iter().enumerate() {
+            let _ = writeln!(out, "fn w{w}() {{");
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    ChanOp::Send(v) => {
+                        let _ = writeln!(out, "  send(ch, {v});");
+                    }
+                    ChanOp::Recv => {
+                        let _ = writeln!(
+                            out,
+                            "  let r{i}: int = recv(ch); \
+                             lock(m); sum = sum + r{i}; unlock(m);"
+                        );
+                    }
+                    ChanOp::TrySend(v) => {
+                        let _ = writeln!(
+                            out,
+                            "  let o{i}: int = try_send(ch, {v}); \
+                             lock(m); sent = sent + o{i}; unlock(m);"
+                        );
+                    }
+                    ChanOp::TryRecv => {
+                        let _ = writeln!(
+                            out,
+                            "  let r{i}: int = try_recv(ch); \
+                             lock(m); if (r{i} >= 0) {{ sum = sum + r{i}; }} unlock(m);"
+                        );
+                    }
+                    ChanOp::Close => {
+                        let _ = writeln!(out, "  close(ch);");
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        if !self.actor_msgs.is_empty() {
+            let _ = writeln!(out, "fn act() {{");
+            for (i, _) in self.actor_msgs.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  let a{i}: int = mailbox_recv(); \
+                     lock(m); sum = sum + a{i}; unlock(m);"
+                );
+            }
+            out.push_str("}\n");
+        }
+        out.push_str("fn main() {\n");
+        for w in 0..self.workers.len() {
+            let _ = writeln!(out, "  let h{w}: thread = fork w{w}();");
+        }
+        if !self.actor_msgs.is_empty() {
+            out.push_str("  let ha: thread = spawn_actor act();\n");
+            for v in &self.actor_msgs {
+                let _ = writeln!(out, "  mailbox_send(ha, {v});");
+            }
+        }
+        out.push_str("  close(ch);\n");
+        for w in 0..self.workers.len() {
+            let _ = writeln!(out, "  join h{w};");
+        }
+        if !self.actor_msgs.is_empty() {
+            out.push_str("  join ha;\n");
+        }
+        let _ = writeln!(
+            out,
+            "  assert(sum == {} && sent == {}, \"full delivery\");",
+            self.total(),
+            self.try_sends()
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +367,59 @@ mod tests {
             let awaits = spec.count(|op| op == WorkerOp::AwaitReady);
             let notifies = spec.count(|op| op == WorkerOp::NotifyReady);
             assert!(awaits == 0 || notifies > 0, "seed {seed}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn chan_generation_is_deterministic_and_parses() {
+        for seed in 0..50 {
+            let spec = ChanSpec::from_seed(seed);
+            assert_eq!(spec, ChanSpec::from_seed(seed), "seed {seed}");
+            let src = spec.source();
+            clap_ir::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn chan_generator_covers_every_template_and_cap() {
+        let mut ops = [false; 5];
+        let mut caps = [false; 4];
+        let mut actor = false;
+        for seed in 0..200 {
+            let spec = ChanSpec::from_seed(seed);
+            caps[spec.cap] = true;
+            actor |= !spec.actor_msgs.is_empty();
+            for &op in spec.workers.iter().flatten() {
+                let i = match op {
+                    ChanOp::Send(_) => 0,
+                    ChanOp::Recv => 1,
+                    ChanOp::TrySend(_) => 2,
+                    ChanOp::TryRecv => 3,
+                    ChanOp::Close => 4,
+                };
+                ops[i] = true;
+            }
+        }
+        assert_eq!(ops, [true; 5], "200 seeds hit every channel op");
+        assert_eq!(caps, [true; 4], "200 seeds hit every capacity 0–3");
+        assert!(actor, "200 seeds include actor legs");
+    }
+
+    #[test]
+    fn chan_sends_always_have_a_potential_receiver() {
+        for seed in 0..500 {
+            let spec = ChanSpec::from_seed(seed);
+            let sends = spec
+                .workers
+                .iter()
+                .flatten()
+                .any(|op| matches!(op, ChanOp::Send(_) | ChanOp::TrySend(_)));
+            let receives = spec
+                .workers
+                .iter()
+                .flatten()
+                .any(|op| matches!(op, ChanOp::Recv | ChanOp::TryRecv));
+            assert!(!sends || receives, "seed {seed}: {spec:?}");
         }
     }
 

@@ -196,6 +196,9 @@ pub fn enumerate_with_shared(
     clap_obs::add("check.oracle.executions", r.executions);
     clap_obs::add("check.oracle.failing", r.failing.len() as u64);
     clap_obs::add("check.oracle.bound_prunes", r.bound_prunes);
+    // Deadlocked leaves are part of the channel contract (blocked sends
+    // and recvs with no matching peer), so they get their own counter.
+    clap_obs::add("check.oracle.deadlocks", r.deadlocks);
     e.report
 }
 
@@ -485,6 +488,14 @@ pub fn schedule_of_choices(
                                 | SapPreviewKind::Fork
                                 | SapPreviewKind::Join
                                 | SapPreviewKind::WaitRelease(_)
+                                | SapPreviewKind::ChanSend(_)
+                                | SapPreviewKind::ChanRecv(_)
+                                | SapPreviewKind::ChanTrySend(_)
+                                | SapPreviewKind::ChanTryRecv(_)
+                                | SapPreviewKind::ChanClose(_)
+                                | SapPreviewKind::SpawnActor
+                                | SapPreviewKind::MailboxSend
+                                | SapPreviewKind::MailboxRecv
                         ) {
                             flush_buffer_of(&vm, &mut order);
                         }

@@ -88,6 +88,11 @@ fn candidates(module: &Module) -> Vec<Module> {
         m.conds.remove(i);
         out.push(m);
     }
+    for i in 0..module.chans.len() {
+        let mut m = module.clone();
+        m.chans.remove(i);
+        out.push(m);
+    }
     out
 }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! clap-reproduce check     [prog.clap] [--all-examples] [--model sc,tso,pso]
-//!                          [--fuzz N] [--fuzz-seed S] [--max-preemptions K]
+//!                          [--fuzz N] [--chan-fuzz N] [--fuzz-seed S]
+//!                          [--max-preemptions K]
 //!                          [--max-executions N] [--strict-record]
 //!                          [--shrink-out PATH] [--budget N] [--solver ...]
 //! clap-reproduce dump      prog.clap                    pretty-print the lowered CFG
@@ -41,7 +42,7 @@
 //! `about:tracing`), `--metrics <path>` writes the JSONL metric stream,
 //! and `-v`/`--verbose` prints the collector summary to stderr.
 
-use clap_check::{DiffConfig, ProgramSpec};
+use clap_check::{ChanSpec, DiffConfig, ProgramSpec};
 use clap_core::{
     AutoConfig, ExploreCutover, Pipeline, PipelineConfig, ReproductionReport, SolverChoice,
 };
@@ -101,7 +102,8 @@ differential checking (check):
   --all-examples           check every .clap under --examples-dir (default examples)
   --model a,b,...          memory models to cross-check (default sc)
   --fuzz N                 also check N seeded random programs
-  --fuzz-seed S            base seed for --fuzz (default 0; case i uses S+i)
+  --chan-fuzz N            also check N seeded random channel/actor programs
+  --fuzz-seed S            base seed for --fuzz/--chan-fuzz (default 0; case i uses S+i)
   --max-preemptions K      oracle preemption bound (default 2)
   --max-executions N       oracle execution cap (default 200000)
   --strict-record          treat record-phase misses as hard disagreements
@@ -140,6 +142,7 @@ struct Options {
     all_examples: bool,
     examples_dir: String,
     fuzz: u64,
+    chan_fuzz: u64,
     fuzz_seed: u64,
     max_preemptions: usize,
     max_executions: u64,
@@ -205,6 +208,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         all_examples: false,
         examples_dir: "examples".into(),
         fuzz: 0,
+        chan_fuzz: 0,
         fuzz_seed: 0,
         max_preemptions: 2,
         max_executions: 200_000,
@@ -279,6 +283,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--fuzz" => {
                 let v = it.next().ok_or("--fuzz needs a case count")?;
                 options.fuzz = v.parse().map_err(|_| format!("bad fuzz count `{v}`"))?;
+            }
+            "--chan-fuzz" => {
+                let v = it.next().ok_or("--chan-fuzz needs a case count")?;
+                options.chan_fuzz = v
+                    .parse()
+                    .map_err(|_| format!("bad chan-fuzz count `{v}`"))?;
             }
             "--fuzz-seed" => {
                 let v = it.next().ok_or("--fuzz-seed needs a value")?;
@@ -708,8 +718,16 @@ fn check(options: &Options) -> Result<(), String> {
         let source = ProgramSpec::from_seed(seed).source();
         targets.push((format!("fuzz:{seed}"), source));
     }
+    for i in 0..options.chan_fuzz {
+        let seed = options.fuzz_seed.wrapping_add(i);
+        let source = ChanSpec::from_seed(seed).source();
+        targets.push((format!("chan-fuzz:{seed}"), source));
+    }
     if targets.is_empty() {
-        return Err("check: nothing to check (give a file, --all-examples, or --fuzz N)".into());
+        return Err(
+            "check: nothing to check (give a file, --all-examples, --fuzz N, or --chan-fuzz N)"
+                .into(),
+        );
     }
 
     let mut hard: Option<(String, String)> = None;
@@ -719,7 +737,8 @@ fn check(options: &Options) -> Result<(), String> {
             clap_check::diff_source(source, &config).map_err(|e| format!("{name}: {e}"))?;
         checked += 1;
         let ok = report.ok();
-        if ok && options.fuzz > 0 && name.starts_with("fuzz:") && !options.verbose {
+        let is_fuzz_target = name.starts_with("fuzz:") || name.starts_with("chan-fuzz:");
+        if ok && is_fuzz_target && !options.verbose {
             continue; // keep fuzz output to failures only
         }
         println!("{name}:");

@@ -67,6 +67,13 @@ pub fn count(system: &ConstraintSystem<'_>) -> ConstraintStats {
         match_vars += sg;
         so_clauses += 2 * sg + 1;
     }
+    for r in &system.recvs {
+        // Send/recv matching mirrors wait/signal: one binary variable per
+        // candidate send, plus one for the drained-after-close outcome.
+        let cands = r.sends.len() + usize::from(!r.closes.is_empty());
+        match_vars += cands;
+        so_clauses += 2 * cands + 1;
+    }
     // fork/join partial-order edges are part of F_so.
     let fork_join_edges = system.hard_edges.len() - system.mo_edge_count;
     so_clauses += fork_join_edges;

@@ -32,6 +32,7 @@ pub mod validate;
 pub use count::{count, ConstraintStats};
 pub use schedule::Schedule;
 pub use system::{
-    ConstraintSystem, LockRegion, ReadConstraint, ReadSource, SyncOrderMismatch, WaitConstraint,
+    ConstraintSystem, LockRegion, ReadConstraint, ReadSource, RecvConstraint, SyncOrderMismatch,
+    WaitConstraint,
 };
 pub use validate::{validate, ValidationError, Witness};

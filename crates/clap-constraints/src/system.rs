@@ -20,7 +20,7 @@
 //!   accesses whose index expressions are not concrete.
 
 use crate::schedule::Schedule;
-use clap_ir::{CondId, GlobalId, MutexId, Program};
+use clap_ir::{ChanId, CondId, GlobalId, MutexId, Program};
 use clap_profile as clap_profile_sync;
 use clap_symex::{SapId, SapKind, SymAddr, SymTrace, SymVarId, ThreadIdx};
 use clap_vm::MemModel;
@@ -76,6 +76,24 @@ pub struct WaitConstraint {
     pub broadcasts: Vec<SapId>,
 }
 
+/// A channel/mailbox receive's matching problem (`F_so`, send/recv
+/// matching). Mirrors [`WaitConstraint`]: the solver picks the send the
+/// receive observes (consumed exclusively, FIFO legality re-checked by the
+/// validator), or — for channel recvs with a close in the trace — the
+/// "drained" outcome where a close precedes the recv and it returns `-1`.
+#[derive(Debug, Clone)]
+pub struct RecvConstraint {
+    /// The receive-completion SAP (`recv` or `mailbox_recv`).
+    pub recv: SapId,
+    /// Its symbolic result variable.
+    pub var: SymVarId,
+    /// Candidate sends it may take its value from (`send` / `try_send`
+    /// SAPs on the same channel, or `mailbox_send`s targeting the thread).
+    pub sends: Vec<SapId>,
+    /// Close SAPs enabling the `-1` drained outcome (channel recvs only).
+    pub closes: Vec<SapId>,
+}
+
 /// The assembled constraint system.
 #[derive(Debug, Clone)]
 pub struct ConstraintSystem<'t> {
@@ -92,6 +110,8 @@ pub struct ConstraintSystem<'t> {
     pub lock_regions: HashMap<MutexId, Vec<LockRegion>>,
     /// Wait/signal matching, one row per completed wait.
     pub waits: Vec<WaitConstraint>,
+    /// Channel/mailbox send-recv matching, one row per completed receive.
+    pub recvs: Vec<RecvConstraint>,
     /// Number of hard edges contributed by `F_mo` alone (Table 1 stats).
     pub mo_edge_count: usize,
 }
@@ -137,7 +157,7 @@ impl<'t> ConstraintSystem<'t> {
             let _ = t;
             for &s in thread_saps {
                 match trace.sap(s).kind {
-                    SapKind::Fork { child } => {
+                    SapKind::Fork { child } | SapKind::SpawnActor { child } => {
                         for &cs in &trace.per_thread[child.index()] {
                             hard_edges.push((s, cs));
                         }
@@ -224,6 +244,105 @@ impl<'t> ConstraintSystem<'t> {
             }
         }
 
+        // ---- F_so: channel/mailbox send-recv matching ----
+        let mut sends_by_chan: HashMap<ChanId, Vec<SapId>> = HashMap::new();
+        let mut closes_by_chan: HashMap<ChanId, Vec<SapId>> = HashMap::new();
+        let mut mailbox_sends: HashMap<ThreadIdx, Vec<SapId>> = HashMap::new();
+        // Per channel: blocking sends, blocking recvs, and whether try_*
+        // or close operations taint the static FIFO analysis below.
+        let mut fifo: HashMap<ChanId, (Vec<SapId>, Vec<SapId>, bool)> = HashMap::new();
+        for (i, sap) in trace.saps.iter().enumerate() {
+            let s = SapId(i as u32);
+            match sap.kind {
+                SapKind::Send { chan, .. } => {
+                    sends_by_chan.entry(chan).or_default().push(s);
+                    fifo.entry(chan).or_default().0.push(s);
+                }
+                SapKind::TrySend { chan, .. } => {
+                    sends_by_chan.entry(chan).or_default().push(s);
+                    fifo.entry(chan).or_default().2 = true;
+                }
+                SapKind::Recv { chan, .. } => {
+                    fifo.entry(chan).or_default().1.push(s);
+                }
+                SapKind::TryRecv { chan, .. } => {
+                    fifo.entry(chan).or_default().2 = true;
+                }
+                SapKind::ChanClose(c) => {
+                    closes_by_chan.entry(c).or_default().push(s);
+                    fifo.entry(c).or_default().2 = true;
+                }
+                SapKind::MailboxSend { target, .. } => {
+                    mailbox_sends.entry(target).or_default().push(s);
+                }
+                _ => {}
+            }
+        }
+        let mut recvs = Vec::new();
+        for (i, sap) in trace.saps.iter().enumerate() {
+            let s = SapId(i as u32);
+            // A same-thread send program-order after the receive can never
+            // be its source (channel ops are fences in every model).
+            let po_ok = |w: &&SapId| {
+                let ws = trace.sap(**w);
+                !(ws.thread == sap.thread && ws.po > sap.po)
+            };
+            match sap.kind {
+                SapKind::Recv { chan, var } => recvs.push(RecvConstraint {
+                    recv: s,
+                    var,
+                    sends: sends_by_chan
+                        .get(&chan)
+                        .map(|v| v.iter().filter(po_ok).copied().collect())
+                        .unwrap_or_default(),
+                    closes: closes_by_chan.get(&chan).cloned().unwrap_or_default(),
+                }),
+                SapKind::MailboxRecv { var } => recvs.push(RecvConstraint {
+                    recv: s,
+                    var,
+                    sends: mailbox_sends
+                        .get(&sap.thread)
+                        .map(|v| v.iter().filter(po_ok).copied().collect())
+                        .unwrap_or_default(),
+                    closes: Vec::new(),
+                }),
+                _ => {}
+            }
+        }
+
+        // ---- F_so: capacity-induced FIFO edges ----
+        // When a channel's traffic is one sending thread and one receiving
+        // thread using only blocking send/recv and the channel is never
+        // closed, FIFO matching is forced: the k-th send pairs with the
+        // k-th recv, and the (k+cap)-th send must wait for the k-th recv
+        // to free a slot (cap 0 behaves as the 1-slot rendezvous buffer).
+        let mut chans: Vec<_> = fifo.iter().collect();
+        chans.sort_by_key(|(c, _)| **c);
+        for (chan, (sends, chan_recvs, tainted)) in chans {
+            if *tainted {
+                continue;
+            }
+            let one_thread = |v: &[SapId]| {
+                v.iter()
+                    .map(|&s| trace.sap(s).thread)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len()
+                    <= 1
+            };
+            if !one_thread(sends) || !one_thread(chan_recvs) {
+                continue;
+            }
+            let cap = program.chans[chan.index()].cap.max(1);
+            for k in 0..sends.len().min(chan_recvs.len()) {
+                hard_edges.push((sends[k], chan_recvs[k]));
+            }
+            for k in 0..chan_recvs.len() {
+                if k + cap < sends.len() {
+                    hard_edges.push((chan_recvs[k], sends[k + cap]));
+                }
+            }
+        }
+
         // ---- F_rw: read-write matching ----
         let mut writes_by_global: HashMap<GlobalId, Vec<SapId>> = HashMap::new();
         for (i, sap) in trace.saps.iter().enumerate() {
@@ -278,6 +397,7 @@ impl<'t> ConstraintSystem<'t> {
             reads,
             lock_regions,
             waits,
+            recvs,
             mo_edge_count,
         }
     }
@@ -629,6 +749,155 @@ pub(crate) mod tests {
         let wf = *writer.last().unwrap();
         assert!(sys.hard_edges.contains(&(wd, lock)));
         assert!(sys.hard_edges.contains(&(lock, wf)) || sys.hard_edges.contains(&(writer[2], wf)));
+    }
+
+    const CHAN_LOST_CLOSE: &str = "global int sum = 0;
+         chan ch(1);
+         fn producer() { send(ch, 5); send(ch, 7); }
+         fn consumer() {
+             let a: int = recv(ch);
+             let b: int = recv(ch);
+             sum = a + b;
+         }
+         fn main() {
+             let p: thread = fork producer();
+             let c: thread = fork consumer();
+             close(ch);
+             join p; join c;
+             assert(sum == 12, \"lost send\");
+         }";
+
+    #[test]
+    fn recv_constraints_list_sends_and_closes() {
+        let (program, trace) = build_failure(CHAN_LOST_CLOSE, MemModel::Sc, 2000);
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        // Every completed recv gets a row; each row's candidates are
+        // exactly the trace's sends on that channel, and the close SAP
+        // enables the drained `-1` outcome.
+        assert!(!sys.recvs.is_empty(), "completed recvs must produce rows");
+        for rc in &sys.recvs {
+            assert!(matches!(trace.sap(rc.recv).kind, SapKind::Recv { .. }));
+            for &s in &rc.sends {
+                assert!(matches!(
+                    trace.sap(s).kind,
+                    SapKind::Send { .. } | SapKind::TrySend { .. }
+                ));
+            }
+            assert_eq!(rc.closes.len(), 1, "one close in the program");
+            assert!(matches!(
+                trace.sap(rc.closes[0]).kind,
+                SapKind::ChanClose(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn mailbox_recvs_match_only_their_targeted_sends() {
+        let src = "global int got = 0;
+             fn act() {
+                 let a: int = mailbox_recv();
+                 got = a;
+             }
+             fn main() {
+                 let h: thread = spawn_actor act();
+                 mailbox_send(h, 3);
+                 let snap: int = got;
+                 join h;
+                 assert(snap == 3, \"actor raced main\");
+             }";
+        let (program, trace) = build_failure(src, MemModel::Sc, 2000);
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let rows: Vec<_> = sys
+            .recvs
+            .iter()
+            .filter(|rc| matches!(trace.sap(rc.recv).kind, SapKind::MailboxRecv { .. }))
+            .collect();
+        assert!(
+            !rows.is_empty(),
+            "completed mailbox recv must produce a row"
+        );
+        for rc in rows {
+            let me = trace.sap(rc.recv).thread;
+            assert!(rc.closes.is_empty(), "mailboxes have no close");
+            assert!(!rc.sends.is_empty());
+            for &s in &rc.sends {
+                let SapKind::MailboxSend { target, .. } = trace.sap(s).kind else {
+                    panic!("mailbox candidates must be mailbox sends");
+                };
+                assert_eq!(target, me, "candidate targets the receiving actor");
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_capacity_edges_for_untainted_two_thread_channel() {
+        // One sending thread, one receiving thread, blocking ops only,
+        // never closed: the k-th send must precede the k-th recv, and
+        // the (k+cap)-th send must follow the k-th recv.
+        let src = "global int sum = 0; global int x = 0;
+             chan ch(1);
+             fn producer() { send(ch, 5); send(ch, 7); x = 1; }
+             fn consumer() {
+                 let a: int = recv(ch);
+                 let b: int = recv(ch);
+                 sum = a + b;
+             }
+             fn main() {
+                 let p: thread = fork producer();
+                 let c: thread = fork consumer();
+                 join p; join c;
+                 let r: int = x;
+                 assert(sum == 12 && r == 0, \"always fails: x is 1\");
+             }";
+        let (program, trace) = build_failure(src, MemModel::Sc, 2000);
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let sends: Vec<SapId> = trace
+            .saps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SapKind::Send { .. }))
+            .map(|(i, _)| SapId(i as u32))
+            .collect();
+        let recvs: Vec<SapId> = trace
+            .saps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SapKind::Recv { .. }))
+            .map(|(i, _)| SapId(i as u32))
+            .collect();
+        assert_eq!((sends.len(), recvs.len()), (2, 2));
+        assert!(sys.hard_edges.contains(&(sends[0], recvs[0])));
+        assert!(sys.hard_edges.contains(&(sends[1], recvs[1])));
+        // cap 1: the second send needs the first recv's slot.
+        assert!(sys.hard_edges.contains(&(recvs[0], sends[1])));
+    }
+
+    #[test]
+    fn closed_channels_get_no_fifo_edges() {
+        // The close taints the static FIFO analysis: a recv may drain
+        // `-1` instead of pairing with a send, so no forced edges.
+        let (program, trace) = build_failure(CHAN_LOST_CLOSE, MemModel::Sc, 2000);
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let sends: Vec<SapId> = trace
+            .saps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SapKind::Send { .. }))
+            .map(|(i, _)| SapId(i as u32))
+            .collect();
+        let recvs: Vec<SapId> = trace
+            .saps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SapKind::Recv { .. }))
+            .map(|(i, _)| SapId(i as u32))
+            .collect();
+        for &s in &sends {
+            for &r in &recvs {
+                assert!(!sys.hard_edges.contains(&(s, r)), "no forced send→recv");
+                assert!(!sys.hard_edges.contains(&(r, s)), "no forced recv→send");
+            }
+        }
     }
 }
 

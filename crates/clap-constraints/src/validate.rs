@@ -37,6 +37,13 @@ pub enum ValidationError {
         /// The wait-completion SAP.
         wait: SapId,
     },
+    /// A channel or mailbox operation is illegal at its position.
+    ChannelViolation {
+        /// The offending SAP.
+        sap: SapId,
+        /// Description.
+        reason: String,
+    },
     /// An address expression evaluated out of bounds (or not at all).
     BadAddress {
         /// The offending SAP.
@@ -62,6 +69,9 @@ impl fmt::Display for ValidationError {
                 write!(f, "lock violation at {sap}: {reason}")
             }
             ValidationError::UnmatchedWait { wait } => write!(f, "unmatched wait {wait}"),
+            ValidationError::ChannelViolation { sap, reason } => {
+                write!(f, "channel violation at {sap}: {reason}")
+            }
             ValidationError::BadAddress { sap } => write!(f, "bad address at {sap}"),
             ValidationError::PathViolation { index } => {
                 write!(f, "path condition {index} violated")
@@ -126,6 +136,29 @@ pub fn validate(
     let mut consumed: HashMap<SapId, bool> = HashMap::new();
     let mut broadcast_pos: HashMap<SapId, u32> = HashMap::new();
     let mut reads_from = Vec::new();
+    // Channel state: FIFO queues, closed flags, per-thread mailboxes.
+    let mut chan_q: Vec<std::collections::VecDeque<i64>> =
+        vec![Default::default(); program.chans.len()];
+    let mut chan_closed: Vec<bool> = vec![false; program.chans.len()];
+    let mut mailboxes: HashMap<ThreadIdx, std::collections::VecDeque<i64>> = HashMap::new();
+
+    // Rendezvous enablement for cap-0 channels: a send completes only
+    // when some other thread is positioned at a blocking recv on the same
+    // channel. In the total-order model that means the thread's *next*
+    // scheduled SAP after position `i` is that recv.
+    let recv_positioned_after = |i: usize, sender: ThreadIdx, chan: clap_ir::ChanId| -> bool {
+        trace.per_thread.iter().enumerate().any(|(ti, saps)| {
+            if ThreadIdx(ti as u32) == sender {
+                return false;
+            }
+            saps.iter()
+                .filter(|&&x| pos[x.index()] as usize > i)
+                .min_by_key(|&&x| pos[x.index()])
+                .is_some_and(
+                    |&x| matches!(trace.sap(x).kind, SapKind::Recv { chan: c, .. } if c == chan),
+                )
+        })
+    };
 
     let cell = |program: &Program,
                 trace: &SymTrace,
@@ -253,8 +286,95 @@ pub fn validate(
             SapKind::Broadcast(_) => {
                 broadcast_pos.insert(s, i as u32);
             }
-            SapKind::Fork { .. } | SapKind::Join { .. } => {
+            SapKind::Fork { .. } | SapKind::Join { .. } | SapKind::SpawnActor { .. } => {
                 // Covered by hard edges.
+            }
+            SapKind::Send { chan, value } => {
+                // A send on a closed channel silently drops the value.
+                if !chan_closed[chan.index()] {
+                    let cap = program.chans[chan.index()].cap;
+                    if cap == 0 {
+                        if !chan_q[chan.index()].is_empty() {
+                            return Err(ValidationError::ChannelViolation {
+                                sap: s,
+                                reason: "rendezvous slot occupied".into(),
+                            });
+                        }
+                        if !recv_positioned_after(i, sap.thread, chan) {
+                            return Err(ValidationError::ChannelViolation {
+                                sap: s,
+                                reason: "rendezvous send without positioned receiver".into(),
+                            });
+                        }
+                    } else if chan_q[chan.index()].len() >= cap {
+                        return Err(ValidationError::ChannelViolation {
+                            sap: s,
+                            reason: "send on full channel".into(),
+                        });
+                    }
+                    let f = assign_fn(&assignment);
+                    let v = trace
+                        .arena
+                        .eval(value, &f)
+                        .ok_or(ValidationError::BadAddress { sap: s })?;
+                    chan_q[chan.index()].push_back(v);
+                }
+            }
+            SapKind::Recv { chan, var } => {
+                let v = if let Some(v) = chan_q[chan.index()].pop_front() {
+                    v
+                } else if chan_closed[chan.index()] {
+                    -1
+                } else {
+                    return Err(ValidationError::ChannelViolation {
+                        sap: s,
+                        reason: "recv on open empty channel".into(),
+                    });
+                };
+                assignment[var.index()] = Some(v);
+            }
+            SapKind::TrySend { chan, value, var } => {
+                let cap = program.chans[chan.index()].cap;
+                let ok = if chan_closed[chan.index()] {
+                    false
+                } else if cap == 0 {
+                    chan_q[chan.index()].is_empty() && recv_positioned_after(i, sap.thread, chan)
+                } else {
+                    chan_q[chan.index()].len() < cap
+                };
+                if ok {
+                    let f = assign_fn(&assignment);
+                    let v = trace
+                        .arena
+                        .eval(value, &f)
+                        .ok_or(ValidationError::BadAddress { sap: s })?;
+                    chan_q[chan.index()].push_back(v);
+                }
+                assignment[var.index()] = Some(ok as i64);
+            }
+            SapKind::TryRecv { chan, var } => {
+                let v = chan_q[chan.index()].pop_front().unwrap_or(-1);
+                assignment[var.index()] = Some(v);
+            }
+            SapKind::ChanClose(c) => {
+                chan_closed[c.index()] = true;
+            }
+            SapKind::MailboxSend { target, value } => {
+                let f = assign_fn(&assignment);
+                let v = trace
+                    .arena
+                    .eval(value, &f)
+                    .ok_or(ValidationError::BadAddress { sap: s })?;
+                mailboxes.entry(target).or_default().push_back(v);
+            }
+            SapKind::MailboxRecv { var } => {
+                let Some(v) = mailboxes.entry(sap.thread).or_default().pop_front() else {
+                    return Err(ValidationError::ChannelViolation {
+                        sap: s,
+                        reason: "mailbox_recv on empty mailbox".into(),
+                    });
+                };
+                assignment[var.index()] = Some(v);
             }
         }
     }

@@ -520,9 +520,14 @@ impl Pipeline {
                         }
                         // A bounded search that came up empty is only an
                         // unsatisfiability proof when the engine certifies
-                        // it covered the whole schedule space.
+                        // it covered the whole schedule space — and the
+                        // channel/mailbox encoding is incomplete, so
+                        // traces with channel ops never certify Unsat.
                         ParallelOutcome::Exhausted(stats) if stats.complete => {
-                            return Err(PipelineError::Unsat)
+                            if trace.has_channel_ops() {
+                                return Err(PipelineError::SearchExhausted);
+                            }
+                            return Err(PipelineError::Unsat);
                         }
                         ParallelOutcome::Exhausted(_) => {
                             return Err(PipelineError::SearchExhausted)
@@ -537,7 +542,12 @@ impl Pipeline {
                             witness,
                             report,
                         } => (schedule, witness, report),
-                        PortfolioOutcome::Unsat(_) => return Err(PipelineError::Unsat),
+                        PortfolioOutcome::Unsat(_) => {
+                            if trace.has_channel_ops() {
+                                return Err(PipelineError::SolverBudget);
+                            }
+                            return Err(PipelineError::Unsat);
+                        }
                         PortfolioOutcome::Budget(_) => return Err(PipelineError::SolverBudget),
                     }
                 }

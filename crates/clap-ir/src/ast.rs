@@ -36,8 +36,21 @@ pub struct Module {
     pub mutexes: Vec<NamedDecl>,
     /// Condition-variable declarations in source order.
     pub conds: Vec<NamedDecl>,
+    /// Bounded-channel declarations in source order.
+    pub chans: Vec<ChanAst>,
     /// Function definitions in source order.
     pub functions: Vec<FunctionAst>,
+}
+
+/// A `chan ch(cap);` declaration: a bounded FIFO channel of 64-bit values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChanAst {
+    /// Channel name.
+    pub name: String,
+    /// Capacity; 0 means rendezvous (a send needs a waiting receiver).
+    pub cap: usize,
+    /// Declaration site.
+    pub span: Span,
 }
 
 /// A `global int name = init;` or `global int name[len];` declaration.
@@ -171,6 +184,32 @@ pub enum Stmt {
         /// Statement site.
         span: Span,
     },
+    /// `send(ch, expr);` — blocking bounded-channel send.
+    Send {
+        /// Channel name.
+        chan: String,
+        /// Value sent.
+        value: Expr,
+        /// Statement site.
+        span: Span,
+    },
+    /// `close(ch);` — mark the channel closed (idempotent).
+    Close {
+        /// Channel name.
+        chan: String,
+        /// Statement site.
+        span: Span,
+    },
+    /// `mailbox_send(handle, expr);` — deposit a message in an actor's
+    /// mailbox (dropped silently if the actor already exited).
+    MailboxSend {
+        /// Thread-handle expression naming the target actor.
+        target: Expr,
+        /// Value sent.
+        value: Expr,
+        /// Statement site.
+        span: Span,
+    },
     /// `yield;`
     Yield {
         /// Statement site.
@@ -220,6 +259,9 @@ impl Stmt {
             | Stmt::Wait { span, .. }
             | Stmt::Signal { span, .. }
             | Stmt::Broadcast { span, .. }
+            | Stmt::Send { span, .. }
+            | Stmt::Close { span, .. }
+            | Stmt::MailboxSend { span, .. }
             | Stmt::Yield { span }
             | Stmt::Assert { span, .. }
             | Stmt::Return { span, .. }
@@ -247,6 +289,36 @@ pub enum LetInit {
         /// Arguments.
         args: Vec<Expr>,
     },
+    /// `recv(ch)` — blocking receive; yields `-1` once the channel is
+    /// closed and drained.
+    Recv {
+        /// Channel name.
+        chan: String,
+    },
+    /// `try_recv(ch)` — non-blocking receive; `-1` when nothing is ready.
+    TryRecv {
+        /// Channel name.
+        chan: String,
+    },
+    /// `try_send(ch, expr)` — non-blocking send; yields 1 on success, 0
+    /// when the channel is full, closed, or (for rendezvous channels) has
+    /// no waiting receiver.
+    TrySend {
+        /// Channel name.
+        chan: String,
+        /// Value offered.
+        value: Expr,
+    },
+    /// `spawn_actor f(args)` — spawns a thread with an actor mailbox.
+    SpawnActor {
+        /// Callee name.
+        func: String,
+        /// Arguments passed to the new actor's entry function.
+        args: Vec<Expr>,
+    },
+    /// `mailbox_recv()` — blocking receive from the calling thread's own
+    /// mailbox.
+    MailboxRecv,
 }
 
 /// Binary operators. `And`/`Or` evaluate both operands (no short circuit);

@@ -34,6 +34,7 @@ pub struct ProgramBuilder {
     globals: Vec<GlobalDecl>,
     mutexes: Vec<String>,
     conds: Vec<String>,
+    chans: Vec<ChanDecl>,
     functions: Vec<Function>,
     asserts: Vec<AssertInfo>,
 }
@@ -74,6 +75,15 @@ impl ProgramBuilder {
     pub fn cond(&mut self, name: &str) -> CondId {
         self.conds.push(name.to_owned());
         CondId::from(self.conds.len() - 1)
+    }
+
+    /// Declares a bounded channel with the given capacity.
+    pub fn chan(&mut self, name: &str, cap: usize) -> ChanId {
+        self.chans.push(ChanDecl {
+            name: name.to_owned(),
+            cap,
+        });
+        ChanId::from(self.chans.len() - 1)
     }
 
     /// Reserves the id the *next* [`ProgramBuilder::finish_function`] call
@@ -131,6 +141,7 @@ impl ProgramBuilder {
             globals: self.globals,
             mutexes: self.mutexes,
             conds: self.conds,
+            chans: self.chans,
             functions: self.functions,
             main,
             asserts: self.asserts,

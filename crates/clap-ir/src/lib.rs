@@ -61,8 +61,8 @@ pub mod unparse;
 
 pub use error::{Error, Result};
 pub use program::{
-    eval_binop, eval_unop, AssertId, Block, BlockId, CondId, FuncId, Function, GlobalDecl,
-    GlobalId, Instr, LocalId, MutexId, Operand, Program, Rvalue, Terminator,
+    eval_binop, eval_unop, AssertId, Block, BlockId, ChanDecl, ChanId, CondId, FuncId, Function,
+    GlobalDecl, GlobalId, Instr, LocalId, MutexId, Operand, Program, Rvalue, Terminator,
 };
 
 use ast::Module;

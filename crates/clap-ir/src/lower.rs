@@ -47,6 +47,12 @@ pub fn lower(module: &Module) -> Program {
         .enumerate()
         .map(|(i, c)| (c.name.as_str(), CondId::from(i)))
         .collect();
+    let chan_ids: HashMap<&str, ChanId> = module
+        .chans
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), ChanId::from(i)))
+        .collect();
     let func_ids: HashMap<&str, FuncId> = module
         .functions
         .iter()
@@ -64,6 +70,7 @@ pub fn lower(module: &Module) -> Program {
                 global_ids: &global_ids,
                 mutex_ids: &mutex_ids,
                 cond_ids: &cond_ids,
+                chan_ids: &chan_ids,
                 func_ids: &func_ids,
                 func: FuncId::from(i),
                 locals: Vec::new(),
@@ -81,6 +88,14 @@ pub fn lower(module: &Module) -> Program {
         globals,
         mutexes: module.mutexes.iter().map(|m| m.name.clone()).collect(),
         conds: module.conds.iter().map(|c| c.name.clone()).collect(),
+        chans: module
+            .chans
+            .iter()
+            .map(|c| ChanDecl {
+                name: c.name.clone(),
+                cap: c.cap,
+            })
+            .collect(),
         functions,
         main,
         asserts,
@@ -91,6 +106,7 @@ struct FuncLower<'m> {
     global_ids: &'m HashMap<&'m str, GlobalId>,
     mutex_ids: &'m HashMap<&'m str, MutexId>,
     cond_ids: &'m HashMap<&'m str, CondId>,
+    chan_ids: &'m HashMap<&'m str, ChanId>,
     func_ids: &'m HashMap<&'m str, FuncId>,
     func: FuncId,
     locals: Vec<String>,
@@ -250,6 +266,35 @@ impl<'m> FuncLower<'m> {
                             args,
                         });
                     }
+                    LetInit::SpawnActor { func, args } => {
+                        let args = self.lower_args(args);
+                        let callee = self.func_ids[func.as_str()];
+                        self.emit(Instr::SpawnActor {
+                            dst: id,
+                            func: callee,
+                            args,
+                        });
+                    }
+                    LetInit::Recv { chan } => {
+                        let ch = self.chan_ids[chan.as_str()];
+                        self.emit(Instr::Recv { dst: id, chan: ch });
+                    }
+                    LetInit::TryRecv { chan } => {
+                        let ch = self.chan_ids[chan.as_str()];
+                        self.emit(Instr::TryRecv { dst: id, chan: ch });
+                    }
+                    LetInit::TrySend { chan, value } => {
+                        let src = self.lower_expr(value);
+                        let ch = self.chan_ids[chan.as_str()];
+                        self.emit(Instr::TrySend {
+                            dst: id,
+                            chan: ch,
+                            src,
+                        });
+                    }
+                    LetInit::MailboxRecv => {
+                        self.emit(Instr::MailboxRecv { dst: id });
+                    }
                 }
                 self.scopes.last_mut().unwrap().push((name.clone(), id));
             }
@@ -346,6 +391,20 @@ impl<'m> FuncLower<'m> {
             Stmt::Broadcast { cond, .. } => {
                 let c = self.cond_ids[cond.as_str()];
                 self.emit(Instr::Broadcast(c));
+            }
+            Stmt::Send { chan, value, .. } => {
+                let src = self.lower_expr(value);
+                let ch = self.chan_ids[chan.as_str()];
+                self.emit(Instr::Send { chan: ch, src });
+            }
+            Stmt::Close { chan, .. } => {
+                let ch = self.chan_ids[chan.as_str()];
+                self.emit(Instr::ChanClose(ch));
+            }
+            Stmt::MailboxSend { target, value, .. } => {
+                let t = self.lower_expr(target);
+                let src = self.lower_expr(value);
+                self.emit(Instr::MailboxSend { target: t, src });
             }
             Stmt::Yield { .. } => self.emit(Instr::Yield),
             Stmt::Assert {

@@ -153,6 +153,25 @@ impl<'a> Parser<'a> {
                     self.expect(&TokenKind::Semi)?;
                     module.conds.push(NamedDecl { name, span });
                 }
+                TokenKind::Chan => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let cap = self.int_lit()?;
+                    self.expect(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::Semi)?;
+                    if !(0..=64).contains(&cap) {
+                        return Err(Error::parse(
+                            span,
+                            "channel capacity must be between 0 and 64",
+                        ));
+                    }
+                    module.chans.push(ChanAst {
+                        name,
+                        cap: cap as usize,
+                        span,
+                    });
+                }
                 TokenKind::Fn => {
                     module.functions.push(self.function()?);
                 }
@@ -249,6 +268,31 @@ impl<'a> Parser<'a> {
                     let func = self.ident()?;
                     let args = self.args()?;
                     LetInit::Fork { func, args }
+                } else if self.eat(&TokenKind::SpawnActor) {
+                    let func = self.ident()?;
+                    let args = self.args()?;
+                    LetInit::SpawnActor { func, args }
+                } else if self.eat(&TokenKind::Recv) {
+                    self.expect(&TokenKind::LParen)?;
+                    let chan = self.ident()?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::Recv { chan }
+                } else if self.eat(&TokenKind::TryRecv) {
+                    self.expect(&TokenKind::LParen)?;
+                    let chan = self.ident()?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::TryRecv { chan }
+                } else if self.eat(&TokenKind::TrySend) {
+                    self.expect(&TokenKind::LParen)?;
+                    let chan = self.ident()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::TrySend { chan, value }
+                } else if self.eat(&TokenKind::MailboxRecv) {
+                    self.expect(&TokenKind::LParen)?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::MailboxRecv
                 } else if let TokenKind::Ident(name2) = self.peek().clone() {
                     // Lookahead: `ident (` is a call initializer.
                     if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
@@ -346,6 +390,38 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::RParen)?;
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Broadcast { cond, span })
+            }
+            TokenKind::Send => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let chan = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Send { chan, value, span })
+            }
+            TokenKind::Close => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let chan = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Close { chan, span })
+            }
+            TokenKind::MailboxSend => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let target = self.expr()?;
+                self.expect(&TokenKind::Comma)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::MailboxSend {
+                    target,
+                    value,
+                    span,
+                })
             }
             TokenKind::Yield => {
                 self.bump();

@@ -22,6 +22,9 @@ pub fn program_to_string(program: &Program) -> String {
     for c in &program.conds {
         let _ = writeln!(out, "cond {c}");
     }
+    for ch in &program.chans {
+        let _ = writeln!(out, "chan {}({})", ch.name, ch.cap);
+    }
     for (i, f) in program.functions.iter().enumerate() {
         let _ = writeln!(out);
         let _ = write!(out, "{}", function_to_string(program, FuncId::from(i), f));
@@ -97,6 +100,31 @@ pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
         }
         Instr::Signal(c) => format!("signal {}", program.conds[c.index()]),
         Instr::Broadcast(c) => format!("broadcast {}", program.conds[c.index()]),
+        Instr::Send { chan, src } => {
+            format!("send {} {src}", program.chans[chan.index()].name)
+        }
+        Instr::Recv { dst, chan } => {
+            format!("{dst} = recv {}", program.chans[chan.index()].name)
+        }
+        Instr::TrySend { dst, chan, src } => {
+            format!(
+                "{dst} = try_send {} {src}",
+                program.chans[chan.index()].name
+            )
+        }
+        Instr::TryRecv { dst, chan } => {
+            format!("{dst} = try_recv {}", program.chans[chan.index()].name)
+        }
+        Instr::ChanClose(c) => format!("close {}", program.chans[c.index()].name),
+        Instr::SpawnActor { dst, func, args } => {
+            format!(
+                "{dst} = spawn_actor {}({})",
+                program.functions[func.index()].name,
+                operands(args)
+            )
+        }
+        Instr::MailboxSend { target, src } => format!("mailbox_send {target} {src}"),
+        Instr::MailboxRecv { dst } => format!("{dst} = mailbox_recv"),
         Instr::Yield => "yield".to_owned(),
         Instr::Assert { cond, id } => {
             format!("assert {cond} ({:?})", program.asserts[id.index()].message)

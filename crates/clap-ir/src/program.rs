@@ -65,6 +65,19 @@ id_type!(
     /// Identifies an `assert` site within a [`Program`].
     AssertId, "a"
 );
+id_type!(
+    /// Identifies a bounded channel within a [`Program`].
+    ChanId, "ch"
+);
+
+/// A bounded-channel declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChanDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Queue capacity; 0 means rendezvous semantics.
+    pub cap: usize,
+}
 
 /// A global variable: a scalar (`len == None`) or a zero-initialized array.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,6 +207,68 @@ pub enum Instr {
     Signal(CondId),
     /// Wake all waiters of `cond`.
     Broadcast(CondId),
+    /// Blocking bounded-channel send: enqueue `src`, blocking while the
+    /// queue is full (or, for capacity 0, until a receiver is poised at a
+    /// `recv` on the same channel). Sending on a closed channel silently
+    /// drops the value — that is the "lost close race" failure mode.
+    Send {
+        /// Target channel.
+        chan: ChanId,
+        /// Value sent.
+        src: Operand,
+    },
+    /// Blocking bounded-channel receive: dequeue into `dst`, blocking while
+    /// the queue is empty; yields `-1` once the channel is closed and
+    /// drained.
+    Recv {
+        /// Destination slot.
+        dst: LocalId,
+        /// Source channel.
+        chan: ChanId,
+    },
+    /// Non-blocking send: `dst` gets 1 if the value was enqueued, 0 if the
+    /// channel was full, closed, or (capacity 0) had no waiting receiver.
+    TrySend {
+        /// Receives the success flag.
+        dst: LocalId,
+        /// Target channel.
+        chan: ChanId,
+        /// Value offered.
+        src: Operand,
+    },
+    /// Non-blocking receive: `dst` gets the value, or `-1` when the queue
+    /// is empty (whether or not the channel is closed).
+    TryRecv {
+        /// Destination slot.
+        dst: LocalId,
+        /// Source channel.
+        chan: ChanId,
+    },
+    /// Close a channel (idempotent). Waiting receivers drain then see `-1`.
+    ChanClose(ChanId),
+    /// Spawn a thread with an actor mailbox running `func(args…)`.
+    /// Identical to [`Instr::Fork`] except for the SAP kind it records.
+    SpawnActor {
+        /// Receives the new actor's handle.
+        dst: LocalId,
+        /// Entry function of the new actor.
+        func: FuncId,
+        /// Arguments for the entry function.
+        args: Vec<Operand>,
+    },
+    /// Deposit a message in the mailbox of the thread named by `target`.
+    /// Messages to exited threads are dropped silently (dead letters).
+    MailboxSend {
+        /// Thread handle of the target actor.
+        target: Operand,
+        /// Value sent.
+        src: Operand,
+    },
+    /// Blocking receive from the calling thread's own mailbox.
+    MailboxRecv {
+        /// Destination slot.
+        dst: LocalId,
+    },
     /// Voluntarily offer a context switch.
     Yield,
     /// Check a property; a false condition manifests the bug.
@@ -231,6 +306,14 @@ impl Instr {
                 | Instr::Wait { .. }
                 | Instr::Signal(_)
                 | Instr::Broadcast(_)
+                | Instr::Send { .. }
+                | Instr::Recv { .. }
+                | Instr::TrySend { .. }
+                | Instr::TryRecv { .. }
+                | Instr::ChanClose(_)
+                | Instr::SpawnActor { .. }
+                | Instr::MailboxSend { .. }
+                | Instr::MailboxRecv { .. }
         )
     }
 }
@@ -337,6 +420,8 @@ pub struct Program {
     pub mutexes: Vec<String>,
     /// Condition-variable names; indexed by [`CondId`].
     pub conds: Vec<String>,
+    /// Bounded channels; indexed by [`ChanId`].
+    pub chans: Vec<ChanDecl>,
     /// Functions; indexed by [`FuncId`].
     pub functions: Vec<Function>,
     /// The entry function (`main`).
@@ -369,6 +454,14 @@ impl Program {
             .iter()
             .position(|g| g.name == name)
             .map(GlobalId::from)
+    }
+
+    /// Looks up a channel by source name.
+    pub fn chan_by_name(&self, name: &str) -> Option<ChanId> {
+        self.chans
+            .iter()
+            .position(|c| c.name == name)
+            .map(ChanId::from)
     }
 
     /// Looks up a mutex by source name.

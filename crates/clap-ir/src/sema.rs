@@ -36,6 +36,7 @@ struct Checker<'m> {
     globals: HashMap<&'m str, bool>, // name -> is_array
     mutexes: HashSet<&'m str>,
     conds: HashSet<&'m str>,
+    chans: HashSet<&'m str>,
     funcs: HashMap<&'m str, FuncSig>,
 }
 
@@ -62,6 +63,15 @@ impl<'m> Checker<'m> {
                 return Err(Error::sema(c.span, format!("duplicate cond `{}`", c.name)));
             }
         }
+        let mut chans = HashSet::new();
+        for ch in &module.chans {
+            if !chans.insert(ch.name.as_str()) {
+                return Err(Error::sema(
+                    ch.span,
+                    format!("duplicate chan `{}`", ch.name),
+                ));
+            }
+        }
         let mut funcs = HashMap::new();
         for f in &module.functions {
             let sig = FuncSig {
@@ -80,6 +90,7 @@ impl<'m> Checker<'m> {
             globals,
             mutexes,
             conds,
+            chans,
             funcs,
         })
     }
@@ -133,6 +144,43 @@ impl<'m> Checker<'m> {
                             ));
                         }
                         self.check_call(func, args, scope, *span, false)?;
+                    }
+                    LetInit::SpawnActor { func, args } => {
+                        if *ty != Type::Thread {
+                            return Err(Error::sema(
+                                *span,
+                                "`spawn_actor` initializer requires a `thread`-typed let",
+                            ));
+                        }
+                        self.check_call(func, args, scope, *span, false)?;
+                    }
+                    LetInit::Recv { chan } | LetInit::TryRecv { chan } => {
+                        if *ty != Type::Int {
+                            return Err(Error::sema(
+                                *span,
+                                "channel receives require an `int`-typed let",
+                            ));
+                        }
+                        self.check_chan(chan, *span)?;
+                    }
+                    LetInit::TrySend { chan, value } => {
+                        if *ty != Type::Int {
+                            return Err(Error::sema(
+                                *span,
+                                "`try_send` requires an `int`-typed let",
+                            ));
+                        }
+                        self.check_chan(chan, *span)?;
+                        let vt = self.type_of(value, scope)?;
+                        expect_type(Type::Int, vt, value.span())?;
+                    }
+                    LetInit::MailboxRecv => {
+                        if *ty != Type::Int {
+                            return Err(Error::sema(
+                                *span,
+                                "`mailbox_recv` requires an `int`-typed let",
+                            ));
+                        }
                     }
                     LetInit::Call { func, args } => {
                         if *ty == Type::Thread {
@@ -238,6 +286,27 @@ impl<'m> Checker<'m> {
                     Err(Error::sema(*span, format!("unknown cond `{cond}`")))
                 }
             }
+            Stmt::Send { chan, value, span } => {
+                self.check_chan(chan, *span)?;
+                let vt = self.type_of(value, scope)?;
+                expect_type(Type::Int, vt, value.span())
+            }
+            Stmt::Close { chan, span } => self.check_chan(chan, *span),
+            Stmt::MailboxSend {
+                target,
+                value,
+                span,
+            } => {
+                let tt = self.type_of(target, scope)?;
+                if tt != Type::Thread {
+                    return Err(Error::sema(
+                        *span,
+                        "`mailbox_send` requires a `thread`-typed target handle",
+                    ));
+                }
+                let vt = self.type_of(value, scope)?;
+                expect_type(Type::Int, vt, value.span())
+            }
             Stmt::Yield { .. } => Ok(()),
             Stmt::Assert { cond, .. } => {
                 let ct = self.type_of(cond, scope)?;
@@ -324,6 +393,14 @@ impl<'m> Checker<'m> {
             ));
         }
         Ok(())
+    }
+
+    fn check_chan(&self, chan: &str, span: Span) -> Result<()> {
+        if self.chans.contains(chan) {
+            Ok(())
+        } else {
+            Err(Error::sema(span, format!("unknown chan `{chan}`")))
+        }
     }
 
     fn resolve(&self, name: &str, scope: &Scope) -> Option<Binding> {

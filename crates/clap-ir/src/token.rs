@@ -70,6 +70,24 @@ pub enum TokenKind {
     True,
     /// `false`
     False,
+    /// `chan`
+    Chan,
+    /// `send`
+    Send,
+    /// `recv`
+    Recv,
+    /// `try_send`
+    TrySend,
+    /// `try_recv`
+    TryRecv,
+    /// `close`
+    Close,
+    /// `spawn_actor`
+    SpawnActor,
+    /// `mailbox_send`
+    MailboxSend,
+    /// `mailbox_recv`
+    MailboxRecv,
 
     // Punctuation and operators
     /// `(`
@@ -162,6 +180,15 @@ impl TokenKind {
             "thread" => TokenKind::TyThread,
             "true" => TokenKind::True,
             "false" => TokenKind::False,
+            "chan" => TokenKind::Chan,
+            "send" => TokenKind::Send,
+            "recv" => TokenKind::Recv,
+            "try_send" => TokenKind::TrySend,
+            "try_recv" => TokenKind::TryRecv,
+            "close" => TokenKind::Close,
+            "spawn_actor" => TokenKind::SpawnActor,
+            "mailbox_send" => TokenKind::MailboxSend,
+            "mailbox_recv" => TokenKind::MailboxRecv,
             _ => return None,
         })
     }
@@ -196,6 +223,15 @@ impl fmt::Display for TokenKind {
             TokenKind::TyThread => write!(f, "thread"),
             TokenKind::True => write!(f, "true"),
             TokenKind::False => write!(f, "false"),
+            TokenKind::Chan => write!(f, "chan"),
+            TokenKind::Send => write!(f, "send"),
+            TokenKind::Recv => write!(f, "recv"),
+            TokenKind::TrySend => write!(f, "try_send"),
+            TokenKind::TryRecv => write!(f, "try_recv"),
+            TokenKind::Close => write!(f, "close"),
+            TokenKind::SpawnActor => write!(f, "spawn_actor"),
+            TokenKind::MailboxSend => write!(f, "mailbox_send"),
+            TokenKind::MailboxRecv => write!(f, "mailbox_recv"),
             TokenKind::LParen => write!(f, "("),
             TokenKind::RParen => write!(f, ")"),
             TokenKind::LBrace => write!(f, "{{"),

@@ -30,6 +30,9 @@ pub fn unparse(module: &Module) -> String {
     for c in &module.conds {
         let _ = writeln!(out, "cond {};", c.name);
     }
+    for ch in &module.chans {
+        let _ = writeln!(out, "chan {}({});", ch.name, ch.cap);
+    }
     for f in &module.functions {
         let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
@@ -60,6 +63,19 @@ fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
                 LetInit::Call { func, args } => {
                     let _ = write!(out, "{func}({})", unparse_args(args));
                 }
+                LetInit::SpawnActor { func, args } => {
+                    let _ = write!(out, "spawn_actor {func}({})", unparse_args(args));
+                }
+                LetInit::Recv { chan } => {
+                    let _ = write!(out, "recv({chan})");
+                }
+                LetInit::TryRecv { chan } => {
+                    let _ = write!(out, "try_recv({chan})");
+                }
+                LetInit::TrySend { chan, value } => {
+                    let _ = write!(out, "try_send({chan}, {})", unparse_expr(value));
+                }
+                LetInit::MailboxRecv => out.push_str("mailbox_recv()"),
             }
             out.push_str(";\n");
         }
@@ -113,6 +129,20 @@ fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
         }
         Stmt::Broadcast { cond, .. } => {
             let _ = writeln!(out, "broadcast({cond});");
+        }
+        Stmt::Send { chan, value, .. } => {
+            let _ = writeln!(out, "send({chan}, {});", unparse_expr(value));
+        }
+        Stmt::Close { chan, .. } => {
+            let _ = writeln!(out, "close({chan});");
+        }
+        Stmt::MailboxSend { target, value, .. } => {
+            let _ = writeln!(
+                out,
+                "mailbox_send({}, {});",
+                unparse_expr(target),
+                unparse_expr(value)
+            );
         }
         Stmt::Yield { .. } => out.push_str("yield;\n"),
         Stmt::Assert { cond, message, .. } => {
@@ -184,6 +214,9 @@ pub fn modules_equal_modulo_spans(a: &Module, b: &Module) -> bool {
         for d in m.mutexes.iter_mut().chain(m.conds.iter_mut()) {
             d.span = crate::error::Span::unknown();
         }
+        for c in &mut m.chans {
+            c.span = crate::error::Span::unknown();
+        }
         m
     }
     format!("{:?}", norm(a)) == format!("{:?}", norm(b))
@@ -197,9 +230,13 @@ fn erase_spans(body: &mut [Stmt]) {
                 *span = Span::unknown();
                 match init {
                     LetInit::Expr(e) => erase_expr_spans(e),
-                    LetInit::Fork { args, .. } | LetInit::Call { args, .. } => {
+                    LetInit::Fork { args, .. }
+                    | LetInit::Call { args, .. }
+                    | LetInit::SpawnActor { args, .. } => {
                         args.iter_mut().for_each(erase_expr_spans)
                     }
+                    LetInit::TrySend { value, .. } => erase_expr_spans(value),
+                    LetInit::Recv { .. } | LetInit::TryRecv { .. } | LetInit::MailboxRecv => {}
                 }
             }
             Stmt::Assign { lhs, rhs, span } => {
@@ -248,11 +285,25 @@ fn erase_spans(body: &mut [Stmt]) {
                 }
                 args.iter_mut().for_each(erase_expr_spans);
             }
+            Stmt::Send { value, span, .. } => {
+                *span = Span::unknown();
+                erase_expr_spans(value);
+            }
+            Stmt::MailboxSend {
+                target,
+                value,
+                span,
+            } => {
+                *span = Span::unknown();
+                erase_expr_spans(target);
+                erase_expr_spans(value);
+            }
             Stmt::Lock { span, .. }
             | Stmt::Unlock { span, .. }
             | Stmt::Wait { span, .. }
             | Stmt::Signal { span, .. }
             | Stmt::Broadcast { span, .. }
+            | Stmt::Close { span, .. }
             | Stmt::Yield { span } => *span = Span::unknown(),
         }
     }

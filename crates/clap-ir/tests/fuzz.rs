@@ -286,6 +286,52 @@ mod ast_round_trip {
                     span: Span::unknown(),
                 }
             ),
+            (name(), e()).prop_map(|(ch, value)| Stmt::Send {
+                chan: ch,
+                value,
+                span: Span::unknown(),
+            }),
+            name().prop_map(|ch| Stmt::Close {
+                chan: ch,
+                span: Span::unknown()
+            }),
+            (e(), e()).prop_map(|(target, value)| Stmt::MailboxSend {
+                target,
+                value,
+                span: Span::unknown(),
+            }),
+            (name(), name()).prop_map(|(n, ch)| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::Recv { chan: ch },
+                span: Span::unknown(),
+            }),
+            (name(), name()).prop_map(|(n, ch)| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::TryRecv { chan: ch },
+                span: Span::unknown(),
+            }),
+            (name(), name(), e()).prop_map(|(n, ch, value)| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::TrySend { chan: ch, value },
+                span: Span::unknown(),
+            }),
+            (name(), name(), proptest::collection::vec(expr(1), 0..3)).prop_map(
+                |(n, func, args)| Stmt::Let {
+                    name: n,
+                    ty: Type::Thread,
+                    init: LetInit::SpawnActor { func, args },
+                    span: Span::unknown(),
+                }
+            ),
+            name().prop_map(|n| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::MailboxRecv,
+                span: Span::unknown(),
+            }),
         ];
         if depth == 0 {
             return simple.boxed();
@@ -316,6 +362,7 @@ mod ast_round_trip {
             ),
             proptest::collection::vec(name(), 0..2),
             proptest::collection::vec(name(), 0..2),
+            proptest::collection::vec((name(), 0usize..4), 0..2),
             proptest::collection::vec(
                 (
                     name(),
@@ -325,7 +372,7 @@ mod ast_round_trip {
                 1..3,
             ),
         )
-            .prop_map(|(globals, mutexes, conds, functions)| Module {
+            .prop_map(|(globals, mutexes, conds, chans, functions)| Module {
                 globals: globals
                     .into_iter()
                     .map(|(n, len, init)| GlobalAst {
@@ -346,6 +393,14 @@ mod ast_round_trip {
                     .into_iter()
                     .map(|n| NamedDecl {
                         name: n,
+                        span: Span::unknown(),
+                    })
+                    .collect(),
+                chans: chans
+                    .into_iter()
+                    .map(|(n, cap)| ChanAst {
+                        name: n,
+                        cap,
                         span: Span::unknown(),
                     })
                     .collect(),

@@ -286,10 +286,11 @@ pub const EVENT_FIELD_SCHEMA: &[(&str, &[&str])] = &[
 /// histograms must appear in [`KNOWN_STRICT_METRICS`], events in
 /// [`EVENT_FIELD_SCHEMA`]. Everything else (pipeline internals, debug
 /// probes) stays free-form.
-pub const STRICT_NAME_PREFIXES: &[&str] = &["serve.", "bench."];
+pub const STRICT_NAME_PREFIXES: &[&str] = &["serve.", "bench.", "check.oracle."];
 
-/// Every counter/gauge/histogram name the service and benchmark layers
-/// may emit under a strict prefix. A misspelled `serve.*` metric fails
+/// Every counter/gauge/histogram name the service, benchmark, and
+/// differential-oracle layers may emit under a strict prefix. A
+/// misspelled `serve.*` or `check.oracle.*` metric fails
 /// [`validate_jsonl_line`] instead of silently forking the namespace.
 pub const KNOWN_STRICT_METRICS: &[&str] = &[
     "serve.cache.hit",
@@ -314,6 +315,10 @@ pub const KNOWN_STRICT_METRICS: &[&str] = &[
     "serve.http.latency_us.metrics",
     "serve.http.latency_us.shutdown",
     "serve.http.latency_us.other",
+    "check.oracle.executions",
+    "check.oracle.failing",
+    "check.oracle.bound_prunes",
+    "check.oracle.deadlocks",
 ];
 
 fn strict(name: &str) -> bool {

@@ -37,6 +37,11 @@ pub enum SyncObject {
     Mutex(u32),
     /// A condition variable (wait-complete/signal/broadcast operations).
     Cond(u32),
+    /// A bounded channel (send/recv/try_*/close operations).
+    Chan(u32),
+    /// A thread's mailbox (mailbox_send/mailbox_recv operations), keyed by
+    /// the owning thread's runtime id.
+    Mailbox(u32),
 }
 
 /// The recorded global operation order per synchronization object.
@@ -140,9 +145,22 @@ impl Monitor for SyncOrderRecorder {
             SyncEvent::Signal(c) | SyncEvent::Broadcast(c) => {
                 self.push(SyncObject::Cond(c.0), thread, po);
             }
-            SyncEvent::Fork(_) | SyncEvent::Join(_) => {
-                // Fork/join orders are already fully determined by the
-                // partial-order constraints; nothing to record.
+            SyncEvent::ChanSend(ch)
+            | SyncEvent::ChanRecv(ch)
+            | SyncEvent::ChanTrySend(ch, _)
+            | SyncEvent::ChanTryRecv(ch, _)
+            | SyncEvent::ChanClose(ch) => {
+                self.push(SyncObject::Chan(ch.0), thread, po);
+            }
+            SyncEvent::MailboxSend(owner) => {
+                self.push(SyncObject::Mailbox(owner.0), thread, po);
+            }
+            SyncEvent::MailboxRecv => {
+                self.push(SyncObject::Mailbox(thread.0), thread, po);
+            }
+            SyncEvent::Fork(_) | SyncEvent::Join(_) | SyncEvent::SpawnActor(_) => {
+                // Fork/join/spawn orders are already fully determined by
+                // the partial-order constraints; nothing to record.
             }
         }
     }

@@ -142,6 +142,83 @@ const HANDOFF: &str = "global int ready = 0; global int x = 0; mutex m; cond c;
          assert(x == 2, \"handoff race\");
      }";
 
+/// The lost-close race: main closes the channel concurrently with the
+/// producer's sends, so closed-channel drops and drained `-1`s make the
+/// full-delivery assert fail on some schedules.
+const CHAN_LOST_CLOSE: &str = "global int sum = 0;
+     chan ch(1);
+     fn producer() { send(ch, 5); send(ch, 7); }
+     fn consumer() {
+         let a: int = recv(ch);
+         let b: int = recv(ch);
+         sum = a + b;
+     }
+     fn main() {
+         let p: thread = fork producer();
+         let c: thread = fork consumer();
+         close(ch);
+         join p; join c;
+         assert(sum == 12, \"lost send\");
+     }";
+
+/// Load shedding: `try_send` into a cap-1 channel drops whenever the
+/// consumer has not yet drained the slot, and the close race can strand
+/// a value — the assert demands full delivery.
+const CHAN_TRY_SHED: &str = "global int sum = 0;
+     chan ch(1);
+     fn producer() {
+         let a: int = try_send(ch, 5);
+         let b: int = try_send(ch, 7);
+     }
+     fn consumer() {
+         let x: int = recv(ch);
+         let y: int = recv(ch);
+         sum = x + y;
+     }
+     fn main() {
+         let p: thread = fork producer();
+         let c: thread = fork consumer();
+         close(ch);
+         join p; join c;
+         assert(sum == 12, \"shed work\");
+     }";
+
+/// Rendezvous handoff into a racy read-modify-write: the cap-0 sends
+/// synchronize the handoff itself, but the unprotected increment after
+/// it still loses updates.
+const CHAN_RENDEZVOUS_RACE: &str = "global int x = 0;
+     chan ch(0);
+     fn worker() {
+         let v: int = recv(ch);
+         let t: int = x; yield; x = t + v;
+     }
+     fn main() {
+         let a: thread = fork worker();
+         let b: thread = fork worker();
+         send(ch, 1);
+         send(ch, 1);
+         join a; join b;
+         assert(x == 2, \"rendezvous lost update\");
+     }";
+
+/// Actor mailbox race: main snapshots the actor's output before joining
+/// it, so the assert fails whenever the actor has not finished summing
+/// its mailbox by the time main reads.
+const ACTOR_MAILBOX_RACE: &str = "global int got = 0;
+     fn act() {
+         let a: int = mailbox_recv();
+         let b: int = mailbox_recv();
+         got = a + b;
+     }
+     fn main() {
+         let h: thread = spawn_actor act();
+         mailbox_send(h, 3);
+         mailbox_send(h, 4);
+         let snap: int = got;
+         join h;
+         assert(snap == 7, \"actor raced main\");
+     }";
+
 #[test]
 fn every_sc_lost_update_schedule_replays() {
     let n = replay_oracle_failures(LOST_UPDATE, MemModel::Sc, usize::MAX);
@@ -164,4 +241,34 @@ fn pso_message_passing_schedules_replay() {
 fn condvar_handoff_schedules_replay() {
     let n = replay_oracle_failures(HANDOFF, MemModel::Sc, 8);
     assert!(n > 0, "handoff race failures must exist");
+}
+
+#[test]
+fn chan_lost_close_schedules_replay() {
+    let n = replay_oracle_failures(CHAN_LOST_CLOSE, MemModel::Sc, 12);
+    assert!(n > 0, "lost-close failures must exist");
+}
+
+#[test]
+fn chan_lost_close_schedules_replay_under_tso() {
+    let n = replay_oracle_failures(CHAN_LOST_CLOSE, MemModel::Tso, 12);
+    assert!(n > 0, "lost-close failures must exist under TSO");
+}
+
+#[test]
+fn chan_try_shed_schedules_replay() {
+    let n = replay_oracle_failures(CHAN_TRY_SHED, MemModel::Sc, 12);
+    assert!(n > 0, "try_send shedding failures must exist");
+}
+
+#[test]
+fn chan_rendezvous_race_schedules_replay() {
+    let n = replay_oracle_failures(CHAN_RENDEZVOUS_RACE, MemModel::Sc, 12);
+    assert!(n > 0, "rendezvous lost-update failures must exist");
+}
+
+#[test]
+fn actor_mailbox_race_schedules_replay() {
+    let n = replay_oracle_failures(ACTOR_MAILBOX_RACE, MemModel::Sc, 12);
+    assert!(n > 0, "actor/main race failures must exist");
 }

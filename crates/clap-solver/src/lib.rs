@@ -156,6 +156,43 @@ mod tests {
         assert!(matches!(outcome, SolveOutcome::Unsat(_)), "got {outcome:?}");
     }
 
+    const CHAN_LOST_CLOSE: &str = "global int sum = 0;
+         chan ch(1);
+         fn producer() { send(ch, 5); send(ch, 7); }
+         fn consumer() {
+             let a: int = recv(ch);
+             let b: int = recv(ch);
+             sum = a + b;
+         }
+         fn main() {
+             let p: thread = fork producer();
+             let c: thread = fork consumer();
+             close(ch);
+             join p; join c;
+             assert(sum == 12, \"lost send\");
+         }";
+
+    #[test]
+    fn solves_channel_lost_close() {
+        solve_failure(CHAN_LOST_CLOSE, MemModel::Sc, 2000);
+    }
+
+    #[test]
+    fn channel_traces_never_certify_unsat() {
+        // The channel constraint encoding is incomplete (see
+        // clap-constraints), so an Unsat result on a trace with channel
+        // ops is a budget statement, not a proof: the valve must report
+        // Timeout instead of certifying Unsat.
+        let (program, mut trace) = build_failure(CHAN_LOST_CLOSE, MemModel::Sc, 2000);
+        trace.bug = trace.arena.constant(0);
+        let sys = ConstraintSystem::build(&program, &trace, MemModel::Sc);
+        let outcome = solve(&program, &sys, SolverConfig::default());
+        assert!(
+            matches!(outcome, SolveOutcome::Timeout(_)),
+            "valve must downgrade Unsat on channel traces, got {outcome:?}"
+        );
+    }
+
     #[test]
     fn solver_reports_small_context_switch_schedules() {
         let (program, trace) = build_failure(

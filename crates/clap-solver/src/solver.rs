@@ -107,7 +107,17 @@ pub fn solve_cancellable(
     let mut search = Search::new(program, system, config);
     search.deadline = config.timeout.map(|t| Instant::now() + t);
     search.cancel = cancel;
-    let outcome = search.run();
+    let mut outcome = search.run();
+    // Soundness valve: the channel/mailbox encoding is incomplete — the
+    // try_send/try_recv result variables are grounded only by the
+    // validator, and FIFO/capacity legality is re-checked rather than
+    // encoded exhaustively — so an exhausted search over a trace with
+    // channel operations must not claim unsatisfiability.
+    if system.trace.has_channel_ops() {
+        if let SolveOutcome::Unsat(stats) = outcome {
+            outcome = SolveOutcome::Timeout(stats);
+        }
+    }
     let stats = match &outcome {
         SolveOutcome::Sat(s) => s.stats,
         SolveOutcome::Unsat(s) | SolveOutcome::Timeout(s) => *s,
@@ -138,6 +148,7 @@ enum Pending {
 enum DecisionVar {
     Read(usize),
     Wait(usize),
+    ChanRecv(usize),
     Choice(usize),
 }
 
@@ -166,6 +177,9 @@ struct Search<'p, 'a, 't> {
     links: Vec<Option<usize>>,
     /// Chosen candidate per wait (index into signals ++ broadcasts).
     wait_choice: Vec<Option<usize>>,
+    /// Chosen candidate per channel/mailbox recv (index into `sends`,
+    /// or `sends.len()` for the drained-after-close outcome).
+    recv_choice: Vec<Option<usize>>,
     consumed: HashMap<SapId, bool>,
     consumed_trail: Vec<SapId>,
     pending: Vec<Pending>,
@@ -193,6 +207,7 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
             assign_trail: Vec::new(),
             links: vec![None; sys.reads.len()],
             wait_choice: vec![None; sys.waits.len()],
+            recv_choice: vec![None; sys.recvs.len()],
             consumed: HashMap::new(),
             consumed_trail: Vec::new(),
             pending: Vec::new(),
@@ -310,6 +325,28 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                     }
                 }
             }
+            // Value propagation: matched recvs whose send value grounds.
+            for i in 0..self.recv_choice.len() {
+                let Some(j) = self.recv_choice[i] else {
+                    continue;
+                };
+                let rc = &self.sys.recvs[i];
+                if self.assignment[rc.var.index()].is_some() || j >= rc.sends.len() {
+                    // Drained outcome: assigned -1 at decision time.
+                    continue;
+                }
+                let value = match self.sys.trace.sap(rc.sends[j]).kind {
+                    clap_symex::SapKind::Send { value, .. }
+                    | clap_symex::SapKind::TrySend { value, .. }
+                    | clap_symex::SapKind::MailboxSend { value, .. } => value,
+                    _ => unreachable!("candidate is a send"),
+                };
+                let var = rc.var;
+                if let Some(v) = self.eval(value) {
+                    self.assign(var, v);
+                    changed = true;
+                }
+            }
             // Pending constraints.
             for idx in 0..self.pending.len() {
                 if self.resolved[idx] {
@@ -398,6 +435,15 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                 best = Some((DecisionVar::Wait(i), count));
             }
         }
+        for i in 0..self.recv_choice.len() {
+            if self.recv_choice[i].is_some() {
+                continue;
+            }
+            let count = self.feasible_recv_cands(i).len();
+            if best.map(|(_, c)| count < c).unwrap_or(true) {
+                best = Some((DecisionVar::ChanRecv(i), count));
+            }
+        }
         if best.is_none() {
             // All reads/waits decided: branch on an unresolved choice with
             // several live edges (guards are decidable by now).
@@ -461,6 +507,25 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                 continue;
             }
             out.push(j);
+        }
+        out
+    }
+
+    fn feasible_recv_cands(&mut self, i: usize) -> Vec<usize> {
+        let rc = self.sys.recvs[i].clone();
+        let r = rc.recv.0;
+        let mut out = Vec::new();
+        for (j, s) in rc.sends.iter().enumerate() {
+            if self.consumed.get(s).copied().unwrap_or(false) {
+                continue;
+            }
+            if self.graph.forbids(s.0, r) {
+                continue;
+            }
+            out.push(j);
+        }
+        if rc.closes.iter().any(|&c| !self.graph.forbids(c.0, r)) {
+            out.push(rc.sends.len());
         }
         out
     }
@@ -529,6 +594,41 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                 }
                 StepResult::Ok
             }
+            DecisionVar::ChanRecv(i) => {
+                let rc = self.sys.recvs[i].clone();
+                self.recv_choice[i] = Some(cand);
+                if cand < rc.sends.len() {
+                    // Match a send: consumed exclusively, ordered before
+                    // the recv. (FIFO order within the channel is the
+                    // validator's job.)
+                    let s = rc.sends[cand];
+                    if self.consumed.get(&s).copied().unwrap_or(false) {
+                        return StepResult::Conflict;
+                    }
+                    self.consumed.insert(s, true);
+                    self.consumed_trail.push(s);
+                    if !self.graph.add_edge(s.0, rc.recv.0) {
+                        return StepResult::Conflict;
+                    }
+                } else {
+                    // Drained outcome: some close precedes the recv and it
+                    // returns -1.
+                    let Some(&close) = rc
+                        .closes
+                        .iter()
+                        .find(|&&c| !self.graph.forbids(c.0, rc.recv.0))
+                    else {
+                        return StepResult::Conflict;
+                    };
+                    if !self.graph.add_edge(close.0, rc.recv.0) {
+                        return StepResult::Conflict;
+                    }
+                    if self.assignment[rc.var.index()].is_none() {
+                        self.assign(rc.var, -1);
+                    }
+                }
+                StepResult::Ok
+            }
             DecisionVar::Choice(idx) => {
                 let Pending::Choice { edges, .. } = self.pending[idx].clone() else {
                     unreachable!("choice decision on a non-choice")
@@ -574,6 +674,10 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
             DecisionVar::Wait(i) => {
                 self.sys.waits[i].signals.len() + self.sys.waits[i].broadcasts.len()
             }
+            DecisionVar::ChanRecv(i) => {
+                let rc = &self.sys.recvs[i];
+                rc.sends.len() + usize::from(!rc.closes.is_empty())
+            }
             DecisionVar::Choice(idx) => match &self.pending[idx] {
                 Pending::Choice { edges, .. } => edges.len(),
                 _ => 0,
@@ -585,6 +689,7 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
         match frame.var {
             DecisionVar::Read(i) => self.links[i] = None,
             DecisionVar::Wait(i) => self.wait_choice[i] = None,
+            DecisionVar::ChanRecv(i) => self.recv_choice[i] = None,
             DecisionVar::Choice(_) => {}
         }
         self.graph.undo_to(frame.graph_mark);

@@ -463,6 +463,77 @@ impl<'a> Executor<'a> {
             Instr::Broadcast(c) => {
                 self.push_sap(ctx, SapKind::Broadcast(*c));
             }
+            Instr::Send { chan, src } => {
+                let value = self.operand(locals, *src);
+                self.push_sap(ctx, SapKind::Send { chan: *chan, value });
+            }
+            Instr::Recv { dst, chan } => {
+                // The received value depends on the schedule: fresh
+                // symbolic, resolved by the send-matching constraints.
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let sap = self.push_sap(ctx, SapKind::Recv { chan: *chan, var });
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = self.arena.sym(var);
+            }
+            Instr::TrySend { dst, chan, src } => {
+                let value = self.operand(locals, *src);
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let sap = self.push_sap(
+                    ctx,
+                    SapKind::TrySend {
+                        chan: *chan,
+                        value,
+                        var,
+                    },
+                );
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = self.arena.sym(var);
+            }
+            Instr::TryRecv { dst, chan } => {
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let sap = self.push_sap(ctx, SapKind::TryRecv { chan: *chan, var });
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = self.arena.sym(var);
+            }
+            Instr::ChanClose(c) => {
+                self.push_sap(ctx, SapKind::ChanClose(*c));
+            }
+            Instr::SpawnActor { dst, func, args } => {
+                ctx.forks += 1;
+                let child_lineage = ctx.lineage.child(ctx.forks);
+                let child = *self
+                    .lineage_to_idx
+                    .get(&child_lineage)
+                    .ok_or_else(|| self.err(format!("no path log for actor {child_lineage}")))?;
+                let argv: Vec<ExprId> = args.iter().map(|a| self.operand(locals, *a)).collect();
+                let _ = func;
+                self.pending_args.insert(child_lineage, argv);
+                self.push_sap(ctx, SapKind::SpawnActor { child });
+                locals[dst.index()] = self.arena.constant(child.0 as i64);
+            }
+            Instr::MailboxSend { target, src } => {
+                let h = self.operand(locals, *target);
+                let Some(target) = self.arena.as_const(h) else {
+                    return Err(self.err("mailbox_send target is not concrete"));
+                };
+                if target < 0 || target as usize >= self.per_thread.len() {
+                    return Err(self.err(format!("mailbox_send to unknown thread {target}")));
+                }
+                let value = self.operand(locals, *src);
+                self.push_sap(
+                    ctx,
+                    SapKind::MailboxSend {
+                        target: ThreadIdx(target as u32),
+                        value,
+                    },
+                );
+            }
+            Instr::MailboxRecv { dst } => {
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let sap = self.push_sap(ctx, SapKind::MailboxRecv { var });
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = self.arena.sym(var);
+            }
             Instr::Yield => {}
             Instr::Assert { cond, id } => {
                 // Asserts on the executed path passed: that is part of the

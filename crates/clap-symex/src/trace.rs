@@ -2,7 +2,7 @@
 //! the bug predicate — the inputs to constraint generation (§3).
 
 use crate::expr::{ExprArena, ExprId, SymVarId};
-use clap_ir::{CondId, GlobalId, MutexId, Program};
+use clap_ir::{ChanId, CondId, GlobalId, MutexId, Program};
 use clap_vm::Lineage;
 use std::fmt;
 
@@ -94,6 +94,58 @@ pub enum SapKind {
     Signal(CondId),
     /// Broadcast (wakes every parked wait).
     Broadcast(CondId),
+    /// Channel send of a (possibly symbolic) value.
+    Send {
+        /// Destination channel.
+        chan: ChanId,
+        /// Value expression.
+        value: ExprId,
+    },
+    /// Channel receive; its schedule-dependent result is `var`.
+    Recv {
+        /// Source channel.
+        chan: ChanId,
+        /// The fresh symbolic value it returned (`-1` when the channel was
+        /// closed and drained).
+        var: SymVarId,
+    },
+    /// Non-blocking channel send; its schedule-dependent 0/1 result is
+    /// `var`.
+    TrySend {
+        /// Destination channel.
+        chan: ChanId,
+        /// Value expression.
+        value: ExprId,
+        /// The fresh symbolic success flag.
+        var: SymVarId,
+    },
+    /// Non-blocking channel receive; its schedule-dependent result is
+    /// `var` (`-1` when nothing was available).
+    TryRecv {
+        /// Source channel.
+        chan: ChanId,
+        /// The fresh symbolic value it returned.
+        var: SymVarId,
+    },
+    /// Channel close.
+    ChanClose(ChanId),
+    /// Actor spawn; `child` is the new thread.
+    SpawnActor {
+        /// The created actor thread.
+        child: ThreadIdx,
+    },
+    /// Mailbox append to another thread (concrete target).
+    MailboxSend {
+        /// The receiving thread.
+        target: ThreadIdx,
+        /// Value expression.
+        value: ExprId,
+    },
+    /// Mailbox dequeue; its schedule-dependent result is `var`.
+    MailboxRecv {
+        /// The fresh symbolic value it returned.
+        var: SymVarId,
+    },
 }
 
 impl SapKind {
@@ -176,6 +228,27 @@ impl SymTrace {
         self.per_thread.len()
     }
 
+    /// Whether the trace contains any channel or mailbox operation. The
+    /// constraint encoding for these is incomplete (try_* result
+    /// variables are grounded by the validator, FIFO/capacity legality is
+    /// re-checked rather than encoded), so exhausted searches over such
+    /// traces must report a budget event instead of certifying
+    /// unsatisfiability.
+    pub fn has_channel_ops(&self) -> bool {
+        self.saps.iter().any(|s| {
+            matches!(
+                s.kind,
+                SapKind::Send { .. }
+                    | SapKind::Recv { .. }
+                    | SapKind::TrySend { .. }
+                    | SapKind::TryRecv { .. }
+                    | SapKind::ChanClose(_)
+                    | SapKind::MailboxSend { .. }
+                    | SapKind::MailboxRecv { .. }
+            )
+        })
+    }
+
     /// The initial value of a global cell (what a read with no earlier
     /// write observes).
     pub fn init_value(program: &Program, global: GlobalId) -> i64 {
@@ -207,6 +280,28 @@ impl SymTrace {
             SapKind::Wait { cond, .. } => format!("wait {}", program.conds[cond.index()]),
             SapKind::Signal(c) => format!("signal {}", program.conds[c.index()]),
             SapKind::Broadcast(c) => format!("broadcast {}", program.conds[c.index()]),
+            SapKind::Send { chan, value } => format!(
+                "send {} {}",
+                program.chans[chan.index()].name,
+                self.arena.display(*value)
+            ),
+            SapKind::Recv { chan, var } => {
+                format!("{var} = recv {}", program.chans[chan.index()].name)
+            }
+            SapKind::TrySend { chan, value, var } => format!(
+                "{var} = try_send {} {}",
+                program.chans[chan.index()].name,
+                self.arena.display(*value)
+            ),
+            SapKind::TryRecv { chan, var } => {
+                format!("{var} = try_recv {}", program.chans[chan.index()].name)
+            }
+            SapKind::ChanClose(c) => format!("close {}", program.chans[c.index()].name),
+            SapKind::SpawnActor { child } => format!("spawn_actor {child}"),
+            SapKind::MailboxSend { target, value } => {
+                format!("mailbox_send {target} {}", self.arena.display(*value))
+            }
+            SapKind::MailboxRecv { var } => format!("{var} = mailbox_recv"),
         };
         format!("{id}[{} #{}] {body}", sap.thread, sap.po, body = body)
     }

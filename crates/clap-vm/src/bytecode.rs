@@ -28,7 +28,9 @@
 //!   ranges, keeping [`Op`] `Copy`.
 
 use clap_ir::ast::{BinOp, UnOp};
-use clap_ir::{AssertId, BlockId, CondId, FuncId, GlobalId, LocalId, MutexId, Operand, Program};
+use clap_ir::{
+    AssertId, BlockId, ChanId, CondId, FuncId, GlobalId, LocalId, MutexId, Operand, Program,
+};
 
 /// A pure right-hand side, mirroring [`clap_ir::Rvalue`] but `Copy`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +111,59 @@ pub enum Op {
     Signal(CondId),
     /// Wake all waiters.
     Broadcast(CondId),
+    /// Blocking channel send.
+    Send {
+        /// Destination channel.
+        chan: ChanId,
+        /// Value sent.
+        src: Operand,
+    },
+    /// Blocking channel receive.
+    Recv {
+        /// Receives the value (or `-1` when closed and drained).
+        dst: LocalId,
+        /// Source channel.
+        chan: ChanId,
+    },
+    /// Non-blocking channel send.
+    TrySend {
+        /// Receives 1 on success, 0 on full/closed.
+        dst: LocalId,
+        /// Destination channel.
+        chan: ChanId,
+        /// Value sent.
+        src: Operand,
+    },
+    /// Non-blocking channel receive.
+    TryRecv {
+        /// Receives the value, or `-1` when nothing was available.
+        dst: LocalId,
+        /// Source channel.
+        chan: ChanId,
+    },
+    /// Close a channel (idempotent).
+    ChanClose(ChanId),
+    /// Spawn an actor thread with its own mailbox.
+    SpawnActor {
+        /// Receives the new actor's handle.
+        dst: LocalId,
+        /// Entry function of the actor.
+        func: FuncId,
+        /// Arguments (interned).
+        args: ArgsRef,
+    },
+    /// Append a message to another thread's mailbox.
+    MailboxSend {
+        /// Thread handle operand.
+        target: Operand,
+        /// Value sent.
+        src: Operand,
+    },
+    /// Dequeue a message from the executing thread's own mailbox.
+    MailboxRecv {
+        /// Receives the message.
+        dst: LocalId,
+    },
     /// Voluntary context-switch point.
     Yield,
     /// Property check.

@@ -111,6 +111,34 @@ fn lower_instr(instr: &Instr, arg_pool: &mut Vec<Operand>) -> Op {
         },
         Instr::Signal(c) => Op::Signal(*c),
         Instr::Broadcast(c) => Op::Broadcast(*c),
+        Instr::Send { chan, src } => Op::Send {
+            chan: *chan,
+            src: *src,
+        },
+        Instr::Recv { dst, chan } => Op::Recv {
+            dst: *dst,
+            chan: *chan,
+        },
+        Instr::TrySend { dst, chan, src } => Op::TrySend {
+            dst: *dst,
+            chan: *chan,
+            src: *src,
+        },
+        Instr::TryRecv { dst, chan } => Op::TryRecv {
+            dst: *dst,
+            chan: *chan,
+        },
+        Instr::ChanClose(c) => Op::ChanClose(*c),
+        Instr::SpawnActor { dst, func, args } => Op::SpawnActor {
+            dst: *dst,
+            func: *func,
+            args: intern(args, arg_pool),
+        },
+        Instr::MailboxSend { target, src } => Op::MailboxSend {
+            target: *target,
+            src: *src,
+        },
+        Instr::MailboxRecv { dst } => Op::MailboxRecv { dst: *dst },
         Instr::Yield => Op::Yield,
         Instr::Assert { cond, id } => Op::Assert {
             cond: *cond,

@@ -8,7 +8,7 @@
 
 use crate::mem::Addr;
 use crate::thread::{Lineage, ThreadId};
-use clap_ir::{AssertId, BlockId, CondId, FuncId, GlobalId, MutexId};
+use clap_ir::{AssertId, BlockId, ChanId, CondId, FuncId, GlobalId, MutexId};
 
 /// A shared-memory access as seen at instruction-execution time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,24 @@ pub enum SyncEvent {
     Signal(CondId),
     /// Cond broadcast.
     Broadcast(CondId),
+    /// Channel send completed (value enqueued, or dropped when closed).
+    ChanSend(ChanId),
+    /// Channel receive completed (value dequeued, or the closed-channel
+    /// `-1` sentinel).
+    ChanRecv(ChanId),
+    /// Non-blocking send executed (`true` = value enqueued).
+    ChanTrySend(ChanId, bool),
+    /// Non-blocking receive executed (`true` = value dequeued).
+    ChanTryRecv(ChanId, bool),
+    /// Channel closed (idempotent).
+    ChanClose(ChanId),
+    /// Actor spawned (the new actor thread's id).
+    SpawnActor(ThreadId),
+    /// Message appended to the target thread's mailbox (or dropped when
+    /// the target had exited).
+    MailboxSend(ThreadId),
+    /// Message dequeued from the executing thread's own mailbox.
+    MailboxRecv,
 }
 
 /// Observes VM execution. All methods default to no-ops so monitors

@@ -1,6 +1,6 @@
 //! Thread state: call frames, lineage-based canonical identity, run status.
 
-use clap_ir::{BlockId, CondId, FuncId, LocalId, MutexId};
+use clap_ir::{BlockId, ChanId, CondId, FuncId, LocalId, MutexId};
 use std::fmt;
 
 /// A dense runtime thread identifier.
@@ -127,6 +127,13 @@ pub enum Status {
     BlockedJoin(ThreadId),
     /// Parked on a condition variable (pre-signal).
     BlockedWait(CondId),
+    /// Parked on a `send` to a full (or, for capacity 0, receiver-less)
+    /// channel.
+    BlockedSend(ChanId),
+    /// Parked on a `recv` from an empty, still-open channel.
+    BlockedRecv(ChanId),
+    /// Parked on a `mailbox_recv` with an empty mailbox.
+    BlockedMailbox,
     /// Finished.
     Exited,
 }

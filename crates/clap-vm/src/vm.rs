@@ -22,8 +22,8 @@ use crate::sched::{Action, Scheduler};
 use crate::stats::ExecStats;
 use crate::thread::{Frame, Lineage, Status, Thread, ThreadId};
 use clap_ir::{
-    eval_binop, eval_unop, AssertId, BlockId, CondId, FuncId, GlobalId, Instr, LocalId, MutexId,
-    Operand, Program, Rvalue, Terminator,
+    eval_binop, eval_unop, AssertId, BlockId, ChanId, CondId, FuncId, GlobalId, Instr, LocalId,
+    MutexId, Operand, Program, Rvalue, Terminator,
 };
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
@@ -164,6 +164,22 @@ pub enum SapPreviewKind {
     Signal(CondId),
     /// Broadcast.
     Broadcast(CondId),
+    /// Blocking channel send that would complete.
+    ChanSend(ChanId),
+    /// Blocking channel receive that would complete.
+    ChanRecv(ChanId),
+    /// Non-blocking channel send (executes regardless of channel state).
+    ChanTrySend(ChanId),
+    /// Non-blocking channel receive (executes regardless of channel state).
+    ChanTryRecv(ChanId),
+    /// Channel close.
+    ChanClose(ChanId),
+    /// Actor spawn.
+    SpawnActor,
+    /// Mailbox append to another thread.
+    MailboxSend,
+    /// Mailbox dequeue that would complete.
+    MailboxRecv,
 }
 
 /// A captured execution state (see [`Vm::snapshot`]): everything mutable
@@ -187,6 +203,13 @@ pub struct Snapshot {
     cond_waiters: Vec<ThreadId>,
     cond_lens: Vec<u32>,
     mutex_owner: Vec<Option<ThreadId>>,
+    chan_items: Vec<i64>,
+    chan_lens: Vec<u32>,
+    chan_closed: Vec<bool>,
+    /// Pooled mailbox contents, one length per thread (same order as
+    /// [`Snapshot::threads`]).
+    mailbox_items: Vec<i64>,
+    mailbox_lens: Vec<u32>,
     stats: ExecStats,
     announced_main: bool,
 }
@@ -268,6 +291,12 @@ pub struct Vm<'p> {
     buffers: Vec<StoreBuffer>,
     mutex_owner: Vec<Option<ThreadId>>,
     cond_queue: Vec<VecDeque<ThreadId>>,
+    /// Per-channel FIFO contents (bounded by the declared capacity; a
+    /// capacity-0 channel holds at most one in-flight rendezvous value).
+    chan_queues: Vec<VecDeque<i64>>,
+    chan_closed: Vec<bool>,
+    /// Per-thread unbounded mailboxes, in lockstep with `threads`.
+    mailboxes: Vec<VecDeque<i64>>,
     stats: ExecStats,
     outcome: Option<Outcome>,
     step_limit: u64,
@@ -353,6 +382,9 @@ impl<'p> Vm<'p> {
             buffers: vec![StoreBuffer::default()],
             mutex_owner: vec![None; program.mutexes.len()],
             cond_queue: vec![VecDeque::new(); program.conds.len()],
+            chan_queues: vec![VecDeque::new(); program.chans.len()],
+            chan_closed: vec![false; program.chans.len()],
+            mailboxes: vec![VecDeque::new()],
             stats,
             outcome: None,
             step_limit: 200_000_000,
@@ -612,7 +644,119 @@ impl<'p> Vm<'p> {
                 po_index: sap,
                 kind: SapPreviewKind::Broadcast(c),
             },
+            Op::Send { chan, .. } => {
+                if self.chan_send_ready(t, chan) {
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::ChanSend(chan),
+                    }
+                } else {
+                    StepPreview::WouldBlock
+                }
+            }
+            Op::Recv { chan, .. } => {
+                if self.chan_recv_ready(chan) {
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::ChanRecv(chan),
+                    }
+                } else {
+                    StepPreview::WouldBlock
+                }
+            }
+            Op::TrySend { chan, .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::ChanTrySend(chan),
+            },
+            Op::TryRecv { chan, .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::ChanTryRecv(chan),
+            },
+            Op::ChanClose(c) => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::ChanClose(c),
+            },
+            Op::SpawnActor { .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::SpawnActor,
+            },
+            Op::MailboxSend { .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::MailboxSend,
+            },
+            Op::MailboxRecv { .. } => {
+                if self.mailboxes[t.index()].is_empty() {
+                    StepPreview::WouldBlock
+                } else {
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::MailboxRecv,
+                    }
+                }
+            }
         }
+    }
+
+    /// `true` when stepping thread `t`'s `send` on `chan` would complete
+    /// rather than park. A send on a closed channel always completes (the
+    /// value is silently dropped — the "lost close" failure mode); a
+    /// capacity-0 send completes only when the rendezvous slot is free and
+    /// some *other* thread is positioned at a `recv` on the same channel.
+    fn chan_send_ready(&self, t: ThreadId, chan: ChanId) -> bool {
+        if self.chan_closed[chan.index()] {
+            return true;
+        }
+        let cap = self.program.chans[chan.index()].cap;
+        if cap == 0 {
+            self.chan_queues[chan.index()].is_empty() && self.recv_positioned(t, chan)
+        } else {
+            self.chan_queues[chan.index()].len() < cap
+        }
+    }
+
+    /// `true` when a `recv` on `chan` would complete: a value is queued,
+    /// or the channel is closed (drained receives yield `-1`).
+    fn chan_recv_ready(&self, chan: ChanId) -> bool {
+        !self.chan_queues[chan.index()].is_empty() || self.chan_closed[chan.index()]
+    }
+
+    /// `true` when some thread other than `sender` sits at a `recv` on
+    /// `chan` — either parked there ([`Status::BlockedRecv`]) or runnable
+    /// with a `recv` as its next op. The capacity-0 rendezvous partner
+    /// test.
+    fn recv_positioned(&self, sender: ThreadId, chan: ChanId) -> bool {
+        self.threads.iter().any(|th| {
+            if th.id == sender || th.frames.is_empty() {
+                return false;
+            }
+            match th.status {
+                Status::BlockedRecv(c) => c == chan,
+                Status::Runnable => {
+                    let fr = th.frame();
+                    let pc = match self.backend {
+                        Backend::Bytecode => fr.pc,
+                        Backend::Tree => self.compiled.pc_of(fr.func, fr.block, fr.ip),
+                    };
+                    matches!(self.compiled.op(pc), Op::Recv { chan: c, .. } if c == chan)
+                }
+                _ => false,
+            }
+        })
+    }
+
+    /// Number of values currently queued in `chan`.
+    pub fn chan_len(&self, chan: ChanId) -> usize {
+        self.chan_queues[chan.index()].len()
+    }
+
+    /// `true` once `chan` has been closed.
+    pub fn chan_is_closed(&self, chan: ChanId) -> bool {
+        self.chan_closed[chan.index()]
+    }
+
+    /// Number of messages waiting in thread `t`'s mailbox.
+    pub fn mailbox_len(&self, t: ThreadId) -> usize {
+        self.mailboxes[t.index()].len()
     }
 
     /// Runs to completion under `scheduler`, reporting events to `monitor`.
@@ -754,6 +898,20 @@ impl<'p> Vm<'p> {
         }
         snap.mutex_owner.clear();
         snap.mutex_owner.extend_from_slice(&self.mutex_owner);
+        snap.chan_items.clear();
+        snap.chan_lens.clear();
+        for q in &self.chan_queues {
+            snap.chan_lens.push(q.len() as u32);
+            snap.chan_items.extend(q.iter().copied());
+        }
+        snap.chan_closed.clear();
+        snap.chan_closed.extend_from_slice(&self.chan_closed);
+        snap.mailbox_items.clear();
+        snap.mailbox_lens.clear();
+        for mb in &self.mailboxes {
+            snap.mailbox_lens.push(mb.len() as u32);
+            snap.mailbox_items.extend(mb.iter().copied());
+        }
         snap.stats = self.stats;
         snap.announced_main = self.announced_main;
     }
@@ -847,6 +1005,30 @@ impl<'p> Vm<'p> {
             );
             start += len as usize;
         }
+        let mut start = 0usize;
+        for (q, &len) in self.chan_queues.iter_mut().zip(&snapshot.chan_lens) {
+            q.clear();
+            q.extend(
+                snapshot.chan_items[start..start + len as usize]
+                    .iter()
+                    .copied(),
+            );
+            start += len as usize;
+        }
+        self.chan_closed.copy_from_slice(&snapshot.chan_closed);
+        self.mailboxes.truncate(snapshot.mailbox_lens.len());
+        self.mailboxes
+            .resize_with(snapshot.mailbox_lens.len(), VecDeque::new);
+        let mut start = 0usize;
+        for (mb, &len) in self.mailboxes.iter_mut().zip(&snapshot.mailbox_lens) {
+            mb.clear();
+            mb.extend(
+                snapshot.mailbox_items[start..start + len as usize]
+                    .iter()
+                    .copied(),
+            );
+            start += len as usize;
+        }
         self.stats = snapshot.stats;
         self.announced_main = snapshot.announced_main;
         self.outcome = None;
@@ -905,6 +1087,14 @@ impl<'p> Vm<'p> {
         for q in &mut self.cond_queue {
             q.clear();
         }
+        for q in &mut self.chan_queues {
+            q.clear();
+        }
+        for closed in &mut self.chan_closed {
+            *closed = false;
+        }
+        self.mailboxes.truncate(1);
+        self.mailboxes[0].clear();
         self.stats = ExecStats {
             threads: 1,
             ..ExecStats::default()
@@ -976,6 +1166,29 @@ impl<'p> Vm<'p> {
     fn wake_lock_waiters(&mut self, mutex: MutexId) {
         for th in &mut self.threads {
             if th.status == Status::BlockedLock(mutex) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wakes every thread parked on a `send` to `chan` — called whenever a
+    /// slot may have freed (a receive, a close) or, for capacity-0
+    /// channels, when a receiver parks at the rendezvous point. Woken
+    /// senders recontend: a thread that still cannot send re-parks on its
+    /// next step.
+    fn wake_chan_senders(&mut self, chan: ChanId) {
+        for th in &mut self.threads {
+            if th.status == Status::BlockedSend(chan) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wakes every thread parked on a `recv` from `chan` — called when a
+    /// value arrives or the channel closes.
+    fn wake_chan_receivers(&mut self, chan: ChanId) {
+        for th in &mut self.threads {
+            if th.status == Status::BlockedRecv(chan) {
                 th.status = Status::Runnable;
             }
         }
@@ -1140,6 +1353,7 @@ impl<'p> Vm<'p> {
                 self.threads
                     .push(Thread::new(child, lineage.clone(), child_frame));
                 self.buffers.push(StoreBuffer::default());
+                self.mailboxes.push(VecDeque::new());
                 self.stats.threads += 1;
                 let frame = self.threads[ti].frame_mut();
                 frame.locals[dst.index()] = child.0 as i64;
@@ -1226,6 +1440,181 @@ impl<'p> Vm<'p> {
                 self.stats.instructions += 1;
                 self.take_sap(t);
                 monitor.on_sync(t, &SyncEvent::Broadcast(c));
+            }
+            Op::Send { chan, src } => {
+                if !self.chan_send_ready(t, chan) {
+                    self.threads[ti].status = Status::BlockedSend(chan);
+                    return;
+                }
+                let value = operand(self.threads[ti].frame(), src);
+                self.flush_buffer(t, monitor);
+                if !self.chan_closed[chan.index()] {
+                    self.chan_queues[chan.index()].push_back(value);
+                    self.wake_chan_receivers(chan);
+                }
+                // Closed channel: the value is silently dropped — the
+                // "lost close" failure mode the asserts observe.
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanSend(chan));
+            }
+            Op::Recv { dst, chan } => {
+                if !self.chan_recv_ready(chan) {
+                    self.threads[ti].status = Status::BlockedRecv(chan);
+                    // A parked receiver is a rendezvous partner: let
+                    // capacity-0 senders recontend.
+                    self.wake_chan_senders(chan);
+                    return;
+                }
+                self.flush_buffer(t, monitor);
+                let value = match self.chan_queues[chan.index()].pop_front() {
+                    Some(v) => {
+                        self.wake_chan_senders(chan);
+                        v
+                    }
+                    None => -1, // closed and drained
+                };
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanRecv(chan));
+            }
+            Op::TrySend { dst, chan, src } => {
+                let value = operand(self.threads[ti].frame(), src);
+                self.flush_buffer(t, monitor);
+                let ok = if self.chan_closed[chan.index()] {
+                    false
+                } else {
+                    let cap = self.program.chans[chan.index()].cap;
+                    let ready = if cap == 0 {
+                        self.chan_queues[chan.index()].is_empty() && self.recv_positioned(t, chan)
+                    } else {
+                        self.chan_queues[chan.index()].len() < cap
+                    };
+                    if ready {
+                        self.chan_queues[chan.index()].push_back(value);
+                        self.wake_chan_receivers(chan);
+                    }
+                    ready
+                };
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = ok as i64;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanTrySend(chan, ok));
+            }
+            Op::TryRecv { dst, chan } => {
+                self.flush_buffer(t, monitor);
+                let (value, ok) = match self.chan_queues[chan.index()].pop_front() {
+                    Some(v) => {
+                        self.wake_chan_senders(chan);
+                        (v, true)
+                    }
+                    None => (-1, false),
+                };
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanTryRecv(chan, ok));
+            }
+            Op::ChanClose(c) => {
+                self.flush_buffer(t, monitor);
+                self.chan_closed[c.index()] = true; // double-close is a no-op
+                self.wake_chan_senders(c);
+                self.wake_chan_receivers(c);
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanClose(c));
+            }
+            Op::SpawnActor {
+                dst,
+                func: callee,
+                args,
+            } => {
+                let argv: Vec<i64> = {
+                    let frame = self.threads[ti].frame();
+                    self.compiled
+                        .args(args)
+                        .iter()
+                        .map(|a| operand(frame, *a))
+                        .collect()
+                };
+                self.flush_buffer(t, monitor);
+                let parent = &mut self.threads[ti];
+                parent.forks += 1;
+                let lineage = parent.lineage.child(parent.forks);
+                let child = ThreadId::from(self.threads.len());
+                let meta = self.compiled.func(callee);
+                let entry_block = self.compiled.info(meta.entry).block;
+                let mut child_frame = Frame::new(callee, entry_block, meta.locals as usize, &argv);
+                child_frame.pc = meta.entry;
+                self.threads
+                    .push(Thread::new(child, lineage.clone(), child_frame));
+                self.buffers.push(StoreBuffer::default());
+                self.mailboxes.push(VecDeque::new());
+                self.stats.threads += 1;
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = child.0 as i64;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::SpawnActor(child));
+                monitor.on_thread_start(child, &lineage, callee);
+                monitor.on_func_enter(child, callee);
+            }
+            Op::MailboxSend { target, src } => {
+                let frame = self.threads[ti].frame();
+                let handle = operand(frame, target);
+                let value = operand(frame, src);
+                if handle < 0 || handle as usize >= self.threads.len() {
+                    self.fault(t, format!("mailbox_send to invalid thread handle {handle}"));
+                    return;
+                }
+                let target = ThreadId::from(handle as usize);
+                self.flush_buffer(t, monitor);
+                if self.threads[target.index()].status != Status::Exited {
+                    self.mailboxes[target.index()].push_back(value);
+                    if self.threads[target.index()].status == Status::BlockedMailbox {
+                        self.threads[target.index()].status = Status::Runnable;
+                    }
+                }
+                // Dead letter: a message to an exited thread is dropped.
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::MailboxSend(target));
+            }
+            Op::MailboxRecv { dst } => {
+                if self.mailboxes[ti].is_empty() {
+                    self.threads[ti].status = Status::BlockedMailbox;
+                    return;
+                }
+                self.flush_buffer(t, monitor);
+                let value = self.mailboxes[ti].pop_front().expect("mailbox non-empty");
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::MailboxRecv);
             }
             Op::Yield => {
                 let frame = self.threads[ti].frame_mut();
@@ -1468,6 +1857,7 @@ impl<'p> Vm<'p> {
                 self.threads
                     .push(Thread::new(child, lineage.clone(), child_frame));
                 self.buffers.push(StoreBuffer::default());
+                self.mailboxes.push(VecDeque::new());
                 self.stats.threads += 1;
                 let frame = self.threads[t.index()].frame_mut();
                 frame.locals[dst.index()] = child.0 as i64;
@@ -1546,6 +1936,170 @@ impl<'p> Vm<'p> {
                 self.stats.instructions += 1;
                 self.take_sap(t);
                 monitor.on_sync(t, &SyncEvent::Broadcast(*c));
+            }
+            Instr::Send { chan, src } => {
+                let chan = *chan;
+                if !self.chan_send_ready(t, chan) {
+                    self.threads[t.index()].status = Status::BlockedSend(chan);
+                    return;
+                }
+                let value = operand(self.threads[t.index()].frame(), *src);
+                self.flush_buffer(t, monitor);
+                if !self.chan_closed[chan.index()] {
+                    self.chan_queues[chan.index()].push_back(value);
+                    self.wake_chan_receivers(chan);
+                }
+                // Closed channel: the value is silently dropped — the
+                // "lost close" failure mode the asserts observe.
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanSend(chan));
+            }
+            Instr::Recv { dst, chan } => {
+                let chan = *chan;
+                if !self.chan_recv_ready(chan) {
+                    self.threads[t.index()].status = Status::BlockedRecv(chan);
+                    // A parked receiver is a rendezvous partner: let
+                    // capacity-0 senders recontend.
+                    self.wake_chan_senders(chan);
+                    return;
+                }
+                self.flush_buffer(t, monitor);
+                let value = match self.chan_queues[chan.index()].pop_front() {
+                    Some(v) => {
+                        self.wake_chan_senders(chan);
+                        v
+                    }
+                    None => -1, // closed and drained
+                };
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanRecv(chan));
+            }
+            Instr::TrySend { dst, chan, src } => {
+                let chan = *chan;
+                let value = operand(self.threads[t.index()].frame(), *src);
+                self.flush_buffer(t, monitor);
+                let ok = if self.chan_closed[chan.index()] {
+                    false
+                } else {
+                    let cap = self.program.chans[chan.index()].cap;
+                    let ready = if cap == 0 {
+                        self.chan_queues[chan.index()].is_empty() && self.recv_positioned(t, chan)
+                    } else {
+                        self.chan_queues[chan.index()].len() < cap
+                    };
+                    if ready {
+                        self.chan_queues[chan.index()].push_back(value);
+                        self.wake_chan_receivers(chan);
+                    }
+                    ready
+                };
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = ok as i64;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanTrySend(chan, ok));
+            }
+            Instr::TryRecv { dst, chan } => {
+                let chan = *chan;
+                self.flush_buffer(t, monitor);
+                let (value, ok) = match self.chan_queues[chan.index()].pop_front() {
+                    Some(v) => {
+                        self.wake_chan_senders(chan);
+                        (v, true)
+                    }
+                    None => (-1, false),
+                };
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanTryRecv(chan, ok));
+            }
+            Instr::ChanClose(c) => {
+                let c = *c;
+                self.flush_buffer(t, monitor);
+                self.chan_closed[c.index()] = true; // double-close is a no-op
+                self.wake_chan_senders(c);
+                self.wake_chan_receivers(c);
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::ChanClose(c));
+            }
+            Instr::SpawnActor {
+                dst,
+                func: callee,
+                args,
+            } => {
+                let frame = self.threads[t.index()].frame();
+                let argv: Vec<i64> = args.iter().map(|a| operand(frame, *a)).collect();
+                self.flush_buffer(t, monitor);
+                let parent = &mut self.threads[t.index()];
+                parent.forks += 1;
+                let lineage = parent.lineage.child(parent.forks);
+                let child = ThreadId::from(self.threads.len());
+                let callee_fn = program.function(*callee);
+                let child_frame =
+                    Frame::new(*callee, callee_fn.entry, callee_fn.locals.len(), &argv);
+                self.threads
+                    .push(Thread::new(child, lineage.clone(), child_frame));
+                self.buffers.push(StoreBuffer::default());
+                self.mailboxes.push(VecDeque::new());
+                self.stats.threads += 1;
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = child.0 as i64;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::SpawnActor(child));
+                monitor.on_thread_start(child, &lineage, *callee);
+                monitor.on_func_enter(child, *callee);
+            }
+            Instr::MailboxSend { target, src } => {
+                let frame = self.threads[t.index()].frame();
+                let handle = operand(frame, *target);
+                let value = operand(frame, *src);
+                if handle < 0 || handle as usize >= self.threads.len() {
+                    self.fault(t, format!("mailbox_send to invalid thread handle {handle}"));
+                    return;
+                }
+                let target = ThreadId::from(handle as usize);
+                self.flush_buffer(t, monitor);
+                if self.threads[target.index()].status != Status::Exited {
+                    self.mailboxes[target.index()].push_back(value);
+                    if self.threads[target.index()].status == Status::BlockedMailbox {
+                        self.threads[target.index()].status = Status::Runnable;
+                    }
+                }
+                // Dead letter: a message to an exited thread is dropped.
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::MailboxSend(target));
+            }
+            Instr::MailboxRecv { dst } => {
+                if self.mailboxes[t.index()].is_empty() {
+                    self.threads[t.index()].status = Status::BlockedMailbox;
+                    return;
+                }
+                self.flush_buffer(t, monitor);
+                let value = self.mailboxes[t.index()]
+                    .pop_front()
+                    .expect("mailbox non-empty");
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+                self.take_sap(t);
+                monitor.on_sync(t, &SyncEvent::MailboxRecv);
             }
             Instr::Yield => {
                 self.threads[t.index()].frame_mut().ip += 1;

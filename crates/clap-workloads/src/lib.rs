@@ -145,9 +145,52 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Looks up a workload by name.
+/// The message-passing workload family: bounded channels and actor
+/// mailboxes. Not part of the paper's Table 1 (which predates the
+/// channel primitives) — this is the scenario-diversity rung on top of
+/// it, and every member is oracle-certified by the differential suite.
+pub fn channels() -> Vec<Workload> {
+    let chan = |name: &'static str, subject: &'static str, source: String| Workload {
+        name,
+        paper_subject: subject,
+        source,
+        model: MemModel::Sc,
+        seed_budget: 4_000,
+        stickiness: DEFAULT_STICKINESS,
+    };
+    vec![
+        chan(
+            "chan_lost_close",
+            "lost-close race (dropped send, drained recv)",
+            programs::chan_lost_close(),
+        ),
+        chan(
+            "chan_pipeline",
+            "two-stage bounded-channel pipeline",
+            programs::chan_pipeline(),
+        ),
+        chan(
+            "chan_workqueue",
+            "bounded work-queue with try_send shedding",
+            programs::chan_workqueue(),
+        ),
+        chan(
+            "chan_fanin",
+            "fan-in aggregator with racing try_recv poll",
+            programs::chan_fanin(),
+        ),
+        chan(
+            "actor_pingpong",
+            "actor ping-pong rally with mailbox config",
+            programs::actor_pingpong(),
+        ),
+    ]
+}
+
+/// Looks up a workload by name, searching Table 1 first and then the
+/// channel family.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    all().into_iter().chain(channels()).find(|w| w.name == name)
 }
 
 /// The heavier workload variants used for the Table 2 overhead
@@ -345,6 +388,28 @@ mod tests {
         assert_eq!(get("bakery"), 4);
         assert_eq!(get("dekker"), 3);
         assert_eq!(get("peterson"), 3);
+    }
+
+    #[test]
+    fn channel_workloads_parse_and_declare_channels_or_mailboxes() {
+        let suite = channels();
+        assert_eq!(suite.len(), 5);
+        for w in &suite {
+            let program = w.program();
+            assert!(
+                !program.chans.is_empty() || w.source.contains("mailbox"),
+                "{} exercises message passing",
+                w.name
+            );
+            assert!(by_name(w.name).is_some(), "{} resolves by name", w.name);
+        }
+    }
+
+    #[test]
+    fn channel_workload_failures_are_findable() {
+        for w in &channels() {
+            assert!(find_failure(w).is_some(), "{} failure not found", w.name);
+        }
     }
 
     #[test]

@@ -740,3 +740,40 @@ pub fn racey_heavy(iters: u32) -> String {
     "#
     )
 }
+
+/// chan_lost_close — the minimal lost-close race: main closes the
+/// channel while the producer is still sending, so a dropped payload
+/// turns into a `-1` drain on the consumer side. Shared source with
+/// `examples/chan_lost_close.clap`.
+pub fn chan_lost_close() -> String {
+    include_str!("../../../examples/chan_lost_close.clap").to_owned()
+}
+
+/// chan_pipeline — a two-stage producer → transform → sink pipeline
+/// over two bounded channels; an early close poisons the downstream
+/// sum. Shared source with `examples/chan_pipeline.clap`.
+pub fn chan_pipeline() -> String {
+    include_str!("../../../examples/chan_pipeline.clap").to_owned()
+}
+
+/// chan_workqueue — a bounded work-queue whose producer sheds items
+/// with `try_send` when the consumer falls behind. Shared source with
+/// `examples/chan_workqueue.clap`.
+pub fn chan_workqueue() -> String {
+    include_str!("../../../examples/chan_workqueue.clap").to_owned()
+}
+
+/// chan_fanin — two producers feed one channel; the aggregator's final
+/// `try_recv` poll races with the last send. Shared source with
+/// `examples/chan_fanin.clap`.
+pub fn chan_fanin() -> String {
+    include_str!("../../../examples/chan_fanin.clap").to_owned()
+}
+
+/// actor_pingpong — an actor rally over two rendezvous channels, with
+/// the multiplier delivered through a `spawn_actor` mailbox and a
+/// racing close dropping replies. Shared source with
+/// `examples/actor_pingpong.clap`.
+pub fn actor_pingpong() -> String {
+    include_str!("../../../examples/actor_pingpong.clap").to_owned()
+}

@@ -205,6 +205,8 @@ impl_tuple_strategy!(A);
 impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
 
 /// `&str` patterns are regex-subset string strategies (see
 /// [`string::sample_pattern`]).

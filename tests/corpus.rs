@@ -20,7 +20,10 @@ use std::path::Path;
 /// Corpus membership is explicit so a stray file cannot silently widen
 /// the snapshot, and the snapshot order is stable.
 const PROGRAMS: &[&str] = &[
+    "actor_deadlock",
     "array_index",
+    "chan_rendezvous",
+    "chan_shrunk_min",
     "cond_handoff",
     "lost_update",
     "mp_reorder",
@@ -137,6 +140,53 @@ fn shrunk_min_is_the_shrinker_fixpoint() {
     assert_eq!(
         shrunk, committed,
         "shrinker output drifted from tests/corpus/shrunk_min.clap; \
+         regenerate with CLAP_BLESS=1 cargo test --test corpus"
+    );
+}
+
+/// The committed `chan_shrunk_min.clap` is the shrinker fixpoint of a
+/// noisy lost-close program: the unused channel, the spectator worker,
+/// and the dead statements must all be deleted (exercising the chan-decl
+/// deletion candidates), leaving only the load-bearing close race.
+#[test]
+fn chan_shrunk_min_is_the_shrinker_fixpoint() {
+    let noisy = "global int sum = 0; global int unused = 0; mutex m;
+         chan ch(1); chan spare(2);
+         fn noise() { lock(m); unlock(m); }
+         fn producer() { send(ch, 5); send(ch, 7); }
+         fn consumer() {
+             let a: int = recv(ch);
+             let b: int = recv(ch);
+             sum = a + b;
+         }
+         fn main() {
+             let n: thread = fork noise();
+             let p: thread = fork producer();
+             let c: thread = fork consumer();
+             close(ch);
+             join n; join p; join c;
+             let pad: int = 7;
+             assert(sum == 12, \"lost send\");
+         }";
+    let pred = |s: &str| {
+        let p = clap_ir::parse(s).expect("candidates parse");
+        let r = enumerate(&p, &snapshot_config(MemModel::Sc));
+        !r.failing.is_empty() && r.completed > 0
+    };
+    let shrunk = shrink_source(noisy, pred).expect("noisy channel program fails");
+    assert!(
+        !shrunk.contains("spare") && !shrunk.contains("noise") && !shrunk.contains("unused"),
+        "distractors must be deleted:\n{shrunk}"
+    );
+    let path = Path::new("tests/corpus/chan_shrunk_min.clap");
+    if bless() {
+        fs::write(path, &shrunk).expect("write shrunk corpus program");
+        return;
+    }
+    let committed = corpus_source("chan_shrunk_min");
+    assert_eq!(
+        shrunk, committed,
+        "shrinker output drifted from tests/corpus/chan_shrunk_min.clap; \
          regenerate with CLAP_BLESS=1 cargo test --test corpus"
     );
 }

@@ -207,7 +207,8 @@ proptest! {
     ) {
         let handwritten = build_program(&ops_a, &ops_b);
         let generated = clap_check::ProgramSpec::from_seed(seed).source();
-        for source in [handwritten, generated] {
+        let channels = clap_check::ChanSpec::from_seed(seed).source();
+        for source in [handwritten, generated, channels] {
             let once = clap_ir::canonicalize(&source).expect("source parses");
             let twice = clap_ir::canonicalize(&once).expect("canonical form parses");
             prop_assert!(once == twice, "canonical form must be stable");
@@ -234,6 +235,25 @@ proptest! {
             .expect("generated source parses");
         prop_assert!(report.ok(), "seed {seed}:\n{}", report.summary());
     }
+
+    /// Same differential property for the channel/actor generator:
+    /// bounded channels (caps 0–3), up to three workers mixing
+    /// send/recv/try_send/try_recv/close, and an optional actor leg fed
+    /// over its mailbox. Main always closes the channel, so every
+    /// generated program terminates on every interleaving and races
+    /// surface as assert failures the pipeline must reproduce (or
+    /// soft-verdict — never hard-disagree with the oracle).
+    #[test]
+    fn generated_channel_programs_diff_clean_against_oracle(seed in 0u64..1_000_000) {
+        let spec = clap_check::ChanSpec::from_seed(seed);
+        let config = clap_check::DiffConfig::default()
+            .with_models(vec![MemModel::Sc, MemModel::Tso, MemModel::Pso])
+            .with_seed_budget(400, vec![0.7, 0.3])
+            .with_max_executions(20_000);
+        let report = clap_check::diff_source(&spec.source(), &config)
+            .expect("generated channel source parses");
+        prop_assert!(report.ok(), "chan seed {seed}:\n{}", report.summary());
+    }
 }
 
 /// The shipped example corpus is parseable and canonically stable — the
@@ -252,5 +272,8 @@ fn example_corpus_canonicalizes() {
             checked += 1;
         }
     }
-    assert!(checked >= 2, "expected at least two example programs");
+    assert!(
+        checked >= 7,
+        "expected the channel examples alongside the originals"
+    );
 }

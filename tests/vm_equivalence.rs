@@ -14,7 +14,7 @@
 //! Any divergence here means the bytecode compiler changed semantics,
 //! not just speed — exactly the regression this suite exists to catch.
 
-use clap_check::{enumerate, Fingerprint, FingerprintMonitor, OracleConfig, ProgramSpec};
+use clap_check::{enumerate, ChanSpec, Fingerprint, FingerprintMonitor, OracleConfig, ProgramSpec};
 use clap_ir::{GlobalId, Program};
 use clap_vm::{
     AccessEvent, Action, Backend, FnScheduler, Lineage, MemModel, Monitor, RandomScheduler,
@@ -269,5 +269,26 @@ fn generated_oracle_reports_agree_across_backends() {
     for seed in 0..GENERATED_ORACLE_PROGRAMS {
         let source = ProgramSpec::from_seed(seed).source();
         check_oracle(&format!("gen#{seed}"), &source);
+    }
+}
+
+/// Channel/actor programs exercise a disjoint VM surface — bounded
+/// queues, rendezvous blocking, close semantics, actor mailboxes — so
+/// they get their own sweep at the same acceptance floor as the shared-
+/// memory generator. (The channel examples and corpus programs are
+/// already covered by the disk-program sweeps above.)
+#[test]
+fn generated_channel_programs_agree_across_backends() {
+    for seed in 0..GENERATED_PROGRAMS {
+        let source = ChanSpec::from_seed(seed).source();
+        check_runs(&format!("chan#{seed}"), &source);
+    }
+}
+
+#[test]
+fn generated_channel_oracle_reports_agree_across_backends() {
+    for seed in 0..GENERATED_ORACLE_PROGRAMS {
+        let source = ChanSpec::from_seed(seed).source();
+        check_oracle(&format!("chan#{seed}"), &source);
     }
 }
