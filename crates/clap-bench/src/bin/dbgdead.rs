@@ -200,5 +200,9 @@ fn short(trace: &SymTrace, s: SapId) -> String {
         SapKind::SpawnActor { child } => format!("spawn{}", child.0),
         SapKind::MailboxSend { target, .. } => format!("mbs{}", target.0),
         SapKind::MailboxRecv { .. } => "mbr".into(),
+        SapKind::AtomicLoad { .. } => "aR".into(),
+        SapKind::AtomicStore { .. } => "aW".into(),
+        SapKind::AtomicRmw { .. } => "aRmw".into(),
+        SapKind::AtomicCas { .. } => "aCas".into(),
     }
 }

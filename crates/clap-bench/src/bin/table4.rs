@@ -1,0 +1,60 @@
+//! Regenerates **Table 4** (the C11-atomics axis): each lock-free
+//! workload's recorded C11 failure, re-encoded under SC, TSO, PSO, and
+//! C11 — happens-before edge counts, order variables, clause totals, and
+//! sequential solve time per model. Stronger models add more `F_mo`
+//! edges until the recorded weak behavior becomes infeasible (Unsat).
+//!
+//! With `--metrics <path>` (and/or `--trace <path>`) every cell is also
+//! published through the `clap-obs` JSONL sink as a `bench.atomics`
+//! event, validated by `obsck`.
+
+use clap_bench::{fmt_duration, split_obs_args, table4_row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, observer) = split_obs_args(&args).expect("bad arguments");
+    observer.install();
+    println!("Table 4 — one recorded C11 failure under four memory models");
+    println!(
+        "{:<14} {:>5} {:<6} {:>9} {:>11} {:>9} {:>10} {:>6}",
+        "Program", "#SAPs", "Model", "#HB-mo", "#OrderVars", "#Clauses", "T-solve", "Sat?"
+    );
+    for workload in clap_workloads::lockfree() {
+        match table4_row(&workload) {
+            Ok(r) => {
+                for cell in &r.cells {
+                    clap_obs::event(
+                        "bench.atomics",
+                        &[
+                            ("program", r.name.clone()),
+                            ("model", format!("{:?}", cell.model)),
+                            ("hb_edges", cell.hb_edges.to_string()),
+                            ("order_vars", cell.order_vars.to_string()),
+                            ("clauses", cell.clauses.to_string()),
+                            ("solve_ns", cell.solve_time.as_nanos().to_string()),
+                            ("sat", cell.sat.to_string()),
+                        ],
+                    );
+                    println!(
+                        "{:<14} {:>5} {:<6} {:>9} {:>11} {:>9} {:>10} {:>6}",
+                        r.name,
+                        r.saps,
+                        format!("{:?}", cell.model),
+                        cell.hb_edges,
+                        cell.order_vars,
+                        cell.clauses,
+                        fmt_duration(cell.solve_time),
+                        if cell.sat { "Y" } else { "unsat" },
+                    );
+                }
+            }
+            Err(e) => println!("{:<14} FAILED: {e}", workload.name),
+        }
+    }
+    println!("A `unsat` cell means the weak behavior the C11 run recorded cannot be");
+    println!("serialized under that model's happens-before edges — the bug needs the");
+    println!("relaxed ordering, which is the claim the lock-free suite demonstrates.");
+    if let Err(e) = observer.flush() {
+        eprintln!("clap-obs: failed to write sink: {e}");
+    }
+}

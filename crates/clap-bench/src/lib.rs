@@ -17,7 +17,7 @@ use clap_leap::LeapRecorder;
 use clap_parallel::{solve_parallel, worst_case_schedules_log10, ParallelConfig, ParallelOutcome};
 use clap_profile::{BlTables, PathRecorder};
 use clap_solver::{solve, SolveOutcome, SolverConfig};
-use clap_vm::{NullMonitor, RandomScheduler, Vm};
+use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
 use clap_workloads::Workload;
 use std::time::{Duration, Instant};
 
@@ -301,6 +301,84 @@ pub fn table3_row(workload: &Workload) -> Result<Table3Row, String> {
         seq_time,
         auto_time,
         auto_winner,
+    })
+}
+
+/// One Table 4 cell: the same recorded C11 failure, re-encoded and solved
+/// under one memory model. Stronger models add more happens-before edges;
+/// past some strength the weak behavior the trace recorded becomes
+/// infeasible and the solver proves Unsat.
+#[derive(Debug, Clone)]
+pub struct Table4Cell {
+    /// The memory model the constraint system was built for.
+    pub model: MemModel,
+    /// Memory-order (`F_mo`) edges — the per-model happens-before delta.
+    pub hb_edges: usize,
+    /// Order variables (one per SAP; fixed by the trace, listed so the
+    /// table shows what the models are ordering).
+    pub order_vars: usize,
+    /// Total clause count.
+    pub clauses: usize,
+    /// Sequential solve time.
+    pub solve_time: Duration,
+    /// Whether the solver found a schedule (Sat).
+    pub sat: bool,
+}
+
+/// One Table 4 row: a lock-free workload's recorded C11 failure swept
+/// across all four memory models.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Workload name.
+    pub name: String,
+    /// SAPs in the recorded trace.
+    pub saps: usize,
+    /// One cell per memory model, in `SC, TSO, PSO, C11` order.
+    pub cells: Vec<Table4Cell>,
+}
+
+/// Records one failing execution of a lock-free workload under its own
+/// model (C11), then rebuilds and solves the constraint system under each
+/// memory model (Table 4).
+///
+/// # Errors
+///
+/// Propagates pipeline errors as strings.
+pub fn table4_row(workload: &Workload) -> Result<Table4Row, String> {
+    let pipeline = Pipeline::new(workload.program());
+    let config = workload_config(workload);
+    let recorded: RecordedFailure = pipeline
+        .record_failure(&config)
+        .map_err(|e| e.to_string())?;
+    let trace = pipeline
+        .symbolic_trace(&recorded)
+        .map_err(|e| e.to_string())?;
+    let mut cells = Vec::new();
+    for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso, MemModel::C11] {
+        let system = ConstraintSystem::build(pipeline.program(), &trace, model);
+        let stats = count(&system);
+        let t = Instant::now();
+        let outcome = solve(
+            pipeline.program(),
+            &system,
+            SolverConfig {
+                timeout: Some(Duration::from_secs(120)),
+                max_decisions: 0,
+            },
+        );
+        cells.push(Table4Cell {
+            model,
+            hb_edges: stats.mo_clauses,
+            order_vars: stats.order_vars,
+            clauses: stats.total_clauses(),
+            solve_time: t.elapsed(),
+            sat: matches!(outcome, SolveOutcome::Sat(_)),
+        });
+    }
+    Ok(Table4Row {
+        name: workload.name.to_owned(),
+        saps: trace.sap_count(),
+        cells,
     })
 }
 

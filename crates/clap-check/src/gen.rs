@@ -346,6 +346,153 @@ impl ChanSpec {
     }
 }
 
+/// The four C11 orderings the atomic generator draws from.
+const ORDERINGS: [&str; 4] = ["relaxed", "acquire", "release", "seq_cst"];
+
+/// One worker operation template for atomic programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Racy unprotected increment of `p` via a load/store pair — lost
+    /// updates under every model. The two indices pick the load and
+    /// store orderings from [`ORDERINGS`].
+    IncP(usize, usize),
+    /// `fetch_add(q, delta, ord)` — atomic, so `q`'s final value is the
+    /// sum of all deltas on every schedule.
+    FetchAddQ(i64, usize),
+    /// `cas(f, 0, 1, ord)` with a lock-protected winner count — exactly
+    /// one CAS in the program wins, on every schedule.
+    CasFlag(usize),
+    /// The message-passing producer half: a relaxed `data` store
+    /// followed by a `flag` store at the chosen ordering. A relaxed or
+    /// acquire flag publish is reorderable under C11 only.
+    Publish(usize),
+    /// The consumer half: acquire-load `flag`, and if set, assert the
+    /// published `data` value is visible.
+    Consume,
+}
+
+/// A generated atomic program: one op list per worker.
+///
+/// Every op is non-blocking and the bodies are straight-line, so every
+/// generated program terminates on every interleaving. The final assert
+/// demands the serial outcome of `p` (violable by a lost update under
+/// any model) plus the schedule-independent invariants on `q` and the
+/// CAS winner count; the in-worker `Consume` assert is violable only
+/// under C11 when the matching publish is weak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSpec {
+    /// Worker bodies, in fork order.
+    pub workers: Vec<Vec<AtomicOp>>,
+}
+
+impl AtomicSpec {
+    /// Deterministically derives a spec from `seed`: 1–3 workers of 1–3
+    /// ops each.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA70311C);
+        let workers = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                (0..rng.gen_range(1..4usize))
+                    .map(|_| match rng.gen_range(0..8usize) {
+                        0 | 1 => AtomicOp::IncP(rng.gen_range(0..4usize), rng.gen_range(0..4usize)),
+                        2 => AtomicOp::FetchAddQ(rng.gen_range(1i64..4), rng.gen_range(0..4usize)),
+                        3 => AtomicOp::CasFlag(rng.gen_range(0..4usize)),
+                        4 | 5 => AtomicOp::Publish(rng.gen_range(0..4usize)),
+                        _ => AtomicOp::Consume,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        AtomicSpec { workers }
+    }
+
+    fn count(&self, f: impl Fn(AtomicOp) -> bool) -> usize {
+        self.workers.iter().flatten().filter(|&&op| f(op)).count()
+    }
+
+    /// Renders the spec to `.clap` source.
+    pub fn source(&self) -> String {
+        let mut out = String::from(
+            "atomic int p = 0; atomic int q = 0; atomic int f = 0;\n\
+             atomic int data = 0; atomic int flag = 0;\n\
+             global int wins = 0;\nmutex m;\n",
+        );
+        for (w, ops) in self.workers.iter().enumerate() {
+            let _ = writeln!(out, "fn w{w}() {{");
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    AtomicOp::IncP(lo, so) => {
+                        let _ = writeln!(
+                            out,
+                            "  let t{i}: int = load(p, {}); store(p, t{i} + 1, {});",
+                            ORDERINGS[lo], ORDERINGS[so]
+                        );
+                    }
+                    AtomicOp::FetchAddQ(delta, o) => {
+                        let _ = writeln!(
+                            out,
+                            "  let t{i}: int = fetch_add(q, {delta}, {});",
+                            ORDERINGS[o]
+                        );
+                    }
+                    AtomicOp::CasFlag(o) => {
+                        let _ = writeln!(
+                            out,
+                            "  let t{i}: int = cas(f, 0, 1, {});\n  \
+                             if (t{i} == 0) {{ lock(m); wins = wins + 1; unlock(m); }}",
+                            ORDERINGS[o]
+                        );
+                    }
+                    AtomicOp::Publish(o) => {
+                        let _ = writeln!(
+                            out,
+                            "  store(data, 7, relaxed); store(flag, 1, {});",
+                            ORDERINGS[o]
+                        );
+                    }
+                    AtomicOp::Consume => {
+                        let _ = writeln!(
+                            out,
+                            "  let f{i}: int = load(flag, acquire);\n  \
+                             if (f{i} == 1) {{\n    \
+                             let d{i}: int = load(data, acquire);\n    \
+                             assert(d{i} == 7, \"published data visible\");\n  }}"
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        out.push_str("fn main() {\n");
+        for w in 0..self.workers.len() {
+            let _ = writeln!(out, "  let h{w}: thread = fork w{w}();");
+        }
+        for w in 0..self.workers.len() {
+            let _ = writeln!(out, "  join h{w};");
+        }
+        let nincs = self.count(|op| matches!(op, AtomicOp::IncP(..)));
+        let sum_deltas: i64 = self
+            .workers
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                AtomicOp::FetchAddQ(d, _) => *d,
+                _ => 0,
+            })
+            .sum();
+        let cas_winners = usize::from(self.count(|op| matches!(op, AtomicOp::CasFlag(_))) > 0);
+        out.push_str("  let fp: int = load(p, seq_cst);\n");
+        out.push_str("  let fq: int = load(q, seq_cst);\n");
+        let _ = writeln!(
+            out,
+            "  assert(fp == {nincs} && fq == {sum_deltas} && wins == {cas_winners}, \
+             \"serial outcome\");"
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +567,75 @@ mod tests {
                 .flatten()
                 .any(|op| matches!(op, ChanOp::Recv | ChanOp::TryRecv));
             assert!(!sends || receives, "seed {seed}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn atomic_generation_is_deterministic_and_parses() {
+        for seed in 0..50 {
+            let spec = AtomicSpec::from_seed(seed);
+            assert_eq!(spec, AtomicSpec::from_seed(seed), "seed {seed}");
+            let src = spec.source();
+            let program =
+                clap_ir::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert!(
+                program.globals.iter().any(|g| g.atomic),
+                "seed {seed} declares atomics"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_generator_covers_every_template_and_ordering() {
+        let mut ops = [false; 5];
+        let mut ords = [false; 4];
+        for seed in 0..200 {
+            for &op in AtomicSpec::from_seed(seed).workers.iter().flatten() {
+                let i = match op {
+                    AtomicOp::IncP(lo, so) => {
+                        ords[lo] = true;
+                        ords[so] = true;
+                        0
+                    }
+                    AtomicOp::FetchAddQ(_, o) => {
+                        ords[o] = true;
+                        1
+                    }
+                    AtomicOp::CasFlag(o) => {
+                        ords[o] = true;
+                        2
+                    }
+                    AtomicOp::Publish(o) => {
+                        ords[o] = true;
+                        3
+                    }
+                    AtomicOp::Consume => 4,
+                };
+                ops[i] = true;
+            }
+        }
+        assert_eq!(ops, [true; 5], "200 seeds hit every atomic op");
+        assert_eq!(ords, [true; 4], "200 seeds hit every ordering");
+    }
+
+    #[test]
+    fn atomic_programs_terminate_on_every_interleaving() {
+        // Straight-line bodies: even an adversarial scheduler cannot
+        // starve them. Spot-check with random runs under C11.
+        use clap_vm::{MemModel, NullMonitor, Outcome, RandomScheduler, Vm};
+        for seed in 0..20 {
+            let src = AtomicSpec::from_seed(seed).source();
+            let program = clap_ir::parse(&src).unwrap();
+            for vm_seed in 0..20 {
+                let mut vm = Vm::new(&program, MemModel::C11);
+                vm.set_step_limit(200_000);
+                let mut sched = RandomScheduler::with_stickiness(vm_seed, 0.5);
+                let outcome = vm.run(&mut sched, &mut NullMonitor);
+                assert!(
+                    !matches!(outcome, Outcome::StepLimit | Outcome::Deadlock { .. }),
+                    "seed {seed} vm_seed {vm_seed}: {outcome:?}"
+                );
+            }
         }
     }
 

@@ -29,7 +29,7 @@ pub mod shrink;
 
 pub use diff::{diff_program, diff_source, DiffConfig, DiffOutcome, DiffReport, Verdict};
 pub use fingerprint::{Event, Fingerprint, FingerprintMonitor, Mark};
-pub use gen::{ChanSpec, ProgramSpec};
+pub use gen::{AtomicSpec, ChanSpec, ProgramSpec};
 pub use oracle::{
     enumerate, enumerate_with_shared, schedule_of_choices, FailingExecution, OracleConfig,
     OracleReport,

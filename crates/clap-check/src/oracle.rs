@@ -199,6 +199,10 @@ pub fn enumerate_with_shared(
     // Deadlocked leaves are part of the channel contract (blocked sends
     // and recvs with no matching peer), so they get their own counter.
     clap_obs::add("check.oracle.deadlocks", r.deadlocks);
+    clap_obs::add(
+        "check.oracle.atomics",
+        program.globals.iter().filter(|g| g.atomic).count() as u64,
+    );
     e.report
 }
 
@@ -481,23 +485,31 @@ pub fn schedule_of_choices(
                     StepPreview::Sap { po_index, kind } => {
                         // Fencing SAPs flush the executing thread's buffer
                         // first; those commits precede the SAP itself.
-                        if matches!(
-                            kind,
-                            SapPreviewKind::Lock(_)
-                                | SapPreviewKind::Unlock(_)
-                                | SapPreviewKind::Fork
-                                | SapPreviewKind::Join
-                                | SapPreviewKind::WaitRelease(_)
-                                | SapPreviewKind::ChanSend(_)
-                                | SapPreviewKind::ChanRecv(_)
-                                | SapPreviewKind::ChanTrySend(_)
-                                | SapPreviewKind::ChanTryRecv(_)
-                                | SapPreviewKind::ChanClose(_)
-                                | SapPreviewKind::SpawnActor
-                                | SapPreviewKind::MailboxSend
-                                | SapPreviewKind::MailboxRecv
-                        ) {
-                            flush_buffer_of(&vm, &mut order);
+                        // Atomic fences mirror the VM: everything fences
+                        // fully except — under C11 — relaxed/acquire
+                        // loads (no flush) and relaxed/acquire RMW/CAS
+                        // (FIFO prefix up to their own location only).
+                        use clap_ir::AtomicOrd;
+                        let weak = |ord: AtomicOrd| {
+                            model == MemModel::C11
+                                && matches!(ord, AtomicOrd::Relaxed | AtomicOrd::Acquire)
+                        };
+                        match kind {
+                            SapPreviewKind::Read(_) | SapPreviewKind::Write(_) => {}
+                            SapPreviewKind::AtomicLoad(_, ord) if weak(ord) => {}
+                            SapPreviewKind::AtomicRmw(addr, ord)
+                            | SapPreviewKind::AtomicCas(addr, ord)
+                                if weak(ord) =>
+                            {
+                                let entries: Vec<_> =
+                                    vm.buffer(t).iter().map(|s| (s.addr, s.po_index)).collect();
+                                if let Some(last) = entries.iter().rposition(|&(a, _)| a == addr) {
+                                    for &(_, po) in &entries[..=last] {
+                                        order.push((lineage.clone(), po));
+                                    }
+                                }
+                            }
+                            _ => flush_buffer_of(&vm, &mut order),
                         }
                         order.push((lineage.clone(), po_index));
                     }

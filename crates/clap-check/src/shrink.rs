@@ -93,6 +93,11 @@ fn candidates(module: &Module) -> Vec<Module> {
         m.chans.remove(i);
         out.push(m);
     }
+    for i in 0..module.atomics.len() {
+        let mut m = module.clone();
+        m.atomics.remove(i);
+        out.push(m);
+    }
     out
 }
 

@@ -1,8 +1,8 @@
 //! `clap-reproduce` — the command-line front end of the CLAP reproduction.
 //!
 //! ```text
-//! clap-reproduce check     [prog.clap] [--all-examples] [--model sc,tso,pso]
-//!                          [--fuzz N] [--chan-fuzz N] [--fuzz-seed S]
+//! clap-reproduce check     [prog.clap] [--all-examples] [--model sc,tso,pso,c11]
+//!                          [--fuzz N] [--chan-fuzz N] [--atomic-fuzz N] [--fuzz-seed S]
 //!                          [--max-preemptions K]
 //!                          [--max-executions N] [--strict-record]
 //!                          [--shrink-out PATH] [--budget N] [--solver ...]
@@ -24,7 +24,7 @@
 //! not fail the run. `--model` takes a comma-separated list for `check`;
 //! the other commands take a single model.
 //!
-//! `M` is one of `sc` (default), `tso`, `pso`. `--workers` sets the
+//! `M` is one of `sc` (default), `tso`, `pso`, `c11`. `--workers` sets the
 //! record-phase exploration pool size (0, the default, means one worker
 //! per core); any value returns the same artifact. Whether a sweep
 //! actually uses the pool is decided per stickiness level by an adaptive
@@ -42,7 +42,7 @@
 //! `about:tracing`), `--metrics <path>` writes the JSONL metric stream,
 //! and `-v`/`--verbose` prints the collector summary to stderr.
 
-use clap_check::{ChanSpec, DiffConfig, ProgramSpec};
+use clap_check::{AtomicSpec, ChanSpec, DiffConfig, ProgramSpec};
 use clap_core::{
     AutoConfig, ExploreCutover, Pipeline, PipelineConfig, ReproductionReport, SolverChoice,
 };
@@ -69,15 +69,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   clap-reproduce check     [prog.clap] [--all-examples] [--examples-dir DIR]
-                           [--model sc,tso,pso] [--fuzz N] [--fuzz-seed S]
+                           [--model sc,tso,pso,c11] [--fuzz N] [--chan-fuzz N]
+                           [--atomic-fuzz N] [--fuzz-seed S]
                            [--max-preemptions K] [--max-executions N]
                            [--strict-record] [--shrink-out PATH]
                            [--budget N] [--solver seq|par|auto] [--solve-timeout SECS]
   clap-reproduce dump      <prog.clap>
-  clap-reproduce run       <prog.clap> [--model sc|tso|pso] [--seed N] [--stickiness S]
-  clap-reproduce explore   <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
+  clap-reproduce run       <prog.clap> [--model sc|tso|pso|c11] [--seed N] [--stickiness S]
+  clap-reproduce explore   <prog.clap> [--model sc|tso|pso|c11] [--budget N] [--workers N]
                            [--cutover N]
-  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso] [--budget N] [--workers N]
+  clap-reproduce reproduce <prog.clap> [--model sc|tso|pso|c11] [--budget N] [--workers N]
                            [--cutover N]
                            [--solver seq|par|auto] [--solve-timeout SECS] [--sync-order]
                            [--json]
@@ -103,7 +104,8 @@ differential checking (check):
   --model a,b,...          memory models to cross-check (default sc)
   --fuzz N                 also check N seeded random programs
   --chan-fuzz N            also check N seeded random channel/actor programs
-  --fuzz-seed S            base seed for --fuzz/--chan-fuzz (default 0; case i uses S+i)
+  --atomic-fuzz N          also check N seeded random C11-atomics programs
+  --fuzz-seed S            base seed for the fuzz flags (default 0; case i uses S+i)
   --max-preemptions K      oracle preemption bound (default 2)
   --max-executions N       oracle execution cap (default 200000)
   --strict-record          treat record-phase misses as hard disagreements
@@ -143,6 +145,7 @@ struct Options {
     examples_dir: String,
     fuzz: u64,
     chan_fuzz: u64,
+    atomic_fuzz: u64,
     fuzz_seed: u64,
     max_preemptions: usize,
     max_executions: u64,
@@ -189,6 +192,7 @@ fn parse_model(name: &str) -> Result<MemModel, String> {
         "sc" => Ok(MemModel::Sc),
         "tso" => Ok(MemModel::Tso),
         "pso" => Ok(MemModel::Pso),
+        "c11" => Ok(MemModel::C11),
         other => Err(format!("unknown memory model `{other}`")),
     }
 }
@@ -209,6 +213,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         examples_dir: "examples".into(),
         fuzz: 0,
         chan_fuzz: 0,
+        atomic_fuzz: 0,
         fuzz_seed: 0,
         max_preemptions: 2,
         max_executions: 200_000,
@@ -289,6 +294,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.chan_fuzz = v
                     .parse()
                     .map_err(|_| format!("bad chan-fuzz count `{v}`"))?;
+            }
+            "--atomic-fuzz" => {
+                let v = it.next().ok_or("--atomic-fuzz needs a case count")?;
+                options.atomic_fuzz = v
+                    .parse()
+                    .map_err(|_| format!("bad atomic-fuzz count `{v}`"))?;
             }
             "--fuzz-seed" => {
                 let v = it.next().ok_or("--fuzz-seed needs a value")?;
@@ -723,9 +734,15 @@ fn check(options: &Options) -> Result<(), String> {
         let source = ChanSpec::from_seed(seed).source();
         targets.push((format!("chan-fuzz:{seed}"), source));
     }
+    for i in 0..options.atomic_fuzz {
+        let seed = options.fuzz_seed.wrapping_add(i);
+        let source = AtomicSpec::from_seed(seed).source();
+        targets.push((format!("atomic-fuzz:{seed}"), source));
+    }
     if targets.is_empty() {
         return Err(
-            "check: nothing to check (give a file, --all-examples, --fuzz N, or --chan-fuzz N)"
+            "check: nothing to check (give a file, --all-examples, --fuzz N, \
+             --chan-fuzz N, or --atomic-fuzz N)"
                 .into(),
         );
     }
@@ -737,7 +754,9 @@ fn check(options: &Options) -> Result<(), String> {
             clap_check::diff_source(source, &config).map_err(|e| format!("{name}: {e}"))?;
         checked += 1;
         let ok = report.ok();
-        let is_fuzz_target = name.starts_with("fuzz:") || name.starts_with("chan-fuzz:");
+        let is_fuzz_target = name.starts_with("fuzz:")
+            || name.starts_with("chan-fuzz:")
+            || name.starts_with("atomic-fuzz:");
         if ok && is_fuzz_target && !options.verbose {
             continue; // keep fuzz output to failures only
         }

@@ -20,7 +20,7 @@
 //!   accesses whose index expressions are not concrete.
 
 use crate::schedule::Schedule;
-use clap_ir::{ChanId, CondId, GlobalId, MutexId, Program};
+use clap_ir::{AtomicOrd, ChanId, CondId, GlobalId, MutexId, Program};
 use clap_profile as clap_profile_sync;
 use clap_symex::{SapId, SapKind, SymAddr, SymTrace, SymVarId, ThreadIdx};
 use clap_vm::MemModel;
@@ -136,6 +136,9 @@ impl<'t> ConstraintSystem<'t> {
                 }
                 MemModel::Tso | MemModel::Pso => {
                     relaxed_mo(trace, model, thread_saps, &mut hard_edges);
+                }
+                MemModel::C11 => {
+                    c11_mo(trace, thread_saps, &mut hard_edges);
                 }
             }
         }
@@ -344,9 +347,14 @@ impl<'t> ConstraintSystem<'t> {
         }
 
         // ---- F_rw: read-write matching ----
+        // Plain reads match plain writes; atomic reads (loads plus the
+        // read half of RMW/CAS) match atomic writes. The two pools never
+        // mix because an atomic declaration is its own global, reachable
+        // only through atomic operations. Atomics are always scalar, so
+        // their address carries no index.
         let mut writes_by_global: HashMap<GlobalId, Vec<SapId>> = HashMap::new();
         for (i, sap) in trace.saps.iter().enumerate() {
-            if let SapKind::Write { addr, .. } = sap.kind {
+            if let Some(addr) = write_addr(&sap.kind) {
                 writes_by_global
                     .entry(addr.global)
                     .or_default()
@@ -355,8 +363,12 @@ impl<'t> ConstraintSystem<'t> {
         }
         let mut reads = Vec::new();
         for (i, sap) in trace.saps.iter().enumerate() {
-            let SapKind::Read { addr, var } = sap.kind else {
-                continue;
+            let (addr, var) = match sap.kind {
+                SapKind::Read { addr, var } => (addr, var),
+                SapKind::AtomicLoad { global, var, .. }
+                | SapKind::AtomicRmw { global, var, .. }
+                | SapKind::AtomicCas { global, var, .. } => (atomic_addr(global), var),
+                _ => continue,
             };
             let read = SapId(i as u32);
             let empty = Vec::new();
@@ -364,9 +376,15 @@ impl<'t> ConstraintSystem<'t> {
             let mut aliasing = Vec::new();
             let mut candidates = vec![ReadSource::Init];
             for &w in glob_writes {
-                let SapKind::Write { addr: waddr, .. } = trace.sap(w).kind else {
-                    unreachable!()
-                };
+                // An RMW/CAS is both a read and a write in one SAP: its
+                // own write can never be its read's source, nor count as
+                // an intervening write between the source and the read —
+                // which is exactly what makes the read-modify-write
+                // indivisible in the modification order.
+                if w == read {
+                    continue;
+                }
+                let waddr = write_addr(&trace.sap(w).kind).expect("collected as a write");
                 if !may_alias(trace, addr, waddr) {
                     continue;
                 }
@@ -417,6 +435,27 @@ impl<'t> ConstraintSystem<'t> {
         self.hard_edges
             .iter()
             .all(|&(a, b)| pos[a.index()] < pos[b.index()])
+    }
+}
+
+/// The address of an atomic location (always a scalar global).
+fn atomic_addr(global: GlobalId) -> SymAddr {
+    SymAddr {
+        global,
+        index: None,
+    }
+}
+
+/// The location a SAP writes, when it writes one (plain stores and the
+/// write half of every atomic write — a failed CAS still rewrites the old
+/// value, keeping it in the modification order).
+pub(crate) fn write_addr(kind: &SapKind) -> Option<SymAddr> {
+    match *kind {
+        SapKind::Write { addr, .. } => Some(addr),
+        SapKind::AtomicStore { global, .. }
+        | SapKind::AtomicRmw { global, .. }
+        | SapKind::AtomicCas { global, .. } => Some(atomic_addr(global)),
+        _ => None,
     }
 }
 
@@ -500,7 +539,7 @@ fn relaxed_mo(trace: &SymTrace, model: MemModel, saps: &[SapId], edges: &mut Vec
                         }
                         last_write_pso.insert(addr.global, s);
                     }
-                    MemModel::Sc => unreachable!("relaxed_mo only for TSO/PSO"),
+                    MemModel::Sc | MemModel::C11 => unreachable!("relaxed_mo only for TSO/PSO"),
                 }
                 // Reads before their next potentially-aliasing write.
                 pending_reads.retain(|&(r, ra)| {
@@ -536,6 +575,127 @@ fn relaxed_mo(trace: &SymTrace, model: MemModel, saps: &[SapId], edges: &mut Vec
                 writes_so_far.clear();
                 pending_reads.clear();
             }
+        }
+    }
+}
+
+/// Emits the C11 memory-order edges for one thread, mirroring the VM's
+/// semantics: plain accesses are SC among themselves, `seq_cst` atomics
+/// and sync operations are full fences, and relaxed/acquire/release
+/// atomic stores are the only delayed operations — their order variable
+/// stands for the *commit* (drain) time, bounded below by the issue point
+/// and chained per location (per-location modification order). A release
+/// store additionally commits after every earlier pending store of its
+/// thread (the VM drains a release entry only when it is the oldest
+/// buffer entry). Relaxed/acquire RMW and CAS flush the FIFO prefix up
+/// to their own location before reading, so they are ordered after every
+/// earlier same-thread pending store up to (and including) the last one
+/// to their location. Store-to-load forwarding is pinned with a hard
+/// edge from the nearest pending same-location store to the load — an
+/// over-approximation of the buffer-forwarding semantics whose
+/// incompleteness is covered by the atomics soundness valve.
+fn c11_mo(trace: &SymTrace, saps: &[SapId], edges: &mut Vec<(SapId, SapId)>) {
+    // The chain of operations that execute at their program position.
+    let mut last_immediate: Option<SapId> = None;
+    // Currently-pending (buffered) atomic stores, in issue order.
+    let mut buffered: Vec<(SapId, GlobalId)> = Vec::new();
+    // Latest pending store per location (per-location FIFO chain head).
+    let mut last_store: HashMap<GlobalId, SapId> = HashMap::new();
+    // Atomic loads awaiting their location's next same-thread write (the
+    // read half of the forwarding pin).
+    let mut pending_loads: Vec<(SapId, GlobalId)> = Vec::new();
+
+    for &s in saps {
+        let kind = trace.sap(s).kind;
+        if let SapKind::AtomicStore { global, ord, .. } = kind {
+            if ord != AtomicOrd::SeqCst {
+                // Delayed store: commits no earlier than its issue point…
+                if let Some(p) = last_immediate {
+                    edges.push((p, s));
+                }
+                // …after the previous pending store to the same location…
+                if let Some(&w) = last_store.get(&global) {
+                    edges.push((w, s));
+                }
+                // …and, for release, after every earlier pending store.
+                if ord == AtomicOrd::Release {
+                    for &(b, _) in &buffered {
+                        edges.push((b, s));
+                    }
+                }
+                // Earlier same-location loads read before this write.
+                pending_loads.retain(|&(r, g)| {
+                    if g == global {
+                        edges.push((r, s));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                last_store.insert(global, s);
+                buffered.push((s, global));
+                continue;
+            }
+        }
+
+        // Everything else executes at its program position.
+        if let Some(p) = last_immediate {
+            edges.push((p, s));
+        }
+        last_immediate = Some(s);
+
+        let full_fence = match kind {
+            SapKind::Read { .. } | SapKind::Write { .. } => false,
+            SapKind::AtomicLoad { ord, .. } | SapKind::AtomicStore { ord, .. } => {
+                ord == AtomicOrd::SeqCst
+            }
+            SapKind::AtomicRmw { ord, .. } | SapKind::AtomicCas { ord, .. } => {
+                matches!(ord, AtomicOrd::Release | AtomicOrd::SeqCst)
+            }
+            // Sync operations flush the buffer in every model.
+            _ => true,
+        };
+        if full_fence {
+            for &(b, _) in &buffered {
+                edges.push((b, s));
+            }
+            buffered.clear();
+            last_store.clear();
+            // Later writes are ordered after the fence, hence after the
+            // pending loads, transitively.
+            pending_loads.clear();
+            continue;
+        }
+
+        match kind {
+            SapKind::AtomicLoad { global, .. } => {
+                // Forwarding pin: a pending same-location store is what
+                // the load observes in the VM.
+                if let Some(&w) = last_store.get(&global) {
+                    edges.push((w, s));
+                }
+                pending_loads.push((s, global));
+            }
+            SapKind::AtomicRmw { global, .. } | SapKind::AtomicCas { global, .. } => {
+                // Partial fence: drain the FIFO prefix up to the last
+                // pending store to this location.
+                if let Some(last_idx) = buffered.iter().rposition(|&(_, g)| g == global) {
+                    for &(b, _) in &buffered[..=last_idx] {
+                        edges.push((b, s));
+                    }
+                    buffered.drain(..=last_idx);
+                    last_store.retain(|g, _| buffered.iter().any(|&(_, bg)| bg == *g));
+                }
+                pending_loads.retain(|&(r, g)| {
+                    if g == global {
+                        edges.push((r, s));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            _ => {}
         }
     }
 }

@@ -367,6 +367,54 @@ pub fn validate(
                     .ok_or(ValidationError::BadAddress { sap: s })?;
                 mailboxes.entry(target).or_default().push_back(v);
             }
+            SapKind::AtomicLoad { global, var, .. } => {
+                let key = (global, 0);
+                let init = SymTrace::init_value(program, global);
+                let value = memory.get(&key).copied().unwrap_or(init);
+                assignment[var.index()] = Some(value);
+                let source = writer
+                    .get(&key)
+                    .map(|&w| ReadSource::Write(w))
+                    .unwrap_or(ReadSource::Init);
+                reads_from.push((s, source));
+            }
+            SapKind::AtomicStore { global, value, .. } => {
+                let key = (global, 0);
+                let f = assign_fn(&assignment);
+                let v = trace
+                    .arena
+                    .eval(value, &f)
+                    .ok_or(ValidationError::BadAddress { sap: s })?;
+                memory.insert(key, v);
+                writer.insert(key, s);
+            }
+            SapKind::AtomicRmw {
+                global, var, value, ..
+            }
+            | SapKind::AtomicCas {
+                global, var, value, ..
+            } => {
+                // One indivisible step: read the old value, ground the
+                // RMW's variable with it, then evaluate and commit the
+                // written expression (for CAS an ITE that folds a failed
+                // swap back to the old value).
+                let key = (global, 0);
+                let init = SymTrace::init_value(program, global);
+                let old = memory.get(&key).copied().unwrap_or(init);
+                assignment[var.index()] = Some(old);
+                let source = writer
+                    .get(&key)
+                    .map(|&w| ReadSource::Write(w))
+                    .unwrap_or(ReadSource::Init);
+                reads_from.push((s, source));
+                let f = assign_fn(&assignment);
+                let v = trace
+                    .arena
+                    .eval(value, &f)
+                    .ok_or(ValidationError::BadAddress { sap: s })?;
+                memory.insert(key, v);
+                writer.insert(key, s);
+            }
             SapKind::MailboxRecv { var } => {
                 let Some(v) = mailboxes.entry(sap.thread).or_default().pop_front() else {
                     return Err(ValidationError::ChannelViolation {

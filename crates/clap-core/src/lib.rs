@@ -524,7 +524,7 @@ impl Pipeline {
                         // channel/mailbox encoding is incomplete, so
                         // traces with channel ops never certify Unsat.
                         ParallelOutcome::Exhausted(stats) if stats.complete => {
-                            if trace.has_channel_ops() {
+                            if trace.has_channel_ops() || trace.has_atomic_ops() {
                                 return Err(PipelineError::SearchExhausted);
                             }
                             return Err(PipelineError::Unsat);
@@ -543,7 +543,7 @@ impl Pipeline {
                             report,
                         } => (schedule, witness, report),
                         PortfolioOutcome::Unsat(_) => {
-                            if trace.has_channel_ops() {
+                            if trace.has_channel_ops() || trace.has_atomic_ops() {
                                 return Err(PipelineError::SolverBudget);
                             }
                             return Err(PipelineError::Unsat);

@@ -38,8 +38,60 @@ pub struct Module {
     pub conds: Vec<NamedDecl>,
     /// Bounded-channel declarations in source order.
     pub chans: Vec<ChanAst>,
+    /// C11-style atomic cell declarations in source order.
+    pub atomics: Vec<AtomicAst>,
     /// Function definitions in source order.
     pub functions: Vec<FunctionAst>,
+}
+
+/// A C11-style memory ordering annotation on an atomic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomicOrd {
+    /// No ordering beyond per-location coherence.
+    Relaxed,
+    /// Load side of a release→acquire synchronizes-with edge.
+    Acquire,
+    /// Store side of a release→acquire synchronizes-with edge.
+    Release,
+    /// Full fence; participates in a single total order.
+    SeqCst,
+}
+
+impl AtomicOrd {
+    /// Parses the surface spelling of an ordering, if it is one.
+    pub fn from_name(name: &str) -> Option<AtomicOrd> {
+        Some(match name {
+            "relaxed" => AtomicOrd::Relaxed,
+            "acquire" => AtomicOrd::Acquire,
+            "release" => AtomicOrd::Release,
+            "seq_cst" => AtomicOrd::SeqCst,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for AtomicOrd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AtomicOrd::Relaxed => "relaxed",
+            AtomicOrd::Acquire => "acquire",
+            AtomicOrd::Release => "release",
+            AtomicOrd::SeqCst => "seq_cst",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An `atomic int name = init;` declaration: a scalar cell accessed only
+/// through `load`/`store`/`fetch_add`/`cas` with ordering annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomicAst {
+    /// Cell name.
+    pub name: String,
+    /// Initial value.
+    pub init: i64,
+    /// Declaration site.
+    pub span: Span,
 }
 
 /// A `chan ch(cap);` declaration: a bounded FIFO channel of 64-bit values.
@@ -210,6 +262,17 @@ pub enum Stmt {
         /// Statement site.
         span: Span,
     },
+    /// `store(a, expr, ord);` — atomic store with an ordering annotation.
+    AtomicStore {
+        /// Atomic cell name.
+        atomic: String,
+        /// Value stored.
+        value: Expr,
+        /// Memory ordering.
+        ord: AtomicOrd,
+        /// Statement site.
+        span: Span,
+    },
     /// `yield;`
     Yield {
         /// Statement site.
@@ -262,6 +325,7 @@ impl Stmt {
             | Stmt::Send { span, .. }
             | Stmt::Close { span, .. }
             | Stmt::MailboxSend { span, .. }
+            | Stmt::AtomicStore { span, .. }
             | Stmt::Yield { span }
             | Stmt::Assert { span, .. }
             | Stmt::Return { span, .. }
@@ -319,6 +383,34 @@ pub enum LetInit {
     /// `mailbox_recv()` — blocking receive from the calling thread's own
     /// mailbox.
     MailboxRecv,
+    /// `load(a, ord)` — atomic load with an ordering annotation.
+    AtomicLoad {
+        /// Atomic cell name.
+        atomic: String,
+        /// Memory ordering.
+        ord: AtomicOrd,
+    },
+    /// `fetch_add(a, expr, ord)` — atomic add; yields the old value.
+    FetchAdd {
+        /// Atomic cell name.
+        atomic: String,
+        /// Addend.
+        value: Expr,
+        /// Memory ordering.
+        ord: AtomicOrd,
+    },
+    /// `cas(a, expected, desired, ord)` — atomic compare-and-swap; yields
+    /// the old value (the swap happened iff the result equals `expected`).
+    Cas {
+        /// Atomic cell name.
+        atomic: String,
+        /// Value the cell must hold for the swap to happen.
+        expected: Expr,
+        /// Value installed on success.
+        desired: Expr,
+        /// Memory ordering.
+        ord: AtomicOrd,
+    },
 }
 
 /// Binary operators. `And`/`Or` evaluate both operands (no short circuit);

@@ -51,6 +51,7 @@ impl ProgramBuilder {
             name: name.to_owned(),
             len: None,
             init,
+            atomic: false,
         });
         GlobalId::from(self.globals.len() - 1)
     }
@@ -61,6 +62,7 @@ impl ProgramBuilder {
             name: name.to_owned(),
             len: Some(len),
             init: 0,
+            atomic: false,
         });
         GlobalId::from(self.globals.len() - 1)
     }

@@ -59,6 +59,7 @@ pub mod sema;
 pub mod token;
 pub mod unparse;
 
+pub use ast::AtomicOrd;
 pub use error::{Error, Result};
 pub use program::{
     eval_binop, eval_unop, AssertId, Block, BlockId, ChanDecl, ChanId, CondId, FuncId, Function,

@@ -20,6 +20,9 @@ use std::collections::HashMap;
 /// Panics on modules that did not pass [`crate::sema::check`]; run the
 /// checker first (as [`crate::parse`] does).
 pub fn lower(module: &Module) -> Program {
+    // Plain globals first, then atomic cells: atomics share the global
+    // address space (one cell each) but keep their `atomic` flag so the VM
+    // and the constraint encoder can treat them under C11 semantics.
     let globals: Vec<GlobalDecl> = module
         .globals
         .iter()
@@ -27,13 +30,26 @@ pub fn lower(module: &Module) -> Program {
             name: g.name.clone(),
             len: g.len,
             init: g.init,
+            atomic: false,
         })
+        .chain(module.atomics.iter().map(|a| GlobalDecl {
+            name: a.name.clone(),
+            len: None,
+            init: a.init,
+            atomic: true,
+        }))
         .collect();
     let global_ids: HashMap<&str, GlobalId> = module
         .globals
         .iter()
         .enumerate()
         .map(|(i, g)| (g.name.as_str(), GlobalId::from(i)))
+        .collect();
+    let atomic_ids: HashMap<&str, GlobalId> = module
+        .atomics
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.name.as_str(), GlobalId::from(module.globals.len() + i)))
         .collect();
     let mutex_ids: HashMap<&str, MutexId> = module
         .mutexes
@@ -68,6 +84,7 @@ pub fn lower(module: &Module) -> Program {
         .map(|(i, f)| {
             FuncLower {
                 global_ids: &global_ids,
+                atomic_ids: &atomic_ids,
                 mutex_ids: &mutex_ids,
                 cond_ids: &cond_ids,
                 chan_ids: &chan_ids,
@@ -104,6 +121,7 @@ pub fn lower(module: &Module) -> Program {
 
 struct FuncLower<'m> {
     global_ids: &'m HashMap<&'m str, GlobalId>,
+    atomic_ids: &'m HashMap<&'m str, GlobalId>,
     mutex_ids: &'m HashMap<&'m str, MutexId>,
     cond_ids: &'m HashMap<&'m str, CondId>,
     chan_ids: &'m HashMap<&'m str, ChanId>,
@@ -295,6 +313,41 @@ impl<'m> FuncLower<'m> {
                     LetInit::MailboxRecv => {
                         self.emit(Instr::MailboxRecv { dst: id });
                     }
+                    LetInit::AtomicLoad { atomic, ord } => {
+                        let global = self.atomic_ids[atomic.as_str()];
+                        self.emit(Instr::AtomicLoad {
+                            dst: id,
+                            global,
+                            ord: *ord,
+                        });
+                    }
+                    LetInit::FetchAdd { atomic, value, ord } => {
+                        let src = self.lower_expr(value);
+                        let global = self.atomic_ids[atomic.as_str()];
+                        self.emit(Instr::AtomicRmw {
+                            dst: id,
+                            global,
+                            src,
+                            ord: *ord,
+                        });
+                    }
+                    LetInit::Cas {
+                        atomic,
+                        expected,
+                        desired,
+                        ord,
+                    } => {
+                        let e = self.lower_expr(expected);
+                        let d = self.lower_expr(desired);
+                        let global = self.atomic_ids[atomic.as_str()];
+                        self.emit(Instr::AtomicCas {
+                            dst: id,
+                            global,
+                            expected: e,
+                            desired: d,
+                            ord: *ord,
+                        });
+                    }
                 }
                 self.scopes.last_mut().unwrap().push((name.clone(), id));
             }
@@ -405,6 +458,17 @@ impl<'m> FuncLower<'m> {
                 let t = self.lower_expr(target);
                 let src = self.lower_expr(value);
                 self.emit(Instr::MailboxSend { target: t, src });
+            }
+            Stmt::AtomicStore {
+                atomic, value, ord, ..
+            } => {
+                let src = self.lower_expr(value);
+                let global = self.atomic_ids[atomic.as_str()];
+                self.emit(Instr::AtomicStore {
+                    global,
+                    src,
+                    ord: *ord,
+                });
             }
             Stmt::Yield { .. } => self.emit(Instr::Yield),
             Stmt::Assert {

@@ -172,6 +172,18 @@ impl<'a> Parser<'a> {
                         span,
                     });
                 }
+                TokenKind::Atomic => {
+                    self.bump();
+                    self.expect(&TokenKind::TyInt)?;
+                    let name = self.ident()?;
+                    let init = if self.eat(&TokenKind::Assign) {
+                        self.int_lit()?
+                    } else {
+                        0
+                    };
+                    self.expect(&TokenKind::Semi)?;
+                    module.atomics.push(AtomicAst { name, init, span });
+                }
                 TokenKind::Fn => {
                     module.functions.push(self.function()?);
                 }
@@ -293,6 +305,35 @@ impl<'a> Parser<'a> {
                     self.expect(&TokenKind::LParen)?;
                     self.expect(&TokenKind::RParen)?;
                     LetInit::MailboxRecv
+                } else if self.eat(&TokenKind::Load) {
+                    self.expect(&TokenKind::LParen)?;
+                    let atomic = self.ident()?;
+                    let ord = self.ordering_arg()?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::AtomicLoad { atomic, ord }
+                } else if self.eat(&TokenKind::FetchAdd) {
+                    self.expect(&TokenKind::LParen)?;
+                    let atomic = self.ident()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let value = self.expr()?;
+                    let ord = self.ordering_arg()?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::FetchAdd { atomic, value, ord }
+                } else if self.eat(&TokenKind::Cas) {
+                    self.expect(&TokenKind::LParen)?;
+                    let atomic = self.ident()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let expected = self.expr()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let desired = self.expr()?;
+                    let ord = self.ordering_arg()?;
+                    self.expect(&TokenKind::RParen)?;
+                    LetInit::Cas {
+                        atomic,
+                        expected,
+                        desired,
+                        ord,
+                    }
                 } else if let TokenKind::Ident(name2) = self.peek().clone() {
                     // Lookahead: `ident (` is a call initializer.
                     if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
@@ -423,6 +464,22 @@ impl<'a> Parser<'a> {
                     span,
                 })
             }
+            TokenKind::Store => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let atomic = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let value = self.expr()?;
+                let ord = self.ordering_arg()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::AtomicStore {
+                    atomic,
+                    value,
+                    ord,
+                    span,
+                })
+            }
             TokenKind::Yield => {
                 self.bump();
                 self.expect(&TokenKind::Semi)?;
@@ -544,6 +601,22 @@ impl<'a> Parser<'a> {
                 format!("expected a statement, found `{other}`"),
             )),
         }
+    }
+
+    /// Parses an optional trailing `, ordering` argument of an atomic op;
+    /// an omitted ordering means `seq_cst`.
+    fn ordering_arg(&mut self) -> Result<AtomicOrd> {
+        if !self.eat(&TokenKind::Comma) {
+            return Ok(AtomicOrd::SeqCst);
+        }
+        let span = self.span();
+        let name = self.ident()?;
+        AtomicOrd::from_name(&name).ok_or_else(|| {
+            Error::parse(
+                span,
+                format!("expected `relaxed`, `acquire`, `release`, or `seq_cst`, found `{name}`"),
+            )
+        })
     }
 
     /// Expression parsing via precedence climbing.

@@ -11,6 +11,9 @@ pub fn program_to_string(program: &Program) -> String {
             Some(n) => {
                 let _ = writeln!(out, "global {}[{n}]", g.name);
             }
+            None if g.atomic => {
+                let _ = writeln!(out, "atomic {} = {}", g.name, g.init);
+            }
             None => {
                 let _ = writeln!(out, "global {} = {}", g.name, g.init);
             }
@@ -125,6 +128,41 @@ pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
         }
         Instr::MailboxSend { target, src } => format!("mailbox_send {target} {src}"),
         Instr::MailboxRecv { dst } => format!("{dst} = mailbox_recv"),
+        Instr::AtomicLoad { dst, global, ord } => {
+            format!(
+                "{dst} = load.{ord} {}",
+                program.globals[global.index()].name
+            )
+        }
+        Instr::AtomicStore { global, src, ord } => {
+            format!(
+                "store.{ord} {} = {src}",
+                program.globals[global.index()].name
+            )
+        }
+        Instr::AtomicRmw {
+            dst,
+            global,
+            src,
+            ord,
+        } => {
+            format!(
+                "{dst} = fetch_add.{ord} {} {src}",
+                program.globals[global.index()].name
+            )
+        }
+        Instr::AtomicCas {
+            dst,
+            global,
+            expected,
+            desired,
+            ord,
+        } => {
+            format!(
+                "{dst} = cas.{ord} {} {expected} {desired}",
+                program.globals[global.index()].name
+            )
+        }
         Instr::Yield => "yield".to_owned(),
         Instr::Assert { cond, id } => {
             format!("assert {cond} ({:?})", program.asserts[id.index()].message)

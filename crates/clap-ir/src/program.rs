@@ -80,6 +80,8 @@ pub struct ChanDecl {
 }
 
 /// A global variable: a scalar (`len == None`) or a zero-initialized array.
+/// Atomic cells are lowered as scalar globals with `atomic` set; they share
+/// the global address space but are only touched by atomic instructions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalDecl {
     /// Source-level name.
@@ -88,6 +90,8 @@ pub struct GlobalDecl {
     pub len: Option<usize>,
     /// Initial value (scalars only; arrays start at zero).
     pub init: i64,
+    /// `true` for C11-style atomic cells (`atomic int a = 0;`).
+    pub atomic: bool,
 }
 
 impl GlobalDecl {
@@ -269,6 +273,53 @@ pub enum Instr {
         /// Destination slot.
         dst: LocalId,
     },
+    /// `dst = load(atomic, ord)` — atomic load of a cell.
+    AtomicLoad {
+        /// Destination slot.
+        dst: LocalId,
+        /// Atomic cell (a global with the `atomic` flag).
+        global: GlobalId,
+        /// Memory ordering.
+        ord: crate::ast::AtomicOrd,
+    },
+    /// `store(atomic, src, ord)` — atomic store to a cell. Relaxed and
+    /// release stores become visible via schedulable propagation actions;
+    /// `seq_cst` stores are full fences with immediate visibility.
+    AtomicStore {
+        /// Atomic cell.
+        global: GlobalId,
+        /// Value written.
+        src: Operand,
+        /// Memory ordering.
+        ord: crate::ast::AtomicOrd,
+    },
+    /// `dst = fetch_add(atomic, src, ord)` — atomic read-modify-write;
+    /// `dst` receives the old value, the cell gains `src`.
+    AtomicRmw {
+        /// Receives the old value.
+        dst: LocalId,
+        /// Atomic cell.
+        global: GlobalId,
+        /// Addend.
+        src: Operand,
+        /// Memory ordering.
+        ord: crate::ast::AtomicOrd,
+    },
+    /// `dst = cas(atomic, expected, desired, ord)` — atomic compare-and-
+    /// swap; `dst` receives the old value (success iff it equals
+    /// `expected`).
+    AtomicCas {
+        /// Receives the old value.
+        dst: LocalId,
+        /// Atomic cell.
+        global: GlobalId,
+        /// Value the cell must hold for the swap.
+        expected: Operand,
+        /// Value installed on success.
+        desired: Operand,
+        /// Memory ordering.
+        ord: crate::ast::AtomicOrd,
+    },
     /// Voluntarily offer a context switch.
     Yield,
     /// Check a property; a false condition manifests the bug.
@@ -293,6 +344,17 @@ impl Instr {
     /// `true` if this instruction touches a global variable.
     pub fn is_memory_access(&self) -> bool {
         matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// `true` if this instruction is a C11-style atomic operation.
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Instr::AtomicLoad { .. }
+                | Instr::AtomicStore { .. }
+                | Instr::AtomicRmw { .. }
+                | Instr::AtomicCas { .. }
+        )
     }
 
     /// `true` if this instruction is a synchronization operation.
@@ -587,7 +649,8 @@ mod tests {
             GlobalDecl {
                 name: "x".into(),
                 len: None,
-                init: 1
+                init: 1,
+                atomic: false
             }
             .cells(),
             1
@@ -596,7 +659,8 @@ mod tests {
             GlobalDecl {
                 name: "a".into(),
                 len: Some(9),
-                init: 0
+                init: 0,
+                atomic: false
             }
             .cells(),
             9

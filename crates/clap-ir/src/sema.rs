@@ -37,6 +37,7 @@ struct Checker<'m> {
     mutexes: HashSet<&'m str>,
     conds: HashSet<&'m str>,
     chans: HashSet<&'m str>,
+    atomics: HashSet<&'m str>,
     funcs: HashMap<&'m str, FuncSig>,
 }
 
@@ -72,6 +73,24 @@ impl<'m> Checker<'m> {
                 ));
             }
         }
+        let mut atomics = HashSet::new();
+        for a in &module.atomics {
+            if globals.contains_key(a.name.as_str()) {
+                return Err(Error::sema(
+                    a.span,
+                    format!(
+                        "atomic `{}` collides with a global of the same name",
+                        a.name
+                    ),
+                ));
+            }
+            if !atomics.insert(a.name.as_str()) {
+                return Err(Error::sema(
+                    a.span,
+                    format!("duplicate atomic `{}`", a.name),
+                ));
+            }
+        }
         let mut funcs = HashMap::new();
         for f in &module.functions {
             let sig = FuncSig {
@@ -91,6 +110,7 @@ impl<'m> Checker<'m> {
             mutexes,
             conds,
             chans,
+            atomics,
             funcs,
         })
     }
@@ -182,6 +202,41 @@ impl<'m> Checker<'m> {
                             ));
                         }
                     }
+                    LetInit::AtomicLoad { atomic, .. } => {
+                        if *ty != Type::Int {
+                            return Err(Error::sema(
+                                *span,
+                                "atomic `load` requires an `int`-typed let",
+                            ));
+                        }
+                        self.check_atomic(atomic, *span)?;
+                    }
+                    LetInit::FetchAdd { atomic, value, .. } => {
+                        if *ty != Type::Int {
+                            return Err(Error::sema(
+                                *span,
+                                "`fetch_add` requires an `int`-typed let",
+                            ));
+                        }
+                        self.check_atomic(atomic, *span)?;
+                        let vt = self.type_of(value, scope)?;
+                        expect_type(Type::Int, vt, value.span())?;
+                    }
+                    LetInit::Cas {
+                        atomic,
+                        expected,
+                        desired,
+                        ..
+                    } => {
+                        if *ty != Type::Int {
+                            return Err(Error::sema(*span, "`cas` requires an `int`-typed let"));
+                        }
+                        self.check_atomic(atomic, *span)?;
+                        let et = self.type_of(expected, scope)?;
+                        expect_type(Type::Int, et, expected.span())?;
+                        let dt = self.type_of(desired, scope)?;
+                        expect_type(Type::Int, dt, desired.span())?;
+                    }
                     LetInit::Call { func, args } => {
                         if *ty == Type::Thread {
                             return Err(Error::sema(
@@ -216,6 +271,10 @@ impl<'m> Checker<'m> {
                         Some(Binding::GlobalArray) => Err(Error::sema(
                             *span,
                             format!("array global `{name}` must be indexed"),
+                        )),
+                        None if self.atomics.contains(name.as_str()) => Err(Error::sema(
+                            *span,
+                            format!("atomic `{name}` can only be written with `store`/`fetch_add`/`cas`"),
                         )),
                         None => Err(Error::sema(*span, format!("unknown variable `{name}`"))),
                     },
@@ -304,6 +363,16 @@ impl<'m> Checker<'m> {
                         "`mailbox_send` requires a `thread`-typed target handle",
                     ));
                 }
+                let vt = self.type_of(value, scope)?;
+                expect_type(Type::Int, vt, value.span())
+            }
+            Stmt::AtomicStore {
+                atomic,
+                value,
+                span,
+                ..
+            } => {
+                self.check_atomic(atomic, *span)?;
                 let vt = self.type_of(value, scope)?;
                 expect_type(Type::Int, vt, value.span())
             }
@@ -403,6 +472,19 @@ impl<'m> Checker<'m> {
         }
     }
 
+    fn check_atomic(&self, atomic: &str, span: Span) -> Result<()> {
+        if self.atomics.contains(atomic) {
+            Ok(())
+        } else if self.globals.contains_key(atomic) {
+            Err(Error::sema(
+                span,
+                format!("`{atomic}` is a plain global, not an atomic"),
+            ))
+        } else {
+            Err(Error::sema(span, format!("unknown atomic `{atomic}`")))
+        }
+    }
+
     fn resolve(&self, name: &str, scope: &Scope) -> Option<Binding> {
         if let Some(ty) = scope.lookup(name) {
             return Some(Binding::Local(ty));
@@ -424,6 +506,10 @@ impl<'m> Checker<'m> {
                 Some(Binding::GlobalArray) => Err(Error::sema(
                     *span,
                     format!("array global `{name}` must be indexed"),
+                )),
+                None if self.atomics.contains(name.as_str()) => Err(Error::sema(
+                    *span,
+                    format!("atomic `{name}` can only be read with `load`/`fetch_add`/`cas`"),
                 )),
                 None => Err(Error::sema(*span, format!("unknown variable `{name}`"))),
             },

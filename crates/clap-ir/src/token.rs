@@ -88,6 +88,16 @@ pub enum TokenKind {
     MailboxSend,
     /// `mailbox_recv`
     MailboxRecv,
+    /// `atomic`
+    Atomic,
+    /// `load`
+    Load,
+    /// `store`
+    Store,
+    /// `fetch_add`
+    FetchAdd,
+    /// `cas`
+    Cas,
 
     // Punctuation and operators
     /// `(`
@@ -189,6 +199,11 @@ impl TokenKind {
             "spawn_actor" => TokenKind::SpawnActor,
             "mailbox_send" => TokenKind::MailboxSend,
             "mailbox_recv" => TokenKind::MailboxRecv,
+            "atomic" => TokenKind::Atomic,
+            "load" => TokenKind::Load,
+            "store" => TokenKind::Store,
+            "fetch_add" => TokenKind::FetchAdd,
+            "cas" => TokenKind::Cas,
             _ => return None,
         })
     }
@@ -232,6 +247,11 @@ impl fmt::Display for TokenKind {
             TokenKind::SpawnActor => write!(f, "spawn_actor"),
             TokenKind::MailboxSend => write!(f, "mailbox_send"),
             TokenKind::MailboxRecv => write!(f, "mailbox_recv"),
+            TokenKind::Atomic => write!(f, "atomic"),
+            TokenKind::Load => write!(f, "load"),
+            TokenKind::Store => write!(f, "store"),
+            TokenKind::FetchAdd => write!(f, "fetch_add"),
+            TokenKind::Cas => write!(f, "cas"),
             TokenKind::LParen => write!(f, "("),
             TokenKind::RParen => write!(f, ")"),
             TokenKind::LBrace => write!(f, "{{"),

@@ -33,6 +33,13 @@ pub fn unparse(module: &Module) -> String {
     for ch in &module.chans {
         let _ = writeln!(out, "chan {}({});", ch.name, ch.cap);
     }
+    for a in &module.atomics {
+        if a.init != 0 {
+            let _ = writeln!(out, "atomic int {} = {};", a.name, a.init);
+        } else {
+            let _ = writeln!(out, "atomic int {};", a.name);
+        }
+    }
     for f in &module.functions {
         let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
@@ -76,6 +83,25 @@ fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
                     let _ = write!(out, "try_send({chan}, {})", unparse_expr(value));
                 }
                 LetInit::MailboxRecv => out.push_str("mailbox_recv()"),
+                LetInit::AtomicLoad { atomic, ord } => {
+                    let _ = write!(out, "load({atomic}, {ord})");
+                }
+                LetInit::FetchAdd { atomic, value, ord } => {
+                    let _ = write!(out, "fetch_add({atomic}, {}, {ord})", unparse_expr(value));
+                }
+                LetInit::Cas {
+                    atomic,
+                    expected,
+                    desired,
+                    ord,
+                } => {
+                    let _ = write!(
+                        out,
+                        "cas({atomic}, {}, {}, {ord})",
+                        unparse_expr(expected),
+                        unparse_expr(desired)
+                    );
+                }
             }
             out.push_str(";\n");
         }
@@ -143,6 +169,11 @@ fn unparse_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
                 unparse_expr(target),
                 unparse_expr(value)
             );
+        }
+        Stmt::AtomicStore {
+            atomic, value, ord, ..
+        } => {
+            let _ = writeln!(out, "store({atomic}, {}, {ord});", unparse_expr(value));
         }
         Stmt::Yield { .. } => out.push_str("yield;\n"),
         Stmt::Assert { cond, message, .. } => {
@@ -217,6 +248,9 @@ pub fn modules_equal_modulo_spans(a: &Module, b: &Module) -> bool {
         for c in &mut m.chans {
             c.span = crate::error::Span::unknown();
         }
+        for a in &mut m.atomics {
+            a.span = crate::error::Span::unknown();
+        }
         m
     }
     format!("{:?}", norm(a)) == format!("{:?}", norm(b))
@@ -235,8 +269,19 @@ fn erase_spans(body: &mut [Stmt]) {
                     | LetInit::SpawnActor { args, .. } => {
                         args.iter_mut().for_each(erase_expr_spans)
                     }
-                    LetInit::TrySend { value, .. } => erase_expr_spans(value),
-                    LetInit::Recv { .. } | LetInit::TryRecv { .. } | LetInit::MailboxRecv => {}
+                    LetInit::TrySend { value, .. } | LetInit::FetchAdd { value, .. } => {
+                        erase_expr_spans(value)
+                    }
+                    LetInit::Cas {
+                        expected, desired, ..
+                    } => {
+                        erase_expr_spans(expected);
+                        erase_expr_spans(desired);
+                    }
+                    LetInit::Recv { .. }
+                    | LetInit::TryRecv { .. }
+                    | LetInit::MailboxRecv
+                    | LetInit::AtomicLoad { .. } => {}
                 }
             }
             Stmt::Assign { lhs, rhs, span } => {
@@ -285,7 +330,7 @@ fn erase_spans(body: &mut [Stmt]) {
                 }
                 args.iter_mut().for_each(erase_expr_spans);
             }
-            Stmt::Send { value, span, .. } => {
+            Stmt::Send { value, span, .. } | Stmt::AtomicStore { value, span, .. } => {
                 *span = Span::unknown();
                 erase_expr_spans(value);
             }

@@ -211,6 +211,15 @@ mod ast_round_trip {
         prop_oneof![Just(Type::Int), Just(Type::Bool)]
     }
 
+    fn ord() -> impl Strategy<Value = AtomicOrd> {
+        prop_oneof![
+            Just(AtomicOrd::Relaxed),
+            Just(AtomicOrd::Acquire),
+            Just(AtomicOrd::Release),
+            Just(AtomicOrd::SeqCst),
+        ]
+    }
+
     fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
         let e = || expr(2);
         let simple = prop_oneof![
@@ -332,6 +341,39 @@ mod ast_round_trip {
                 init: LetInit::MailboxRecv,
                 span: Span::unknown(),
             }),
+            (name(), e(), ord()).prop_map(|(a, value, ord)| Stmt::AtomicStore {
+                atomic: a,
+                value,
+                ord,
+                span: Span::unknown(),
+            }),
+            (name(), name(), ord()).prop_map(|(n, a, ord)| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::AtomicLoad { atomic: a, ord },
+                span: Span::unknown(),
+            }),
+            (name(), name(), e(), ord()).prop_map(|(n, a, value, ord)| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::FetchAdd {
+                    atomic: a,
+                    value,
+                    ord
+                },
+                span: Span::unknown(),
+            }),
+            (name(), name(), e(), e(), ord()).prop_map(|(n, a, ex, d, ord)| Stmt::Let {
+                name: n,
+                ty: Type::Int,
+                init: LetInit::Cas {
+                    atomic: a,
+                    expected: ex,
+                    desired: d,
+                    ord
+                },
+                span: Span::unknown(),
+            }),
         ];
         if depth == 0 {
             return simple.boxed();
@@ -363,6 +405,7 @@ mod ast_round_trip {
             proptest::collection::vec(name(), 0..2),
             proptest::collection::vec(name(), 0..2),
             proptest::collection::vec((name(), 0usize..4), 0..2),
+            proptest::collection::vec((name(), -100i64..100), 0..2),
             proptest::collection::vec(
                 (
                     name(),
@@ -372,48 +415,58 @@ mod ast_round_trip {
                 1..3,
             ),
         )
-            .prop_map(|(globals, mutexes, conds, chans, functions)| Module {
-                globals: globals
-                    .into_iter()
-                    .map(|(n, len, init)| GlobalAst {
-                        name: n,
-                        len,
-                        init: if len.is_some() { 0 } else { init },
-                        span: Span::unknown(),
-                    })
-                    .collect(),
-                mutexes: mutexes
-                    .into_iter()
-                    .map(|n| NamedDecl {
-                        name: n,
-                        span: Span::unknown(),
-                    })
-                    .collect(),
-                conds: conds
-                    .into_iter()
-                    .map(|n| NamedDecl {
-                        name: n,
-                        span: Span::unknown(),
-                    })
-                    .collect(),
-                chans: chans
-                    .into_iter()
-                    .map(|(n, cap)| ChanAst {
-                        name: n,
-                        cap,
-                        span: Span::unknown(),
-                    })
-                    .collect(),
-                functions: functions
-                    .into_iter()
-                    .map(|(n, params, body)| FunctionAst {
-                        name: n,
-                        params,
-                        body,
-                        span: Span::unknown(),
-                    })
-                    .collect(),
-            })
+            .prop_map(
+                |(globals, mutexes, conds, chans, atomics, functions)| Module {
+                    globals: globals
+                        .into_iter()
+                        .map(|(n, len, init)| GlobalAst {
+                            name: n,
+                            len,
+                            init: if len.is_some() { 0 } else { init },
+                            span: Span::unknown(),
+                        })
+                        .collect(),
+                    mutexes: mutexes
+                        .into_iter()
+                        .map(|n| NamedDecl {
+                            name: n,
+                            span: Span::unknown(),
+                        })
+                        .collect(),
+                    conds: conds
+                        .into_iter()
+                        .map(|n| NamedDecl {
+                            name: n,
+                            span: Span::unknown(),
+                        })
+                        .collect(),
+                    chans: chans
+                        .into_iter()
+                        .map(|(n, cap)| ChanAst {
+                            name: n,
+                            cap,
+                            span: Span::unknown(),
+                        })
+                        .collect(),
+                    atomics: atomics
+                        .into_iter()
+                        .map(|(n, init)| AtomicAst {
+                            name: n,
+                            init,
+                            span: Span::unknown(),
+                        })
+                        .collect(),
+                    functions: functions
+                        .into_iter()
+                        .map(|(n, params, body)| FunctionAst {
+                            name: n,
+                            params,
+                            body,
+                            span: Span::unknown(),
+                        })
+                        .collect(),
+                },
+            )
     }
 
     proptest! {

@@ -217,8 +217,13 @@ impl Scheduler for LeapReplayer {
                 }
                 StepPreview::Sap { kind, .. } => {
                     let allowed = match kind {
-                        K::Read(addr) => self.access_allowed(addr.0, t, false),
-                        K::Write(addr) => self.access_allowed(addr.0, t, true),
+                        K::Read(addr) | K::AtomicLoad(addr, _) => {
+                            self.access_allowed(addr.0, t, false)
+                        }
+                        K::Write(addr)
+                        | K::AtomicStore(addr, _)
+                        | K::AtomicRmw(addr, _)
+                        | K::AtomicCas(addr, _) => self.access_allowed(addr.0, t, true),
                         K::Lock(m) => self.mutex_allowed(m.0, t),
                         K::WaitAcquire(_) => true,
                         // Unlock/fork/join/signal orders follow from the
@@ -229,7 +234,12 @@ impl Scheduler for LeapReplayer {
                         // Consume the cursor eagerly: this action will be
                         // the one executed.
                         match kind {
-                            K::Read(addr) | K::Write(addr)
+                            K::Read(addr)
+                            | K::Write(addr)
+                            | K::AtomicLoad(addr, _)
+                            | K::AtomicStore(addr, _)
+                            | K::AtomicRmw(addr, _)
+                            | K::AtomicCas(addr, _)
                                 if self.log.accesses.contains_key(&addr.0) =>
                             {
                                 *self.access_pos.get_mut(&addr.0).expect("cursor") += 1;

@@ -280,13 +280,73 @@ pub const EVENT_FIELD_SCHEMA: &[(&str, &[&str])] = &[
         "bench.diff.cell",
         &["bench", "key", "old", "new", "delta_pct", "status"],
     ),
+    (
+        "bench.table1.row",
+        &[
+            "program",
+            "loc",
+            "threads",
+            "shared_vars",
+            "instructions",
+            "branches",
+            "saps",
+            "constraints",
+            "variables",
+            "time_symbolic_ns",
+            "time_solve_ns",
+            "cs",
+            "success",
+        ],
+    ),
+    (
+        "bench.table2.row",
+        &[
+            "program",
+            "native_ns",
+            "leap_ns",
+            "clap_ns",
+            "leap_bytes",
+            "clap_bytes",
+            "time_reduction_pct",
+            "space_reduction_pct",
+        ],
+    ),
+    (
+        "bench.table3.row",
+        &[
+            "program",
+            "worst_log10",
+            "generated",
+            "cs_bound",
+            "good",
+            "found",
+            "par_time_ns",
+            "seq_time_ns",
+            "auto_time_ns",
+            "auto_winner",
+        ],
+    ),
+    // One cell of Table 4: the same recorded C11 failure re-encoded and
+    // solved under one memory model.
+    (
+        "bench.atomics",
+        &[
+            "program",
+            "model",
+            "hb_edges",
+            "order_vars",
+            "clauses",
+            "solve_ns",
+            "sat",
+        ],
+    ),
 ];
 
 /// Name prefixes under strict validation: counters, gauges, and
 /// histograms must appear in [`KNOWN_STRICT_METRICS`], events in
 /// [`EVENT_FIELD_SCHEMA`]. Everything else (pipeline internals, debug
 /// probes) stays free-form.
-pub const STRICT_NAME_PREFIXES: &[&str] = &["serve.", "bench.", "check.oracle."];
+pub const STRICT_NAME_PREFIXES: &[&str] = &["serve.", "bench.", "check.oracle.", "solver."];
 
 /// Every counter/gauge/histogram name the service, benchmark, and
 /// differential-oracle layers may emit under a strict prefix. A
@@ -319,6 +379,14 @@ pub const KNOWN_STRICT_METRICS: &[&str] = &[
     "check.oracle.failing",
     "check.oracle.bound_prunes",
     "check.oracle.deadlocks",
+    "check.oracle.atomics",
+    "solver.hb_edges",
+    "solver.decisions",
+    "solver.conflicts",
+    "solver.propagations",
+    "solver.order_graph.queries",
+    "solver.order_graph.visits",
+    "solver.order_graph.edges",
 ];
 
 fn strict(name: &str) -> bool {
@@ -644,6 +712,29 @@ mod tests {
             r#"{"type":"event","name":"serve.mystery","tid":0,"ts_ns":1,"fields":{}}"#
         )
         .is_err());
+        // The solver and atomic-oracle metrics are registered; typos fail.
+        assert_eq!(
+            validate_jsonl_line(r#"{"type":"counter","name":"solver.hb_edges","value":42}"#)
+                .unwrap(),
+            "counter"
+        );
+        assert_eq!(
+            validate_jsonl_line(r#"{"type":"counter","name":"check.oracle.atomics","value":4}"#)
+                .unwrap(),
+            "counter"
+        );
+        assert!(
+            validate_jsonl_line(r#"{"type":"counter","name":"solver.hb_edge","value":42}"#)
+                .is_err()
+        );
+        // The Table 4 per-model cell event carries its exact field set.
+        assert_eq!(
+            validate_jsonl_line(
+                r#"{"type":"event","name":"bench.atomics","tid":0,"ts_ns":1,"fields":{"program":"seqlock","model":"C11","hb_edges":"31","order_vars":"24","clauses":"190","solve_ns":"52000","sat":"true"}}"#
+            )
+            .unwrap(),
+            "event"
+        );
         // Non-strict names stay free-form.
         assert_eq!(
             validate_jsonl_line(

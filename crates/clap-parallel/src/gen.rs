@@ -369,6 +369,39 @@ impl<'a, 't> Generator<'a, 't> {
                     false
                 }
             }
+            // Atomics are scalar cells: in the total-order model a SAP's
+            // position is its commit, so the cell image evolves exactly
+            // like the validator's.
+            SapKind::AtomicLoad { global, var, .. } => match prune.read_cell((global.0, 0)) {
+                Some(v) => prune.assign(trace, var.0, v),
+                None => true,
+            },
+            SapKind::AtomicStore { global, value, .. } => {
+                let v = prune.eval(trace, value);
+                prune.write_cell((global.0, 0), v);
+                true
+            }
+            SapKind::AtomicRmw {
+                global, var, value, ..
+            }
+            | SapKind::AtomicCas {
+                global, var, value, ..
+            } => {
+                // Indivisible read-modify-write: ground the old value,
+                // then commit the written expression.
+                match prune.read_cell((global.0, 0)) {
+                    Some(old) => {
+                        let ok = prune.assign(trace, var.0, old);
+                        let v = prune.eval(trace, value);
+                        prune.write_cell((global.0, 0), v);
+                        ok
+                    }
+                    None => {
+                        prune.write_cell((global.0, 0), None);
+                        true
+                    }
+                }
+            }
             _ => true,
         };
         (marks, ok)

@@ -8,7 +8,12 @@
 //! the [`ReplayScheduler`]:
 //!
 //! * lets threads execute **invisible** steps (pure computation,
-//!   non-shared accesses, calls, asserts) freely — they commute;
+//!   non-shared accesses, calls, passing asserts) freely — they commute;
+//! * holds a **failing** assert that is not the expected one: such an
+//!   assert lies beyond the recorded trace's horizon (the recorded run's
+//!   failure stopped that thread first), so its operands are unpinned by
+//!   the path constraints and letting it fire would end the run with the
+//!   wrong failure;
 //! * lets TSO/PSO threads **buffer** stores freely (buffering is
 //!   invisible; the store's schedule position is its *drain*);
 //! * releases a visible SAP (shared load, SC store, lock/unlock, fork,
@@ -81,6 +86,9 @@ pub struct ReplayScheduler<'t> {
     gates: Vec<(ThreadIdx, u64, bool)>,
     /// lineage → trace thread index.
     lineage_to_idx: HashMap<Lineage, ThreadIdx>,
+    /// The assert the replay must reach; any *other* failing assert is
+    /// beyond the recorded trace's horizon and must be held.
+    expected_assert: AssertId,
     pos: usize,
     stuck_rounds: u32,
     /// Keeps the borrow honest: gates reference the trace's numbering.
@@ -88,8 +96,9 @@ pub struct ReplayScheduler<'t> {
 }
 
 impl<'t> ReplayScheduler<'t> {
-    /// Builds the scheduler for a schedule over `trace`.
-    pub fn new(trace: &'t SymTrace, schedule: &Schedule) -> Self {
+    /// Builds the scheduler for a schedule over `trace`, aiming for
+    /// `expected_assert`.
+    pub fn new(trace: &'t SymTrace, schedule: &Schedule, expected_assert: AssertId) -> Self {
         let gates: Vec<(ThreadIdx, u64, bool)> = schedule
             .order
             .iter()
@@ -104,6 +113,7 @@ impl<'t> ReplayScheduler<'t> {
             .collect();
         ReplayScheduler {
             gates,
+            expected_assert,
             lineage_to_idx: trace
                 .lineages
                 .iter()
@@ -145,9 +155,27 @@ impl Scheduler for ReplayScheduler<'_> {
                         continue;
                     };
                     match vm.preview_step(t) {
-                        StepPreview::Invisible | StepPreview::AssertStep => {
+                        StepPreview::Invisible => {
                             // Freely allowed; remember one as fallback.
                             fallback.get_or_insert(i);
+                        }
+                        StepPreview::AssertStep => {
+                            // Passing asserts commute like any invisible
+                            // step. A *failing* assert ends the run, and
+                            // only the expected one may do that: a
+                            // different failing assert was never executed
+                            // in the recorded run (the failure stopped it
+                            // first), so its operands are unpinned by the
+                            // path constraints and the solver may have
+                            // assigned values that flip it. Hold the
+                            // thread instead of letting the wrong assert
+                            // fire.
+                            match vm.assert_preview(t) {
+                                Some((id, false)) if id != self.expected_assert => {}
+                                _ => {
+                                    fallback.get_or_insert(i);
+                                }
+                            }
                         }
                         StepPreview::BufferedStore { .. } => {
                             // Buffering is invisible under TSO/PSO.
@@ -288,7 +316,7 @@ fn replay_on(
     // A generous fuse: replay performs O(instructions) steps; a stuck
     // scheduler burns steps on a blocked action until this fires.
     vm.set_step_limit(50_000_000);
-    let mut sched = ReplayScheduler::new(trace, schedule);
+    let mut sched = ReplayScheduler::new(trace, schedule, expected_assert);
     let outcome = vm.run(&mut sched, monitor);
     let steps = vm.stats().steps;
     let positions_consumed = sched.positions_consumed();
@@ -434,6 +462,53 @@ mod tests {
              }",
             MemModel::Pso,
             6000,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replays_c11_relaxed_publish() {
+        // Message-passing with a relaxed flag publish: the two pending
+        // atomic stores drain independently under C11, so the reader can
+        // see the flag before the data. The whole pipeline — record,
+        // symbolic execution over atomic SAPs, the C11 happens-before
+        // encoding, solve, schedule-driven replay — must reproduce it.
+        let report = pipeline(
+            "atomic int data = 0; atomic int flag = 0; global int seen = -1;
+             fn writer() { store(data, 1, relaxed); store(flag, 1, relaxed); }
+             fn reader() {
+                 let f: int = load(flag, acquire);
+                 if (f == 1) { let d: int = load(data, acquire); seen = d; }
+             }
+             fn main() {
+                 let w: thread = fork writer(); let r: thread = fork reader();
+                 join w; join r;
+                 assert(seen != 0, \"MP relaxation\");
+             }",
+            MemModel::C11,
+            6000,
+        );
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn replays_c11_fetch_add_interleaving() {
+        // Two relaxed fetch_adds against a plain snapshot read: the
+        // failing interleaving (reader between the increments) must be
+        // recomputed and replayed — RMW atomicity shows up as the RMW's
+        // read being pinned to its modification-order predecessor.
+        let report = pipeline(
+            "atomic int n = 0; global int snap = -1;
+             fn adder() { let o: int = fetch_add(n, 1, relaxed); }
+             fn watcher() { let v: int = load(n, acquire); snap = v; }
+             fn main() {
+                 let a: thread = fork adder(); let b: thread = fork adder();
+                 let c: thread = fork watcher();
+                 join a; join b; join c;
+                 assert(snap != 1, \"watcher saw the midpoint\");
+             }",
+            MemModel::C11,
+            2000,
         );
         assert!(report.reproduced);
     }

@@ -57,6 +57,7 @@ fn model_str(model: MemModel) -> &'static str {
         MemModel::Sc => "SC",
         MemModel::Tso => "TSO",
         MemModel::Pso => "PSO",
+        MemModel::C11 => "C11",
     }
 }
 
@@ -70,6 +71,7 @@ pub fn parse_model(s: &str) -> Result<MemModel, String> {
         "sc" => Ok(MemModel::Sc),
         "tso" => Ok(MemModel::Tso),
         "pso" => Ok(MemModel::Pso),
+        "c11" => Ok(MemModel::C11),
         other => Err(format!("unknown memory model `{other}`")),
     }
 }

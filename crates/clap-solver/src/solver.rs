@@ -112,8 +112,11 @@ pub fn solve_cancellable(
     // try_send/try_recv result variables are grounded only by the
     // validator, and FIFO/capacity legality is re-checked rather than
     // encoded exhaustively — so an exhausted search over a trace with
-    // channel operations must not claim unsatisfiability.
-    if system.trace.has_channel_ops() {
+    // channel operations must not claim unsatisfiability. The same holds
+    // for C11 atomics: store-to-load forwarding is pinned with hard edges
+    // and the seq_cst total order is approximated by fences, so the
+    // encoding may exclude real executions.
+    if system.trace.has_channel_ops() || system.trace.has_atomic_ops() {
         if let SolveOutcome::Unsat(stats) = outcome {
             outcome = SolveOutcome::Timeout(stats);
         }
@@ -122,6 +125,7 @@ pub fn solve_cancellable(
         SolveOutcome::Sat(s) => s.stats,
         SolveOutcome::Unsat(s) | SolveOutcome::Timeout(s) => *s,
     };
+    clap_obs::add("solver.hb_edges", system.hard_edges.len() as u64);
     clap_obs::add("solver.decisions", stats.decisions);
     clap_obs::add("solver.conflicts", stats.conflicts);
     clap_obs::add("solver.propagations", stats.propagations);
@@ -314,9 +318,12 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
                         changed = true;
                     }
                     ReadSource::Write(w) => {
-                        let clap_symex::SapKind::Write { value, .. } = self.sys.trace.sap(w).kind
-                        else {
-                            unreachable!("candidate is a write")
+                        let value = match self.sys.trace.sap(w).kind {
+                            clap_symex::SapKind::Write { value, .. }
+                            | clap_symex::SapKind::AtomicStore { value, .. }
+                            | clap_symex::SapKind::AtomicRmw { value, .. }
+                            | clap_symex::SapKind::AtomicCas { value, .. } => value,
+                            _ => unreachable!("candidate is a write"),
                         };
                         if let Some(v) = self.eval(value) {
                             self.assign(var, v);
@@ -653,10 +660,15 @@ impl<'p, 'a, 't> Search<'p, 'a, 't> {
     /// The index-equality guard for "this read aliases this write", or
     /// `None` when aliasing is definite.
     fn alias_guard(&self, raddr: clap_symex::SymAddr, w: SapId) -> Option<(ExprId, ExprId)> {
-        let clap_symex::SapKind::Write { addr: waddr, .. } = self.sys.trace.sap(w).kind else {
-            unreachable!("aliasing entry is a write")
+        let windex = match self.sys.trace.sap(w).kind {
+            clap_symex::SapKind::Write { addr: waddr, .. } => waddr.index,
+            // Atomic writes target scalar locations: aliasing is definite.
+            clap_symex::SapKind::AtomicStore { .. }
+            | clap_symex::SapKind::AtomicRmw { .. }
+            | clap_symex::SapKind::AtomicCas { .. } => None,
+            _ => unreachable!("aliasing entry is a write"),
         };
-        match (raddr.index, waddr.index) {
+        match (raddr.index, windex) {
             (Some(a), Some(b)) => {
                 let arena = &self.sys.trace.arena;
                 match (arena.as_const(a), arena.as_const(b)) {

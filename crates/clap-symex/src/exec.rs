@@ -534,6 +534,87 @@ impl<'a> Executor<'a> {
                 self.sym_vars.push(SymVarOrigin { read: sap });
                 locals[dst.index()] = self.arena.sym(var);
             }
+            Instr::AtomicLoad { dst, global, ord } => {
+                // Like a shared read: the observed value depends on the
+                // schedule, so it is a fresh symbolic resolved by the
+                // modification-order constraints.
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let sap = self.push_sap(
+                    ctx,
+                    SapKind::AtomicLoad {
+                        global: *global,
+                        ord: *ord,
+                        var,
+                    },
+                );
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = self.arena.sym(var);
+            }
+            Instr::AtomicStore { global, src, ord } => {
+                let value = self.operand(locals, *src);
+                self.push_sap(
+                    ctx,
+                    SapKind::AtomicStore {
+                        global: *global,
+                        ord: *ord,
+                        value,
+                    },
+                );
+            }
+            Instr::AtomicRmw {
+                dst,
+                global,
+                src,
+                ord,
+            } => {
+                // One indivisible read-modify-write: the old value is a
+                // fresh symbolic, the written value is `old + delta`.
+                let delta = self.operand(locals, *src);
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let old = self.arena.sym(var);
+                let value = self.arena.binary(BinOp::Add, old, delta);
+                let sap = self.push_sap(
+                    ctx,
+                    SapKind::AtomicRmw {
+                        global: *global,
+                        ord: *ord,
+                        var,
+                        value,
+                    },
+                );
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = old;
+            }
+            Instr::AtomicCas {
+                dst,
+                global,
+                expected,
+                desired,
+                ord,
+            } => {
+                // Modelled as an unconditional write of
+                // `ite(old == expected, desired, old)`: a failed CAS
+                // rewrites the old value, keeping every CAS in the
+                // modification order without a success flag.
+                let expected = self.operand(locals, *expected);
+                let desired = self.operand(locals, *desired);
+                let var = SymVarId(self.sym_vars.len() as u32);
+                let old = self.arena.sym(var);
+                let eq = self.arena.binary(BinOp::Eq, old, expected);
+                let value = self.arena.ite(eq, desired, old);
+                let sap = self.push_sap(
+                    ctx,
+                    SapKind::AtomicCas {
+                        global: *global,
+                        ord: *ord,
+                        var,
+                        expected,
+                        value,
+                    },
+                );
+                self.sym_vars.push(SymVarOrigin { read: sap });
+                locals[dst.index()] = old;
+            }
             Instr::Yield => {}
             Instr::Assert { cond, id } => {
                 // Asserts on the executed path passed: that is part of the

@@ -2,7 +2,7 @@
 //! the bug predicate — the inputs to constraint generation (§3).
 
 use crate::expr::{ExprArena, ExprId, SymVarId};
-use clap_ir::{ChanId, CondId, GlobalId, MutexId, Program};
+use clap_ir::{AtomicOrd, ChanId, CondId, GlobalId, MutexId, Program};
 use clap_vm::Lineage;
 use std::fmt;
 
@@ -146,12 +146,69 @@ pub enum SapKind {
         /// The fresh symbolic value it returned.
         var: SymVarId,
     },
+    /// Atomic load; its schedule-dependent result is `var`.
+    AtomicLoad {
+        /// The atomic location (always a scalar global).
+        global: GlobalId,
+        /// Memory ordering annotation.
+        ord: AtomicOrd,
+        /// The fresh symbolic value it returned.
+        var: SymVarId,
+    },
+    /// Atomic store of a (possibly symbolic) value.
+    AtomicStore {
+        /// The atomic location.
+        global: GlobalId,
+        /// Memory ordering annotation.
+        ord: AtomicOrd,
+        /// Value expression.
+        value: ExprId,
+    },
+    /// Atomic fetch-add: reads `var` (the schedule-dependent old value)
+    /// and writes `value` (`var + delta`) in one indivisible step.
+    AtomicRmw {
+        /// The atomic location.
+        global: GlobalId,
+        /// Memory ordering annotation.
+        ord: AtomicOrd,
+        /// The fresh symbolic old value it returned.
+        var: SymVarId,
+        /// The written value expression (`var + delta`).
+        value: ExprId,
+    },
+    /// Atomic compare-and-swap: reads `var` and writes `value`
+    /// (`ite(var == expected, desired, var)` — a failed CAS rewrites the
+    /// old value, which keeps every CAS a write in the modification
+    /// order without a separate success variable).
+    AtomicCas {
+        /// The atomic location.
+        global: GlobalId,
+        /// Memory ordering annotation.
+        ord: AtomicOrd,
+        /// The fresh symbolic old value it returned.
+        var: SymVarId,
+        /// The compared expression.
+        expected: ExprId,
+        /// The written value expression.
+        value: ExprId,
+    },
 }
 
 impl SapKind {
-    /// `true` for reads/writes (memory SAPs).
+    /// `true` for reads/writes (memory SAPs), atomics included.
     pub fn is_memory(&self) -> bool {
-        matches!(self, SapKind::Read { .. } | SapKind::Write { .. })
+        matches!(self, SapKind::Read { .. } | SapKind::Write { .. }) || self.is_atomic()
+    }
+
+    /// `true` for C11 atomic operations.
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            SapKind::AtomicLoad { .. }
+                | SapKind::AtomicStore { .. }
+                | SapKind::AtomicRmw { .. }
+                | SapKind::AtomicCas { .. }
+        )
     }
 
     /// `true` for synchronization SAPs.
@@ -249,6 +306,15 @@ impl SymTrace {
         })
     }
 
+    /// Whether the trace contains any C11 atomic operation. Like
+    /// [`SymTrace::has_channel_ops`], the happens-before encoding for
+    /// per-ordering atomics is incomplete (store-to-load forwarding is
+    /// pinned, release sequences are approximated), so exhausted searches
+    /// over such traces must not certify unsatisfiability.
+    pub fn has_atomic_ops(&self) -> bool {
+        self.saps.iter().any(|s| s.kind.is_atomic())
+    }
+
     /// The initial value of a global cell (what a read with no earlier
     /// write observes).
     pub fn init_value(program: &Program, global: GlobalId) -> i64 {
@@ -302,6 +368,36 @@ impl SymTrace {
                 format!("mailbox_send {target} {}", self.arena.display(*value))
             }
             SapKind::MailboxRecv { var } => format!("{var} = mailbox_recv"),
+            SapKind::AtomicLoad { global, ord, var } => {
+                format!("{var} = load.{ord} {}", name(*global))
+            }
+            SapKind::AtomicStore { global, ord, value } => format!(
+                "store.{ord} {} = {}",
+                name(*global),
+                self.arena.display(*value)
+            ),
+            SapKind::AtomicRmw {
+                global,
+                ord,
+                var,
+                value,
+            } => format!(
+                "{var} = rmw.{ord} {} -> {}",
+                name(*global),
+                self.arena.display(*value)
+            ),
+            SapKind::AtomicCas {
+                global,
+                ord,
+                var,
+                expected,
+                value,
+            } => format!(
+                "{var} = cas.{ord} {} ?{} -> {}",
+                name(*global),
+                self.arena.display(*expected),
+                self.arena.display(*value)
+            ),
         };
         format!("{id}[{} #{}] {body}", sap.thread, sap.po, body = body)
     }

@@ -29,7 +29,8 @@
 
 use clap_ir::ast::{BinOp, UnOp};
 use clap_ir::{
-    AssertId, BlockId, ChanId, CondId, FuncId, GlobalId, LocalId, MutexId, Operand, Program,
+    AssertId, AtomicOrd, BlockId, ChanId, CondId, FuncId, GlobalId, LocalId, MutexId, Operand,
+    Program,
 };
 
 /// A pure right-hand side, mirroring [`clap_ir::Rvalue`] but `Copy`.
@@ -163,6 +164,49 @@ pub enum Op {
     MailboxRecv {
         /// Receives the message.
         dst: LocalId,
+    },
+    /// `dst = load(atomic, ord)`.
+    AtomicLoad {
+        /// Receives the loaded value.
+        dst: LocalId,
+        /// The atomic location.
+        global: GlobalId,
+        /// Memory ordering.
+        ord: AtomicOrd,
+    },
+    /// `store(atomic, src, ord)`.
+    AtomicStore {
+        /// The atomic location.
+        global: GlobalId,
+        /// Value written.
+        src: Operand,
+        /// Memory ordering.
+        ord: AtomicOrd,
+    },
+    /// `dst = fetch_add(atomic, src, ord)` — `dst` receives the old value.
+    AtomicRmw {
+        /// Receives the pre-add value.
+        dst: LocalId,
+        /// The atomic location.
+        global: GlobalId,
+        /// Addend.
+        src: Operand,
+        /// Memory ordering.
+        ord: AtomicOrd,
+    },
+    /// `dst = cas(atomic, expected, desired, ord)` — `dst` receives the
+    /// old value; the swap happened iff `dst == expected`.
+    AtomicCas {
+        /// Receives the pre-CAS value.
+        dst: LocalId,
+        /// The atomic location.
+        global: GlobalId,
+        /// Compared value.
+        expected: Operand,
+        /// Value written on success.
+        desired: Operand,
+        /// Memory ordering.
+        ord: AtomicOrd,
     },
     /// Voluntary context-switch point.
     Yield,

@@ -139,6 +139,40 @@ fn lower_instr(instr: &Instr, arg_pool: &mut Vec<Operand>) -> Op {
             src: *src,
         },
         Instr::MailboxRecv { dst } => Op::MailboxRecv { dst: *dst },
+        Instr::AtomicLoad { dst, global, ord } => Op::AtomicLoad {
+            dst: *dst,
+            global: *global,
+            ord: *ord,
+        },
+        Instr::AtomicStore { global, src, ord } => Op::AtomicStore {
+            global: *global,
+            src: *src,
+            ord: *ord,
+        },
+        Instr::AtomicRmw {
+            dst,
+            global,
+            src,
+            ord,
+        } => Op::AtomicRmw {
+            dst: *dst,
+            global: *global,
+            src: *src,
+            ord: *ord,
+        },
+        Instr::AtomicCas {
+            dst,
+            global,
+            expected,
+            desired,
+            ord,
+        } => Op::AtomicCas {
+            dst: *dst,
+            global: *global,
+            expected: *expected,
+            desired: *desired,
+            ord: *ord,
+        },
         Instr::Yield => Op::Yield,
         Instr::Assert { cond, id } => Op::Assert {
             cond: *cond,

@@ -101,11 +101,25 @@ pub enum MemModel {
     Tso,
     /// Partial store order.
     Pso,
+    /// C11-style atomics: plain accesses stay sequentially consistent, but
+    /// atomic `load`/`store`/`fetch_add`/`cas` carry per-operation orderings
+    /// (`relaxed`/`acquire`/`release`/`seq_cst`) whose weak behaviours are
+    /// modelled as schedulable store-propagation actions.
+    C11,
 }
 
 impl MemModel {
-    /// `true` when the model buffers stores (TSO/PSO).
+    /// `true` when the model buffers **plain** stores (TSO/PSO). Under C11
+    /// plain accesses are sequentially consistent; only atomic stores with
+    /// non-`seq_cst` orderings enter the buffer.
     pub fn buffered(self) -> bool {
+        matches!(self, MemModel::Tso | MemModel::Pso)
+    }
+
+    /// `true` when executions may carry pending buffered stores at all —
+    /// plain stores under TSO/PSO, relaxed/release atomic stores under C11.
+    /// Gates the enabled-action scan for [`super::sched::Action::Drain`].
+    pub fn uses_buffers(self) -> bool {
         !matches!(self, MemModel::Sc)
     }
 }
@@ -116,6 +130,7 @@ impl std::fmt::Display for MemModel {
             MemModel::Sc => write!(f, "SC"),
             MemModel::Tso => write!(f, "TSO"),
             MemModel::Pso => write!(f, "PSO"),
+            MemModel::C11 => write!(f, "C11"),
         }
     }
 }
@@ -131,6 +146,11 @@ pub struct BufferedStore {
     /// thread's shared access points (used by the replayer to drain the
     /// *scheduled* store).
     pub po_index: u64,
+    /// `true` for a C11 `release`-ordered atomic store: it may only become
+    /// visible once every earlier store of the same thread has (release
+    /// semantics — all prior writes are visible before the release write).
+    /// Always `false` for plain TSO/PSO stores.
+    pub release: bool,
 }
 
 /// A single thread's store buffer.
@@ -191,6 +211,18 @@ impl StoreBuffer {
                 for (i, s) in self.entries.iter().enumerate() {
                     let first = !self.entries.iter().take(i).any(|p| p.addr == s.addr);
                     if first {
+                        f(s.addr);
+                    }
+                }
+            }
+            MemModel::C11 => {
+                // Per-address FIFO like PSO (C11 coherence / modification
+                // order), except a `release` store is gated until it is the
+                // oldest entry in the whole buffer: everything the thread
+                // wrote before it must already be visible.
+                for (i, s) in self.entries.iter().enumerate() {
+                    let first = !self.entries.iter().take(i).any(|p| p.addr == s.addr);
+                    if first && (!s.release || i == 0) {
                         f(s.addr);
                     }
                 }
@@ -332,11 +364,13 @@ mod tests {
             addr: Addr(0),
             value: 1,
             po_index: 0,
+            release: false,
         });
         b.push(BufferedStore {
             addr: Addr(1),
             value: 2,
             po_index: 1,
+            release: false,
         });
         assert_eq!(b.drainable(MemModel::Tso), vec![Addr(0)]);
         let s = b.drain_addr(Addr(0)).unwrap();
@@ -351,16 +385,19 @@ mod tests {
             addr: Addr(0),
             value: 1,
             po_index: 0,
+            release: false,
         });
         b.push(BufferedStore {
             addr: Addr(1),
             value: 2,
             po_index: 1,
+            release: false,
         });
         b.push(BufferedStore {
             addr: Addr(0),
             value: 3,
             po_index: 2,
+            release: false,
         });
         let d = b.drainable(MemModel::Pso);
         assert_eq!(d, vec![Addr(0), Addr(1)]);
@@ -378,11 +415,13 @@ mod tests {
             addr: Addr(0),
             value: 1,
             po_index: 0,
+            release: false,
         });
         b.push(BufferedStore {
             addr: Addr(0),
             value: 9,
             po_index: 1,
+            release: false,
         });
         assert_eq!(b.forward(Addr(0)), Some(9));
         assert_eq!(b.forward(Addr(1)), None);
@@ -395,11 +434,13 @@ mod tests {
             addr: Addr(1),
             value: 1,
             po_index: 0,
+            release: false,
         });
         b.push(BufferedStore {
             addr: Addr(0),
             value: 2,
             po_index: 1,
+            release: false,
         });
         let flushed = b.flush();
         assert_eq!(
@@ -410,12 +451,57 @@ mod tests {
     }
 
     #[test]
+    fn c11_release_entries_gate_behind_earlier_stores() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 1,
+            po_index: 0,
+            release: false,
+        });
+        b.push(BufferedStore {
+            addr: Addr(1),
+            value: 2,
+            po_index: 1,
+            release: true,
+        });
+        // The release store to addr 1 may not drain while the relaxed
+        // store to addr 0 is still pending.
+        assert_eq!(b.drainable(MemModel::C11), vec![Addr(0)]);
+        b.drain_addr(Addr(0)).unwrap();
+        // Once it is the oldest entry, the release store drains.
+        assert_eq!(b.drainable(MemModel::C11), vec![Addr(1)]);
+    }
+
+    #[test]
+    fn c11_relaxed_entries_drain_per_address() {
+        let mut b = StoreBuffer::default();
+        b.push(BufferedStore {
+            addr: Addr(0),
+            value: 1,
+            po_index: 0,
+            release: false,
+        });
+        b.push(BufferedStore {
+            addr: Addr(1),
+            value: 2,
+            po_index: 1,
+            release: false,
+        });
+        // Relaxed stores to different locations reorder freely (per-addr
+        // FIFO only), exactly like PSO.
+        assert_eq!(b.drainable(MemModel::C11), vec![Addr(0), Addr(1)]);
+        assert_eq!(b.drain_addr(Addr(1)).unwrap().value, 2);
+    }
+
+    #[test]
     fn sc_has_no_drainable() {
         let mut b = StoreBuffer::default();
         b.push(BufferedStore {
             addr: Addr(0),
             value: 1,
             po_index: 0,
+            release: false,
         });
         assert!(b.drainable(MemModel::Sc).is_empty());
         assert!(!MemModel::Sc.buffered());

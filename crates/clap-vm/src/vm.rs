@@ -22,8 +22,8 @@ use crate::sched::{Action, Scheduler};
 use crate::stats::ExecStats;
 use crate::thread::{Frame, Lineage, Status, Thread, ThreadId};
 use clap_ir::{
-    eval_binop, eval_unop, AssertId, BlockId, ChanId, CondId, FuncId, GlobalId, Instr, LocalId,
-    MutexId, Operand, Program, Rvalue, Terminator,
+    eval_binop, eval_unop, AssertId, AtomicOrd, BlockId, ChanId, CondId, FuncId, GlobalId, Instr,
+    LocalId, MutexId, Operand, Program, Rvalue, Terminator,
 };
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
@@ -180,6 +180,16 @@ pub enum SapPreviewKind {
     MailboxSend,
     /// Mailbox dequeue that would complete.
     MailboxRecv,
+    /// Atomic load (value picked among currently-visible stores).
+    AtomicLoad(Addr, AtomicOrd),
+    /// Atomic store that is immediately visible (`seq_cst` under C11; any
+    /// ordering under SC/TSO/PSO, where atomics are full fences).
+    AtomicStore(Addr, AtomicOrd),
+    /// Atomic fetch-add (reads and writes the location in one step).
+    AtomicRmw(Addr, AtomicOrd),
+    /// Atomic compare-and-swap (both outcomes reachable, chosen by the
+    /// visible value at execution time).
+    AtomicCas(Addr, AtomicOrd),
 }
 
 /// A captured execution state (see [`Vm::snapshot`]): everything mutable
@@ -494,7 +504,7 @@ impl<'p> Vm<'p> {
                 out.push(Action::Step(t.id));
             }
         }
-        if self.model.buffered() {
+        if self.model.uses_buffers() {
             for (i, buf) in self.buffers.iter().enumerate() {
                 let owner = ThreadId::from(i);
                 buf.for_each_drainable(self.model, |addr| out.push(Action::Drain(owner, addr)));
@@ -694,7 +704,68 @@ impl<'p> Vm<'p> {
                     }
                 }
             }
+            Op::AtomicLoad { global, ord, .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::AtomicLoad(self.atomic_addr(global), ord),
+            },
+            Op::AtomicStore { global, ord, .. } => {
+                if self.atomic_store_buffered(ord) {
+                    StepPreview::BufferedStore { po_index: sap }
+                } else {
+                    StepPreview::Sap {
+                        po_index: sap,
+                        kind: SapPreviewKind::AtomicStore(self.atomic_addr(global), ord),
+                    }
+                }
+            }
+            Op::AtomicRmw { global, ord, .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::AtomicRmw(self.atomic_addr(global), ord),
+            },
+            Op::AtomicCas { global, ord, .. } => StepPreview::Sap {
+                po_index: sap,
+                kind: SapPreviewKind::AtomicCas(self.atomic_addr(global), ord),
+            },
         }
+    }
+
+    /// When thread `t`'s next step is an assert, returns the assert site
+    /// and whether its condition currently evaluates true. `None` when
+    /// the thread has exited or the next step is not an assert.
+    ///
+    /// Replay uses this to distinguish the *expected* failure from an
+    /// assert beyond the recorded trace's horizon: the latter has
+    /// operands the constraint system never saw, so a schedule-enforcing
+    /// scheduler must not let it fire first.
+    pub fn assert_preview(&self, t: ThreadId) -> Option<(AssertId, bool)> {
+        let thread = &self.threads[t.index()];
+        if thread.frames.is_empty() {
+            return None;
+        }
+        let frame = thread.frame();
+        let pc = match self.backend {
+            Backend::Bytecode => frame.pc,
+            Backend::Tree => self.compiled.pc_of(frame.func, frame.block, frame.ip),
+        };
+        match self.compiled.op(pc) {
+            Op::Assert { cond, id } => Some((id, operand(frame, cond) != 0)),
+            _ => None,
+        }
+    }
+
+    /// The flat address of an atomic location (always a scalar, offset 0).
+    #[inline]
+    fn atomic_addr(&self, global: GlobalId) -> Addr {
+        self.layout.addr(global, 0).expect("atomic is a scalar")
+    }
+
+    /// `true` when an atomic store with ordering `ord` enters the store
+    /// buffer (becoming visible only at a scheduled [`Action::Drain`])
+    /// rather than writing memory immediately. Only relaxed/acquire/release
+    /// stores under C11 buffer; `seq_cst` is a full fence, and under
+    /// SC/TSO/PSO every atomic op acts as a `seq_cst` fence.
+    fn atomic_store_buffered(&self, ord: AtomicOrd) -> bool {
+        self.model == MemModel::C11 && ord != AtomicOrd::SeqCst
     }
 
     /// `true` when stepping thread `t`'s `send` on `chan` would complete
@@ -1148,6 +1219,189 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Commits thread `t`'s buffered stores in FIFO order up to and
+    /// including the *last* pending store to `addr`, leaving younger
+    /// entries to other locations buffered. The coherence fence of a
+    /// relaxed/acquire RMW under C11: the RMW's own immediate write must
+    /// not overtake the thread's pending stores to the same location (or
+    /// any release store ordered before them).
+    fn flush_buffer_through_addr(&mut self, t: ThreadId, addr: Addr, monitor: &mut dyn Monitor) {
+        let ti = t.index();
+        while self.buffers[ti].iter().any(|s| s.addr == addr) {
+            let front = self.buffers[ti]
+                .iter()
+                .next()
+                .map(|s| s.addr)
+                .expect("buffer non-empty");
+            let store = self.buffers[ti].drain_addr(front).expect("front drains");
+            self.memory.write(store.addr, store.value);
+            self.stats.drains += 1;
+            monitor.on_commit(t, store.addr, store.value);
+        }
+    }
+
+    /// Executes the flush an atomic read-modify-write implies before it
+    /// reads: relaxed/acquire RMWs under C11 fence only their own
+    /// location's pending stores; release/`seq_cst` RMWs — and every
+    /// atomic op under SC/TSO/PSO — are full fences. This is what makes
+    /// orderings observable: a relaxed CAS publishes its own write but
+    /// leaves the thread's other pending stores invisible.
+    fn rmw_fence(&mut self, t: ThreadId, addr: Addr, ord: AtomicOrd, monitor: &mut dyn Monitor) {
+        match ord {
+            AtomicOrd::Relaxed | AtomicOrd::Acquire if self.model == MemModel::C11 => {
+                self.flush_buffer_through_addr(t, addr, monitor);
+            }
+            _ => self.flush_buffer(t, monitor),
+        }
+    }
+
+    /// Executes an atomic load: `seq_cst` (and any ordering under
+    /// SC/TSO/PSO) drains the thread's own buffer first, then the value is
+    /// the thread's newest pending store to the location, falling back to
+    /// globally-visible memory. Returns the loaded value; the caller
+    /// advances the frame.
+    fn exec_atomic_load(
+        &mut self,
+        t: ThreadId,
+        global: GlobalId,
+        ord: AtomicOrd,
+        monitor: &mut dyn Monitor,
+    ) -> i64 {
+        let addr = self.atomic_addr(global);
+        if self.model != MemModel::C11 || ord == AtomicOrd::SeqCst {
+            self.flush_buffer(t, monitor);
+        }
+        let value = self.buffers[t.index()]
+            .forward(addr)
+            .unwrap_or_else(|| self.memory.read(addr));
+        self.take_sap(t);
+        monitor.on_access(
+            t,
+            &AccessEvent {
+                global,
+                offset: 0,
+                addr,
+                is_write: false,
+                value,
+            },
+        );
+        value
+    }
+
+    /// Executes an atomic store: relaxed/acquire/release under C11 enter
+    /// the store buffer (visible at a scheduled drain; release entries are
+    /// gated behind the thread's earlier stores); `seq_cst` — and every
+    /// ordering under SC/TSO/PSO — flushes and writes immediately.
+    fn exec_atomic_store(
+        &mut self,
+        t: ThreadId,
+        global: GlobalId,
+        value: i64,
+        ord: AtomicOrd,
+        monitor: &mut dyn Monitor,
+    ) {
+        let addr = self.atomic_addr(global);
+        let po_index = self.take_sap(t);
+        if self.atomic_store_buffered(ord) {
+            self.buffers[t.index()].push(BufferedStore {
+                addr,
+                value,
+                po_index,
+                release: ord == AtomicOrd::Release,
+            });
+        } else {
+            self.flush_buffer(t, monitor);
+            self.memory.write(addr, value);
+            monitor.on_commit(t, addr, value);
+        }
+        monitor.on_access(
+            t,
+            &AccessEvent {
+                global,
+                offset: 0,
+                addr,
+                is_write: true,
+                value,
+            },
+        );
+    }
+
+    /// Executes `fetch_add`: fence per `ord`, read the visible value, write
+    /// the sum immediately (RMWs are never buffered — atomicity), return
+    /// the old value.
+    fn exec_atomic_rmw(
+        &mut self,
+        t: ThreadId,
+        global: GlobalId,
+        delta: i64,
+        ord: AtomicOrd,
+        monitor: &mut dyn Monitor,
+    ) -> i64 {
+        let addr = self.atomic_addr(global);
+        self.rmw_fence(t, addr, ord, monitor);
+        let old = self.memory.read(addr);
+        let new = old.wrapping_add(delta);
+        self.memory.write(addr, new);
+        self.take_sap(t);
+        monitor.on_commit(t, addr, new);
+        monitor.on_access(
+            t,
+            &AccessEvent {
+                global,
+                offset: 0,
+                addr,
+                is_write: true,
+                value: new,
+            },
+        );
+        old
+    }
+
+    /// Executes `cas`: fence per `ord`, read the visible value, write
+    /// `desired` iff it equals `expected`, return the old value. Both CAS
+    /// outcomes are reachable — which one occurs is decided by how the
+    /// scheduler ordered other threads' drains before this step.
+    fn exec_atomic_cas(
+        &mut self,
+        t: ThreadId,
+        global: GlobalId,
+        expected: i64,
+        desired: i64,
+        ord: AtomicOrd,
+        monitor: &mut dyn Monitor,
+    ) -> i64 {
+        let addr = self.atomic_addr(global);
+        self.rmw_fence(t, addr, ord, monitor);
+        let old = self.memory.read(addr);
+        self.take_sap(t);
+        if old == expected {
+            self.memory.write(addr, desired);
+            monitor.on_commit(t, addr, desired);
+            monitor.on_access(
+                t,
+                &AccessEvent {
+                    global,
+                    offset: 0,
+                    addr,
+                    is_write: true,
+                    value: desired,
+                },
+            );
+        } else {
+            monitor.on_access(
+                t,
+                &AccessEvent {
+                    global,
+                    offset: 0,
+                    addr,
+                    is_write: false,
+                    value: old,
+                },
+            );
+        }
+        old
+    }
+
     fn fault(&mut self, t: ThreadId, message: impl Into<String>) {
         self.outcome = Some(Outcome::Fault {
             thread: t,
@@ -1279,6 +1533,7 @@ impl<'p> Vm<'p> {
                             addr,
                             value,
                             po_index,
+                            release: false,
                         });
                     } else {
                         self.memory.write(addr, value);
@@ -1616,6 +1871,54 @@ impl<'p> Vm<'p> {
                 self.take_sap(t);
                 monitor.on_sync(t, &SyncEvent::MailboxRecv);
             }
+            Op::AtomicLoad { dst, global, ord } => {
+                let value = self.exec_atomic_load(t, global, ord, monitor);
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+            }
+            Op::AtomicStore { global, src, ord } => {
+                let value = operand(self.threads[ti].frame(), src);
+                self.exec_atomic_store(t, global, value, ord, monitor);
+                let frame = self.threads[ti].frame_mut();
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+            }
+            Op::AtomicRmw {
+                dst,
+                global,
+                src,
+                ord,
+            } => {
+                let delta = operand(self.threads[ti].frame(), src);
+                let old = self.exec_atomic_rmw(t, global, delta, ord, monitor);
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = old;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+            }
+            Op::AtomicCas {
+                dst,
+                global,
+                expected,
+                desired,
+                ord,
+            } => {
+                let (expected, desired) = {
+                    let frame = self.threads[ti].frame();
+                    (operand(frame, expected), operand(frame, desired))
+                };
+                let old = self.exec_atomic_cas(t, global, expected, desired, ord, monitor);
+                let frame = self.threads[ti].frame_mut();
+                frame.locals[dst.index()] = old;
+                frame.ip += 1;
+                frame.pc += 1;
+                self.stats.instructions += 1;
+            }
             Op::Yield => {
                 let frame = self.threads[ti].frame_mut();
                 frame.ip += 1;
@@ -1794,6 +2097,7 @@ impl<'p> Vm<'p> {
                             addr,
                             value,
                             po_index,
+                            release: false,
                         });
                     } else {
                         self.memory.write(addr, value);
@@ -2100,6 +2404,49 @@ impl<'p> Vm<'p> {
                 self.stats.instructions += 1;
                 self.take_sap(t);
                 monitor.on_sync(t, &SyncEvent::MailboxRecv);
+            }
+            Instr::AtomicLoad { dst, global, ord } => {
+                let value = self.exec_atomic_load(t, *global, *ord, monitor);
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = value;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+            }
+            Instr::AtomicStore { global, src, ord } => {
+                let value = operand(self.threads[t.index()].frame(), *src);
+                self.exec_atomic_store(t, *global, value, *ord, monitor);
+                self.threads[t.index()].frame_mut().ip += 1;
+                self.stats.instructions += 1;
+            }
+            Instr::AtomicRmw {
+                dst,
+                global,
+                src,
+                ord,
+            } => {
+                let delta = operand(self.threads[t.index()].frame(), *src);
+                let old = self.exec_atomic_rmw(t, *global, delta, *ord, monitor);
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = old;
+                frame.ip += 1;
+                self.stats.instructions += 1;
+            }
+            Instr::AtomicCas {
+                dst,
+                global,
+                expected,
+                desired,
+                ord,
+            } => {
+                let (expected, desired) = {
+                    let frame = self.threads[t.index()].frame();
+                    (operand(frame, *expected), operand(frame, *desired))
+                };
+                let old = self.exec_atomic_cas(t, *global, expected, desired, *ord, monitor);
+                let frame = self.threads[t.index()].frame_mut();
+                frame.locals[dst.index()] = old;
+                frame.ip += 1;
+                self.stats.instructions += 1;
             }
             Instr::Yield => {
                 self.threads[t.index()].frame_mut().ip += 1;
@@ -2489,6 +2836,143 @@ mod tests {
         for seed in 0..200 {
             let (o, _) = run(src, MemModel::Pso, seed);
             assert!(!o.is_failure(), "fenced MP cannot fail (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn atomic_rmw_and_cas_are_atomic_under_every_model() {
+        // fetch_add never loses updates, and exactly one of two competing
+        // CASes wins, regardless of memory model: RMWs read and write the
+        // visible value in one indivisible step.
+        let src = "atomic int n = 0; atomic int l = 0; global int wins = 0;
+             fn adder() { let o: int = fetch_add(n, 1, relaxed); }
+             fn locker() {
+                 let o: int = cas(l, 0, 1, relaxed);
+                 if (o == 0) { let w: int = fetch_add(wins2, 1, relaxed); }
+             }
+             fn main() {
+                 let a: thread = fork adder(); let b: thread = fork adder();
+                 let c: thread = fork locker(); let d: thread = fork locker();
+                 join a; join b; join c; join d;
+                 let v: int = load(n, seq_cst);
+                 let w: int = load(wins2, seq_cst);
+                 assert(v == 2, \"lost update\");
+                 assert(w == 1, \"CAS won twice or never\");
+             }
+             atomic int wins2 = 0;";
+        for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso, MemModel::C11] {
+            for seed in 0..100 {
+                let (o, _) = run(src, model, seed);
+                assert_eq!(o, Outcome::Completed, "{model} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn c11_mp_relaxed_fails_release_is_safe() {
+        // Message-passing litmus on atomics. With a relaxed flag publish
+        // the two pending stores drain independently (flag first is
+        // reachable); a release publish is gated behind the data store.
+        let mp = |publish_ord: &str| {
+            format!(
+                "atomic int data = 0; atomic int flag = 0; global int seen = -1;
+                 fn writer() {{ store(data, 1, relaxed); store(flag, 1, {publish_ord}); }}
+                 fn reader() {{
+                     let f: int = load(flag, acquire);
+                     if (f == 1) {{ let d: int = load(data, acquire); seen = d; }}
+                 }}
+                 fn main() {{
+                     let w: thread = fork writer(); let r: thread = fork reader();
+                     join w; join r;
+                     assert(seen != 0, \"MP relaxation\");
+                 }}"
+            )
+        };
+        let relaxed = parse(&mp("relaxed")).unwrap();
+        let mut c11_failed = false;
+        for seed in 0..4000 {
+            let mut vm = Vm::new(&relaxed, MemModel::C11);
+            let mut sched = RandomScheduler::with_stickiness(seed, 0.5);
+            if vm.run(&mut sched, &mut NullMonitor).is_failure() {
+                c11_failed = true;
+                break;
+            }
+        }
+        assert!(c11_failed, "relaxed publish must be reorderable under C11");
+        // Release publish: safe under C11. And under SC/TSO/PSO atomics
+        // are seq_cst fences, so even the relaxed version cannot fail.
+        let release = parse(&mp("release")).unwrap();
+        for seed in 0..400 {
+            let mut vm = Vm::new(&release, MemModel::C11);
+            let mut sched = RandomScheduler::with_stickiness(seed, 0.5);
+            let o = vm.run(&mut sched, &mut NullMonitor);
+            assert!(!o.is_failure(), "release publish is ordered (seed {seed})");
+        }
+        for model in [MemModel::Sc, MemModel::Tso, MemModel::Pso] {
+            for seed in 0..200 {
+                let (o, _) = run(&mp("relaxed"), model, seed);
+                assert!(!o.is_failure(), "atomics fence under {model} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn c11_relaxed_cas_publishes_only_its_own_location() {
+        // Treiber-style publication: the node value is a pending relaxed
+        // store when a relaxed CAS publishes the top pointer — the CAS
+        // writes immediately but only fences its own location, so a reader
+        // can observe the new top with a stale value. A release CAS drains
+        // the whole buffer first.
+        let push = |cas_ord: &str| {
+            format!(
+                "atomic int top = 0; atomic int val = 0; global int seen = -1;
+                 fn pusher() {{ store(val, 42, relaxed); let o: int = cas(top, 0, 1, {cas_ord}); }}
+                 fn popper() {{
+                     let t: int = load(top, acquire);
+                     if (t == 1) {{ let v: int = load(val, acquire); seen = v; }}
+                 }}
+                 fn main() {{
+                     let a: thread = fork pusher(); let b: thread = fork popper();
+                     join a; join b;
+                     assert(seen != 0, \"stale node value\");
+                 }}"
+            )
+        };
+        let relaxed = parse(&push("relaxed")).unwrap();
+        let mut failed = false;
+        for seed in 0..4000 {
+            let mut vm = Vm::new(&relaxed, MemModel::C11);
+            let mut sched = RandomScheduler::with_stickiness(seed, 0.5);
+            if vm.run(&mut sched, &mut NullMonitor).is_failure() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "relaxed CAS publication must be racy under C11");
+        let release = parse(&push("release")).unwrap();
+        for seed in 0..400 {
+            let mut vm = Vm::new(&release, MemModel::C11);
+            let mut sched = RandomScheduler::with_stickiness(seed, 0.5);
+            let o = vm.run(&mut sched, &mut NullMonitor);
+            assert!(!o.is_failure(), "release CAS flushes (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn c11_atomic_forwarding_and_seq_cst_fence() {
+        // A thread reads its own pending relaxed store (forwarding), and a
+        // seq_cst op drains the buffer so the value is globally visible.
+        let src = "atomic int x = 0;
+             fn main() {
+                 store(x, 41, relaxed);
+                 let v: int = load(x, relaxed);
+                 store(x, v + 1, seq_cst);
+                 let w: int = load(x, seq_cst);
+                 assert(w == 42);
+             }";
+        for seed in 0..50 {
+            let (o, _) = run(src, MemModel::C11, seed);
+            assert_eq!(o, Outcome::Completed, "seed {seed}");
         }
     }
 

@@ -187,10 +187,46 @@ pub fn channels() -> Vec<Workload> {
     ]
 }
 
-/// Looks up a workload by name, searching Table 1 first and then the
-/// channel family.
+/// The lock-free workload family: classic non-blocking idioms whose
+/// publication discipline is too weak, so they fail only under the C11
+/// model (atomics are seq_cst fences under SC/TSO/PSO). Each reproduces
+/// end to end through the constraint pipeline.
+pub fn lockfree() -> Vec<Workload> {
+    let lf = |name: &'static str, subject: &'static str, source: String| Workload {
+        name,
+        paper_subject: subject,
+        source,
+        model: MemModel::C11,
+        seed_budget: 20_000,
+        stickiness: RELAXED_STICKINESS,
+    };
+    vec![
+        lf(
+            "treiber_stack",
+            "Treiber stack with relaxed CAS publication",
+            programs::treiber_stack(),
+        ),
+        lf(
+            "spsc_ring",
+            "SPSC ring buffer with relaxed head publish",
+            programs::spsc_ring(),
+        ),
+        lf(
+            "seqlock",
+            "seqlock with relaxed sequence bumps (torn read)",
+            programs::seqlock(),
+        ),
+    ]
+}
+
+/// Looks up a workload by name, searching Table 1 first, then the
+/// channel family, then the lock-free family.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().chain(channels()).find(|w| w.name == name)
+    all()
+        .into_iter()
+        .chain(channels())
+        .chain(lockfree())
+        .find(|w| w.name == name)
 }
 
 /// The heavier workload variants used for the Table 2 overhead
@@ -409,6 +445,47 @@ mod tests {
     fn channel_workload_failures_are_findable() {
         for w in &channels() {
             assert!(find_failure(w).is_some(), "{} failure not found", w.name);
+        }
+    }
+
+    #[test]
+    fn lockfree_workloads_parse_and_declare_atomics() {
+        let suite = lockfree();
+        assert_eq!(suite.len(), 3);
+        for w in &suite {
+            let program = w.program();
+            assert!(
+                program.globals.iter().any(|g| g.atomic),
+                "{} declares atomics",
+                w.name
+            );
+            assert_eq!(w.model, MemModel::C11);
+            assert!(by_name(w.name).is_some(), "{} resolves by name", w.name);
+        }
+    }
+
+    #[test]
+    fn lockfree_failures_are_findable_only_under_c11() {
+        for w in &lockfree() {
+            // Under SC the atomics are seq_cst fences: the weak
+            // publication cannot be observed.
+            let program = w.program();
+            for seed in 0..400 {
+                let mut vm = Vm::new(&program, MemModel::Sc);
+                vm.set_step_limit(2_000_000);
+                let mut sched = RandomScheduler::with_stickiness(seed, 0.5);
+                let outcome = vm.run(&mut sched, &mut NullMonitor);
+                assert!(
+                    !outcome.is_failure(),
+                    "{} must be correct under SC (seed {seed})",
+                    w.name
+                );
+            }
+            assert!(
+                find_failure(w).is_some(),
+                "{} failure not found under C11",
+                w.name
+            );
         }
     }
 

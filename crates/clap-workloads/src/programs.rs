@@ -777,3 +777,25 @@ pub fn chan_fanin() -> String {
 pub fn actor_pingpong() -> String {
     include_str!("../../../examples/actor_pingpong.clap").to_owned()
 }
+
+/// treiber_stack — lock-free push/pop where a relaxed CAS publishes the
+/// top pointer while the node payload store is still buffered. Shared
+/// source with `examples/treiber_stack.clap`.
+pub fn treiber_stack() -> String {
+    include_str!("../../../examples/treiber_stack.clap").to_owned()
+}
+
+/// spsc_ring — single-producer single-consumer ring buffer whose relaxed
+/// head publish can drain before the slot write. Shared source with
+/// `examples/spsc_ring.clap`.
+pub fn spsc_ring() -> String {
+    include_str!("../../../examples/spsc_ring.clap").to_owned()
+}
+
+/// seqlock — sequence-counter reader/writer where relaxed RMW bumps land
+/// immediately while the payload stores stay buffered, yielding a torn
+/// read under a stable even sequence. Shared source with
+/// `examples/seqlock.clap`.
+pub fn seqlock() -> String {
+    include_str!("../../../examples/seqlock.clap").to_owned()
+}

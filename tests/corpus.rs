@@ -22,6 +22,8 @@ use std::path::Path;
 const PROGRAMS: &[&str] = &[
     "actor_deadlock",
     "array_index",
+    "atomic_shrunk_min",
+    "cas_aba",
     "chan_rendezvous",
     "chan_shrunk_min",
     "cond_handoff",
@@ -29,11 +31,12 @@ const PROGRAMS: &[&str] = &[
     "mp_reorder",
     "pfscan",
     "sb_litmus",
+    "seqlock_torn_read",
     "shrunk_min",
     "three_workers",
 ];
 
-const MODELS: &[MemModel] = &[MemModel::Sc, MemModel::Tso, MemModel::Pso];
+const MODELS: &[MemModel] = &[MemModel::Sc, MemModel::Tso, MemModel::Pso, MemModel::C11];
 
 /// Deterministic, debug-friendly oracle bounds for the snapshot: large
 /// enough that every small program is complete within the preemption
@@ -187,6 +190,58 @@ fn chan_shrunk_min_is_the_shrinker_fixpoint() {
     assert_eq!(
         shrunk, committed,
         "shrinker output drifted from tests/corpus/chan_shrunk_min.clap; \
+         regenerate with CLAP_BLESS=1 cargo test --test corpus"
+    );
+}
+
+/// The committed `atomic_shrunk_min.clap` is the shrinker fixpoint of a
+/// noisy relaxed message-passing program: the spare atomic cell
+/// (exercising the atomic-decl deletion candidates), the spectator
+/// worker, and the dead statements must all be deleted, leaving only the
+/// load-bearing weak publish.
+#[test]
+fn atomic_shrunk_min_is_the_shrinker_fixpoint() {
+    let noisy = "atomic int flag = 0; atomic int data = 0; atomic int spare = 0;
+         global int seen = -1; global int unused = 0; mutex m;
+         fn noise() { lock(m); unlock(m); }
+         fn writer() { store(data, 1, relaxed); store(flag, 1, relaxed); }
+         fn reader() {
+             let f: int = load(flag, acquire);
+             if (f == 1) { let d: int = load(data, acquire); seen = d; }
+         }
+         fn main() {
+             let n: thread = fork noise();
+             let w: thread = fork writer();
+             let r: thread = fork reader();
+             join n; join w; join r;
+             let pad: int = 7;
+             assert(seen != 0, \"MP relaxation\");
+         }";
+    // Keep programs whose C11 oracle still shows a *weak-memory*
+    // failure (some drain schedules fail, some pass).
+    let pred = |s: &str| {
+        let p = clap_ir::parse(s).expect("candidates parse");
+        let r = enumerate(&p, &snapshot_config(MemModel::C11));
+        !r.failing.is_empty() && r.completed > 0
+    };
+    let shrunk = shrink_source(noisy, pred).expect("noisy atomic program fails");
+    assert!(
+        !shrunk.contains("spare") && !shrunk.contains("noise") && !shrunk.contains("unused"),
+        "distractors must be deleted:\n{shrunk}"
+    );
+    assert!(
+        shrunk.contains("relaxed"),
+        "the weak publish is load-bearing:\n{shrunk}"
+    );
+    let path = Path::new("tests/corpus/atomic_shrunk_min.clap");
+    if bless() {
+        fs::write(path, &shrunk).expect("write shrunk corpus program");
+        return;
+    }
+    let committed = corpus_source("atomic_shrunk_min");
+    assert_eq!(
+        shrunk, committed,
+        "shrinker output drifted from tests/corpus/atomic_shrunk_min.clap; \
          regenerate with CLAP_BLESS=1 cargo test --test corpus"
     );
 }

@@ -1,6 +1,6 @@
 //! End-to-end memory-model matrix: the classic litmus tests behave as SC /
-//! TSO / PSO dictate during exploration, and every model-specific failure
-//! round-trips through the full pipeline.
+//! TSO / PSO / C11 dictate during exploration, and every model-specific
+//! failure round-trips through the full pipeline.
 
 use clap_core::{Pipeline, PipelineConfig};
 use clap_vm::{MemModel, NullMonitor, RandomScheduler, Vm};
@@ -140,12 +140,73 @@ fn iriw_and_load_buffering_forbidden_on_store_buffer_machines() {
     }
 }
 
+const ATOMIC_MP_RELAXED: &str = "atomic int data = 0; atomic int flag = 0; global int seen = -1;
+     fn writer() { store(data, 1, relaxed); store(flag, 1, relaxed); }
+     fn reader() {
+         let f: int = load(flag, acquire);
+         if (f == 1) { let d: int = load(data, acquire); seen = d; }
+     }
+     fn main() {
+         let w: thread = fork writer(); let r: thread = fork reader();
+         join w; join r;
+         assert(seen != 0, \"relaxed publish\");
+     }";
+
+const ATOMIC_MP_RELEASE: &str = "atomic int data = 0; atomic int flag = 0; global int seen = -1;
+     fn writer() { store(data, 1, relaxed); store(flag, 1, release); }
+     fn reader() {
+         let f: int = load(flag, acquire);
+         if (f == 1) { let d: int = load(data, acquire); seen = d; }
+     }
+     fn main() {
+         let w: thread = fork writer(); let r: thread = fork reader();
+         join w; join r;
+         assert(seen != 0, \"release publish\");
+     }";
+
+#[test]
+fn c11_atomics_matrix() {
+    // Plain accesses stay SC under C11: the plain-variable litmus shapes
+    // cannot fail even on the weak axis.
+    assert!(
+        !fails_somewhere(SB, MemModel::C11, 400),
+        "plain accesses are SC under C11"
+    );
+    assert!(
+        !fails_somewhere(MP, MemModel::C11, 400),
+        "plain MP forbidden under C11"
+    );
+    // A relaxed flag publish drains independently of the data store, so
+    // the reader can observe the flag before the data; upgrading the
+    // publish to release gates its drain behind every earlier pending
+    // store and forbids the reorder.
+    assert!(
+        fails_somewhere(ATOMIC_MP_RELAXED, MemModel::C11, 4000),
+        "relaxed publish reorders under C11"
+    );
+    assert!(
+        !fails_somewhere(ATOMIC_MP_RELEASE, MemModel::C11, 400),
+        "release publish forbids the reorder"
+    );
+    // Under SC and TSO the same atomic program keeps the plain-store
+    // guarantees (SC: no buffering; TSO: one FIFO preserves store order).
+    assert!(
+        !fails_somewhere(ATOMIC_MP_RELAXED, MemModel::Sc, 400),
+        "relaxed publish is ordered under SC"
+    );
+    assert!(
+        !fails_somewhere(ATOMIC_MP_RELAXED, MemModel::Tso, 400),
+        "relaxed publish is ordered under TSO"
+    );
+}
+
 #[test]
 fn model_specific_failures_reproduce_end_to_end() {
     for (src, model) in [
         (SB, MemModel::Tso),
         (SB, MemModel::Pso),
         (MP, MemModel::Pso),
+        (ATOMIC_MP_RELAXED, MemModel::C11),
     ] {
         let pipeline = Pipeline::from_source(src).expect("parses");
         let mut config = PipelineConfig::new(model);

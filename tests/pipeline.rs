@@ -36,6 +36,79 @@ fn all_workloads_reproduce_sequentially() {
     }
 }
 
+/// The lock-free workload family reproduces end to end under the C11
+/// model: the per-location drain encoding must admit the recorded
+/// weak-memory failure, and the replayer must place the buffered atomic
+/// stores at their solved drain positions to fire the same assert.
+#[test]
+fn lockfree_workloads_reproduce_under_c11() {
+    for workload in clap_workloads::lockfree() {
+        let pipeline = Pipeline::new(workload.program());
+        let report = pipeline
+            .reproduce(&config_for(&workload))
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        assert!(
+            report.reproduced,
+            "{} must replay to the same failure under C11",
+            workload.name
+        );
+        assert!(report.constraints.total_clauses() > 0);
+    }
+}
+
+/// Regression: a failing assert *beyond the recorded trace's horizon*
+/// must not derail the replay. In this shape (minimized by the checker's
+/// shrinker from atomic-fuzz seed 134), the recorded run fails w1's
+/// assert while w0 sits between its last SAP and its own copy of the
+/// same assert. That trailing assert was never executed, so F_path does
+/// not pin its operand — the solver may assign a value that flips it,
+/// and a replayer that free-runs asserts fires the wrong one first. The
+/// scheduler must hold it and reach the recorded failure.
+#[test]
+fn trailing_assert_beyond_trace_horizon_does_not_derail_replay() {
+    let src = r#"
+        atomic int f;
+        atomic int data;
+        atomic int flag;
+        fn w0() {
+            let f0: int = load(flag, acquire);
+            if ((f0 == 1)) {
+                let d0: int = load(data, acquire);
+                assert((d0 == 7), "published data visible");
+            }
+        }
+        fn w1() {
+            let f0: int = load(flag, acquire);
+            if ((f0 == 1)) {
+                let d0: int = load(data, acquire);
+                assert((d0 == 7), "published data visible");
+            }
+            store(data, 7, relaxed);
+        }
+        fn w2() {
+            store(data, 7, relaxed);
+            store(flag, 1, relaxed);
+            let t1: int = cas(f, 0, 1, seq_cst);
+        }
+        fn main() {
+            let h0: thread = fork w0();
+            let h1: thread = fork w1();
+            let h2: thread = fork w2();
+            join h0;
+        }
+    "#;
+    let mut config = PipelineConfig::new(clap_vm::MemModel::C11);
+    config.seed_budget = 2000;
+    config.stickiness = vec![0.9, 0.7, 0.5, 0.3];
+    config.solver = SolverChoice::Auto(AutoConfig::default());
+    let pipeline = Pipeline::new(clap_ir::parse(src).expect("parse"));
+    let recorded = pipeline.record_failure(&config).expect("record");
+    let report = pipeline
+        .reproduce_from(&config, &recorded)
+        .expect("replay must reach the recorded assert");
+    assert!(report.reproduced);
+}
+
 /// A representative subset also reproduces with the parallel engine, at
 /// small preemption counts.
 #[test]

@@ -208,7 +208,8 @@ proptest! {
         let handwritten = build_program(&ops_a, &ops_b);
         let generated = clap_check::ProgramSpec::from_seed(seed).source();
         let channels = clap_check::ChanSpec::from_seed(seed).source();
-        for source in [handwritten, generated, channels] {
+        let atomics = clap_check::AtomicSpec::from_seed(seed).source();
+        for source in [handwritten, generated, channels, atomics] {
             let once = clap_ir::canonicalize(&source).expect("source parses");
             let twice = clap_ir::canonicalize(&once).expect("canonical form parses");
             prop_assert!(once == twice, "canonical form must be stable");
@@ -253,6 +254,25 @@ proptest! {
         let report = clap_check::diff_source(&spec.source(), &config)
             .expect("generated channel source parses");
         prop_assert!(report.ok(), "chan seed {seed}:\n{}", report.summary());
+    }
+
+    /// Same differential property for the C11-atomics generator, under
+    /// all four memory models: straight-line workers mixing racy
+    /// load/store increments, fetch_adds, CAS races, and weak publish /
+    /// consume pairs at every ordering. Under SC/TSO/PSO atomics act as
+    /// seq_cst fences; under C11 the oracle additionally enumerates the
+    /// per-location drain interleavings — the pipeline must never
+    /// hard-disagree on either side.
+    #[test]
+    fn generated_atomic_programs_diff_clean_against_oracle(seed in 0u64..1_000_000) {
+        let spec = clap_check::AtomicSpec::from_seed(seed);
+        let config = clap_check::DiffConfig::default()
+            .with_models(vec![MemModel::Sc, MemModel::Tso, MemModel::Pso, MemModel::C11])
+            .with_seed_budget(400, vec![0.7, 0.3])
+            .with_max_executions(20_000);
+        let report = clap_check::diff_source(&spec.source(), &config)
+            .expect("generated atomic source parses");
+        prop_assert!(report.ok(), "atomic seed {seed}:\n{}", report.summary());
     }
 }
 

@@ -14,7 +14,9 @@
 //! Any divergence here means the bytecode compiler changed semantics,
 //! not just speed — exactly the regression this suite exists to catch.
 
-use clap_check::{enumerate, ChanSpec, Fingerprint, FingerprintMonitor, OracleConfig, ProgramSpec};
+use clap_check::{
+    enumerate, AtomicSpec, ChanSpec, Fingerprint, FingerprintMonitor, OracleConfig, ProgramSpec,
+};
 use clap_ir::{GlobalId, Program};
 use clap_vm::{
     AccessEvent, Action, Backend, FnScheduler, Lineage, MemModel, Monitor, RandomScheduler,
@@ -22,7 +24,7 @@ use clap_vm::{
 };
 use std::fs;
 
-const MODELS: &[MemModel] = &[MemModel::Sc, MemModel::Tso, MemModel::Pso];
+const MODELS: &[MemModel] = &[MemModel::Sc, MemModel::Tso, MemModel::Pso, MemModel::C11];
 
 /// Seeds swept per (program, model, backend) pair in the single-run
 /// comparison. Random-scheduler seeds double as stickiness sweeps via
@@ -290,5 +292,26 @@ fn generated_channel_oracle_reports_agree_across_backends() {
     for seed in 0..GENERATED_ORACLE_PROGRAMS {
         let source = ChanSpec::from_seed(seed).source();
         check_oracle(&format!("chan#{seed}"), &source);
+    }
+}
+
+/// Atomic programs exercise the fourth memory-model axis: ordering-
+/// annotated loads/stores/RMWs/CASes, the C11 per-location store
+/// buffers, and their drain actions. Both backends must agree on every
+/// weak behavior — including the drain schedules themselves, which show
+/// up in the recorded action streams.
+#[test]
+fn generated_atomic_programs_agree_across_backends() {
+    for seed in 0..GENERATED_PROGRAMS {
+        let source = AtomicSpec::from_seed(seed).source();
+        check_runs(&format!("atomic#{seed}"), &source);
+    }
+}
+
+#[test]
+fn generated_atomic_oracle_reports_agree_across_backends() {
+    for seed in 0..GENERATED_ORACLE_PROGRAMS {
+        let source = AtomicSpec::from_seed(seed).source();
+        check_oracle(&format!("atomic#{seed}"), &source);
     }
 }
